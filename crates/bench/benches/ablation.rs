@@ -1,0 +1,102 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! hash-spread backup placement vs a fixed upstream, even vs
+//! distribution-guided key splits on skewed state, and the VM-pool size's
+//! effect on how quickly a burst of VM requests can be served.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seep_core::{select_backup_operator, Key, KeyRange, OperatorId};
+use seep_sim::{lrb_query, SimConfig, SimEngine};
+
+/// How evenly backups spread across upstream partitions: lower is better.
+fn backup_imbalance(upstreams: usize, downstreams: u64, hashed: bool) -> usize {
+    let ups: Vec<OperatorId> = (0..upstreams as u64).map(OperatorId::new).collect();
+    let mut counts = vec![0usize; upstreams];
+    for o in 0..downstreams {
+        let chosen = if hashed {
+            select_backup_operator(OperatorId::new(1000 + o), &ups).unwrap()
+        } else {
+            ups[0] // fixed "always the first upstream" placement
+        };
+        counts[chosen.raw() as usize] += 1;
+    }
+    counts.iter().max().unwrap() - counts.iter().min().unwrap()
+}
+
+fn bench_backup_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_backup_placement");
+    for hashed in [true, false] {
+        let label = if hashed { "hash_spread" } else { "fixed_upstream" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &hashed, |b, h| {
+            b.iter(|| backup_imbalance(4, 256, *h));
+        });
+    }
+    group.finish();
+    // Report the imbalance itself once so it lands in the bench output.
+    println!(
+        "backup placement imbalance over 256 operators on 4 upstreams: hash={} fixed={}",
+        backup_imbalance(4, 256, true),
+        backup_imbalance(4, 256, false)
+    );
+}
+
+fn bench_key_split_balance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_key_split");
+    // A skewed key population: 90% of keys in a narrow band.
+    let mut keys: Vec<Key> = (0..9_000u64).map(|i| Key(1_000_000 + i)).collect();
+    keys.extend((0..1_000u64).map(Key::from_u64));
+    let imbalance = |ranges: &[KeyRange]| -> usize {
+        let counts: Vec<usize> = ranges
+            .iter()
+            .map(|r| keys.iter().filter(|k| r.contains(**k)).count())
+            .collect();
+        counts.iter().max().unwrap() - counts.iter().min().unwrap()
+    };
+    group.bench_function("even_split", |b| {
+        b.iter(|| {
+            let ranges = KeyRange::full().split_even(4).unwrap();
+            imbalance(&ranges)
+        });
+    });
+    group.bench_function("distribution_split", |b| {
+        b.iter(|| {
+            let ranges = KeyRange::full().split_by_distribution(4, &keys).unwrap();
+            imbalance(&ranges)
+        });
+    });
+    group.finish();
+    let even = imbalance(&KeyRange::full().split_even(4).unwrap());
+    let dist = imbalance(&KeyRange::full().split_by_distribution(4, &keys).unwrap());
+    println!("key-split imbalance on skewed keys (4 partitions): even={even} distribution={dist}");
+}
+
+fn bench_vm_pool_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_vm_pool_size");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for pool in [0usize, 2, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(pool), &pool, |b, pool| {
+            b.iter(|| {
+                let mut engine = SimEngine::new(SimConfig {
+                    query: lrb_query(),
+                    vm_pool_size: *pool,
+                    provisioning_delay_s: 90,
+                    ..SimConfig::default()
+                });
+                let trace = engine.run(300, |t| {
+                    seep_workloads::lrb::aggregate_rate_at(t as u32, 300, 32)
+                });
+                trace.summary().final_vms
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_backup_placement,
+    bench_key_split_balance,
+    bench_vm_pool_sizes
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Micro-benchmarks of checkpointing cost vs operator state size — the
+//! mechanism behind Fig. 14's latency overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seep_core::primitives::checkpoint_state;
+use seep_core::{BufferState, Checkpoint, IncrementalCheckpoint, OperatorId};
+use seep_operators::WindowedWordCount;
+use seep_core::StatefulOperator;
+
+fn counter_with_entries(entries: usize) -> WindowedWordCount {
+    let mut op = WindowedWordCount::new(30_000);
+    op.prepopulate(entries);
+    op
+}
+
+fn bench_checkpoint_by_state_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_state");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for entries in [100usize, 10_000, 100_000] {
+        let op = counter_with_entries(entries);
+        let buffer = BufferState::new();
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| checkpoint_state(OperatorId::new(1), 1, &op, &buffer));
+        });
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_serialisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_serialise");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for entries in [100usize, 10_000, 100_000] {
+        let op = counter_with_entries(entries);
+        let cp = checkpoint_state(OperatorId::new(1), 1, &op, &BufferState::new());
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| cp.to_bytes().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_checkpoint_diff");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let base_op = counter_with_entries(50_000);
+    let base = checkpoint_state(OperatorId::new(1), 1, &base_op, &BufferState::new());
+    // 1% of the state changes between checkpoints.
+    let mut changed = base.clone();
+    changed.meta.sequence = 2;
+    let mut state = base_op.get_processing_state();
+    for (i, (k, _)) in state.clone().iter().enumerate().take(500) {
+        state.insert(k, vec![i as u8; 32]);
+    }
+    changed.processing = state;
+    group.bench_function("diff_1pct_changed", |b| {
+        b.iter(|| IncrementalCheckpoint::diff(&base, &changed));
+    });
+    group.bench_function("full_clone", |b| {
+        b.iter(|| Checkpoint::clone(&changed));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_checkpoint_by_state_size,
+    bench_checkpoint_serialisation,
+    bench_incremental_vs_full
+);
+criterion_main!(benches);

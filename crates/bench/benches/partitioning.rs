@@ -1,0 +1,70 @@
+//! Micro-benchmarks of operator state partitioning (Algorithm 2): splitting a
+//! checkpoint across new partitions and repartitioning routing state — the
+//! reconfiguration cost paid on every scale out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seep_core::primitives::{checkpoint_state, partition_checkpoint};
+use seep_core::{BufferState, Key, KeyRange, OperatorId, RoutingState};
+use seep_operators::WindowedWordCount;
+
+fn checkpoint_with_entries(entries: usize) -> seep_core::Checkpoint {
+    let mut op = WindowedWordCount::new(30_000);
+    op.prepopulate(entries);
+    checkpoint_state(OperatorId::new(1), 1, &op, &BufferState::new())
+}
+
+fn bench_partition_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_checkpoint");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let cp = checkpoint_with_entries(50_000);
+    for pi in [2usize, 4, 8] {
+        let ranges = KeyRange::full().split_even(pi).unwrap();
+        let assignment: Vec<(OperatorId, KeyRange)> = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (OperatorId::new(100 + i as u64), *r))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(pi), &pi, |b, _| {
+            b.iter(|| partition_checkpoint(&cp, &assignment).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_key_range_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_range_split");
+    let sample: Vec<Key> = (0..100_000u64).map(Key::from_u64).collect();
+    group.bench_function("even_split_8", |b| {
+        b.iter(|| KeyRange::full().split_even(8).unwrap());
+    });
+    group.bench_function("distribution_split_8_100k_sample", |b| {
+        b.iter(|| KeyRange::full().split_by_distribution(8, &sample).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_routing_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    let mut routing = RoutingState::new();
+    for (i, range) in KeyRange::full().split_even(64).unwrap().into_iter().enumerate() {
+        routing.set_route(range, OperatorId::new(i as u64));
+    }
+    group.bench_function("route_64_partitions", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e3779b97f4a7c15);
+            routing.route(Key(i))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partition_checkpoint,
+    bench_key_range_split,
+    bench_routing_lookup
+);
+criterion_main!(benches);

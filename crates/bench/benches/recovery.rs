@@ -1,0 +1,60 @@
+//! End-to-end recovery benchmarks on the word-frequency query: the cost of
+//! failing the stateful word counter and recovering it with the three
+//! fault-tolerance strategies (Fig. 11) and with serial vs parallel recovery
+//! (Fig. 13), at benchmark-friendly scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use seep_bench::harness::WordCountHarness;
+use seep_runtime::{RecoveryStrategy, RuntimeConfig};
+
+fn prepared_harness(strategy: RecoveryStrategy, seconds: u64, rate: u64) -> WordCountHarness {
+    let config = RuntimeConfig::default().with_strategy(strategy);
+    let mut h = WordCountHarness::deploy(config, 5_000, 0);
+    h.run_for(seconds, rate);
+    h
+}
+
+fn bench_recovery_by_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_by_strategy");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for strategy in [
+        RecoveryStrategy::StateManagement,
+        RecoveryStrategy::UpstreamBackup,
+        RecoveryStrategy::SourceReplay,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, s| {
+                b.iter_batched(
+                    || prepared_harness(*s, 10, 200),
+                    |mut h| h.fail_and_recover(1),
+                    BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_serial_vs_parallel_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_parallelism");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for pi in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(pi), &pi, |b, pi| {
+            b.iter_batched(
+                || prepared_harness(RecoveryStrategy::StateManagement, 10, 200),
+                |mut h| h.fail_and_recover(*pi),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery_by_strategy, bench_serial_vs_parallel_recovery);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 12: recovery time of R+SM as a function of the checkpointing interval
+//! for different input rates.
+
+use seep_bench::print_table;
+use seep_bench::runtime_experiments::{recovery_by_interval, DEFAULT_WARMUP_S};
+
+fn main() {
+    let rows = recovery_by_interval(&[1, 5, 10, 15, 20, 25, 30], &[100, 500, 1_000], DEFAULT_WARMUP_S);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.rate.to_string(),
+                r.checkpoint_interval_s.to_string(),
+                format!("{:.1}", r.recovery_ms),
+                r.replayed.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 12 — Recovery time for different R+SM checkpointing intervals",
+        &["rate_tps", "interval_s", "recovery_ms", "replayed_tuples"],
+        &table,
+    );
+    println!("\npaper: recovery time grows with the checkpoint interval (more tuples to replay) and with the input rate");
+}

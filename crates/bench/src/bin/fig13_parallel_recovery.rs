@@ -1,0 +1,26 @@
+//! Fig. 13: serial vs parallel recovery (π=1 vs π=2) across checkpoint
+//! intervals at 500 tuples/s.
+
+use seep_bench::print_table;
+use seep_bench::runtime_experiments::{parallel_recovery, DEFAULT_WARMUP_S};
+
+fn main() {
+    let rows = parallel_recovery(&[1, 5, 10, 15, 20, 25, 30], 500, DEFAULT_WARMUP_S);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.checkpoint_interval_s.to_string(),
+                if r.parallelism == 1 { "serial".into() } else { "parallel".into() },
+                format!("{:.1}", r.recovery_ms),
+                r.replayed.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 13 — Recovery time for serial and parallel recovery using state management (500 tuples/s)",
+        &["interval_s", "mode", "recovery_ms", "replayed_tuples"],
+        &table,
+    );
+    println!("\npaper: parallel recovery does not pay off for short intervals (reconfiguration overhead) but wins once many tuples must be replayed");
+}

@@ -1,0 +1,25 @@
+//! Fig. 15: trade-off between processing latency and recovery time across
+//! checkpointing intervals at 1000 tuples/s.
+
+use seep_bench::print_table;
+use seep_bench::runtime_experiments::interval_tradeoff;
+
+fn main() {
+    let rows = interval_tradeoff(&[1, 5, 10, 15, 20, 25, 30], 1_000, 30);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.checkpoint_interval_s.to_string(),
+                format!("{:.2}", r.latency_p95_ms),
+                format!("{:.1}", r.recovery_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 15 — Trade-off between processing latency and recovery time for different checkpointing intervals (1000 tuples/s)",
+        &["interval_s", "latency_p95_ms", "recovery_ms"],
+        &table,
+    );
+    println!("\npaper: larger intervals lower the latency overhead but increase recovery time — the interval should be chosen from the anticipated failure rate and the query's latency requirements");
+}

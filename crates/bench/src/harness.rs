@@ -1,0 +1,202 @@
+//! Shared experiment harness: the windowed word-frequency query (word
+//! splitter → word counter, §6.2/§6.3) deployed on the threaded runtime, plus
+//! helpers for driving it at a given input rate and failing/recovering the
+//! stateful word counter.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use seep_core::operator::OperatorFactory;
+use seep_core::{Key, LogicalOpId, OperatorId, QueryGraph, StatefulOperator};
+use seep_operators::{WindowedWordCount, WordSplitter};
+use seep_runtime::{Runtime, RuntimeConfig};
+use seep_workloads::sentences::{SentenceConfig, SentenceGenerator};
+
+/// A deployed word-frequency query ready to be driven by an experiment.
+pub struct WordCountHarness {
+    /// The runtime hosting the query.
+    pub runtime: Runtime,
+    /// Logical id of the source (data feeder).
+    pub source: LogicalOpId,
+    /// Logical id of the stateless word splitter.
+    pub splitter: LogicalOpId,
+    /// Logical id of the stateful word counter.
+    pub counter: LogicalOpId,
+    /// Logical id of the sink.
+    pub sink: LogicalOpId,
+    generator: SentenceGenerator,
+    injected: u64,
+}
+
+/// Window length used by the word-frequency query in the paper (30 s).
+pub const WINDOW_MS: u64 = 30_000;
+
+impl WordCountHarness {
+    /// Deploy the query with the given runtime configuration, vocabulary size
+    /// (which controls the word counter's dictionary / state size, §6.3) and
+    /// optional pre-populated dictionary entries.
+    pub fn deploy(config: RuntimeConfig, vocabulary: usize, prepopulate: usize) -> Self {
+        let mut b = QueryGraph::builder();
+        let source = b.source("data_feeder");
+        let splitter = b.stateless("word_splitter");
+        let counter = b.stateful("word_counter");
+        let sink = b.sink("sink");
+        b.connect(source, splitter);
+        b.connect(splitter, counter);
+        b.connect(counter, sink);
+        let query = b.build().expect("valid query");
+
+        let mut factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> = HashMap::new();
+        factories.insert(
+            source,
+            Arc::new(|| -> Box<dyn StatefulOperator> {
+                Box::new(seep_core::StatelessFn::new(
+                    "feeder",
+                    |_, t: &seep_core::Tuple, out: &mut Vec<seep_core::OutputTuple>| {
+                        out.push(seep_core::OutputTuple::new(t.key, t.payload.clone()));
+                    },
+                ))
+            }) as Arc<dyn OperatorFactory>,
+        );
+        factories.insert(
+            splitter,
+            Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(WordSplitter::new()) })
+                as Arc<dyn OperatorFactory>,
+        );
+        factories.insert(
+            counter,
+            Arc::new(move || -> Box<dyn StatefulOperator> {
+                let mut op = WindowedWordCount::new(WINDOW_MS);
+                if prepopulate > 0 {
+                    op.prepopulate(prepopulate);
+                }
+                Box::new(op)
+            }) as Arc<dyn OperatorFactory>,
+        );
+        factories.insert(
+            sink,
+            Arc::new(|| -> Box<dyn StatefulOperator> {
+                Box::new(seep_core::StatelessFn::new(
+                    "collector",
+                    |_, _t: &seep_core::Tuple, _out: &mut Vec<seep_core::OutputTuple>| {},
+                ))
+            }) as Arc<dyn OperatorFactory>,
+        );
+
+        let mut runtime = Runtime::new(config);
+        runtime.deploy(query, factories).expect("deploy");
+        WordCountHarness {
+            runtime,
+            source,
+            splitter,
+            counter,
+            sink,
+            generator: SentenceGenerator::new(SentenceConfig {
+                vocabulary,
+                ..Default::default()
+            }),
+            injected: 0,
+        }
+    }
+
+    /// The physical instance currently hosting the word counter (first
+    /// partition).
+    pub fn counter_instance(&self) -> OperatorId {
+        self.runtime.partitions(self.counter)[0]
+    }
+
+    /// Drive the query for `seconds` of virtual time at `rate` sentence
+    /// fragments per second. Within each virtual second the due fragments are
+    /// injected, periodic work (checkpoints, window ticks) runs while they
+    /// are queued, and the pipeline is drained — so checkpoint cost shows up
+    /// in the measured per-tuple latency exactly as it would on a busy VM.
+    pub fn run_for(&mut self, seconds: u64, rate: u64) {
+        let start = self.runtime.now_ms();
+        for s in 0..seconds {
+            for _ in 0..rate {
+                let fragment = self.generator.next_fragment();
+                let payload = bincode::serialize(&fragment).expect("fragment serialises");
+                self.runtime
+                    .inject(self.source, Key::from_str_key(&fragment), payload);
+                self.injected += 1;
+            }
+            self.runtime.advance_to(start + (s + 1) * 1_000);
+            self.runtime.drain();
+        }
+    }
+
+    /// Total sentence fragments injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Fail the word counter's VM and recover it with parallelism `pi`,
+    /// returning the measured recovery time in milliseconds.
+    pub fn fail_and_recover(&mut self, pi: usize) -> f64 {
+        let victim = self.counter_instance();
+        self.runtime.fail_operator(victim);
+        let record = self.runtime.recover(victim, pi).expect("recovery succeeds");
+        record.duration_ms
+    }
+
+    /// Total word count across all partitions of the word counter (used for
+    /// correctness checks).
+    pub fn total_counted_words(&self) -> u64 {
+        self.runtime
+            .partitions(self.counter)
+            .iter()
+            .filter_map(|id| {
+                self.runtime.with_operator(*id, |op| {
+                    let state = op.get_processing_state();
+                    state
+                        .iter()
+                        .filter(|(k, _)| *k != Key(u64::MAX))
+                        .filter_map(|(k, _)| {
+                            state
+                                .get_decoded::<seep_operators::word_count::WordEntry>(k)
+                                .ok()
+                                .flatten()
+                                .map(|e| e.count)
+                        })
+                        .sum::<u64>()
+                })
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_recovers() {
+        let mut h = WordCountHarness::deploy(RuntimeConfig::default(), 100, 0);
+        h.run_for(2, 20);
+        assert_eq!(h.injected(), 40);
+        let words_before = h.total_counted_words();
+        assert!(words_before > 0);
+        let recovery_ms = h.fail_and_recover(1);
+        assert!(recovery_ms >= 0.0);
+        assert_eq!(h.total_counted_words(), words_before, "state fully recovered");
+    }
+
+    #[test]
+    fn prepopulation_increases_state_size() {
+        let h_small = WordCountHarness::deploy(RuntimeConfig::default(), 100, 100);
+        let h_large = WordCountHarness::deploy(RuntimeConfig::default(), 100, 10_000);
+        let small = h_small
+            .runtime
+            .with_operator(h_small.counter_instance(), |op| {
+                op.get_processing_state().size_bytes()
+            })
+            .unwrap();
+        let large = h_large
+            .runtime
+            .with_operator(h_large.counter_instance(), |op| {
+                op.get_processing_state().size_bytes()
+            })
+            .unwrap();
+        assert!(large > small * 10);
+    }
+}

@@ -1,0 +1,33 @@
+//! # seep-bench
+//!
+//! The benchmark harness that regenerates every figure of the paper's
+//! evaluation (§6). Each `fig*` binary in `src/bin/` prints the same series
+//! the corresponding figure plots; the Criterion benches in `benches/`
+//! measure the micro-costs underneath (checkpointing, partitioning, recovery)
+//! plus ablations of the design choices called out in `DESIGN.md`.
+//!
+//! | Figure | Driver |
+//! |---|---|
+//! | Fig. 6 / 7 — LRB L=350 closed-loop scale out + latency | [`sim_experiments::lrb_closed_loop`] |
+//! | Fig. 8 — open-loop map/reduce top-k | [`sim_experiments::open_loop_topk`] |
+//! | Fig. 9 — scale-out threshold sweep | [`sim_experiments::threshold_sweep`] |
+//! | Fig. 10 — manual vs dynamic scale out | [`sim_experiments::manual_vs_dynamic`] |
+//! | Fig. 11 — recovery time per strategy | [`runtime_experiments::recovery_by_strategy`] |
+//! | Fig. 12 — recovery time vs checkpoint interval | [`runtime_experiments::recovery_by_interval`] |
+//! | Fig. 13 — serial vs parallel recovery | [`runtime_experiments::parallel_recovery`] |
+//! | Fig. 14 — checkpoint overhead vs state size | [`runtime_experiments::state_size_overhead`] |
+//! | Fig. 15 — latency / recovery-time trade-off | [`runtime_experiments::interval_tradeoff`] |
+
+pub mod harness;
+pub mod runtime_experiments;
+pub mod sim_experiments;
+
+/// Print a table of rows (each a vector of cells) with a header, in the
+/// simple aligned format used by all figure binaries.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n# {title}");
+    println!("{}", header.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+}

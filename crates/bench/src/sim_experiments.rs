@@ -1,0 +1,265 @@
+//! Simulator-based experiments: Figs 6–10 (dynamic scale out on the cloud).
+
+use serde::{Deserialize, Serialize};
+
+use seep_sim::{lrb_query, mapreduce_query, SimConfig, SimEngine, SimScalingPolicy, SimTrace};
+
+/// Result of the LRB closed-loop run (Figs 6 and 7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LrbClosedLoopResult {
+    /// The full per-second trace.
+    pub trace: SimTrace,
+    /// Final number of operator VMs.
+    pub final_vms: usize,
+    /// Median of per-second median latency (ms).
+    pub latency_p50_ms: f64,
+    /// 95th percentile latency (ms).
+    pub latency_p95_ms: f64,
+    /// Peak end-to-end throughput in input tuples/s.
+    pub peak_throughput: f64,
+    /// Number of scale-out actions.
+    pub scale_outs: usize,
+    /// Final parallelism per stage, in pipeline order.
+    pub final_parallelism: Vec<usize>,
+}
+
+/// Fig. 6 / Fig. 7: the Linear Road Benchmark closed-loop run.
+///
+/// The paper's run at L=350 lasts ~2000 s with the aggregate input rate
+/// rising from ≈12 000 to ≈600 000 tuples/s and ends with ≈50 VMs allocated.
+/// `duration_s` and the start/end rates are parameters so scaled-down runs
+/// finish quickly in tests.
+pub fn lrb_closed_loop(duration_s: u64, start_rate: f64, end_rate: f64) -> LrbClosedLoopResult {
+    let mut engine = SimEngine::new(SimConfig {
+        query: lrb_query(),
+        vm_pool_size: 6,
+        provisioning_delay_s: 90,
+        ..SimConfig::default()
+    });
+    let trace = engine.run(duration_s, |t| {
+        start_rate + (end_rate - start_rate) * t as f64 / duration_s.max(1) as f64
+    });
+    let summary = trace.summary();
+    LrbClosedLoopResult {
+        final_vms: summary.final_vms,
+        latency_p50_ms: summary.latency_p50_ms,
+        latency_p95_ms: summary.latency_p95_ms,
+        peak_throughput: summary.peak_throughput,
+        scale_outs: summary.scale_out_actions,
+        final_parallelism: summary.final_parallelism,
+        trace,
+    }
+}
+
+/// The paper's headline configuration: L=350, 12 k → 600 k tuples/s, 2000 s.
+pub fn lrb_l350() -> LrbClosedLoopResult {
+    lrb_closed_loop(2_000, 12_000.0, 600_000.0)
+}
+
+/// Fig. 8: the open-loop map/reduce-style top-k query. The input rate is set
+/// above the initial capacity (the paper's run sustains 550 000 tuples/s once
+/// scaled out); tuples are dropped while the system is under-provisioned.
+pub fn open_loop_topk(duration_s: u64, rate: f64) -> SimTrace {
+    let mut engine = SimEngine::new(SimConfig {
+        query: mapreduce_query(),
+        open_loop: true,
+        queue_cap: 100_000.0,
+        vm_pool_size: 8,
+        provisioning_delay_s: 45,
+        ..SimConfig::default()
+    });
+    engine.run(duration_s, |_| rate)
+}
+
+/// One row of the threshold sweep (Fig. 9).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdRow {
+    /// Scale-out threshold δ (percent).
+    pub threshold_pct: u32,
+    /// VMs allocated at the end of the run.
+    pub vms: usize,
+    /// Median latency (ms).
+    pub latency_p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub latency_p95_ms: f64,
+}
+
+/// Fig. 9: impact of the scale-out threshold δ on allocated VMs and latency
+/// (the paper uses LRB at L=64).
+pub fn threshold_sweep(duration_s: u64, l: u16, thresholds_pct: &[u32]) -> Vec<ThresholdRow> {
+    thresholds_pct
+        .iter()
+        .map(|pct| {
+            let mut engine = SimEngine::new(SimConfig {
+                query: lrb_query(),
+                policy: SimScalingPolicy::default().with_threshold(*pct as f64 / 100.0),
+                vm_pool_size: 6,
+                provisioning_delay_s: 60,
+                ..SimConfig::default()
+            });
+            let trace = engine.run(duration_s, |t| {
+                seep_workloads::lrb::aggregate_rate_at(t as u32, duration_s as u32, l)
+            });
+            let s = trace.summary();
+            ThresholdRow {
+                threshold_pct: *pct,
+                vms: s.final_vms,
+                latency_p50_ms: s.latency_p50_ms,
+                latency_p95_ms: s.latency_p95_ms,
+            }
+        })
+        .collect()
+}
+
+/// One row of the manual-vs-dynamic comparison (Fig. 10).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocationRow {
+    /// "manual" or "dynamic".
+    pub mode: String,
+    /// VMs used.
+    pub vms: usize,
+    /// Median latency (ms).
+    pub latency_p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub latency_p95_ms: f64,
+}
+
+/// Distribute `total` operator VMs across the LRB stages the way an expert
+/// would: proportionally to each scalable stage's expected CPU demand, with
+/// at least one VM per stage.
+fn expert_allocation(total: usize, rate: f64) -> Vec<usize> {
+    let query = lrb_query();
+    let mut demand: Vec<f64> = Vec::new();
+    let mut input = rate;
+    for stage in &query.stages {
+        let d = if stage.scalable {
+            input * stage.cost_us / 1_000_000.0
+        } else {
+            0.0
+        };
+        demand.push(d);
+        input *= stage.selectivity;
+    }
+    let fixed = query.stages.iter().filter(|s| !s.scalable).count();
+    let scalable_budget = total.saturating_sub(fixed).max(query.len() - fixed);
+    let total_demand: f64 = demand.iter().sum();
+    let mut allocation: Vec<usize> = demand
+        .iter()
+        .zip(&query.stages)
+        .map(|(d, s)| {
+            if !s.scalable {
+                1
+            } else {
+                ((d / total_demand.max(1e-9)) * scalable_budget as f64)
+                    .round()
+                    .max(1.0) as usize
+            }
+        })
+        .collect();
+    // Adjust rounding drift on the most demanding stage.
+    let diff = total as i64 - allocation.iter().sum::<usize>() as i64;
+    if diff != 0 {
+        let max_idx = demand
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        allocation[max_idx] = (allocation[max_idx] as i64 + diff).max(1) as usize;
+    }
+    allocation
+}
+
+/// Fig. 10: latency as a function of the number of VMs for manual expert
+/// allocations, compared against the dynamic policy (the paper uses LRB at
+/// L=115; the dynamic policy ends with 25 VMs vs a 20-VM manual optimum).
+pub fn manual_vs_dynamic(duration_s: u64, l: u16, manual_vms: &[usize]) -> Vec<AllocationRow> {
+    let end_rate = seep_workloads::lrb::aggregate_rate_at(duration_s as u32, duration_s as u32, l);
+    let mut rows = Vec::new();
+    for &vms in manual_vms {
+        let mut engine = SimEngine::new(SimConfig {
+            query: lrb_query(),
+            dynamic_scaling: false,
+            initial_parallelism: expert_allocation(vms, end_rate),
+            vm_pool_size: 0,
+            ..SimConfig::default()
+        });
+        let trace = engine.run(duration_s, |t| {
+            seep_workloads::lrb::aggregate_rate_at(t as u32, duration_s as u32, l)
+        });
+        let s = trace.summary();
+        rows.push(AllocationRow {
+            mode: "manual".into(),
+            vms: s.final_vms,
+            latency_p50_ms: s.latency_p50_ms,
+            latency_p95_ms: s.latency_p95_ms,
+        });
+    }
+    // Dynamic run.
+    let mut engine = SimEngine::new(SimConfig {
+        query: lrb_query(),
+        vm_pool_size: 6,
+        provisioning_delay_s: 60,
+        ..SimConfig::default()
+    });
+    let trace = engine.run(duration_s, |t| {
+        seep_workloads::lrb::aggregate_rate_at(t as u32, duration_s as u32, l)
+    });
+    let s = trace.summary();
+    rows.push(AllocationRow {
+        mode: "dynamic".into(),
+        vms: s.final_vms,
+        latency_p50_ms: s.latency_p50_ms,
+        latency_p95_ms: s.latency_p95_ms,
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_lrb_run_scales_out() {
+        let result = lrb_closed_loop(300, 1_000.0, 60_000.0);
+        assert!(result.scale_outs > 0);
+        assert!(result.final_vms > 7);
+        assert_eq!(result.trace.len(), 300);
+        assert!(result.latency_p95_ms >= result.latency_p50_ms);
+    }
+
+    #[test]
+    fn open_loop_run_reduces_drops_over_time() {
+        let trace = open_loop_topk(300, 300_000.0);
+        let early: f64 = trace.records[..100].iter().map(|r| r.dropped).sum();
+        let late: f64 = trace.records[200..].iter().map(|r| r.dropped).sum();
+        assert!(early > 0.0);
+        assert!(late <= early);
+    }
+
+    #[test]
+    fn threshold_sweep_monotone_in_vms() {
+        let rows = threshold_sweep(300, 16, &[10, 90]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].vms >= rows[1].vms, "{rows:?}");
+    }
+
+    #[test]
+    fn expert_allocation_sums_to_total_and_respects_minimums() {
+        let allocation = expert_allocation(20, 100_000.0);
+        assert_eq!(allocation.len(), lrb_query().len());
+        assert_eq!(allocation.iter().sum::<usize>(), 20);
+        assert!(allocation.iter().all(|&p| p >= 1));
+        // The toll calculator gets the largest share.
+        let toll = lrb_query().index_of("toll_calculator").unwrap();
+        assert_eq!(allocation[toll], *allocation.iter().max().unwrap());
+    }
+
+    #[test]
+    fn manual_vs_dynamic_produces_all_rows() {
+        let rows = manual_vs_dynamic(200, 8, &[10, 14]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].mode, "dynamic");
+        assert!(rows.iter().all(|r| r.vms > 0));
+    }
+}

@@ -1,0 +1,140 @@
+//! VM-hour accounting.
+//!
+//! The motivation for fine-grained, on-demand scale out in the paper is the
+//! "pay-as-you-go" pricing of public clouds: every pre-allocated or
+//! over-provisioned VM costs money. The ledger tracks, per VM, the interval
+//! it was billed for and its hourly price, so experiments can report resource
+//! cost next to performance (e.g. the VM-pool sizing trade-off of §5.2 and
+//! the manual-vs-dynamic comparison of §6.1).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::vm::{VmId, VmSpec};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BillingEntry {
+    hourly_cost: f64,
+    started_ms: u64,
+    stopped_ms: Option<u64>,
+}
+
+/// Per-VM billing ledger.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BillingLedger {
+    entries: BTreeMap<VmId, BillingEntry>,
+}
+
+const MS_PER_HOUR: f64 = 3_600_000.0;
+
+impl BillingLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start billing a VM at `now_ms`.
+    pub fn start(&mut self, id: VmId, spec: VmSpec, now_ms: u64) {
+        self.entries.insert(
+            id,
+            BillingEntry {
+                hourly_cost: spec.hourly_cost,
+                started_ms: now_ms,
+                stopped_ms: None,
+            },
+        );
+    }
+
+    /// Stop billing a VM at `now_ms` (release or failure).
+    pub fn stop(&mut self, id: VmId, now_ms: u64) {
+        if let Some(entry) = self.entries.get_mut(&id) {
+            if entry.stopped_ms.is_none() {
+                entry.stopped_ms = Some(now_ms.max(entry.started_ms));
+            }
+        }
+    }
+
+    /// Cost accrued by one VM up to `now_ms`.
+    pub fn cost_of(&self, id: VmId, now_ms: u64) -> f64 {
+        self.entries
+            .get(&id)
+            .map(|e| {
+                let end = e.stopped_ms.unwrap_or(now_ms).max(e.started_ms);
+                (end - e.started_ms) as f64 / MS_PER_HOUR * e.hourly_cost
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Total cost across all VMs up to `now_ms`.
+    pub fn total_cost(&self, now_ms: u64) -> f64 {
+        self.entries
+            .keys()
+            .map(|id| self.cost_of(*id, now_ms))
+            .sum()
+    }
+
+    /// Total VM-hours consumed up to `now_ms`.
+    pub fn total_vm_hours(&self, now_ms: u64) -> f64 {
+        self.entries
+            .values()
+            .map(|e| {
+                let end = e.stopped_ms.unwrap_or(now_ms).max(e.started_ms);
+                (end - e.started_ms) as f64 / MS_PER_HOUR
+            })
+            .sum()
+    }
+
+    /// Number of VMs ever billed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no VM was ever billed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_accrues_and_freezes_on_stop() {
+        let mut ledger = BillingLedger::new();
+        assert!(ledger.is_empty());
+        ledger.start(VmId(1), VmSpec::small(), 0);
+        let half_hour = 1_800_000;
+        let expected = VmSpec::small().hourly_cost / 2.0;
+        assert!((ledger.cost_of(VmId(1), half_hour) - expected).abs() < 1e-9);
+        ledger.stop(VmId(1), half_hour);
+        assert!((ledger.cost_of(VmId(1), 10 * half_hour) - expected).abs() < 1e-9);
+        assert_eq!(ledger.len(), 1);
+    }
+
+    #[test]
+    fn total_cost_sums_all_vms() {
+        let mut ledger = BillingLedger::new();
+        ledger.start(VmId(1), VmSpec::small(), 0);
+        ledger.start(VmId(2), VmSpec::source_sink(), 0);
+        let hour = 3_600_000;
+        let expected = VmSpec::small().hourly_cost + VmSpec::source_sink().hourly_cost;
+        assert!((ledger.total_cost(hour) - expected).abs() < 1e-9);
+        assert!((ledger.total_vm_hours(hour) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_vm_costs_nothing_and_stop_is_idempotent() {
+        let mut ledger = BillingLedger::new();
+        assert_eq!(ledger.cost_of(VmId(9), 1000), 0.0);
+        ledger.start(VmId(1), VmSpec::small(), 100);
+        ledger.stop(VmId(1), 200);
+        ledger.stop(VmId(1), 5_000); // second stop ignored
+        let cost = ledger.cost_of(VmId(1), 10_000);
+        assert!((cost - VmSpec::small().hourly_cost * 100.0 / 3_600_000.0).abs() < 1e-12);
+        // Stop before start clamps to zero duration.
+        ledger.start(VmId(2), VmSpec::small(), 500);
+        ledger.stop(VmId(2), 100);
+        assert_eq!(ledger.cost_of(VmId(2), 1_000), 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The VM pool (§5.2).
+//!
+//! IaaS platforms take minutes to provision a VM, which is far too slow when
+//! a bottleneck operator must be scaled out or a failed operator recovered.
+//! The pool decouples *requesting* a VM (by the SPS, must be fast) from
+//! *provisioning* it (by the provider, slow): a small number `p` of VMs is
+//! pre-allocated; `acquire` hands one out in seconds, and the pool refills
+//! itself asynchronously.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::provider::CloudProvider;
+use crate::vm::{VmId, VmSpec};
+
+/// Pool configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VmPoolConfig {
+    /// Target number of pre-allocated, ready VMs (`p` in §5.2).
+    pub target_size: usize,
+    /// Spec of the pooled VMs.
+    pub spec: VmSpec,
+}
+
+impl Default for VmPoolConfig {
+    fn default() -> Self {
+        VmPoolConfig {
+            target_size: 2,
+            spec: VmSpec::small(),
+        }
+    }
+}
+
+struct PoolInner {
+    config: VmPoolConfig,
+    /// VMs that are ready to be handed out.
+    ready: VecDeque<VmId>,
+    /// VMs requested from the provider but not yet ready.
+    pending: Vec<VmId>,
+    /// Statistics: how many acquisitions were served instantly from the pool
+    /// vs. had to wait for provisioning.
+    hits: u64,
+    misses: u64,
+}
+
+/// A pool of pre-allocated VMs in front of a [`CloudProvider`].
+pub struct VmPool {
+    provider: Arc<CloudProvider>,
+    inner: Mutex<PoolInner>,
+}
+
+impl VmPool {
+    /// Create a pool over `provider` and immediately request the initial
+    /// `target_size` VMs (they become ready after the provider's provisioning
+    /// delay).
+    pub fn new(provider: Arc<CloudProvider>, config: VmPoolConfig, now_ms: u64) -> Self {
+        let pool = VmPool {
+            provider,
+            inner: Mutex::new(PoolInner {
+                config,
+                ready: VecDeque::new(),
+                pending: Vec::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        };
+        pool.refill(now_ms);
+        pool
+    }
+
+    /// Move provisioned VMs into the ready set and top the pool back up to its
+    /// target size. Should be called periodically (every tick of the SPS).
+    pub fn tick(&self, now_ms: u64) {
+        let ready_now = self.provider.poll_ready(now_ms);
+        {
+            let mut inner = self.inner.lock();
+            for id in ready_now {
+                if let Some(pos) = inner.pending.iter().position(|p| *p == id) {
+                    inner.pending.remove(pos);
+                    inner.ready.push_back(id);
+                }
+            }
+        }
+        self.refill(now_ms);
+    }
+
+    fn refill(&self, now_ms: u64) {
+        let mut inner = self.inner.lock();
+        while inner.ready.len() + inner.pending.len() < inner.config.target_size {
+            let spec = inner.config.spec;
+            match self.provider.request_vm(spec, now_ms) {
+                Some(id) => {
+                    // With an instant provider the VM is already running.
+                    if self
+                        .provider
+                        .vm(id)
+                        .map(|vm| vm.is_running())
+                        .unwrap_or(false)
+                    {
+                        inner.ready.push_back(id);
+                    } else {
+                        inner.pending.push(id);
+                    }
+                }
+                None => break, // provider limit reached
+            }
+        }
+    }
+
+    /// Acquire a ready VM.
+    ///
+    /// Returns `Some(vm)` immediately when the pool has a pre-allocated VM (a
+    /// pool *hit*, the common case the mechanism is designed for). Returns
+    /// `None` when the pool is exhausted (a *miss*): the caller must retry on
+    /// a later tick, paying the provisioning delay — exactly the degraded
+    /// behaviour §5.2 warns about when `p` is too small.
+    pub fn acquire(&self, now_ms: u64) -> Option<VmId> {
+        // Promote any newly provisioned VMs first.
+        self.tick(now_ms);
+        let mut inner = self.inner.lock();
+        match inner.ready.pop_front() {
+            Some(id) => {
+                inner.hits += 1;
+                drop(inner);
+                self.refill(now_ms);
+                Some(id)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Return a VM to the provider (not to the pool — released VMs are gone;
+    /// the pool refills with fresh instances).
+    pub fn release(&self, id: VmId, now_ms: u64) {
+        self.provider.release_vm(id, now_ms);
+    }
+
+    /// Number of ready VMs currently pooled.
+    pub fn ready_count(&self) -> usize {
+        self.inner.lock().ready.len()
+    }
+
+    /// Number of VMs being provisioned for the pool.
+    pub fn pending_count(&self) -> usize {
+        self.inner.lock().pending.len()
+    }
+
+    /// `(hits, misses)` acquisition statistics.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Adjust the target pool size at runtime (§5.2 discusses shrinking the
+    /// pool once the scale-out rate decreases).
+    pub fn set_target_size(&self, target: usize, now_ms: u64) {
+        self.inner.lock().config.target_size = target;
+        self.refill(now_ms);
+    }
+
+    /// Current target size.
+    pub fn target_size(&self) -> usize {
+        self.inner.lock().config.target_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::ProviderConfig;
+
+    fn pool_with(delay_ms: u64, target: usize) -> (Arc<CloudProvider>, VmPool) {
+        let provider = Arc::new(CloudProvider::new(ProviderConfig::fixed_delay(delay_ms)));
+        let pool = VmPool::new(
+            provider.clone(),
+            VmPoolConfig {
+                target_size: target,
+                spec: VmSpec::small(),
+            },
+            0,
+        );
+        (provider, pool)
+    }
+
+    #[test]
+    fn instant_provider_fills_pool_immediately() {
+        let (_, pool) = pool_with(0, 3);
+        assert_eq!(pool.ready_count(), 3);
+        assert_eq!(pool.pending_count(), 0);
+        assert!(pool.acquire(0).is_some());
+        // Pool refills after an acquisition.
+        assert_eq!(pool.ready_count(), 3);
+        assert_eq!(pool.stats(), (1, 0));
+    }
+
+    #[test]
+    fn slow_provider_pool_fills_after_delay() {
+        let (_, pool) = pool_with(120_000, 2);
+        assert_eq!(pool.ready_count(), 0);
+        assert_eq!(pool.pending_count(), 2);
+        assert!(pool.acquire(1_000).is_none(), "pool not warm yet");
+        pool.tick(120_000);
+        assert_eq!(pool.ready_count(), 2);
+        assert!(pool.acquire(120_001).is_some());
+        let (hits, misses) = pool.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn pool_masks_provisioning_delay_for_bursts_up_to_p() {
+        // With p pre-allocated VMs, p acquisitions in quick succession all
+        // succeed without waiting for the provider.
+        let (_, pool) = pool_with(120_000, 3);
+        pool.tick(200_000); // initial fill done
+        let t = 200_001;
+        assert!(pool.acquire(t).is_some());
+        assert!(pool.acquire(t).is_some());
+        assert!(pool.acquire(t).is_some());
+        // The 4th in the same instant misses: the refill VMs are provisioning.
+        assert!(pool.acquire(t).is_none());
+        // ... but becomes available after the delay.
+        assert!(pool.acquire(t + 120_000).is_some());
+    }
+
+    #[test]
+    fn provider_limit_caps_pool_fill() {
+        let provider = Arc::new(CloudProvider::new(ProviderConfig {
+            max_vms: Some(2),
+            ..ProviderConfig::instant()
+        }));
+        let pool = VmPool::new(
+            provider,
+            VmPoolConfig {
+                target_size: 5,
+                spec: VmSpec::small(),
+            },
+            0,
+        );
+        assert_eq!(pool.ready_count(), 2);
+    }
+
+    #[test]
+    fn target_size_can_shrink_and_grow() {
+        let (_, pool) = pool_with(0, 1);
+        assert_eq!(pool.target_size(), 1);
+        pool.set_target_size(4, 0);
+        assert_eq!(pool.target_size(), 4);
+        assert_eq!(pool.ready_count(), 4);
+        // Shrinking does not release already-provisioned VMs, it only stops
+        // refilling beyond the new target.
+        pool.set_target_size(1, 0);
+        assert_eq!(pool.ready_count(), 4);
+    }
+
+    #[test]
+    fn release_returns_vm_to_provider() {
+        let (provider, pool) = pool_with(0, 1);
+        let vm = pool.acquire(0).unwrap();
+        let before = provider.running_count();
+        pool.release(vm, 10);
+        assert_eq!(provider.running_count(), before - 1);
+    }
+}

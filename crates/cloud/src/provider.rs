@@ -1,0 +1,318 @@
+//! The simulated IaaS provider.
+//!
+//! Models the two provider behaviours the SPS has to live with (§5.2):
+//! provisioning a fresh VM takes **minutes**, and VMs are billed from request
+//! until release. Provisioning delay is drawn from a configurable
+//! distribution; with the default configuration it matches the "order of
+//! minutes" the paper reports for EC2.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::billing::BillingLedger;
+use crate::vm::{Vm, VmId, VmSpec, VmState};
+
+/// Configuration of the simulated provider.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProviderConfig {
+    /// Minimum provisioning delay in milliseconds.
+    pub provision_delay_min_ms: u64,
+    /// Maximum provisioning delay in milliseconds (uniformly distributed
+    /// between min and max).
+    pub provision_delay_max_ms: u64,
+    /// Hard cap on simultaneously allocated (provisioning + running) VMs;
+    /// `None` means unlimited. Public clouds impose account limits, and the
+    /// experiments use this to model a fixed-size cluster for manual scale
+    /// out comparisons.
+    pub max_vms: Option<usize>,
+    /// Seed for the provisioning-delay RNG so experiments are reproducible.
+    pub seed: u64,
+}
+
+impl Default for ProviderConfig {
+    fn default() -> Self {
+        // EC2-like: 1–3 minutes to provision a VM.
+        ProviderConfig {
+            provision_delay_min_ms: 60_000,
+            provision_delay_max_ms: 180_000,
+            max_vms: None,
+            seed: 42,
+        }
+    }
+}
+
+impl ProviderConfig {
+    /// A configuration with instant provisioning, useful in unit tests and
+    /// in the threaded runtime where provisioning delay is exercised
+    /// separately through the VM pool.
+    pub fn instant() -> Self {
+        ProviderConfig {
+            provision_delay_min_ms: 0,
+            provision_delay_max_ms: 0,
+            max_vms: None,
+            seed: 42,
+        }
+    }
+
+    /// Fixed provisioning delay.
+    pub fn fixed_delay(ms: u64) -> Self {
+        ProviderConfig {
+            provision_delay_min_ms: ms,
+            provision_delay_max_ms: ms,
+            max_vms: None,
+            seed: 42,
+        }
+    }
+}
+
+struct ProviderInner {
+    config: ProviderConfig,
+    vms: BTreeMap<VmId, Vm>,
+    next_id: u64,
+    rng: StdRng,
+    billing: BillingLedger,
+}
+
+/// The simulated cloud provider. All methods take the current time in
+/// milliseconds; the provider never reads a wall clock itself.
+pub struct CloudProvider {
+    inner: Mutex<ProviderInner>,
+}
+
+impl CloudProvider {
+    /// Create a provider with the given configuration.
+    pub fn new(config: ProviderConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        CloudProvider {
+            inner: Mutex::new(ProviderInner {
+                config,
+                vms: BTreeMap::new(),
+                next_id: 0,
+                rng,
+                billing: BillingLedger::new(),
+            }),
+        }
+    }
+
+    /// Request a new VM of the given spec. Returns the VM id immediately; the
+    /// VM becomes `Running` only after its provisioning delay has elapsed
+    /// (observed via [`poll_ready`](Self::poll_ready)). Returns `None` when
+    /// the account VM limit is reached.
+    pub fn request_vm(&self, spec: VmSpec, now_ms: u64) -> Option<VmId> {
+        let mut inner = self.inner.lock();
+        if let Some(max) = inner.config.max_vms {
+            let active = inner
+                .vms
+                .values()
+                .filter(|vm| vm.is_running() || vm.is_provisioning())
+                .count();
+            if active >= max {
+                return None;
+            }
+        }
+        let id = VmId(inner.next_id);
+        inner.next_id += 1;
+        let delay = if inner.config.provision_delay_max_ms > inner.config.provision_delay_min_ms {
+            let lo = inner.config.provision_delay_min_ms;
+            let hi = inner.config.provision_delay_max_ms;
+            inner.rng.gen_range(lo..=hi)
+        } else {
+            inner.config.provision_delay_min_ms
+        };
+        let state = if delay == 0 {
+            VmState::Running
+        } else {
+            VmState::Provisioning {
+                ready_at_ms: now_ms + delay,
+            }
+        };
+        inner.billing.start(id, spec, now_ms);
+        inner.vms.insert(
+            id,
+            Vm {
+                id,
+                spec,
+                state,
+                requested_at_ms: now_ms,
+                terminated_at_ms: None,
+            },
+        );
+        Some(id)
+    }
+
+    /// Transition VMs whose provisioning delay has elapsed to `Running` and
+    /// return the ids that became ready by this call.
+    pub fn poll_ready(&self, now_ms: u64) -> Vec<VmId> {
+        let mut inner = self.inner.lock();
+        let mut ready = Vec::new();
+        for vm in inner.vms.values_mut() {
+            if let VmState::Provisioning { ready_at_ms } = vm.state {
+                if ready_at_ms <= now_ms {
+                    vm.state = VmState::Running;
+                    ready.push(vm.id);
+                }
+            }
+        }
+        ready
+    }
+
+    /// Release a VM back to the provider (stops billing). Returns whether the
+    /// VM existed and was not already terminated.
+    pub fn release_vm(&self, id: VmId, now_ms: u64) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(vm) = inner.vms.get_mut(&id) else {
+            return false;
+        };
+        if matches!(vm.state, VmState::Failed | VmState::Released) {
+            return false;
+        }
+        vm.state = VmState::Released;
+        vm.terminated_at_ms = Some(now_ms);
+        inner.billing.stop(id, now_ms);
+        true
+    }
+
+    /// Crash-stop a VM (used by the failure injector). Returns whether the VM
+    /// was running.
+    pub fn fail_vm(&self, id: VmId, now_ms: u64) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(vm) = inner.vms.get_mut(&id) else {
+            return false;
+        };
+        if vm.state != VmState::Running {
+            return false;
+        }
+        vm.state = VmState::Failed;
+        vm.terminated_at_ms = Some(now_ms);
+        inner.billing.stop(id, now_ms);
+        true
+    }
+
+    /// A snapshot of the VM record.
+    pub fn vm(&self, id: VmId) -> Option<Vm> {
+        self.inner.lock().vms.get(&id).cloned()
+    }
+
+    /// Ids of all VMs currently running.
+    pub fn running_vms(&self) -> Vec<VmId> {
+        self.inner
+            .lock()
+            .vms
+            .values()
+            .filter(|vm| vm.is_running())
+            .map(|vm| vm.id)
+            .collect()
+    }
+
+    /// Number of VMs currently running.
+    pub fn running_count(&self) -> usize {
+        self.running_vms().len()
+    }
+
+    /// Number of VMs currently provisioning.
+    pub fn provisioning_count(&self) -> usize {
+        self.inner
+            .lock()
+            .vms
+            .values()
+            .filter(|vm| vm.is_provisioning())
+            .count()
+    }
+
+    /// Total cost accrued so far (running VMs are charged up to `now_ms`).
+    pub fn total_cost(&self, now_ms: u64) -> f64 {
+        self.inner.lock().billing.total_cost(now_ms)
+    }
+
+    /// Total number of VMs ever requested.
+    pub fn total_requested(&self) -> usize {
+        self.inner.lock().vms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_provider_returns_running_vms() {
+        let p = CloudProvider::new(ProviderConfig::instant());
+        let id = p.request_vm(VmSpec::small(), 0).unwrap();
+        assert!(p.vm(id).unwrap().is_running());
+        assert_eq!(p.running_count(), 1);
+        assert_eq!(p.provisioning_count(), 0);
+    }
+
+    #[test]
+    fn provisioning_delay_is_respected() {
+        let p = CloudProvider::new(ProviderConfig::fixed_delay(120_000));
+        let id = p.request_vm(VmSpec::small(), 1_000).unwrap();
+        assert!(p.vm(id).unwrap().is_provisioning());
+        assert!(p.poll_ready(60_000).is_empty());
+        let ready = p.poll_ready(121_000);
+        assert_eq!(ready, vec![id]);
+        assert!(p.vm(id).unwrap().is_running());
+        // Polling again does not report it twice.
+        assert!(p.poll_ready(200_000).is_empty());
+    }
+
+    #[test]
+    fn random_delay_within_bounds() {
+        let p = CloudProvider::new(ProviderConfig::default());
+        let id = p.request_vm(VmSpec::small(), 0).unwrap();
+        match p.vm(id).unwrap().state {
+            VmState::Provisioning { ready_at_ms } => {
+                assert!((60_000..=180_000).contains(&ready_at_ms));
+            }
+            other => panic!("expected provisioning, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vm_limit_is_enforced() {
+        let config = ProviderConfig {
+            max_vms: Some(2),
+            ..ProviderConfig::instant()
+        };
+        let p = CloudProvider::new(config);
+        assert!(p.request_vm(VmSpec::small(), 0).is_some());
+        assert!(p.request_vm(VmSpec::small(), 0).is_some());
+        assert!(p.request_vm(VmSpec::small(), 0).is_none());
+        // Releasing frees a slot.
+        let running = p.running_vms();
+        p.release_vm(running[0], 10);
+        assert!(p.request_vm(VmSpec::small(), 10).is_some());
+    }
+
+    #[test]
+    fn release_and_fail_transitions() {
+        let p = CloudProvider::new(ProviderConfig::instant());
+        let a = p.request_vm(VmSpec::small(), 0).unwrap();
+        let b = p.request_vm(VmSpec::small(), 0).unwrap();
+        assert!(p.release_vm(a, 100));
+        assert!(!p.release_vm(a, 100), "double release");
+        assert!(p.fail_vm(b, 100));
+        assert!(!p.fail_vm(b, 100), "double failure");
+        assert_eq!(p.running_count(), 0);
+        assert!(p.vm(b).unwrap().is_failed());
+        assert_eq!(p.vm(a).unwrap().terminated_at_ms, Some(100));
+        assert!(!p.release_vm(VmId(999), 0));
+        assert!(!p.fail_vm(VmId(999), 0));
+    }
+
+    #[test]
+    fn billing_accrues_while_running() {
+        let p = CloudProvider::new(ProviderConfig::instant());
+        let id = p.request_vm(VmSpec::small(), 0).unwrap();
+        let one_hour = 3_600_000;
+        let cost_1h = p.total_cost(one_hour);
+        assert!((cost_1h - VmSpec::small().hourly_cost).abs() < 1e-9);
+        p.release_vm(id, one_hour);
+        // After release the cost stops growing.
+        assert!((p.total_cost(2 * one_hour) - cost_1h).abs() < 1e-9);
+        assert_eq!(p.total_requested(), 1);
+    }
+}

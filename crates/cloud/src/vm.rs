@@ -1,0 +1,146 @@
+//! Virtual machine model.
+//!
+//! The paper deploys query operators on Amazon EC2 *small* instances
+//! (1 EC2 compute unit, 1.7 GB RAM) and uses *high-memory double extra
+//! large* instances for sources and sinks. [`VmSpec`] captures the two
+//! attributes the SPS cares about — compute capacity and memory — and a VM
+//! progresses through the lifecycle `Provisioning → Running → (Failed |
+//! Released)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a VM instance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VmId(pub u64);
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// Resource profile of a VM instance type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Compute capacity in EC2-compute-unit equivalents. The paper's small
+    /// instances have 1.0; the source/sink instances have 13.0 (4 virtual
+    /// cores × 3.25 units).
+    pub compute_units: f64,
+    /// Memory in megabytes.
+    pub memory_mb: u64,
+    /// Hourly price in arbitrary cost units (used by the billing ledger and
+    /// the VM-pool sizing discussion of §5.2).
+    pub hourly_cost: f64,
+}
+
+impl VmSpec {
+    /// An EC2 `m1.small`-like instance: 1 compute unit, 1.7 GB RAM.
+    pub fn small() -> Self {
+        VmSpec {
+            compute_units: 1.0,
+            memory_mb: 1_700,
+            hourly_cost: 0.06,
+        }
+    }
+
+    /// A high-memory double-extra-large-like instance used for sources/sinks:
+    /// 13 compute units, 34 GB RAM.
+    pub fn source_sink() -> Self {
+        VmSpec {
+            compute_units: 13.0,
+            memory_mb: 34_000,
+            hourly_cost: 0.82,
+        }
+    }
+}
+
+impl Default for VmSpec {
+    fn default() -> Self {
+        VmSpec::small()
+    }
+}
+
+/// Lifecycle state of a VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmState {
+    /// Requested from the provider; becomes `Running` at the stored time.
+    Provisioning {
+        /// Time (ms) at which the VM becomes available.
+        ready_at_ms: u64,
+    },
+    /// Booted and available to host an operator.
+    Running,
+    /// Crashed (crash-stop). A failed VM never comes back; recovery allocates
+    /// a replacement.
+    Failed,
+    /// Returned to the provider; billing stops.
+    Released,
+}
+
+/// A VM instance tracked by the provider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vm {
+    /// Instance identifier.
+    pub id: VmId,
+    /// Resource profile.
+    pub spec: VmSpec,
+    /// Lifecycle state.
+    pub state: VmState,
+    /// Time (ms) the VM was requested.
+    pub requested_at_ms: u64,
+    /// Time (ms) the VM stopped running (failed or released), if it has.
+    pub terminated_at_ms: Option<u64>,
+}
+
+impl Vm {
+    /// Whether the VM is currently able to host an operator.
+    pub fn is_running(&self) -> bool {
+        self.state == VmState::Running
+    }
+
+    /// Whether the VM is still provisioning at `now_ms`.
+    pub fn is_provisioning(&self) -> bool {
+        matches!(self.state, VmState::Provisioning { .. })
+    }
+
+    /// Whether the VM has failed.
+    pub fn is_failed(&self) -> bool {
+        self.state == VmState::Failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_paper_instance_types() {
+        let small = VmSpec::small();
+        assert!((small.compute_units - 1.0).abs() < f64::EPSILON);
+        assert_eq!(small.memory_mb, 1_700);
+        let big = VmSpec::source_sink();
+        assert!(big.compute_units > 10.0);
+        assert!(big.memory_mb > small.memory_mb);
+        assert_eq!(VmSpec::default(), small);
+    }
+
+    #[test]
+    fn state_predicates() {
+        let mut vm = Vm {
+            id: VmId(1),
+            spec: VmSpec::small(),
+            state: VmState::Provisioning { ready_at_ms: 100 },
+            requested_at_ms: 0,
+            terminated_at_ms: None,
+        };
+        assert!(vm.is_provisioning());
+        assert!(!vm.is_running());
+        vm.state = VmState::Running;
+        assert!(vm.is_running());
+        vm.state = VmState::Failed;
+        assert!(vm.is_failed());
+    }
+}

@@ -1,0 +1,220 @@
+//! Backup placement and backup stores (§3.2, Algorithm 1).
+//!
+//! Each operator's checkpoints are backed up to one of its upstream operators,
+//! chosen with a hash so that the backup load is spread across all upstream
+//! partitions: `backup(o) = up(o)[hash(id(o)) mod |up(o)|]`. The upstream VM
+//! that holds the backup is the one that later partitions it during scale out
+//! or restores it during recovery.
+//!
+//! [`BackupStore`] abstracts where backed-up checkpoints live; the in-memory
+//! implementation is used by the threaded runtime (each upstream worker owns
+//! one) and by the simulator.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::checkpoint::{Checkpoint, IncrementalCheckpoint};
+use crate::error::{Error, Result};
+use crate::operator::OperatorId;
+
+/// Select the upstream operator that stores `operator`'s checkpoints
+/// (Algorithm 1, line 2: `i = hash(id(o)) mod |up(o)|`).
+///
+/// Returns `None` when the operator has no upstream operators (sources back
+/// up nowhere; they are assumed not to fail, §2.2).
+pub fn select_backup_operator(
+    operator: OperatorId,
+    upstreams: &[OperatorId],
+) -> Option<OperatorId> {
+    if upstreams.is_empty() {
+        return None;
+    }
+    // Mix the id so consecutive operator ids do not all pick the same slot
+    // when |up(o)| is small.
+    let mut h = operator.raw().wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    let idx = (h % upstreams.len() as u64) as usize;
+    Some(upstreams[idx])
+}
+
+/// Storage for backed-up operator checkpoints.
+///
+/// One logical store exists per *backup operator* (the upstream VM holding
+/// the checkpoints of its downstream operators). Keys are the operator whose
+/// state is stored, so a single upstream can hold backups for several
+/// downstream partitions.
+pub trait BackupStore: Send + Sync {
+    /// Store (replacing any previous) the checkpoint of `owner`.
+    fn store(&self, owner: OperatorId, checkpoint: Checkpoint);
+
+    /// Apply an incremental checkpoint on top of the stored base. Returns an
+    /// error if no base checkpoint is stored or the sequences do not line up.
+    fn apply_increment(&self, owner: OperatorId, inc: &IncrementalCheckpoint) -> Result<()>;
+
+    /// Retrieve a copy of the stored checkpoint of `owner`.
+    fn retrieve(&self, owner: OperatorId) -> Result<Checkpoint>;
+
+    /// Delete the stored checkpoint of `owner` (e.g. when the backup operator
+    /// changes after repartitioning — Algorithm 1, lines 5–6). Returns whether
+    /// a checkpoint was present.
+    fn delete(&self, owner: OperatorId) -> bool;
+
+    /// Operators that currently have a checkpoint stored here.
+    fn owners(&self) -> Vec<OperatorId>;
+
+    /// Total bytes of stored checkpoints (for overhead accounting).
+    fn size_bytes(&self) -> usize;
+}
+
+/// A thread-safe in-memory backup store.
+#[derive(Debug, Default)]
+pub struct InMemoryBackupStore {
+    inner: RwLock<HashMap<OperatorId, Checkpoint>>,
+}
+
+impl InMemoryBackupStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of checkpoints stored.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+impl BackupStore for InMemoryBackupStore {
+    fn store(&self, owner: OperatorId, checkpoint: Checkpoint) {
+        self.inner.write().insert(owner, checkpoint);
+    }
+
+    fn apply_increment(&self, owner: OperatorId, inc: &IncrementalCheckpoint) -> Result<()> {
+        let mut map = self.inner.write();
+        let base = map.get_mut(&owner).ok_or(Error::NoBackup(owner))?;
+        if base.meta.sequence != inc.base_sequence {
+            return Err(Error::Invariant(format!(
+                "incremental checkpoint base {} does not match stored sequence {}",
+                inc.base_sequence, base.meta.sequence
+            )));
+        }
+        base.apply_increment(inc);
+        Ok(())
+    }
+
+    fn retrieve(&self, owner: OperatorId) -> Result<Checkpoint> {
+        self.inner
+            .read()
+            .get(&owner)
+            .cloned()
+            .ok_or(Error::NoBackup(owner))
+    }
+
+    fn delete(&self, owner: OperatorId) -> bool {
+        self.inner.write().remove(&owner).is_some()
+    }
+
+    fn owners(&self) -> Vec<OperatorId> {
+        let mut v: Vec<OperatorId> = self.inner.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner.read().values().map(Checkpoint::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{BufferState, ProcessingState};
+    use crate::tuple::{Key, StreamId};
+
+    fn checkpoint(op: u64, seq: u64) -> Checkpoint {
+        let mut st = ProcessingState::empty();
+        st.insert(Key(op), vec![op as u8]);
+        st.advance_ts(StreamId(0), seq);
+        Checkpoint::new(OperatorId::new(op), seq, st, BufferState::new())
+    }
+
+    #[test]
+    fn backup_selection_is_deterministic_and_in_range() {
+        let ups = vec![OperatorId::new(1), OperatorId::new(2), OperatorId::new(3)];
+        let a = select_backup_operator(OperatorId::new(10), &ups).unwrap();
+        let b = select_backup_operator(OperatorId::new(10), &ups).unwrap();
+        assert_eq!(a, b);
+        assert!(ups.contains(&a));
+        assert!(select_backup_operator(OperatorId::new(10), &[]).is_none());
+    }
+
+    #[test]
+    fn backup_selection_spreads_load() {
+        // With many downstream operators and 4 upstream partitions, every
+        // upstream should receive at least one backup assignment.
+        let ups: Vec<OperatorId> = (0..4).map(OperatorId::new).collect();
+        let mut counts = [0usize; 4];
+        for o in 100..200u64 {
+            let chosen = select_backup_operator(OperatorId::new(o), &ups).unwrap();
+            counts[chosen.raw() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 5), "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn store_retrieve_delete() {
+        let store = InMemoryBackupStore::new();
+        assert!(store.is_empty());
+        let cp = checkpoint(7, 1);
+        store.store(OperatorId::new(7), cp.clone());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.retrieve(OperatorId::new(7)).unwrap(), cp);
+        assert!(store.size_bytes() > 0);
+        assert_eq!(store.owners(), vec![OperatorId::new(7)]);
+        assert!(store.delete(OperatorId::new(7)));
+        assert!(!store.delete(OperatorId::new(7)));
+        assert!(matches!(
+            store.retrieve(OperatorId::new(7)),
+            Err(Error::NoBackup(_))
+        ));
+    }
+
+    #[test]
+    fn newer_checkpoint_replaces_older() {
+        let store = InMemoryBackupStore::new();
+        store.store(OperatorId::new(7), checkpoint(7, 1));
+        store.store(OperatorId::new(7), checkpoint(7, 2));
+        assert_eq!(store.retrieve(OperatorId::new(7)).unwrap().meta.sequence, 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn incremental_backup_applies_on_base() {
+        let store = InMemoryBackupStore::new();
+        let base = checkpoint(7, 1);
+        store.store(OperatorId::new(7), base.clone());
+
+        let mut current = base.clone();
+        current.meta.sequence = 2;
+        current.processing.insert(Key(99), vec![9]);
+        let inc = IncrementalCheckpoint::diff(&base, &current);
+
+        store.apply_increment(OperatorId::new(7), &inc).unwrap();
+        let stored = store.retrieve(OperatorId::new(7)).unwrap();
+        assert_eq!(stored.meta.sequence, 2);
+        assert!(stored.processing.get(Key(99)).is_some());
+
+        // Wrong base sequence is rejected.
+        assert!(store.apply_increment(OperatorId::new(7), &inc).is_err());
+        // Unknown owner is rejected.
+        assert!(store.apply_increment(OperatorId::new(8), &inc).is_err());
+    }
+}

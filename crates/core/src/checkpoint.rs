@@ -1,0 +1,247 @@
+//! Checkpoints of operator state (§3.2).
+//!
+//! A checkpoint captures a consistent copy of an operator's processing state
+//! (with the timestamp vector of the most recent reflected input tuples) and
+//! its buffer state. Checkpoints are taken asynchronously every checkpointing
+//! interval `c` and backed up to an upstream VM; recovery restores the most
+//! recent checkpoint and replays the tuples that are not yet reflected in it.
+//!
+//! Incremental checkpoints carry only the key/value entries that changed
+//! since the previous checkpoint, reducing checkpoint size for operators with
+//! large, slowly changing state.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::operator::OperatorId;
+use crate::state::{BufferState, ProcessingState};
+use crate::tuple::{Key, TimestampVec};
+
+/// Metadata describing a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointMeta {
+    /// The operator instance the checkpoint belongs to.
+    pub operator: OperatorId,
+    /// Monotonically increasing sequence number per operator.
+    pub sequence: u64,
+}
+
+/// A full checkpoint of an operator: `(θ_o, τ_o, β_o)` as returned by
+/// `checkpoint-state(o)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Checkpoint identity.
+    pub meta: CheckpointMeta,
+    /// Processing state θ_o including the timestamp vector τ_o.
+    pub processing: ProcessingState,
+    /// Buffer state β_o (output tuples not yet checkpointed downstream).
+    pub buffer: BufferState,
+    /// Value of the operator's logical output clock when the checkpoint was
+    /// taken. A restored operator resets its clock to this value (§3.2) so
+    /// that re-emitted tuples carry the same timestamps as before the failure
+    /// and downstream operators can discard them as duplicates.
+    #[serde(default)]
+    pub emit_clock: crate::tuple::Timestamp,
+}
+
+impl Checkpoint {
+    /// Build a checkpoint from its parts.
+    pub fn new(
+        operator: OperatorId,
+        sequence: u64,
+        processing: ProcessingState,
+        buffer: BufferState,
+    ) -> Self {
+        Checkpoint {
+            meta: CheckpointMeta {
+                operator,
+                sequence,
+            },
+            processing,
+            buffer,
+            emit_clock: 0,
+        }
+    }
+
+    /// Attach the operator's logical output-clock value.
+    pub fn with_emit_clock(mut self, clock: crate::tuple::Timestamp) -> Self {
+        self.emit_clock = clock;
+        self
+    }
+
+    /// An empty checkpoint for a freshly deployed (or stateless) operator.
+    pub fn empty(operator: OperatorId) -> Self {
+        Checkpoint::new(operator, 0, ProcessingState::empty(), BufferState::new())
+    }
+
+    /// The timestamp vector of the most recent input tuples reflected in the
+    /// checkpointed processing state.
+    pub fn timestamps(&self) -> &TimestampVec {
+        self.processing.timestamps()
+    }
+
+    /// Serialise the checkpoint to bytes (used when backing up to another VM).
+    pub fn to_bytes(&self) -> crate::Result<Vec<u8>> {
+        Ok(bincode::serialize(self)?)
+    }
+
+    /// Deserialise a checkpoint from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> crate::Result<Self> {
+        Ok(bincode::deserialize(bytes)?)
+    }
+
+    /// Approximate size of the checkpoint in bytes, used by cost models and
+    /// the overhead experiments (§6.3).
+    pub fn size_bytes(&self) -> usize {
+        self.processing.size_bytes() + self.buffer.size_bytes()
+    }
+
+    /// Apply an incremental checkpoint on top of this checkpoint, producing
+    /// the state the increment was derived from.
+    pub fn apply_increment(&mut self, inc: &IncrementalCheckpoint) {
+        assert_eq!(inc.meta.operator, self.meta.operator, "operator mismatch");
+        for (k, v) in &inc.changed {
+            self.processing.insert(*k, v.clone());
+        }
+        for k in &inc.removed {
+            self.processing.remove(*k);
+        }
+        *self.processing.timestamps_mut() = inc.timestamps.clone();
+        self.buffer = inc.buffer.clone();
+        self.meta.sequence = inc.meta.sequence;
+    }
+}
+
+/// An incremental checkpoint: only the entries that changed (or were removed)
+/// since the base checkpoint, plus the new timestamp vector and buffer state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalCheckpoint {
+    /// Checkpoint identity (sequence follows the base checkpoint's sequence).
+    pub meta: CheckpointMeta,
+    /// Sequence number of the base checkpoint this increment applies to.
+    pub base_sequence: u64,
+    /// Entries added or modified since the base.
+    pub changed: Vec<(Key, Bytes)>,
+    /// Keys removed since the base.
+    pub removed: Vec<Key>,
+    /// New timestamp vector.
+    pub timestamps: TimestampVec,
+    /// New buffer state (buffers change every interval, so they are carried
+    /// in full; they are trimmed aggressively and stay small).
+    pub buffer: BufferState,
+}
+
+impl IncrementalCheckpoint {
+    /// Compute the increment that transforms `base` into `current`.
+    pub fn diff(base: &Checkpoint, current: &Checkpoint) -> Self {
+        let (changed, removed) = current.processing.diff_from(&base.processing);
+        IncrementalCheckpoint {
+            meta: current.meta,
+            base_sequence: base.meta.sequence,
+            changed,
+            removed,
+            timestamps: current.processing.timestamps().clone(),
+            buffer: current.buffer.clone(),
+        }
+    }
+
+    /// Approximate serialised size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.changed
+            .iter()
+            .map(|(_, v)| std::mem::size_of::<Key>() + v.len())
+            .sum::<usize>()
+            + self.removed.len() * std::mem::size_of::<Key>()
+            + self.buffer.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::{Key, StreamId, Tuple};
+
+    fn base_checkpoint() -> Checkpoint {
+        let mut st = ProcessingState::empty();
+        st.insert(Key(1), vec![1]);
+        st.insert(Key(2), vec![2]);
+        st.advance_ts(StreamId(0), 10);
+        let mut buf = BufferState::new();
+        buf.push(OperatorId::new(9), Tuple::new(11, Key(1), vec![0]));
+        Checkpoint::new(OperatorId::new(5), 1, st, buf)
+    }
+
+    #[test]
+    fn roundtrip_serialisation() {
+        let cp = base_checkpoint();
+        let bytes = cp.to_bytes().unwrap();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, cp);
+        assert!(Checkpoint::from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn empty_checkpoint_has_no_state() {
+        let cp = Checkpoint::empty(OperatorId::new(1));
+        assert_eq!(cp.size_bytes(), 0);
+        assert!(cp.processing.is_empty());
+        assert!(cp.buffer.is_empty());
+        assert_eq!(cp.meta.sequence, 0);
+    }
+
+    #[test]
+    fn timestamps_come_from_processing_state() {
+        let cp = base_checkpoint();
+        assert_eq!(cp.timestamps().get(StreamId(0)), Some(10));
+    }
+
+    #[test]
+    fn incremental_diff_and_apply_roundtrip() {
+        let base = base_checkpoint();
+        let mut current = base.clone();
+        current.meta.sequence = 2;
+        current.processing.insert(Key(2), vec![22]); // modified
+        current.processing.insert(Key(3), vec![3]); // added
+        current.processing.remove(Key(1)); // removed
+        current.processing.advance_ts(StreamId(0), 20);
+        current.buffer = BufferState::new();
+
+        let inc = IncrementalCheckpoint::diff(&base, &current);
+        assert_eq!(inc.base_sequence, 1);
+        assert_eq!(inc.changed.len(), 2);
+        assert_eq!(inc.removed, vec![Key(1)]);
+        assert!(inc.size_bytes() < current.size_bytes() + base.size_bytes());
+
+        let mut rebuilt = base.clone();
+        rebuilt.apply_increment(&inc);
+        assert_eq!(rebuilt.processing, current.processing);
+        assert_eq!(rebuilt.buffer, current.buffer);
+        assert_eq!(rebuilt.meta.sequence, 2);
+    }
+
+    #[test]
+    fn increment_smaller_than_full_for_small_changes() {
+        // A large state with a single changed entry: the increment must be
+        // far smaller than a full checkpoint.
+        let mut st = ProcessingState::empty();
+        for i in 0..1000u64 {
+            st.insert(Key(i), vec![0u8; 64]);
+        }
+        let base = Checkpoint::new(OperatorId::new(1), 1, st.clone(), BufferState::new());
+        let mut st2 = st;
+        st2.insert(Key(5), vec![1u8; 64]);
+        let current = Checkpoint::new(OperatorId::new(1), 2, st2, BufferState::new());
+        let inc = IncrementalCheckpoint::diff(&base, &current);
+        assert!(inc.size_bytes() * 10 < current.size_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "operator mismatch")]
+    fn apply_increment_checks_operator() {
+        let base = base_checkpoint();
+        let other = Checkpoint::empty(OperatorId::new(42));
+        let inc = IncrementalCheckpoint::diff(&other, &other);
+        let mut cp = base;
+        cp.apply_increment(&inc);
+    }
+}

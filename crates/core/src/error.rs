@@ -1,0 +1,86 @@
+//! Error type shared across the workspace's core primitives.
+
+use std::fmt;
+
+use crate::operator::OperatorId;
+
+/// Convenient result alias used throughout `seep-core`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by state-management primitives and the graph model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A checkpoint for the given operator was requested but none is stored.
+    NoBackup(OperatorId),
+    /// A backup already exists where a fresh store was required.
+    BackupExists(OperatorId),
+    /// Partitioning was requested with an invalid parallelisation level.
+    InvalidParallelism(usize),
+    /// A key split did not cover the key range it was derived from.
+    InvalidKeySplit(String),
+    /// The routing state has no entry able to route the given key.
+    NoRoute(u64),
+    /// (De)serialisation of state or tuples failed.
+    Serde(String),
+    /// The referenced operator does not exist in the graph.
+    UnknownOperator(OperatorId),
+    /// The referenced logical operator does not exist in the query graph.
+    UnknownLogicalOperator(u32),
+    /// The query graph is malformed (cycle, missing source/sink, ...).
+    InvalidGraph(String),
+    /// State spilling to disk failed.
+    Spill(String),
+    /// Generic invariant violation with a description.
+    Invariant(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoBackup(op) => write!(f, "no backup stored for operator {op}"),
+            Error::BackupExists(op) => write!(f, "backup already exists for operator {op}"),
+            Error::InvalidParallelism(pi) => {
+                write!(f, "invalid parallelisation level {pi} (must be >= 1)")
+            }
+            Error::InvalidKeySplit(msg) => write!(f, "invalid key split: {msg}"),
+            Error::NoRoute(key) => write!(f, "no routing entry for key {key:#x}"),
+            Error::Serde(msg) => write!(f, "serialisation error: {msg}"),
+            Error::UnknownOperator(op) => write!(f, "unknown operator instance {op}"),
+            Error::UnknownLogicalOperator(op) => write!(f, "unknown logical operator {op}"),
+            Error::InvalidGraph(msg) => write!(f, "invalid query graph: {msg}"),
+            Error::Spill(msg) => write!(f, "spill error: {msg}"),
+            Error::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<bincode::Error> for Error {
+    fn from(e: bincode::Error) -> Self {
+        Error::Serde(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::NoBackup(OperatorId::new(7));
+        assert!(e.to_string().contains("operator"));
+        let e = Error::InvalidParallelism(0);
+        assert!(e.to_string().contains('0'));
+        let e = Error::NoRoute(0xff);
+        assert!(e.to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn bincode_error_converts() {
+        // Force a bincode error by decoding garbage into a String.
+        let bad: std::result::Result<String, _> = bincode::deserialize(&[0xff, 0xff, 0xff]);
+        let err: Error = bad.unwrap_err().into();
+        assert!(matches!(err, Error::Serde(_)));
+    }
+}

@@ -1,0 +1,648 @@
+//! Logical query graphs and physical execution graphs (§2.2).
+//!
+//! A query is a directed acyclic graph `q = (O, S)` of logical operators with
+//! distinguished sources and sinks. The SPS deploys it as a physical
+//! *execution graph* in which each logical operator `o` may be parallelised
+//! into partitioned operators `o^1 ... o^π`. The execution graph also tracks,
+//! per upstream instance and logical downstream operator, the routing state
+//! used to dispatch tuples to the right partition.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::key::KeyRange;
+use crate::operator::OperatorId;
+use crate::state::RoutingState;
+use crate::tuple::StreamId;
+
+/// Identifier of a logical operator in the query graph.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LogicalOpId(pub u32);
+
+impl fmt::Display for LogicalOpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lop{}", self.0)
+    }
+}
+
+/// What kind of logical operator this is, which determines whether it is
+/// checkpointed and whether it may fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// A data source. Sources cannot fail and are never scaled out by the SPS.
+    Source,
+    /// A sink collecting results. Sinks cannot fail.
+    Sink,
+    /// A stateless operator (`θ_o = ∅`): recovery only replays tuples.
+    Stateless,
+    /// A stateful operator whose state must be checkpointed and partitioned.
+    Stateful,
+}
+
+impl OperatorKind {
+    /// Whether operators of this kind carry processing state.
+    pub fn is_stateful(self) -> bool {
+        matches!(self, OperatorKind::Stateful)
+    }
+
+    /// Whether the SPS may scale this operator out.
+    pub fn scalable(self) -> bool {
+        matches!(self, OperatorKind::Stateless | OperatorKind::Stateful)
+    }
+}
+
+/// A logical operator description in the query graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicalOperator {
+    /// Identifier within the query graph.
+    pub id: LogicalOpId,
+    /// Human-readable name ("toll_calculator", "word_counter", ...).
+    pub name: String,
+    /// Kind of operator.
+    pub kind: OperatorKind,
+}
+
+/// The logical query graph `q = (O, S)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryGraph {
+    operators: BTreeMap<LogicalOpId, LogicalOperator>,
+    /// Directed edges (streams) `(from, to)`.
+    streams: BTreeSet<(LogicalOpId, LogicalOpId)>,
+}
+
+impl QueryGraph {
+    /// Start building a query graph.
+    pub fn builder() -> QueryGraphBuilder {
+        QueryGraphBuilder::default()
+    }
+
+    /// The logical operator with the given id.
+    pub fn operator(&self, id: LogicalOpId) -> Result<&LogicalOperator> {
+        self.operators
+            .get(&id)
+            .ok_or(Error::UnknownLogicalOperator(id.0))
+    }
+
+    /// All logical operators in id order.
+    pub fn operators(&self) -> impl Iterator<Item = &LogicalOperator> + '_ {
+        self.operators.values()
+    }
+
+    /// All streams (directed edges).
+    pub fn streams(&self) -> impl Iterator<Item = (LogicalOpId, LogicalOpId)> + '_ {
+        self.streams.iter().copied()
+    }
+
+    /// The logical operators upstream of `id` (`up(o)`).
+    pub fn upstream(&self, id: LogicalOpId) -> Vec<LogicalOpId> {
+        self.streams
+            .iter()
+            .filter(|(_, to)| *to == id)
+            .map(|(from, _)| *from)
+            .collect()
+    }
+
+    /// The logical operators downstream of `id` (`down(o)`).
+    pub fn downstream(&self, id: LogicalOpId) -> Vec<LogicalOpId> {
+        self.streams
+            .iter()
+            .filter(|(from, _)| *from == id)
+            .map(|(_, to)| *to)
+            .collect()
+    }
+
+    /// Source operators.
+    pub fn sources(&self) -> Vec<LogicalOpId> {
+        self.operators
+            .values()
+            .filter(|o| o.kind == OperatorKind::Source)
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// Sink operators.
+    pub fn sinks(&self) -> Vec<LogicalOpId> {
+        self.operators
+            .values()
+            .filter(|o| o.kind == OperatorKind::Sink)
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// Number of logical operators.
+    pub fn len(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// True when the graph has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.operators.is_empty()
+    }
+
+    /// Operators in a topological order (sources first).
+    pub fn topological_order(&self) -> Result<Vec<LogicalOpId>> {
+        let mut in_degree: BTreeMap<LogicalOpId, usize> =
+            self.operators.keys().map(|id| (*id, 0)).collect();
+        for (_, to) in &self.streams {
+            *in_degree.get_mut(to).unwrap() += 1;
+        }
+        let mut queue: VecDeque<LogicalOpId> = in_degree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut order = Vec::with_capacity(self.operators.len());
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for next in self.downstream(id) {
+                let d = in_degree.get_mut(&next).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(next);
+                }
+            }
+        }
+        if order.len() != self.operators.len() {
+            return Err(Error::InvalidGraph("query graph contains a cycle".into()));
+        }
+        Ok(order)
+    }
+
+    /// Validate structural invariants: at least one source and one sink,
+    /// acyclicity, every edge endpoint exists, sources have no inputs and
+    /// sinks no outputs.
+    pub fn validate(&self) -> Result<()> {
+        if self.sources().is_empty() {
+            return Err(Error::InvalidGraph("query has no source".into()));
+        }
+        if self.sinks().is_empty() {
+            return Err(Error::InvalidGraph("query has no sink".into()));
+        }
+        for (from, to) in &self.streams {
+            self.operator(*from)?;
+            self.operator(*to)?;
+        }
+        for src in self.sources() {
+            if !self.upstream(src).is_empty() {
+                return Err(Error::InvalidGraph(format!("source {src} has an input")));
+            }
+        }
+        for snk in self.sinks() {
+            if !self.downstream(snk).is_empty() {
+                return Err(Error::InvalidGraph(format!("sink {snk} has an output")));
+            }
+        }
+        self.topological_order()?;
+        Ok(())
+    }
+}
+
+/// Builder for [`QueryGraph`].
+#[derive(Debug, Default)]
+pub struct QueryGraphBuilder {
+    graph: QueryGraph,
+    next_id: u32,
+}
+
+impl QueryGraphBuilder {
+    /// Add an operator of the given kind, returning its id.
+    pub fn add_operator(&mut self, name: impl Into<String>, kind: OperatorKind) -> LogicalOpId {
+        let id = LogicalOpId(self.next_id);
+        self.next_id += 1;
+        self.graph.operators.insert(
+            id,
+            LogicalOperator {
+                id,
+                name: name.into(),
+                kind,
+            },
+        );
+        id
+    }
+
+    /// Convenience: add a source.
+    pub fn source(&mut self, name: impl Into<String>) -> LogicalOpId {
+        self.add_operator(name, OperatorKind::Source)
+    }
+
+    /// Convenience: add a sink.
+    pub fn sink(&mut self, name: impl Into<String>) -> LogicalOpId {
+        self.add_operator(name, OperatorKind::Sink)
+    }
+
+    /// Convenience: add a stateful operator.
+    pub fn stateful(&mut self, name: impl Into<String>) -> LogicalOpId {
+        self.add_operator(name, OperatorKind::Stateful)
+    }
+
+    /// Convenience: add a stateless operator.
+    pub fn stateless(&mut self, name: impl Into<String>) -> LogicalOpId {
+        self.add_operator(name, OperatorKind::Stateless)
+    }
+
+    /// Connect `from → to` with a stream.
+    pub fn connect(&mut self, from: LogicalOpId, to: LogicalOpId) -> &mut Self {
+        self.graph.streams.insert((from, to));
+        self
+    }
+
+    /// Validate and return the graph.
+    pub fn build(self) -> Result<QueryGraph> {
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+}
+
+/// One physical operator instance in the execution graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorInstance {
+    /// Physical instance id.
+    pub id: OperatorId,
+    /// The logical operator this instance implements.
+    pub logical: LogicalOpId,
+    /// The key range of the logical operator's key space owned by this
+    /// instance.
+    pub key_range: KeyRange,
+}
+
+/// The physical execution graph: one or more instances per logical operator,
+/// plus the routing state used by upstream instances to reach the partitions
+/// of each logical downstream operator.
+///
+/// The execution graph is maintained by the (logically centralised) query
+/// manager; routing state is stored here so that it can be re-fetched after
+/// an upstream failure (Algorithm 2, line 12).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionGraph {
+    query: QueryGraph,
+    instances: BTreeMap<OperatorId, OperatorInstance>,
+    /// Instances per logical operator, in partition order.
+    partitions: BTreeMap<LogicalOpId, Vec<OperatorId>>,
+    /// Routing state towards each logical operator (shared by all upstream
+    /// instances that feed it).
+    routing: BTreeMap<LogicalOpId, RoutingState>,
+    next_instance: u64,
+}
+
+impl ExecutionGraph {
+    /// Deploy a query graph with one instance per logical operator
+    /// (parallelisation level 1 everywhere), as in Fig. 3a.
+    pub fn deploy(query: QueryGraph) -> Result<Self> {
+        query.validate()?;
+        let mut g = ExecutionGraph {
+            query,
+            ..Default::default()
+        };
+        let logical_ids: Vec<LogicalOpId> = g.query.operators().map(|o| o.id).collect();
+        for lid in logical_ids {
+            let oid = g.fresh_instance_id();
+            g.instances.insert(
+                oid,
+                OperatorInstance {
+                    id: oid,
+                    logical: lid,
+                    key_range: KeyRange::full(),
+                },
+            );
+            g.partitions.insert(lid, vec![oid]);
+            g.routing.insert(lid, RoutingState::single(oid));
+        }
+        Ok(g)
+    }
+
+    fn fresh_instance_id(&mut self) -> OperatorId {
+        let id = OperatorId::new(self.next_instance);
+        self.next_instance += 1;
+        id
+    }
+
+    /// The logical query graph this execution graph realises.
+    pub fn query(&self) -> &QueryGraph {
+        &self.query
+    }
+
+    /// The instance record for a physical operator.
+    pub fn instance(&self, id: OperatorId) -> Result<&OperatorInstance> {
+        self.instances.get(&id).ok_or(Error::UnknownOperator(id))
+    }
+
+    /// All instances, in id order.
+    pub fn instances(&self) -> impl Iterator<Item = &OperatorInstance> + '_ {
+        self.instances.values()
+    }
+
+    /// The current partitions of a logical operator.
+    pub fn partitions(&self, logical: LogicalOpId) -> &[OperatorId] {
+        self.partitions
+            .get(&logical)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Parallelisation level π of a logical operator.
+    pub fn parallelism(&self, logical: LogicalOpId) -> usize {
+        self.partitions(logical).len()
+    }
+
+    /// Total number of physical instances.
+    pub fn total_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Routing state towards the partitions of `logical`.
+    pub fn routing(&self, logical: LogicalOpId) -> Result<&RoutingState> {
+        self.routing
+            .get(&logical)
+            .ok_or(Error::UnknownLogicalOperator(logical.0))
+    }
+
+    /// Physical upstream instances of a physical operator: all partitions of
+    /// all logical upstream operators.
+    pub fn upstream_instances(&self, id: OperatorId) -> Result<Vec<OperatorId>> {
+        let inst = self.instance(id)?;
+        let mut out = Vec::new();
+        for up in self.query.upstream(inst.logical) {
+            out.extend_from_slice(self.partitions(up));
+        }
+        Ok(out)
+    }
+
+    /// Physical downstream instances of a physical operator.
+    pub fn downstream_instances(&self, id: OperatorId) -> Result<Vec<OperatorId>> {
+        let inst = self.instance(id)?;
+        let mut out = Vec::new();
+        for down in self.query.downstream(inst.logical) {
+            out.extend_from_slice(self.partitions(down));
+        }
+        Ok(out)
+    }
+
+    /// The stream id used for tuples produced by a logical operator. Streams
+    /// are identified by the producing logical operator so that all its
+    /// partitions share one timestamp domain entry per consumer.
+    pub fn stream_of(&self, producer: LogicalOpId) -> StreamId {
+        StreamId(producer.0)
+    }
+
+    /// Replace the partitions of `logical` — previously `old` instances — with
+    /// `count` new instances, each owning one of `ranges` (which must have
+    /// length `count` and cover the replaced instances' ranges). Returns the
+    /// new instance records. This updates the partition list and the routing
+    /// state towards `logical`; it does not touch operator state (that is the
+    /// scale-out coordinator's job, via the state-management primitives).
+    pub fn repartition(
+        &mut self,
+        logical: LogicalOpId,
+        old: &[OperatorId],
+        ranges: &[KeyRange],
+    ) -> Result<Vec<OperatorInstance>> {
+        if ranges.is_empty() {
+            return Err(Error::InvalidParallelism(0));
+        }
+        self.query.operator(logical)?;
+        for o in old {
+            let inst = self.instance(*o)?;
+            if inst.logical != logical {
+                return Err(Error::Invariant(format!(
+                    "instance {o} does not belong to logical operator {logical}"
+                )));
+            }
+        }
+        // Remove the old instances.
+        for o in old {
+            self.instances.remove(o);
+        }
+        let existing: Vec<OperatorId> = self
+            .partitions
+            .get(&logical)
+            .map(|p| p.iter().copied().filter(|p| !old.contains(p)).collect())
+            .unwrap_or_default();
+
+        // Create the new instances.
+        let mut new_instances = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let id = self.fresh_instance_id();
+            let inst = OperatorInstance {
+                id,
+                logical,
+                key_range: *range,
+            };
+            self.instances.insert(id, inst.clone());
+            new_instances.push(inst);
+        }
+
+        // Update the partition list (surviving partitions keep their slots).
+        let mut parts = existing;
+        parts.extend(new_instances.iter().map(|i| i.id));
+        self.partitions.insert(logical, parts);
+
+        // Update routing: drop entries for the removed instances, add entries
+        // for the new ones.
+        let routing = self.routing.entry(logical).or_default();
+        for o in old {
+            routing.remove_target(*o);
+        }
+        for inst in &new_instances {
+            routing.set_route(inst.key_range, inst.id);
+        }
+        Ok(new_instances)
+    }
+
+    /// Scale out (or recover) a single physical operator `target` of logical
+    /// operator `logical` into `pi` new partitions, splitting its key range
+    /// evenly. Convenience wrapper over [`repartition`](Self::repartition).
+    pub fn scale_out_instance(
+        &mut self,
+        target: OperatorId,
+        pi: usize,
+    ) -> Result<Vec<OperatorInstance>> {
+        let inst = self.instance(target)?.clone();
+        let ranges = inst.key_range.split_even(pi)?;
+        self.repartition(inst.logical, &[target], &ranges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the paper's word-frequency query: src -> splitter -> counter -> snk.
+    fn word_query() -> QueryGraph {
+        let mut b = QueryGraph::builder();
+        let src = b.source("src");
+        let split = b.stateless("word_splitter");
+        let count = b.stateful("word_counter");
+        let snk = b.sink("snk");
+        b.connect(src, split);
+        b.connect(split, count);
+        b.connect(count, snk);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_graph() {
+        let q = word_query();
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.sources().len(), 1);
+        assert_eq!(q.sinks().len(), 1);
+        assert_eq!(q.streams().count(), 3);
+        let order = q.topological_order().unwrap();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], q.sources()[0]);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn upstream_downstream_relations() {
+        let q = word_query();
+        let split = LogicalOpId(1);
+        let count = LogicalOpId(2);
+        assert_eq!(q.upstream(count), vec![split]);
+        assert_eq!(q.downstream(split), vec![count]);
+        assert_eq!(q.operator(count).unwrap().name, "word_counter");
+        assert!(q.operator(LogicalOpId(99)).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_missing_source_or_sink() {
+        let mut b = QueryGraph::builder();
+        let a = b.stateful("a");
+        let s = b.sink("snk");
+        b.connect(a, s);
+        assert!(matches!(b.build(), Err(Error::InvalidGraph(_))));
+
+        let mut b = QueryGraph::builder();
+        let src = b.source("src");
+        let a = b.stateful("a");
+        b.connect(src, a);
+        assert!(matches!(b.build(), Err(Error::InvalidGraph(_))));
+    }
+
+    #[test]
+    fn validation_rejects_cycle() {
+        let mut b = QueryGraphBuilder::default();
+        let src = b.source("src");
+        let a = b.stateful("a");
+        let c = b.stateful("b");
+        let snk = b.sink("snk");
+        b.connect(src, a);
+        b.connect(a, c);
+        b.connect(c, a); // cycle
+        b.connect(c, snk);
+        assert!(matches!(b.build(), Err(Error::InvalidGraph(_))));
+    }
+
+    #[test]
+    fn validation_rejects_source_with_input() {
+        let mut b = QueryGraph::builder();
+        let src = b.source("src");
+        let a = b.stateful("a");
+        let snk = b.sink("snk");
+        b.connect(src, a);
+        b.connect(a, snk);
+        b.connect(a, src); // feeds a source — also a cycle, but the source
+                           // check fires first in validate()
+        let result = b.build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn deploy_creates_one_instance_per_operator() {
+        let g = ExecutionGraph::deploy(word_query()).unwrap();
+        assert_eq!(g.total_instances(), 4);
+        for lop in g.query().operators() {
+            assert_eq!(g.parallelism(lop.id), 1);
+            let part = g.partitions(lop.id)[0];
+            assert_eq!(g.instance(part).unwrap().key_range, KeyRange::full());
+        }
+        // Routing towards the counter points at its single instance.
+        let count = LogicalOpId(2);
+        let routing = g.routing(count).unwrap();
+        assert_eq!(routing.targets(), vec![g.partitions(count)[0]]);
+    }
+
+    #[test]
+    fn scale_out_instance_splits_range_and_routing() {
+        let mut g = ExecutionGraph::deploy(word_query()).unwrap();
+        let count = LogicalOpId(2);
+        let old = g.partitions(count)[0];
+        let new = g.scale_out_instance(old, 2).unwrap();
+        assert_eq!(new.len(), 2);
+        assert_eq!(g.parallelism(count), 2);
+        assert!(g.instance(old).is_err(), "old instance must be removed");
+        let routing = g.routing(count).unwrap();
+        assert!(routing.covers_exactly(KeyRange::full()));
+        assert_eq!(routing.targets().len(), 2);
+        // Upstream instances of a new partition are the splitter's partitions.
+        let ups = g.upstream_instances(new[0].id).unwrap();
+        assert_eq!(ups, g.partitions(LogicalOpId(1)).to_vec());
+        // Downstream instances are the sink's partitions.
+        let downs = g.downstream_instances(new[0].id).unwrap();
+        assert_eq!(downs, g.partitions(LogicalOpId(3)).to_vec());
+    }
+
+    #[test]
+    fn further_scale_out_only_splits_target_partition() {
+        let mut g = ExecutionGraph::deploy(word_query()).unwrap();
+        let count = LogicalOpId(2);
+        let first = g.partitions(count)[0];
+        let new = g.scale_out_instance(first, 2).unwrap();
+        // Scale out only the first of the two partitions.
+        let target = new[0].id;
+        let other = new[1].id;
+        g.scale_out_instance(target, 2).unwrap();
+        assert_eq!(g.parallelism(count), 3);
+        assert!(g.instance(other).is_ok(), "untouched partition survives");
+        assert!(g.routing(count).unwrap().covers_exactly(KeyRange::full()));
+    }
+
+    #[test]
+    fn recovery_is_scale_out_with_pi_one() {
+        let mut g = ExecutionGraph::deploy(word_query()).unwrap();
+        let count = LogicalOpId(2);
+        let old = g.partitions(count)[0];
+        let new = g.scale_out_instance(old, 1).unwrap();
+        assert_eq!(new.len(), 1);
+        assert_ne!(new[0].id, old);
+        assert_eq!(new[0].key_range, KeyRange::full());
+        assert_eq!(g.parallelism(count), 1);
+    }
+
+    #[test]
+    fn repartition_rejects_wrong_logical_operator() {
+        let mut g = ExecutionGraph::deploy(word_query()).unwrap();
+        let count_part = g.partitions(LogicalOpId(2))[0];
+        let err = g.repartition(LogicalOpId(1), &[count_part], &[KeyRange::full()]);
+        assert!(err.is_err());
+        let err = g.repartition(LogicalOpId(2), &[count_part], &[]);
+        assert!(matches!(err, Err(Error::InvalidParallelism(0))));
+    }
+
+    #[test]
+    fn stream_ids_follow_logical_producer() {
+        let g = ExecutionGraph::deploy(word_query()).unwrap();
+        assert_eq!(g.stream_of(LogicalOpId(1)), StreamId(1));
+    }
+
+    #[test]
+    fn serde_roundtrip_of_execution_graph() {
+        let g = ExecutionGraph::deploy(word_query()).unwrap();
+        let bytes = bincode::serialize(&g).unwrap();
+        let back: ExecutionGraph = bincode::deserialize(&bytes).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn operator_kind_predicates() {
+        assert!(OperatorKind::Stateful.is_stateful());
+        assert!(!OperatorKind::Stateless.is_stateful());
+        assert!(OperatorKind::Stateless.scalable());
+        assert!(!OperatorKind::Source.scalable());
+        assert!(!OperatorKind::Sink.scalable());
+    }
+}

@@ -1,0 +1,314 @@
+//! Key ranges and key-space splitting.
+//!
+//! The routing state (§3.1) maps key intervals `[k_i, k_{i+1})` to partitioned
+//! downstream operators. When a stateful operator scales out, its key interval
+//! is split into π sub-intervals (Algorithm 2, lines 1–2), either evenly
+//! (hash partitioning) or guided by the observed key distribution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::tuple::Key;
+
+/// An inclusive range `[lo, hi]` of the `u64` key space.
+///
+/// Inclusive bounds keep the full key space `[0, u64::MAX]` representable and
+/// make splitting total: every key belongs to exactly one sub-range of a
+/// split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeyRange {
+    /// Lowest key contained in the range.
+    pub lo: u64,
+    /// Highest key contained in the range.
+    pub hi: u64,
+}
+
+impl KeyRange {
+    /// The full key space.
+    pub fn full() -> Self {
+        KeyRange {
+            lo: 0,
+            hi: u64::MAX,
+        }
+    }
+
+    /// A range covering `[lo, hi]`. Panics if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "invalid key range [{lo}, {hi}]");
+        KeyRange { lo, hi }
+    }
+
+    /// Whether the range contains `key`.
+    pub fn contains(&self, key: Key) -> bool {
+        self.lo <= key.0 && key.0 <= self.hi
+    }
+
+    /// Number of keys in the range (saturating at `u64::MAX` for the full range).
+    pub fn width(&self) -> u64 {
+        (self.hi - self.lo).saturating_add(1)
+    }
+
+    /// Whether two ranges overlap.
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Split the range into `parts` contiguous sub-ranges of (almost) equal
+    /// width. The first `width % parts` sub-ranges are one key wider.
+    ///
+    /// This is the hash-partitioning split of Algorithm 2: because tuple keys
+    /// are hashes, equal key-space width means (in expectation) equal load.
+    pub fn split_even(&self, parts: usize) -> Result<Vec<KeyRange>> {
+        if parts == 0 {
+            return Err(Error::InvalidParallelism(0));
+        }
+        let parts_u = parts as u64;
+        let width = self.width();
+        if width != u64::MAX && width < parts_u {
+            return Err(Error::InvalidKeySplit(format!(
+                "cannot split range of width {width} into {parts} parts"
+            )));
+        }
+        // Compute per-part widths without overflowing on the full range.
+        let base = if width == u64::MAX {
+            // Full range: u64::MAX + 1 keys; divide 2^64 by parts.
+            (u128::from(u64::MAX) + 1) / u128::from(parts_u)
+        } else {
+            u128::from(width / parts_u)
+        };
+        let rem = if width == u64::MAX {
+            ((u128::from(u64::MAX) + 1) % u128::from(parts_u)) as u64
+        } else {
+            width % parts_u
+        };
+
+        let mut out = Vec::with_capacity(parts);
+        let mut lo = u128::from(self.lo);
+        for i in 0..parts_u {
+            let mut w = base;
+            if i < u128::from(rem) as u64 {
+                w += 1;
+            }
+            let hi = lo + w - 1;
+            out.push(KeyRange {
+                lo: lo as u64,
+                hi: hi as u64,
+            });
+            lo = hi + 1;
+        }
+        debug_assert_eq!(out.last().unwrap().hi, self.hi);
+        Ok(out)
+    }
+
+    /// Split the range into `parts` sub-ranges guided by an observed key
+    /// sample so that each sub-range holds roughly the same number of sampled
+    /// keys (distribution-guided split, §3.2 "the key distribution can be used
+    /// to guide the split").
+    ///
+    /// Keys outside the range are ignored. Falls back to [`split_even`] when
+    /// the sample is too small to provide `parts` distinct boundaries.
+    ///
+    /// [`split_even`]: KeyRange::split_even
+    pub fn split_by_distribution(&self, parts: usize, sample: &[Key]) -> Result<Vec<KeyRange>> {
+        if parts == 0 {
+            return Err(Error::InvalidParallelism(0));
+        }
+        if parts == 1 {
+            return Ok(vec![*self]);
+        }
+        let mut keys: Vec<u64> = sample
+            .iter()
+            .filter(|k| self.contains(**k))
+            .map(|k| k.0)
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        if keys.len() < parts {
+            return self.split_even(parts);
+        }
+        // Pick boundaries at equi-depth quantiles of the sample.
+        let mut boundaries = Vec::with_capacity(parts - 1);
+        for i in 1..parts {
+            let idx = i * keys.len() / parts;
+            boundaries.push(keys[idx]);
+        }
+        boundaries.dedup();
+        if boundaries.len() < parts - 1 || boundaries[0] <= self.lo {
+            return self.split_even(parts);
+        }
+        let mut out = Vec::with_capacity(parts);
+        let mut lo = self.lo;
+        for b in &boundaries {
+            out.push(KeyRange::new(lo, b - 1));
+            lo = *b;
+        }
+        out.push(KeyRange::new(lo, self.hi));
+        Ok(out)
+    }
+}
+
+impl std::fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:#x}, {:#x}]", self.lo, self.hi)
+    }
+}
+
+/// Strategy for splitting a key range during scale out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KeySplit {
+    /// Split the key space evenly (hash partitioning).
+    Even,
+    /// Split so each part holds roughly the same number of the sampled keys.
+    Distribution(Vec<Key>),
+}
+
+impl KeySplit {
+    /// Apply the strategy to a range.
+    pub fn apply(&self, range: &KeyRange, parts: usize) -> Result<Vec<KeyRange>> {
+        match self {
+            KeySplit::Even => range.split_even(parts),
+            KeySplit::Distribution(sample) => range.split_by_distribution(parts, sample),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_range_contains_everything() {
+        let full = KeyRange::full();
+        assert!(full.contains(Key(0)));
+        assert!(full.contains(Key(u64::MAX)));
+        assert!(full.contains(Key(u64::MAX / 2)));
+        assert_eq!(full.width(), u64::MAX); // saturated
+    }
+
+    #[test]
+    fn split_even_covers_and_is_disjoint() {
+        let full = KeyRange::full();
+        for parts in [1usize, 2, 3, 7, 50] {
+            let split = full.split_even(parts).unwrap();
+            assert_eq!(split.len(), parts);
+            assert_eq!(split[0].lo, 0);
+            assert_eq!(split.last().unwrap().hi, u64::MAX);
+            for w in split.windows(2) {
+                assert_eq!(w[0].hi + 1, w[1].lo, "gap or overlap between parts");
+            }
+        }
+    }
+
+    #[test]
+    fn split_even_small_range() {
+        let r = KeyRange::new(10, 19);
+        let split = r.split_even(3).unwrap();
+        assert_eq!(split.len(), 3);
+        let total: u64 = split.iter().map(|r| r.width()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(split[0].lo, 10);
+        assert_eq!(split[2].hi, 19);
+    }
+
+    #[test]
+    fn split_zero_parts_is_error() {
+        assert!(matches!(
+            KeyRange::full().split_even(0),
+            Err(Error::InvalidParallelism(0))
+        ));
+    }
+
+    #[test]
+    fn split_too_narrow_is_error() {
+        let r = KeyRange::new(5, 6);
+        assert!(r.split_even(3).is_err());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = KeyRange::new(0, 10);
+        let b = KeyRange::new(10, 20);
+        let c = KeyRange::new(11, 20);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn distribution_split_balances_skewed_sample() {
+        // 90% of keys in a narrow band: the distribution split should put the
+        // boundaries inside the band rather than at key-space midpoints.
+        let mut sample = Vec::new();
+        for i in 0..900u64 {
+            sample.push(Key(1000 + i));
+        }
+        for i in 0..100u64 {
+            sample.push(Key(1_000_000_000 + i * 1_000_000));
+        }
+        let split = KeyRange::full().split_by_distribution(2, &sample).unwrap();
+        assert_eq!(split.len(), 2);
+        // The boundary must fall inside the dense band + tail, far below the
+        // even-split midpoint of the key space.
+        assert!(split[0].hi < u64::MAX / 2);
+        let count_first = sample.iter().filter(|k| split[0].contains(**k)).count();
+        assert!(
+            (350..=650).contains(&count_first),
+            "unbalanced split: {count_first}/1000 keys in the first part"
+        );
+    }
+
+    #[test]
+    fn distribution_split_falls_back_on_small_sample() {
+        let sample = vec![Key(5)];
+        let split = KeyRange::full().split_by_distribution(4, &sample).unwrap();
+        assert_eq!(split.len(), 4);
+        // Fallback is the even split.
+        assert_eq!(split, KeyRange::full().split_even(4).unwrap());
+    }
+
+    #[test]
+    fn key_split_strategy_dispatch() {
+        let r = KeyRange::new(0, 99);
+        assert_eq!(KeySplit::Even.apply(&r, 2).unwrap().len(), 2);
+        let sample: Vec<Key> = (0..100).map(Key).collect();
+        assert_eq!(
+            KeySplit::Distribution(sample).apply(&r, 4).unwrap().len(),
+            4
+        );
+    }
+
+    proptest! {
+        /// Every key in a range belongs to exactly one part of an even split.
+        #[test]
+        fn prop_split_even_partitions_keys(
+            lo in 0u64..1_000_000,
+            width in 1u64..1_000_000,
+            parts in 1usize..16,
+            probe in 0u64..1_000_000,
+        ) {
+            let range = KeyRange::new(lo, lo + width);
+            prop_assume!(range.width() >= parts as u64);
+            let split = range.split_even(parts).unwrap();
+            let key = Key(lo + (probe % (width + 1)));
+            let owners = split.iter().filter(|r| r.contains(key)).count();
+            prop_assert_eq!(owners, 1);
+        }
+
+        /// Distribution-guided splits also cover the range exactly once.
+        #[test]
+        fn prop_split_distribution_partitions_keys(
+            sample in proptest::collection::vec(0u64..10_000, 0..200),
+            parts in 1usize..8,
+            probe in 0u64..10_000,
+        ) {
+            let range = KeyRange::new(0, 9_999);
+            let sample_keys: Vec<Key> = sample.into_iter().map(Key).collect();
+            let split = range.split_by_distribution(parts, &sample_keys).unwrap();
+            prop_assert_eq!(split.len(), parts);
+            let owners = split.iter().filter(|r| r.contains(Key(probe))).count();
+            prop_assert_eq!(owners, 1);
+            prop_assert_eq!(split[0].lo, 0);
+            prop_assert_eq!(split.last().unwrap().hi, 9_999);
+        }
+    }
+}

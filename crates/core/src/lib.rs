@@ -1,0 +1,58 @@
+//! # seep-core
+//!
+//! Operator state management primitives for stateful stream processing, as
+//! described in *"Integrating Scale Out and Fault Tolerance in Stream
+//! Processing using Operator State Management"* (Castro Fernandez et al.,
+//! SIGMOD 2013).
+//!
+//! The paper's key idea is to make the internal state of streaming operators
+//! **explicit** to the stream processing system (SPS) and to manage it with a
+//! small set of primitives:
+//!
+//! * [`primitives::checkpoint_state`] — take a consistent copy of an
+//!   operator's processing state and output buffers,
+//! * [`primitives::backup_state`] — back the checkpoint up to an upstream
+//!   operator (selected by [`backup::select_backup_operator`]),
+//! * [`primitives::restore_state`] — restore a checkpoint into a fresh
+//!   operator instance,
+//! * [`primitives::replay_buffer_state`] — replay unprocessed tuples from an
+//!   upstream output buffer to bring restored state up to date,
+//! * [`primitives::partition_processing_state`],
+//!   [`primitives::partition_routing_state`] and
+//!   [`primitives::partition_buffer_state`] — split state across new
+//!   partitioned operators for scale out (Algorithm 2 of the paper).
+//!
+//! Both **dynamic scale out** and **failure recovery** are built on these
+//! primitives: recovery is simply scale out with a parallelisation level of
+//! one (see `seep-runtime`).
+//!
+//! The crate also defines the data model ([`tuple`]), the operator model
+//! ([`operator`]), the three kinds of operator state ([`state`]) and the
+//! logical query / physical execution graphs ([`graph`]).
+
+#![warn(missing_docs)]
+
+pub mod backup;
+pub mod checkpoint;
+pub mod clock;
+pub mod dedup;
+pub mod error;
+pub mod graph;
+pub mod key;
+pub mod merge;
+pub mod operator;
+pub mod primitives;
+pub mod spill;
+pub mod state;
+pub mod tuple;
+
+pub use backup::{select_backup_operator, BackupStore, InMemoryBackupStore};
+pub use checkpoint::{Checkpoint, CheckpointMeta, IncrementalCheckpoint};
+pub use clock::LogicalClock;
+pub use dedup::DuplicateFilter;
+pub use error::{Error, Result};
+pub use graph::{ExecutionGraph, LogicalOpId, OperatorKind, QueryGraph, QueryGraphBuilder};
+pub use key::{KeyRange, KeySplit};
+pub use operator::{OperatorId, OutputTuple, StatefulOperator, StatelessFn};
+pub use state::{BufferState, ProcessingState, RoutingState};
+pub use tuple::{Key, StreamId, Timestamp, TimestampVec, Tuple};

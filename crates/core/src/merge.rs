@@ -1,0 +1,169 @@
+//! Scale in: merging the state of two partitioned operators (§3.3).
+//!
+//! The paper lists *merge* as an additional primitive beyond the minimum set:
+//! when resources are under-utilised, the state of two partitions of the same
+//! logical operator can be merged so one of the VMs can be released. The
+//! merged operator owns the union of the two key ranges, the union of the
+//! processing-state entries, the concatenation of the buffered tuples and the
+//! pointwise-maximum timestamp vector.
+
+use crate::checkpoint::Checkpoint;
+use crate::error::{Error, Result};
+use crate::key::KeyRange;
+use crate::operator::OperatorId;
+use crate::state::RoutingState;
+
+/// Merge the checkpoints of two partitions of the same logical operator into
+/// a single checkpoint owned by `merged_operator`.
+///
+/// The two key ranges must be adjacent (`a.hi + 1 == b.lo` in either order) so
+/// the merged operator owns a contiguous interval; otherwise routing state
+/// could no longer be expressed as one entry per partition. Returns the merged
+/// checkpoint and the merged key range.
+pub fn merge_checkpoints(
+    merged_operator: OperatorId,
+    a: (Checkpoint, KeyRange),
+    b: (Checkpoint, KeyRange),
+) -> Result<(Checkpoint, KeyRange)> {
+    let (cp_a, range_a) = a;
+    let (cp_b, range_b) = b;
+    let (lo_cp, lo_range, hi_cp, hi_range) = if range_a.lo <= range_b.lo {
+        (cp_a, range_a, cp_b, range_b)
+    } else {
+        (cp_b, range_b, cp_a, range_a)
+    };
+    if lo_range.hi == u64::MAX || lo_range.hi + 1 != hi_range.lo {
+        return Err(Error::InvalidKeySplit(format!(
+            "cannot merge non-adjacent ranges {lo_range} and {hi_range}"
+        )));
+    }
+    let merged_range = KeyRange::new(lo_range.lo, hi_range.hi);
+
+    let mut processing = lo_cp.processing;
+    processing.merge(hi_cp.processing);
+    let mut buffer = lo_cp.buffer;
+    for d in hi_cp.buffer.downstreams() {
+        for t in hi_cp.buffer.iter_for(d) {
+            buffer.push(d, t.clone());
+        }
+    }
+    let sequence = lo_cp.meta.sequence.max(hi_cp.meta.sequence);
+    Ok((
+        Checkpoint::new(merged_operator, sequence, processing, buffer),
+        merged_range,
+    ))
+}
+
+/// Update an upstream routing state after two partitions are merged: the two
+/// entries for `a` and `b` are replaced by a single entry sending
+/// `merged_range` to `merged_operator`.
+pub fn merge_routing_state(
+    routing: &mut RoutingState,
+    a: OperatorId,
+    b: OperatorId,
+    merged_operator: OperatorId,
+    merged_range: KeyRange,
+) -> Result<()> {
+    let removed_a = routing.remove_target(a);
+    let removed_b = routing.remove_target(b);
+    if removed_a.is_empty() || removed_b.is_empty() {
+        return Err(Error::Invariant(
+            "both merged partitions must exist in the routing state".into(),
+        ));
+    }
+    routing.set_route(merged_range, merged_operator);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{BufferState, ProcessingState};
+    use crate::tuple::{Key, StreamId, Tuple};
+
+    fn checkpoint(op: u64, keys: &[u64], ts: u64) -> Checkpoint {
+        let mut st = ProcessingState::empty();
+        for &k in keys {
+            st.insert(Key(k), vec![k as u8]);
+        }
+        st.advance_ts(StreamId(0), ts);
+        let mut buf = BufferState::new();
+        buf.push(OperatorId::new(99), Tuple::new(ts, Key(keys[0]), vec![]));
+        Checkpoint::new(OperatorId::new(op), ts, st, buf)
+    }
+
+    #[test]
+    fn merge_adjacent_partitions() {
+        let ranges = KeyRange::full().split_even(2).unwrap();
+        let a = checkpoint(1, &[5, 10], 3);
+        let b = checkpoint(2, &[u64::MAX - 1], 7);
+        let (merged, range) =
+            merge_checkpoints(OperatorId::new(3), (a, ranges[0]), (b, ranges[1])).unwrap();
+        assert_eq!(range, KeyRange::full());
+        assert_eq!(merged.meta.operator, OperatorId::new(3));
+        assert_eq!(merged.processing.len(), 3);
+        assert_eq!(merged.buffer.len(), 2);
+        assert_eq!(merged.processing.timestamps().get(StreamId(0)), Some(7));
+        assert_eq!(merged.meta.sequence, 7);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter() {
+        let ranges = KeyRange::new(0, 99).split_even(2).unwrap();
+        let a = checkpoint(1, &[5], 1);
+        let b = checkpoint(2, &[60], 2);
+        let (m1, r1) = merge_checkpoints(
+            OperatorId::new(3),
+            (a.clone(), ranges[0]),
+            (b.clone(), ranges[1]),
+        )
+        .unwrap();
+        let (m2, r2) =
+            merge_checkpoints(OperatorId::new(3), (b, ranges[1]), (a, ranges[0])).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(m1.processing, m2.processing);
+    }
+
+    #[test]
+    fn merge_rejects_non_adjacent_ranges() {
+        let a = checkpoint(1, &[1], 1);
+        let b = checkpoint(2, &[50], 1);
+        let err = merge_checkpoints(
+            OperatorId::new(3),
+            (a, KeyRange::new(0, 9)),
+            (b, KeyRange::new(20, 29)),
+        );
+        assert!(matches!(err, Err(Error::InvalidKeySplit(_))));
+    }
+
+    #[test]
+    fn merge_routing_replaces_two_entries_with_one() {
+        let ranges = KeyRange::full().split_even(2).unwrap();
+        let mut routing = RoutingState::new();
+        routing.set_route(ranges[0], OperatorId::new(1));
+        routing.set_route(ranges[1], OperatorId::new(2));
+        merge_routing_state(
+            &mut routing,
+            OperatorId::new(1),
+            OperatorId::new(2),
+            OperatorId::new(3),
+            KeyRange::full(),
+        )
+        .unwrap();
+        assert_eq!(routing.len(), 1);
+        assert_eq!(routing.route(Key(123)), Some(OperatorId::new(3)));
+    }
+
+    #[test]
+    fn merge_routing_requires_both_partitions() {
+        let mut routing = RoutingState::single(OperatorId::new(1));
+        let err = merge_routing_state(
+            &mut routing,
+            OperatorId::new(1),
+            OperatorId::new(2),
+            OperatorId::new(3),
+            KeyRange::full(),
+        );
+        assert!(err.is_err());
+    }
+}

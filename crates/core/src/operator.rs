@@ -1,0 +1,244 @@
+//! Operator model (§2.2): deterministic operator functions over tuples, with
+//! explicit access to processing state.
+//!
+//! A *stateful* operator implements [`StatefulOperator`], whose
+//! [`get_processing_state`](StatefulOperator::get_processing_state) /
+//! [`set_processing_state`](StatefulOperator::set_processing_state) methods
+//! expose its internal state to the SPS as key/value pairs (§3.1). Stateless
+//! operators (filter, map) can be wrapped in [`StatelessFn`], whose processing
+//! state is always empty.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::state::ProcessingState;
+use crate::tuple::{Key, StreamId, Timestamp, Tuple};
+
+/// Identifier of a *physical* operator instance in the execution graph.
+///
+/// When a logical operator is scaled out to parallelisation level π, each of
+/// the π partitioned operators has its own `OperatorId`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OperatorId(pub u64);
+
+impl OperatorId {
+    /// Create an operator id from a raw integer.
+    pub fn new(id: u64) -> Self {
+        OperatorId(id)
+    }
+
+    /// The raw integer identifier.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// An output tuple produced by an operator before the runtime assigns it a
+/// timestamp from the operator's logical clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputTuple {
+    /// Partitioning key of the output tuple.
+    pub key: Key,
+    /// Serialised payload.
+    pub payload: bytes::Bytes,
+}
+
+impl OutputTuple {
+    /// Create an output tuple from raw parts.
+    pub fn new(key: Key, payload: impl Into<bytes::Bytes>) -> Self {
+        OutputTuple {
+            key,
+            payload: payload.into(),
+        }
+    }
+
+    /// Create an output tuple by serialising a typed payload.
+    pub fn encode<T: Serialize>(key: Key, value: &T) -> crate::Result<Self> {
+        Ok(OutputTuple::new(key, bincode::serialize(value)?))
+    }
+
+    /// Attach a timestamp, turning this into a full [`Tuple`].
+    pub fn with_ts(self, ts: Timestamp) -> Tuple {
+        Tuple {
+            ts,
+            key: self.key,
+            payload: self.payload,
+        }
+    }
+}
+
+/// A deterministic stream operator with externally managed state.
+///
+/// The contract mirrors the paper's operator function
+/// `f_o : (I_o, τ_o, θ_o, σ_o) → (O_o, τ_o, θ_o, σ_o)`:
+///
+/// * [`process`](Self::process) consumes one input tuple (the runtime calls it
+///   for each tuple of the batch `I_o[τ_o]`) and appends any output tuples to
+///   `out`. Operators must be deterministic and must not have externally
+///   visible side effects.
+/// * [`get_processing_state`](Self::get_processing_state) returns a consistent
+///   copy of the operator's processing state θ_o as key/value pairs. The
+///   runtime pairs it with the timestamp vector it maintains for the operator.
+/// * [`set_processing_state`](Self::set_processing_state) replaces the
+///   internal state from a (possibly partitioned) checkpoint.
+/// * [`on_tick`](Self::on_tick) lets windowed operators emit periodic results
+///   (e.g. "word frequencies every 30 s"); the runtime invokes it on a timer.
+pub trait StatefulOperator: Send {
+    /// Process one input tuple arriving on `stream`, appending outputs to `out`.
+    fn process(&mut self, stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>);
+
+    /// Take a consistent copy of the processing state as key/value pairs.
+    fn get_processing_state(&self) -> ProcessingState;
+
+    /// Replace the processing state from a checkpoint (or a partition of one).
+    fn set_processing_state(&mut self, state: ProcessingState);
+
+    /// Whether the operator carries processing state. Stateless operators can
+    /// skip checkpointing entirely.
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    /// Periodic trigger for windowed / time-driven output. `now_ms` is the
+    /// runtime's notion of elapsed milliseconds. Default: no-op.
+    fn on_tick(&mut self, _now_ms: u64, _out: &mut Vec<OutputTuple>) {}
+
+    /// A short human-readable name used in logs and metrics.
+    fn name(&self) -> &str {
+        "operator"
+    }
+}
+
+/// Adapter turning a pure function into a stateless operator.
+///
+/// The processing state of a stateless operator is the empty set (`θ_o = ∅`,
+/// §2.2), so checkpoints of a `StatelessFn` are trivially empty and recovery
+/// only needs to replay buffered tuples.
+pub struct StatelessFn<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> StatelessFn<F>
+where
+    F: FnMut(StreamId, &Tuple, &mut Vec<OutputTuple>) + Send,
+{
+    /// Wrap a function as a stateless operator.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        StatelessFn {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> StatefulOperator for StatelessFn<F>
+where
+    F: FnMut(StreamId, &Tuple, &mut Vec<OutputTuple>) + Send,
+{
+    fn process(&mut self, stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>) {
+        (self.f)(stream, tuple, out);
+    }
+
+    fn get_processing_state(&self) -> ProcessingState {
+        ProcessingState::empty()
+    }
+
+    fn set_processing_state(&mut self, _state: ProcessingState) {}
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Factory that builds fresh instances of an operator, used when the SPS
+/// deploys new partitioned operators onto new VMs during scale out or
+/// recovery. The fresh instance starts with empty state; the SPS then calls
+/// [`StatefulOperator::set_processing_state`] with the partitioned checkpoint.
+pub trait OperatorFactory: Send + Sync {
+    /// Build a fresh operator instance.
+    fn build(&self) -> Box<dyn StatefulOperator>;
+
+    /// Name of the operators this factory builds.
+    fn name(&self) -> &str {
+        "operator"
+    }
+}
+
+impl<F> OperatorFactory for F
+where
+    F: Fn() -> Box<dyn StatefulOperator> + Send + Sync,
+{
+    fn build(&self) -> Box<dyn StatefulOperator> {
+        self()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stateless_fn_forwards_tuples() {
+        let mut op = StatelessFn::new("identity", |_s, t: &Tuple, out: &mut Vec<OutputTuple>| {
+            out.push(OutputTuple::new(t.key, t.payload.clone()));
+        });
+        let mut out = Vec::new();
+        let t = Tuple::new(1, Key(42), vec![1, 2, 3]);
+        op.process(StreamId(0), &t, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, Key(42));
+        assert!(!op.is_stateful());
+        assert!(op.get_processing_state().is_empty());
+        assert_eq!(op.name(), "identity");
+    }
+
+    #[test]
+    fn output_tuple_with_ts_builds_tuple() {
+        let o = OutputTuple::new(Key(1), vec![9]);
+        let t = o.with_ts(33);
+        assert_eq!(t.ts, 33);
+        assert_eq!(t.key, Key(1));
+        assert_eq!(&t.payload[..], &[9]);
+    }
+
+    #[test]
+    fn output_tuple_encode() {
+        let o = OutputTuple::encode(Key(1), &("hi".to_string(), 3u32)).unwrap();
+        let t = o.with_ts(1);
+        let (s, n): (String, u32) = t.decode().unwrap();
+        assert_eq!(s, "hi");
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn factory_from_closure() {
+        let factory = || -> Box<dyn StatefulOperator> {
+            Box::new(StatelessFn::new("noop", |_, _, _: &mut Vec<OutputTuple>| {}))
+        };
+        let op = OperatorFactory::build(&factory);
+        assert!(!op.is_stateful());
+    }
+
+    #[test]
+    fn operator_id_display_and_order() {
+        let a = OperatorId::new(1);
+        let b = OperatorId::new(2);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "op1");
+        assert_eq!(a.raw(), 1);
+    }
+}

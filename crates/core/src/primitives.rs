@@ -1,0 +1,499 @@
+//! The state-management primitives of §3.2 (Algorithms 1 and 2).
+//!
+//! These functions tie together the operator trait, the three kinds of state
+//! and the backup stores. The runtime (`seep-runtime`) and the simulator
+//! (`seep-sim`) drive them; keeping them here, free of any threading or
+//! networking concerns, makes them easy to test exhaustively.
+//!
+//! | Paper primitive | This module |
+//! |---|---|
+//! | `checkpoint-state(o)` | [`checkpoint_state`] |
+//! | `backup-state(o)` (Algorithm 1) | [`BackupCoordinator::backup_state`] |
+//! | `restore-state(o, θ, τ, β, ρ)` | [`restore_state`] |
+//! | `replay-buffer-state(u, o)` | [`replay_buffer_state`] |
+//! | `trim(o, τ)` | [`BufferState::trim`] |
+//! | `partition-processing-state(o, π)` (Algorithm 2) | [`partition_checkpoint`] |
+//! | `partition-routing-state(u, o, π)` | [`RoutingState::repartition`] |
+//! | `partition-buffer-state(u)` | [`BufferState::repartition`] |
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backup::{select_backup_operator, BackupStore};
+use crate::checkpoint::Checkpoint;
+use crate::error::{Error, Result};
+use crate::key::KeyRange;
+use crate::operator::{OperatorId, StatefulOperator};
+use crate::state::{BufferState, RoutingState};
+use crate::tuple::{StreamId, Timestamp, TimestampVec, Tuple};
+
+/// Take a consistent checkpoint of an operator: `checkpoint-state(o) →
+/// (θ_o, τ_o, β_o)`.
+///
+/// `sequence` is the checkpoint sequence number assigned by the caller (the
+/// checkpointing coordinator increments it per operator). The timestamp
+/// vector τ_o is whatever the operator recorded in its processing state via
+/// [`crate::state::ProcessingState::advance_ts`]; the runtime keeps it up to
+/// date as it feeds tuples to the operator.
+pub fn checkpoint_state(
+    operator_id: OperatorId,
+    sequence: u64,
+    operator: &dyn StatefulOperator,
+    buffer: &BufferState,
+) -> Checkpoint {
+    let processing = operator.get_processing_state();
+    Checkpoint::new(operator_id, sequence, processing, buffer.clone())
+}
+
+/// Restore a checkpoint into a fresh operator instance:
+/// `restore-state(o, θ, τ, β, ρ)` (Algorithm 1, lines 8–9).
+///
+/// Sets the operator's processing state and returns the pieces the runtime
+/// must install around it: the buffer state the restored operator starts
+/// with, the timestamp vector it reflects (used to (a) reset the logical
+/// clock so duplicates are detectable downstream and (b) discard replayed
+/// tuples that are already reflected), and the routing state `ρ` passed
+/// through for the runtime's dispatcher.
+pub struct RestoredState {
+    /// Buffer state the restored operator resumes with.
+    pub buffer: BufferState,
+    /// Timestamp vector reflected in the restored processing state.
+    pub timestamps: TimestampVec,
+    /// Routing state towards the operator's downstream partitions.
+    pub routing: RoutingState,
+}
+
+/// See [`RestoredState`].
+pub fn restore_state(
+    operator: &mut dyn StatefulOperator,
+    checkpoint: Checkpoint,
+    routing: RoutingState,
+) -> RestoredState {
+    let timestamps = checkpoint.processing.timestamps().clone();
+    operator.set_processing_state(checkpoint.processing);
+    RestoredState {
+        buffer: checkpoint.buffer,
+        timestamps,
+        routing,
+    }
+}
+
+/// Replay the tuples buffered by upstream operator `u` towards operator `o`:
+/// `replay-buffer-state(u, o)` (Algorithm 1, line 10).
+///
+/// Only tuples **newer** than the timestamp reflected in the restored state
+/// are returned; older tuples are duplicates of work already captured by the
+/// checkpoint. `stream` is the stream id of `u`'s output as seen by `o`.
+pub fn replay_buffer_state(
+    upstream_buffer: &BufferState,
+    target: OperatorId,
+    stream: StreamId,
+    reflected: &TimestampVec,
+) -> Vec<Tuple> {
+    let floor: Timestamp = reflected.get(stream).unwrap_or(0);
+    upstream_buffer
+        .iter_for(target)
+        .filter(|t| t.ts > floor)
+        .cloned()
+        .collect()
+}
+
+/// Partition a checkpoint into π partitions (Algorithm 2,
+/// `partition-processing-state(o, π)`):
+///
+/// * the processing state is split by key range (line 5),
+/// * the timestamp vector is copied to every partition (line 6),
+/// * the buffer state goes to the first partition, the rest start empty
+///   (line 7).
+///
+/// `new_operators` pairs each new partitioned operator with the key range it
+/// owns and must have the same length as the number of partitions.
+pub fn partition_checkpoint(
+    checkpoint: &Checkpoint,
+    new_operators: &[(OperatorId, KeyRange)],
+) -> Result<Vec<Checkpoint>> {
+    if new_operators.is_empty() {
+        return Err(Error::InvalidParallelism(0));
+    }
+    let ranges: Vec<KeyRange> = new_operators.iter().map(|(_, r)| *r).collect();
+    let states = checkpoint.processing.partition_by_ranges(&ranges);
+    let buffers = checkpoint.buffer.assign_to_first(new_operators.len());
+    Ok(new_operators
+        .iter()
+        .zip(states)
+        .zip(buffers)
+        .map(|(((op, _), processing), buffer)| Checkpoint::new(*op, 0, processing, buffer))
+        .collect())
+}
+
+/// Registry mapping each operator to the [`BackupStore`] hosted on its VM.
+///
+/// In the real system every VM hosts a backup store for the downstream
+/// operators that picked it; the registry is how the coordinator reaches the
+/// store of a given upstream operator.
+pub type BackupRegistry = HashMap<OperatorId, Arc<dyn BackupStore>>;
+
+/// Coordinates `backup-state(o)` (Algorithm 1): selects the backup operator,
+/// stores the checkpoint there, releases the previous backup when the choice
+/// changes, and reports how far upstream buffers can be trimmed.
+pub struct BackupCoordinator {
+    stores: Mutex<BackupRegistry>,
+    /// `backup(o)`: the upstream operator currently holding o's checkpoint.
+    assignments: Mutex<HashMap<OperatorId, OperatorId>>,
+}
+
+impl Default for BackupCoordinator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BackupCoordinator {
+    /// Create a coordinator with no registered stores.
+    pub fn new() -> Self {
+        BackupCoordinator {
+            stores: Mutex::new(HashMap::new()),
+            assignments: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Register the backup store hosted alongside `operator`.
+    pub fn register_store(&self, operator: OperatorId, store: Arc<dyn BackupStore>) {
+        self.stores.lock().insert(operator, store);
+    }
+
+    /// Remove the store hosted alongside `operator` (when its VM is released).
+    pub fn unregister_store(&self, operator: OperatorId) {
+        self.stores.lock().remove(&operator);
+    }
+
+    /// The upstream operator currently holding `operator`'s checkpoint, if any.
+    pub fn backup_of(&self, operator: OperatorId) -> Option<OperatorId> {
+        self.assignments.lock().get(&operator).copied()
+    }
+
+    /// Explicitly set `backup(o)` (used when partitioning assigns initial
+    /// backups for new partitions, Algorithm 2 line 8).
+    pub fn set_backup_of(&self, operator: OperatorId, backup: OperatorId) {
+        self.assignments.lock().insert(operator, backup);
+    }
+
+    /// Forget the assignment for `operator` (when it is removed from the graph).
+    pub fn clear_backup_of(&self, operator: OperatorId) {
+        self.assignments.lock().remove(&operator);
+    }
+
+    /// The store hosted alongside `operator`.
+    pub fn store_of(&self, operator: OperatorId) -> Result<Arc<dyn BackupStore>> {
+        self.stores
+            .lock()
+            .get(&operator)
+            .cloned()
+            .ok_or(Error::UnknownOperator(operator))
+    }
+
+    /// `backup-state(o)` (Algorithm 1): store `checkpoint` at the upstream
+    /// operator selected by hashing, release the previous backup if the
+    /// selection changed, and return the chosen backup operator together with
+    /// the timestamp vector up to which upstream output buffers may now be
+    /// trimmed (line 4).
+    pub fn backup_state(
+        &self,
+        operator: OperatorId,
+        upstreams: &[OperatorId],
+        checkpoint: Checkpoint,
+    ) -> Result<BackupOutcome> {
+        let chosen = select_backup_operator(operator, upstreams)
+            .ok_or_else(|| Error::Invariant(format!("operator {operator} has no upstream")))?;
+        let trim_to = checkpoint.processing.timestamps().clone();
+        let store = self.store_of(chosen)?;
+        store.store(operator, checkpoint);
+
+        let previous = {
+            let mut assignments = self.assignments.lock();
+            assignments.insert(operator, chosen)
+        };
+        // Algorithm 1, lines 5-6: release the old backup if it moved.
+        if let Some(prev) = previous {
+            if prev != chosen {
+                if let Ok(prev_store) = self.store_of(prev) {
+                    prev_store.delete(operator);
+                }
+            }
+        }
+        Ok(BackupOutcome {
+            backup_operator: chosen,
+            trim_to,
+        })
+    }
+
+    /// Retrieve the latest backed-up checkpoint of `operator`
+    /// (`retrieve-backup(backup(o), o)`).
+    pub fn retrieve(&self, operator: OperatorId) -> Result<Checkpoint> {
+        let backup = self
+            .backup_of(operator)
+            .ok_or(Error::NoBackup(operator))?;
+        self.store_of(backup)?.retrieve(operator)
+    }
+
+    /// Store partitioned checkpoints as the initial backups of the new
+    /// partitions (Algorithm 2, line 8) and drop the replaced operator's
+    /// backup. Each partition's backup lands on the store chosen by the same
+    /// hash rule over `upstreams`.
+    pub fn store_partitioned(
+        &self,
+        replaced: OperatorId,
+        upstreams: &[OperatorId],
+        partitions: &[Checkpoint],
+    ) -> Result<()> {
+        for cp in partitions {
+            let chosen = select_backup_operator(cp.meta.operator, upstreams)
+                .ok_or_else(|| Error::Invariant("no upstream for partition backup".into()))?;
+            self.store_of(chosen)?.store(cp.meta.operator, cp.clone());
+            self.assignments.lock().insert(cp.meta.operator, chosen);
+        }
+        // Afterwards backup(o) is removed safely from the system (line 8).
+        if let Some(old_backup) = self.backup_of(replaced) {
+            if let Ok(store) = self.store_of(old_backup) {
+                store.delete(replaced);
+            }
+        }
+        self.clear_backup_of(replaced);
+        Ok(())
+    }
+}
+
+/// Result of a successful `backup-state(o)` call.
+#[derive(Debug, Clone)]
+pub struct BackupOutcome {
+    /// The upstream operator now holding the checkpoint (`backup(o)`).
+    pub backup_operator: OperatorId,
+    /// Upstream buffers towards `o` may be trimmed up to these timestamps.
+    pub trim_to: TimestampVec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backup::InMemoryBackupStore;
+    use crate::operator::{OutputTuple, StatelessFn};
+    use crate::state::ProcessingState;
+    use crate::tuple::Key;
+
+    /// A tiny stateful counter operator used by the primitive tests.
+    struct Counter {
+        counts: std::collections::BTreeMap<Key, u64>,
+    }
+
+    impl Counter {
+        fn new() -> Self {
+            Counter {
+                counts: Default::default(),
+            }
+        }
+    }
+
+    impl StatefulOperator for Counter {
+        fn process(&mut self, _s: StreamId, t: &Tuple, _out: &mut Vec<OutputTuple>) {
+            *self.counts.entry(t.key).or_insert(0) += 1;
+        }
+
+        fn get_processing_state(&self) -> ProcessingState {
+            let mut st = ProcessingState::empty();
+            for (k, v) in &self.counts {
+                st.insert_encoded(*k, v).unwrap();
+            }
+            st
+        }
+
+        fn set_processing_state(&mut self, state: ProcessingState) {
+            self.counts.clear();
+            for (k, _) in state.iter() {
+                let v: u64 = state.get_decoded(k).unwrap().unwrap();
+                self.counts.insert(k, v);
+            }
+        }
+
+        fn name(&self) -> &str {
+            "counter"
+        }
+    }
+
+    fn feed(op: &mut Counter, keys: &[u64]) {
+        let mut out = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            op.process(StreamId(0), &Tuple::new(i as u64 + 1, Key(k), vec![]), &mut out);
+        }
+    }
+
+    #[test]
+    fn checkpoint_and_restore_roundtrip() {
+        let mut op = Counter::new();
+        feed(&mut op, &[1, 2, 2, 3]);
+        let mut buffer = BufferState::new();
+        buffer.push(OperatorId::new(9), Tuple::new(4, Key(3), vec![]));
+
+        let cp = checkpoint_state(OperatorId::new(5), 1, &op, &buffer);
+        assert_eq!(cp.meta.operator, OperatorId::new(5));
+        assert_eq!(cp.processing.len(), 3);
+        assert_eq!(cp.buffer.len(), 1);
+
+        let mut fresh = Counter::new();
+        let restored = restore_state(&mut fresh, cp, RoutingState::single(OperatorId::new(9)));
+        assert_eq!(fresh.counts.get(&Key(2)), Some(&2));
+        assert_eq!(restored.buffer.len(), 1);
+        assert_eq!(restored.routing.targets(), vec![OperatorId::new(9)]);
+    }
+
+    #[test]
+    fn stateless_checkpoint_is_empty() {
+        let op = StatelessFn::new("noop", |_, _, _: &mut Vec<OutputTuple>| {});
+        let cp = checkpoint_state(OperatorId::new(1), 1, &op, &BufferState::new());
+        assert!(cp.processing.is_empty());
+    }
+
+    #[test]
+    fn replay_skips_tuples_reflected_in_checkpoint() {
+        let target = OperatorId::new(3);
+        let mut buffer = BufferState::new();
+        for ts in 1..=10 {
+            buffer.push(target, Tuple::new(ts, Key(ts), vec![]));
+        }
+        let mut reflected = TimestampVec::new();
+        reflected.advance(StreamId(7), 6);
+        let replayed = replay_buffer_state(&buffer, target, StreamId(7), &reflected);
+        assert_eq!(replayed.len(), 4);
+        assert_eq!(replayed[0].ts, 7);
+        // A stream not present in the vector replays everything.
+        let replayed_all = replay_buffer_state(&buffer, target, StreamId(8), &TimestampVec::new());
+        assert_eq!(replayed_all.len(), 10);
+    }
+
+    #[test]
+    fn partition_checkpoint_splits_state_and_assigns_buffer_to_first() {
+        let mut op = Counter::new();
+        feed(&mut op, &[1, 5, 9, 1_000_000]);
+        let mut buffer = BufferState::new();
+        buffer.push(OperatorId::new(42), Tuple::new(9, Key(5), vec![]));
+        let mut cp = checkpoint_state(OperatorId::new(5), 3, &op, &buffer);
+        cp.processing.advance_ts(StreamId(0), 4);
+
+        let ranges = KeyRange::full().split_even(2).unwrap();
+        let new_ops = [
+            (OperatorId::new(10), ranges[0]),
+            (OperatorId::new(11), ranges[1]),
+        ];
+        let parts = partition_checkpoint(&cp, &new_ops).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].meta.operator, OperatorId::new(10));
+        let total: usize = parts.iter().map(|p| p.processing.len()).sum();
+        assert_eq!(total, 4);
+        // Buffer goes to the first partition only.
+        assert_eq!(parts[0].buffer.len(), 1);
+        assert!(parts[1].buffer.is_empty());
+        // Timestamps copied to both partitions.
+        for p in &parts {
+            assert_eq!(p.processing.timestamps().get(StreamId(0)), Some(4));
+        }
+        assert!(partition_checkpoint(&cp, &[]).is_err());
+    }
+
+    fn coordinator_with_stores(ops: &[u64]) -> BackupCoordinator {
+        let coord = BackupCoordinator::new();
+        for &o in ops {
+            coord.register_store(OperatorId::new(o), Arc::new(InMemoryBackupStore::new()));
+        }
+        coord
+    }
+
+    #[test]
+    fn backup_state_stores_at_hashed_upstream_and_reports_trim() {
+        let coord = coordinator_with_stores(&[1, 2]);
+        let ups = [OperatorId::new(1), OperatorId::new(2)];
+        let mut op = Counter::new();
+        feed(&mut op, &[7, 8]);
+        let mut cp = checkpoint_state(OperatorId::new(5), 1, &op, &BufferState::new());
+        cp.processing.advance_ts(StreamId(1), 33);
+
+        let outcome = coord
+            .backup_state(OperatorId::new(5), &ups, cp.clone())
+            .unwrap();
+        assert!(ups.contains(&outcome.backup_operator));
+        assert_eq!(outcome.trim_to.get(StreamId(1)), Some(33));
+        assert_eq!(coord.backup_of(OperatorId::new(5)), Some(outcome.backup_operator));
+        let retrieved = coord.retrieve(OperatorId::new(5)).unwrap();
+        assert_eq!(retrieved.processing.len(), 2);
+    }
+
+    #[test]
+    fn backup_state_releases_previous_backup_when_upstreams_change() {
+        let coord = coordinator_with_stores(&[1, 2, 3]);
+        let op5 = OperatorId::new(5);
+        let cp = Checkpoint::empty(op5);
+
+        // First backup with only upstream 1 available.
+        let first = coord
+            .backup_state(op5, &[OperatorId::new(1)], cp.clone())
+            .unwrap();
+        assert_eq!(first.backup_operator, OperatorId::new(1));
+
+        // Upstream repartitioned: now ops 2 and 3 are upstream. The new choice
+        // must land on one of them and the old backup must be deleted.
+        let second = coord
+            .backup_state(op5, &[OperatorId::new(2), OperatorId::new(3)], cp)
+            .unwrap();
+        assert_ne!(second.backup_operator, OperatorId::new(1));
+        let old_store = coord.store_of(OperatorId::new(1)).unwrap();
+        assert!(old_store.retrieve(op5).is_err(), "old backup not released");
+        assert!(coord.retrieve(op5).is_ok());
+    }
+
+    #[test]
+    fn backup_state_without_upstreams_is_an_error() {
+        let coord = coordinator_with_stores(&[1]);
+        let err = coord.backup_state(OperatorId::new(5), &[], Checkpoint::empty(OperatorId::new(5)));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn backup_state_to_unregistered_store_is_an_error() {
+        let coord = coordinator_with_stores(&[]);
+        let err = coord.backup_state(
+            OperatorId::new(5),
+            &[OperatorId::new(1)],
+            Checkpoint::empty(OperatorId::new(5)),
+        );
+        assert!(matches!(err, Err(Error::UnknownOperator(_))));
+    }
+
+    #[test]
+    fn store_partitioned_sets_initial_backups_and_drops_old() {
+        let coord = coordinator_with_stores(&[1, 2]);
+        let ups = [OperatorId::new(1), OperatorId::new(2)];
+        let old = OperatorId::new(5);
+        coord.backup_state(old, &ups, Checkpoint::empty(old)).unwrap();
+
+        let parts = vec![
+            Checkpoint::empty(OperatorId::new(10)),
+            Checkpoint::empty(OperatorId::new(11)),
+        ];
+        coord.store_partitioned(old, &ups, &parts).unwrap();
+        assert!(coord.retrieve(OperatorId::new(10)).is_ok());
+        assert!(coord.retrieve(OperatorId::new(11)).is_ok());
+        assert!(coord.backup_of(old).is_none());
+        assert!(matches!(coord.retrieve(old), Err(Error::NoBackup(_))));
+    }
+
+    #[test]
+    fn unregister_store_makes_backups_unreachable() {
+        let coord = coordinator_with_stores(&[1]);
+        let op = OperatorId::new(5);
+        coord
+            .backup_state(op, &[OperatorId::new(1)], Checkpoint::empty(op))
+            .unwrap();
+        coord.unregister_store(OperatorId::new(1));
+        assert!(coord.retrieve(op).is_err());
+    }
+}

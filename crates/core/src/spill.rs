@@ -1,0 +1,155 @@
+//! State spilling (§3.3): temporarily storing operator state on disk to free
+//! memory under overload, and the more general *persist* operation backing
+//! state with external storage.
+//!
+//! The paper lists spill/persist among the additional primitives that the
+//! state-management interface can support beyond the minimum set. The
+//! implementation here writes serialised checkpoints to a spool directory and
+//! reads them back on demand; the runtime can use it to bound the memory
+//! footprint of backup stores holding many large checkpoints.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::Checkpoint;
+use crate::error::{Error, Result};
+use crate::operator::OperatorId;
+
+/// A directory-backed spill area for operator checkpoints.
+#[derive(Debug)]
+pub struct SpillStore {
+    dir: PathBuf,
+}
+
+impl SpillStore {
+    /// Open (creating if necessary) a spill store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| Error::Spill(e.to_string()))?;
+        Ok(SpillStore { dir })
+    }
+
+    fn path_for(&self, operator: OperatorId) -> PathBuf {
+        self.dir.join(format!("op-{}.ckpt", operator.raw()))
+    }
+
+    /// Spill a checkpoint to disk, replacing any previous spill for the same
+    /// operator. Returns the number of bytes written.
+    pub fn spill(&self, checkpoint: &Checkpoint) -> Result<usize> {
+        let bytes = checkpoint.to_bytes()?;
+        let path = self.path_for(checkpoint.meta.operator);
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, &bytes).map_err(|e| Error::Spill(e.to_string()))?;
+        fs::rename(&tmp, &path).map_err(|e| Error::Spill(e.to_string()))?;
+        Ok(bytes.len())
+    }
+
+    /// Load a spilled checkpoint back into memory.
+    pub fn restore(&self, operator: OperatorId) -> Result<Checkpoint> {
+        let path = self.path_for(operator);
+        let bytes = fs::read(&path).map_err(|_| Error::NoBackup(operator))?;
+        Checkpoint::from_bytes(&bytes)
+    }
+
+    /// Remove a spilled checkpoint. Returns whether one existed.
+    pub fn evict(&self, operator: OperatorId) -> bool {
+        fs::remove_file(self.path_for(operator)).is_ok()
+    }
+
+    /// Operators with a spilled checkpoint present on disk.
+    pub fn spilled(&self) -> Vec<OperatorId> {
+        let mut out = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name
+                .strip_prefix("op-")
+                .and_then(|s| s.strip_suffix(".ckpt"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                out.push(OperatorId::new(id));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Total bytes currently spilled.
+    pub fn size_bytes(&self) -> u64 {
+        self.spilled()
+            .iter()
+            .filter_map(|op| fs::metadata(self.path_for(*op)).ok())
+            .map(|m| m.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{BufferState, ProcessingState};
+    use crate::tuple::Key;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "seep-spill-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn checkpoint(op: u64) -> Checkpoint {
+        let mut st = ProcessingState::empty();
+        st.insert(Key(op), vec![0u8; 128]);
+        Checkpoint::new(OperatorId::new(op), 1, st, BufferState::new())
+    }
+
+    #[test]
+    fn spill_restore_roundtrip() {
+        let store = SpillStore::open(temp_dir("roundtrip")).unwrap();
+        let cp = checkpoint(7);
+        let written = store.spill(&cp).unwrap();
+        assert!(written > 128);
+        let back = store.restore(OperatorId::new(7)).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(store.spilled(), vec![OperatorId::new(7)]);
+        assert!(store.size_bytes() >= written as u64);
+    }
+
+    #[test]
+    fn evict_removes_spilled_state() {
+        let store = SpillStore::open(temp_dir("evict")).unwrap();
+        store.spill(&checkpoint(3)).unwrap();
+        assert!(store.evict(OperatorId::new(3)));
+        assert!(!store.evict(OperatorId::new(3)));
+        assert!(matches!(
+            store.restore(OperatorId::new(3)),
+            Err(Error::NoBackup(_))
+        ));
+        assert!(store.spilled().is_empty());
+    }
+
+    #[test]
+    fn spill_replaces_previous_version() {
+        let store = SpillStore::open(temp_dir("replace")).unwrap();
+        let mut cp = checkpoint(5);
+        store.spill(&cp).unwrap();
+        cp.meta.sequence = 9;
+        store.spill(&cp).unwrap();
+        assert_eq!(store.restore(OperatorId::new(5)).unwrap().meta.sequence, 9);
+        assert_eq!(store.spilled().len(), 1);
+    }
+
+    #[test]
+    fn missing_restore_is_no_backup_error() {
+        let store = SpillStore::open(temp_dir("missing")).unwrap();
+        assert!(matches!(
+            store.restore(OperatorId::new(1)),
+            Err(Error::NoBackup(_))
+        ));
+    }
+}

@@ -1,0 +1,275 @@
+//! Routing state: the mapping from key intervals to partitioned downstream
+//! operators (§3.1).
+//!
+//! When a logical downstream operator `o` is parallelised into `o^1 ... o^π`,
+//! the upstream operator must decide which partition receives each output
+//! tuple. That decision is captured in explicit routing state
+//! `ρ_o = {(d^1, [k_1, k_2]), ..., (d^π, [k_{π-1}, k_π])}`, which the query
+//! manager also persists so it can be restored after a failure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::key::KeyRange;
+use crate::operator::OperatorId;
+use crate::tuple::Key;
+
+/// One routing entry: tuples whose key falls in `range` go to `target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// Key interval owned by the target partition.
+    pub range: KeyRange,
+    /// The partitioned downstream operator instance.
+    pub target: OperatorId,
+}
+
+/// The routing state ρ of an operator for one logical downstream operator.
+///
+/// For queries where an operator has several distinct logical downstream
+/// operators (e.g. the LRB forwarder), the runtime keeps one `RoutingState`
+/// per logical downstream stream.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoutingState {
+    entries: Vec<RouteEntry>,
+}
+
+impl RoutingState {
+    /// An empty routing state (no downstream partitions yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A routing state sending the full key space to a single operator, which
+    /// is the initial deployment state before any scale out.
+    pub fn single(target: OperatorId) -> Self {
+        let mut r = Self::new();
+        r.set_route(KeyRange::full(), target);
+        r
+    }
+
+    /// Add or replace the routing entry for `range`.
+    ///
+    /// Existing entries whose range is exactly `range` are replaced; other
+    /// entries are kept untouched. Entries are kept sorted by range start so
+    /// routing is deterministic.
+    pub fn set_route(&mut self, range: KeyRange, target: OperatorId) {
+        self.entries.retain(|e| e.range != range);
+        self.entries.push(RouteEntry { range, target });
+        self.entries.sort_by_key(|e| e.range.lo);
+    }
+
+    /// Remove every entry pointing at `target` (e.g. when the old operator is
+    /// replaced by new partitions), returning the removed entries.
+    pub fn remove_target(&mut self, target: OperatorId) -> Vec<RouteEntry> {
+        let (removed, kept): (Vec<_>, Vec<_>) =
+            self.entries.drain(..).partition(|e| e.target == target);
+        self.entries = kept;
+        removed
+    }
+
+    /// Remove the entry covering exactly `range`.
+    pub fn remove_range(&mut self, range: KeyRange) -> Option<RouteEntry> {
+        let idx = self.entries.iter().position(|e| e.range == range)?;
+        Some(self.entries.remove(idx))
+    }
+
+    /// The partition that should receive a tuple with key `key`, if any.
+    pub fn route(&self, key: Key) -> Option<OperatorId> {
+        self.entries
+            .iter()
+            .find(|e| e.range.contains(key))
+            .map(|e| e.target)
+    }
+
+    /// Like [`route`](Self::route) but returns an error when no entry covers
+    /// the key — useful when the caller requires total coverage.
+    pub fn route_strict(&self, key: Key) -> Result<OperatorId> {
+        self.route(key).ok_or(Error::NoRoute(key.0))
+    }
+
+    /// The key range currently owned by `target`, if it owns exactly one.
+    pub fn range_of(&self, target: OperatorId) -> Option<KeyRange> {
+        let mut ranges = self.entries.iter().filter(|e| e.target == target);
+        let first = ranges.next()?;
+        if ranges.next().is_some() {
+            None
+        } else {
+            Some(first.range)
+        }
+    }
+
+    /// All routing entries in key order.
+    pub fn entries(&self) -> &[RouteEntry] {
+        &self.entries
+    }
+
+    /// All distinct downstream partitions.
+    pub fn targets(&self) -> Vec<OperatorId> {
+        let mut t: Vec<OperatorId> = self.entries.iter().map(|e| e.target).collect();
+        t.sort();
+        t.dedup();
+        t
+    }
+
+    /// Number of routing entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Replace the entry for the key interval owned by `old` with entries for
+    /// the new partitions (`partition-routing-state(u, o, π)`, Algorithm 2
+    /// lines 9–12). `splits` pairs each new partition with its key range; the
+    /// ranges are expected to exactly cover `old`'s previous interval.
+    pub fn repartition(
+        &mut self,
+        old: OperatorId,
+        splits: &[(OperatorId, KeyRange)],
+    ) -> Result<()> {
+        let removed = self.remove_target(old);
+        if removed.is_empty() {
+            return Err(Error::UnknownOperator(old));
+        }
+        for (target, range) in splits {
+            self.set_route(*range, *target);
+        }
+        Ok(())
+    }
+
+    /// Check that the entries exactly cover `range` with no gaps or overlaps.
+    /// Used by tests and by the runtime as a sanity check after repartitioning.
+    pub fn covers_exactly(&self, range: KeyRange) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        let mut sorted = self.entries.clone();
+        sorted.sort_by_key(|e| e.range.lo);
+        if sorted[0].range.lo != range.lo || sorted.last().unwrap().range.hi != range.hi {
+            return false;
+        }
+        for w in sorted.windows(2) {
+            if w[0].range.hi == u64::MAX || w[0].range.hi + 1 != w[1].range.lo {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_routes_everything() {
+        let r = RoutingState::single(OperatorId::new(1));
+        assert_eq!(r.route(Key(0)), Some(OperatorId::new(1)));
+        assert_eq!(r.route(Key(u64::MAX)), Some(OperatorId::new(1)));
+        assert_eq!(r.len(), 1);
+        assert!(r.covers_exactly(KeyRange::full()));
+        assert_eq!(r.range_of(OperatorId::new(1)), Some(KeyRange::full()));
+    }
+
+    #[test]
+    fn word_splitter_example_from_paper() {
+        // ρ_o = {(c1, ['a','l']), (c2, ['l','z'])}: words up to 'l' go to c1,
+        // from 'l' to c2. We model the letters by their hash order is not
+        // preserved, so use explicit numeric ranges standing in for letters.
+        let c1 = OperatorId::new(1);
+        let c2 = OperatorId::new(2);
+        let mut r = RoutingState::new();
+        r.set_route(KeyRange::new(0, 11), c1); // 'a'..'l'
+        r.set_route(KeyRange::new(12, 25), c2); // 'l'..'z'
+        assert_eq!(r.route(Key(5)), Some(c1)); // 'f' -> c1
+        assert_eq!(r.route(Key(18)), Some(c2)); // 's' -> c2
+        assert_eq!(r.route(Key(19)), Some(c2)); // 't' -> c2
+        assert_eq!(r.targets(), vec![c1, c2]);
+    }
+
+    #[test]
+    fn route_strict_errors_on_gap() {
+        let mut r = RoutingState::new();
+        r.set_route(KeyRange::new(0, 10), OperatorId::new(1));
+        assert_eq!(r.route(Key(11)), None);
+        assert!(matches!(r.route_strict(Key(11)), Err(Error::NoRoute(11))));
+    }
+
+    #[test]
+    fn set_route_replaces_same_range() {
+        let mut r = RoutingState::new();
+        r.set_route(KeyRange::new(0, 10), OperatorId::new(1));
+        r.set_route(KeyRange::new(0, 10), OperatorId::new(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.route(Key(5)), Some(OperatorId::new(2)));
+    }
+
+    #[test]
+    fn repartition_replaces_old_target() {
+        let old = OperatorId::new(3);
+        let mut r = RoutingState::single(old);
+        let ranges = KeyRange::full().split_even(2).unwrap();
+        r.repartition(old, &[(OperatorId::new(4), ranges[0]), (OperatorId::new(5), ranges[1])])
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.covers_exactly(KeyRange::full()));
+        assert_eq!(r.route(Key(0)), Some(OperatorId::new(4)));
+        assert_eq!(r.route(Key(u64::MAX)), Some(OperatorId::new(5)));
+        // Repartitioning an unknown operator is an error.
+        assert!(r.repartition(OperatorId::new(99), &[]).is_err());
+    }
+
+    #[test]
+    fn remove_target_and_range() {
+        let mut r = RoutingState::new();
+        r.set_route(KeyRange::new(0, 10), OperatorId::new(1));
+        r.set_route(KeyRange::new(11, 20), OperatorId::new(2));
+        assert_eq!(r.remove_target(OperatorId::new(1)).len(), 1);
+        assert!(r.remove_range(KeyRange::new(11, 20)).is_some());
+        assert!(r.remove_range(KeyRange::new(11, 20)).is_none());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn range_of_multi_range_target_is_none() {
+        let mut r = RoutingState::new();
+        r.set_route(KeyRange::new(0, 10), OperatorId::new(1));
+        r.set_route(KeyRange::new(20, 30), OperatorId::new(1));
+        assert_eq!(r.range_of(OperatorId::new(1)), None);
+    }
+
+    #[test]
+    fn covers_exactly_detects_gaps() {
+        let mut r = RoutingState::new();
+        r.set_route(KeyRange::new(0, 10), OperatorId::new(1));
+        r.set_route(KeyRange::new(12, 20), OperatorId::new(2));
+        assert!(!r.covers_exactly(KeyRange::new(0, 20)));
+        assert!(!RoutingState::new().covers_exactly(KeyRange::full()));
+    }
+
+    proptest! {
+        /// After splitting the full key space across π partitions, every key
+        /// routes to exactly one partition and routing agrees with the split.
+        #[test]
+        fn prop_routing_total_after_split(parts in 1usize..12, key in any::<u64>()) {
+            let old = OperatorId::new(0);
+            let mut r = RoutingState::single(old);
+            let ranges = KeyRange::full().split_even(parts).unwrap();
+            let splits: Vec<(OperatorId, KeyRange)> = ranges
+                .iter()
+                .enumerate()
+                .map(|(i, range)| (OperatorId::new(i as u64 + 1), *range))
+                .collect();
+            r.repartition(old, &splits).unwrap();
+            prop_assert!(r.covers_exactly(KeyRange::full()));
+            let target = r.route(Key(key));
+            prop_assert!(target.is_some());
+            let expected = splits.iter().find(|(_, range)| range.contains(Key(key))).unwrap().0;
+            prop_assert_eq!(target.unwrap(), expected);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Bounded, serialising data channels between workers.
+//!
+//! Each channel serialises envelopes to bytes on send and deserialises them on
+//! receive, so the CPU cost of serialisation — which limits the paper's
+//! source/sink throughput — is really paid. Channels are bounded to model the
+//! finite socket buffers that give rise to back-pressure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+
+use crate::message::Envelope;
+
+/// Counters describing the traffic that crossed a channel.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl TransportStats {
+    /// Messages transferred.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Bytes transferred (serialised size).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// The sending half of a data channel.
+#[derive(Clone)]
+pub struct DataSender {
+    tx: Sender<Vec<u8>>,
+    stats: Arc<TransportStats>,
+}
+
+/// The receiving half of a data channel.
+pub struct DataReceiver {
+    rx: Receiver<Vec<u8>>,
+    stats: Arc<TransportStats>,
+}
+
+/// A bounded channel carrying serialised [`Envelope`]s.
+pub struct DataChannel;
+
+impl DataChannel {
+    /// Create a channel with room for `capacity` in-flight messages.
+    pub fn new(capacity: usize) -> (DataSender, DataReceiver) {
+        let (tx, rx) = bounded(capacity.max(1));
+        let stats = Arc::new(TransportStats::default());
+        (
+            DataSender {
+                tx,
+                stats: stats.clone(),
+            },
+            DataReceiver { rx, stats },
+        )
+    }
+}
+
+/// Error returned by [`DataSender::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelSendError {
+    /// The receiver has been dropped (its VM failed or was released).
+    Disconnected,
+    /// The channel is full (back-pressure) and the send was non-blocking.
+    Full,
+}
+
+impl DataSender {
+    /// Send an envelope, blocking while the channel is full. Returns an error
+    /// only when the receiving side is gone.
+    pub fn send(&self, envelope: &Envelope) -> Result<(), ChannelSendError> {
+        let bytes = bincode::serialize(envelope).expect("envelope serialises");
+        let len = bytes.len();
+        self.tx
+            .send(bytes)
+            .map_err(|_| ChannelSendError::Disconnected)?;
+        self.stats.record(len);
+        Ok(())
+    }
+
+    /// Try to send without blocking; fails with [`ChannelSendError::Full`]
+    /// when the channel is at capacity.
+    pub fn try_send(&self, envelope: &Envelope) -> Result<(), ChannelSendError> {
+        let bytes = bincode::serialize(envelope).expect("envelope serialises");
+        let len = bytes.len();
+        match self.tx.try_send(bytes) {
+            Ok(()) => {
+                self.stats.record(len);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => Err(ChannelSendError::Full),
+            Err(TrySendError::Disconnected(_)) => Err(ChannelSendError::Disconnected),
+        }
+    }
+
+    /// Traffic statistics shared with the receiver.
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+}
+
+impl DataReceiver {
+    /// Receive the next envelope, waiting up to `timeout`. Returns `Ok(None)`
+    /// on timeout and `Err(())` when every sender is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Envelope>, ()> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(bytes) => {
+                let env: Envelope = bincode::deserialize(&bytes).expect("envelope deserialises");
+                Ok(Some(env))
+            }
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(()),
+        }
+    }
+
+    /// Drain everything currently queued without blocking.
+    pub fn drain(&self) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        while let Ok(bytes) = self.rx.try_recv() {
+            out.push(bincode::deserialize(&bytes).expect("envelope deserialises"));
+        }
+        out
+    }
+
+    /// Number of messages currently queued.
+    pub fn queued(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Traffic statistics shared with the sender.
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use seep_core::{Key, OperatorId, StreamId, Tuple};
+
+    fn envelope(ts: u64) -> Envelope {
+        Envelope::new(
+            OperatorId::new(1),
+            OperatorId::new(2),
+            Message::data(StreamId(0), Tuple::new(ts, Key(ts), vec![0u8; 16])),
+        )
+    }
+
+    #[test]
+    fn send_receive_roundtrip() {
+        let (tx, rx) = DataChannel::new(8);
+        tx.send(&envelope(1)).unwrap();
+        tx.send(&envelope(2)).unwrap();
+        assert_eq!(rx.queued(), 2);
+        let first = rx.recv_timeout(Duration::from_millis(10)).unwrap().unwrap();
+        match first.message {
+            Message::Data { tuple, .. } => assert_eq!(tuple.ts, 1),
+            _ => panic!("expected data"),
+        }
+        assert_eq!(rx.drain().len(), 1);
+        assert_eq!(rx.stats().messages(), 2);
+        assert!(rx.stats().bytes() > 32);
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let (_tx, rx) = DataChannel::new(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)).unwrap(), None);
+    }
+
+    #[test]
+    fn try_send_reports_backpressure() {
+        let (tx, rx) = DataChannel::new(1);
+        tx.try_send(&envelope(1)).unwrap();
+        assert_eq!(tx.try_send(&envelope(2)), Err(ChannelSendError::Full));
+        rx.drain();
+        assert!(tx.try_send(&envelope(3)).is_ok());
+    }
+
+    #[test]
+    fn dropped_receiver_disconnects_sender() {
+        let (tx, rx) = DataChannel::new(1);
+        drop(rx);
+        assert_eq!(tx.send(&envelope(1)), Err(ChannelSendError::Disconnected));
+    }
+
+    #[test]
+    fn dropped_sender_disconnects_receiver() {
+        let (tx, rx) = DataChannel::new(1);
+        drop(tx);
+        assert!(rx.recv_timeout(Duration::from_millis(1)).is_err());
+    }
+}

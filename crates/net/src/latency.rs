@@ -1,0 +1,83 @@
+//! Network transfer-time model used by the discrete-event simulator.
+//!
+//! A message of `b` bytes between two VMs takes `rtt/2 + b / bandwidth`
+//! (propagation plus serialisation/transmission). The defaults approximate
+//! the intra-region EC2 network the paper ran on: sub-millisecond latency and
+//! ~1 Gbit/s per small instance.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the network model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Round-trip time between two VMs, in milliseconds.
+    pub rtt_ms: f64,
+    /// Usable bandwidth per VM network interface, in bytes per millisecond.
+    pub bandwidth_bytes_per_ms: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            rtt_ms: 0.5,
+            // ~1 Gbit/s ≈ 125 MB/s ≈ 125_000 bytes/ms.
+            bandwidth_bytes_per_ms: 125_000.0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A model with no latency and infinite bandwidth (useful for isolating
+    /// compute effects in tests).
+    pub fn zero() -> Self {
+        LatencyModel {
+            rtt_ms: 0.0,
+            bandwidth_bytes_per_ms: f64::INFINITY,
+        }
+    }
+
+    /// Time in milliseconds to transfer a message of `bytes` bytes.
+    pub fn transfer_ms(&self, bytes: usize) -> f64 {
+        let transmission = if self.bandwidth_bytes_per_ms.is_finite() {
+            bytes as f64 / self.bandwidth_bytes_per_ms
+        } else {
+            0.0
+        };
+        self.rtt_ms / 2.0 + transmission
+    }
+
+    /// Time in milliseconds to transfer a state checkpoint of `bytes` bytes
+    /// (same formula; named separately because checkpoints are large and the
+    /// recovery-time model calls this out explicitly).
+    pub fn state_transfer_ms(&self, bytes: usize) -> f64 {
+        self.transfer_ms(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.transfer_ms(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let m = LatencyModel::default();
+        let small = m.transfer_ms(100);
+        let large = m.transfer_ms(2_000_000); // 2 MB state checkpoint
+        assert!(large > small);
+        // 2 MB at 125 kB/ms ≈ 16 ms plus half an RTT.
+        assert!((large - (0.25 + 16.0)).abs() < 0.5, "got {large}");
+        assert_eq!(m.state_transfer_ms(2_000_000), large);
+    }
+
+    #[test]
+    fn rtt_floor_applies_to_tiny_messages() {
+        let m = LatencyModel::default();
+        assert!(m.transfer_ms(1) >= m.rtt_ms / 2.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # seep-net
+//!
+//! In-memory transport substrate connecting operator workers.
+//!
+//! The paper's prototype runs each operator on its own VM and ships tuples
+//! over TCP; serialisation cost is significant enough that the benchmark's
+//! source and sink saturate at ~600 000 tuples/s. This crate reproduces the
+//! relevant behaviour for a single-process deployment:
+//!
+//! * every message crossing a [`channel::DataChannel`] is serialised to bytes
+//!   and deserialised on receipt (so serialisation cost is actually paid and
+//!   measurable),
+//! * channels are bounded, providing the back-pressure that output buffers
+//!   compensate for,
+//! * the [`network::Network`] registry models node-granularity connectivity:
+//!   a failed VM's endpoints are disconnected, and sends to them fail exactly
+//!   like a broken TCP connection would,
+//! * [`latency::LatencyModel`] provides the transfer-time model the
+//!   discrete-event simulator uses for the same messages.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod latency;
+pub mod message;
+pub mod network;
+
+pub use channel::{DataChannel, DataReceiver, DataSender, TransportStats};
+pub use latency::LatencyModel;
+pub use message::{ControlMessage, Envelope, Message};
+pub use network::{Network, SendError};

@@ -1,0 +1,209 @@
+//! Node-granularity connectivity between operator workers.
+//!
+//! The network keeps one inbound channel per operator instance and lets any
+//! other worker (or a coordinator) send envelopes to it. Disconnecting an
+//! operator — because its VM failed or was released — closes its channel, so
+//! in-flight sends fail the way writes to a dead TCP peer would.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use seep_core::{OperatorId, StreamId, Tuple};
+
+use crate::channel::{ChannelSendError, DataChannel, DataReceiver, DataSender};
+use crate::message::{ControlMessage, Envelope, Message};
+
+/// Error returned when a send cannot be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The destination operator is not (or no longer) registered.
+    UnknownDestination(OperatorId),
+    /// The destination's channel is closed (its worker stopped).
+    Disconnected(OperatorId),
+    /// The destination's channel is full and the send was non-blocking.
+    Backpressure(OperatorId),
+}
+
+/// Registry of operator endpoints.
+#[derive(Clone, Default)]
+pub struct Network {
+    senders: Arc<RwLock<HashMap<OperatorId, DataSender>>>,
+    capacity: usize,
+}
+
+impl Network {
+    /// Create a network whose per-operator inbound channels hold up to
+    /// `capacity` messages.
+    pub fn new(capacity: usize) -> Self {
+        Network {
+            senders: Arc::new(RwLock::new(HashMap::new())),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Register an operator and return the receiving end of its inbound
+    /// channel. Re-registering an operator replaces its channel.
+    pub fn register(&self, operator: OperatorId) -> DataReceiver {
+        let (tx, rx) = DataChannel::new(self.capacity);
+        self.senders.write().insert(operator, tx);
+        rx
+    }
+
+    /// Remove an operator's endpoint (VM failed or released). Subsequent sends
+    /// to it fail with [`SendError::UnknownDestination`].
+    pub fn disconnect(&self, operator: OperatorId) {
+        self.senders.write().remove(&operator);
+    }
+
+    /// Whether an operator currently has an endpoint.
+    pub fn is_connected(&self, operator: OperatorId) -> bool {
+        self.senders.read().contains_key(&operator)
+    }
+
+    /// Registered operators.
+    pub fn connected(&self) -> Vec<OperatorId> {
+        let mut ops: Vec<OperatorId> = self.senders.read().keys().copied().collect();
+        ops.sort();
+        ops
+    }
+
+    /// Send an envelope, blocking under back-pressure.
+    pub fn send(&self, envelope: Envelope) -> Result<(), SendError> {
+        let to = envelope.to;
+        let sender = {
+            let senders = self.senders.read();
+            senders
+                .get(&to)
+                .cloned()
+                .ok_or(SendError::UnknownDestination(to))?
+        };
+        sender.send(&envelope).map_err(|e| match e {
+            ChannelSendError::Disconnected => SendError::Disconnected(to),
+            ChannelSendError::Full => SendError::Backpressure(to),
+        })
+    }
+
+    /// Send without blocking; surfaces back-pressure to the caller.
+    pub fn try_send(&self, envelope: Envelope) -> Result<(), SendError> {
+        let to = envelope.to;
+        let sender = {
+            let senders = self.senders.read();
+            senders
+                .get(&to)
+                .cloned()
+                .ok_or(SendError::UnknownDestination(to))?
+        };
+        sender.try_send(&envelope).map_err(|e| match e {
+            ChannelSendError::Disconnected => SendError::Disconnected(to),
+            ChannelSendError::Full => SendError::Backpressure(to),
+        })
+    }
+
+    /// Convenience: send a data tuple from `from` to `to` on `stream`.
+    pub fn send_tuple(
+        &self,
+        from: OperatorId,
+        to: OperatorId,
+        stream: StreamId,
+        tuple: Tuple,
+    ) -> Result<(), SendError> {
+        self.send(Envelope::new(from, to, Message::data(stream, tuple)))
+    }
+
+    /// Convenience: send a control message from a coordinator (addressed from
+    /// the target itself, the "from" field is informational for control
+    /// traffic).
+    pub fn send_control(
+        &self,
+        to: OperatorId,
+        control: ControlMessage,
+    ) -> Result<(), SendError> {
+        self.send(Envelope::new(to, to, Message::Control(control)))
+    }
+}
+
+/// Blocking receive helper used by worker loops: waits up to `timeout` for the
+/// next envelope on `rx`.
+pub fn recv_next(rx: &DataReceiver, timeout: Duration) -> Option<Envelope> {
+    rx.recv_timeout(timeout).ok().flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seep_core::Key;
+
+    #[test]
+    fn register_send_receive() {
+        let net = Network::new(16);
+        let rx = net.register(OperatorId::new(2));
+        assert!(net.is_connected(OperatorId::new(2)));
+        net.send_tuple(
+            OperatorId::new(1),
+            OperatorId::new(2),
+            StreamId(0),
+            Tuple::new(1, Key(1), vec![1]),
+        )
+        .unwrap();
+        let env = recv_next(&rx, Duration::from_millis(20)).unwrap();
+        assert_eq!(env.from, OperatorId::new(1));
+        assert!(env.message.is_data());
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let net = Network::new(4);
+        let err = net.send_control(OperatorId::new(9), ControlMessage::StopProcessing);
+        assert_eq!(err, Err(SendError::UnknownDestination(OperatorId::new(9))));
+    }
+
+    #[test]
+    fn disconnect_removes_endpoint() {
+        let net = Network::new(4);
+        let _rx = net.register(OperatorId::new(1));
+        assert_eq!(net.connected(), vec![OperatorId::new(1)]);
+        net.disconnect(OperatorId::new(1));
+        assert!(!net.is_connected(OperatorId::new(1)));
+        let err = net.send_control(OperatorId::new(1), ControlMessage::Shutdown);
+        assert!(matches!(err, Err(SendError::UnknownDestination(_))));
+    }
+
+    #[test]
+    fn dropped_receiver_reports_disconnected() {
+        let net = Network::new(4);
+        let rx = net.register(OperatorId::new(3));
+        drop(rx);
+        let err = net.send_control(OperatorId::new(3), ControlMessage::Shutdown);
+        assert_eq!(err, Err(SendError::Disconnected(OperatorId::new(3))));
+    }
+
+    #[test]
+    fn try_send_reports_backpressure() {
+        let net = Network::new(1);
+        let _rx = net.register(OperatorId::new(4));
+        let env = Envelope::new(
+            OperatorId::new(0),
+            OperatorId::new(4),
+            Message::Control(ControlMessage::StopProcessing),
+        );
+        net.try_send(env.clone()).unwrap();
+        assert_eq!(
+            net.try_send(env),
+            Err(SendError::Backpressure(OperatorId::new(4)))
+        );
+    }
+
+    #[test]
+    fn reregistering_replaces_channel() {
+        let net = Network::new(4);
+        let old_rx = net.register(OperatorId::new(5));
+        let new_rx = net.register(OperatorId::new(5));
+        net.send_control(OperatorId::new(5), ControlMessage::StartProcessing)
+            .unwrap();
+        assert_eq!(old_rx.queued(), 0);
+        assert_eq!(new_rx.queued(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Stateless building-block operators: map, filter, field projection.
+//!
+//! These wrap user closures as [`StatefulOperator`]s whose processing state is
+//! empty, so recovery reduces to replaying buffered tuples (no checkpoint to
+//! restore).
+
+use seep_core::{OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple};
+
+/// A stateless map operator applying a closure to every tuple.
+pub struct MapFn<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> MapFn<F>
+where
+    F: FnMut(&Tuple) -> Vec<OutputTuple> + Send,
+{
+    /// Wrap a mapping closure.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        MapFn {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> StatefulOperator for MapFn<F>
+where
+    F: FnMut(&Tuple) -> Vec<OutputTuple> + Send,
+{
+    fn process(&mut self, _stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>) {
+        out.extend((self.f)(tuple));
+    }
+
+    fn get_processing_state(&self) -> ProcessingState {
+        ProcessingState::empty()
+    }
+
+    fn set_processing_state(&mut self, _state: ProcessingState) {}
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A stateless filter operator: tuples for which the predicate is false are
+/// dropped, others pass through unchanged.
+pub struct FilterFn<F> {
+    name: String,
+    predicate: F,
+}
+
+impl<F> FilterFn<F>
+where
+    F: FnMut(&Tuple) -> bool + Send,
+{
+    /// Wrap a predicate.
+    pub fn new(name: impl Into<String>, predicate: F) -> Self {
+        FilterFn {
+            name: name.into(),
+            predicate,
+        }
+    }
+}
+
+impl<F> StatefulOperator for FilterFn<F>
+where
+    F: FnMut(&Tuple) -> bool + Send,
+{
+    fn process(&mut self, _stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>) {
+        if (self.predicate)(tuple) {
+            out.push(OutputTuple::new(tuple.key, tuple.payload.clone()));
+        }
+    }
+
+    fn get_processing_state(&self) -> ProcessingState {
+        ProcessingState::empty()
+    }
+
+    fn set_processing_state(&mut self, _state: ProcessingState) {}
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The "map" stage of the map/reduce-style top-k query (§6.1): the input
+/// tuples carry a record with many fields; the operator keeps only the field
+/// at `keep_index` (e.g. the Wikipedia language code) and re-keys the tuple by
+/// it, dropping everything else — "removes unnecessary fields from tuples".
+///
+/// The payload is expected to be a `bincode`-encoded `Vec<String>`.
+pub struct ProjectFields {
+    keep_index: usize,
+}
+
+impl ProjectFields {
+    /// Keep only the field at `keep_index`.
+    pub fn new(keep_index: usize) -> Self {
+        ProjectFields { keep_index }
+    }
+}
+
+impl StatefulOperator for ProjectFields {
+    fn process(&mut self, _stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>) {
+        let Ok(fields) = tuple.decode::<Vec<String>>() else {
+            return; // malformed input is dropped
+        };
+        let Some(field) = fields.get(self.keep_index) else {
+            return;
+        };
+        let key = seep_core::Key::from_str_key(field);
+        if let Ok(out_tuple) = OutputTuple::encode(key, field) {
+            out.push(out_tuple);
+        }
+    }
+
+    fn get_processing_state(&self) -> ProcessingState {
+        ProcessingState::empty()
+    }
+
+    fn set_processing_state(&mut self, _state: ProcessingState) {}
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "project_fields"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seep_core::Key;
+
+    #[test]
+    fn map_applies_closure() {
+        let mut op = MapFn::new("double", |t: &Tuple| {
+            vec![
+                OutputTuple::new(t.key, t.payload.clone()),
+                OutputTuple::new(t.key, t.payload.clone()),
+            ]
+        });
+        let mut out = Vec::new();
+        op.process(StreamId(0), &Tuple::new(1, Key(1), vec![7]), &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(!op.is_stateful());
+        assert_eq!(op.name(), "double");
+    }
+
+    #[test]
+    fn filter_drops_non_matching() {
+        let mut op = FilterFn::new("evens", |t: &Tuple| t.ts % 2 == 0);
+        let mut out = Vec::new();
+        op.process(StreamId(0), &Tuple::new(1, Key(1), vec![]), &mut out);
+        op.process(StreamId(0), &Tuple::new(2, Key(1), vec![]), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(op.get_processing_state().is_empty());
+    }
+
+    #[test]
+    fn project_keeps_selected_field_and_rekeys() {
+        let mut op = ProjectFields::new(1);
+        let fields = vec!["20260615".to_string(), "en".to_string(), "Main_Page".to_string()];
+        let t = Tuple::encode(1, Key(0), &fields).unwrap();
+        let mut out = Vec::new();
+        op.process(StreamId(0), &t, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, Key::from_str_key("en"));
+        let decoded: String = out[0].clone().with_ts(1).decode().unwrap();
+        assert_eq!(decoded, "en");
+    }
+
+    #[test]
+    fn project_drops_malformed_and_short_records() {
+        let mut op = ProjectFields::new(5);
+        let mut out = Vec::new();
+        // Malformed payload.
+        op.process(StreamId(0), &Tuple::new(1, Key(0), vec![0xff]), &mut out);
+        // Too few fields.
+        let t = Tuple::encode(2, Key(0), &vec!["only".to_string()]).unwrap();
+        op.process(StreamId(0), &t, &mut out);
+        assert!(out.is_empty());
+    }
+}

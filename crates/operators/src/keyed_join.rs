@@ -1,0 +1,224 @@
+//! Keyed stream-stream join.
+//!
+//! Joins two input streams on the tuple key within a time-based expiry: a
+//! tuple from one side is matched against the retained tuples of the other
+//! side with the same key, and retained tuples older than the expiry are
+//! discarded on tick. The retained tuples per key *are* the processing state,
+//! so the join scales out and recovers with the same key-range partitioning
+//! as any other stateful operator (cf. the repartition-join discussion in
+//! §2.1).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use seep_core::{Key, OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple};
+
+/// A joined pair emitted when tuples from both sides share a key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinedPair {
+    /// Raw key the pair joined on.
+    pub key: u64,
+    /// Payload of the left tuple.
+    pub left: Vec<u8>,
+    /// Payload of the right tuple.
+    pub right: Vec<u8>,
+}
+
+/// Per-key retained tuples from both sides.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct JoinSlot {
+    left: Vec<(u64, Vec<u8>)>,  // (arrival_ms, payload)
+    right: Vec<(u64, Vec<u8>)>, // (arrival_ms, payload)
+}
+
+/// Keyed stream join between a designated left stream and right stream.
+pub struct KeyedJoin {
+    left_stream: StreamId,
+    right_stream: StreamId,
+    expiry_ms: u64,
+    slots: BTreeMap<Key, JoinSlot>,
+    now_ms: u64,
+}
+
+impl KeyedJoin {
+    /// Create a join between `left_stream` and `right_stream`; retained tuples
+    /// expire after `expiry_ms`.
+    pub fn new(left_stream: StreamId, right_stream: StreamId, expiry_ms: u64) -> Self {
+        KeyedJoin {
+            left_stream,
+            right_stream,
+            expiry_ms: expiry_ms.max(1),
+            slots: BTreeMap::new(),
+            now_ms: 0,
+        }
+    }
+
+    /// Number of keys with retained tuples.
+    pub fn tracked_keys(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total retained tuples across both sides.
+    pub fn retained_tuples(&self) -> usize {
+        self.slots
+            .values()
+            .map(|s| s.left.len() + s.right.len())
+            .sum()
+    }
+}
+
+impl StatefulOperator for KeyedJoin {
+    fn process(&mut self, stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>) {
+        let slot = self.slots.entry(tuple.key).or_default();
+        let payload = tuple.payload.to_vec();
+        if stream == self.left_stream {
+            // Match against retained right tuples.
+            for (_, right) in &slot.right {
+                let pair = JoinedPair {
+                    key: tuple.key.raw(),
+                    left: payload.clone(),
+                    right: right.clone(),
+                };
+                if let Ok(t) = OutputTuple::encode(tuple.key, &pair) {
+                    out.push(t);
+                }
+            }
+            slot.left.push((self.now_ms, payload));
+        } else if stream == self.right_stream {
+            for (_, left) in &slot.left {
+                let pair = JoinedPair {
+                    key: tuple.key.raw(),
+                    left: left.clone(),
+                    right: payload.clone(),
+                };
+                if let Ok(t) = OutputTuple::encode(tuple.key, &pair) {
+                    out.push(t);
+                }
+            }
+            slot.right.push((self.now_ms, payload));
+        }
+        // Tuples from unknown streams are ignored.
+    }
+
+    fn on_tick(&mut self, now_ms: u64, _out: &mut Vec<OutputTuple>) {
+        self.now_ms = now_ms;
+        let expiry = self.expiry_ms;
+        self.slots.retain(|_, slot| {
+            slot.left.retain(|(at, _)| at + expiry > now_ms);
+            slot.right.retain(|(at, _)| at + expiry > now_ms);
+            !slot.left.is_empty() || !slot.right.is_empty()
+        });
+    }
+
+    fn get_processing_state(&self) -> ProcessingState {
+        let mut st = ProcessingState::empty();
+        for (key, slot) in &self.slots {
+            st.insert_encoded(*key, slot).expect("join slot serialises");
+        }
+        st
+    }
+
+    fn set_processing_state(&mut self, state: ProcessingState) {
+        self.slots.clear();
+        for (key, _) in state.iter() {
+            if let Ok(Some(slot)) = state.get_decoded::<JoinSlot>(key) {
+                self.slots.insert(key, slot);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "keyed_join"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEFT: StreamId = StreamId(0);
+    const RIGHT: StreamId = StreamId(1);
+
+    fn join() -> KeyedJoin {
+        KeyedJoin::new(LEFT, RIGHT, 10_000)
+    }
+
+    #[test]
+    fn matching_keys_join_in_both_directions() {
+        let mut op = join();
+        let mut out = Vec::new();
+        op.process(LEFT, &Tuple::new(1, Key(7), vec![1]), &mut out);
+        assert!(out.is_empty(), "no right tuple yet");
+        op.process(RIGHT, &Tuple::new(2, Key(7), vec![2]), &mut out);
+        assert_eq!(out.len(), 1);
+        let pair: JoinedPair = out[0].clone().with_ts(0).decode().unwrap();
+        assert_eq!(pair.left, vec![1]);
+        assert_eq!(pair.right, vec![2]);
+        // Another left tuple matches the retained right tuple.
+        op.process(LEFT, &Tuple::new(3, Key(7), vec![3]), &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn different_keys_do_not_join() {
+        let mut op = join();
+        let mut out = Vec::new();
+        op.process(LEFT, &Tuple::new(1, Key(1), vec![1]), &mut out);
+        op.process(RIGHT, &Tuple::new(2, Key(2), vec![2]), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(op.tracked_keys(), 2);
+    }
+
+    #[test]
+    fn unknown_stream_is_ignored() {
+        let mut op = join();
+        let mut out = Vec::new();
+        op.process(StreamId(9), &Tuple::new(1, Key(1), vec![1]), &mut out);
+        assert_eq!(op.retained_tuples(), 0);
+    }
+
+    #[test]
+    fn expiry_discards_old_tuples() {
+        let mut op = join();
+        let mut out = Vec::new();
+        op.on_tick(0, &mut out);
+        op.process(LEFT, &Tuple::new(1, Key(1), vec![1]), &mut out);
+        op.on_tick(5_000, &mut out);
+        assert_eq!(op.retained_tuples(), 1);
+        op.on_tick(20_000, &mut out);
+        assert_eq!(op.retained_tuples(), 0);
+        // A right tuple arriving after expiry finds nothing to join with.
+        op.process(RIGHT, &Tuple::new(2, Key(1), vec![2]), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_pending_matches() {
+        let mut op = join();
+        let mut out = Vec::new();
+        op.process(LEFT, &Tuple::new(1, Key(3), vec![9]), &mut out);
+        let state = op.get_processing_state();
+
+        let mut restored = join();
+        restored.set_processing_state(state);
+        assert_eq!(restored.retained_tuples(), 1);
+        restored.process(RIGHT, &Tuple::new(2, Key(3), vec![8]), &mut out);
+        assert_eq!(out.len(), 1, "restored state still joins");
+    }
+
+    #[test]
+    fn state_partitions_by_key() {
+        use seep_core::KeyRange;
+        let mut op = join();
+        let mut out = Vec::new();
+        for k in [1u64, 100, u64::MAX - 3] {
+            op.process(LEFT, &Tuple::new(1, Key(k), vec![1]), &mut out);
+        }
+        let parts = op
+            .get_processing_state()
+            .partition_by_ranges(&KeyRange::full().split_even(2).unwrap());
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 3);
+    }
+}

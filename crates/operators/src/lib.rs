@@ -1,0 +1,36 @@
+//! # seep-operators
+//!
+//! The operator library used by the paper's evaluation queries:
+//!
+//! * the **windowed word-frequency query** (§6.2/§6.3): [`splitter::WordSplitter`]
+//!   and [`word_count::WindowedWordCount`],
+//! * the **map/reduce-style top-k query** over page-view traces (§6.1, open
+//!   loop): [`basic::ProjectFields`] as the map and [`top_k::TopKReducer`] as
+//!   the stateful reduce,
+//! * the **Linear Road Benchmark query** (§6.1, closed loop): the operators in
+//!   [`lrb`] (forwarder, toll calculator, toll assessment, balance account,
+//!   collector),
+//! * generic building blocks: [`basic`] (map/filter), [`window_agg`] (keyed
+//!   windowed aggregates) and [`keyed_join`] (keyed stream join).
+//!
+//! Every stateful operator exposes its state as key/value pairs through
+//! [`seep_core::StatefulOperator::get_processing_state`], which is what makes
+//! the integrated scale-out / recovery mechanism of the paper applicable to
+//! it.
+
+#![warn(missing_docs)]
+
+pub mod basic;
+pub mod keyed_join;
+pub mod lrb;
+pub mod splitter;
+pub mod top_k;
+pub mod window_agg;
+pub mod word_count;
+
+pub use basic::{FilterFn, MapFn, ProjectFields};
+pub use keyed_join::KeyedJoin;
+pub use splitter::WordSplitter;
+pub use top_k::TopKReducer;
+pub use window_agg::{AggKind, WindowedAggregate};
+pub use word_count::WindowedWordCount;

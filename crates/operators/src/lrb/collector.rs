@@ -1,0 +1,163 @@
+//! The stateless collector operator: gathers toll notifications, accident
+//! alerts and balance responses and forwards them to the sink (§6.1).
+//!
+//! Besides forwarding, it keeps *local* (non-managed) counters used by tests
+//! and benchmarks to validate end-to-end semantics — e.g. how many toll
+//! notifications flowed through and the total amount charged.
+
+use seep_core::{OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple};
+
+use super::types::LrbRecord;
+
+/// Stateless LRB result collector.
+#[derive(Debug, Default)]
+pub struct Collector {
+    tolls: u64,
+    toll_cents: u64,
+    accidents: u64,
+    balance_responses: u64,
+    ignored: u64,
+}
+
+impl Collector {
+    /// Create a collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of toll notifications seen.
+    pub fn tolls(&self) -> u64 {
+        self.tolls
+    }
+
+    /// Total cents charged across the toll notifications seen.
+    pub fn toll_cents(&self) -> u64 {
+        self.toll_cents
+    }
+
+    /// Number of accident alerts seen.
+    pub fn accidents(&self) -> u64 {
+        self.accidents
+    }
+
+    /// Number of balance responses seen.
+    pub fn balance_responses(&self) -> u64 {
+        self.balance_responses
+    }
+
+    /// Records that were not result records (inputs reaching the collector by
+    /// broadcast, or garbage) and were dropped.
+    pub fn ignored(&self) -> u64 {
+        self.ignored
+    }
+}
+
+impl StatefulOperator for Collector {
+    fn process(&mut self, _stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>) {
+        match tuple.decode::<LrbRecord>() {
+            Ok(LrbRecord::Toll(t)) => {
+                self.tolls += 1;
+                self.toll_cents += u64::from(t.toll);
+            }
+            Ok(LrbRecord::Accident(_)) => self.accidents += 1,
+            Ok(LrbRecord::BalanceResponse(_)) => self.balance_responses += 1,
+            _ => {
+                self.ignored += 1;
+                return;
+            }
+        }
+        out.push(OutputTuple::new(tuple.key, tuple.payload.clone()));
+    }
+
+    fn get_processing_state(&self) -> ProcessingState {
+        ProcessingState::empty()
+    }
+
+    fn set_processing_state(&mut self, _state: ProcessingState) {}
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "collector"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::types::{AccidentAlert, BalanceResponse, PositionReport, TollNotification};
+    use super::*;
+    use seep_core::Key;
+
+    fn tuple_of(record: LrbRecord) -> Tuple {
+        Tuple::encode(1, Key(1), &record).unwrap()
+    }
+
+    #[test]
+    fn counts_and_forwards_result_records() {
+        let mut op = Collector::new();
+        let mut out = Vec::new();
+        op.process(
+            StreamId(0),
+            &tuple_of(LrbRecord::Toll(TollNotification {
+                vid: 1,
+                time: 1,
+                xway: 0,
+                seg: 1,
+                lav: 30,
+                toll: 150,
+            })),
+            &mut out,
+        );
+        op.process(
+            StreamId(0),
+            &tuple_of(LrbRecord::Accident(AccidentAlert {
+                vid: 1,
+                time: 1,
+                xway: 0,
+                seg: 1,
+            })),
+            &mut out,
+        );
+        op.process(
+            StreamId(0),
+            &tuple_of(LrbRecord::BalanceResponse(BalanceResponse {
+                vid: 1,
+                qid: 2,
+                time: 3,
+                balance: 150,
+            })),
+            &mut out,
+        );
+        assert_eq!(op.tolls(), 1);
+        assert_eq!(op.toll_cents(), 150);
+        assert_eq!(op.accidents(), 1);
+        assert_eq!(op.balance_responses(), 1);
+        assert_eq!(out.len(), 3);
+        assert!(!op.is_stateful());
+    }
+
+    #[test]
+    fn input_records_and_garbage_are_ignored() {
+        let mut op = Collector::new();
+        let mut out = Vec::new();
+        op.process(
+            StreamId(0),
+            &tuple_of(LrbRecord::Position(PositionReport {
+                time: 0,
+                vid: 1,
+                speed: 10,
+                xway: 0,
+                lane: 0,
+                dir: 0,
+                seg: 0,
+                pos: 0,
+            })),
+            &mut out,
+        );
+        op.process(StreamId(0), &Tuple::new(1, Key(0), vec![0xaa]), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(op.ignored(), 2);
+    }
+}

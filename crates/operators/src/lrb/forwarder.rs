@@ -1,0 +1,126 @@
+//! The forwarder operator: routes tuples downstream according to their type
+//! (§6.1).
+//!
+//! Position reports are re-keyed by `(xway, dir, seg)` so that the partitioned
+//! toll calculators each own a contiguous slice of segments; balance queries
+//! are re-keyed by vehicle so they reach the toll-assessment partition that
+//! owns that vehicle's account. The forwarder itself is stateless — it was the
+//! second-most partitioned operator in the paper's deployment purely because
+//! of its per-tuple deserialisation cost.
+
+use seep_core::{OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple};
+
+use super::types::LrbRecord;
+
+/// Stateless LRB forwarder.
+#[derive(Debug, Default)]
+pub struct Forwarder {
+    forwarded: u64,
+    dropped: u64,
+}
+
+impl Forwarder {
+    /// Create a forwarder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tuples forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Malformed tuples dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl StatefulOperator for Forwarder {
+    fn process(&mut self, _stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>) {
+        let Ok(record) = tuple.decode::<LrbRecord>() else {
+            self.dropped += 1;
+            return;
+        };
+        let key = match &record {
+            LrbRecord::Position(p) => p.segment_key(),
+            LrbRecord::Balance(b) => b.vehicle_key(),
+            // Result records should not flow through the forwarder; drop them
+            // rather than re-injecting them into the pipeline.
+            _ => {
+                self.dropped += 1;
+                return;
+            }
+        };
+        if let Ok(t) = OutputTuple::encode(key, &record) {
+            out.push(t);
+            self.forwarded += 1;
+        }
+    }
+
+    fn get_processing_state(&self) -> ProcessingState {
+        ProcessingState::empty()
+    }
+
+    fn set_processing_state(&mut self, _state: ProcessingState) {}
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "forwarder"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::types::{BalanceQuery, PositionReport};
+    use super::*;
+    use seep_core::Key;
+
+    #[test]
+    fn position_reports_are_keyed_by_segment() {
+        let mut op = Forwarder::new();
+        let report = PositionReport {
+            time: 0,
+            vid: 7,
+            speed: 50,
+            xway: 1,
+            lane: 2,
+            dir: 0,
+            seg: 33,
+            pos: 174_240,
+        };
+        let t = Tuple::encode(1, Key(0), &LrbRecord::Position(report)).unwrap();
+        let mut out = Vec::new();
+        op.process(StreamId(0), &t, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, report.segment_key());
+        assert_eq!(op.forwarded(), 1);
+    }
+
+    #[test]
+    fn balance_queries_are_keyed_by_vehicle() {
+        let mut op = Forwarder::new();
+        let query = BalanceQuery {
+            time: 0,
+            vid: 99,
+            qid: 1,
+        };
+        let t = Tuple::encode(1, Key(0), &LrbRecord::Balance(query)).unwrap();
+        let mut out = Vec::new();
+        op.process(StreamId(0), &t, &mut out);
+        assert_eq!(out[0].key, query.vehicle_key());
+    }
+
+    #[test]
+    fn malformed_tuples_are_counted_and_dropped() {
+        let mut op = Forwarder::new();
+        let mut out = Vec::new();
+        op.process(StreamId(0), &Tuple::new(1, Key(0), vec![0xde, 0xad]), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(op.dropped(), 1);
+        assert!(!op.is_stateful());
+    }
+}

@@ -1,0 +1,44 @@
+//! Operators for the Linear Road Benchmark (LRB) query used in the closed-loop
+//! scale-out experiments (§6.1, Fig. 5).
+//!
+//! The query has seven operators:
+//!
+//! ```text
+//! data feeder (src) → forwarder → toll calculator* → toll assessment* → collector → sink
+//!                       └────────────── balance account queries ──────────┐
+//!                                        toll assessment* → balance account* → sink
+//! ```
+//!
+//! * the **data feeder** (in `seep-workloads`) generates the input stream,
+//! * the **[`Forwarder`]** routes tuples downstream according to their type,
+//!   re-keying position reports by segment and account queries by vehicle,
+//! * the stateful **[`TollCalculator`]** maintains per-segment statistics
+//!   (vehicle counts, average speed, accident detection) and emits toll
+//!   notifications,
+//! * the stateful **[`TollAssessment`]** maintains per-vehicle account
+//!   balances, charges tolls and answers balance queries,
+//! * the stateful **[`BalanceAccount`]** aggregates balance-query responses,
+//! * the stateless **[`Collector`]** gathers notifications for the sink.
+//!
+//! The LRB rules implemented here follow the benchmark's structure (tolls
+//! depend on congestion and average speed, accidents suppress tolls, balance
+//! queries reflect charged tolls) in a simplified form sufficient to give the
+//! operators the same state shape and computational profile as the paper's
+//! implementation: per-segment state in the toll calculator and per-vehicle
+//! state in the toll assessment, both growing with the input history.
+
+mod balance_account;
+mod collector;
+mod forwarder;
+mod toll_assessment;
+mod toll_calculator;
+pub mod types;
+
+pub use balance_account::BalanceAccount;
+pub use collector::Collector;
+pub use forwarder::Forwarder;
+pub use toll_assessment::TollAssessment;
+pub use toll_calculator::TollCalculator;
+pub use types::{
+    AccidentAlert, BalanceQuery, BalanceResponse, LrbRecord, PositionReport, TollNotification,
+};

@@ -1,0 +1,121 @@
+//! The word splitter operator of the running example (Fig. 2) and of the
+//! windowed word-frequency query used in the recovery experiments (§6.2).
+//!
+//! A stateless operator that tokenises a stream of sentence fragments into
+//! words, keying each output tuple by the word so that downstream partitioned
+//! word counters receive all occurrences of a given word.
+
+use seep_core::{Key, OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple};
+
+/// Stateless word splitter: input payloads are `bincode`-encoded `String`s
+/// (sentence fragments); each output tuple carries one lower-cased word, keyed
+/// by the word.
+#[derive(Debug, Default)]
+pub struct WordSplitter {
+    /// Number of words emitted (local metric, not part of managed state — the
+    /// operator is stateless with respect to query semantics).
+    emitted: u64,
+}
+
+impl WordSplitter {
+    /// Create a splitter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of words emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl StatefulOperator for WordSplitter {
+    fn process(&mut self, _stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>) {
+        let Ok(sentence) = tuple.decode::<String>() else {
+            return;
+        };
+        for word in sentence
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+        {
+            let word = word.to_lowercase();
+            let key = Key::from_str_key(&word);
+            if let Ok(out_tuple) = OutputTuple::encode(key, &word) {
+                out.push(out_tuple);
+                self.emitted += 1;
+            }
+        }
+    }
+
+    fn get_processing_state(&self) -> ProcessingState {
+        ProcessingState::empty()
+    }
+
+    fn set_processing_state(&mut self, _state: ProcessingState) {}
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "word_splitter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(sentence: &str) -> Vec<String> {
+        let mut op = WordSplitter::new();
+        let t = Tuple::encode(1, Key(0), &sentence.to_string()).unwrap();
+        let mut out = Vec::new();
+        op.process(StreamId(0), &t, &mut out);
+        out.iter()
+            .map(|o| o.clone().with_ts(0).decode::<String>().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn splits_paper_example_sentences() {
+        // Fig. 2 feeds " first set ", " second set ", " third set ".
+        assert_eq!(split(" first set "), vec!["first", "set"]);
+        assert_eq!(split(" second set "), vec!["second", "set"]);
+        assert_eq!(split(" third set "), vec!["third", "set"]);
+    }
+
+    #[test]
+    fn lowercases_and_strips_punctuation() {
+        assert_eq!(split("Hello, WORLD!"), vec!["hello", "world"]);
+        assert!(split("...").is_empty());
+    }
+
+    #[test]
+    fn keys_are_per_word() {
+        let mut op = WordSplitter::new();
+        let t = Tuple::encode(1, Key(0), &"set first set".to_string()).unwrap();
+        let mut out = Vec::new();
+        op.process(StreamId(0), &t, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].key, Key::from_str_key("set"));
+        assert_eq!(out[2].key, Key::from_str_key("set"));
+        assert_ne!(out[1].key, out[0].key);
+        assert_eq!(op.emitted(), 3);
+    }
+
+    #[test]
+    fn malformed_payload_is_dropped() {
+        let mut op = WordSplitter::new();
+        let mut out = Vec::new();
+        op.process(StreamId(0), &Tuple::new(1, Key(0), vec![0xff, 0x01]), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn splitter_is_stateless() {
+        let op = WordSplitter::new();
+        assert!(!op.is_stateful());
+        assert!(op.get_processing_state().is_empty());
+        assert_eq!(op.name(), "word_splitter");
+    }
+}

@@ -1,0 +1,236 @@
+//! The stateful "reduce" of the map/reduce-style top-k query (§6.1, open-loop
+//! workload): maintains a dictionary of the frequency of visited Wikipedia
+//! language versions and outputs the ranking of the most visited ones every
+//! reporting interval (30 s in the paper).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use seep_core::{Key, OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple};
+
+/// One ranking entry emitted at the end of a reporting interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankingEntry {
+    /// The counted item (e.g. a Wikipedia language code).
+    pub item: String,
+    /// Number of visits in the interval.
+    pub count: u64,
+    /// Rank (1 = most visited).
+    pub rank: u32,
+    /// Reporting interval sequence number.
+    pub interval: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct ItemCount {
+    item: String,
+    count: u64,
+}
+
+/// Stateful top-k reducer.
+pub struct TopKReducer {
+    counts: BTreeMap<Key, ItemCount>,
+    k: usize,
+    interval_ms: u64,
+    last_emit_ms: u64,
+    interval_seq: u64,
+}
+
+impl TopKReducer {
+    /// Create a reducer reporting the top `k` items every `interval_ms`.
+    pub fn new(k: usize, interval_ms: u64) -> Self {
+        TopKReducer {
+            counts: BTreeMap::new(),
+            k: k.max(1),
+            interval_ms: interval_ms.max(1),
+            last_emit_ms: 0,
+            interval_seq: 0,
+        }
+    }
+
+    /// Number of distinct items tracked in the current interval.
+    pub fn distinct_items(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Current count of an item.
+    pub fn count_of(&self, item: &str) -> Option<u64> {
+        self.counts
+            .values()
+            .find(|c| c.item == item)
+            .map(|c| c.count)
+    }
+
+    /// Compute the current ranking without closing the interval (used by the
+    /// sink to aggregate partial results from partitioned reducers).
+    pub fn current_top(&self) -> Vec<(String, u64)> {
+        let mut items: Vec<(String, u64)> = self
+            .counts
+            .values()
+            .map(|c| (c.item.clone(), c.count))
+            .collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        items.truncate(self.k);
+        items
+    }
+}
+
+impl StatefulOperator for TopKReducer {
+    fn process(&mut self, _stream: StreamId, tuple: &Tuple, _out: &mut Vec<OutputTuple>) {
+        let Ok(item) = tuple.decode::<String>() else {
+            return;
+        };
+        let entry = self.counts.entry(tuple.key).or_insert_with(|| ItemCount {
+            item,
+            count: 0,
+        });
+        entry.count += 1;
+    }
+
+    fn on_tick(&mut self, now_ms: u64, out: &mut Vec<OutputTuple>) {
+        if now_ms < self.last_emit_ms + self.interval_ms {
+            return;
+        }
+        for (rank, (item, count)) in self.current_top().into_iter().enumerate() {
+            let entry = RankingEntry {
+                rank: rank as u32 + 1,
+                interval: self.interval_seq,
+                item: item.clone(),
+                count,
+            };
+            let key = Key::from_str_key(&item);
+            if let Ok(t) = OutputTuple::encode(key, &entry) {
+                out.push(t);
+            }
+        }
+        self.counts.clear();
+        self.last_emit_ms = now_ms;
+        self.interval_seq += 1;
+    }
+
+    fn get_processing_state(&self) -> ProcessingState {
+        let mut st = ProcessingState::empty();
+        for (key, entry) in &self.counts {
+            st.insert_encoded(*key, entry).expect("item count serialises");
+        }
+        st.insert_encoded(Key(u64::MAX), &(self.last_emit_ms, self.interval_seq))
+            .expect("interval metadata serialises");
+        st
+    }
+
+    fn set_processing_state(&mut self, state: ProcessingState) {
+        self.counts.clear();
+        for (key, _) in state.iter() {
+            if key == Key(u64::MAX) {
+                if let Ok(Some((last, seq))) = state.get_decoded::<(u64, u64)>(key) {
+                    self.last_emit_ms = last;
+                    self.interval_seq = seq;
+                }
+                continue;
+            }
+            if let Ok(Some(entry)) = state.get_decoded::<ItemCount>(key) {
+                self.counts.insert(key, entry);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "top_k_reducer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn visit(op: &mut TopKReducer, ts: u64, lang: &str) {
+        let t = Tuple::encode(ts, Key::from_str_key(lang), &lang.to_string()).unwrap();
+        let mut out = Vec::new();
+        op.process(StreamId(0), &t, &mut out);
+    }
+
+    #[test]
+    fn ranking_orders_by_count() {
+        let mut op = TopKReducer::new(3, 30_000);
+        for _ in 0..10 {
+            visit(&mut op, 1, "en");
+        }
+        for _ in 0..5 {
+            visit(&mut op, 2, "de");
+        }
+        visit(&mut op, 3, "fr");
+        visit(&mut op, 4, "ja");
+
+        let top = op.current_top();
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0], ("en".to_string(), 10));
+        assert_eq!(top[1], ("de".to_string(), 5));
+        assert_eq!(op.distinct_items(), 4);
+        assert_eq!(op.count_of("en"), Some(10));
+        assert_eq!(op.count_of("xx"), None);
+    }
+
+    #[test]
+    fn interval_close_emits_ranked_entries_and_resets() {
+        let mut op = TopKReducer::new(2, 30_000);
+        for _ in 0..3 {
+            visit(&mut op, 1, "en");
+        }
+        visit(&mut op, 2, "de");
+        let mut out = Vec::new();
+        op.on_tick(29_999, &mut out);
+        assert!(out.is_empty());
+        op.on_tick(30_000, &mut out);
+        assert_eq!(out.len(), 2);
+        let first: RankingEntry = out[0].clone().with_ts(0).decode().unwrap();
+        assert_eq!(first.rank, 1);
+        assert_eq!(first.item, "en");
+        assert_eq!(first.interval, 0);
+        assert_eq!(op.distinct_items(), 0);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_name() {
+        let mut op = TopKReducer::new(2, 1_000);
+        visit(&mut op, 1, "zz");
+        visit(&mut op, 2, "aa");
+        let top = op.current_top();
+        assert_eq!(top[0].0, "aa");
+        assert_eq!(top[1].0, "zz");
+    }
+
+    #[test]
+    fn state_roundtrip_and_partitioning() {
+        use seep_core::KeyRange;
+        let mut op = TopKReducer::new(5, 30_000);
+        for lang in ["en", "de", "fr", "es", "ru", "ja", "zh"] {
+            visit(&mut op, 1, lang);
+        }
+        let state = op.get_processing_state();
+        // Restore into a fresh operator.
+        let mut restored = TopKReducer::new(5, 30_000);
+        restored.set_processing_state(state.clone());
+        assert_eq!(restored.distinct_items(), 7);
+        // Partition: counts are split, no language is lost or duplicated.
+        let ranges = KeyRange::full().split_even(3).unwrap();
+        let parts = state.partition_by_ranges(&ranges);
+        let mut reducers: Vec<TopKReducer> = parts
+            .iter()
+            .map(|p| {
+                let mut r = TopKReducer::new(5, 30_000);
+                r.set_processing_state(p.clone());
+                r
+            })
+            .collect();
+        let total: usize = reducers.iter().map(|r| r.distinct_items()).sum();
+        assert_eq!(total, 7);
+        // The global top-1 can be reconstructed from the partial results.
+        let best = reducers
+            .iter_mut()
+            .flat_map(|r| r.current_top())
+            .max_by_key(|(_, c)| *c)
+            .unwrap();
+        assert_eq!(best.1, 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Generic keyed windowed aggregates (sum / count / average / min / max).
+//!
+//! The paper's model targets arbitrary black-box stateful operators, but the
+//! classic relational stream operators are still a useful building block —
+//! and they demonstrate that the key/value state representation covers them
+//! too (cf. StreamCloud's join/aggregate-specific partitioning, §7).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use seep_core::{Key, OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple};
+
+/// The aggregate function to apply per key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggKind {
+    /// Sum of values.
+    Sum,
+    /// Count of tuples.
+    Count,
+    /// Arithmetic mean of values.
+    Avg,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+}
+
+/// Per-key accumulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+struct Accumulator {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    fn update(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.sum += value;
+        self.count += 1;
+    }
+
+    fn result(&self, kind: AggKind) -> f64 {
+        match kind {
+            AggKind::Sum => self.sum,
+            AggKind::Count => self.count as f64,
+            AggKind::Avg => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            AggKind::Min => self.min,
+            AggKind::Max => self.max,
+        }
+    }
+}
+
+/// The result emitted per key when a window closes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggResult {
+    /// Raw key the aggregate is grouped by.
+    pub key: u64,
+    /// The aggregate value.
+    pub value: f64,
+    /// Number of tuples that contributed.
+    pub count: u64,
+    /// Window sequence number.
+    pub window: u64,
+}
+
+/// A keyed tumbling-window aggregate over `f64`-payload tuples.
+pub struct WindowedAggregate {
+    kind: AggKind,
+    window_ms: u64,
+    accumulators: BTreeMap<Key, Accumulator>,
+    last_close_ms: u64,
+    window_seq: u64,
+}
+
+impl WindowedAggregate {
+    /// Create an aggregate of the given kind over a tumbling window.
+    pub fn new(kind: AggKind, window_ms: u64) -> Self {
+        WindowedAggregate {
+            kind,
+            window_ms: window_ms.max(1),
+            accumulators: BTreeMap::new(),
+            last_close_ms: 0,
+            window_seq: 0,
+        }
+    }
+
+    /// Number of keys tracked in the open window.
+    pub fn tracked_keys(&self) -> usize {
+        self.accumulators.len()
+    }
+
+    /// The current (partial) aggregate for a key.
+    pub fn partial_for(&self, key: Key) -> Option<f64> {
+        self.accumulators.get(&key).map(|a| a.result(self.kind))
+    }
+}
+
+impl StatefulOperator for WindowedAggregate {
+    fn process(&mut self, _stream: StreamId, tuple: &Tuple, _out: &mut Vec<OutputTuple>) {
+        let Ok(value) = tuple.decode::<f64>() else {
+            return;
+        };
+        self.accumulators.entry(tuple.key).or_default().update(value);
+    }
+
+    fn on_tick(&mut self, now_ms: u64, out: &mut Vec<OutputTuple>) {
+        if now_ms < self.last_close_ms + self.window_ms {
+            return;
+        }
+        for (key, acc) in &self.accumulators {
+            let result = AggResult {
+                key: key.raw(),
+                value: acc.result(self.kind),
+                count: acc.count,
+                window: self.window_seq,
+            };
+            if let Ok(t) = OutputTuple::encode(*key, &result) {
+                out.push(t);
+            }
+        }
+        self.accumulators.clear();
+        self.last_close_ms = now_ms;
+        self.window_seq += 1;
+    }
+
+    fn get_processing_state(&self) -> ProcessingState {
+        let mut st = ProcessingState::empty();
+        for (key, acc) in &self.accumulators {
+            st.insert_encoded(*key, acc).expect("accumulator serialises");
+        }
+        st.insert_encoded(Key(u64::MAX), &(self.last_close_ms, self.window_seq))
+            .expect("window metadata serialises");
+        st
+    }
+
+    fn set_processing_state(&mut self, state: ProcessingState) {
+        self.accumulators.clear();
+        for (key, _) in state.iter() {
+            if key == Key(u64::MAX) {
+                if let Ok(Some((close, seq))) = state.get_decoded::<(u64, u64)>(key) {
+                    self.last_close_ms = close;
+                    self.window_seq = seq;
+                }
+                continue;
+            }
+            if let Ok(Some(acc)) = state.get_decoded::<Accumulator>(key) {
+                self.accumulators.insert(key, acc);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "windowed_aggregate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(op: &mut WindowedAggregate, key: u64, values: &[f64]) {
+        let mut out = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            let t = Tuple::encode(i as u64 + 1, Key(key), v).unwrap();
+            op.process(StreamId(0), &t, &mut out);
+        }
+    }
+
+    #[test]
+    fn aggregates_per_key() {
+        let mut op = WindowedAggregate::new(AggKind::Sum, 1_000);
+        feed(&mut op, 1, &[1.0, 2.0, 3.0]);
+        feed(&mut op, 2, &[10.0]);
+        assert_eq!(op.tracked_keys(), 2);
+        assert_eq!(op.partial_for(Key(1)), Some(6.0));
+        assert_eq!(op.partial_for(Key(2)), Some(10.0));
+        assert_eq!(op.partial_for(Key(3)), None);
+    }
+
+    #[test]
+    fn all_aggregate_kinds_compute_correctly() {
+        let values = [4.0, 2.0, 6.0];
+        let cases = [
+            (AggKind::Sum, 12.0),
+            (AggKind::Count, 3.0),
+            (AggKind::Avg, 4.0),
+            (AggKind::Min, 2.0),
+            (AggKind::Max, 6.0),
+        ];
+        for (kind, expected) in cases {
+            let mut op = WindowedAggregate::new(kind, 1_000);
+            feed(&mut op, 7, &values);
+            assert_eq!(op.partial_for(Key(7)), Some(expected), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn window_close_emits_results() {
+        let mut op = WindowedAggregate::new(AggKind::Avg, 1_000);
+        feed(&mut op, 1, &[2.0, 4.0]);
+        let mut out = Vec::new();
+        op.on_tick(1_000, &mut out);
+        assert_eq!(out.len(), 1);
+        let r: AggResult = out[0].clone().with_ts(0).decode().unwrap();
+        assert_eq!(r.value, 3.0);
+        assert_eq!(r.count, 2);
+        assert_eq!(r.window, 0);
+        assert_eq!(op.tracked_keys(), 0);
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let mut op = WindowedAggregate::new(AggKind::Max, 1_000);
+        feed(&mut op, 5, &[1.0, 9.0, 3.0]);
+        let state = op.get_processing_state();
+        let mut restored = WindowedAggregate::new(AggKind::Max, 1_000);
+        restored.set_processing_state(state);
+        assert_eq!(restored.partial_for(Key(5)), Some(9.0));
+    }
+
+    #[test]
+    fn malformed_payload_ignored() {
+        let mut op = WindowedAggregate::new(AggKind::Sum, 1_000);
+        let mut out = Vec::new();
+        op.process(StreamId(0), &Tuple::new(1, Key(1), vec![1, 2]), &mut out);
+        assert_eq!(op.tracked_keys(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Bottleneck detection and the scaling policy (§5.1).
+//!
+//! Every `r` seconds the VMs hosting operators submit CPU utilisation
+//! reports; when `k` consecutive reports of an operator exceed the threshold
+//! δ, the operator is declared a bottleneck and the scale-out coordinator is
+//! asked to parallelise it. The paper determines empirically that `r = 5 s`,
+//! `k = 2` and `δ = 70 %` give appropriate scaling behaviour.
+
+use serde::{Deserialize, Serialize};
+
+use seep_cloud::CpuMonitor;
+use seep_core::OperatorId;
+
+/// The scaling policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPolicy {
+    /// CPU utilisation threshold δ in `[0, 1]`.
+    pub threshold: f64,
+    /// Number of consecutive reports above the threshold required (k).
+    pub consecutive_reports: usize,
+    /// Report interval r in milliseconds.
+    pub report_interval_ms: u64,
+    /// Additional partitions created per scale-out action (the paper scales
+    /// one bottleneck operator at a time, splitting it in two).
+    pub partitions_per_action: usize,
+}
+
+impl Default for ScalingPolicy {
+    fn default() -> Self {
+        ScalingPolicy {
+            threshold: 0.70,
+            consecutive_reports: 2,
+            report_interval_ms: 5_000,
+            partitions_per_action: 2,
+        }
+    }
+}
+
+impl ScalingPolicy {
+    /// A policy with a different utilisation threshold (used by the δ sweep
+    /// of Fig. 9).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+}
+
+/// Detects bottleneck operators from CPU utilisation reports.
+#[derive(Debug)]
+pub struct BottleneckDetector {
+    policy: ScalingPolicy,
+}
+
+impl BottleneckDetector {
+    /// Create a detector with the given policy.
+    pub fn new(policy: ScalingPolicy) -> Self {
+        BottleneckDetector { policy }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> &ScalingPolicy {
+        &self.policy
+    }
+
+    /// The operators among `candidates` whose last `k` reports all exceed δ.
+    pub fn bottlenecks(&self, monitor: &CpuMonitor, candidates: &[OperatorId]) -> Vec<OperatorId> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|op| {
+                monitor.consecutive_above(
+                    *op,
+                    self.policy.consecutive_reports,
+                    self.policy.threshold,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seep_cloud::{UtilizationReport, VmId};
+
+    fn report(op: u64, at: u64, util: f64) -> UtilizationReport {
+        UtilizationReport {
+            operator: OperatorId::new(op),
+            vm: VmId(op),
+            at_ms: at,
+            utilization: util,
+        }
+    }
+
+    #[test]
+    fn default_policy_matches_paper() {
+        let p = ScalingPolicy::default();
+        assert!((p.threshold - 0.70).abs() < 1e-9);
+        assert_eq!(p.consecutive_reports, 2);
+        assert_eq!(p.report_interval_ms, 5_000);
+        let p10 = p.with_threshold(0.10);
+        assert!((p10.threshold - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_operator_with_k_consecutive_high_reports() {
+        let monitor = CpuMonitor::new(16);
+        let detector = BottleneckDetector::new(ScalingPolicy::default());
+        let ops = [OperatorId::new(1), OperatorId::new(2)];
+
+        monitor.record(report(1, 0, 0.9));
+        monitor.record(report(2, 0, 0.4));
+        assert!(detector.bottlenecks(&monitor, &ops).is_empty(), "only one report");
+
+        monitor.record(report(1, 5_000, 0.85));
+        monitor.record(report(2, 5_000, 0.5));
+        assert_eq!(detector.bottlenecks(&monitor, &ops), vec![OperatorId::new(1)]);
+    }
+
+    #[test]
+    fn dip_below_threshold_resets_detection() {
+        let monitor = CpuMonitor::new(16);
+        let detector = BottleneckDetector::new(ScalingPolicy::default());
+        let ops = [OperatorId::new(1)];
+        monitor.record(report(1, 0, 0.9));
+        monitor.record(report(1, 5_000, 0.6));
+        monitor.record(report(1, 10_000, 0.9));
+        assert!(detector.bottlenecks(&monitor, &ops).is_empty());
+        assert_eq!(detector.policy().consecutive_reports, 2);
+    }
+}

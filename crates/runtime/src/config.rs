@@ -1,0 +1,88 @@
+//! Runtime configuration.
+
+use serde::{Deserialize, Serialize};
+
+use seep_cloud::{ProviderConfig, VmPoolConfig};
+
+use crate::bottleneck::ScalingPolicy;
+use crate::recovery::RecoveryStrategy;
+
+/// Configuration of the SPS runtime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Checkpointing interval `c` in milliseconds (§3.2). The paper's default
+    /// for the recovery experiments is 5 s.
+    pub checkpoint_interval_ms: u64,
+    /// Interval at which windowed operators are ticked, in milliseconds.
+    pub tick_interval_ms: u64,
+    /// Capacity (in messages) of each operator's inbound channel.
+    pub channel_capacity: usize,
+    /// Fault-tolerance strategy (R+SM, upstream backup or source replay).
+    pub strategy: RecoveryStrategy,
+    /// Scaling policy for the bottleneck detector (§5.1).
+    pub scaling_policy: ScalingPolicy,
+    /// Cloud provider behaviour (provisioning delay, VM limits).
+    pub provider: ProviderConfig,
+    /// VM pool configuration (§5.2).
+    pub pool: VmPoolConfig,
+    /// Maximum envelopes a worker drains per step, bounding the work done
+    /// before other workers get a turn.
+    pub worker_batch: usize,
+    /// Record end-to-end latency samples at stateful operators as well as at
+    /// sinks. Used by the state-management overhead experiments (§6.3), where
+    /// the query's sink only receives window results but the per-tuple
+    /// latency at the stateful operator is the quantity of interest.
+    pub latency_probe_at_stateful: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            checkpoint_interval_ms: 5_000,
+            tick_interval_ms: 1_000,
+            channel_capacity: 262_144,
+            strategy: RecoveryStrategy::StateManagement,
+            scaling_policy: ScalingPolicy::default(),
+            provider: ProviderConfig::instant(),
+            pool: VmPoolConfig::default(),
+            worker_batch: 512,
+            latency_probe_at_stateful: false,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A configuration using the given checkpoint interval (milliseconds).
+    pub fn with_checkpoint_interval(mut self, interval_ms: u64) -> Self {
+        self.checkpoint_interval_ms = interval_ms;
+        self
+    }
+
+    /// A configuration using the given recovery strategy.
+    pub fn with_strategy(mut self, strategy: RecoveryStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.checkpoint_interval_ms, 5_000);
+        assert_eq!(c.strategy, RecoveryStrategy::StateManagement);
+        assert!(c.channel_capacity > 1_000);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = RuntimeConfig::default()
+            .with_checkpoint_interval(10_000)
+            .with_strategy(RecoveryStrategy::UpstreamBackup);
+        assert_eq!(c.checkpoint_interval_ms, 10_000);
+        assert_eq!(c.strategy, RecoveryStrategy::UpstreamBackup);
+    }
+}

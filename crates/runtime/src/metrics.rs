@@ -1,0 +1,287 @@
+//! Runtime metrics: processing latency, throughput, checkpoint cost,
+//! recovery and scale-out events.
+//!
+//! The paper reports processing latency percentiles (median, 95th, 99th),
+//! throughput over time, recovery times and the number of allocated VMs; the
+//! metrics registry collects exactly those so the benchmark harness can print
+//! the same series.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use seep_core::{LogicalOpId, OperatorId};
+
+/// One checkpoint taken by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointRecord {
+    /// Operator checkpointed.
+    pub operator: OperatorId,
+    /// Virtual time at which it was taken (ms).
+    pub at_ms: u64,
+    /// Wall-clock cost of taking and backing up the checkpoint (µs).
+    pub duration_us: u64,
+    /// Size of the checkpoint (bytes).
+    pub size_bytes: usize,
+}
+
+/// One recovery performed by the runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// The failed operator that was recovered.
+    pub operator: OperatorId,
+    /// Parallelisation level used for the recovery (1 = serial recovery).
+    pub parallelism: usize,
+    /// Wall-clock recovery time in milliseconds (restore + replay + catch-up).
+    pub duration_ms: f64,
+    /// Number of tuples replayed from upstream buffers.
+    pub replayed_tuples: usize,
+    /// Strategy label ("R+SM", "UB", "SR").
+    pub strategy: String,
+}
+
+/// One scale-out action performed by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleOutRecord {
+    /// The logical operator that was repartitioned.
+    pub logical: LogicalOpId,
+    /// New number of partitions of that logical operator.
+    pub new_parallelism: usize,
+    /// Virtual time of the action (ms).
+    pub at_ms: u64,
+    /// Wall-clock cost of the reconfiguration (µs), excluding catch-up.
+    pub duration_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    latencies_us: Vec<u64>,
+    sink_tuples: u64,
+    processed: HashMap<OperatorId, u64>,
+    checkpoints: Vec<CheckpointRecord>,
+    recoveries: Vec<RecoveryRecord>,
+    scale_outs: Vec<ScaleOutRecord>,
+    dropped_sends: u64,
+}
+
+/// Thread-safe metrics registry shared by the runtime and its workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<MetricsInner>,
+}
+
+/// A point-in-time copy of aggregate metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Number of tuples that reached a sink.
+    pub sink_tuples: u64,
+    /// Total tuples processed across operators.
+    pub total_processed: u64,
+    /// Median end-to-end latency (ms).
+    pub latency_p50_ms: f64,
+    /// 95th percentile end-to-end latency (ms).
+    pub latency_p95_ms: f64,
+    /// 99th percentile end-to-end latency (ms).
+    pub latency_p99_ms: f64,
+    /// Number of checkpoints taken.
+    pub checkpoints: usize,
+    /// Number of recoveries performed.
+    pub recoveries: usize,
+    /// Number of scale-out actions performed.
+    pub scale_outs: usize,
+    /// Sends that failed because the destination was disconnected.
+    pub dropped_sends: u64,
+}
+
+impl Metrics {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one end-to-end latency sample observed at a sink.
+    pub fn record_latency_us(&self, us: u64) {
+        let mut inner = self.inner.lock();
+        inner.latencies_us.push(us);
+        inner.sink_tuples += 1;
+    }
+
+    /// Record that an operator processed `n` tuples.
+    pub fn record_processed(&self, operator: OperatorId, n: u64) {
+        *self.inner.lock().processed.entry(operator).or_insert(0) += n;
+    }
+
+    /// Record a send that failed because the destination is gone.
+    pub fn record_dropped_send(&self) {
+        self.inner.lock().dropped_sends += 1;
+    }
+
+    /// Record a checkpoint.
+    pub fn record_checkpoint(&self, record: CheckpointRecord) {
+        self.inner.lock().checkpoints.push(record);
+    }
+
+    /// Record a recovery.
+    pub fn record_recovery(&self, record: RecoveryRecord) {
+        self.inner.lock().recoveries.push(record);
+    }
+
+    /// Record a scale-out action.
+    pub fn record_scale_out(&self, record: ScaleOutRecord) {
+        self.inner.lock().scale_outs.push(record);
+    }
+
+    /// The latency value at percentile `p` (0–100), in milliseconds.
+    /// Returns 0 when no samples exist.
+    pub fn latency_percentile_ms(&self, p: f64) -> f64 {
+        let inner = self.inner.lock();
+        percentile_us(&inner.latencies_us, p) / 1_000.0
+    }
+
+    /// Number of latency samples recorded.
+    pub fn latency_samples(&self) -> usize {
+        self.inner.lock().latencies_us.len()
+    }
+
+    /// Tuples processed by a given operator.
+    pub fn processed_by(&self, operator: OperatorId) -> u64 {
+        self.inner
+            .lock()
+            .processed
+            .get(&operator)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All recovery records so far.
+    pub fn recoveries(&self) -> Vec<RecoveryRecord> {
+        self.inner.lock().recoveries.clone()
+    }
+
+    /// All checkpoint records so far.
+    pub fn checkpoints(&self) -> Vec<CheckpointRecord> {
+        self.inner.lock().checkpoints.clone()
+    }
+
+    /// All scale-out records so far.
+    pub fn scale_outs(&self) -> Vec<ScaleOutRecord> {
+        self.inner.lock().scale_outs.clone()
+    }
+
+    /// Clear latency samples (used between experiment phases so the measured
+    /// percentiles cover only the phase of interest).
+    pub fn reset_latencies(&self) {
+        self.inner.lock().latencies_us.clear();
+    }
+
+    /// Aggregate snapshot of the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            sink_tuples: inner.sink_tuples,
+            total_processed: inner.processed.values().sum(),
+            latency_p50_ms: percentile_us(&inner.latencies_us, 50.0) / 1_000.0,
+            latency_p95_ms: percentile_us(&inner.latencies_us, 95.0) / 1_000.0,
+            latency_p99_ms: percentile_us(&inner.latencies_us, 99.0) / 1_000.0,
+            checkpoints: inner.checkpoints.len(),
+            recoveries: inner.recoveries.len(),
+            scale_outs: inner.scale_outs.len(),
+            dropped_sends: inner.dropped_sends,
+        }
+    }
+}
+
+/// Percentile of a sample set in µs (nearest-rank). 0 for an empty set.
+fn percentile_us(samples: &[u64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)] as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_samples() {
+        let m = Metrics::new();
+        for i in 1..=100u64 {
+            m.record_latency_us(i * 1_000); // 1..=100 ms
+        }
+        assert_eq!(m.latency_samples(), 100);
+        assert!((m.latency_percentile_ms(50.0) - 50.0).abs() <= 1.0);
+        assert!((m.latency_percentile_ms(95.0) - 95.0).abs() <= 1.0);
+        assert!((m.latency_percentile_ms(99.0) - 99.0).abs() <= 1.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.sink_tuples, 100);
+        assert!(snap.latency_p99_ms >= snap.latency_p50_ms);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.latency_percentile_ms(95.0), 0.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.sink_tuples, 0);
+        assert_eq!(snap.total_processed, 0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.record_processed(OperatorId::new(1), 10);
+        m.record_processed(OperatorId::new(1), 5);
+        m.record_processed(OperatorId::new(2), 1);
+        m.record_dropped_send();
+        assert_eq!(m.processed_by(OperatorId::new(1)), 15);
+        assert_eq!(m.processed_by(OperatorId::new(9)), 0);
+        assert_eq!(m.snapshot().total_processed, 16);
+        assert_eq!(m.snapshot().dropped_sends, 1);
+    }
+
+    #[test]
+    fn event_records_are_kept() {
+        let m = Metrics::new();
+        m.record_checkpoint(CheckpointRecord {
+            operator: OperatorId::new(1),
+            at_ms: 5_000,
+            duration_us: 200,
+            size_bytes: 1024,
+        });
+        m.record_recovery(RecoveryRecord {
+            operator: OperatorId::new(1),
+            parallelism: 1,
+            duration_ms: 12.5,
+            replayed_tuples: 100,
+            strategy: "R+SM".into(),
+        });
+        m.record_scale_out(ScaleOutRecord {
+            logical: LogicalOpId(2),
+            new_parallelism: 2,
+            at_ms: 6_000,
+            duration_us: 900,
+        });
+        assert_eq!(m.checkpoints().len(), 1);
+        assert_eq!(m.recoveries().len(), 1);
+        assert_eq!(m.scale_outs().len(), 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.checkpoints, 1);
+        assert_eq!(snap.recoveries, 1);
+        assert_eq!(snap.scale_outs, 1);
+    }
+
+    #[test]
+    fn reset_latencies_clears_samples_only() {
+        let m = Metrics::new();
+        m.record_latency_us(1_000);
+        m.record_processed(OperatorId::new(1), 1);
+        m.reset_latencies();
+        assert_eq!(m.latency_samples(), 0);
+        assert_eq!(m.processed_by(OperatorId::new(1)), 1);
+    }
+}

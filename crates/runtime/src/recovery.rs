@@ -1,0 +1,64 @@
+//! Fault-tolerance strategies compared in §6.2 (Fig. 11).
+//!
+//! * **R+SM** (the paper's approach): operator state is checkpointed every
+//!   interval `c` and backed up upstream; recovery restores the checkpoint
+//!   and replays only the tuples buffered since it was taken.
+//! * **Upstream backup (UB)**: no checkpoints; upstream operators buffer all
+//!   output tuples for the window horizon and recovery re-processes the whole
+//!   buffer to rebuild the operator state.
+//! * **Source replay (SR)**: no checkpoints and no intermediate buffering;
+//!   only the sources buffer tuples, and recovery replays them through the
+//!   whole pipeline (stopping new tuple generation while doing so).
+
+use serde::{Deserialize, Serialize};
+
+/// Which fault-tolerance mechanism the runtime uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryStrategy {
+    /// Recovery using state management (the paper's approach).
+    StateManagement,
+    /// Upstream backup: replay buffered tuples from the immediate upstream.
+    UpstreamBackup,
+    /// Source replay: replay buffered tuples from the sources.
+    SourceReplay,
+}
+
+impl RecoveryStrategy {
+    /// Whether periodic checkpointing is active under this strategy.
+    pub fn checkpoints(self) -> bool {
+        matches!(self, RecoveryStrategy::StateManagement)
+    }
+
+    /// Whether intermediate (non-source) operators keep output buffers for
+    /// replay under this strategy.
+    pub fn intermediate_buffers(self) -> bool {
+        !matches!(self, RecoveryStrategy::SourceReplay)
+    }
+
+    /// Short name used in metrics and experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryStrategy::StateManagement => "R+SM",
+            RecoveryStrategy::UpstreamBackup => "UB",
+            RecoveryStrategy::SourceReplay => "SR",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_properties() {
+        assert!(RecoveryStrategy::StateManagement.checkpoints());
+        assert!(!RecoveryStrategy::UpstreamBackup.checkpoints());
+        assert!(!RecoveryStrategy::SourceReplay.checkpoints());
+        assert!(RecoveryStrategy::StateManagement.intermediate_buffers());
+        assert!(RecoveryStrategy::UpstreamBackup.intermediate_buffers());
+        assert!(!RecoveryStrategy::SourceReplay.intermediate_buffers());
+        assert_eq!(RecoveryStrategy::StateManagement.label(), "R+SM");
+        assert_eq!(RecoveryStrategy::UpstreamBackup.label(), "UB");
+        assert_eq!(RecoveryStrategy::SourceReplay.label(), "SR");
+    }
+}

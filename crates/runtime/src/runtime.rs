@@ -1,0 +1,996 @@
+//! The SPS runtime: deployment, checkpointing, failure handling and the
+//! integrated fault-tolerant scale-out algorithm (Algorithm 3).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+use seep_cloud::{CloudProvider, CpuMonitor, UtilizationReport, VmPool};
+use seep_core::operator::OperatorFactory;
+use seep_core::primitives::{partition_checkpoint, BackupCoordinator};
+use seep_core::{
+    Checkpoint, Error, ExecutionGraph, InMemoryBackupStore, Key, KeyRange, LogicalOpId,
+    OperatorId, OperatorKind, QueryGraph, Result, StreamId, TimestampVec,
+};
+use seep_net::Network;
+
+use crate::bottleneck::BottleneckDetector;
+use crate::config::RuntimeConfig;
+use crate::metrics::{CheckpointRecord, Metrics, RecoveryRecord, ScaleOutRecord};
+use crate::recovery::RecoveryStrategy;
+use crate::worker::{SharedClock, WorkerCore};
+
+/// Result of a scale-out (or recovery) action.
+#[derive(Debug, Clone)]
+pub struct ScaleOutOutcome {
+    /// The new partitioned operator instances replacing the old one.
+    pub new_operators: Vec<OperatorId>,
+    /// Tuples replayed from upstream buffers to bring the new partitions up
+    /// to date.
+    pub replayed_tuples: usize,
+}
+
+/// The stream processing system.
+pub struct Runtime {
+    config: RuntimeConfig,
+    network: Network,
+    graph: Option<ExecutionGraph>,
+    factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>>,
+    workers: BTreeMap<OperatorId, WorkerCore>,
+    backup: BackupCoordinator,
+    provider: Arc<CloudProvider>,
+    pool: VmPool,
+    monitor: CpuMonitor,
+    detector: BottleneckDetector,
+    metrics: Arc<Metrics>,
+    clocks: HashMap<LogicalOpId, SharedClock>,
+    vm_of: HashMap<OperatorId, seep_cloud::VmId>,
+    now_ms: u64,
+    epoch: Instant,
+    last_checkpoint_ms: HashMap<OperatorId, u64>,
+    checkpoint_seq: HashMap<OperatorId, u64>,
+    last_tick_ms: u64,
+    last_report_ms: u64,
+    auto_scale: bool,
+}
+
+impl Runtime {
+    /// Create a runtime with the given configuration. The query is deployed
+    /// separately with [`deploy`](Self::deploy).
+    pub fn new(config: RuntimeConfig) -> Self {
+        let provider = Arc::new(CloudProvider::new(config.provider.clone()));
+        let pool = VmPool::new(provider.clone(), config.pool.clone(), 0);
+        let detector = BottleneckDetector::new(config.scaling_policy);
+        Runtime {
+            network: Network::new(config.channel_capacity),
+            graph: None,
+            factories: HashMap::new(),
+            workers: BTreeMap::new(),
+            backup: BackupCoordinator::new(),
+            provider,
+            pool,
+            monitor: CpuMonitor::new(32),
+            detector,
+            metrics: Arc::new(Metrics::new()),
+            clocks: HashMap::new(),
+            vm_of: HashMap::new(),
+            now_ms: 0,
+            epoch: Instant::now(),
+            last_checkpoint_ms: HashMap::new(),
+            checkpoint_seq: HashMap::new(),
+            last_tick_ms: 0,
+            last_report_ms: 0,
+            auto_scale: false,
+            config,
+        }
+    }
+
+    /// Enable or disable automatic scale out driven by the bottleneck
+    /// detector (§5.1). Disabled by default so experiments can trigger scale
+    /// out explicitly.
+    pub fn set_auto_scale(&mut self, enabled: bool) {
+        self.auto_scale = enabled;
+    }
+
+    /// Deploy a query: one VM and one worker per logical operator
+    /// (parallelisation level 1, Fig. 3a). `factories` provides a fresh
+    /// operator instance per logical operator, used both at deployment and
+    /// whenever new partitions are created during scale out or recovery.
+    pub fn deploy(
+        &mut self,
+        query: QueryGraph,
+        factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>>,
+    ) -> Result<()> {
+        for op in query.operators() {
+            if !factories.contains_key(&op.id) {
+                return Err(Error::InvalidGraph(format!(
+                    "no operator factory registered for {} ({})",
+                    op.id, op.name
+                )));
+            }
+        }
+        let graph = ExecutionGraph::deploy(query)?;
+        self.factories = factories;
+        for logical in graph.query().operators().map(|o| o.id).collect::<Vec<_>>() {
+            self.clocks.insert(logical, SharedClock::new());
+        }
+        let instances: Vec<_> = graph.instances().cloned().collect();
+        self.graph = Some(graph);
+        for instance in instances {
+            self.create_worker(&instance)?;
+        }
+        Ok(())
+    }
+
+    fn graph(&self) -> &ExecutionGraph {
+        self.graph.as_ref().expect("query deployed")
+    }
+
+    fn graph_mut(&mut self) -> &mut ExecutionGraph {
+        self.graph.as_mut().expect("query deployed")
+    }
+
+    /// The execution graph (for inspection by experiments).
+    pub fn execution_graph(&self) -> &ExecutionGraph {
+        self.graph()
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The cloud provider backing the deployment.
+    pub fn provider(&self) -> &CloudProvider {
+        &self.provider
+    }
+
+    /// Number of VMs currently running.
+    pub fn vm_count(&self) -> usize {
+        self.provider.running_count()
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Current parallelisation level of a logical operator.
+    pub fn parallelism(&self, logical: LogicalOpId) -> usize {
+        self.graph().parallelism(logical)
+    }
+
+    /// The physical instances of a logical operator.
+    pub fn partitions(&self, logical: LogicalOpId) -> Vec<OperatorId> {
+        self.graph().partitions(logical).to_vec()
+    }
+
+    /// Run a closure against the operator hosted by `instance` (for result
+    /// collection and assertions). Returns `None` if the worker is gone.
+    pub fn with_operator<R>(
+        &self,
+        instance: OperatorId,
+        f: impl FnOnce(&dyn seep_core::StatefulOperator) -> R,
+    ) -> Option<R> {
+        self.workers.get(&instance).map(|w| f(w.operator()))
+    }
+
+    /// Total tuples queued on worker inbound channels (0 when fully drained).
+    pub fn queued_tuples(&self) -> usize {
+        self.workers.values().map(WorkerCore::queued).sum()
+    }
+
+    fn create_worker(&mut self, instance: &seep_core::graph::OperatorInstance) -> Result<()> {
+        let vm = self
+            .pool
+            .acquire(self.now_ms)
+            .ok_or_else(|| Error::Invariant("VM pool exhausted".into()))?;
+        let receiver = self.network.register(instance.id);
+        let factory = self
+            .factories
+            .get(&instance.logical)
+            .ok_or(Error::UnknownLogicalOperator(instance.logical.0))?;
+        let operator = factory.build();
+
+        let graph = self.graph();
+        let query = graph.query();
+        let kind = query.operator(instance.logical)?.kind;
+        let downstream = query.downstream(instance.logical);
+        let is_sink = downstream.is_empty();
+        let keep_buffers =
+            self.config.strategy.intermediate_buffers() || kind == OperatorKind::Source;
+        let mut routing = BTreeMap::new();
+        for ld in downstream {
+            routing.insert(ld, graph.routing(ld)?.clone());
+        }
+        let clock = self
+            .clocks
+            .get(&instance.logical)
+            .cloned()
+            .unwrap_or_default();
+        let mut worker = WorkerCore::new(
+            instance.id,
+            instance.logical,
+            operator,
+            receiver,
+            routing,
+            clock,
+            is_sink,
+            keep_buffers,
+        );
+        if self.config.latency_probe_at_stateful && worker.stateful {
+            worker.latency_probe = true;
+        }
+        self.backup
+            .register_store(instance.id, Arc::new(InMemoryBackupStore::new()));
+        self.workers.insert(instance.id, worker);
+        self.vm_of.insert(instance.id, vm);
+        self.checkpoint_seq.insert(instance.id, 0);
+        self.last_checkpoint_ms.insert(instance.id, self.now_ms);
+        Ok(())
+    }
+
+    /// Inject a source tuple into the (first partition of the) given source
+    /// operator, as the data feeder would.
+    pub fn inject(&mut self, source: LogicalOpId, key: Key, payload: impl Into<bytes::Bytes>) {
+        let Some(&instance) = self.graph().partitions(source).first() else {
+            return;
+        };
+        let network = self.network.clone();
+        let metrics = self.metrics.clone();
+        let epoch = self.epoch;
+        if let Some(worker) = self.workers.get_mut(&instance) {
+            worker.emit_source(key, payload, &network, &metrics, epoch);
+        }
+    }
+
+    /// Process pending tuples until every worker's inbound channel is empty.
+    /// Returns the total number of tuples processed.
+    pub fn drain(&mut self) -> u64 {
+        let network = self.network.clone();
+        let metrics = self.metrics.clone();
+        let epoch = self.epoch;
+        let batch = self.config.worker_batch;
+        let order: Vec<OperatorId> = self.topological_instances();
+        let mut total = 0u64;
+        loop {
+            let mut progressed = 0usize;
+            for id in &order {
+                if let Some(worker) = self.workers.get_mut(id) {
+                    progressed += worker.step(&network, &metrics, epoch, batch);
+                }
+            }
+            total += progressed as u64;
+            if progressed == 0 {
+                break;
+            }
+        }
+        total
+    }
+
+    fn topological_instances(&self) -> Vec<OperatorId> {
+        let graph = self.graph();
+        let mut out = Vec::with_capacity(self.workers.len());
+        if let Ok(order) = graph.query().topological_order() {
+            for logical in order {
+                out.extend_from_slice(graph.partitions(logical));
+            }
+        } else {
+            out.extend(self.workers.keys().copied());
+        }
+        out
+    }
+
+    /// Advance virtual time. Triggers, in order: VM-pool refill, operator
+    /// window ticks, periodic checkpoints, CPU-utilisation reports and (when
+    /// auto-scale is on) the scaling policy.
+    pub fn advance_to(&mut self, now_ms: u64) {
+        if now_ms < self.now_ms {
+            return;
+        }
+        self.now_ms = now_ms;
+        self.pool.tick(now_ms);
+
+        // Window ticks.
+        if now_ms.saturating_sub(self.last_tick_ms) >= self.config.tick_interval_ms {
+            self.last_tick_ms = now_ms;
+            let network = self.network.clone();
+            let metrics = self.metrics.clone();
+            let epoch = self.epoch;
+            for worker in self.workers.values_mut() {
+                worker.tick(now_ms, &network, &metrics, epoch);
+            }
+        }
+
+        // Periodic checkpoints (R+SM only).
+        if self.config.strategy.checkpoints() {
+            let due: Vec<OperatorId> = self
+                .workers
+                .iter()
+                .filter(|(id, w)| {
+                    w.stateful
+                        && !w.is_failed()
+                        && now_ms.saturating_sub(
+                            self.last_checkpoint_ms.get(id).copied().unwrap_or(0),
+                        ) >= self.config.checkpoint_interval_ms
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            for op in due {
+                let _ = self.checkpoint_operator(op);
+            }
+        }
+
+        // Utilisation reports and the scaling policy.
+        let report_interval = self.config.scaling_policy.report_interval_ms;
+        if now_ms.saturating_sub(self.last_report_ms) >= report_interval {
+            self.last_report_ms = now_ms;
+            let mut reports = Vec::new();
+            for (id, worker) in self.workers.iter_mut() {
+                if worker.is_failed() {
+                    continue;
+                }
+                let utilization = worker.utilization(report_interval);
+                reports.push(UtilizationReport {
+                    operator: *id,
+                    vm: self.vm_of.get(id).copied().unwrap_or(seep_cloud::VmId(0)),
+                    at_ms: now_ms,
+                    utilization,
+                });
+            }
+            for r in reports {
+                self.monitor.record(r);
+            }
+            if self.auto_scale {
+                let candidates: Vec<OperatorId> = {
+                    let graph = self.graph();
+                    graph
+                        .instances()
+                        .filter(|i| {
+                            graph
+                                .query()
+                                .operator(i.logical)
+                                .map(|o| o.kind.scalable())
+                                .unwrap_or(false)
+                        })
+                        .map(|i| i.id)
+                        .collect()
+                };
+                let bottlenecks = self.detector.bottlenecks(&self.monitor, &candidates);
+                let pi = self.config.scaling_policy.partitions_per_action;
+                for op in bottlenecks {
+                    let _ = self.scale_out(op, pi);
+                }
+            }
+        }
+    }
+
+    /// Take a checkpoint of `operator`, back it up to an upstream VM and trim
+    /// the upstream output buffers (§3.2, Algorithm 1).
+    pub fn checkpoint_operator(&mut self, operator: OperatorId) -> Result<CheckpointRecord> {
+        let started = Instant::now();
+        let seq = {
+            let seq = self.checkpoint_seq.entry(operator).or_insert(0);
+            *seq += 1;
+            *seq
+        };
+        let checkpoint = {
+            let worker = self
+                .workers
+                .get(&operator)
+                .ok_or(Error::UnknownOperator(operator))?;
+            if worker.is_failed() {
+                return Err(Error::Invariant(format!(
+                    "cannot checkpoint failed operator {operator}"
+                )));
+            }
+            worker.take_checkpoint(seq)
+        };
+        let size_bytes = checkpoint.size_bytes();
+        let upstreams = self.graph().upstream_instances(operator)?;
+        if !upstreams.is_empty() {
+            let outcome = self
+                .backup
+                .backup_state(operator, &upstreams, checkpoint)?;
+            // Trim upstream output buffers up to the reflected timestamps
+            // (Algorithm 1, line 4).
+            for up in upstreams {
+                let up_logical = self.graph().instance(up)?.logical;
+                if let Some(ts) = outcome.trim_to.get(StreamId(up_logical.0)) {
+                    if let Some(worker) = self.workers.get_mut(&up) {
+                        worker.buffer_mut().trim(operator, ts);
+                    }
+                }
+            }
+        }
+        self.last_checkpoint_ms.insert(operator, self.now_ms);
+        let record = CheckpointRecord {
+            operator,
+            at_ms: self.now_ms,
+            duration_us: started.elapsed().as_micros() as u64,
+            size_bytes,
+        };
+        self.metrics.record_checkpoint(record);
+        Ok(record)
+    }
+
+    /// Crash-stop the VM hosting `operator`: the worker stops, its in-memory
+    /// state and any backups it stored for other operators are lost, and its
+    /// network endpoint disappears.
+    pub fn fail_operator(&mut self, operator: OperatorId) {
+        if let Some(worker) = self.workers.get_mut(&operator) {
+            worker.mark_failed();
+        }
+        self.network.disconnect(operator);
+        if let Some(vm) = self.vm_of.get(&operator) {
+            self.provider.fail_vm(*vm, self.now_ms);
+        }
+        self.backup.unregister_store(operator);
+        self.monitor.forget(operator);
+    }
+
+    /// Scale out (or recover) `target` into `pi` new partitioned operators —
+    /// Algorithm 3. Returns the new operator ids and the number of tuples
+    /// replayed from upstream buffers.
+    pub fn scale_out(&mut self, target: OperatorId, pi: usize) -> Result<ScaleOutOutcome> {
+        let started = Instant::now();
+        let inst = self.graph().instance(target)?.clone();
+        let logical = inst.logical;
+        let was_failed = self
+            .workers
+            .get(&target)
+            .map(|w| w.is_failed())
+            .unwrap_or(true);
+        let previous_parallelism = self.graph().parallelism(logical);
+
+        // 1. Obtain the checkpoint to partition: the backed-up checkpoint of
+        //    the target (Algorithm 3 partitions backup(o)'s copy so the
+        //    overloaded/failed operator itself is not involved). If no backup
+        //    exists yet and the operator is alive, take one now; otherwise
+        //    start from empty state and rely on replay (the UB/SR baselines).
+        let checkpoint = match self.backup.retrieve(target) {
+            Ok(cp) => cp,
+            Err(_) if !was_failed && self.config.strategy.checkpoints() => {
+                self.checkpoint_operator(target)?;
+                self.backup.retrieve(target)?
+            }
+            Err(_) => Checkpoint::empty(target),
+        };
+        let reflected = checkpoint.processing.timestamps().clone();
+
+        // 2. Split the key range owned by the target.
+        let ranges: Vec<KeyRange> = inst.key_range.split_even(pi)?;
+
+        // 3. Update the execution graph: new instances + routing entries.
+        let new_instances = self.graph_mut().repartition(logical, &[target], &ranges)?;
+        let assignments: Vec<(OperatorId, KeyRange)> = new_instances
+            .iter()
+            .map(|i| (i.id, i.key_range))
+            .collect();
+
+        // 4. Partition the checkpoint (Algorithm 2).
+        let parts = partition_checkpoint(&checkpoint, &assignments)?;
+
+        // 5. Create the new workers on fresh VMs and restore their state.
+        for (instance, part) in new_instances.iter().zip(parts.iter()) {
+            self.create_worker(instance)?;
+            let worker = self.workers.get_mut(&instance.id).expect("just created");
+            worker.restore(part.clone());
+        }
+        // Reset the shared logical clock only for a serial replacement of a
+        // single partition, where no sibling is concurrently emitting (§3.2).
+        if pi == 1 && previous_parallelism == 1 {
+            if let Some(clock) = self.clocks.get(&logical) {
+                clock.reset_to(checkpoint.emit_clock);
+            }
+        }
+
+        // 6. Store the partitioned checkpoints as the initial backups of the
+        //    new partitions and drop the replaced operator's backup
+        //    (Algorithm 2, line 8).
+        let upstream_instances = self.graph().upstream_instances(new_instances[0].id)?;
+        if !upstream_instances.is_empty() {
+            self.backup
+                .store_partitioned(target, &upstream_instances, &parts)?;
+        }
+
+        // 7. New partitions replay their restored output buffers downstream
+        //    (Algorithm 3, line 7); downstream duplicate filters discard what
+        //    they already processed.
+        {
+            let network = self.network.clone();
+            let metrics = self.metrics.clone();
+            let downstream_logicals = self.graph().query().downstream(logical);
+            let mut planned: Vec<(OperatorId, OperatorId)> = Vec::new();
+            for instance in &new_instances {
+                if let Some(worker) = self.workers.get(&instance.id) {
+                    for d in worker.buffer().downstreams() {
+                        planned.push((instance.id, d));
+                    }
+                }
+                // Make sure routing towards downstream partitions is current.
+                let routings: Vec<(LogicalOpId, seep_core::RoutingState)> = downstream_logicals
+                    .iter()
+                    .filter_map(|ld| self.graph().routing(*ld).ok().map(|r| (*ld, r.clone())))
+                    .collect();
+                if let Some(worker) = self.workers.get_mut(&instance.id) {
+                    for (ld, routing) in routings {
+                        worker.set_routing(ld, routing);
+                    }
+                }
+            }
+            for (from, to) in planned {
+                if let Some(worker) = self.workers.get(&from) {
+                    worker.replay_to(to, &TimestampVec::new(), &network, &metrics);
+                }
+            }
+        }
+
+        // 8. Stop the replaced operator and release its VM (Algorithm 3,
+        //    line 8). A failed operator's VM is already gone.
+        if !was_failed {
+            self.network.disconnect(target);
+            if let Some(vm) = self.vm_of.get(&target) {
+                self.pool.release(*vm, self.now_ms);
+            }
+        }
+        self.workers.remove(&target);
+        self.backup.unregister_store(target);
+        self.vm_of.remove(&target);
+        self.monitor.forget(target);
+        self.checkpoint_seq.remove(&target);
+        self.last_checkpoint_ms.remove(&target);
+
+        // 9. Update the upstream operators: stop, repartition routing and
+        //    buffer state, replay unprocessed tuples, restart (Algorithm 3,
+        //    lines 9-14).
+        let new_routing = self.graph().routing(logical)?.clone();
+        let mut replayed = 0usize;
+        {
+            let network = self.network.clone();
+            let metrics = self.metrics.clone();
+            for up in &upstream_instances {
+                let Some(worker) = self.workers.get_mut(up) else {
+                    continue;
+                };
+                worker.set_paused(true);
+                worker.set_routing(logical, new_routing.clone());
+                // partition-buffer-state: move tuples that were buffered for
+                // the replaced operator to the partition now owning their key.
+                let pending = worker
+                    .buffer_mut()
+                    .remove_downstream(target)
+                    .unwrap_or_default();
+                for tuple in pending {
+                    if let Some(new_target) = new_routing.route(tuple.key) {
+                        worker.buffer_mut().push(new_target, tuple);
+                    }
+                }
+                // replay-buffer-state towards every new partition, skipping
+                // tuples already reflected in the restored checkpoint.
+                for instance in &new_instances {
+                    replayed += worker.replay_to(instance.id, &reflected, &network, &metrics);
+                }
+                worker.set_paused(false);
+            }
+        }
+
+        self.metrics.record_scale_out(ScaleOutRecord {
+            logical,
+            new_parallelism: self.graph().parallelism(logical),
+            at_ms: self.now_ms,
+            duration_us: started.elapsed().as_micros() as u64,
+        });
+        Ok(ScaleOutOutcome {
+            new_operators: new_instances.iter().map(|i| i.id).collect(),
+            replayed_tuples: replayed,
+        })
+    }
+
+    /// Recover a failed operator by scaling it out to `pi` partitions
+    /// (`pi = 1` is serial recovery, `pi >= 2` is parallel recovery, §4.2).
+    ///
+    /// Returns the recovery record, whose duration covers the full recovery:
+    /// restoring state on new VMs, replaying buffered tuples and re-processing
+    /// them until the system is caught up.
+    pub fn recover(&mut self, failed: OperatorId, pi: usize) -> Result<RecoveryRecord> {
+        let started = Instant::now();
+        let strategy = self.config.strategy;
+        let logical = self.graph().instance(failed)?.logical;
+        let outcome = self.scale_out(failed, pi)?;
+        let mut replayed = outcome.replayed_tuples;
+
+        if strategy == RecoveryStrategy::SourceReplay {
+            replayed += self.source_replay(logical);
+        }
+
+        // Catch up: process everything that was replayed.
+        self.drain();
+
+        let record = RecoveryRecord {
+            operator: failed,
+            parallelism: pi,
+            duration_ms: started.elapsed().as_secs_f64() * 1_000.0,
+            replayed_tuples: replayed,
+            strategy: strategy.label().to_string(),
+        };
+        self.metrics.record_recovery(record.clone());
+        Ok(record)
+    }
+
+    /// Source-replay recovery (§6.2 baseline): reset the duplicate filters of
+    /// the operators between the sources and the recovered operator, then
+    /// replay every tuple buffered at the sources through the pipeline.
+    fn source_replay(&mut self, recovered: LogicalOpId) -> usize {
+        let graph = self.graph();
+        let query = graph.query();
+        // Logical ancestors of the recovered operator (excluding sources).
+        let mut ancestors = Vec::new();
+        let mut frontier = query.upstream(recovered);
+        while let Some(l) = frontier.pop() {
+            if query.operator(l).map(|o| o.kind) == Ok(OperatorKind::Source) {
+                continue;
+            }
+            if !ancestors.contains(&l) {
+                ancestors.push(l);
+                frontier.extend(query.upstream(l));
+            }
+        }
+        let ancestor_instances: Vec<OperatorId> = ancestors
+            .iter()
+            .flat_map(|l| graph.partitions(*l).to_vec())
+            .collect();
+        let source_instances: Vec<OperatorId> = query
+            .sources()
+            .into_iter()
+            .flat_map(|s| graph.partitions(s).to_vec())
+            .collect();
+
+        for id in ancestor_instances {
+            if let Some(worker) = self.workers.get_mut(&id) {
+                worker.reset_dedup();
+            }
+        }
+        let network = self.network.clone();
+        let metrics = self.metrics.clone();
+        let mut replayed = 0;
+        for id in source_instances {
+            if let Some(worker) = self.workers.get(&id) {
+                for d in worker.buffer().downstreams() {
+                    replayed += worker.replay_to(d, &TimestampVec::new(), &network, &metrics);
+                }
+            }
+        }
+        replayed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use seep_core::{OutputTuple, StatefulOperator, StatelessFn, Tuple};
+    use seep_operators::word_count::WordFrequency;
+    use seep_operators::{WindowedWordCount, WordSplitter};
+
+    struct Harness {
+        runtime: Runtime,
+        src: LogicalOpId,
+        split: LogicalOpId,
+        count: LogicalOpId,
+        snk: LogicalOpId,
+        results: Arc<Mutex<Vec<WordFrequency>>>,
+    }
+
+    /// Build the windowed word-frequency query used throughout §6.2/§6.3.
+    fn word_count_harness(config: RuntimeConfig) -> Harness {
+        let mut b = QueryGraph::builder();
+        let src = b.source("data_feeder");
+        let split = b.stateless("word_splitter");
+        let count = b.stateful("word_counter");
+        let snk = b.sink("sink");
+        b.connect(src, split);
+        b.connect(split, count);
+        b.connect(count, snk);
+        let query = b.build().unwrap();
+
+        let results: Arc<Mutex<Vec<WordFrequency>>> = Arc::new(Mutex::new(Vec::new()));
+        let results_for_sink = results.clone();
+
+        let mut factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> = HashMap::new();
+        factories.insert(
+            src,
+            Arc::new(|| -> Box<dyn StatefulOperator> {
+                Box::new(StatelessFn::new("feeder", |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
+                    out.push(OutputTuple::new(t.key, t.payload.clone()));
+                })) as Box<dyn StatefulOperator>
+            }) as Arc<dyn OperatorFactory>,
+        );
+        factories.insert(
+            split,
+            Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(WordSplitter::new()) })
+                as Arc<dyn OperatorFactory>,
+        );
+        factories.insert(
+            count,
+            Arc::new(|| -> Box<dyn StatefulOperator> {
+                Box::new(WindowedWordCount::new(30_000))
+            }) as Arc<dyn OperatorFactory>,
+        );
+        factories.insert(
+            snk,
+            Arc::new(move || -> Box<dyn StatefulOperator> {
+                let results = results_for_sink.clone();
+                Box::new(StatelessFn::new(
+                    "collector",
+                    move |_, t: &Tuple, _out: &mut Vec<OutputTuple>| {
+                        if let Ok(freq) = t.decode::<WordFrequency>() {
+                            results.lock().push(freq);
+                        }
+                    },
+                )) as Box<dyn StatefulOperator>
+            }) as Arc<dyn OperatorFactory>,
+        );
+
+        let mut runtime = Runtime::new(config);
+        runtime.deploy(query, factories).unwrap();
+        Harness {
+            runtime,
+            src,
+            split,
+            count,
+            snk,
+            results,
+        }
+    }
+
+    fn inject_sentence(h: &mut Harness, sentence: &str) {
+        let payload = bincode::serialize(&sentence.to_string()).unwrap();
+        h.runtime
+            .inject(h.src, Key::from_str_key(sentence), payload);
+    }
+
+    fn counter_instance(h: &Harness) -> OperatorId {
+        h.runtime.partitions(h.count)[0]
+    }
+
+    fn count_of(h: &Harness, word: &str) -> u64 {
+        h.runtime
+            .partitions(h.count)
+            .iter()
+            .filter_map(|id| {
+                h.runtime.with_operator(*id, |op| {
+                    // Downcast through the state representation: re-use the
+                    // operator's own processing state.
+                    let state = op.get_processing_state();
+                    state
+                        .get_decoded::<seep_operators::word_count::WordEntry>(Key::from_str_key(
+                            word,
+                        ))
+                        .ok()
+                        .flatten()
+                        .map(|e| e.count)
+                })
+            })
+            .flatten()
+            .sum()
+    }
+
+    #[test]
+    fn deploy_creates_one_vm_per_operator() {
+        let h = word_count_harness(RuntimeConfig::default());
+        // One VM per operator instance plus the pre-allocated pool VMs.
+        assert!(h.runtime.vm_count() >= 4);
+        let (hits, misses) = h.runtime.pool_stats();
+        assert_eq!(hits, 4);
+        assert_eq!(misses, 0);
+        assert_eq!(h.runtime.parallelism(h.count), 1);
+        assert_eq!(h.runtime.execution_graph().total_instances(), 4);
+    }
+
+    #[test]
+    fn end_to_end_word_count() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        inject_sentence(&mut h, "first set");
+        inject_sentence(&mut h, "second set");
+        inject_sentence(&mut h, "third set");
+        let processed = h.runtime.drain();
+        assert!(processed >= 9, "source, splitter and counter work: {processed}");
+        assert_eq!(count_of(&h, "set"), 3);
+        assert_eq!(count_of(&h, "first"), 1);
+        // Closing the window delivers results to the sink.
+        h.runtime.advance_to(30_000);
+        h.runtime.drain();
+        let results = h.results.lock();
+        assert!(results.iter().any(|f| f.word == "set" && f.count == 3));
+    }
+
+    #[test]
+    fn checkpoints_happen_on_schedule_and_trim_buffers() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        inject_sentence(&mut h, "alpha beta gamma");
+        h.runtime.drain();
+        let splitter_instance = h.runtime.partitions(h.split)[0];
+        let buffered_before = h
+            .runtime
+            .workers
+            .get(&splitter_instance)
+            .unwrap()
+            .buffer()
+            .len();
+        assert!(buffered_before >= 3);
+        h.runtime.advance_to(5_000); // checkpoint interval
+        let checkpoints = h.runtime.metrics().checkpoints();
+        assert!(!checkpoints.is_empty());
+        let buffered_after = h
+            .runtime
+            .workers
+            .get(&splitter_instance)
+            .unwrap()
+            .buffer()
+            .len();
+        assert!(
+            buffered_after < buffered_before,
+            "checkpointing must trim the upstream buffer ({buffered_before} -> {buffered_after})"
+        );
+    }
+
+    #[test]
+    fn recovery_restores_state_and_replays_missing_tuples() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        // Phase 1: processed and checkpointed.
+        inject_sentence(&mut h, "apple banana apple");
+        h.runtime.drain();
+        h.runtime.advance_to(5_000);
+        // Phase 2: processed but NOT yet checkpointed (still buffered upstream).
+        inject_sentence(&mut h, "banana cherry");
+        h.runtime.drain();
+        assert_eq!(count_of(&h, "apple"), 2);
+        assert_eq!(count_of(&h, "banana"), 2);
+
+        // Fail the word counter's VM and recover it.
+        let failed = counter_instance(&h);
+        h.runtime.fail_operator(failed);
+        let record = h.runtime.recover(failed, 1).unwrap();
+        assert_eq!(record.strategy, "R+SM");
+        assert!(record.duration_ms >= 0.0);
+        assert!(record.replayed_tuples >= 2, "phase-2 words must be replayed");
+
+        // The restored counter has the full, correct counts.
+        assert_eq!(count_of(&h, "apple"), 2);
+        assert_eq!(count_of(&h, "banana"), 2);
+        assert_eq!(count_of(&h, "cherry"), 1);
+        // The old instance is gone, a new one exists.
+        assert_eq!(h.runtime.parallelism(h.count), 1);
+        assert_ne!(counter_instance(&h), failed);
+    }
+
+    #[test]
+    fn upstream_backup_recovery_rebuilds_state_from_buffers() {
+        let config = RuntimeConfig::default().with_strategy(RecoveryStrategy::UpstreamBackup);
+        let mut h = word_count_harness(config);
+        inject_sentence(&mut h, "x y x z");
+        h.runtime.drain();
+        h.runtime.advance_to(5_000); // no checkpoints under UB
+        assert!(h.runtime.metrics().checkpoints().is_empty());
+        let failed = counter_instance(&h);
+        h.runtime.fail_operator(failed);
+        let record = h.runtime.recover(failed, 1).unwrap();
+        assert_eq!(record.strategy, "UB");
+        assert!(record.replayed_tuples >= 4, "UB replays the whole buffer");
+        assert_eq!(count_of(&h, "x"), 2);
+        assert_eq!(count_of(&h, "z"), 1);
+    }
+
+    #[test]
+    fn source_replay_recovery_reprocesses_from_the_source() {
+        let config = RuntimeConfig::default().with_strategy(RecoveryStrategy::SourceReplay);
+        let mut h = word_count_harness(config);
+        inject_sentence(&mut h, "m n m");
+        h.runtime.drain();
+        let splitter_instance = h.runtime.partitions(h.split)[0];
+        assert_eq!(
+            h.runtime
+                .workers
+                .get(&splitter_instance)
+                .unwrap()
+                .buffer()
+                .len(),
+            0,
+            "intermediate operators do not buffer under SR"
+        );
+        let failed = counter_instance(&h);
+        h.runtime.fail_operator(failed);
+        let record = h.runtime.recover(failed, 1).unwrap();
+        assert_eq!(record.strategy, "SR");
+        assert!(record.replayed_tuples >= 1, "source buffer is replayed");
+        assert_eq!(count_of(&h, "m"), 2);
+        assert_eq!(count_of(&h, "n"), 1);
+    }
+
+    #[test]
+    fn scale_out_splits_state_and_preserves_counts() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        for sentence in ["red green blue", "red yellow", "green red"] {
+            inject_sentence(&mut h, sentence);
+        }
+        h.runtime.drain();
+        h.runtime.advance_to(5_000); // checkpoint so the backup is fresh
+        inject_sentence(&mut h, "blue violet"); // not yet checkpointed
+        h.runtime.drain();
+
+        let target = counter_instance(&h);
+        let outcome = h.runtime.scale_out(target, 2).unwrap();
+        assert_eq!(outcome.new_operators.len(), 2);
+        assert_eq!(h.runtime.parallelism(h.count), 2);
+        h.runtime.drain();
+
+        // Counts across the two partitions equal the expected totals.
+        assert_eq!(count_of(&h, "red"), 3);
+        assert_eq!(count_of(&h, "green"), 2);
+        assert_eq!(count_of(&h, "blue"), 2);
+        assert_eq!(count_of(&h, "violet"), 1);
+
+        // New tuples are routed to the correct partition and processed.
+        inject_sentence(&mut h, "red blue");
+        h.runtime.drain();
+        assert_eq!(count_of(&h, "red"), 4);
+        assert_eq!(count_of(&h, "blue"), 3);
+    }
+
+    #[test]
+    fn parallel_recovery_uses_multiple_partitions() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        for i in 0..50 {
+            inject_sentence(&mut h, &format!("word{i} common"));
+        }
+        h.runtime.drain();
+        h.runtime.advance_to(5_000);
+        inject_sentence(&mut h, "common tail");
+        h.runtime.drain();
+
+        let failed = counter_instance(&h);
+        h.runtime.fail_operator(failed);
+        let record = h.runtime.recover(failed, 2).unwrap();
+        assert_eq!(record.parallelism, 2);
+        assert_eq!(h.runtime.parallelism(h.count), 2);
+        assert_eq!(count_of(&h, "common"), 51);
+        assert_eq!(count_of(&h, "tail"), 1);
+    }
+
+    #[test]
+    fn scale_out_of_missing_operator_fails() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        let err = h.runtime.scale_out(OperatorId::new(999), 2);
+        assert!(err.is_err());
+        let err = h.runtime.scale_out(counter_instance(&h), 0);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn failed_operator_cannot_be_checkpointed() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        let counter = counter_instance(&h);
+        h.runtime.fail_operator(counter);
+        assert!(h.runtime.checkpoint_operator(counter).is_err());
+    }
+
+    #[test]
+    fn sink_latency_is_recorded_after_window_close() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        inject_sentence(&mut h, "latency probe words");
+        h.runtime.drain();
+        h.runtime.advance_to(30_000);
+        h.runtime.drain();
+        assert!(h.runtime.metrics().latency_samples() > 0);
+        let snapshot = h.runtime.metrics().snapshot();
+        assert!(snapshot.latency_p95_ms >= 0.0);
+    }
+}
+
+impl Runtime {
+    /// VM pool hit/miss statistics (see §5.2).
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.stats()
+    }
+}

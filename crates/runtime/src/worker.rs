@@ -1,0 +1,643 @@
+//! Operator workers: one per physical operator instance (one operator per VM,
+//! §2.2).
+//!
+//! A worker owns the operator instance together with the runtime-managed
+//! parts of its state: the output [`BufferState`], the [`RoutingState`]
+//! towards each logical downstream operator, the duplicate filter over its
+//! input streams, the reflected-timestamp vector used in checkpoints, and the
+//! logical output clock (shared between all partitions of the same logical
+//! operator so that timestamps within one logical stream are unique).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use seep_core::{
+    BufferState, Checkpoint, DuplicateFilter, Key, LogicalOpId, OperatorId, OutputTuple,
+    RoutingState, StatefulOperator, StreamId, Timestamp, TimestampVec,
+};
+use seep_net::{DataReceiver, Envelope, Message, Network};
+
+use crate::metrics::Metrics;
+
+/// A logical-operator output clock shared by all partitions of that operator.
+///
+/// Sharing the counter keeps timestamps unique and monotonic within one
+/// logical stream even when the operator is partitioned, which is what the
+/// downstream duplicate filters and the buffer-trim logic rely on.
+#[derive(Debug, Clone, Default)]
+pub struct SharedClock {
+    last: Arc<AtomicU64>,
+}
+
+impl SharedClock {
+    /// A fresh clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock and return the new timestamp.
+    pub fn tick(&self) -> Timestamp {
+        self.last.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The most recently issued timestamp.
+    pub fn last(&self) -> Timestamp {
+        self.last.load(Ordering::Relaxed)
+    }
+
+    /// Reset the clock to `ts` — used when restoring an operator from a
+    /// checkpoint so that re-emitted tuples are recognised as duplicates
+    /// downstream (§3.2).
+    pub fn reset_to(&self, ts: Timestamp) {
+        self.last.store(ts, Ordering::Relaxed);
+    }
+}
+
+/// The state of one worker (one operator instance on one VM).
+pub struct WorkerCore {
+    /// Physical operator instance id.
+    pub id: OperatorId,
+    /// Logical operator this instance implements.
+    pub logical: LogicalOpId,
+    /// Whether the logical operator is a sink (no downstream operators).
+    pub is_sink: bool,
+    /// Whether this worker records end-to-end latency samples for the tuples
+    /// it processes (always true for sinks; optionally true for stateful
+    /// operators in the overhead experiments).
+    pub latency_probe: bool,
+    /// Whether the operator carries processing state worth checkpointing.
+    pub stateful: bool,
+    /// Whether this worker keeps output buffers for replay (disabled for
+    /// intermediate operators under the source-replay baseline).
+    pub keep_buffers: bool,
+    operator: Box<dyn StatefulOperator>,
+    receiver: DataReceiver,
+    buffer: BufferState,
+    routing: BTreeMap<LogicalOpId, RoutingState>,
+    dedup: DuplicateFilter,
+    clock: SharedClock,
+    ts: TimestampVec,
+    paused: bool,
+    failed: bool,
+    processed: u64,
+    busy: Duration,
+    busy_at_last_report: Duration,
+}
+
+impl WorkerCore {
+    /// Create a worker for a freshly deployed operator instance.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: OperatorId,
+        logical: LogicalOpId,
+        operator: Box<dyn StatefulOperator>,
+        receiver: DataReceiver,
+        routing: BTreeMap<LogicalOpId, RoutingState>,
+        clock: SharedClock,
+        is_sink: bool,
+        keep_buffers: bool,
+    ) -> Self {
+        let stateful = operator.is_stateful();
+        let mut buffer = BufferState::new();
+        for r in routing.values() {
+            for target in r.targets() {
+                buffer.add_downstream(target);
+            }
+        }
+        WorkerCore {
+            id,
+            logical,
+            is_sink,
+            latency_probe: is_sink,
+            stateful,
+            keep_buffers,
+            operator,
+            receiver,
+            buffer,
+            routing,
+            dedup: DuplicateFilter::new(),
+            clock,
+            ts: TimestampVec::new(),
+            paused: false,
+            failed: false,
+            processed: 0,
+            busy: Duration::ZERO,
+            busy_at_last_report: Duration::ZERO,
+        }
+    }
+
+    /// The operator's human-readable name.
+    pub fn name(&self) -> &str {
+        self.operator.name()
+    }
+
+    /// Whether the worker has been paused by a coordinator (Algorithm 3
+    /// stops upstream operators while repartitioning their state).
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Pause or resume processing.
+    pub fn set_paused(&mut self, paused: bool) {
+        self.paused = paused;
+    }
+
+    /// Whether the worker's VM has crashed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Crash-stop the worker: it stops processing and its in-memory state is
+    /// considered lost.
+    pub fn mark_failed(&mut self) {
+        self.failed = true;
+    }
+
+    /// Tuples processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of tuples currently queued on the worker's inbound channel.
+    pub fn queued(&self) -> usize {
+        self.receiver.queued()
+    }
+
+    /// Immutable access to the hosted operator (for assertions and result
+    /// collection by experiments).
+    pub fn operator(&self) -> &dyn StatefulOperator {
+        self.operator.as_ref()
+    }
+
+    /// Mutable access to the hosted operator.
+    pub fn operator_mut(&mut self) -> &mut dyn StatefulOperator {
+        self.operator.as_mut()
+    }
+
+    /// The worker's output buffer state.
+    pub fn buffer(&self) -> &BufferState {
+        &self.buffer
+    }
+
+    /// Mutable access to the output buffer state (used by the coordinators to
+    /// trim and repartition buffers).
+    pub fn buffer_mut(&mut self) -> &mut BufferState {
+        &mut self.buffer
+    }
+
+    /// The routing state towards a logical downstream operator.
+    pub fn routing(&self, downstream: LogicalOpId) -> Option<&RoutingState> {
+        self.routing.get(&downstream)
+    }
+
+    /// Replace the routing state towards a logical downstream operator and
+    /// make sure buffers exist towards the new targets.
+    pub fn set_routing(&mut self, downstream: LogicalOpId, routing: RoutingState) {
+        for target in routing.targets() {
+            self.buffer.add_downstream(target);
+        }
+        self.routing.insert(downstream, routing);
+    }
+
+    /// The reflected-timestamp vector (most recent input tuples whose effect
+    /// is in the operator state).
+    pub fn reflected(&self) -> &TimestampVec {
+        &self.ts
+    }
+
+    /// The shared logical output clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Forget the duplicate-filter watermarks so previously seen tuples are
+    /// accepted again. Used by the source-replay baseline, which re-processes
+    /// the source stream through the intermediate operators.
+    pub fn reset_dedup(&mut self) {
+        self.dedup = DuplicateFilter::new();
+    }
+
+    /// CPU utilisation since the previous report: busy time divided by the
+    /// report interval.
+    pub fn utilization(&mut self, interval_ms: u64) -> f64 {
+        let delta = self.busy.saturating_sub(self.busy_at_last_report);
+        self.busy_at_last_report = self.busy;
+        if interval_ms == 0 {
+            return 0.0;
+        }
+        (delta.as_secs_f64() * 1_000.0 / interval_ms as f64).min(1.0)
+    }
+
+    /// Drain and process up to `batch` inbound envelopes. Returns the number
+    /// of data tuples processed.
+    pub fn step(
+        &mut self,
+        network: &Network,
+        metrics: &Metrics,
+        epoch: Instant,
+        batch: usize,
+    ) -> usize {
+        if self.failed || self.paused {
+            return 0;
+        }
+        let mut processed = 0;
+        for _ in 0..batch {
+            let Ok(Some(envelope)) = self.receiver.recv_timeout(Duration::ZERO) else {
+                break;
+            };
+            let Envelope {
+                message,
+                emitted_at_us,
+                ..
+            } = envelope;
+            match message {
+                Message::Data { stream, tuple } => {
+                    if !self.dedup.accept(stream, &tuple) {
+                        continue;
+                    }
+                    let started = Instant::now();
+                    let mut out = Vec::new();
+                    self.operator.process(stream, &tuple, &mut out);
+                    self.ts.advance(stream, tuple.ts);
+                    self.busy += started.elapsed();
+                    self.processed += 1;
+                    processed += 1;
+                    self.dispatch(out, emitted_at_us, network, metrics);
+                    if self.latency_probe && emitted_at_us > 0 {
+                        let now_us = epoch.elapsed().as_micros() as u64;
+                        metrics.record_latency_us(now_us.saturating_sub(emitted_at_us));
+                    }
+                }
+                Message::Control(_) => {
+                    // Coordinators manipulate worker state directly in this
+                    // controller-driven runtime; control envelopes are kept
+                    // for the wire protocol but are no-ops here.
+                }
+            }
+        }
+        if processed > 0 {
+            metrics.record_processed(self.id, processed as u64);
+        }
+        processed
+    }
+
+    /// Inject a source tuple: the worker behaves as the data feeder, emitting
+    /// a tuple stamped by its logical clock towards its downstream operators.
+    pub fn emit_source(
+        &mut self,
+        key: Key,
+        payload: impl Into<bytes::Bytes>,
+        network: &Network,
+        metrics: &Metrics,
+        epoch: Instant,
+    ) {
+        if self.failed {
+            return;
+        }
+        let now_us = epoch.elapsed().as_micros() as u64;
+        let outputs = vec![OutputTuple::new(key, payload)];
+        self.dispatch(outputs, now_us, network, metrics);
+    }
+
+    /// Trigger time-based operator behaviour (window closes). Emitted tuples
+    /// carry the current wall time as their source emit time.
+    pub fn tick(&mut self, now_ms: u64, network: &Network, metrics: &Metrics, epoch: Instant) {
+        if self.failed || self.paused {
+            return;
+        }
+        let started = Instant::now();
+        let mut out = Vec::new();
+        self.operator.on_tick(now_ms, &mut out);
+        self.busy += started.elapsed();
+        if !out.is_empty() {
+            let now_us = epoch.elapsed().as_micros() as u64;
+            self.dispatch(out, now_us, network, metrics);
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        outputs: Vec<OutputTuple>,
+        emitted_at_us: u64,
+        network: &Network,
+        metrics: &Metrics,
+    ) {
+        for output in outputs {
+            let ts = self.clock.tick();
+            let tuple = output.with_ts(ts);
+            for routing in self.routing.values() {
+                let Some(target) = routing.route(tuple.key) else {
+                    continue;
+                };
+                if self.keep_buffers {
+                    self.buffer.push(target, tuple.clone());
+                }
+                let envelope = Envelope::new(
+                    self.id,
+                    target,
+                    Message::data(StreamId(self.logical.0), tuple.clone()),
+                )
+                .with_emit_time(emitted_at_us);
+                if network.send(envelope).is_err() {
+                    // The destination VM is gone; the tuple stays in the
+                    // output buffer and will be replayed after recovery.
+                    metrics.record_dropped_send();
+                }
+            }
+        }
+    }
+
+    /// Re-send buffered tuples towards `target` that are newer than the
+    /// timestamp reflected for this worker's output stream in `reflected`
+    /// (`replay-buffer-state`, Algorithm 1 line 10). Returns the number of
+    /// tuples replayed.
+    pub fn replay_to(
+        &self,
+        target: OperatorId,
+        reflected: &TimestampVec,
+        network: &Network,
+        metrics: &Metrics,
+    ) -> usize {
+        let stream = StreamId(self.logical.0);
+        let tuples = seep_core::primitives::replay_buffer_state(
+            &self.buffer,
+            target,
+            stream,
+            reflected,
+        );
+        let count = tuples.len();
+        for tuple in tuples {
+            let envelope = Envelope::new(self.id, target, Message::data(stream, tuple));
+            if network.send(envelope).is_err() {
+                metrics.record_dropped_send();
+            }
+        }
+        count
+    }
+
+    /// Take a checkpoint of the operator: processing state (with the
+    /// reflected-timestamp vector attached), output buffers and the value of
+    /// the logical output clock.
+    pub fn take_checkpoint(&self, sequence: u64) -> Checkpoint {
+        let mut processing = self.operator.get_processing_state();
+        *processing.timestamps_mut() = self.ts.clone();
+        Checkpoint::new(self.id, sequence, processing, self.buffer.clone())
+            .with_emit_clock(self.clock.last())
+    }
+
+    /// Restore the worker from a (possibly partitioned) checkpoint: install
+    /// the processing state, buffers, reflected timestamps and duplicate
+    /// filter. The caller decides whether to reset the shared clock (only for
+    /// a serial recovery, where no sibling partition is using it).
+    pub fn restore(&mut self, checkpoint: Checkpoint) {
+        self.ts = checkpoint.processing.timestamps().clone();
+        self.dedup = DuplicateFilter::resume_from(self.ts.clone());
+        self.operator.set_processing_state(checkpoint.processing);
+        self.buffer = checkpoint.buffer;
+        for routing in self.routing.values() {
+            for target in routing.targets() {
+                self.buffer.add_downstream(target);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seep_core::{KeyRange, StatelessFn, Tuple};
+
+    fn network() -> Network {
+        Network::new(1024)
+    }
+
+    fn passthrough() -> Box<dyn StatefulOperator> {
+        Box::new(StatelessFn::new("pass", |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
+            out.push(OutputTuple::new(t.key, t.payload.clone()));
+        }))
+    }
+
+    fn worker_with_downstream(
+        net: &Network,
+        id: u64,
+        downstream: u64,
+    ) -> (WorkerCore, DataReceiver) {
+        let rx = net.register(OperatorId::new(id));
+        let downstream_rx = net.register(OperatorId::new(downstream));
+        let mut routing = BTreeMap::new();
+        routing.insert(
+            LogicalOpId(9),
+            RoutingState::single(OperatorId::new(downstream)),
+        );
+        let core = WorkerCore::new(
+            OperatorId::new(id),
+            LogicalOpId(1),
+            passthrough(),
+            rx,
+            routing,
+            SharedClock::new(),
+            false,
+            true,
+        );
+        (core, downstream_rx)
+    }
+
+    #[test]
+    fn shared_clock_is_monotonic_and_resettable() {
+        let clock = SharedClock::new();
+        let sibling = clock.clone();
+        assert_eq!(clock.tick(), 1);
+        assert_eq!(sibling.tick(), 2);
+        assert_eq!(clock.last(), 2);
+        clock.reset_to(0);
+        assert_eq!(sibling.tick(), 1);
+    }
+
+    #[test]
+    fn step_processes_and_forwards_tuples() {
+        let net = network();
+        let metrics = Metrics::new();
+        let (mut core, downstream_rx) = worker_with_downstream(&net, 1, 2);
+        let epoch = Instant::now();
+
+        net.send_tuple(
+            OperatorId::new(0),
+            OperatorId::new(1),
+            StreamId(0),
+            Tuple::new(1, Key(5), vec![7]),
+        )
+        .unwrap();
+        let processed = core.step(&net, &metrics, epoch, 16);
+        assert_eq!(processed, 1);
+        assert_eq!(core.processed(), 1);
+        assert_eq!(core.reflected().get(StreamId(0)), Some(1));
+        // The forwarded tuple reached the downstream endpoint and is buffered.
+        assert_eq!(downstream_rx.queued(), 1);
+        assert_eq!(core.buffer().tuples_for(OperatorId::new(2)).len(), 1);
+        assert_eq!(metrics.processed_by(OperatorId::new(1)), 1);
+    }
+
+    #[test]
+    fn duplicates_are_filtered() {
+        let net = network();
+        let metrics = Metrics::new();
+        let (mut core, downstream_rx) = worker_with_downstream(&net, 1, 2);
+        let epoch = Instant::now();
+        for _ in 0..2 {
+            net.send_tuple(
+                OperatorId::new(0),
+                OperatorId::new(1),
+                StreamId(0),
+                Tuple::new(1, Key(5), vec![7]),
+            )
+            .unwrap();
+        }
+        assert_eq!(core.step(&net, &metrics, epoch, 16), 1);
+        assert_eq!(downstream_rx.queued(), 1);
+    }
+
+    #[test]
+    fn paused_and_failed_workers_do_not_process() {
+        let net = network();
+        let metrics = Metrics::new();
+        let (mut core, _rx) = worker_with_downstream(&net, 1, 2);
+        let epoch = Instant::now();
+        net.send_tuple(
+            OperatorId::new(0),
+            OperatorId::new(1),
+            StreamId(0),
+            Tuple::new(1, Key(5), vec![7]),
+        )
+        .unwrap();
+        core.set_paused(true);
+        assert!(core.is_paused());
+        assert_eq!(core.step(&net, &metrics, epoch, 16), 0);
+        assert_eq!(core.queued(), 1, "tuple stays queued while paused");
+        core.set_paused(false);
+        core.mark_failed();
+        assert!(core.is_failed());
+        assert_eq!(core.step(&net, &metrics, epoch, 16), 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_and_replay_roundtrip() {
+        let net = network();
+        let metrics = Metrics::new();
+        let (mut core, _downstream_rx) = worker_with_downstream(&net, 1, 2);
+        let epoch = Instant::now();
+        for ts in 1..=5u64 {
+            net.send_tuple(
+                OperatorId::new(0),
+                OperatorId::new(1),
+                StreamId(0),
+                Tuple::new(ts, Key(ts), vec![ts as u8]),
+            )
+            .unwrap();
+        }
+        core.step(&net, &metrics, epoch, 16);
+        let checkpoint = core.take_checkpoint(3);
+        assert_eq!(checkpoint.meta.sequence, 3);
+        assert_eq!(checkpoint.emit_clock, 5);
+        assert_eq!(checkpoint.buffer.len(), 5);
+        assert_eq!(
+            checkpoint.processing.timestamps().get(StreamId(0)),
+            Some(5)
+        );
+
+        // Restore into a fresh worker and replay towards a recovering
+        // downstream that reflected only the first two tuples.
+        let rx2 = net.register(OperatorId::new(5));
+        let mut routing = BTreeMap::new();
+        routing.insert(LogicalOpId(9), RoutingState::single(OperatorId::new(2)));
+        let mut restored = WorkerCore::new(
+            OperatorId::new(5),
+            LogicalOpId(1),
+            passthrough(),
+            rx2,
+            routing,
+            SharedClock::new(),
+            false,
+            true,
+        );
+        restored.restore(checkpoint);
+        assert_eq!(restored.reflected().get(StreamId(0)), Some(5));
+        let mut reflected_downstream = TimestampVec::new();
+        reflected_downstream.advance(StreamId(1), 2);
+        let replayed = restored.replay_to(
+            OperatorId::new(2),
+            &reflected_downstream,
+            &net,
+            &metrics,
+        );
+        assert_eq!(replayed, 3);
+    }
+
+    #[test]
+    fn sink_records_latency() {
+        let net = network();
+        let metrics = Metrics::new();
+        let rx = net.register(OperatorId::new(3));
+        let core_routing = BTreeMap::new(); // sinks have no downstream
+        let mut sink = WorkerCore::new(
+            OperatorId::new(3),
+            LogicalOpId(2),
+            passthrough(),
+            rx,
+            core_routing,
+            SharedClock::new(),
+            true,
+            true,
+        );
+        let epoch = Instant::now();
+        let env = Envelope::new(
+            OperatorId::new(1),
+            OperatorId::new(3),
+            Message::data(StreamId(0), Tuple::new(1, Key(1), vec![])),
+        )
+        .with_emit_time(1); // ~the epoch itself, so latency ≈ elapsed
+        net.send(env).unwrap();
+        sink.step(&net, &metrics, epoch, 4);
+        assert_eq!(metrics.latency_samples(), 1);
+    }
+
+    #[test]
+    fn routing_update_adds_buffers_for_new_targets() {
+        let net = network();
+        let (mut core, _rx) = worker_with_downstream(&net, 1, 2);
+        let ranges = KeyRange::full().split_even(2).unwrap();
+        let mut routing = RoutingState::new();
+        routing.set_route(ranges[0], OperatorId::new(10));
+        routing.set_route(ranges[1], OperatorId::new(11));
+        core.set_routing(LogicalOpId(9), routing);
+        assert!(core
+            .buffer()
+            .downstreams()
+            .contains(&OperatorId::new(10)));
+        assert!(core.routing(LogicalOpId(9)).unwrap().covers_exactly(KeyRange::full()));
+        assert!(core.routing(LogicalOpId(8)).is_none());
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let net = network();
+        let metrics = Metrics::new();
+        let (mut core, _rx) = worker_with_downstream(&net, 1, 2);
+        let epoch = Instant::now();
+        // No work: utilisation is 0.
+        assert_eq!(core.utilization(5_000), 0.0);
+        for ts in 1..=50u64 {
+            net.send_tuple(
+                OperatorId::new(0),
+                OperatorId::new(1),
+                StreamId(0),
+                Tuple::new(ts, Key(ts), vec![0u8; 64]),
+            )
+            .unwrap();
+        }
+        core.step(&net, &metrics, epoch, 64);
+        let util = core.utilization(1);
+        assert!(util >= 0.0 && util <= 1.0);
+    }
+}

@@ -1,0 +1,547 @@
+//! The time-stepped simulation engine.
+//!
+//! Each simulated second the engine: (i) offers the workload's input rate to
+//! the pipeline, (ii) lets every partition of every stage process as many
+//! queued tuples as its VM's CPU budget allows (minus the checkpointing tax
+//! for stateful operators), (iii) estimates end-to-end latency from queueing
+//! delays, and (iv) every report interval feeds per-partition CPU utilisation
+//! into the scaling policy, splitting bottleneck partitions onto VMs taken
+//! from the pre-allocated pool (which refills asynchronously after the
+//! provider's provisioning delay, §5.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::policy::{BottleneckTracker, SimScalingPolicy};
+use crate::spec::QuerySpec;
+use crate::trace::{SimRecord, SimTrace};
+
+/// CPU budget of one operator VM per second, in microseconds (1 EC2 compute
+/// unit ≈ one core fully busy for one second).
+const VM_BUDGET_US: f64 = 1_000_000.0;
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The query pipeline.
+    pub query: QuerySpec,
+    /// Scaling policy (threshold δ, k, r).
+    pub policy: SimScalingPolicy,
+    /// Whether the bottleneck detector may scale stages out at runtime.
+    /// When false, the initial parallelism is kept (manual allocation).
+    pub dynamic_scaling: bool,
+    /// Initial parallelism per stage (defaults to 1 everywhere when empty).
+    pub initial_parallelism: Vec<usize>,
+    /// Number of pre-allocated spare VMs in the pool (§5.2).
+    pub vm_pool_size: usize,
+    /// Provisioning delay for refilling the pool, in seconds.
+    pub provisioning_delay_s: u64,
+    /// Hard cap on operator VMs (None = unlimited).
+    pub max_vms: Option<usize>,
+    /// Open-loop workload: tuples beyond the per-partition queue cap are
+    /// dropped instead of applying back-pressure.
+    pub open_loop: bool,
+    /// Queue capacity per partition (tuples) in open-loop mode.
+    pub queue_cap: f64,
+    /// Checkpointing interval in seconds (stateful stages only).
+    pub checkpoint_interval_s: u64,
+    /// Bandwidth available for writing checkpoints, bytes/s.
+    pub checkpoint_bandwidth: f64,
+    /// Fixed per-hop network/batching latency in milliseconds.
+    pub network_hop_ms: f64,
+    /// How many seconds a scale-out action disturbs latency (stream buffering
+    /// and replay, §6.1 observes peaks of up to 4 s).
+    pub scale_out_disruption_s: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            query: crate::spec::lrb_query(),
+            policy: SimScalingPolicy::default(),
+            dynamic_scaling: true,
+            initial_parallelism: Vec::new(),
+            vm_pool_size: 4,
+            provisioning_delay_s: 90,
+            max_vms: None,
+            open_loop: false,
+            queue_cap: 200_000.0,
+            checkpoint_interval_s: 5,
+            checkpoint_bandwidth: 100_000_000.0,
+            network_hop_ms: 20.0,
+            scale_out_disruption_s: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Partition {
+    queue: f64,
+    busy_accum_us: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Stage {
+    partitions: Vec<Partition>,
+    /// Remaining seconds of post-scale-out disruption.
+    disruption_s: u64,
+    /// Extra latency (ms) added while the disruption lasts.
+    disruption_ms: f64,
+}
+
+impl Stage {
+    fn new(parallelism: usize) -> Self {
+        Stage {
+            partitions: (0..parallelism.max(1))
+                .map(|_| Partition {
+                    queue: 0.0,
+                    busy_accum_us: 0.0,
+                })
+                .collect(),
+            disruption_s: 0,
+            disruption_ms: 0.0,
+        }
+    }
+
+    fn parallelism(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn total_queue(&self) -> f64 {
+        self.partitions.iter().map(|p| p.queue).sum()
+    }
+}
+
+/// The simulator.
+pub struct SimEngine {
+    config: SimConfig,
+    stages: Vec<Stage>,
+    tracker: BottleneckTracker,
+    pool_available: usize,
+    pool_pending: Vec<u64>,
+    last_report_s: u64,
+}
+
+impl SimEngine {
+    /// Create a simulator for the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        let stages: Vec<Stage> = config
+            .query
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let p = config.initial_parallelism.get(i).copied().unwrap_or(1);
+                Stage::new(p)
+            })
+            .collect();
+        SimEngine {
+            pool_available: config.vm_pool_size,
+            pool_pending: Vec::new(),
+            tracker: BottleneckTracker::new(),
+            stages,
+            last_report_s: 0,
+            config,
+        }
+    }
+
+    /// Number of VMs hosting operators (one per partition of every stage).
+    pub fn operator_vms(&self) -> usize {
+        self.stages.iter().map(Stage::parallelism).sum()
+    }
+
+    /// Current parallelism per stage.
+    pub fn parallelism(&self) -> Vec<usize> {
+        self.stages.iter().map(Stage::parallelism).collect()
+    }
+
+    /// Spare VMs currently ready in the pool.
+    pub fn pool_available(&self) -> usize {
+        self.pool_available
+    }
+
+    fn refill_pool(&mut self, t: u64) {
+        // VMs whose provisioning finished become available.
+        let ready: Vec<u64> = self
+            .pool_pending
+            .iter()
+            .copied()
+            .filter(|ready_at| *ready_at <= t)
+            .collect();
+        self.pool_pending.retain(|ready_at| *ready_at > t);
+        self.pool_available += ready.len();
+        // Keep requesting until the pool is back at its target size.
+        while self.pool_available + self.pool_pending.len() < self.config.vm_pool_size {
+            self.pool_pending.push(t + self.config.provisioning_delay_s);
+        }
+    }
+
+    fn checkpoint_tax_us(&self, stage_idx: usize) -> f64 {
+        let spec = &self.config.query.stages[stage_idx];
+        if !spec.stateful || self.config.checkpoint_interval_s == 0 {
+            return 0.0;
+        }
+        let bytes = spec.state_bytes_per_k_keys as f64;
+        let seconds_per_checkpoint = bytes / self.config.checkpoint_bandwidth;
+        seconds_per_checkpoint * 1e6 / self.config.checkpoint_interval_s as f64
+    }
+
+    /// Advance the simulation by one second with the given offered input rate
+    /// (tuples/s at the sources). Returns the record for this second.
+    pub fn step(&mut self, t: u64, offered: f64) -> SimRecord {
+        self.refill_pool(t);
+
+        let mut input = offered;
+        let mut dropped_total = 0.0;
+        let mut latency_ms = 0.0;
+        let mut max_util: f64 = 0.0;
+        // Throughput is reported in *input-tuple equivalents*: the rate of
+        // source tuples whose processing completed end-to-end this second
+        // (operators change tuple counts through their selectivity, so the
+        // sink's raw tuple rate is normalised back to the input scale, which
+        // is what Figs 6 and 8 plot).
+        let mut cumulative_selectivity = 1.0f64;
+        let mut end_to_end_rate = f64::INFINITY;
+
+        for (idx, stage) in self.stages.iter_mut().enumerate() {
+            let spec = &self.config.query.stages[idx];
+            let n = stage.partitions.len() as f64;
+            let tax = if spec.stateful {
+                let bytes = spec.state_bytes_per_k_keys as f64;
+                let seconds_per_checkpoint = bytes / self.config.checkpoint_bandwidth;
+                if self.config.checkpoint_interval_s > 0 {
+                    seconds_per_checkpoint * 1e6 / self.config.checkpoint_interval_s as f64
+                } else {
+                    0.0
+                }
+            } else {
+                0.0
+            };
+
+            let share = input / n;
+            let mut stage_processed = 0.0;
+            let mut stage_util: f64 = 0.0;
+            for partition in stage.partitions.iter_mut() {
+                partition.queue += share;
+                let budget_us = (VM_BUDGET_US - tax).max(0.0);
+                let capacity = budget_us / spec.cost_us.max(0.01);
+                let processed = partition.queue.min(capacity);
+                partition.queue -= processed;
+                if self.config.open_loop && partition.queue > self.config.queue_cap {
+                    dropped_total += partition.queue - self.config.queue_cap;
+                    partition.queue = self.config.queue_cap;
+                }
+                let util = ((processed * spec.cost_us + tax) / VM_BUDGET_US).min(1.0);
+                partition.busy_accum_us += util * VM_BUDGET_US;
+                stage_processed += processed;
+                stage_util = stage_util.max(util);
+            }
+            max_util = max_util.max(stage_util);
+
+            // Latency contribution: service time plus queueing delay behind
+            // the residual queue, plus a per-hop network/batching constant.
+            let stage_capacity = n * VM_BUDGET_US / spec.cost_us.max(0.01);
+            let queue_delay_ms = if stage_capacity > 0.0 {
+                (stage.total_queue() / stage_capacity) * 1_000.0
+            } else {
+                0.0
+            };
+            latency_ms += spec.cost_us / 1_000.0 + queue_delay_ms + self.config.network_hop_ms;
+            if stage.disruption_s > 0 {
+                latency_ms += stage.disruption_ms;
+                stage.disruption_s -= 1;
+            }
+
+            if cumulative_selectivity > 0.0 {
+                end_to_end_rate = end_to_end_rate.min(stage_processed / cumulative_selectivity);
+            }
+            cumulative_selectivity *= spec.selectivity;
+            input = stage_processed * spec.selectivity;
+        }
+        let throughput = if end_to_end_rate.is_finite() {
+            end_to_end_rate
+        } else {
+            0.0
+        };
+
+        // Scaling decisions at every report interval.
+        let mut scaled_out = false;
+        if t > 0 && t.saturating_sub(self.last_report_s) >= self.config.policy.report_interval_s {
+            self.last_report_s = t;
+            scaled_out = self.evaluate_policy(t);
+        }
+
+        let p50 = latency_ms;
+        let p95 = latency_ms * (1.0 + 3.0 * max_util * max_util);
+        SimRecord {
+            t,
+            offered,
+            throughput,
+            dropped: dropped_total,
+            vms: self.operator_vms(),
+            latency_p50_ms: p50,
+            latency_p95_ms: p95,
+            stage_parallelism: self.parallelism(),
+            scaled_out,
+        }
+    }
+
+    fn evaluate_policy(&mut self, t: u64) -> bool {
+        let interval_us = self.config.policy.report_interval_s as f64 * VM_BUDGET_US;
+        let mut to_scale: Vec<usize> = Vec::new();
+        for (idx, stage) in self.stages.iter_mut().enumerate() {
+            let spec = &self.config.query.stages[idx];
+            for (pidx, partition) in stage.partitions.iter_mut().enumerate() {
+                let utilization = (partition.busy_accum_us / interval_us).min(1.0);
+                partition.busy_accum_us = 0.0;
+                if spec.scalable
+                    && self
+                        .tracker
+                        .record(idx, pidx, utilization, &self.config.policy)
+                    && !to_scale.contains(&idx)
+                {
+                    to_scale.push(idx);
+                }
+            }
+        }
+        if !self.config.dynamic_scaling {
+            return false;
+        }
+        let mut scaled = false;
+        for idx in to_scale {
+            if let Some(max) = self.config.max_vms {
+                if self.operator_vms() >= max {
+                    continue;
+                }
+            }
+            if self.pool_available == 0 {
+                // The pool is exhausted: the request waits for provisioning
+                // (§5.2 discusses exactly this degradation).
+                continue;
+            }
+            self.pool_available -= 1;
+            self.pool_pending
+                .push(t + self.config.provisioning_delay_s);
+            let stage = &mut self.stages[idx];
+            // Split the load: add one partition and rebalance the queues.
+            let total_queue = stage.total_queue();
+            stage.partitions.push(Partition {
+                queue: 0.0,
+                busy_accum_us: 0.0,
+            });
+            let n = stage.partitions.len() as f64;
+            for partition in stage.partitions.iter_mut() {
+                partition.queue = total_queue / n;
+            }
+            // Post-reconfiguration disruption: moving checkpointed state and
+            // replaying buffered tuples shows up as a latency spike for a few
+            // seconds (stateful operators move more state, so they disturb
+            // longer; §6.1 reports peaks of up to 4 s).
+            let spec = &self.config.query.stages[idx];
+            let state_penalty_ms = if spec.stateful {
+                500.0 + spec.state_bytes_per_k_keys as f64 / 1_000.0
+            } else {
+                150.0
+            };
+            let backlog_penalty_ms =
+                (total_queue / n) * spec.cost_us / 1_000.0 / VM_BUDGET_US * 1_000.0 * 1_000.0;
+            stage.disruption_s = self.config.scale_out_disruption_s;
+            stage.disruption_ms = state_penalty_ms + backlog_penalty_ms;
+            scaled = true;
+        }
+        scaled
+    }
+
+    /// Run the simulation for `duration_s` seconds with the offered rate
+    /// given by `rate_at` (tuples/s as a function of the simulated second).
+    pub fn run(&mut self, duration_s: u64, rate_at: impl Fn(u64) -> f64) -> SimTrace {
+        let mut trace = SimTrace::default();
+        for t in 0..duration_s {
+            let offered = rate_at(t);
+            trace.push(self.step(t, offered));
+        }
+        trace
+    }
+
+    /// The configuration the engine runs with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Amortised checkpoint CPU tax (µs per second) of a stage — exposed for
+    /// the ablation benchmarks.
+    pub fn stage_checkpoint_tax_us(&self, stage_idx: usize) -> f64 {
+        self.checkpoint_tax_us(stage_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{lrb_query, mapreduce_query};
+    use seep_workloads::lrb::aggregate_rate_at;
+
+    fn lrb_config() -> SimConfig {
+        SimConfig {
+            query: lrb_query(),
+            vm_pool_size: 6,
+            provisioning_delay_s: 60,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn starts_with_one_vm_per_operator() {
+        let engine = SimEngine::new(lrb_config());
+        assert_eq!(engine.operator_vms(), 7);
+        assert_eq!(engine.parallelism(), vec![1; 7]);
+        assert_eq!(engine.pool_available(), 6);
+    }
+
+    #[test]
+    fn closed_loop_lrb_scales_out_and_keeps_up() {
+        // A compressed LRB run: L = 64 over 600 simulated seconds.
+        let mut engine = SimEngine::new(lrb_config());
+        let duration = 600;
+        let trace = engine.run(duration, |t| {
+            aggregate_rate_at(t as u32, duration as u32, 64)
+        });
+        let summary = trace.summary();
+        assert!(summary.scale_out_actions > 0, "the system must scale out");
+        assert!(summary.final_vms > 7, "more VMs than at deployment");
+        // Throughput tracks the offered rate at the end of the run (within a
+        // small backlog tolerance) — the closed-loop requirement.
+        let last = trace.records.last().unwrap();
+        assert!(
+            last.throughput > last.offered * 0.5,
+            "throughput {} vs offered {}",
+            last.throughput,
+            last.offered
+        );
+        // The toll calculator ends up as the most partitioned scalable stage.
+        let parallelism = summary.final_parallelism;
+        let toll_idx = engine.config().query.index_of("toll_calculator").unwrap();
+        let max_parallelism = *parallelism.iter().max().unwrap();
+        assert_eq!(parallelism[toll_idx], max_parallelism);
+    }
+
+    #[test]
+    fn open_loop_drops_until_scaled() {
+        let mut engine = SimEngine::new(SimConfig {
+            query: mapreduce_query(),
+            open_loop: true,
+            queue_cap: 50_000.0,
+            vm_pool_size: 8,
+            provisioning_delay_s: 30,
+            ..SimConfig::default()
+        });
+        let trace = engine.run(400, |_| 400_000.0);
+        let first_half_dropped: f64 = trace.records[..200].iter().map(|r| r.dropped).sum();
+        let last_quarter_dropped: f64 = trace.records[300..].iter().map(|r| r.dropped).sum();
+        assert!(first_half_dropped > 0.0, "under-provisioned at the start");
+        assert!(
+            last_quarter_dropped < first_half_dropped,
+            "after scaling out the drop rate must fall ({last_quarter_dropped} vs {first_half_dropped})"
+        );
+        let summary = trace.summary();
+        assert!(summary.final_vms > 4);
+    }
+
+    #[test]
+    fn higher_threshold_allocates_fewer_vms() {
+        let duration = 600u64;
+        let run_with = |threshold: f64| {
+            let mut engine = SimEngine::new(SimConfig {
+                policy: SimScalingPolicy::default().with_threshold(threshold),
+                ..lrb_config()
+            });
+            let trace = engine.run(duration, |t| {
+                aggregate_rate_at(t as u32, duration as u32, 32)
+            });
+            trace.summary().final_vms
+        };
+        let low = run_with(0.10);
+        let high = run_with(0.90);
+        assert!(
+            low >= high,
+            "δ=10% should allocate at least as many VMs as δ=90% ({low} vs {high})"
+        );
+        assert!(low > 7, "a 10% threshold must scale out");
+    }
+
+    #[test]
+    fn manual_allocation_does_not_scale() {
+        let mut engine = SimEngine::new(SimConfig {
+            dynamic_scaling: false,
+            initial_parallelism: vec![1, 3, 8, 2, 1, 1, 1],
+            ..lrb_config()
+        });
+        assert_eq!(engine.operator_vms(), 17);
+        let trace = engine.run(300, |_| 50_000.0);
+        let summary = trace.summary();
+        assert_eq!(summary.scale_out_actions, 0);
+        assert_eq!(summary.final_vms, 17);
+    }
+
+    #[test]
+    fn scale_out_causes_latency_disruption() {
+        let mut engine = SimEngine::new(lrb_config());
+        let duration = 400;
+        let trace = engine.run(duration, |t| {
+            aggregate_rate_at(t as u32, duration as u32, 64)
+        });
+        // Find a scale-out second and compare its p95 latency with a quiet
+        // second shortly before it.
+        let scaled_at = trace
+            .records
+            .iter()
+            .position(|r| r.scaled_out)
+            .expect("at least one scale out");
+        let spike: f64 = trace.records[scaled_at..(scaled_at + 3).min(trace.len())]
+            .iter()
+            .map(|r| r.latency_p95_ms)
+            .fold(0.0, f64::max);
+        let quiet = trace.records[scaled_at.saturating_sub(10)].latency_p95_ms;
+        assert!(
+            spike > quiet,
+            "scale out must disturb tail latency (spike {spike} vs quiet {quiet})"
+        );
+    }
+
+    #[test]
+    fn pool_exhaustion_delays_scaling() {
+        let mut no_pool = SimEngine::new(SimConfig {
+            vm_pool_size: 0,
+            ..lrb_config()
+        });
+        let duration = 300;
+        let trace = no_pool.run(duration, |t| {
+            aggregate_rate_at(t as u32, duration as u32, 64)
+        });
+        // Without any pool the system can never obtain a VM (refill only
+        // happens up to the pool target), so no scale out can occur.
+        assert_eq!(trace.summary().scale_out_actions, 0);
+    }
+
+    #[test]
+    fn checkpoint_tax_applies_only_to_stateful_stages() {
+        let engine = SimEngine::new(lrb_config());
+        let q = engine.config().query.clone();
+        let forwarder = q.index_of("forwarder").unwrap();
+        let toll = q.index_of("toll_calculator").unwrap();
+        assert_eq!(engine.stage_checkpoint_tax_us(forwarder), 0.0);
+        assert!(engine.stage_checkpoint_tax_us(toll) > 0.0);
+    }
+
+    #[test]
+    fn max_vms_caps_growth() {
+        let mut engine = SimEngine::new(SimConfig {
+            max_vms: Some(10),
+            ..lrb_config()
+        });
+        let duration = 600;
+        let trace = engine.run(duration, |t| {
+            aggregate_rate_at(t as u32, duration as u32, 128)
+        });
+        assert!(trace.summary().peak_vms <= 10);
+    }
+}

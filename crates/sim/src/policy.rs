@@ -1,0 +1,116 @@
+//! The simulator's scaling policy (§5.1), mirroring the runtime's policy.
+//!
+//! Every `report_interval_s` seconds each partition's CPU utilisation over
+//! the interval is reported; when `consecutive_reports` successive reports of
+//! a partition exceed `threshold`, the partition is declared a bottleneck and
+//! split in two (if a VM can be obtained from the pool).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Scaling policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimScalingPolicy {
+    /// Utilisation threshold δ in `[0, 1]`.
+    pub threshold: f64,
+    /// Consecutive reports above δ required (k).
+    pub consecutive_reports: usize,
+    /// Report interval r in seconds.
+    pub report_interval_s: u64,
+}
+
+impl Default for SimScalingPolicy {
+    fn default() -> Self {
+        SimScalingPolicy {
+            threshold: 0.70,
+            consecutive_reports: 2,
+            report_interval_s: 5,
+        }
+    }
+}
+
+impl SimScalingPolicy {
+    /// Same policy with a different threshold (for the δ sweep of Fig. 9).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+}
+
+/// Tracks consecutive above-threshold reports per partition.
+#[derive(Debug, Default)]
+pub struct BottleneckTracker {
+    streaks: HashMap<(usize, usize), usize>,
+}
+
+impl BottleneckTracker {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a utilisation report for partition `(stage, partition)` and
+    /// return whether it has now accumulated `k` consecutive reports above
+    /// the threshold.
+    pub fn record(
+        &mut self,
+        stage: usize,
+        partition: usize,
+        utilization: f64,
+        policy: &SimScalingPolicy,
+    ) -> bool {
+        let streak = self.streaks.entry((stage, partition)).or_insert(0);
+        if utilization > policy.threshold {
+            *streak += 1;
+        } else {
+            *streak = 0;
+        }
+        if *streak >= policy.consecutive_reports {
+            *streak = 0; // reset after triggering so scaling is rate-limited
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Forget a partition's streak (after it was replaced by a scale out).
+    pub fn forget(&mut self, stage: usize, partition: usize) {
+        self.streaks.remove(&(stage, partition));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_after_k_consecutive_high_reports() {
+        let policy = SimScalingPolicy::default();
+        let mut tracker = BottleneckTracker::new();
+        assert!(!tracker.record(0, 0, 0.9, &policy));
+        assert!(tracker.record(0, 0, 0.8, &policy));
+        // After triggering the streak resets.
+        assert!(!tracker.record(0, 0, 0.9, &policy));
+    }
+
+    #[test]
+    fn dip_resets_streak() {
+        let policy = SimScalingPolicy::default();
+        let mut tracker = BottleneckTracker::new();
+        assert!(!tracker.record(1, 0, 0.9, &policy));
+        assert!(!tracker.record(1, 0, 0.3, &policy));
+        assert!(!tracker.record(1, 0, 0.9, &policy));
+        assert!(tracker.record(1, 0, 0.9, &policy));
+    }
+
+    #[test]
+    fn partitions_are_tracked_independently_and_forgettable() {
+        let policy = SimScalingPolicy::default().with_threshold(0.5);
+        let mut tracker = BottleneckTracker::new();
+        assert!(!tracker.record(0, 0, 0.9, &policy));
+        assert!(!tracker.record(0, 1, 0.9, &policy));
+        tracker.forget(0, 0);
+        assert!(!tracker.record(0, 0, 0.9, &policy), "forgotten streak restarts");
+        assert!(tracker.record(0, 1, 0.9, &policy));
+    }
+}

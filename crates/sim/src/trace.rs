@@ -1,0 +1,169 @@
+//! Simulation output: one record per simulated second plus summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// State of the simulated deployment at the end of one simulated second.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimRecord {
+    /// Simulated time in seconds.
+    pub t: u64,
+    /// Offered input rate (tuples/s) at the sources.
+    pub offered: f64,
+    /// Tuples/s that reached the sink this second.
+    pub throughput: f64,
+    /// Tuples/s dropped this second (open-loop workloads only).
+    pub dropped: f64,
+    /// Number of VMs allocated to the query (operators only, excluding the
+    /// spare pool).
+    pub vms: usize,
+    /// Estimated median end-to-end processing latency (ms).
+    pub latency_p50_ms: f64,
+    /// Estimated 95th-percentile end-to-end processing latency (ms).
+    pub latency_p95_ms: f64,
+    /// Parallelisation level of each pipeline stage.
+    pub stage_parallelism: Vec<usize>,
+    /// Whether a scale-out action happened during this second.
+    pub scaled_out: bool,
+}
+
+/// Aggregate summary of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimSummary {
+    /// Final number of VMs hosting operators.
+    pub final_vms: usize,
+    /// Peak number of VMs hosting operators.
+    pub peak_vms: usize,
+    /// Median of the per-second median latencies (ms).
+    pub latency_p50_ms: f64,
+    /// 95th percentile of the per-second 95th-percentile latencies (ms).
+    pub latency_p95_ms: f64,
+    /// Highest throughput sustained in any second (tuples/s).
+    pub peak_throughput: f64,
+    /// Total tuples dropped over the run.
+    pub total_dropped: f64,
+    /// Number of scale-out actions performed.
+    pub scale_out_actions: usize,
+    /// Final parallelism per stage.
+    pub final_parallelism: Vec<usize>,
+}
+
+/// A full simulation trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimTrace {
+    /// Per-second records.
+    pub records: Vec<SimRecord>,
+}
+
+impl SimTrace {
+    /// Add a record.
+    pub fn push(&mut self, record: SimRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of simulated seconds.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Compute the aggregate summary.
+    pub fn summary(&self) -> SimSummary {
+        if self.records.is_empty() {
+            return SimSummary {
+                final_vms: 0,
+                peak_vms: 0,
+                latency_p50_ms: 0.0,
+                latency_p95_ms: 0.0,
+                peak_throughput: 0.0,
+                total_dropped: 0.0,
+                scale_out_actions: 0,
+                final_parallelism: Vec::new(),
+            };
+        }
+        let mut p50s: Vec<f64> = self.records.iter().map(|r| r.latency_p50_ms).collect();
+        let mut p95s: Vec<f64> = self.records.iter().map(|r| r.latency_p95_ms).collect();
+        p50s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        p95s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let last = self.records.last().unwrap();
+        SimSummary {
+            final_vms: last.vms,
+            peak_vms: self.records.iter().map(|r| r.vms).max().unwrap_or(0),
+            latency_p50_ms: percentile(&p50s, 50.0),
+            latency_p95_ms: percentile(&p95s, 95.0),
+            peak_throughput: self
+                .records
+                .iter()
+                .map(|r| r.throughput)
+                .fold(0.0, f64::max),
+            total_dropped: self.records.iter().map(|r| r.dropped).sum(),
+            scale_out_actions: self.records.iter().filter(|r| r.scaled_out).count(),
+            final_parallelism: last.stage_parallelism.clone(),
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t: u64, vms: usize, throughput: f64, scaled: bool) -> SimRecord {
+        SimRecord {
+            t,
+            offered: throughput,
+            throughput,
+            dropped: 1.0,
+            vms,
+            latency_p50_ms: 100.0 + t as f64,
+            latency_p95_ms: 500.0 + t as f64,
+            stage_parallelism: vec![1, vms.saturating_sub(2), 1],
+            scaled_out: scaled,
+        }
+    }
+
+    #[test]
+    fn empty_trace_summary_is_zeroed() {
+        let trace = SimTrace::default();
+        assert!(trace.is_empty());
+        let s = trace.summary();
+        assert_eq!(s.final_vms, 0);
+        assert_eq!(s.peak_throughput, 0.0);
+    }
+
+    #[test]
+    fn summary_aggregates_records() {
+        let mut trace = SimTrace::default();
+        for t in 0..10 {
+            trace.push(record(t, 3 + t as usize, 1_000.0 * t as f64, t % 4 == 0));
+        }
+        assert_eq!(trace.len(), 10);
+        let s = trace.summary();
+        assert_eq!(s.final_vms, 12);
+        assert_eq!(s.peak_vms, 12);
+        assert_eq!(s.peak_throughput, 9_000.0);
+        assert_eq!(s.scale_out_actions, 3);
+        assert_eq!(s.total_dropped, 10.0);
+        assert!(s.latency_p95_ms >= s.latency_p50_ms);
+        assert_eq!(s.final_parallelism, vec![1, 10, 1]);
+    }
+
+    #[test]
+    fn trace_serialises_to_json() {
+        let mut trace = SimTrace::default();
+        trace.push(record(0, 3, 10.0, false));
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: SimTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+}

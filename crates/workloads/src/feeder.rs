@@ -1,0 +1,216 @@
+//! Rate schedules and the rate-controlled feeder.
+//!
+//! The evaluation distinguishes **closed-loop** workloads (the SPS must keep
+//! up with the offered rate without loss — the LRB experiments) from
+//! **open-loop** workloads (tuples keep arriving regardless and may be
+//! dropped while the system is under-provisioned — the map/reduce top-k
+//! experiment). The feeder turns a [`RateSchedule`] into per-tick tuple
+//! budgets and, in open-loop mode, counts the tuples that had to be dropped.
+
+use serde::{Deserialize, Serialize};
+
+/// How the offered load evolves over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateSchedule {
+    /// A constant rate in tuples/s.
+    Constant(f64),
+    /// Linear ramp from `start` to `end` tuples/s over `duration_ms`.
+    Ramp {
+        /// Rate at time 0 (tuples/s).
+        start: f64,
+        /// Rate at `duration_ms` and afterwards (tuples/s).
+        end: f64,
+        /// Length of the ramp in milliseconds.
+        duration_ms: u64,
+    },
+    /// A sequence of steps `(from_ms, rate)`; the rate of the last step whose
+    /// `from_ms` is ≤ now applies.
+    Steps(Vec<(u64, f64)>),
+}
+
+impl RateSchedule {
+    /// The offered rate in tuples/s at `now_ms`.
+    pub fn rate_at(&self, now_ms: u64) -> f64 {
+        match self {
+            RateSchedule::Constant(r) => *r,
+            RateSchedule::Ramp {
+                start,
+                end,
+                duration_ms,
+            } => {
+                if *duration_ms == 0 {
+                    return *end;
+                }
+                let frac = (now_ms.min(*duration_ms)) as f64 / *duration_ms as f64;
+                start + (end - start) * frac
+            }
+            RateSchedule::Steps(steps) => steps
+                .iter()
+                .filter(|(from, _)| *from <= now_ms)
+                .map(|(_, r)| *r)
+                .last()
+                .unwrap_or(0.0),
+        }
+    }
+}
+
+/// Whether the feeder may drop tuples when the consumer cannot keep up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeedMode {
+    /// Closed loop: the SPS must take every tuple; the feeder reports how many
+    /// tuples are due and the caller blocks until they are consumed.
+    Closed,
+    /// Open loop: tuples not consumed within a tick are dropped and counted.
+    Open,
+}
+
+/// Tracks how many tuples are due according to a schedule and accounts for
+/// drops in open-loop mode.
+#[derive(Debug, Clone)]
+pub struct TupleFeeder {
+    schedule: RateSchedule,
+    mode: FeedMode,
+    /// Fractional tuples carried over between ticks so rates that do not
+    /// divide the tick length evenly still average out exactly.
+    carry: f64,
+    last_tick_ms: u64,
+    offered: u64,
+    dropped: u64,
+}
+
+impl TupleFeeder {
+    /// Create a feeder.
+    pub fn new(schedule: RateSchedule, mode: FeedMode) -> Self {
+        TupleFeeder {
+            schedule,
+            mode,
+            carry: 0.0,
+            last_tick_ms: 0,
+            offered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The feeding mode.
+    pub fn mode(&self) -> FeedMode {
+        self.mode
+    }
+
+    /// Number of tuples due for the interval `(last_tick, now_ms]`.
+    pub fn due(&mut self, now_ms: u64) -> u64 {
+        if now_ms <= self.last_tick_ms {
+            return 0;
+        }
+        let dt_ms = (now_ms - self.last_tick_ms) as f64;
+        let rate = self.schedule.rate_at(now_ms);
+        let exact = rate * dt_ms / 1_000.0 + self.carry;
+        let whole = exact.floor();
+        self.carry = exact - whole;
+        self.last_tick_ms = now_ms;
+        let due = whole as u64;
+        self.offered += due;
+        due
+    }
+
+    /// Record that `consumed` of the `due` tuples were actually accepted by
+    /// the system this tick. In open-loop mode the shortfall counts as
+    /// dropped; in closed-loop mode the caller is expected to consume
+    /// everything (a shortfall is an error the experiment should detect).
+    pub fn record_consumed(&mut self, due: u64, consumed: u64) {
+        if self.mode == FeedMode::Open && consumed < due {
+            self.dropped += due - consumed;
+        }
+    }
+
+    /// Tuples offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Tuples dropped so far (open loop only).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_delivers_expected_count() {
+        let mut feeder = TupleFeeder::new(RateSchedule::Constant(1_000.0), FeedMode::Closed);
+        let mut total = 0;
+        for t in 1..=10 {
+            total += feeder.due(t * 100); // 100 ms ticks
+        }
+        assert_eq!(total, 1_000); // 1 second at 1000 tuples/s
+        assert_eq!(feeder.offered(), 1_000);
+        assert_eq!(feeder.dropped(), 0);
+    }
+
+    #[test]
+    fn fractional_rates_average_out() {
+        let mut feeder = TupleFeeder::new(RateSchedule::Constant(3.0), FeedMode::Closed);
+        let mut total = 0;
+        for t in 1..=1_000 {
+            total += feeder.due(t * 100);
+        }
+        // 100 s at 3 tuples/s; floating-point carry may round one tuple away.
+        assert!((299..=300).contains(&total), "total = {total}");
+    }
+
+    #[test]
+    fn ramp_schedule_grows_linearly() {
+        let ramp = RateSchedule::Ramp {
+            start: 0.0,
+            end: 100.0,
+            duration_ms: 10_000,
+        };
+        assert_eq!(ramp.rate_at(0), 0.0);
+        assert_eq!(ramp.rate_at(5_000), 50.0);
+        assert_eq!(ramp.rate_at(10_000), 100.0);
+        assert_eq!(ramp.rate_at(20_000), 100.0);
+    }
+
+    #[test]
+    fn step_schedule_uses_latest_step() {
+        let steps = RateSchedule::Steps(vec![(0, 10.0), (1_000, 50.0), (2_000, 20.0)]);
+        assert_eq!(steps.rate_at(0), 10.0);
+        assert_eq!(steps.rate_at(1_500), 50.0);
+        assert_eq!(steps.rate_at(5_000), 20.0);
+        assert_eq!(RateSchedule::Steps(vec![]).rate_at(99), 0.0);
+    }
+
+    #[test]
+    fn open_loop_counts_drops_closed_loop_does_not() {
+        let mut open = TupleFeeder::new(RateSchedule::Constant(100.0), FeedMode::Open);
+        let due = open.due(1_000);
+        open.record_consumed(due, due / 2);
+        assert_eq!(open.dropped(), due / 2);
+        assert_eq!(open.mode(), FeedMode::Open);
+
+        let mut closed = TupleFeeder::new(RateSchedule::Constant(100.0), FeedMode::Closed);
+        let due = closed.due(1_000);
+        closed.record_consumed(due, 0);
+        assert_eq!(closed.dropped(), 0);
+    }
+
+    #[test]
+    fn non_advancing_time_yields_nothing() {
+        let mut feeder = TupleFeeder::new(RateSchedule::Constant(100.0), FeedMode::Closed);
+        assert!(feeder.due(1_000) > 0);
+        assert_eq!(feeder.due(1_000), 0);
+        assert_eq!(feeder.due(500), 0);
+    }
+
+    #[test]
+    fn zero_duration_ramp_is_the_end_rate() {
+        let ramp = RateSchedule::Ramp {
+            start: 5.0,
+            end: 50.0,
+            duration_ms: 0,
+        };
+        assert_eq!(ramp.rate_at(0), 50.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # seep-workloads
+//!
+//! Workload generators for the evaluation queries:
+//!
+//! * [`lrb`] — a synthetic Linear Road Benchmark input generator with the
+//!   benchmark's rate profile (≈15 tuples/s per expressway at the start of the
+//!   run, ramping to ≈1700 tuples/s after three hours), replicated across `L`
+//!   expressways as the paper does to reach high aggregate rates;
+//! * [`wiki`] — a Zipf-distributed Wikipedia-style page-view trace (language
+//!   code, page, bytes), standing in for the real traces used by the open-loop
+//!   map/reduce-style top-k query;
+//! * [`sentences`] — 140-byte sentence fragments for the windowed
+//!   word-frequency query of the recovery and overhead experiments;
+//! * [`feeder`] — rate schedules and a rate-controlled feeder used to drive
+//!   closed-loop (must keep up) and open-loop (may drop) experiments.
+
+#![warn(missing_docs)]
+
+pub mod feeder;
+pub mod lrb;
+pub mod sentences;
+pub mod wiki;
+
+pub use feeder::{FeedMode, RateSchedule, TupleFeeder};
+pub use lrb::{LrbConfig, LrbGenerator};
+pub use sentences::SentenceGenerator;
+pub use wiki::{WikiConfig, WikiTraceGenerator};

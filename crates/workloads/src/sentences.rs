@@ -1,0 +1,139 @@
+//! Sentence-fragment generator for the windowed word-frequency query.
+//!
+//! The recovery and overhead experiments (§6.2, §6.3) feed the word-count
+//! query "a stream of sentence fragments, each 140 bytes in size". The
+//! generator assembles fragments of approximately that size from a vocabulary
+//! whose word frequencies follow a Zipf distribution, so the word counter's
+//! state (its dictionary) grows with realistic skew. The vocabulary size is
+//! configurable because the overhead experiment varies the dictionary between
+//! 10² and 10⁵ entries.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Zipf};
+use serde::{Deserialize, Serialize};
+
+/// Target fragment size in bytes (the paper uses 140-byte fragments).
+pub const FRAGMENT_BYTES: usize = 140;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SentenceConfig {
+    /// Number of distinct words in the vocabulary.
+    pub vocabulary: usize,
+    /// Zipf exponent for word frequencies.
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SentenceConfig {
+    fn default() -> Self {
+        SentenceConfig {
+            vocabulary: 10_000,
+            zipf_exponent: 1.1,
+            seed: 3,
+        }
+    }
+}
+
+/// Sentence fragment generator.
+pub struct SentenceGenerator {
+    words: Vec<String>,
+    zipf: Zipf<f64>,
+    rng: StdRng,
+}
+
+impl SentenceGenerator {
+    /// Create a generator with the given configuration.
+    pub fn new(config: SentenceConfig) -> Self {
+        let words = (0..config.vocabulary.max(1))
+            .map(|i| format!("word{i:06}"))
+            .collect();
+        let zipf = Zipf::new(config.vocabulary.max(1) as u64, config.zipf_exponent)
+            .expect("valid zipf parameters");
+        SentenceGenerator {
+            words,
+            zipf,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// A generator with the default configuration.
+    pub fn with_vocabulary(vocabulary: usize) -> Self {
+        Self::new(SentenceConfig {
+            vocabulary,
+            ..Default::default()
+        })
+    }
+
+    /// Generate one fragment of roughly [`FRAGMENT_BYTES`] bytes.
+    pub fn next_fragment(&mut self) -> String {
+        let mut fragment = String::with_capacity(FRAGMENT_BYTES + 16);
+        while fragment.len() < FRAGMENT_BYTES {
+            let rank = self.zipf.sample(&mut self.rng) as usize;
+            let word = &self.words[(rank - 1).min(self.words.len() - 1)];
+            if !fragment.is_empty() {
+                fragment.push(' ');
+            }
+            fragment.push_str(word);
+        }
+        fragment
+    }
+
+    /// Generate `n` fragments.
+    pub fn next_batch(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.next_fragment()).collect()
+    }
+
+    /// Vocabulary size.
+    pub fn vocabulary(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fragments_are_about_140_bytes() {
+        let mut generator = SentenceGenerator::new(SentenceConfig::default());
+        for _ in 0..20 {
+            let f = generator.next_fragment();
+            assert!(f.len() >= FRAGMENT_BYTES);
+            assert!(f.len() < FRAGMENT_BYTES + 20, "fragment too long: {}", f.len());
+        }
+    }
+
+    #[test]
+    fn fragments_contain_vocabulary_words() {
+        let mut generator = SentenceGenerator::with_vocabulary(100);
+        assert_eq!(generator.vocabulary(), 100);
+        let f = generator.next_fragment();
+        for word in f.split(' ') {
+            assert!(word.starts_with("word"), "unexpected token {word}");
+        }
+    }
+
+    #[test]
+    fn small_vocabulary_limits_distinct_words() {
+        let mut generator = SentenceGenerator::with_vocabulary(10);
+        let mut seen = HashSet::new();
+        for fragment in generator.next_batch(200) {
+            for word in fragment.split(' ') {
+                seen.insert(word.to_string());
+            }
+        }
+        assert!(seen.len() <= 10);
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SentenceGenerator::new(SentenceConfig::default());
+        let mut b = SentenceGenerator::new(SentenceConfig::default());
+        assert_eq!(a.next_batch(10), b.next_batch(10));
+    }
+}

@@ -1,0 +1,141 @@
+//! Synthetic Wikipedia-style page-view trace.
+//!
+//! The paper's open-loop experiment runs a map/reduce-style top-k query over
+//! Wikipedia data traces, ranking the most visited language versions every
+//! 30 s. The real traces are not redistributable here, so this generator
+//! produces records with the same shape — `(timestamp, language, page,
+//! bytes)` — with language popularity following a Zipf distribution over the
+//! actual set of Wikipedia language codes, which preserves the skewed key
+//! distribution the reduce operator has to cope with.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use serde::{Deserialize, Serialize};
+
+/// Wikipedia language codes, ordered roughly by real-world traffic so that the
+/// Zipf rank matches expectations (English most visited, and so on).
+pub const LANGUAGES: &[&str] = &[
+    "en", "ja", "de", "es", "ru", "fr", "it", "zh", "pt", "pl", "ar", "nl", "fa", "id", "ko",
+    "tr", "cs", "sv", "vi", "uk", "fi", "hu", "he", "th", "da", "el", "no", "ro", "hi", "bg",
+];
+
+/// One page-view record: `[timestamp, language, page, bytes]` as strings, the
+/// "many fields" the map stage projects down to just the language.
+pub type PageView = Vec<String>;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WikiConfig {
+    /// Zipf exponent of the language popularity distribution (≈1 for web
+    /// traffic).
+    pub zipf_exponent: f64,
+    /// Number of distinct pages per language.
+    pub pages_per_language: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WikiConfig {
+    fn default() -> Self {
+        WikiConfig {
+            zipf_exponent: 1.05,
+            pages_per_language: 10_000,
+            seed: 11,
+        }
+    }
+}
+
+/// Synthetic page-view generator.
+pub struct WikiTraceGenerator {
+    config: WikiConfig,
+    rng: StdRng,
+    zipf: Zipf<f64>,
+    generated: u64,
+}
+
+impl WikiTraceGenerator {
+    /// Create a generator.
+    pub fn new(config: WikiConfig) -> Self {
+        let zipf = Zipf::new(LANGUAGES.len() as u64, config.zipf_exponent)
+            .expect("valid zipf parameters");
+        let rng = StdRng::seed_from_u64(config.seed);
+        WikiTraceGenerator {
+            config,
+            rng,
+            zipf,
+            generated: 0,
+        }
+    }
+
+    /// Generate one page-view record at `timestamp_ms`.
+    pub fn next_view(&mut self, timestamp_ms: u64) -> PageView {
+        let rank = self.zipf.sample(&mut self.rng) as usize;
+        let lang = LANGUAGES[(rank - 1).min(LANGUAGES.len() - 1)];
+        let page = self.rng.gen_range(0..self.config.pages_per_language);
+        let bytes = self.rng.gen_range(2_000..100_000u32);
+        self.generated += 1;
+        vec![
+            timestamp_ms.to_string(),
+            lang.to_string(),
+            format!("page_{page}"),
+            bytes.to_string(),
+        ]
+    }
+
+    /// Generate a batch of `n` page views at `timestamp_ms`.
+    pub fn next_batch(&mut self, timestamp_ms: u64, n: usize) -> Vec<PageView> {
+        (0..n).map(|_| self.next_view(timestamp_ms)).collect()
+    }
+
+    /// Total records generated.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn records_have_four_fields_and_valid_language() {
+        let mut generator = WikiTraceGenerator::new(WikiConfig::default());
+        let view = generator.next_view(123);
+        assert_eq!(view.len(), 4);
+        assert_eq!(view[0], "123");
+        assert!(LANGUAGES.contains(&view[1].as_str()));
+        assert!(view[2].starts_with("page_"));
+        assert!(view[3].parse::<u32>().is_ok());
+        assert_eq!(generator.generated(), 1);
+    }
+
+    #[test]
+    fn language_distribution_is_skewed_towards_top_languages() {
+        let mut generator = WikiTraceGenerator::new(WikiConfig::default());
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for view in generator.next_batch(0, 20_000) {
+            *counts.entry(view[1].clone()).or_default() += 1;
+        }
+        let en = counts.get("en").copied().unwrap_or(0);
+        let rare: u64 = LANGUAGES[20..]
+            .iter()
+            .map(|l| counts.get(*l).copied().unwrap_or(0))
+            .sum();
+        assert!(
+            en > rare,
+            "Zipf skew expected: en={en}, tail sum={rare}"
+        );
+        // The most common language must be the head of the list.
+        let top = counts.iter().max_by_key(|(_, c)| **c).unwrap();
+        assert_eq!(top.0, "en");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = WikiTraceGenerator::new(WikiConfig::default());
+        let mut b = WikiTraceGenerator::new(WikiConfig::default());
+        assert_eq!(a.next_batch(5, 100), b.next_batch(5, 100));
+    }
+}

