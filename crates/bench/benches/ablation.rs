@@ -25,7 +25,11 @@ fn backup_imbalance(upstreams: usize, downstreams: u64, hashed: bool) -> usize {
 fn bench_backup_placement(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_backup_placement");
     for hashed in [true, false] {
-        let label = if hashed { "hash_spread" } else { "fixed_upstream" };
+        let label = if hashed {
+            "hash_spread"
+        } else {
+            "fixed_upstream"
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &hashed, |b, h| {
             b.iter(|| backup_imbalance(4, 256, *h));
         });

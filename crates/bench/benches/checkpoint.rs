@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seep_core::primitives::checkpoint_state;
+use seep_core::StatefulOperator;
 use seep_core::{BufferState, Checkpoint, IncrementalCheckpoint, OperatorId};
 use seep_operators::WindowedWordCount;
-use seep_core::StatefulOperator;
 
 fn counter_with_entries(entries: usize) -> WindowedWordCount {
     let mut op = WindowedWordCount::new(30_000);
@@ -67,10 +67,49 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
     group.finish();
 }
 
+/// Write+restore cost of one 10k-entry checkpoint per store backend — the
+/// per-operation numbers underneath the `store_backends` comparison.
+fn bench_store_backends(c: &mut Criterion) {
+    use seep_store::{CheckpointStore, FileStore, FileStoreConfig, MemStore, TieredStore};
+
+    let mut group = c.benchmark_group("store_put_latest");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let op = counter_with_entries(10_000);
+    let cp = checkpoint_state(OperatorId::new(1), 1, &op, &BufferState::new());
+    let dir = std::env::temp_dir().join(format!("seep-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let stores: Vec<(&str, Box<dyn CheckpointStore>)> = vec![
+        ("mem", Box::new(MemStore::new())),
+        (
+            "file",
+            Box::new(FileStore::open(FileStoreConfig::new(dir.join("file"))).unwrap()),
+        ),
+        (
+            "tiered",
+            Box::new(TieredStore::open(FileStoreConfig::new(dir.join("tiered")), 1 << 26).unwrap()),
+        ),
+    ];
+    for (label, store) in &stores {
+        group.bench_with_input(BenchmarkId::from_parameter(label), store, |b, store| {
+            b.iter(|| {
+                store.put(OperatorId::new(1), cp.clone()).unwrap();
+                store.prune(OperatorId::new(1), cp.meta.sequence);
+                store.latest(OperatorId::new(1)).unwrap()
+            });
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_checkpoint_by_state_size,
     bench_checkpoint_serialisation,
-    bench_incremental_vs_full
+    bench_incremental_vs_full,
+    bench_store_backends
 );
 criterion_main!(benches);

@@ -48,7 +48,12 @@ fn bench_key_range_split(c: &mut Criterion) {
 fn bench_routing_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("routing");
     let mut routing = RoutingState::new();
-    for (i, range) in KeyRange::full().split_even(64).unwrap().into_iter().enumerate() {
+    for (i, range) in KeyRange::full()
+        .split_even(64)
+        .unwrap()
+        .into_iter()
+        .enumerate()
+    {
         routing.set_route(range, OperatorId::new(i as u64));
     }
     group.bench_function("route_64_partitions", |b| {

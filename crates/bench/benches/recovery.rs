@@ -56,5 +56,9 @@ fn bench_serial_vs_parallel_recovery(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_recovery_by_strategy, bench_serial_vs_parallel_recovery);
+criterion_group!(
+    benches,
+    bench_recovery_by_strategy,
+    bench_serial_vs_parallel_recovery
+);
 criterion_main!(benches);

@@ -16,13 +16,23 @@ fn main() {
                 format!("{:.0}", r.latency_p50_ms),
                 format!("{:.0}", r.latency_p95_ms),
                 r.vms.to_string(),
-                if r.scaled_out { "scale-out".into() } else { String::new() },
+                if r.scaled_out {
+                    "scale-out".into()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
     print_table(
         "Fig. 7 — Processing latency for the LRB workload (L=350)",
-        &["t_s", "latency_p50_ms", "latency_p95_ms", "num_vms", "event"],
+        &[
+            "t_s",
+            "latency_p50_ms",
+            "latency_p95_ms",
+            "num_vms",
+            "event",
+        ],
         &rows,
     );
     println!(

@@ -29,5 +29,8 @@ fn main() {
         "\nsummary: final_vms={} peak_consumed={:.0} tuples/s total_dropped={:.0} (paper: scales out until it sustains 550k tuples/s; map scales before reduce)",
         s.final_vms, s.peak_throughput, s.total_dropped
     );
-    println!("final stage parallelism (sources, map, reduce, sink): {:?}", s.final_parallelism);
+    println!(
+        "final stage parallelism (sources, map, reduce, sink): {:?}",
+        s.final_parallelism
+    );
 }

@@ -5,7 +5,11 @@ use seep_bench::print_table;
 use seep_bench::runtime_experiments::{recovery_by_interval, DEFAULT_WARMUP_S};
 
 fn main() {
-    let rows = recovery_by_interval(&[1, 5, 10, 15, 20, 25, 30], &[100, 500, 1_000], DEFAULT_WARMUP_S);
+    let rows = recovery_by_interval(
+        &[1, 5, 10, 15, 20, 25, 30],
+        &[100, 500, 1_000],
+        DEFAULT_WARMUP_S,
+    );
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -11,7 +11,11 @@ fn main() {
         .map(|r| {
             vec![
                 r.checkpoint_interval_s.to_string(),
-                if r.parallelism == 1 { "serial".into() } else { "parallel".into() },
+                if r.parallelism == 1 {
+                    "serial".into()
+                } else {
+                    "parallel".into()
+                },
                 format!("{:.1}", r.recovery_ms),
                 r.replayed.to_string(),
             ]

@@ -22,7 +22,14 @@ fn main() {
         .collect();
     print_table(
         "Fig. 14 — Overhead of state checkpointing for different input rates and state sizes",
-        &["rate_tps", "state_size", "entries", "latency_p50_ms", "latency_p95_ms", "mean_checkpoint_ms"],
+        &[
+            "rate_tps",
+            "state_size",
+            "entries",
+            "latency_p50_ms",
+            "latency_p95_ms",
+            "mean_checkpoint_ms",
+        ],
         &table,
     );
     println!("\npaper: the 95th-percentile latency grows with the state size (larger checkpoints steal more CPU time) and with the input rate; state sizes: small=10^2 (~2 KB), medium=10^4 (~200 KB), large=10^5 (~2 MB)");

@@ -178,7 +178,11 @@ mod tests {
         assert!(words_before > 0);
         let recovery_ms = h.fail_and_recover(1);
         assert!(recovery_ms >= 0.0);
-        assert_eq!(h.total_counted_words(), words_before, "state fully recovered");
+        assert_eq!(
+            h.total_counted_words(),
+            words_before,
+            "state fully recovered"
+        );
     }
 
     #[test]

@@ -206,7 +206,10 @@ fn measure_overhead(
     let mean_checkpoint_ms = if checkpoints.is_empty() {
         0.0
     } else {
-        checkpoints.iter().map(|c| c.duration_us as f64).sum::<f64>()
+        checkpoints
+            .iter()
+            .map(|c| c.duration_us as f64)
+            .sum::<f64>()
             / checkpoints.len() as f64
             / 1_000.0
     };
@@ -270,6 +273,100 @@ pub fn interval_tradeoff(intervals_s: &[u64], rate: u64, duration_s: u64) -> Vec
         .collect()
 }
 
+/// One checkpoint-store backend comparison row: the same warm-up, failure
+/// and recovery measured against a different `seep-store` backend.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BackendMeasurement {
+    /// Backend label ("mem", "file", "tiered"), plus "+inc" when
+    /// incremental backups were on.
+    pub backend: String,
+    /// Whether incremental backups were enabled.
+    pub incremental: bool,
+    /// Measured recovery time in milliseconds.
+    pub recovery_ms: f64,
+    /// Tuples replayed during recovery.
+    pub replayed: usize,
+    /// Bytes written to the store by `backup-state` over the run.
+    pub write_bytes: u64,
+    /// Cumulative store write latency (µs).
+    pub write_us: u64,
+    /// Bytes read back from the store during recovery.
+    pub restore_bytes: u64,
+    /// Mean checkpoint duration (ms), including the backup write.
+    pub mean_checkpoint_ms: f64,
+}
+
+fn measure_backend(
+    store: seep_runtime::StoreConfig,
+    rate: u64,
+    warmup_s: u64,
+) -> BackendMeasurement {
+    let incremental = store.incremental;
+    let label = format!("{}{}", store.label(), if incremental { "+inc" } else { "" });
+    let backend_label = store.label();
+    let mut config = RuntimeConfig::default().with_store(store);
+    config.checkpoint_interval_ms = 2_000;
+    let mut harness = WordCountHarness::deploy(config, 10_000, 0);
+    harness.run_for(warmup_s, rate);
+    let words_before = harness.total_counted_words();
+    let recovery_ms = harness.fail_and_recover(1);
+    assert_eq!(
+        harness.total_counted_words(),
+        words_before,
+        "backend {label} lost state across recovery"
+    );
+    let metrics = harness.runtime.metrics();
+    let io = metrics.store_io(backend_label);
+    let checkpoints = metrics.checkpoints();
+    let mean_checkpoint_ms = if checkpoints.is_empty() {
+        0.0
+    } else {
+        checkpoints
+            .iter()
+            .map(|c| c.duration_us as f64)
+            .sum::<f64>()
+            / checkpoints.len() as f64
+            / 1_000.0
+    };
+    let replayed = metrics
+        .recoveries()
+        .last()
+        .map(|r| r.replayed_tuples)
+        .unwrap_or(0);
+    BackendMeasurement {
+        backend: label,
+        incremental,
+        recovery_ms,
+        replayed,
+        write_bytes: io.write_bytes,
+        write_us: io.write_us,
+        restore_bytes: io.restore_bytes,
+        mean_checkpoint_ms,
+    }
+}
+
+/// Compare recovery and checkpoint I/O of the three checkpoint-store
+/// backends (plus the file backend with incremental backups) on the same
+/// word-count failure scenario. `dir` roots the on-disk backends' logs.
+pub fn recovery_by_backend(
+    rate: u64,
+    warmup_s: u64,
+    dir: &std::path::Path,
+) -> Vec<BackendMeasurement> {
+    use seep_runtime::StoreConfig;
+    let _ = std::fs::remove_dir_all(dir);
+    vec![
+        measure_backend(StoreConfig::mem(), rate, warmup_s),
+        measure_backend(StoreConfig::file(dir.join("file")), rate, warmup_s),
+        measure_backend(
+            StoreConfig::file(dir.join("file-inc")).with_incremental(true),
+            rate,
+            warmup_s,
+        ),
+        measure_backend(StoreConfig::tiered(dir.join("tiered")), rate, warmup_s),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +423,27 @@ mod tests {
         let rows = interval_tradeoff(&[2, 8], 100, 4);
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.recovery_ms >= 0.0));
+    }
+
+    #[test]
+    fn backend_comparison_covers_all_backends_and_writes_bytes() {
+        let dir = std::env::temp_dir().join(format!("seep-bench-backends-{}", std::process::id()));
+        let rows = recovery_by_backend(40, 5, &dir);
+        assert_eq!(rows.len(), 4);
+        let labels: Vec<&str> = rows.iter().map(|r| r.backend.as_str()).collect();
+        assert_eq!(labels, vec!["mem", "file", "file+inc", "tiered"]);
+        // Every backend recovered (asserted inside measure_backend) and every
+        // backend actually wrote checkpoint bytes.
+        assert!(rows.iter().all(|r| r.write_bytes > 0), "{rows:?}");
+        // Incremental file backups write less than full file backups.
+        let file = rows.iter().find(|r| r.backend == "file").unwrap();
+        let inc = rows.iter().find(|r| r.backend == "file+inc").unwrap();
+        assert!(
+            inc.write_bytes < file.write_bytes,
+            "incremental {} vs full {}",
+            inc.write_bytes,
+            file.write_bytes
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -56,7 +56,12 @@ impl FailureInjector {
 
     /// Schedule VM `vm` to crash at `at_ms`.
     pub fn schedule(&self, vm: VmId, at_ms: u64) {
-        self.inner.lock().scheduled.entry(at_ms).or_default().push(vm);
+        self.inner
+            .lock()
+            .scheduled
+            .entry(at_ms)
+            .or_default()
+            .push(vm);
     }
 
     /// Enable random failures: whenever the process fires, one currently
@@ -75,11 +80,7 @@ impl FailureInjector {
         {
             let mut inner = self.inner.lock();
             // Scheduled failures.
-            let due: Vec<u64> = inner
-                .scheduled
-                .range(..=now_ms)
-                .map(|(t, _)| *t)
-                .collect();
+            let due: Vec<u64> = inner.scheduled.range(..=now_ms).map(|(t, _)| *t).collect();
             for t in due {
                 if let Some(vms) = inner.scheduled.remove(&t) {
                     to_fail.extend(vms);

@@ -1,4 +1,4 @@
-//! Backup placement and backup stores (§3.2, Algorithm 1).
+//! Backup placement (§3.2, Algorithm 1).
 //!
 //! Each operator's checkpoints are backed up to one of its upstream operators,
 //! chosen with a hash so that the backup load is spread across all upstream
@@ -6,16 +6,11 @@
 //! that holds the backup is the one that later partitions it during scale out
 //! or restores it during recovery.
 //!
-//! [`BackupStore`] abstracts where backed-up checkpoints live; the in-memory
-//! implementation is used by the threaded runtime (each upstream worker owns
-//! one) and by the simulator.
+//! Where the backed-up checkpoints actually live is the job of the
+//! `seep-store` crate: its `CheckpointStore` trait abstracts the storage
+//! backend (in-memory, log-structured on disk, or tiered) and its
+//! `BackupCoordinator` drives Algorithm 1 against the selection made here.
 
-use std::collections::HashMap;
-
-use parking_lot::RwLock;
-
-use crate::checkpoint::{Checkpoint, IncrementalCheckpoint};
-use crate::error::{Error, Result};
 use crate::operator::OperatorId;
 
 /// Select the upstream operator that stores `operator`'s checkpoints
@@ -40,111 +35,9 @@ pub fn select_backup_operator(
     Some(upstreams[idx])
 }
 
-/// Storage for backed-up operator checkpoints.
-///
-/// One logical store exists per *backup operator* (the upstream VM holding
-/// the checkpoints of its downstream operators). Keys are the operator whose
-/// state is stored, so a single upstream can hold backups for several
-/// downstream partitions.
-pub trait BackupStore: Send + Sync {
-    /// Store (replacing any previous) the checkpoint of `owner`.
-    fn store(&self, owner: OperatorId, checkpoint: Checkpoint);
-
-    /// Apply an incremental checkpoint on top of the stored base. Returns an
-    /// error if no base checkpoint is stored or the sequences do not line up.
-    fn apply_increment(&self, owner: OperatorId, inc: &IncrementalCheckpoint) -> Result<()>;
-
-    /// Retrieve a copy of the stored checkpoint of `owner`.
-    fn retrieve(&self, owner: OperatorId) -> Result<Checkpoint>;
-
-    /// Delete the stored checkpoint of `owner` (e.g. when the backup operator
-    /// changes after repartitioning — Algorithm 1, lines 5–6). Returns whether
-    /// a checkpoint was present.
-    fn delete(&self, owner: OperatorId) -> bool;
-
-    /// Operators that currently have a checkpoint stored here.
-    fn owners(&self) -> Vec<OperatorId>;
-
-    /// Total bytes of stored checkpoints (for overhead accounting).
-    fn size_bytes(&self) -> usize;
-}
-
-/// A thread-safe in-memory backup store.
-#[derive(Debug, Default)]
-pub struct InMemoryBackupStore {
-    inner: RwLock<HashMap<OperatorId, Checkpoint>>,
-}
-
-impl InMemoryBackupStore {
-    /// Create an empty store.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Number of checkpoints stored.
-    pub fn len(&self) -> usize {
-        self.inner.read().len()
-    }
-
-    /// True if nothing is stored.
-    pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
-    }
-}
-
-impl BackupStore for InMemoryBackupStore {
-    fn store(&self, owner: OperatorId, checkpoint: Checkpoint) {
-        self.inner.write().insert(owner, checkpoint);
-    }
-
-    fn apply_increment(&self, owner: OperatorId, inc: &IncrementalCheckpoint) -> Result<()> {
-        let mut map = self.inner.write();
-        let base = map.get_mut(&owner).ok_or(Error::NoBackup(owner))?;
-        if base.meta.sequence != inc.base_sequence {
-            return Err(Error::Invariant(format!(
-                "incremental checkpoint base {} does not match stored sequence {}",
-                inc.base_sequence, base.meta.sequence
-            )));
-        }
-        base.apply_increment(inc);
-        Ok(())
-    }
-
-    fn retrieve(&self, owner: OperatorId) -> Result<Checkpoint> {
-        self.inner
-            .read()
-            .get(&owner)
-            .cloned()
-            .ok_or(Error::NoBackup(owner))
-    }
-
-    fn delete(&self, owner: OperatorId) -> bool {
-        self.inner.write().remove(&owner).is_some()
-    }
-
-    fn owners(&self) -> Vec<OperatorId> {
-        let mut v: Vec<OperatorId> = self.inner.read().keys().copied().collect();
-        v.sort();
-        v
-    }
-
-    fn size_bytes(&self) -> usize {
-        self.inner.read().values().map(Checkpoint::size_bytes).sum()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::state::{BufferState, ProcessingState};
-    use crate::tuple::{Key, StreamId};
-
-    fn checkpoint(op: u64, seq: u64) -> Checkpoint {
-        let mut st = ProcessingState::empty();
-        st.insert(Key(op), vec![op as u8]);
-        st.advance_ts(StreamId(0), seq);
-        Checkpoint::new(OperatorId::new(op), seq, st, BufferState::new())
-    }
 
     #[test]
     fn backup_selection_is_deterministic_and_in_range() {
@@ -153,7 +46,28 @@ mod tests {
         let b = select_backup_operator(OperatorId::new(10), &ups).unwrap();
         assert_eq!(a, b);
         assert!(ups.contains(&a));
+    }
+
+    #[test]
+    fn no_upstreams_means_no_backup() {
         assert!(select_backup_operator(OperatorId::new(10), &[]).is_none());
+        assert!(select_backup_operator(OperatorId::new(0), &[]).is_none());
+        assert!(select_backup_operator(OperatorId::new(u64::MAX), &[]).is_none());
+    }
+
+    #[test]
+    fn single_upstream_is_always_chosen() {
+        let ups = [OperatorId::new(42)];
+        for o in 0..100u64 {
+            assert_eq!(
+                select_backup_operator(OperatorId::new(o), &ups),
+                Some(OperatorId::new(42))
+            );
+        }
+        assert_eq!(
+            select_backup_operator(OperatorId::new(u64::MAX), &ups),
+            Some(OperatorId::new(42))
+        );
     }
 
     #[test]
@@ -170,51 +84,50 @@ mod tests {
     }
 
     #[test]
-    fn store_retrieve_delete() {
-        let store = InMemoryBackupStore::new();
-        assert!(store.is_empty());
-        let cp = checkpoint(7, 1);
-        store.store(OperatorId::new(7), cp.clone());
-        assert_eq!(store.len(), 1);
-        assert_eq!(store.retrieve(OperatorId::new(7)).unwrap(), cp);
-        assert!(store.size_bytes() > 0);
-        assert_eq!(store.owners(), vec![OperatorId::new(7)]);
-        assert!(store.delete(OperatorId::new(7)));
-        assert!(!store.delete(OperatorId::new(7)));
-        assert!(matches!(
-            store.retrieve(OperatorId::new(7)),
-            Err(Error::NoBackup(_))
-        ));
+    fn spread_over_many_upstreams_is_roughly_uniform() {
+        // 16 upstream partitions, 1600 downstream operators: each upstream
+        // should hold close to 100 backups; a hash that collapses to a few
+        // slots would show extreme counts.
+        let ups: Vec<OperatorId> = (0..16).map(OperatorId::new).collect();
+        let mut counts = vec![0usize; 16];
+        for o in 1_000..2_600u64 {
+            let chosen = select_backup_operator(OperatorId::new(o), &ups).unwrap();
+            counts[chosen.raw() as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min >= 50, "some upstream is starved: {counts:?}");
+        assert!(max <= 200, "some upstream is overloaded: {counts:?}");
     }
 
     #[test]
-    fn newer_checkpoint_replaces_older() {
-        let store = InMemoryBackupStore::new();
-        store.store(OperatorId::new(7), checkpoint(7, 1));
-        store.store(OperatorId::new(7), checkpoint(7, 2));
-        assert_eq!(store.retrieve(OperatorId::new(7)).unwrap().meta.sequence, 2);
-        assert_eq!(store.len(), 1);
+    fn consecutive_operator_ids_do_not_collapse_to_one_slot() {
+        // The raw ids 0..8 are consecutive; with 2 upstreams a naive
+        // `id % 2` would alternate but a broken mix could map them all to
+        // slot 0. Require both slots to be used.
+        let ups = [OperatorId::new(100), OperatorId::new(200)];
+        let chosen: std::collections::BTreeSet<OperatorId> = (0..8)
+            .map(|o| select_backup_operator(OperatorId::new(o), &ups).unwrap())
+            .collect();
+        assert_eq!(chosen.len(), 2, "both upstreams must be selected");
     }
 
     #[test]
-    fn incremental_backup_applies_on_base() {
-        let store = InMemoryBackupStore::new();
-        let base = checkpoint(7, 1);
-        store.store(OperatorId::new(7), base.clone());
-
-        let mut current = base.clone();
-        current.meta.sequence = 2;
-        current.processing.insert(Key(99), vec![9]);
-        let inc = IncrementalCheckpoint::diff(&base, &current);
-
-        store.apply_increment(OperatorId::new(7), &inc).unwrap();
-        let stored = store.retrieve(OperatorId::new(7)).unwrap();
-        assert_eq!(stored.meta.sequence, 2);
-        assert!(stored.processing.get(Key(99)).is_some());
-
-        // Wrong base sequence is rejected.
-        assert!(store.apply_increment(OperatorId::new(7), &inc).is_err());
-        // Unknown owner is rejected.
-        assert!(store.apply_increment(OperatorId::new(8), &inc).is_err());
+    fn selection_depends_only_on_position_not_identity() {
+        // The paper's rule hashes the downstream id against the *list* of
+        // upstreams; replacing an upstream id keeps the chosen index stable.
+        let a = [OperatorId::new(1), OperatorId::new(2)];
+        let b = [OperatorId::new(7), OperatorId::new(9)];
+        for o in 0..50u64 {
+            let ia = a
+                .iter()
+                .position(|u| Some(*u) == select_backup_operator(OperatorId::new(o), &a))
+                .unwrap();
+            let ib = b
+                .iter()
+                .position(|u| Some(*u) == select_backup_operator(OperatorId::new(o), &b))
+                .unwrap();
+            assert_eq!(ia, ib);
+        }
     }
 }

@@ -53,10 +53,7 @@ impl Checkpoint {
         buffer: BufferState,
     ) -> Self {
         Checkpoint {
-            meta: CheckpointMeta {
-                operator,
-                sequence,
-            },
+            meta: CheckpointMeta { operator, sequence },
             processing,
             buffer,
             emit_clock: 0,
@@ -109,6 +106,7 @@ impl Checkpoint {
         *self.processing.timestamps_mut() = inc.timestamps.clone();
         self.buffer = inc.buffer.clone();
         self.meta.sequence = inc.meta.sequence;
+        self.emit_clock = inc.emit_clock;
     }
 }
 
@@ -129,6 +127,13 @@ pub struct IncrementalCheckpoint {
     /// New buffer state (buffers change every interval, so they are carried
     /// in full; they are trimmed aggressively and stay small).
     pub buffer: BufferState,
+    /// Value of the operator's logical output clock when this increment was
+    /// taken. Carried so a checkpoint materialised from a delta chain resets
+    /// a restored operator's clock to the *current* value, not the one
+    /// frozen in the last full checkpoint — otherwise post-recovery output
+    /// would reuse old timestamps and be dropped as duplicates downstream.
+    #[serde(default)]
+    pub emit_clock: crate::tuple::Timestamp,
 }
 
 impl IncrementalCheckpoint {
@@ -142,6 +147,7 @@ impl IncrementalCheckpoint {
             removed,
             timestamps: current.processing.timestamps().clone(),
             buffer: current.buffer.clone(),
+            emit_clock: current.emit_clock,
         }
     }
 
@@ -200,6 +206,7 @@ mod tests {
         let base = base_checkpoint();
         let mut current = base.clone();
         current.meta.sequence = 2;
+        current.emit_clock = 77;
         current.processing.insert(Key(2), vec![22]); // modified
         current.processing.insert(Key(3), vec![3]); // added
         current.processing.remove(Key(1)); // removed
@@ -217,6 +224,10 @@ mod tests {
         assert_eq!(rebuilt.processing, current.processing);
         assert_eq!(rebuilt.buffer, current.buffer);
         assert_eq!(rebuilt.meta.sequence, 2);
+        assert_eq!(
+            rebuilt.emit_clock, 77,
+            "emit clock must track the increment, not the base"
+        );
     }
 
     #[test]

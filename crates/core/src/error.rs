@@ -30,6 +30,8 @@ pub enum Error {
     InvalidGraph(String),
     /// State spilling to disk failed.
     Spill(String),
+    /// A checkpoint-store backend failed (I/O error, corrupt log record, …).
+    Store(String),
     /// Generic invariant violation with a description.
     Invariant(String),
 }
@@ -49,6 +51,7 @@ impl fmt::Display for Error {
             Error::UnknownLogicalOperator(op) => write!(f, "unknown logical operator {op}"),
             Error::InvalidGraph(msg) => write!(f, "invalid query graph: {msg}"),
             Error::Spill(msg) => write!(f, "spill error: {msg}"),
+            Error::Store(msg) => write!(f, "checkpoint store error: {msg}"),
             Error::Invariant(msg) => write!(f, "invariant violation: {msg}"),
         }
     }

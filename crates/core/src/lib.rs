@@ -11,8 +11,9 @@
 //!
 //! * [`primitives::checkpoint_state`] — take a consistent copy of an
 //!   operator's processing state and output buffers,
-//! * [`primitives::backup_state`] — back the checkpoint up to an upstream
-//!   operator (selected by [`backup::select_backup_operator`]),
+//! * `backup-state` — back the checkpoint up to an upstream operator
+//!   (selected by [`backup::select_backup_operator`]; the storage backends
+//!   and the coordinator driving them live in the `seep-store` crate),
 //! * [`primitives::restore_state`] — restore a checkpoint into a fresh
 //!   operator instance,
 //! * [`primitives::replay_buffer_state`] — replay unprocessed tuples from an
@@ -46,7 +47,7 @@ pub mod spill;
 pub mod state;
 pub mod tuple;
 
-pub use backup::{select_backup_operator, BackupStore, InMemoryBackupStore};
+pub use backup::select_backup_operator;
 pub use checkpoint::{Checkpoint, CheckpointMeta, IncrementalCheckpoint};
 pub use clock::LogicalClock;
 pub use dedup::DuplicateFilter;
@@ -54,5 +55,6 @@ pub use error::{Error, Result};
 pub use graph::{ExecutionGraph, LogicalOpId, OperatorKind, QueryGraph, QueryGraphBuilder};
 pub use key::{KeyRange, KeySplit};
 pub use operator::{OperatorId, OutputTuple, StatefulOperator, StatelessFn};
+pub use spill::{MemoryBudget, SpillPolicy, SpillStore};
 pub use state::{BufferState, ProcessingState, RoutingState};
 pub use tuple::{Key, StreamId, Timestamp, TimestampVec, Tuple};

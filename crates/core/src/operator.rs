@@ -227,7 +227,10 @@ mod tests {
     #[test]
     fn factory_from_closure() {
         let factory = || -> Box<dyn StatefulOperator> {
-            Box::new(StatelessFn::new("noop", |_, _, _: &mut Vec<OutputTuple>| {}))
+            Box::new(StatelessFn::new(
+                "noop",
+                |_, _, _: &mut Vec<OutputTuple>| {},
+            ))
         };
         let op = OperatorFactory::build(&factory);
         assert!(!op.is_stateful());

@@ -5,10 +5,10 @@
 //! (`seep-sim`) drive them; keeping them here, free of any threading or
 //! networking concerns, makes them easy to test exhaustively.
 //!
-//! | Paper primitive | This module |
+//! | Paper primitive | Where it lives |
 //! |---|---|
 //! | `checkpoint-state(o)` | [`checkpoint_state`] |
-//! | `backup-state(o)` (Algorithm 1) | [`BackupCoordinator::backup_state`] |
+//! | `backup-state(o)` (Algorithm 1) | `seep-store`'s `BackupCoordinator::backup_state` |
 //! | `restore-state(o, θ, τ, β, ρ)` | [`restore_state`] |
 //! | `replay-buffer-state(u, o)` | [`replay_buffer_state`] |
 //! | `trim(o, τ)` | [`BufferState::trim`] |
@@ -16,12 +16,6 @@
 //! | `partition-routing-state(u, o, π)` | [`RoutingState::repartition`] |
 //! | `partition-buffer-state(u)` | [`BufferState::repartition`] |
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
-
-use crate::backup::{select_backup_operator, BackupStore};
 use crate::checkpoint::Checkpoint;
 use crate::error::{Error, Result};
 use crate::key::KeyRange;
@@ -128,156 +122,9 @@ pub fn partition_checkpoint(
         .collect())
 }
 
-/// Registry mapping each operator to the [`BackupStore`] hosted on its VM.
-///
-/// In the real system every VM hosts a backup store for the downstream
-/// operators that picked it; the registry is how the coordinator reaches the
-/// store of a given upstream operator.
-pub type BackupRegistry = HashMap<OperatorId, Arc<dyn BackupStore>>;
-
-/// Coordinates `backup-state(o)` (Algorithm 1): selects the backup operator,
-/// stores the checkpoint there, releases the previous backup when the choice
-/// changes, and reports how far upstream buffers can be trimmed.
-pub struct BackupCoordinator {
-    stores: Mutex<BackupRegistry>,
-    /// `backup(o)`: the upstream operator currently holding o's checkpoint.
-    assignments: Mutex<HashMap<OperatorId, OperatorId>>,
-}
-
-impl Default for BackupCoordinator {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl BackupCoordinator {
-    /// Create a coordinator with no registered stores.
-    pub fn new() -> Self {
-        BackupCoordinator {
-            stores: Mutex::new(HashMap::new()),
-            assignments: Mutex::new(HashMap::new()),
-        }
-    }
-
-    /// Register the backup store hosted alongside `operator`.
-    pub fn register_store(&self, operator: OperatorId, store: Arc<dyn BackupStore>) {
-        self.stores.lock().insert(operator, store);
-    }
-
-    /// Remove the store hosted alongside `operator` (when its VM is released).
-    pub fn unregister_store(&self, operator: OperatorId) {
-        self.stores.lock().remove(&operator);
-    }
-
-    /// The upstream operator currently holding `operator`'s checkpoint, if any.
-    pub fn backup_of(&self, operator: OperatorId) -> Option<OperatorId> {
-        self.assignments.lock().get(&operator).copied()
-    }
-
-    /// Explicitly set `backup(o)` (used when partitioning assigns initial
-    /// backups for new partitions, Algorithm 2 line 8).
-    pub fn set_backup_of(&self, operator: OperatorId, backup: OperatorId) {
-        self.assignments.lock().insert(operator, backup);
-    }
-
-    /// Forget the assignment for `operator` (when it is removed from the graph).
-    pub fn clear_backup_of(&self, operator: OperatorId) {
-        self.assignments.lock().remove(&operator);
-    }
-
-    /// The store hosted alongside `operator`.
-    pub fn store_of(&self, operator: OperatorId) -> Result<Arc<dyn BackupStore>> {
-        self.stores
-            .lock()
-            .get(&operator)
-            .cloned()
-            .ok_or(Error::UnknownOperator(operator))
-    }
-
-    /// `backup-state(o)` (Algorithm 1): store `checkpoint` at the upstream
-    /// operator selected by hashing, release the previous backup if the
-    /// selection changed, and return the chosen backup operator together with
-    /// the timestamp vector up to which upstream output buffers may now be
-    /// trimmed (line 4).
-    pub fn backup_state(
-        &self,
-        operator: OperatorId,
-        upstreams: &[OperatorId],
-        checkpoint: Checkpoint,
-    ) -> Result<BackupOutcome> {
-        let chosen = select_backup_operator(operator, upstreams)
-            .ok_or_else(|| Error::Invariant(format!("operator {operator} has no upstream")))?;
-        let trim_to = checkpoint.processing.timestamps().clone();
-        let store = self.store_of(chosen)?;
-        store.store(operator, checkpoint);
-
-        let previous = {
-            let mut assignments = self.assignments.lock();
-            assignments.insert(operator, chosen)
-        };
-        // Algorithm 1, lines 5-6: release the old backup if it moved.
-        if let Some(prev) = previous {
-            if prev != chosen {
-                if let Ok(prev_store) = self.store_of(prev) {
-                    prev_store.delete(operator);
-                }
-            }
-        }
-        Ok(BackupOutcome {
-            backup_operator: chosen,
-            trim_to,
-        })
-    }
-
-    /// Retrieve the latest backed-up checkpoint of `operator`
-    /// (`retrieve-backup(backup(o), o)`).
-    pub fn retrieve(&self, operator: OperatorId) -> Result<Checkpoint> {
-        let backup = self
-            .backup_of(operator)
-            .ok_or(Error::NoBackup(operator))?;
-        self.store_of(backup)?.retrieve(operator)
-    }
-
-    /// Store partitioned checkpoints as the initial backups of the new
-    /// partitions (Algorithm 2, line 8) and drop the replaced operator's
-    /// backup. Each partition's backup lands on the store chosen by the same
-    /// hash rule over `upstreams`.
-    pub fn store_partitioned(
-        &self,
-        replaced: OperatorId,
-        upstreams: &[OperatorId],
-        partitions: &[Checkpoint],
-    ) -> Result<()> {
-        for cp in partitions {
-            let chosen = select_backup_operator(cp.meta.operator, upstreams)
-                .ok_or_else(|| Error::Invariant("no upstream for partition backup".into()))?;
-            self.store_of(chosen)?.store(cp.meta.operator, cp.clone());
-            self.assignments.lock().insert(cp.meta.operator, chosen);
-        }
-        // Afterwards backup(o) is removed safely from the system (line 8).
-        if let Some(old_backup) = self.backup_of(replaced) {
-            if let Ok(store) = self.store_of(old_backup) {
-                store.delete(replaced);
-            }
-        }
-        self.clear_backup_of(replaced);
-        Ok(())
-    }
-}
-
-/// Result of a successful `backup-state(o)` call.
-#[derive(Debug, Clone)]
-pub struct BackupOutcome {
-    /// The upstream operator now holding the checkpoint (`backup(o)`).
-    pub backup_operator: OperatorId,
-    /// Upstream buffers towards `o` may be trimmed up to these timestamps.
-    pub trim_to: TimestampVec,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backup::InMemoryBackupStore;
     use crate::operator::{OutputTuple, StatelessFn};
     use crate::state::ProcessingState;
     use crate::tuple::Key;
@@ -324,7 +171,11 @@ mod tests {
     fn feed(op: &mut Counter, keys: &[u64]) {
         let mut out = Vec::new();
         for (i, &k) in keys.iter().enumerate() {
-            op.process(StreamId(0), &Tuple::new(i as u64 + 1, Key(k), vec![]), &mut out);
+            op.process(
+                StreamId(0),
+                &Tuple::new(i as u64 + 1, Key(k), vec![]),
+                &mut out,
+            );
         }
     }
 
@@ -398,102 +249,5 @@ mod tests {
             assert_eq!(p.processing.timestamps().get(StreamId(0)), Some(4));
         }
         assert!(partition_checkpoint(&cp, &[]).is_err());
-    }
-
-    fn coordinator_with_stores(ops: &[u64]) -> BackupCoordinator {
-        let coord = BackupCoordinator::new();
-        for &o in ops {
-            coord.register_store(OperatorId::new(o), Arc::new(InMemoryBackupStore::new()));
-        }
-        coord
-    }
-
-    #[test]
-    fn backup_state_stores_at_hashed_upstream_and_reports_trim() {
-        let coord = coordinator_with_stores(&[1, 2]);
-        let ups = [OperatorId::new(1), OperatorId::new(2)];
-        let mut op = Counter::new();
-        feed(&mut op, &[7, 8]);
-        let mut cp = checkpoint_state(OperatorId::new(5), 1, &op, &BufferState::new());
-        cp.processing.advance_ts(StreamId(1), 33);
-
-        let outcome = coord
-            .backup_state(OperatorId::new(5), &ups, cp.clone())
-            .unwrap();
-        assert!(ups.contains(&outcome.backup_operator));
-        assert_eq!(outcome.trim_to.get(StreamId(1)), Some(33));
-        assert_eq!(coord.backup_of(OperatorId::new(5)), Some(outcome.backup_operator));
-        let retrieved = coord.retrieve(OperatorId::new(5)).unwrap();
-        assert_eq!(retrieved.processing.len(), 2);
-    }
-
-    #[test]
-    fn backup_state_releases_previous_backup_when_upstreams_change() {
-        let coord = coordinator_with_stores(&[1, 2, 3]);
-        let op5 = OperatorId::new(5);
-        let cp = Checkpoint::empty(op5);
-
-        // First backup with only upstream 1 available.
-        let first = coord
-            .backup_state(op5, &[OperatorId::new(1)], cp.clone())
-            .unwrap();
-        assert_eq!(first.backup_operator, OperatorId::new(1));
-
-        // Upstream repartitioned: now ops 2 and 3 are upstream. The new choice
-        // must land on one of them and the old backup must be deleted.
-        let second = coord
-            .backup_state(op5, &[OperatorId::new(2), OperatorId::new(3)], cp)
-            .unwrap();
-        assert_ne!(second.backup_operator, OperatorId::new(1));
-        let old_store = coord.store_of(OperatorId::new(1)).unwrap();
-        assert!(old_store.retrieve(op5).is_err(), "old backup not released");
-        assert!(coord.retrieve(op5).is_ok());
-    }
-
-    #[test]
-    fn backup_state_without_upstreams_is_an_error() {
-        let coord = coordinator_with_stores(&[1]);
-        let err = coord.backup_state(OperatorId::new(5), &[], Checkpoint::empty(OperatorId::new(5)));
-        assert!(err.is_err());
-    }
-
-    #[test]
-    fn backup_state_to_unregistered_store_is_an_error() {
-        let coord = coordinator_with_stores(&[]);
-        let err = coord.backup_state(
-            OperatorId::new(5),
-            &[OperatorId::new(1)],
-            Checkpoint::empty(OperatorId::new(5)),
-        );
-        assert!(matches!(err, Err(Error::UnknownOperator(_))));
-    }
-
-    #[test]
-    fn store_partitioned_sets_initial_backups_and_drops_old() {
-        let coord = coordinator_with_stores(&[1, 2]);
-        let ups = [OperatorId::new(1), OperatorId::new(2)];
-        let old = OperatorId::new(5);
-        coord.backup_state(old, &ups, Checkpoint::empty(old)).unwrap();
-
-        let parts = vec![
-            Checkpoint::empty(OperatorId::new(10)),
-            Checkpoint::empty(OperatorId::new(11)),
-        ];
-        coord.store_partitioned(old, &ups, &parts).unwrap();
-        assert!(coord.retrieve(OperatorId::new(10)).is_ok());
-        assert!(coord.retrieve(OperatorId::new(11)).is_ok());
-        assert!(coord.backup_of(old).is_none());
-        assert!(matches!(coord.retrieve(old), Err(Error::NoBackup(_))));
-    }
-
-    #[test]
-    fn unregister_store_makes_backups_unreachable() {
-        let coord = coordinator_with_stores(&[1]);
-        let op = OperatorId::new(5);
-        coord
-            .backup_state(op, &[OperatorId::new(1)], Checkpoint::empty(op))
-            .unwrap();
-        coord.unregister_store(OperatorId::new(1));
-        assert!(coord.retrieve(op).is_err());
     }
 }

@@ -15,6 +15,37 @@ use crate::checkpoint::Checkpoint;
 use crate::error::{Error, Result};
 use crate::operator::OperatorId;
 
+/// Policy hook deciding when in-memory state must be spilled to disk.
+///
+/// Tiered checkpoint stores (`seep-store`) consult the policy after every
+/// admission to their hot tier; anything beyond the returned excess is
+/// demoted to the cold tier.
+pub trait SpillPolicy: Send + Sync {
+    /// Given the hot-set size in bytes, how many bytes must be spilled to
+    /// respect the policy? Zero means the hot set fits.
+    fn excess_bytes(&self, hot_bytes: usize) -> usize;
+}
+
+/// Keep the hot set under a fixed byte budget.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryBudget {
+    /// Maximum bytes of checkpoints kept in memory.
+    pub max_hot_bytes: usize,
+}
+
+impl MemoryBudget {
+    /// A budget of `max_hot_bytes` bytes.
+    pub fn new(max_hot_bytes: usize) -> Self {
+        MemoryBudget { max_hot_bytes }
+    }
+}
+
+impl SpillPolicy for MemoryBudget {
+    fn excess_bytes(&self, hot_bytes: usize) -> usize {
+        hot_bytes.saturating_sub(self.max_hot_bytes)
+    }
+}
+
 /// A directory-backed spill area for operator checkpoints.
 #[derive(Debug)]
 pub struct SpillStore {
@@ -94,10 +125,8 @@ mod tests {
     use crate::tuple::Key;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "seep-spill-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("seep-spill-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

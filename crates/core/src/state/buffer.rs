@@ -46,10 +46,7 @@ impl BufferState {
 
     /// The buffered tuples towards `d` (`β_o(d^i)` in the paper).
     pub fn tuples_for(&self, d: OperatorId) -> &[Tuple] {
-        self.buffers
-            .get(&d)
-            .map(|q| q.as_slices().0)
-            .unwrap_or(&[])
+        self.buffers.get(&d).map(|q| q.as_slices().0).unwrap_or(&[])
     }
 
     /// Iterate over the buffered tuples towards `d` (handles the case where

@@ -34,10 +34,7 @@ impl ProcessingState {
     }
 
     /// Build a processing state from key/value pairs and a timestamp vector.
-    pub fn from_parts(
-        entries: impl IntoIterator<Item = (Key, Bytes)>,
-        ts: TimestampVec,
-    ) -> Self {
+    pub fn from_parts(entries: impl IntoIterator<Item = (Key, Bytes)>, ts: TimestampVec) -> Self {
         ProcessingState {
             entries: entries.into_iter().collect(),
             ts,
@@ -113,8 +110,8 @@ impl ProcessingState {
     /// models and the checkpointing overhead experiments.
     pub fn size_bytes(&self) -> usize {
         self.entries
-            .iter()
-            .map(|(_, v)| std::mem::size_of::<Key>() + v.len())
+            .values()
+            .map(|v| std::mem::size_of::<Key>() + v.len())
             .sum()
     }
 

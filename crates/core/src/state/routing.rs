@@ -213,8 +213,14 @@ mod tests {
         let old = OperatorId::new(3);
         let mut r = RoutingState::single(old);
         let ranges = KeyRange::full().split_even(2).unwrap();
-        r.repartition(old, &[(OperatorId::new(4), ranges[0]), (OperatorId::new(5), ranges[1])])
-            .unwrap();
+        r.repartition(
+            old,
+            &[
+                (OperatorId::new(4), ranges[0]),
+                (OperatorId::new(5), ranges[1]),
+            ],
+        )
+        .unwrap();
         assert_eq!(r.len(), 2);
         assert!(r.covers_exactly(KeyRange::full()));
         assert_eq!(r.route(Key(0)), Some(OperatorId::new(4)));

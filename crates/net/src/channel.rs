@@ -55,6 +55,7 @@ pub struct DataChannel;
 
 impl DataChannel {
     /// Create a channel with room for `capacity` in-flight messages.
+    #[allow(clippy::new_ret_no_self)] // the channel IS the sender/receiver pair
     pub fn new(capacity: usize) -> (DataSender, DataReceiver) {
         let (tx, rx) = bounded(capacity.max(1));
         let stats = Arc::new(TransportStats::default());
@@ -114,6 +115,7 @@ impl DataSender {
 impl DataReceiver {
     /// Receive the next envelope, waiting up to `timeout`. Returns `Ok(None)`
     /// on timeout and `Err(())` when every sender is gone.
+    #[allow(clippy::result_unit_err)] // disconnection carries no detail
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Envelope>, ()> {
         match self.rx.recv_timeout(timeout) {
             Ok(bytes) => {

@@ -116,11 +116,7 @@ impl Network {
     /// Convenience: send a control message from a coordinator (addressed from
     /// the target itself, the "from" field is informational for control
     /// traffic).
-    pub fn send_control(
-        &self,
-        to: OperatorId,
-        control: ControlMessage,
-    ) -> Result<(), SendError> {
+    pub fn send_control(&self, to: OperatorId, control: ControlMessage) -> Result<(), SendError> {
         self.send(Envelope::new(to, to, Message::Control(control)))
     }
 }

@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn filter_drops_non_matching() {
-        let mut op = FilterFn::new("evens", |t: &Tuple| t.ts % 2 == 0);
+        let mut op = FilterFn::new("evens", |t: &Tuple| t.ts.is_multiple_of(2));
         let mut out = Vec::new();
         op.process(StreamId(0), &Tuple::new(1, Key(1), vec![]), &mut out);
         op.process(StreamId(0), &Tuple::new(2, Key(1), vec![]), &mut out);
@@ -172,7 +172,11 @@ mod tests {
     #[test]
     fn project_keeps_selected_field_and_rekeys() {
         let mut op = ProjectFields::new(1);
-        let fields = vec!["20260615".to_string(), "en".to_string(), "Main_Page".to_string()];
+        let fields = vec![
+            "20260615".to_string(),
+            "en".to_string(),
+            "Main_Page".to_string(),
+        ];
         let t = Tuple::encode(1, Key(0), &fields).unwrap();
         let mut out = Vec::new();
         op.process(StreamId(0), &t, &mut out);

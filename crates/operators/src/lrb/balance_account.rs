@@ -75,7 +75,8 @@ impl StatefulOperator for BalanceAccount {
     fn get_processing_state(&self) -> ProcessingState {
         let mut st = ProcessingState::empty();
         for (key, summary) in &self.summaries {
-            st.insert_encoded(*key, summary).expect("summary serialises");
+            st.insert_encoded(*key, summary)
+                .expect("summary serialises");
         }
         st
     }

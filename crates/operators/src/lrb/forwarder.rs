@@ -118,7 +118,11 @@ mod tests {
     fn malformed_tuples_are_counted_and_dropped() {
         let mut op = Forwarder::new();
         let mut out = Vec::new();
-        op.process(StreamId(0), &Tuple::new(1, Key(0), vec![0xde, 0xad]), &mut out);
+        op.process(
+            StreamId(0),
+            &Tuple::new(1, Key(0), vec![0xde, 0xad]),
+            &mut out,
+        );
         assert!(out.is_empty());
         assert_eq!(op.dropped(), 1);
         assert!(!op.is_stateful());

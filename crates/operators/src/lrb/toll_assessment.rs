@@ -67,10 +67,9 @@ impl StatefulOperator for TollAssessment {
                 }
                 // Toll notifications are also forwarded downstream so the
                 // collector/sink can check the 5 s notification deadline.
-                if let Ok(t) = OutputTuple::encode(
-                    Key::from_u64(u64::from(toll.vid)),
-                    &LrbRecord::Toll(toll),
-                ) {
+                if let Ok(t) =
+                    OutputTuple::encode(Key::from_u64(u64::from(toll.vid)), &LrbRecord::Toll(toll))
+                {
                     out.push(t);
                 }
             }
@@ -83,10 +82,9 @@ impl StatefulOperator for TollAssessment {
                     time: query.time,
                     balance: account.balance,
                 };
-                if let Ok(t) = OutputTuple::encode(
-                    query.vehicle_key(),
-                    &LrbRecord::BalanceResponse(response),
-                ) {
+                if let Ok(t) =
+                    OutputTuple::encode(query.vehicle_key(), &LrbRecord::BalanceResponse(response))
+                {
                     out.push(t);
                 }
             }
@@ -99,7 +97,8 @@ impl StatefulOperator for TollAssessment {
     fn get_processing_state(&self) -> ProcessingState {
         let mut st = ProcessingState::empty();
         for (key, account) in &self.accounts {
-            st.insert_encoded(*key, account).expect("account serialises");
+            st.insert_encoded(*key, account)
+                .expect("account serialises");
         }
         st
     }
@@ -216,7 +215,11 @@ mod tests {
     fn garbage_payloads_are_ignored() {
         let mut op = TollAssessment::new();
         let mut out = Vec::new();
-        op.process(StreamId(0), &Tuple::new(1, Key(0), vec![0xff, 0xee]), &mut out);
+        op.process(
+            StreamId(0),
+            &Tuple::new(1, Key(0), vec![0xff, 0xee]),
+            &mut out,
+        );
         assert!(out.is_empty());
         assert_eq!(op.tracked_accounts(), 0);
     }

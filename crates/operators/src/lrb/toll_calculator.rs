@@ -139,7 +139,8 @@ impl TollCalculator {
                     xway: report.xway,
                     seg: report.seg,
                 };
-                if let Ok(t) = OutputTuple::encode(report.vehicle_key(), &LrbRecord::Accident(alert))
+                if let Ok(t) =
+                    OutputTuple::encode(report.vehicle_key(), &LrbRecord::Accident(alert))
                 {
                     out.push(t);
                 }
@@ -167,8 +168,7 @@ impl TollCalculator {
                 lav: stats.lav.round().clamp(0.0, 255.0) as u8,
                 toll,
             };
-            if let Ok(t) =
-                OutputTuple::encode(report.vehicle_key(), &LrbRecord::Toll(notification))
+            if let Ok(t) = OutputTuple::encode(report.vehicle_key(), &LrbRecord::Toll(notification))
             {
                 out.push(t);
             }
@@ -228,8 +228,12 @@ mod tests {
     }
 
     fn feed(op: &mut TollCalculator, r: PositionReport) -> Vec<LrbRecord> {
-        let t = Tuple::encode(u64::from(r.time) + 1, r.segment_key(), &LrbRecord::Position(r))
-            .unwrap();
+        let t = Tuple::encode(
+            u64::from(r.time) + 1,
+            r.segment_key(),
+            &LrbRecord::Position(r),
+        )
+        .unwrap();
         let mut out = Vec::new();
         op.process(StreamId(0), &t, &mut out);
         out.iter()

@@ -107,7 +107,11 @@ mod tests {
     fn malformed_payload_is_dropped() {
         let mut op = WordSplitter::new();
         let mut out = Vec::new();
-        op.process(StreamId(0), &Tuple::new(1, Key(0), vec![0xff, 0x01]), &mut out);
+        op.process(
+            StreamId(0),
+            &Tuple::new(1, Key(0), vec![0xff, 0x01]),
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 

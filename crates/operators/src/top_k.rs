@@ -81,10 +81,10 @@ impl StatefulOperator for TopKReducer {
         let Ok(item) = tuple.decode::<String>() else {
             return;
         };
-        let entry = self.counts.entry(tuple.key).or_insert_with(|| ItemCount {
-            item,
-            count: 0,
-        });
+        let entry = self
+            .counts
+            .entry(tuple.key)
+            .or_insert_with(|| ItemCount { item, count: 0 });
         entry.count += 1;
     }
 
@@ -112,7 +112,8 @@ impl StatefulOperator for TopKReducer {
     fn get_processing_state(&self) -> ProcessingState {
         let mut st = ProcessingState::empty();
         for (key, entry) in &self.counts {
-            st.insert_encoded(*key, entry).expect("item count serialises");
+            st.insert_encoded(*key, entry)
+                .expect("item count serialises");
         }
         st.insert_encoded(Key(u64::MAX), &(self.last_emit_ms, self.interval_seq))
             .expect("interval metadata serialises");

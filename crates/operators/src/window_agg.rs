@@ -115,7 +115,10 @@ impl StatefulOperator for WindowedAggregate {
         let Ok(value) = tuple.decode::<f64>() else {
             return;
         };
-        self.accumulators.entry(tuple.key).or_default().update(value);
+        self.accumulators
+            .entry(tuple.key)
+            .or_default()
+            .update(value);
     }
 
     fn on_tick(&mut self, now_ms: u64, out: &mut Vec<OutputTuple>) {
@@ -141,7 +144,8 @@ impl StatefulOperator for WindowedAggregate {
     fn get_processing_state(&self) -> ProcessingState {
         let mut st = ProcessingState::empty();
         for (key, acc) in &self.accumulators {
-            st.insert_encoded(*key, acc).expect("accumulator serialises");
+            st.insert_encoded(*key, acc)
+                .expect("accumulator serialises");
         }
         st.insert_encoded(Key(u64::MAX), &(self.last_close_ms, self.window_seq))
             .expect("window metadata serialises");

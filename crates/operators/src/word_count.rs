@@ -73,7 +73,8 @@ impl WindowedWordCount {
         for i in 0..entries {
             let word = format!("synthetic-word-{i:08}");
             let key = Key::from_str_key(&word);
-            self.counts.insert(word_key(&word, key), WordEntry { word, count: 1 });
+            self.counts
+                .insert(word_key(&word, key), WordEntry { word, count: 1 });
         }
     }
 }
@@ -125,11 +126,8 @@ impl StatefulOperator for WindowedWordCount {
         // Window bookkeeping travels under a reserved key outside the word
         // key space so it partitions with any key range that includes it; on
         // restore each partition gets a consistent window sequence.
-        st.insert_encoded(
-            Key(u64::MAX),
-            &(self.last_window_close_ms, self.window_seq),
-        )
-        .expect("window metadata serialises");
+        st.insert_encoded(Key(u64::MAX), &(self.last_window_close_ms, self.window_seq))
+            .expect("window metadata serialises");
         st
     }
 
@@ -167,7 +165,10 @@ mod tests {
         for (i, w) in words.iter().enumerate() {
             op.process(StreamId(0), &word_tuple(i as u64 + 1, w), &mut out);
         }
-        assert!(out.is_empty(), "counting emits nothing until the window closes");
+        assert!(
+            out.is_empty(),
+            "counting emits nothing until the window closes"
+        );
     }
 
     #[test]

@@ -110,11 +110,17 @@ mod tests {
 
         monitor.record(report(1, 0, 0.9));
         monitor.record(report(2, 0, 0.4));
-        assert!(detector.bottlenecks(&monitor, &ops).is_empty(), "only one report");
+        assert!(
+            detector.bottlenecks(&monitor, &ops).is_empty(),
+            "only one report"
+        );
 
         monitor.record(report(1, 5_000, 0.85));
         monitor.record(report(2, 5_000, 0.5));
-        assert_eq!(detector.bottlenecks(&monitor, &ops), vec![OperatorId::new(1)]);
+        assert_eq!(
+            detector.bottlenecks(&monitor, &ops),
+            vec![OperatorId::new(1)]
+        );
     }
 
     #[test]

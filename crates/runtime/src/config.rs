@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use seep_cloud::{ProviderConfig, VmPoolConfig};
+use seep_store::StoreConfig;
 
 use crate::bottleneck::ScalingPolicy;
 use crate::recovery::RecoveryStrategy;
@@ -33,6 +34,11 @@ pub struct RuntimeConfig {
     /// the query's sink only receives window results but the per-tuple
     /// latency at the stateful operator is the quantity of interest.
     pub latency_probe_at_stateful: bool,
+    /// Checkpoint-store subsystem configuration: which backend each upstream
+    /// VM hosts for the checkpoints backed up to it, and whether backups are
+    /// incremental.
+    #[serde(default)]
+    pub store: StoreConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -47,6 +53,7 @@ impl Default for RuntimeConfig {
             pool: VmPoolConfig::default(),
             worker_batch: 512,
             latency_probe_at_stateful: false,
+            store: StoreConfig::default(),
         }
     }
 }
@@ -63,6 +70,12 @@ impl RuntimeConfig {
         self.strategy = strategy;
         self
     }
+
+    /// A configuration using the given checkpoint-store backend.
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.store = store;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +88,16 @@ mod tests {
         assert_eq!(c.checkpoint_interval_ms, 5_000);
         assert_eq!(c.strategy, RecoveryStrategy::StateManagement);
         assert!(c.channel_capacity > 1_000);
+        assert_eq!(c.store.backend, seep_store::StoreBackendKind::Mem);
+        assert!(!c.store.incremental);
+    }
+
+    #[test]
+    fn store_backend_is_configurable() {
+        let c = RuntimeConfig::default()
+            .with_store(StoreConfig::file("/tmp/seep-cfg-test").with_incremental(true));
+        assert_eq!(c.store.backend, seep_store::StoreBackendKind::File);
+        assert!(c.store.incremental);
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub mod worker;
 
 pub use bottleneck::{BottleneckDetector, ScalingPolicy};
 pub use config::RuntimeConfig;
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{Metrics, MetricsSnapshot, StoreIoRecord};
 pub use recovery::RecoveryStrategy;
 pub use runtime::Runtime;
 pub use worker::WorkerCore;
+
+// Re-exported so experiment drivers can configure the checkpoint-store
+// subsystem without depending on `seep-store` directly.
+pub use seep_store::{StoreBackendKind, StoreConfig, StoreStats};

@@ -24,6 +24,34 @@ pub struct CheckpointRecord {
     pub duration_us: u64,
     /// Size of the checkpoint (bytes).
     pub size_bytes: usize,
+    /// Bytes actually written to the backup store (the framed record size
+    /// for durable backends; a delta when the backup was incremental).
+    #[serde(default)]
+    pub stored_bytes: usize,
+    /// Whether the backup was shipped as an incremental delta.
+    #[serde(default)]
+    pub incremental: bool,
+}
+
+/// Aggregate I/O counters of one checkpoint-store backend, as observed by
+/// the runtime (write side: `backup-state`; restore side: recovery and scale
+/// out retrievals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreIoRecord {
+    /// Full-checkpoint writes.
+    pub writes: u64,
+    /// Incremental (delta) writes.
+    pub incremental_writes: u64,
+    /// Bytes written to the store.
+    pub write_bytes: u64,
+    /// Cumulative write latency (µs).
+    pub write_us: u64,
+    /// Checkpoints read back.
+    pub restores: u64,
+    /// Bytes read back.
+    pub restore_bytes: u64,
+    /// Cumulative restore latency (µs).
+    pub restore_us: u64,
 }
 
 /// One recovery performed by the runtime.
@@ -63,6 +91,7 @@ struct MetricsInner {
     recoveries: Vec<RecoveryRecord>,
     scale_outs: Vec<ScaleOutRecord>,
     dropped_sends: u64,
+    store_io: HashMap<String, StoreIoRecord>,
 }
 
 /// Thread-safe metrics registry shared by the runtime and its workers.
@@ -92,6 +121,10 @@ pub struct MetricsSnapshot {
     pub scale_outs: usize,
     /// Sends that failed because the destination was disconnected.
     pub dropped_sends: u64,
+    /// Bytes written to checkpoint stores (all backends).
+    pub store_write_bytes: u64,
+    /// Bytes read back from checkpoint stores (all backends).
+    pub store_restore_bytes: u64,
 }
 
 impl Metrics {
@@ -130,6 +163,51 @@ impl Metrics {
     /// Record a scale-out action.
     pub fn record_scale_out(&self, record: ScaleOutRecord) {
         self.inner.lock().scale_outs.push(record);
+    }
+
+    /// Record a checkpoint write against the store backend `backend`.
+    pub fn record_store_write(&self, backend: &str, bytes: usize, us: u64, incremental: bool) {
+        let mut inner = self.inner.lock();
+        let entry = inner.store_io.entry(backend.to_string()).or_default();
+        if incremental {
+            entry.incremental_writes += 1;
+        } else {
+            entry.writes += 1;
+        }
+        entry.write_bytes += bytes as u64;
+        entry.write_us += us;
+    }
+
+    /// Record a checkpoint restore (read-back) from the backend `backend`.
+    pub fn record_store_restore(&self, backend: &str, bytes: usize, us: u64) {
+        let mut inner = self.inner.lock();
+        let entry = inner.store_io.entry(backend.to_string()).or_default();
+        entry.restores += 1;
+        entry.restore_bytes += bytes as u64;
+        entry.restore_us += us;
+    }
+
+    /// The I/O counters of one store backend ("mem", "file", "tiered").
+    pub fn store_io(&self, backend: &str) -> StoreIoRecord {
+        self.inner
+            .lock()
+            .store_io
+            .get(backend)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// I/O counters of every backend that saw traffic, sorted by label.
+    pub fn store_io_all(&self) -> Vec<(String, StoreIoRecord)> {
+        let mut v: Vec<(String, StoreIoRecord)> = self
+            .inner
+            .lock()
+            .store_io
+            .iter()
+            .map(|(k, r)| (k.clone(), *r))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
     }
 
     /// The latency value at percentile `p` (0–100), in milliseconds.
@@ -188,6 +266,8 @@ impl Metrics {
             recoveries: inner.recoveries.len(),
             scale_outs: inner.scale_outs.len(),
             dropped_sends: inner.dropped_sends,
+            store_write_bytes: inner.store_io.values().map(|r| r.write_bytes).sum(),
+            store_restore_bytes: inner.store_io.values().map(|r| r.restore_bytes).sum(),
         }
     }
 }
@@ -252,6 +332,8 @@ mod tests {
             at_ms: 5_000,
             duration_us: 200,
             size_bytes: 1024,
+            stored_bytes: 1100,
+            incremental: false,
         });
         m.record_recovery(RecoveryRecord {
             operator: OperatorId::new(1),
@@ -273,6 +355,29 @@ mod tests {
         assert_eq!(snap.checkpoints, 1);
         assert_eq!(snap.recoveries, 1);
         assert_eq!(snap.scale_outs, 1);
+    }
+
+    #[test]
+    fn store_io_counters_accumulate_per_backend() {
+        let m = Metrics::new();
+        m.record_store_write("file", 1_000, 50, false);
+        m.record_store_write("file", 200, 10, true);
+        m.record_store_restore("file", 1_200, 80);
+        m.record_store_write("mem", 500, 1, false);
+        let file = m.store_io("file");
+        assert_eq!(file.writes, 1);
+        assert_eq!(file.incremental_writes, 1);
+        assert_eq!(file.write_bytes, 1_200);
+        assert_eq!(file.write_us, 60);
+        assert_eq!(file.restores, 1);
+        assert_eq!(file.restore_bytes, 1_200);
+        assert_eq!(m.store_io("tiered"), StoreIoRecord::default());
+        let all = m.store_io_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, "file");
+        let snap = m.snapshot();
+        assert_eq!(snap.store_write_bytes, 1_700);
+        assert_eq!(snap.store_restore_bytes, 1_200);
     }
 
     #[test]

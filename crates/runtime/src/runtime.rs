@@ -7,12 +7,13 @@ use std::time::Instant;
 
 use seep_cloud::{CloudProvider, CpuMonitor, UtilizationReport, VmPool};
 use seep_core::operator::OperatorFactory;
-use seep_core::primitives::{partition_checkpoint, BackupCoordinator};
+use seep_core::primitives::partition_checkpoint;
 use seep_core::{
-    Checkpoint, Error, ExecutionGraph, InMemoryBackupStore, Key, KeyRange, LogicalOpId,
+    Checkpoint, Error, ExecutionGraph, IncrementalCheckpoint, Key, KeyRange, LogicalOpId,
     OperatorId, OperatorKind, QueryGraph, Result, StreamId, TimestampVec,
 };
 use seep_net::Network;
+use seep_store::{BackupCoordinator, StoreStats};
 
 use crate::bottleneck::BottleneckDetector;
 use crate::config::RuntimeConfig;
@@ -49,6 +50,9 @@ pub struct Runtime {
     epoch: Instant,
     last_checkpoint_ms: HashMap<OperatorId, u64>,
     checkpoint_seq: HashMap<OperatorId, u64>,
+    /// Last checkpoint successfully backed up per operator; the base against
+    /// which incremental backups are diffed.
+    last_backed_up: HashMap<OperatorId, Checkpoint>,
     last_tick_ms: u64,
     last_report_ms: u64,
     auto_scale: bool,
@@ -78,6 +82,7 @@ impl Runtime {
             epoch: Instant::now(),
             last_checkpoint_ms: HashMap::new(),
             checkpoint_seq: HashMap::new(),
+            last_backed_up: HashMap::new(),
             last_tick_ms: 0,
             last_report_ms: 0,
             auto_scale: false,
@@ -221,8 +226,13 @@ impl Runtime {
         if self.config.latency_probe_at_stateful && worker.stateful {
             worker.latency_probe = true;
         }
-        self.backup
-            .register_store(instance.id, Arc::new(InMemoryBackupStore::new()));
+        // Every VM hosts one checkpoint store of the configured backend for
+        // the downstream operators that back up to it.
+        let store = self
+            .config
+            .store
+            .build(&format!("op-{}", instance.id.raw()))?;
+        self.backup.register_store(instance.id, store);
         self.workers.insert(instance.id, worker);
         self.vm_of.insert(instance.id, vm);
         self.checkpoint_seq.insert(instance.id, 0);
@@ -310,9 +320,9 @@ impl Runtime {
                 .filter(|(id, w)| {
                     w.stateful
                         && !w.is_failed()
-                        && now_ms.saturating_sub(
-                            self.last_checkpoint_ms.get(id).copied().unwrap_or(0),
-                        ) >= self.config.checkpoint_interval_ms
+                        && now_ms
+                            .saturating_sub(self.last_checkpoint_ms.get(id).copied().unwrap_or(0))
+                            >= self.config.checkpoint_interval_ms
                 })
                 .map(|(id, _)| *id)
                 .collect();
@@ -388,10 +398,38 @@ impl Runtime {
         };
         let size_bytes = checkpoint.size_bytes();
         let upstreams = self.graph().upstream_instances(operator)?;
+        let mut stored_bytes = 0usize;
+        let mut incremental = false;
         if !upstreams.is_empty() {
-            let outcome = self
-                .backup
-                .backup_state(operator, &upstreams, checkpoint)?;
+            // Incremental backup when enabled and a base is already stored at
+            // a stable backup operator; full backup otherwise (first
+            // checkpoint, placement change, or any store-side refusal).
+            let outcome = if self.config.store.incremental {
+                let delta = self.last_backed_up.get(&operator).and_then(|prev| {
+                    let inc = IncrementalCheckpoint::diff(prev, &checkpoint);
+                    self.backup
+                        .backup_increment(operator, &upstreams, &inc)
+                        .ok()
+                });
+                let outcome = match delta {
+                    Some(outcome) => outcome,
+                    None => self
+                        .backup
+                        .backup_state(operator, &upstreams, checkpoint.clone())?,
+                };
+                self.last_backed_up.insert(operator, checkpoint);
+                outcome
+            } else {
+                self.backup.backup_state(operator, &upstreams, checkpoint)?
+            };
+            stored_bytes = outcome.put.bytes_written;
+            incremental = outcome.incremental;
+            self.metrics.record_store_write(
+                self.config.store.label(),
+                outcome.put.bytes_written,
+                outcome.put.write_us,
+                outcome.incremental,
+            );
             // Trim upstream output buffers up to the reflected timestamps
             // (Algorithm 1, line 4).
             for up in upstreams {
@@ -409,6 +447,8 @@ impl Runtime {
             at_ms: self.now_ms,
             duration_us: started.elapsed().as_micros() as u64,
             size_bytes,
+            stored_bytes,
+            incremental,
         };
         self.metrics.record_checkpoint(record);
         Ok(record)
@@ -427,6 +467,18 @@ impl Runtime {
         }
         self.backup.unregister_store(operator);
         self.monitor.forget(operator);
+        self.last_backed_up.remove(&operator);
+    }
+
+    /// Aggregate I/O counters of every checkpoint store in the deployment
+    /// (all stores share the configured backend).
+    pub fn store_stats(&self) -> StoreStats {
+        self.backup.aggregate_stats()
+    }
+
+    /// Label of the configured checkpoint-store backend.
+    pub fn store_backend(&self) -> &'static str {
+        self.config.store.label()
     }
 
     /// Scale out (or recover) `target` into `pi` new partitioned operators —
@@ -448,12 +500,29 @@ impl Runtime {
         //    overloaded/failed operator itself is not involved). If no backup
         //    exists yet and the operator is alive, take one now; otherwise
         //    start from empty state and rely on replay (the UB/SR baselines).
-        let checkpoint = match self.backup.retrieve(target) {
-            Ok(cp) => cp,
+        let restore_started = Instant::now();
+        let checkpoint = match self.backup.retrieve_measured(target) {
+            Ok((cp, read_bytes)) => {
+                self.metrics.record_store_restore(
+                    self.config.store.label(),
+                    read_bytes as usize,
+                    restore_started.elapsed().as_micros() as u64,
+                );
+                cp
+            }
             Err(_) if !was_failed && self.config.strategy.checkpoints() => {
                 self.checkpoint_operator(target)?;
-                self.backup.retrieve(target)?
+                let restore_started = Instant::now();
+                let (cp, read_bytes) = self.backup.retrieve_measured(target)?;
+                self.metrics.record_store_restore(
+                    self.config.store.label(),
+                    read_bytes as usize,
+                    restore_started.elapsed().as_micros() as u64,
+                );
+                cp
             }
+            // No backup anywhere (UB/SR baselines or a failed, never
+            // checkpointed operator): nothing was read from any store.
             Err(_) => Checkpoint::empty(target),
         };
         let reflected = checkpoint.processing.timestamps().clone();
@@ -463,10 +532,8 @@ impl Runtime {
 
         // 3. Update the execution graph: new instances + routing entries.
         let new_instances = self.graph_mut().repartition(logical, &[target], &ranges)?;
-        let assignments: Vec<(OperatorId, KeyRange)> = new_instances
-            .iter()
-            .map(|i| (i.id, i.key_range))
-            .collect();
+        let assignments: Vec<(OperatorId, KeyRange)> =
+            new_instances.iter().map(|i| (i.id, i.key_range)).collect();
 
         // 4. Partition the checkpoint (Algorithm 2).
         let parts = partition_checkpoint(&checkpoint, &assignments)?;
@@ -540,6 +607,7 @@ impl Runtime {
         self.monitor.forget(target);
         self.checkpoint_seq.remove(&target);
         self.last_checkpoint_ms.remove(&target);
+        self.last_backed_up.remove(&target);
 
         // 9. Update the upstream operators: stop, repartition routing and
         //    buffer state, replay unprocessed tuples, restart (Algorithm 3,
@@ -665,6 +733,13 @@ impl Runtime {
     }
 }
 
+impl Runtime {
+    /// VM pool hit/miss statistics (see §5.2).
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -678,7 +753,6 @@ mod tests {
         src: LogicalOpId,
         split: LogicalOpId,
         count: LogicalOpId,
-        snk: LogicalOpId,
         results: Arc<Mutex<Vec<WordFrequency>>>,
     }
 
@@ -701,9 +775,12 @@ mod tests {
         factories.insert(
             src,
             Arc::new(|| -> Box<dyn StatefulOperator> {
-                Box::new(StatelessFn::new("feeder", |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
-                    out.push(OutputTuple::new(t.key, t.payload.clone()));
-                })) as Box<dyn StatefulOperator>
+                Box::new(StatelessFn::new(
+                    "feeder",
+                    |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
+                        out.push(OutputTuple::new(t.key, t.payload.clone()));
+                    },
+                )) as Box<dyn StatefulOperator>
             }) as Arc<dyn OperatorFactory>,
         );
         factories.insert(
@@ -713,9 +790,8 @@ mod tests {
         );
         factories.insert(
             count,
-            Arc::new(|| -> Box<dyn StatefulOperator> {
-                Box::new(WindowedWordCount::new(30_000))
-            }) as Arc<dyn OperatorFactory>,
+            Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(WindowedWordCount::new(30_000)) })
+                as Arc<dyn OperatorFactory>,
         );
         factories.insert(
             snk,
@@ -739,7 +815,6 @@ mod tests {
             src,
             split,
             count,
-            snk,
             results,
         }
     }
@@ -795,7 +870,10 @@ mod tests {
         inject_sentence(&mut h, "second set");
         inject_sentence(&mut h, "third set");
         let processed = h.runtime.drain();
-        assert!(processed >= 9, "source, splitter and counter work: {processed}");
+        assert!(
+            processed >= 9,
+            "source, splitter and counter work: {processed}"
+        );
         assert_eq!(count_of(&h, "set"), 3);
         assert_eq!(count_of(&h, "first"), 1);
         // Closing the window delivers results to the sink.
@@ -854,7 +932,10 @@ mod tests {
         let record = h.runtime.recover(failed, 1).unwrap();
         assert_eq!(record.strategy, "R+SM");
         assert!(record.duration_ms >= 0.0);
-        assert!(record.replayed_tuples >= 2, "phase-2 words must be replayed");
+        assert!(
+            record.replayed_tuples >= 2,
+            "phase-2 words must be replayed"
+        );
 
         // The restored counter has the full, correct counts.
         assert_eq!(count_of(&h, "apple"), 2);
@@ -985,12 +1066,5 @@ mod tests {
         assert!(h.runtime.metrics().latency_samples() > 0);
         let snapshot = h.runtime.metrics().snapshot();
         assert!(snapshot.latency_p95_ms >= 0.0);
-    }
-}
-
-impl Runtime {
-    /// VM pool hit/miss statistics (see §5.2).
-    pub fn pool_stats(&self) -> (u64, u64) {
-        self.pool.stats()
     }
 }

@@ -361,12 +361,8 @@ impl WorkerCore {
         metrics: &Metrics,
     ) -> usize {
         let stream = StreamId(self.logical.0);
-        let tuples = seep_core::primitives::replay_buffer_state(
-            &self.buffer,
-            target,
-            stream,
-            reflected,
-        );
+        let tuples =
+            seep_core::primitives::replay_buffer_state(&self.buffer, target, stream, reflected);
         let count = tuples.len();
         for tuple in tuples {
             let envelope = Envelope::new(self.id, target, Message::data(stream, tuple));
@@ -414,9 +410,12 @@ mod tests {
     }
 
     fn passthrough() -> Box<dyn StatefulOperator> {
-        Box::new(StatelessFn::new("pass", |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
-            out.push(OutputTuple::new(t.key, t.payload.clone()));
-        }))
+        Box::new(StatelessFn::new(
+            "pass",
+            |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
+                out.push(OutputTuple::new(t.key, t.payload.clone()));
+            },
+        ))
     }
 
     fn worker_with_downstream(
@@ -541,10 +540,7 @@ mod tests {
         assert_eq!(checkpoint.meta.sequence, 3);
         assert_eq!(checkpoint.emit_clock, 5);
         assert_eq!(checkpoint.buffer.len(), 5);
-        assert_eq!(
-            checkpoint.processing.timestamps().get(StreamId(0)),
-            Some(5)
-        );
+        assert_eq!(checkpoint.processing.timestamps().get(StreamId(0)), Some(5));
 
         // Restore into a fresh worker and replay towards a recovering
         // downstream that reflected only the first two tuples.
@@ -565,12 +561,8 @@ mod tests {
         assert_eq!(restored.reflected().get(StreamId(0)), Some(5));
         let mut reflected_downstream = TimestampVec::new();
         reflected_downstream.advance(StreamId(1), 2);
-        let replayed = restored.replay_to(
-            OperatorId::new(2),
-            &reflected_downstream,
-            &net,
-            &metrics,
-        );
+        let replayed =
+            restored.replay_to(OperatorId::new(2), &reflected_downstream, &net, &metrics);
         assert_eq!(replayed, 3);
     }
 
@@ -611,11 +603,11 @@ mod tests {
         routing.set_route(ranges[0], OperatorId::new(10));
         routing.set_route(ranges[1], OperatorId::new(11));
         core.set_routing(LogicalOpId(9), routing);
+        assert!(core.buffer().downstreams().contains(&OperatorId::new(10)));
         assert!(core
-            .buffer()
-            .downstreams()
-            .contains(&OperatorId::new(10)));
-        assert!(core.routing(LogicalOpId(9)).unwrap().covers_exactly(KeyRange::full()));
+            .routing(LogicalOpId(9))
+            .unwrap()
+            .covers_exactly(KeyRange::full()));
         assert!(core.routing(LogicalOpId(8)).is_none());
     }
 
@@ -638,6 +630,6 @@ mod tests {
         }
         core.step(&net, &metrics, epoch, 64);
         let util = core.utilization(1);
-        assert!(util >= 0.0 && util <= 1.0);
+        assert!((0.0..=1.0).contains(&util));
     }
 }

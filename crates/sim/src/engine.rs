@@ -19,6 +19,61 @@ use crate::trace::{SimRecord, SimTrace};
 /// unit ≈ one core fully busy for one second).
 const VM_BUDGET_US: f64 = 1_000_000.0;
 
+/// Cost model of a checkpoint-store backend (`seep-store`), used to scale
+/// the per-second checkpointing tax of stateful stages. The threaded runtime
+/// measures these costs for real; the simulator only needs their shape: a
+/// bandwidth factor relative to the configured checkpoint bandwidth (memory
+/// copies are fast, the durable log pays disk write costs) and a fixed
+/// per-checkpoint overhead (framing, fsync, segment bookkeeping).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStoreProfile {
+    /// Backend label ("mem", "file", "tiered").
+    pub name: String,
+    /// Multiplier on `SimConfig::checkpoint_bandwidth` (1.0 = memory speed).
+    pub bandwidth_factor: f64,
+    /// Fixed CPU overhead per checkpoint, in microseconds.
+    pub fixed_overhead_us: f64,
+}
+
+impl SimStoreProfile {
+    /// The in-memory backend: full bandwidth, no fixed overhead (the seed's
+    /// behaviour).
+    pub fn mem() -> Self {
+        SimStoreProfile {
+            name: "mem".into(),
+            bandwidth_factor: 1.0,
+            fixed_overhead_us: 0.0,
+        }
+    }
+
+    /// The durable log-structured backend: sequential disk writes at a
+    /// fraction of memory bandwidth plus per-record framing overhead.
+    pub fn file() -> Self {
+        SimStoreProfile {
+            name: "file".into(),
+            bandwidth_factor: 0.25,
+            fixed_overhead_us: 500.0,
+        }
+    }
+
+    /// The tiered backend: write-through to disk but restores served from
+    /// memory; writes amortise close to the file backend, with a smaller
+    /// fixed cost because the hot tier absorbs read-modify cycles.
+    pub fn tiered() -> Self {
+        SimStoreProfile {
+            name: "tiered".into(),
+            bandwidth_factor: 0.4,
+            fixed_overhead_us: 200.0,
+        }
+    }
+}
+
+impl Default for SimStoreProfile {
+    fn default() -> Self {
+        SimStoreProfile::mem()
+    }
+}
+
 /// Simulation configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -46,6 +101,9 @@ pub struct SimConfig {
     pub checkpoint_interval_s: u64,
     /// Bandwidth available for writing checkpoints, bytes/s.
     pub checkpoint_bandwidth: f64,
+    /// Cost profile of the checkpoint-store backend backing the deployment.
+    #[serde(default)]
+    pub store: SimStoreProfile,
     /// Fixed per-hop network/batching latency in milliseconds.
     pub network_hop_ms: f64,
     /// How many seconds a scale-out action disturbs latency (stream buffering
@@ -67,6 +125,7 @@ impl Default for SimConfig {
             queue_cap: 200_000.0,
             checkpoint_interval_s: 5,
             checkpoint_bandwidth: 100_000_000.0,
+            store: SimStoreProfile::default(),
             network_hop_ms: 20.0,
             scale_out_disruption_s: 4,
         }
@@ -181,8 +240,10 @@ impl SimEngine {
             return 0.0;
         }
         let bytes = spec.state_bytes_per_k_keys as f64;
-        let seconds_per_checkpoint = bytes / self.config.checkpoint_bandwidth;
-        seconds_per_checkpoint * 1e6 / self.config.checkpoint_interval_s as f64
+        let bandwidth =
+            self.config.checkpoint_bandwidth * self.config.store.bandwidth_factor.max(1e-9);
+        let us_per_checkpoint = bytes / bandwidth * 1e6 + self.config.store.fixed_overhead_us;
+        us_per_checkpoint / self.config.checkpoint_interval_s as f64
     }
 
     /// Advance the simulation by one second with the given offered input rate
@@ -202,20 +263,13 @@ impl SimEngine {
         let mut cumulative_selectivity = 1.0f64;
         let mut end_to_end_rate = f64::INFINITY;
 
+        let taxes: Vec<f64> = (0..self.stages.len())
+            .map(|i| self.checkpoint_tax_us(i))
+            .collect();
         for (idx, stage) in self.stages.iter_mut().enumerate() {
             let spec = &self.config.query.stages[idx];
             let n = stage.partitions.len() as f64;
-            let tax = if spec.stateful {
-                let bytes = spec.state_bytes_per_k_keys as f64;
-                let seconds_per_checkpoint = bytes / self.config.checkpoint_bandwidth;
-                if self.config.checkpoint_interval_s > 0 {
-                    seconds_per_checkpoint * 1e6 / self.config.checkpoint_interval_s as f64
-                } else {
-                    0.0
-                }
-            } else {
-                0.0
-            };
+            let tax = taxes[idx];
 
             let share = input / n;
             let mut stage_processed = 0.0;
@@ -319,8 +373,7 @@ impl SimEngine {
                 continue;
             }
             self.pool_available -= 1;
-            self.pool_pending
-                .push(t + self.config.provisioning_delay_s);
+            self.pool_pending.push(t + self.config.provisioning_delay_s);
             let stage = &mut self.stages[idx];
             // Split the load: add one partition and rebalance the queues.
             let total_queue = stage.total_queue();
@@ -530,6 +583,27 @@ mod tests {
         let toll = q.index_of("toll_calculator").unwrap();
         assert_eq!(engine.stage_checkpoint_tax_us(forwarder), 0.0);
         assert!(engine.stage_checkpoint_tax_us(toll) > 0.0);
+    }
+
+    #[test]
+    fn durable_store_profiles_raise_the_checkpoint_tax() {
+        let mem = SimEngine::new(lrb_config());
+        let file = SimEngine::new(SimConfig {
+            store: SimStoreProfile::file(),
+            ..lrb_config()
+        });
+        let tiered = SimEngine::new(SimConfig {
+            store: SimStoreProfile::tiered(),
+            ..lrb_config()
+        });
+        let toll = mem.config().query.index_of("toll_calculator").unwrap();
+        let t_mem = mem.stage_checkpoint_tax_us(toll);
+        let t_tiered = tiered.stage_checkpoint_tax_us(toll);
+        let t_file = file.stage_checkpoint_tax_us(toll);
+        assert!(t_mem < t_tiered && t_tiered < t_file);
+        // Stateless stages pay nothing regardless of backend.
+        let fwd = mem.config().query.index_of("forwarder").unwrap();
+        assert_eq!(file.stage_checkpoint_tax_us(fwd), 0.0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod policy;
 pub mod spec;
 pub mod trace;
 
-pub use engine::{SimConfig, SimEngine};
+pub use engine::{SimConfig, SimEngine, SimStoreProfile};
 pub use policy::SimScalingPolicy;
-pub use spec::{lrb_query, mapreduce_query, word_count_query, StageSpec, QuerySpec};
+pub use spec::{lrb_query, mapreduce_query, word_count_query, QuerySpec, StageSpec};
 pub use trace::{SimRecord, SimSummary, SimTrace};

@@ -110,7 +110,10 @@ mod tests {
         assert!(!tracker.record(0, 0, 0.9, &policy));
         assert!(!tracker.record(0, 1, 0.9, &policy));
         tracker.forget(0, 0);
-        assert!(!tracker.record(0, 0, 0.9, &policy), "forgotten streak restarts");
+        assert!(
+            !tracker.record(0, 0, 0.9, &policy),
+            "forgotten streak restarts"
+        );
         assert!(tracker.record(0, 1, 0.9, &policy));
     }
 }

@@ -1,0 +1,841 @@
+//! A log-structured on-disk checkpoint store.
+//!
+//! Checkpoints are appended to segment files (`seg-NNNNNNNN.log`) as
+//! length+CRC-framed records:
+//!
+//! ```text
+//! +----------+-----------+------------------+
+//! | len: u32 | crc32: u32| payload (len B)  |
+//! +----------+-----------+------------------+
+//! ```
+//!
+//! The payload is a bincode-encoded [`LogRecord`]: a full checkpoint, an
+//! incremental delta on top of the owner's current chain, or a tombstone.
+//! Restores read the owner's last full record from disk and re-apply its
+//! delta chain, so recovery I/O cost is actually paid and measurable.
+//!
+//! Durability and crash safety come from the append-only discipline: opening
+//! a store scans every segment in order and rebuilds the owner index,
+//! stopping at the first torn or corrupt frame of a segment (a crash mid
+//! write can only damage the tail). Compaction rewrites the live state —
+//! every owner's materialised latest checkpoint — into a fresh segment and
+//! deletes the old ones once the log grows past twice its live size.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use seep_core::checkpoint::{Checkpoint, IncrementalCheckpoint};
+use seep_core::error::{Error, Result};
+use seep_core::operator::OperatorId;
+
+use crate::traits::{CheckpointStore, PutOutcome, StoreMetrics, StoreStats};
+
+/// Size of the `len` + `crc32` frame header.
+const FRAME_HEADER: usize = 8;
+
+/// Configuration of a [`FileStore`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileStoreConfig {
+    /// Root directory holding the segment files.
+    pub dir: PathBuf,
+    /// Rewrite an owner's chain as a fresh full snapshot once this many
+    /// deltas pile up behind it (bounds restore replay length).
+    pub compact_after_deltas: usize,
+    /// Roll the active segment once it grows past this size.
+    pub segment_target_bytes: u64,
+    /// `fsync` after every record (durability against OS crash, slower).
+    pub fsync: bool,
+}
+
+impl FileStoreConfig {
+    /// Defaults rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        FileStoreConfig {
+            dir: dir.into(),
+            compact_after_deltas: 8,
+            segment_target_bytes: 8 * 1024 * 1024,
+            fsync: false,
+        }
+    }
+}
+
+/// One record in the log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum LogRecord {
+    /// A full checkpoint of `owner`.
+    Full {
+        /// Operator whose state this is.
+        owner: OperatorId,
+        /// The checkpoint.
+        checkpoint: Checkpoint,
+    },
+    /// An incremental checkpoint on top of the owner's current latest.
+    Delta {
+        /// Operator whose state this extends.
+        owner: OperatorId,
+        /// The delta.
+        inc: IncrementalCheckpoint,
+    },
+    /// Everything stored for `owner` is deleted.
+    Tombstone {
+        /// Operator whose backups are dropped.
+        owner: OperatorId,
+    },
+}
+
+/// Position of one framed record inside a segment.
+#[derive(Debug, Clone, Copy)]
+struct RecordPtr {
+    segment: u64,
+    offset: u64,
+    len: u32,
+}
+
+/// Per-owner index entry: where the last full checkpoint lives and the delta
+/// chain appended since.
+#[derive(Debug, Clone)]
+struct OwnerIndex {
+    full: RecordPtr,
+    deltas: Vec<RecordPtr>,
+    latest_sequence: u64,
+    live_bytes: u64,
+}
+
+struct Inner {
+    index: HashMap<OperatorId, OwnerIndex>,
+    active: File,
+    active_id: u64,
+    active_len: u64,
+    /// Total bytes across all segment files (live + garbage).
+    total_bytes: u64,
+    segments: Vec<u64>,
+}
+
+/// The log-structured on-disk backend. See the module docs for the format.
+pub struct FileStore {
+    config: FileStoreConfig,
+    inner: Mutex<Inner>,
+    metrics: StoreMetrics,
+}
+
+impl std::fmt::Debug for FileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileStore")
+            .field("dir", &self.config.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+fn io_err(e: std::io::Error) -> Error {
+    Error::Store(e.to_string())
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:08}.log"))
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+impl FileStore {
+    /// Open (creating if necessary) a store rooted at `config.dir`,
+    /// recovering the owner index by scanning the existing segments.
+    pub fn open(config: FileStoreConfig) -> Result<Self> {
+        fs::create_dir_all(&config.dir).map_err(io_err)?;
+        let mut segments: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&config.dir).map_err(io_err)?.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if let Some(id) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                segments.push(id);
+            }
+        }
+        segments.sort_unstable();
+
+        let mut index: HashMap<OperatorId, OwnerIndex> = HashMap::new();
+        let mut total_bytes = 0u64;
+        let mut last_valid_len = 0u64;
+        for &seg in &segments {
+            last_valid_len = Self::scan_segment(&config.dir, seg, &mut index)?;
+            total_bytes += last_valid_len;
+        }
+
+        let active_id = segments.last().copied().unwrap_or(0);
+        if segments.is_empty() {
+            segments.push(active_id);
+        }
+        let path = segment_path(&config.dir, active_id);
+        // A crash mid-append can leave a torn or corrupt frame at the tail of
+        // the active segment. New records must not be appended behind it —
+        // the scan stops at the first bad frame, so they would be unreachable
+        // forever. Truncate the segment back to its last valid record first.
+        if path.exists() {
+            let on_disk = fs::metadata(&path).map_err(io_err)?.len();
+            if on_disk > last_valid_len {
+                let f = OpenOptions::new().write(true).open(&path).map_err(io_err)?;
+                f.set_len(last_valid_len).map_err(io_err)?;
+            }
+        }
+        let active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err)?;
+        let active_len = active.metadata().map_err(io_err)?.len();
+
+        Ok(FileStore {
+            config,
+            inner: Mutex::new(Inner {
+                index,
+                active,
+                active_id,
+                active_len,
+                total_bytes,
+                segments,
+            }),
+            metrics: StoreMetrics::default(),
+        })
+    }
+
+    /// Open a store with default configuration rooted at `dir`.
+    pub fn open_dir(dir: impl Into<PathBuf>) -> Result<Self> {
+        Self::open(FileStoreConfig::new(dir))
+    }
+
+    /// The directory holding the segment files.
+    pub fn dir(&self) -> PathBuf {
+        self.config.dir.clone()
+    }
+
+    /// Number of segment files currently on disk.
+    pub fn segment_count(&self) -> usize {
+        self.inner.lock().segments.len()
+    }
+
+    /// Total bytes across all segment files (live records plus garbage that
+    /// compaction has not reclaimed yet).
+    pub fn log_bytes(&self) -> u64 {
+        self.inner.lock().total_bytes
+    }
+
+    /// Scan one segment, applying its records to `index`. Returns the number
+    /// of valid bytes consumed; stops at the first torn or corrupt frame.
+    fn scan_segment(
+        dir: &Path,
+        seg: u64,
+        index: &mut HashMap<OperatorId, OwnerIndex>,
+    ) -> Result<u64> {
+        let path = segment_path(dir, seg);
+        let mut file = File::open(&path).map_err(io_err)?;
+        let file_len = file.metadata().map_err(io_err)?.len();
+        let mut offset = 0u64;
+        let mut header = [0u8; FRAME_HEADER];
+        loop {
+            if offset + FRAME_HEADER as u64 > file_len {
+                break;
+            }
+            file.seek(SeekFrom::Start(offset)).map_err(io_err)?;
+            if file.read_exact(&mut header).is_err() {
+                break;
+            }
+            let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+            let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            if offset + FRAME_HEADER as u64 + len as u64 > file_len {
+                break; // torn tail write
+            }
+            let mut payload = vec![0u8; len as usize];
+            if file.read_exact(&mut payload).is_err() {
+                break;
+            }
+            if crc32(&payload) != crc {
+                break; // corrupt frame: ignore the rest of this segment
+            }
+            let Ok(record) = bincode::deserialize::<LogRecord>(&payload) else {
+                break;
+            };
+            let ptr = RecordPtr {
+                segment: seg,
+                offset,
+                len,
+            };
+            Self::apply_to_index(index, record, ptr);
+            offset += FRAME_HEADER as u64 + len as u64;
+        }
+        Ok(offset)
+    }
+
+    fn apply_to_index(
+        index: &mut HashMap<OperatorId, OwnerIndex>,
+        record: LogRecord,
+        ptr: RecordPtr,
+    ) {
+        match record {
+            LogRecord::Full { owner, checkpoint } => {
+                index.insert(
+                    owner,
+                    OwnerIndex {
+                        full: ptr,
+                        deltas: Vec::new(),
+                        latest_sequence: checkpoint.meta.sequence,
+                        live_bytes: ptr.len as u64 + FRAME_HEADER as u64,
+                    },
+                );
+            }
+            LogRecord::Delta { owner, inc } => {
+                if let Some(entry) = index.get_mut(&owner) {
+                    // A delta only extends an intact chain; anything else is
+                    // stale (e.g. written before a tombstone) and is skipped.
+                    if entry.latest_sequence == inc.base_sequence {
+                        entry.deltas.push(ptr);
+                        entry.latest_sequence = inc.meta.sequence;
+                        entry.live_bytes += ptr.len as u64 + FRAME_HEADER as u64;
+                    }
+                }
+            }
+            LogRecord::Tombstone { owner } => {
+                index.remove(&owner);
+            }
+        }
+    }
+
+    /// Append one record to the active segment, rolling or compacting as
+    /// configured. Returns the framed record size.
+    fn append(&self, inner: &mut Inner, record: &LogRecord) -> Result<RecordPtr> {
+        let payload = bincode::serialize(record)?;
+        let len = payload.len() as u32;
+        let crc = crc32(&payload);
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        if inner.active_len >= self.config.segment_target_bytes {
+            self.roll_segment(inner)?;
+        }
+        let ptr = RecordPtr {
+            segment: inner.active_id,
+            offset: inner.active_len,
+            len,
+        };
+        inner.active.write_all(&frame).map_err(io_err)?;
+        inner.active.flush().map_err(io_err)?;
+        if self.config.fsync {
+            inner.active.sync_data().map_err(io_err)?;
+        }
+        inner.active_len += frame.len() as u64;
+        inner.total_bytes += frame.len() as u64;
+        Ok(ptr)
+    }
+
+    fn roll_segment(&self, inner: &mut Inner) -> Result<()> {
+        let next = inner.active_id + 1;
+        let path = segment_path(&self.config.dir, next);
+        inner.active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err)?;
+        inner.active_id = next;
+        inner.active_len = 0;
+        inner.segments.push(next);
+        Ok(())
+    }
+
+    fn read_record(&self, ptr: RecordPtr) -> Result<LogRecord> {
+        let path = segment_path(&self.config.dir, ptr.segment);
+        let mut file = File::open(&path).map_err(io_err)?;
+        file.seek(SeekFrom::Start(ptr.offset)).map_err(io_err)?;
+        let mut header = [0u8; FRAME_HEADER];
+        file.read_exact(&mut header).map_err(io_err)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len != ptr.len {
+            return Err(Error::Store(format!(
+                "log record length mismatch at segment {} offset {}",
+                ptr.segment, ptr.offset
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        file.read_exact(&mut payload).map_err(io_err)?;
+        if crc32(&payload) != crc {
+            return Err(Error::Store(format!(
+                "CRC mismatch at segment {} offset {}",
+                ptr.segment, ptr.offset
+            )));
+        }
+        Ok(bincode::deserialize(&payload)?)
+    }
+
+    /// Materialise the latest checkpoint of `owner` by reading its last full
+    /// record and re-applying the delta chain. Returns the checkpoint and the
+    /// number of log bytes read.
+    fn materialize(&self, entry: &OwnerIndex, owner: OperatorId) -> Result<(Checkpoint, u64)> {
+        let mut read_bytes = entry.full.len as u64 + FRAME_HEADER as u64;
+        let LogRecord::Full { checkpoint, .. } = self.read_record(entry.full)? else {
+            return Err(Error::Store(format!(
+                "expected full record for operator {owner}"
+            )));
+        };
+        let mut checkpoint = checkpoint;
+        for ptr in &entry.deltas {
+            read_bytes += ptr.len as u64 + FRAME_HEADER as u64;
+            let LogRecord::Delta { inc, .. } = self.read_record(*ptr)? else {
+                return Err(Error::Store(format!(
+                    "expected delta record for operator {owner}"
+                )));
+            };
+            checkpoint.apply_increment(&inc);
+        }
+        Ok((checkpoint, read_bytes))
+    }
+
+    /// Rewrite the live state (every owner's materialised latest checkpoint)
+    /// into a fresh segment and delete the old segments.
+    fn compact(&self, inner: &mut Inner) -> Result<()> {
+        let owners: Vec<OperatorId> = inner.index.keys().copied().collect();
+        let mut materialized = Vec::with_capacity(owners.len());
+        for owner in owners {
+            let entry = inner.index[&owner].clone();
+            let (cp, _) = self.materialize(&entry, owner)?;
+            materialized.push((owner, cp));
+        }
+        // Fresh segment strictly after everything currently on disk.
+        let old_segments = std::mem::take(&mut inner.segments);
+        inner.active_id += 1;
+        let path = segment_path(&self.config.dir, inner.active_id);
+        inner.active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err)?;
+        inner.active_len = 0;
+        inner.total_bytes = 0;
+        inner.segments = vec![inner.active_id];
+        for (owner, checkpoint) in materialized {
+            let sequence = checkpoint.meta.sequence;
+            let record = LogRecord::Full { owner, checkpoint };
+            let ptr = self.append(inner, &record)?;
+            inner.index.insert(
+                owner,
+                OwnerIndex {
+                    full: ptr,
+                    deltas: Vec::new(),
+                    latest_sequence: sequence,
+                    live_bytes: ptr.len as u64 + FRAME_HEADER as u64,
+                },
+            );
+        }
+        if self.config.fsync {
+            inner.active.sync_data().map_err(io_err)?;
+        }
+        for seg in old_segments {
+            let _ = fs::remove_file(segment_path(&self.config.dir, seg));
+        }
+        self.metrics.record_compaction();
+        Ok(())
+    }
+
+    /// Compact if the log has grown past twice its live size. Compaction
+    /// failure (e.g. an unreadable stale record) must never fail the write
+    /// that triggered it — the record is already durably appended and
+    /// indexed — so errors are only counted, and the next restore/open will
+    /// surface genuinely unreadable live data on its own.
+    fn maybe_compact(&self, inner: &mut Inner) {
+        let live: u64 = inner.index.values().map(|e| e.live_bytes).sum();
+        if inner.segments.len() > 1
+            && inner.total_bytes > live.saturating_mul(2)
+            && self.compact(inner).is_err()
+        {
+            self.metrics.record_failed_compaction();
+        }
+    }
+}
+
+impl CheckpointStore for FileStore {
+    fn backend(&self) -> &'static str {
+        "file"
+    }
+
+    fn put(&self, owner: OperatorId, checkpoint: Checkpoint) -> Result<PutOutcome> {
+        let started = Instant::now();
+        let sequence = checkpoint.meta.sequence;
+        let mut inner = self.inner.lock();
+        let record = LogRecord::Full { owner, checkpoint };
+        let ptr = self.append(&mut inner, &record)?;
+        inner.index.insert(
+            owner,
+            OwnerIndex {
+                full: ptr,
+                deltas: Vec::new(),
+                latest_sequence: sequence,
+                live_bytes: ptr.len as u64 + FRAME_HEADER as u64,
+            },
+        );
+        self.maybe_compact(&mut inner);
+        drop(inner);
+        let bytes = ptr.len as usize + FRAME_HEADER;
+        self.metrics.record_put(bytes, started);
+        Ok(PutOutcome {
+            sequence,
+            bytes_written: bytes,
+            write_us: started.elapsed().as_micros() as u64,
+        })
+    }
+
+    fn apply_incremental(
+        &self,
+        owner: OperatorId,
+        inc: &IncrementalCheckpoint,
+    ) -> Result<PutOutcome> {
+        let started = Instant::now();
+        let mut inner = self.inner.lock();
+        let entry = inner.index.get(&owner).ok_or(Error::NoBackup(owner))?;
+        if entry.latest_sequence != inc.base_sequence {
+            return Err(Error::Invariant(format!(
+                "incremental checkpoint base {} does not match stored sequence {}",
+                inc.base_sequence, entry.latest_sequence
+            )));
+        }
+        let sequence = inc.meta.sequence;
+        let chain_full = entry.deltas.len() + 1 >= self.config.compact_after_deltas.max(1);
+        let bytes = if chain_full {
+            // Chain too long: materialise and rewrite as a fresh full record
+            // so restores stay bounded.
+            let entry = entry.clone();
+            let (mut checkpoint, _) = self.materialize(&entry, owner)?;
+            checkpoint.apply_increment(inc);
+            let record = LogRecord::Full { owner, checkpoint };
+            let ptr = self.append(&mut inner, &record)?;
+            inner.index.insert(
+                owner,
+                OwnerIndex {
+                    full: ptr,
+                    deltas: Vec::new(),
+                    latest_sequence: sequence,
+                    live_bytes: ptr.len as u64 + FRAME_HEADER as u64,
+                },
+            );
+            ptr.len as usize + FRAME_HEADER
+        } else {
+            let record = LogRecord::Delta {
+                owner,
+                inc: inc.clone(),
+            };
+            let ptr = self.append(&mut inner, &record)?;
+            let entry = inner.index.get_mut(&owner).expect("checked above");
+            entry.deltas.push(ptr);
+            entry.latest_sequence = sequence;
+            entry.live_bytes += ptr.len as u64 + FRAME_HEADER as u64;
+            ptr.len as usize + FRAME_HEADER
+        };
+        self.maybe_compact(&mut inner);
+        drop(inner);
+        self.metrics.record_increment(bytes, started);
+        Ok(PutOutcome {
+            sequence,
+            bytes_written: bytes,
+            write_us: started.elapsed().as_micros() as u64,
+        })
+    }
+
+    fn latest(&self, owner: OperatorId) -> Result<Checkpoint> {
+        let started = Instant::now();
+        let entry = {
+            let inner = self.inner.lock();
+            inner.index.get(&owner).cloned()
+        }
+        .ok_or(Error::NoBackup(owner))?;
+        let (checkpoint, read_bytes) = self.materialize(&entry, owner)?;
+        self.metrics.record_restore(read_bytes as usize, started);
+        Ok(checkpoint)
+    }
+
+    fn get(&self, owner: OperatorId, sequence: u64) -> Result<Checkpoint> {
+        let checkpoint = self.latest(owner)?;
+        if checkpoint.meta.sequence != sequence {
+            return Err(Error::NoBackup(owner));
+        }
+        Ok(checkpoint)
+    }
+
+    fn latest_sequence(&self, owner: OperatorId) -> Option<u64> {
+        self.inner
+            .lock()
+            .index
+            .get(&owner)
+            .map(|e| e.latest_sequence)
+    }
+
+    fn prune(&self, owner: OperatorId, _before_sequence: u64) -> usize {
+        // The log keeps exactly one live chain per owner (last full record
+        // plus the deltas extending it); superseded records are garbage
+        // already and are reclaimed by compaction, so there is no history to
+        // prune. Chain length is bounded separately by `compact_after_deltas`.
+        let _ = owner;
+        0
+    }
+
+    fn delete(&self, owner: OperatorId) -> bool {
+        let mut inner = self.inner.lock();
+        if !inner.index.contains_key(&owner) {
+            return false;
+        }
+        // The tombstone must be durable before the index forgets the owner:
+        // dropping only the in-memory entry would resurrect the backup from
+        // the log on the next open. On append failure the entry is kept
+        // (memory and disk stay consistent) and the delete reports failure.
+        if self
+            .append(&mut inner, &LogRecord::Tombstone { owner })
+            .is_err()
+        {
+            return false;
+        }
+        inner.index.remove(&owner);
+        self.maybe_compact(&mut inner);
+        true
+    }
+
+    fn owners(&self) -> Vec<OperatorId> {
+        let mut v: Vec<OperatorId> = self.inner.lock().index.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .index
+            .values()
+            .map(|e| e.live_bytes as usize)
+            .sum()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.metrics.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seep_core::state::{BufferState, ProcessingState};
+    use seep_core::tuple::{Key, StreamId};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("seep-filestore-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn checkpoint(op: u64, seq: u64, entries: u64) -> Checkpoint {
+        let mut st = ProcessingState::empty();
+        for i in 0..entries {
+            st.insert(Key(i), vec![(seq & 0xff) as u8; 32]);
+        }
+        st.advance_ts(StreamId(0), seq * 10);
+        Checkpoint::new(OperatorId::new(op), seq, st, BufferState::new())
+    }
+
+    #[test]
+    fn put_latest_roundtrip_survives_reopen() {
+        let dir = temp_dir("reopen");
+        let cp = checkpoint(7, 3, 10);
+        {
+            let store = FileStore::open_dir(&dir).unwrap();
+            store.put(OperatorId::new(7), cp.clone()).unwrap();
+        }
+        let store = FileStore::open_dir(&dir).unwrap();
+        assert_eq!(store.latest(OperatorId::new(7)).unwrap(), cp);
+        assert_eq!(store.owners(), vec![OperatorId::new(7)]);
+        assert_eq!(store.latest_sequence(OperatorId::new(7)), Some(3));
+    }
+
+    #[test]
+    fn delta_chain_recovers_after_reopen() {
+        let dir = temp_dir("deltas");
+        let base = checkpoint(5, 1, 20);
+        let mut second = base.clone();
+        second.meta.sequence = 2;
+        second.processing.insert(Key(100), vec![1; 8]);
+        second.processing.advance_ts(StreamId(0), 20);
+        let mut third = second.clone();
+        third.meta.sequence = 3;
+        third.processing.remove(Key(0));
+        third.processing.advance_ts(StreamId(0), 30);
+
+        {
+            let store = FileStore::open_dir(&dir).unwrap();
+            store.put(OperatorId::new(5), base.clone()).unwrap();
+            let inc1 = IncrementalCheckpoint::diff(&base, &second);
+            let inc2 = IncrementalCheckpoint::diff(&second, &third);
+            store.apply_incremental(OperatorId::new(5), &inc1).unwrap();
+            store.apply_incremental(OperatorId::new(5), &inc2).unwrap();
+        }
+        // One full + two deltas on disk; recovery must replay the chain.
+        let store = FileStore::open_dir(&dir).unwrap();
+        let restored = store.latest(OperatorId::new(5)).unwrap();
+        assert_eq!(restored.meta.sequence, 3);
+        assert_eq!(restored.processing, third.processing);
+        let stats = store.stats();
+        assert!(stats.bytes_restored > 0);
+    }
+
+    #[test]
+    fn torn_tail_write_is_ignored() {
+        let dir = temp_dir("torn");
+        let cp = checkpoint(1, 1, 10);
+        {
+            let store = FileStore::open_dir(&dir).unwrap();
+            store.put(OperatorId::new(1), cp.clone()).unwrap();
+        }
+        // Simulate a crash mid-append: garbage half-frame at the tail.
+        let seg = segment_path(&dir, 0);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0x55u8; 11]).unwrap();
+        drop(f);
+        let store = FileStore::open_dir(&dir).unwrap();
+        assert_eq!(store.latest(OperatorId::new(1)).unwrap(), cp);
+        // The torn tail must have been truncated on open: records appended
+        // after the crash-recovery open stay reachable on the next open.
+        let cp2 = checkpoint(1, 2, 10);
+        store.put(OperatorId::new(1), cp2.clone()).unwrap();
+        drop(store);
+        let store = FileStore::open_dir(&dir).unwrap();
+        assert_eq!(store.latest(OperatorId::new(1)).unwrap(), cp2);
+    }
+
+    #[test]
+    fn corrupt_frame_stops_the_scan_at_the_last_good_record() {
+        let dir = temp_dir("corrupt");
+        let cp1 = checkpoint(1, 1, 10);
+        let cp2 = checkpoint(1, 2, 10);
+        {
+            let store = FileStore::open_dir(&dir).unwrap();
+            store.put(OperatorId::new(1), cp1.clone()).unwrap();
+            store.put(OperatorId::new(1), cp2).unwrap();
+        }
+        // Flip a byte inside the second record's payload.
+        let seg = segment_path(&dir, 0);
+        let data = fs::read(&seg).unwrap();
+        let first_frame =
+            FRAME_HEADER + u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+        let mut corrupted = data.clone();
+        corrupted[first_frame + FRAME_HEADER + 4] ^= 0xFF;
+        fs::write(&seg, &corrupted).unwrap();
+
+        let store = FileStore::open_dir(&dir).unwrap();
+        assert_eq!(store.latest(OperatorId::new(1)).unwrap(), cp1);
+    }
+
+    #[test]
+    fn long_delta_chains_are_collapsed() {
+        let dir = temp_dir("collapse");
+        let store = FileStore::open(FileStoreConfig {
+            compact_after_deltas: 3,
+            ..FileStoreConfig::new(&dir)
+        })
+        .unwrap();
+        let mut prev = checkpoint(2, 1, 50);
+        store.put(OperatorId::new(2), prev.clone()).unwrap();
+        for seq in 2..=10u64 {
+            let mut next = prev.clone();
+            next.meta.sequence = seq;
+            next.processing.insert(Key(seq), vec![seq as u8; 16]);
+            next.processing.advance_ts(StreamId(0), seq * 10);
+            let inc = IncrementalCheckpoint::diff(&prev, &next);
+            store.apply_incremental(OperatorId::new(2), &inc).unwrap();
+            prev = next;
+        }
+        let restored = store.latest(OperatorId::new(2)).unwrap();
+        assert_eq!(restored.meta.sequence, 10);
+        assert_eq!(restored.processing, prev.processing);
+        // The chain was collapsed at least twice (every 3 deltas).
+        let inner = store.inner.lock();
+        assert!(inner.index[&OperatorId::new(2)].deltas.len() < 3);
+    }
+
+    #[test]
+    fn tombstone_survives_reopen_and_compaction_reclaims_space() {
+        let dir = temp_dir("tombstone");
+        {
+            let store = FileStore::open(FileStoreConfig {
+                segment_target_bytes: 2_000,
+                ..FileStoreConfig::new(&dir)
+            })
+            .unwrap();
+            for seq in 1..=20u64 {
+                store
+                    .put(OperatorId::new(9), checkpoint(9, seq, 30))
+                    .unwrap();
+            }
+            store.put(OperatorId::new(4), checkpoint(4, 1, 5)).unwrap();
+            assert!(store.delete(OperatorId::new(9)));
+            assert!(!store.delete(OperatorId::new(9)));
+            // Repeated puts of the same owner leave garbage: compaction must
+            // have kicked in and kept the log close to its live size.
+            assert!(store.stats().compactions > 0);
+        }
+        let store = FileStore::open_dir(&dir).unwrap();
+        assert!(store.latest(OperatorId::new(9)).is_err());
+        assert!(store.latest(OperatorId::new(4)).is_ok());
+        assert_eq!(store.owners(), vec![OperatorId::new(4)]);
+    }
+
+    #[test]
+    fn prune_never_touches_the_live_chain() {
+        let dir = temp_dir("prune");
+        let store = FileStore::open_dir(&dir).unwrap();
+        let base = checkpoint(3, 1, 10);
+        store.put(OperatorId::new(3), base.clone()).unwrap();
+        let mut next = base.clone();
+        next.meta.sequence = 2;
+        next.processing.insert(Key(50), vec![5; 8]);
+        let inc = IncrementalCheckpoint::diff(&base, &next);
+        store.apply_incremental(OperatorId::new(3), &inc).unwrap();
+        assert_eq!(store.prune(OperatorId::new(3), 2), 0);
+        assert_eq!(store.latest(OperatorId::new(3)).unwrap().meta.sequence, 2);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # seep-store
+//!
+//! The durable checkpoint-store subsystem (§3.2 of the paper, "backup-state"
+//! made pluggable). The seed system only ever kept backed-up checkpoints in a
+//! `HashMap` behind a lock, which made backup durability, checkpoint size and
+//! recovery I/O cost unmeasurable. This crate turns the storage side of
+//! operator state management into a first-class subsystem:
+//!
+//! * [`CheckpointStore`] — the trait every backend implements: `put` a full
+//!   checkpoint, `apply_incremental` a delta on top of the stored base,
+//!   `latest`/`get` for restore, `prune` old sequences, and
+//!   `partition_for_scale_out` (Algorithm 2 run against the stored copy).
+//! * [`MemStore`] — the in-memory backend, extracted from the seed's
+//!   `InMemoryBackupStore` and extended with sequence history.
+//! * [`FileStore`] — a log-structured on-disk backend: length+CRC-framed
+//!   append-only segments, incremental-checkpoint delta records, periodic
+//!   compaction into full snapshots and crash-safe recovery by log scan.
+//! * [`TieredStore`] — hot latest checkpoint in memory, older/every sequence
+//!   durable on disk, with the eviction decision delegated to the
+//!   [`seep_core::spill::SpillPolicy`] hooks.
+//! * [`BackupCoordinator`] — Algorithm 1 (`backup-state(o)`): selects the
+//!   upstream backup operator by hashing, stores the checkpoint there,
+//!   releases stale backups and reports how far upstream buffers may be
+//!   trimmed. Moved here from `seep-core` so it can coordinate any backend.
+//! * [`StoreConfig`] — serialisable configuration from which the runtime
+//!   builds one store per upstream VM.
+//!
+//! Every backend tracks per-store write/restore byte and latency counters
+//! ([`StoreStats`]), which `seep-runtime` aggregates into its metrics so the
+//! checkpoint/recovery benches can compare backends honestly.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod coordinator;
+pub mod file;
+pub mod mem;
+pub mod tiered;
+pub mod traits;
+
+pub use config::{StoreBackendKind, StoreConfig};
+pub use coordinator::{BackupCoordinator, BackupOutcome, BackupRegistry};
+pub use file::{FileStore, FileStoreConfig};
+pub use mem::MemStore;
+pub use tiered::TieredStore;
+pub use traits::{CheckpointStore, PutOutcome, StoreStats};

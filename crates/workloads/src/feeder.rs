@@ -46,9 +46,9 @@ impl RateSchedule {
             }
             RateSchedule::Steps(steps) => steps
                 .iter()
-                .filter(|(from, _)| *from <= now_ms)
+                .rev()
+                .find(|(from, _)| *from <= now_ms)
                 .map(|(_, r)| *r)
-                .last()
                 .unwrap_or(0.0),
         }
     }

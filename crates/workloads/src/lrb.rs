@@ -168,8 +168,8 @@ impl LrbGenerator {
         let n = self.records_at(t);
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            let is_query = self.rng.gen_bool(self.config.balance_query_fraction)
-                && self.next_vid > 0;
+            let is_query =
+                self.rng.gen_bool(self.config.balance_query_fraction) && self.next_vid > 0;
             if is_query {
                 let vid = self.rng.gen_range(0..self.next_vid);
                 let qid = self.next_qid;
@@ -232,7 +232,9 @@ mod tests {
             (rate_per_xway_at(LRB_DURATION_SECS + 100, LRB_DURATION_SECS) - 1700.0).abs() < 1e-9
         );
         // Monotone growth.
-        assert!(rate_per_xway_at(1_000, LRB_DURATION_SECS) < rate_per_xway_at(2_000, LRB_DURATION_SECS));
+        assert!(
+            rate_per_xway_at(1_000, LRB_DURATION_SECS) < rate_per_xway_at(2_000, LRB_DURATION_SECS)
+        );
     }
 
     #[test]
@@ -258,7 +260,10 @@ mod tests {
         let records = generator.generate_second(50);
         let expected = generator.records_at(50);
         assert_eq!(records.len(), expected);
-        assert!(records.len() > 100, "mid-run rate should exceed 100/s for L=2");
+        assert!(
+            records.len() > 100,
+            "mid-run rate should exceed 100/s for L=2"
+        );
         let queries = records
             .iter()
             .filter(|r| matches!(r, LrbRecord::Balance(_)))

@@ -103,7 +103,11 @@ mod tests {
         for _ in 0..20 {
             let f = generator.next_fragment();
             assert!(f.len() >= FRAGMENT_BYTES);
-            assert!(f.len() < FRAGMENT_BYTES + 20, "fragment too long: {}", f.len());
+            assert!(
+                f.len() < FRAGMENT_BYTES + 20,
+                "fragment too long: {}",
+                f.len()
+            );
         }
     }
 

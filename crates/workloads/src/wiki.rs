@@ -16,8 +16,8 @@ use serde::{Deserialize, Serialize};
 /// Wikipedia language codes, ordered roughly by real-world traffic so that the
 /// Zipf rank matches expectations (English most visited, and so on).
 pub const LANGUAGES: &[&str] = &[
-    "en", "ja", "de", "es", "ru", "fr", "it", "zh", "pt", "pl", "ar", "nl", "fa", "id", "ko",
-    "tr", "cs", "sv", "vi", "uk", "fi", "hu", "he", "th", "da", "el", "no", "ro", "hi", "bg",
+    "en", "ja", "de", "es", "ru", "fr", "it", "zh", "pt", "pl", "ar", "nl", "fa", "id", "ko", "tr",
+    "cs", "sv", "vi", "uk", "fi", "hu", "he", "th", "da", "el", "no", "ro", "hi", "bg",
 ];
 
 /// One page-view record: `[timestamp, language, page, bytes]` as strings, the
@@ -57,8 +57,8 @@ pub struct WikiTraceGenerator {
 impl WikiTraceGenerator {
     /// Create a generator.
     pub fn new(config: WikiConfig) -> Self {
-        let zipf = Zipf::new(LANGUAGES.len() as u64, config.zipf_exponent)
-            .expect("valid zipf parameters");
+        let zipf =
+            Zipf::new(LANGUAGES.len() as u64, config.zipf_exponent).expect("valid zipf parameters");
         let rng = StdRng::seed_from_u64(config.seed);
         WikiTraceGenerator {
             config,
@@ -123,10 +123,7 @@ mod tests {
             .iter()
             .map(|l| counts.get(*l).copied().unwrap_or(0))
             .sum();
-        assert!(
-            en > rare,
-            "Zipf skew expected: en={en}, tail sum={rare}"
-        );
+        assert!(en > rare, "Zipf skew expected: en={en}, tail sum={rare}");
         // The most common language must be the head of the list.
         let top = counts.iter().max_by_key(|(_, c)| **c).unwrap();
         assert_eq!(top.0, "en");

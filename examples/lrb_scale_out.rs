@@ -34,16 +34,24 @@ fn main() {
     }
 
     let summary = trace.summary();
-    let names: Vec<&str> = lrb_query().stages.iter().map(|s| s.name.clone()).map(|s| {
-        Box::leak(s.into_boxed_str()) as &str
-    }).collect();
+    let names: Vec<&str> = lrb_query()
+        .stages
+        .iter()
+        .map(|s| s.name.clone())
+        .map(|s| Box::leak(s.into_boxed_str()) as &str)
+        .collect();
     println!("\nfinal allocation:");
     for (name, parallelism) in names.iter().zip(&summary.final_parallelism) {
         println!("  {name:<18} {parallelism} instance(s)");
     }
     println!(
         "\n{} scale-out actions; {} VMs at the end; median latency {:.0} ms, p95 {:.0} ms",
-        summary.scale_out_actions, summary.final_vms, summary.latency_p50_ms, summary.latency_p95_ms
+        summary.scale_out_actions,
+        summary.final_vms,
+        summary.latency_p50_ms,
+        summary.latency_p95_ms
     );
-    println!("As in the paper, the toll calculator is partitioned the most, followed by the forwarder.");
+    println!(
+        "As in the paper, the toll calculator is partitioned the most, followed by the forwarder."
+    );
 }

@@ -63,7 +63,11 @@ fn main() {
     // 3. Deploy on the (simulated) cloud: one VM per operator.
     let mut runtime = Runtime::new(RuntimeConfig::default());
     runtime.deploy(query, factories).expect("deployment");
-    println!("deployed {} operator instances on {} VMs", 4, runtime.vm_count());
+    println!(
+        "deployed {} operator instances on {} VMs",
+        4,
+        runtime.vm_count()
+    );
 
     // 4. Stream the sentences of the paper's Fig. 2 through the query.
     for sentence in [" first set ", " second set ", " third set "] {
@@ -83,7 +87,11 @@ fn main() {
 
     // 6. More data arrives after the checkpoint (it stays buffered upstream
     //    until the next checkpoint), then the word counter's VM crashes.
-    runtime.inject(src, Key::from_str_key("x"), bincode_payload("second chance"));
+    runtime.inject(
+        src,
+        Key::from_str_key("x"),
+        bincode_payload("second chance"),
+    );
     runtime.drain();
     let victim = runtime.partitions(count)[0];
     runtime.fail_operator(victim);

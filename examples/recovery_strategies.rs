@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example recovery_strategies`
 
+use seep::runtime::{RecoveryStrategy, RuntimeConfig};
 use seep_bench::harness::WordCountHarness;
 use seep_bench::runtime_experiments::recovery_by_strategy;
-use seep::runtime::{RecoveryStrategy, RuntimeConfig};
 
 fn main() {
     println!("Recovery-time comparison on the windowed word-frequency query");

@@ -69,13 +69,19 @@ fn main() {
         runtime.inject(src, Key::from_str_key(&view[1]), payload);
     }
     runtime.drain();
-    println!("top languages with a single reducer: {:?}", ranking(&runtime, reduce));
+    println!(
+        "top languages with a single reducer: {:?}",
+        ranking(&runtime, reduce)
+    );
 
     // The reducer becomes the bottleneck: scale it out to 3 partitions. Its
     // dictionary is split by key range and the map's routing state updated.
     let target = runtime.partitions(reduce)[0];
     runtime.scale_out(target, 3).expect("scale out");
-    println!("reducer scaled out to {} partitions", runtime.parallelism(reduce));
+    println!(
+        "reducer scaled out to {} partitions",
+        runtime.parallelism(reduce)
+    );
 
     // Keep streaming: another 20 000 page views now spread across partitions.
     for view in generator.next_batch(1, 20_000) {
@@ -83,7 +89,10 @@ fn main() {
         runtime.inject(src, Key::from_str_key(&view[1]), payload);
     }
     runtime.drain();
-    println!("top languages after scale out:      {:?}", ranking(&runtime, reduce));
+    println!(
+        "top languages after scale out:      {:?}",
+        ranking(&runtime, reduce)
+    );
     println!("(the sink merges partial rankings from the partitioned reducers, §6.1)");
 }
 
@@ -101,10 +110,7 @@ fn ranking(runtime: &Runtime, reduce: LogicalOpId) -> Vec<(String, u64)> {
                     .filter_map(|(k, _)| {
                         // ItemCount is private; decode through (item, count)
                         // pairs encoded identically (String + u64).
-                        state
-                            .get_decoded::<(String, u64)>(k)
-                            .ok()
-                            .flatten()
+                        state.get_decoded::<(String, u64)>(k).ok().flatten()
                     })
                     .collect()
             })

@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`: runs each benchmark a small, fixed
+//! number of iterations and prints mean wall-clock time per iteration. No
+//! statistics, warm-up scheduling or HTML reports — just enough to keep the
+//! bench targets building, running and printing comparable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How a batched iteration routine receives its setup value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: setup per batch.
+    SmallInput,
+    /// Large input: setup per batch.
+    LargeInput,
+    /// Fresh setup for every iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from just a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    iterations: u64,
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.last_mean = Some(started.elapsed() / self.iterations.max(1) as u32);
+    }
+
+    /// Time `routine` with a fresh `setup` value per iteration.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let started = Instant::now();
+            std::hint::black_box(routine(input));
+            total += started.elapsed();
+        }
+        self.last_mean = Some(total / self.iterations.max(1) as u32);
+    }
+}
+
+/// Prevent the optimiser from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iterations: self.criterion.iterations,
+            last_mean: None,
+        };
+        f(&mut bencher);
+        if let Some(mean) = bencher.last_mean {
+            println!("bench {}/{}: {:?}/iter", self.name, id, mean);
+        }
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) {
+        self.run(&id.to_string(), f);
+    }
+
+    /// Benchmark a closure that receives `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Accepted for API compatibility; the shim runs a fixed iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    iterations: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep iterations tiny: these benches also run under `cargo test`.
+        Criterion { iterations: 3 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnOnce(&mut Bencher)) {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("default", f);
+        group.finish();
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(mut self, _n: usize) -> Self {
+        self.iterations = self.iterations.max(1);
+        self
+    }
+}
+
+/// Define a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, n| {
+            b.iter_batched(|| *n, |n| n * 2, BatchSize::PerIteration)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut criterion = Criterion::default();
+        sample_bench(&mut criterion);
+        assert_eq!(black_box(5), 5);
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for `crossbeam-channel`: a bounded MPMC channel built on
+//! `Mutex` + `Condvar`, exposing the subset of the API this workspace uses
+//! (`bounded`, `try_send`, `recv_timeout`, `try_recv`, `len`).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is full; the message is handed back.
+    Full(T),
+    /// All receivers are gone; the message is handed back.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// All senders are gone and the queue is empty.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty.
+    Empty,
+    /// All senders are gone and the queue is empty.
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a bounded channel with the given capacity.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        not_empty: Condvar::new(),
+        capacity: capacity.max(1),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Error returned by [`Sender::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> Sender<T> {
+    /// Send, blocking while the channel is full (bounded wait per attempt so
+    /// a dropped receiver is always noticed).
+    pub fn send(&self, mut value: T) -> Result<(), SendError<T>> {
+        loop {
+            match self.try_send(value) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(v)) => return Err(SendError(v)),
+                Err(TrySendError::Full(v)) => {
+                    value = v;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Attempt to send without blocking.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= self.shared.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        queue.push_back(value);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Attempt to receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = queue.pop_front() {
+            return Ok(v);
+        }
+        if self.shared.senders.load(Ordering::Acquire) == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receive, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (q, timed_out) = self
+                .shared
+                .not_empty
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            queue = q;
+            if timed_out.timed_out() && queue.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_and_backpressure() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)).unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        assert!(matches!(
+            rx.recv_timeout(Duration::ZERO),
+            Err(RecvTimeoutError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn disconnect_is_observable() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = bounded(16);
+        let handle = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.try_send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            if let Ok(v) = rx.recv_timeout(Duration::from_secs(1)) {
+                got.push(v);
+            }
+        }
+        handle.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for `rand_distr`: the `Exp` and `Zipf` distributions
+//! this workspace samples from.
+
+use rand::RngCore;
+
+/// Types that can be sampled with a random source.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistrError(pub &'static str);
+
+impl std::fmt::Display for DistrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+/// The exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp<F> {
+    lambda: f64,
+    _marker: std::marker::PhantomData<F>,
+}
+
+impl<F> Exp<F> {
+    /// An exponential distribution with the given rate (`lambda > 0`).
+    pub fn new(lambda: f64) -> Result<Self, DistrError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp {
+                lambda,
+                _marker: std::marker::PhantomData,
+            })
+        } else {
+            Err(DistrError("lambda must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF: -ln(1 - U) / lambda, with U in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        -(1.0 - unit).ln() / self.lambda
+    }
+}
+
+/// The Zipf distribution over ranks `1..=n` with exponent `s`: sampling
+/// returns the rank as a float, rank 1 being the most probable.
+#[derive(Debug, Clone)]
+pub struct Zipf<F> {
+    /// Cumulative probabilities, one entry per rank.
+    cdf: Vec<f64>,
+    _marker: std::marker::PhantomData<F>,
+}
+
+impl<F> Zipf<F> {
+    /// A Zipf distribution over `n` ranks with exponent `s >= 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, DistrError> {
+        if n == 0 {
+            return Err(DistrError("n must be at least 1"));
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(DistrError("exponent must be non-negative and finite"));
+        }
+        let n = usize::try_from(n).map_err(|_| DistrError("n too large"))?;
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Ok(Zipf {
+            cdf,
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let idx = match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&unit).expect("finite"))
+        {
+            Ok(i) | Err(i) => i,
+        };
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+/// Alias used by some callers.
+pub use DistrError as Error;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_approximates_inverse_lambda() {
+        let exp = Exp::<f64>::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean = {mean}");
+        assert!(Exp::<f64>::new(0.0).is_err());
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let zipf = Zipf::<f64>::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 101];
+        for _ in 0..50_000 {
+            let rank = zipf.sample(&mut rng) as usize;
+            assert!((1..=100).contains(&rank));
+            counts[rank] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[1] > counts[50] * 10);
+        assert!(Zipf::<f64>::new(0, 1.0).is_err());
+    }
+}

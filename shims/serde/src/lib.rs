@@ -1,0 +1,676 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of serde's API that the workspace uses, implemented over a
+//! self-describing [`Value`] model: `Serialize` lowers a type to a [`Value`],
+//! `Deserialize` rebuilds it from one, and the format crates (`bincode`,
+//! `serde_json` shims) encode/decode [`Value`]s. The derive macros come from
+//! the sibling `serde_derive` shim and support the attributes this workspace
+//! uses: `#[serde(default)]` and `#[serde(with = "path")]`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// The self-describing data model every type serialises into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The unit value / JSON null.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// Any unsigned integer.
+    U64(u64),
+    /// Any signed integer.
+    I64(i64),
+    /// Any floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A byte blob (`serialize_bytes`).
+    Bytes(Vec<u8>),
+    /// An optional value.
+    Option(Option<Box<Value>>),
+    /// A sequence (Vec, tuple, tuple struct).
+    Seq(Vec<Value>),
+    /// A map with arbitrary keys.
+    Map(Vec<(Value, Value)>),
+    /// A struct: named fields in declaration order.
+    Record(Vec<(String, Value)>),
+    /// An enum variant: name plus payload (Unit / Seq / Record).
+    Variant(String, Box<Value>),
+}
+
+/// The single error type shared by serialisation and deserialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+
+    /// A struct field was missing from the input.
+    pub fn missing_field(name: &str) -> Self {
+        Error(format!("missing field `{name}`"))
+    }
+
+    /// The input held a different shape than the target type expects.
+    pub fn unexpected(expected: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "u64",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
+            Value::Option(_) => "option",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+            Value::Record(_) => "record",
+            Value::Variant(..) => "variant",
+        };
+        Error(format!("expected {expected}, got {kind}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can lower itself into the [`Value`] model.
+pub trait Serialize {
+    /// Serialise `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Consumes a [`Value`] produced by a [`Serialize`] implementation.
+pub trait Serializer: Sized {
+    /// Output of a successful serialisation.
+    type Ok;
+    /// Error type; every serde error must convert into it.
+    type Error: From<Error>;
+
+    /// Accept the lowered value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Accept a byte blob (kept distinct so formats can encode it compactly).
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bytes(v.to_vec()))
+    }
+}
+
+/// Produces the [`Value`] a [`Deserialize`] implementation rebuilds from.
+pub trait Deserializer<'de>: Sized {
+    /// Error type; every serde error must convert into it.
+    type Error: From<Error>;
+
+    /// Yield the input as a [`Value`].
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can rebuild itself from the [`Value`] model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialise from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// `serde::de` compatibility surface.
+pub mod de {
+    pub use crate::{Deserialize, Deserializer, Error};
+
+    /// Owned deserialisation (no borrowed data), as in real serde.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// `serde::ser` compatibility surface.
+pub mod ser {
+    pub use crate::{Error, Serialize, Serializer};
+}
+
+/// The identity serializer: returns the lowered [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+/// The identity deserializer: yields a stored [`Value`].
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wrap a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.value)
+    }
+}
+
+/// Lower any serialisable value into the [`Value`] model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Rebuild a value from the [`Value`] model.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Field-by-name access into a [`Value::Record`] (or a map with string
+/// keys), used by derived struct deserialisers.
+pub struct RecordAccess {
+    fields: Vec<(String, Option<Value>)>,
+}
+
+impl RecordAccess {
+    /// Accept a record (or a string-keyed map, which JSON input produces).
+    pub fn new(value: Value) -> Result<Self, Error> {
+        let fields = match value {
+            Value::Record(fields) => fields
+                .into_iter()
+                .map(|(name, v)| (name, Some(v)))
+                .collect(),
+            Value::Map(entries) => {
+                let mut fields = Vec::with_capacity(entries.len());
+                for (k, v) in entries {
+                    match k {
+                        Value::Str(name) => fields.push((name, Some(v))),
+                        other => return Err(Error::unexpected("string key", &other)),
+                    }
+                }
+                fields
+            }
+            other => return Err(Error::unexpected("record", &other)),
+        };
+        Ok(RecordAccess { fields })
+    }
+
+    /// Remove and return the raw value of a field, if present.
+    pub fn take(&mut self, name: &str) -> Option<Value> {
+        self.fields
+            .iter_mut()
+            .find(|(n, v)| n == name && v.is_some())
+            .and_then(|(_, v)| v.take())
+    }
+
+    /// Deserialise a required field.
+    pub fn field<'de, T: Deserialize<'de>>(&mut self, name: &str) -> Result<T, Error> {
+        match self.take(name) {
+            Some(v) => from_value(v),
+            None => Err(Error::missing_field(name)),
+        }
+    }
+
+    /// Deserialise a field, falling back to `Default` when absent
+    /// (`#[serde(default)]`).
+    pub fn field_or_default<'de, T: Deserialize<'de> + Default>(
+        &mut self,
+        name: &str,
+    ) -> Result<T, Error> {
+        match self.take(name) {
+            Some(v) => from_value(v),
+            None => Ok(T::default()),
+        }
+    }
+}
+
+/// Element-by-element access into a [`Value::Seq`], used by derived tuple
+/// struct and tuple variant deserialisers.
+pub struct SeqAccess {
+    items: std::vec::IntoIter<Value>,
+}
+
+impl SeqAccess {
+    /// Accept a sequence.
+    pub fn new(value: Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => Ok(SeqAccess {
+                items: items.into_iter(),
+            }),
+            other => Err(Error::unexpected("sequence", &other)),
+        }
+    }
+
+    /// Deserialise the next element.
+    pub fn next<'de, T: Deserialize<'de>>(&mut self) -> Result<T, Error> {
+        match self.items.next() {
+            Some(v) => from_value(v),
+            None => Err(Error::custom("sequence shorter than expected")),
+        }
+    }
+}
+
+/// Decode the `(variant name, payload)` of an enum from any of the shapes
+/// the formats produce: a native [`Value::Variant`], a bare string (JSON
+/// unit variant) or a single-entry record (JSON data variant).
+pub fn enum_access(value: Value) -> Result<(String, Value), Error> {
+    match value {
+        Value::Variant(name, payload) => Ok((name, *payload)),
+        Value::Str(name) => Ok((name, Value::Unit)),
+        Value::Record(mut fields) if fields.len() == 1 => {
+            let (name, payload) = fields.remove(0);
+            Ok((name, payload))
+        }
+        Value::Map(mut entries) if entries.len() == 1 => {
+            let (k, payload) = entries.remove(0);
+            match k {
+                Value::Str(name) => Ok((name, payload)),
+                other => Err(Error::unexpected("variant name", &other)),
+            }
+        }
+        other => Err(Error::unexpected("enum variant", &other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize implementations for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| Error::custom("integer out of range").into()),
+                    Value::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| Error::custom("integer out of range").into()),
+                    other => Err(Error::unexpected("integer", &other).into()),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::I64(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| Error::custom("integer out of range").into()),
+                    Value::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| Error::custom("integer out of range").into()),
+                    other => Err(Error::unexpected("integer", &other).into()),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::F64(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::F64(v) => Ok(v as $t),
+                    Value::U64(v) => Ok(v as $t),
+                    Value::I64(v) => Ok(v as $t),
+                    other => Err(Error::unexpected("float", &other).into()),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(v) => Ok(v),
+            other => Err(Error::unexpected("bool", &other).into()),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(v) if v.chars().count() == 1 => Ok(v.chars().next().unwrap()),
+            other => Err(Error::unexpected("char", &other).into()),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(v) => Ok(v),
+            other => Err(Error::unexpected("string", &other).into()),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Unit)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Unit => Ok(()),
+            other => Err(Error::unexpected("unit", &other).into()),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Box::new(T::deserialize(d)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Option(None)),
+            Some(v) => {
+                let inner = to_value(v)?;
+                s.serialize_value(Value::Option(Some(Box::new(inner))))
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Option(None) | Value::Unit => Ok(None),
+            Value::Option(Some(v)) => Ok(Some(from_value(*v)?)),
+            // JSON input has no dedicated option shape: a bare value is Some.
+            other => Ok(Some(from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(to_value(item)?);
+        }
+        s.serialize_value(Value::Seq(items))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(Into::into))
+                .collect(),
+            // A byte blob deserialises as a sequence of integers (Vec<u8>).
+            Value::Bytes(bytes) => bytes
+                .into_iter()
+                .map(|b| from_value(Value::U64(b as u64)).map_err(Into::into))
+                .collect(),
+            other => Err(Error::unexpected("sequence", &other).into()),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(to_value(item)?);
+        }
+        s.serialize_value(Value::Seq(items))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(to_value(item)?);
+        }
+        s.serialize_value(Value::Seq(items))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, H> Serialize for HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(to_value(item)?);
+        }
+        s.serialize_value(Value::Seq(items))
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_iter().collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(vec![to_value(&self.0)?, to_value(&self.1)?]))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let mut seq = SeqAccess::new(d.take_value()?)?;
+        Ok((seq.next()?, seq.next()?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(vec![
+            to_value(&self.0)?,
+            to_value(&self.1)?,
+            to_value(&self.2)?,
+        ]))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let mut seq = SeqAccess::new(d.take_value()?)?;
+        Ok((seq.next()?, seq.next()?, seq.next()?))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            entries.push((to_value(k)?, to_value(v)?));
+        }
+        s.serialize_value(Value::Map(entries))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        map_entries(d.take_value()?)?
+            .into_iter()
+            .map(|(k, v)| Ok((from_value(k)?, from_value(v)?)))
+            .collect::<Result<_, Error>>()
+            .map_err(Into::into)
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            entries.push((to_value(k)?, to_value(v)?));
+        }
+        s.serialize_value(Value::Map(entries))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        map_entries(d.take_value()?)?
+            .into_iter()
+            .map(|(k, v)| Ok((from_value(k)?, from_value(v)?)))
+            .collect::<Result<_, Error>>()
+            .map_err(Into::into)
+    }
+}
+
+fn map_entries(value: Value) -> Result<Vec<(Value, Value)>, Error> {
+    match value {
+        Value::Map(entries) => Ok(entries),
+        Value::Record(fields) => Ok(fields
+            .into_iter()
+            .map(|(k, v)| (Value::Str(k), v))
+            .collect()),
+        other => Err(Error::unexpected("map", &other)),
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string_lossy().into_owned()))
+    }
+}
+
+impl<'de> Deserialize<'de> for std::path::PathBuf {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(std::path::PathBuf::from(String::deserialize(d)?))
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(vec![
+            Value::U64(self.as_secs()),
+            Value::U64(self.subsec_nanos() as u64),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let mut seq = SeqAccess::new(d.take_value()?)?;
+        let secs: u64 = seq.next()?;
+        let nanos: u32 = seq.next()?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}

@@ -1,0 +1,502 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Implemented directly on `proc_macro` token streams (the environment has
+//! no `syn`/`quote`). Supports the shapes this workspace uses: non-generic
+//! structs (named, tuple, unit) and enums (unit, tuple and struct variants),
+//! plus the field attributes `#[serde(default)]` and
+//! `#[serde(with = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<NamedField>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs_collect(iter: &mut Iter) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    parse_attr_group(g.stream(), &mut attrs);
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+fn parse_attr_group(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(inner)) = it.next() else {
+        return;
+    };
+    let mut it = inner.stream().into_iter().peekable();
+    while let Some(tt) = it.next() {
+        if let TokenTree::Ident(id) = tt {
+            match id.to_string().as_str() {
+                "default" => attrs.default = true,
+                "with" => {
+                    // with = "path"
+                    if let Some(TokenTree::Punct(p)) = it.next() {
+                        if p.as_char() == '=' {
+                            if let Some(TokenTree::Literal(lit)) = it.next() {
+                                let s = lit.to_string();
+                                attrs.with = Some(s.trim_matches('"').to_string());
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn skip_visibility(iter: &mut Iter) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consume tokens of one type, stopping at a top-level comma (angle-bracket
+/// depth aware; parens/brackets/braces arrive as opaque groups).
+fn skip_type(iter: &mut Iter) {
+    let mut depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            let c = p.as_char();
+            if c == ',' && depth == 0 {
+                return;
+            }
+            if c == '<' {
+                depth += 1;
+            }
+            if c == '>' {
+                depth -= 1;
+            }
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = skip_attrs_collect(&mut iter);
+        skip_visibility(&mut iter);
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        // expect ':'
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => break,
+        }
+        skip_type(&mut iter);
+        // consume the comma, if any
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        fields.push(NamedField {
+            name: name.to_string(),
+            attrs,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        let _ = skip_attrs_collect(&mut iter);
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_type(&mut iter);
+        count += 1;
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+            _ => break,
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _ = skip_attrs_collect(&mut iter);
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Shape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Shape::Named(parse_named_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        // skip an optional discriminant `= expr` up to the comma
+        while let Some(tt) = iter.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    iter.next();
+                    break;
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let _ = skip_attrs_collect(&mut iter);
+    skip_visibility(&mut iter);
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (type `{name}`)");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Input::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde shim derive: expected enum body, got {other:?}"),
+            };
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, shape } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n"
+            ));
+            out.push_str(&ser_shape_body(shape, name, "self", true));
+            out.push_str("}\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => out.push_str(&format!(
+                        "{name}::{vn} => __serializer.serialize_value(::serde::Value::Variant(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::std::boxed::Box::new(::serde::Value::Unit))),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        out.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+                            binders.join(", ")
+                        ));
+                        for b in &binders {
+                            out.push_str(&format!("__items.push(::serde::to_value({b})?);\n"));
+                        }
+                        out.push_str(&format!(
+                            "__serializer.serialize_value(::serde::Value::Variant(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::std::boxed::Box::new(::serde::Value::Seq(__items))))\n}}\n"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                            binders.join(", ")
+                        ));
+                        for f in fields {
+                            out.push_str(&format!(
+                                "__fields.push((::std::string::String::from(\"{0}\"), ::serde::to_value({0})?));\n",
+                                f.name
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "__serializer.serialize_value(::serde::Value::Variant(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::std::boxed::Box::new(::serde::Value::Record(__fields))))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+fn ser_shape_body(shape: &Shape, _name: &str, recv: &str, is_struct: bool) -> String {
+    debug_assert!(is_struct);
+    let mut out = String::new();
+    match shape {
+        Shape::Unit => {
+            out.push_str("__serializer.serialize_value(::serde::Value::Unit)\n");
+        }
+        Shape::Tuple(n) => {
+            out.push_str(
+                "let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+            );
+            for i in 0..*n {
+                out.push_str(&format!("__items.push(::serde::to_value(&{recv}.{i})?);\n"));
+            }
+            out.push_str("__serializer.serialize_value(::serde::Value::Seq(__items))\n");
+        }
+        Shape::Named(fields) => {
+            out.push_str(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                if let Some(with) = &f.attrs.with {
+                    out.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{0}\"), \
+                         {with}::serialize(&{recv}.{0}, ::serde::ValueSerializer)?));\n",
+                        f.name
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{0}\"), \
+                         ::serde::to_value(&{recv}.{0})?));\n",
+                        f.name
+                    ));
+                }
+            }
+            out.push_str("__serializer.serialize_value(::serde::Value::Record(__fields))\n");
+        }
+    }
+    out
+}
+
+fn de_named_fields(fields: &[NamedField], access: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if let Some(with) = &f.attrs.with {
+            out.push_str(&format!(
+                "{0}: {{\n\
+                 let __v = {access}.take(\"{0}\").ok_or_else(|| \
+                 <__D::Error as ::core::convert::From<::serde::Error>>::from(\
+                 ::serde::Error::missing_field(\"{0}\")))?;\n\
+                 {with}::deserialize(::serde::ValueDeserializer::new(__v))?\n\
+                 }},\n",
+                f.name
+            ));
+        } else if f.attrs.default {
+            out.push_str(&format!(
+                "{0}: {access}.field_or_default(\"{0}\")?,\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!("{0}: {access}.field(\"{0}\")?,\n", f.name));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, shape } => {
+            out.push_str(&format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n"
+            ));
+            match shape {
+                Shape::Unit => {
+                    out.push_str(&format!(
+                        "let _ = __deserializer.take_value()?;\n\
+                         ::core::result::Result::Ok({name})\n"
+                    ));
+                }
+                Shape::Tuple(n) => {
+                    out.push_str(
+                        "let mut __seq = ::serde::SeqAccess::new(__deserializer.take_value()?)?;\n",
+                    );
+                    let items: Vec<String> = (0..*n).map(|_| "__seq.next()?".to_string()).collect();
+                    out.push_str(&format!(
+                        "::core::result::Result::Ok({name}({}))\n",
+                        items.join(", ")
+                    ));
+                }
+                Shape::Named(fields) => {
+                    out.push_str(
+                        "let mut __rec = ::serde::RecordAccess::new(__deserializer.take_value()?)?;\n",
+                    );
+                    out.push_str(&format!(
+                        "::core::result::Result::Ok({name} {{\n{}}})\n",
+                        de_named_fields(fields, "__rec")
+                    ));
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 let (__name, __payload) = ::serde::enum_access(__deserializer.take_value()?)?;\n\
+                 match __name.as_str() {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => out.push_str(&format!(
+                        "\"{vn}\" => {{ let _ = __payload; ::core::result::Result::Ok({name}::{vn}) }},\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> =
+                            (0..*n).map(|_| "__seq.next()?".to_string()).collect();
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let mut __seq = ::serde::SeqAccess::new(__payload)?;\n\
+                             ::core::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let mut __rec = ::serde::RecordAccess::new(__payload)?;\n\
+                             ::core::result::Result::Ok({name}::{vn} {{\n{}}})\n}},\n",
+                            de_named_fields(fields, "__rec")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "__other => ::core::result::Result::Err(\
+                 <__D::Error as ::core::convert::From<::serde::Error>>::from(\
+                 ::serde::Error::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __other)))),\n\
+                 }}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -10,4 +10,5 @@ pub use seep_net as net;
 pub use seep_operators as operators;
 pub use seep_runtime as runtime;
 pub use seep_sim as sim;
+pub use seep_store as store;
 pub use seep_workloads as workloads;

@@ -20,7 +20,7 @@ struct LrbHarness {
     src: LogicalOpId,
     toll_calc: LogicalOpId,
     toll_assess: LogicalOpId,
-    sink_tolls: Arc<Mutex<Vec<(u32, u32)>>>, // (vid, toll)
+    sink_tolls: Arc<Mutex<Vec<(u32, u32)>>>,    // (vid, toll)
     sink_balances: Arc<Mutex<Vec<(u32, u64)>>>, // (vid, balance)
 }
 
@@ -196,19 +196,13 @@ fn toll_calculator_scale_out_and_recovery_keep_accounting_consistent() {
     feed_seconds(&mut h, &mut generator, 6);
 
     // Fail one partition and recover it; accounting stays consistent.
-    h.runtime
-        .advance_to(h.runtime.now_ms() + 6_000); // force a checkpoint round
+    h.runtime.advance_to(h.runtime.now_ms() + 6_000); // force a checkpoint round
     let victim = h.runtime.partitions(h.toll_calc)[0];
     h.runtime.fail_operator(victim);
     h.runtime.recover(victim, 1).expect("recovery");
     feed_seconds(&mut h, &mut generator, 4);
 
-    let charged: u64 = h
-        .sink_tolls
-        .lock()
-        .iter()
-        .map(|(_, t)| u64::from(*t))
-        .sum();
+    let charged: u64 = h.sink_tolls.lock().iter().map(|(_, t)| u64::from(*t)).sum();
     assert_eq!(
         total_balance(&h),
         charged,

@@ -42,7 +42,8 @@ fn recovery_matches_failure_free_run_for_all_strategies() {
         let baseline = run_scenario(strategy, 8, 30, None, 1);
         let with_failure = run_scenario(strategy, 8, 30, Some(6), 1);
         assert_eq!(
-            baseline, with_failure,
+            baseline,
+            with_failure,
             "{}: recovery changed the results",
             strategy.label()
         );
