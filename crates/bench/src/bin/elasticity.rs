@@ -1,0 +1,90 @@
+//! Elasticity experiment: the LRB pipeline under a trapezoid load profile
+//! (ramp up → plateau → ramp down → idle tail), with the bidirectional
+//! scaling policy merging under-utilised partitions and releasing their VMs
+//! on the falling edge. Prints the VM count and accrued cost over time and
+//! compares against the same run without scale in and against a static
+//! peak-sized deployment — the pay-as-you-go argument of the paper made
+//! concrete in both directions.
+
+use seep_bench::print_table;
+use seep_bench::sim_experiments::elasticity;
+
+fn main() {
+    let (ramp_up, plateau, ramp_down, tail) = (300, 300, 300, 300);
+    let (base, peak) = (1_000.0, 150_000.0);
+    let elastic = elasticity(ramp_up, plateau, ramp_down, tail, base, peak, true);
+    let rigid = elasticity(ramp_up, plateau, ramp_down, tail, base, peak, false);
+
+    // VM count and cost over time, sampled every 30 s.
+    let mut series: Vec<Vec<String>> = Vec::new();
+    let mut elastic_cost = 0.0;
+    let mut rigid_cost = 0.0;
+    for (e, r) in elastic.trace.records.iter().zip(&rigid.trace.records) {
+        let hourly = seep_cloud::VmSpec::small().hourly_cost / 3_600.0;
+        elastic_cost += e.vms as f64 * hourly;
+        rigid_cost += r.vms as f64 * hourly;
+        if e.t % 30 == 0 {
+            series.push(vec![
+                e.t.to_string(),
+                format!("{:.0}", e.offered),
+                e.vms.to_string(),
+                r.vms.to_string(),
+                format!("{elastic_cost:.3}"),
+                format!("{rigid_cost:.3}"),
+            ]);
+        }
+    }
+    print_table(
+        "Elasticity — LRB, trapezoid load, scale out + scale in vs scale out only",
+        &[
+            "t_s",
+            "offered_tps",
+            "vms_elastic",
+            "vms_no_scale_in",
+            "cost_elastic",
+            "cost_no_scale_in",
+        ],
+        &series,
+    );
+
+    let phase_rows: Vec<Vec<String>> = elastic
+        .phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.phase.clone(),
+                format!("{}..{}", p.from_s, p.to_s),
+                format!("{:.0}", p.mean_offered),
+                format!("{:.1}", p.mean_vms),
+                p.end_vms.to_string(),
+                format!("{:.3}", p.cost),
+            ]
+        })
+        .collect();
+    print_table(
+        "Elastic run by phase",
+        &[
+            "phase", "window_s", "mean_tps", "mean_vms", "end_vms", "cost",
+        ],
+        &phase_rows,
+    );
+
+    println!(
+        "\nelastic: {} scale outs, {} scale ins, peak {} VMs, final {} VMs, total cost {:.3}",
+        elastic.scale_outs,
+        elastic.scale_ins,
+        elastic.peak_vms,
+        elastic.final_vms,
+        elastic.total_cost
+    );
+    println!(
+        "no scale in: final {} VMs (= peak), total cost {:.3}",
+        rigid.final_vms, rigid.total_cost
+    );
+    println!(
+        "static peak-sized deployment would cost {:.3}; elasticity saves {:.1}% vs static, {:.1}% vs scale-out-only",
+        elastic.static_peak_cost,
+        (1.0 - elastic.total_cost / elastic.static_peak_cost) * 100.0,
+        (1.0 - elastic.total_cost / rigid.total_cost) * 100.0
+    );
+}

@@ -17,6 +17,7 @@
 //! | Fig. 13 — serial vs parallel recovery | [`runtime_experiments::parallel_recovery`] |
 //! | Fig. 14 — checkpoint overhead vs state size | [`runtime_experiments::state_size_overhead`] |
 //! | Fig. 15 — latency / recovery-time trade-off | [`runtime_experiments::interval_tradeoff`] |
+//! | Elasticity — ramp up/down, scale out + scale in, VM cost | [`sim_experiments::elasticity`] |
 
 pub mod harness;
 pub mod runtime_experiments;

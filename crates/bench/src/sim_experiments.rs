@@ -215,6 +215,133 @@ pub fn manual_vs_dynamic(duration_s: u64, l: u16, manual_vms: &[usize]) -> Vec<A
     rows
 }
 
+/// One phase of the elasticity experiment (ramp up / plateau / ramp down /
+/// tail), aggregated from the per-second trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ElasticityPhase {
+    /// Phase label.
+    pub phase: String,
+    /// First second of the phase (inclusive).
+    pub from_s: u64,
+    /// Last second of the phase (exclusive).
+    pub to_s: u64,
+    /// Mean offered rate over the phase (tuples/s).
+    pub mean_offered: f64,
+    /// Mean number of operator VMs over the phase.
+    pub mean_vms: f64,
+    /// Operator VMs at the end of the phase.
+    pub end_vms: usize,
+    /// VM cost accrued during the phase (the paper's pay-as-you-go argument:
+    /// a shrinking deployment stops paying).
+    pub cost: f64,
+}
+
+/// Result of the elasticity experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ElasticityResult {
+    /// Per-second trace.
+    pub trace: SimTrace,
+    /// Per-phase aggregates, in time order.
+    pub phases: Vec<ElasticityPhase>,
+    /// Scale-out actions over the run.
+    pub scale_outs: usize,
+    /// Scale-in actions over the run.
+    pub scale_ins: usize,
+    /// Peak operator VMs.
+    pub peak_vms: usize,
+    /// Operator VMs at the end of the run.
+    pub final_vms: usize,
+    /// Total VM cost of the elastic run.
+    pub total_cost: f64,
+    /// What the same run would have cost had the deployment been statically
+    /// provisioned at its peak size for the whole duration.
+    pub static_peak_cost: f64,
+}
+
+/// The elasticity experiment: drive the LRB pipeline with a trapezoid load
+/// profile (ramp up → plateau → ramp down → idle tail) and report VM count
+/// and cost over time. With `scale_in` enabled the deployment grows on the
+/// rising edge and gives VMs back after the falling edge; with it disabled
+/// (the paper's original policy) the deployment stays at its peak forever.
+pub fn elasticity(
+    ramp_up_s: u64,
+    plateau_s: u64,
+    ramp_down_s: u64,
+    tail_s: u64,
+    base_rate: f64,
+    peak_rate: f64,
+    scale_in: bool,
+) -> ElasticityResult {
+    use seep_workloads::RateSchedule;
+
+    let mut policy = SimScalingPolicy::default();
+    if scale_in {
+        policy = policy.with_scale_in(0.2);
+    }
+    let mut engine = SimEngine::new(SimConfig {
+        query: lrb_query(),
+        policy,
+        vm_pool_size: 6,
+        provisioning_delay_s: 60,
+        ..SimConfig::default()
+    });
+    let profile = RateSchedule::Trapezoid {
+        base: base_rate,
+        peak: peak_rate,
+        ramp_up_ms: ramp_up_s * 1_000,
+        plateau_ms: plateau_s * 1_000,
+        ramp_down_ms: ramp_down_s * 1_000,
+    };
+    let duration_s = ramp_up_s + plateau_s + ramp_down_s + tail_s;
+    let trace = engine.run(duration_s, |t| profile.rate_at(t * 1_000));
+
+    let hourly = seep_cloud::VmSpec::small().hourly_cost;
+    let cost_of = |records: &[seep_sim::SimRecord]| -> f64 {
+        records
+            .iter()
+            .map(|r| r.vms as f64 * hourly / 3_600.0)
+            .sum()
+    };
+    let bounds = [
+        ("ramp-up", 0, ramp_up_s),
+        ("plateau", ramp_up_s, ramp_up_s + plateau_s),
+        (
+            "ramp-down",
+            ramp_up_s + plateau_s,
+            ramp_up_s + plateau_s + ramp_down_s,
+        ),
+        ("tail", ramp_up_s + plateau_s + ramp_down_s, duration_s),
+    ];
+    let phases = bounds
+        .iter()
+        .filter(|(_, from, to)| to > from)
+        .map(|(label, from, to)| {
+            let records = &trace.records[*from as usize..*to as usize];
+            let n = records.len().max(1) as f64;
+            ElasticityPhase {
+                phase: label.to_string(),
+                from_s: *from,
+                to_s: *to,
+                mean_offered: records.iter().map(|r| r.offered).sum::<f64>() / n,
+                mean_vms: records.iter().map(|r| r.vms as f64).sum::<f64>() / n,
+                end_vms: records.last().map(|r| r.vms).unwrap_or(0),
+                cost: cost_of(records),
+            }
+        })
+        .collect();
+    let summary = trace.summary();
+    ElasticityResult {
+        phases,
+        scale_outs: summary.scale_out_actions,
+        scale_ins: summary.scale_in_actions,
+        peak_vms: summary.peak_vms,
+        final_vms: summary.final_vms,
+        total_cost: cost_of(&trace.records),
+        static_peak_cost: summary.peak_vms as f64 * hourly / 3_600.0 * duration_s as f64,
+        trace,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +388,29 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[2].mode, "dynamic");
         assert!(rows.iter().all(|r| r.vms > 0));
+    }
+
+    #[test]
+    fn elastic_run_shrinks_after_ramp_down_and_costs_less_than_static_peak() {
+        let elastic = elasticity(100, 100, 100, 200, 500.0, 120_000.0, true);
+        assert_eq!(elastic.phases.len(), 4);
+        assert!(elastic.scale_outs > 0, "ramp up must scale out");
+        assert!(elastic.scale_ins > 0, "ramp down must scale in");
+        let plateau = &elastic.phases[1];
+        let tail = &elastic.phases[3];
+        assert!(
+            tail.end_vms < plateau.end_vms,
+            "VM count must drop after the ramp down ({} vs {})",
+            tail.end_vms,
+            plateau.end_vms
+        );
+        assert!(elastic.total_cost < elastic.static_peak_cost);
+
+        // The same profile without scale in never gives VMs back.
+        let rigid = elasticity(100, 100, 100, 200, 500.0, 120_000.0, false);
+        assert_eq!(rigid.scale_ins, 0);
+        assert_eq!(rigid.final_vms, rigid.peak_vms);
+        assert!(elastic.final_vms < rigid.final_vms);
+        assert!(elastic.total_cost < rigid.total_cost);
     }
 }

@@ -72,6 +72,22 @@ impl CpuMonitor {
         q.iter().rev().take(k).all(|r| r.utilization > threshold)
     }
 
+    /// Whether the last `k` reports for `operator` are all strictly below
+    /// `threshold` (the scale-in counterpart of
+    /// [`consecutive_above`](Self::consecutive_above)). Returns `false` when
+    /// fewer than `k` reports exist, so freshly deployed operators are never
+    /// merged before they have a utilisation history.
+    pub fn consecutive_below(&self, operator: OperatorId, k: usize, threshold: f64) -> bool {
+        let history = self.history.lock();
+        let Some(q) = history.get(&operator) else {
+            return false;
+        };
+        if q.len() < k || k == 0 {
+            return false;
+        }
+        q.iter().rev().take(k).all(|r| r.utilization < threshold)
+    }
+
     /// The most recent report for `operator`.
     pub fn latest(&self, operator: OperatorId) -> Option<UtilizationReport> {
         self.history
@@ -139,6 +155,21 @@ mod tests {
         assert!(!m.consecutive_above(op, 2, 0.7));
         m.record(report(1, 15_000, 0.95));
         assert!(m.consecutive_above(op, 2, 0.7));
+    }
+
+    #[test]
+    fn consecutive_below_mirrors_above() {
+        let m = CpuMonitor::new(10);
+        let op = OperatorId::new(1);
+        m.record(report(1, 0, 0.1));
+        assert!(!m.consecutive_below(op, 2, 0.2), "only one report so far");
+        m.record(report(1, 5_000, 0.15));
+        assert!(!m.consecutive_below(op, 2, 0.1), "reports not below 0.1");
+        assert!(m.consecutive_below(op, 2, 0.2));
+        m.record(report(1, 10_000, 0.9)); // spike resets the streak
+        assert!(!m.consecutive_below(op, 2, 0.2));
+        assert!(!m.consecutive_below(op, 0, 0.2), "k = 0 is never a trigger");
+        assert!(!m.consecutive_below(OperatorId::new(9), 1, 0.9));
     }
 
     #[test]

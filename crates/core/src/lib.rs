@@ -18,16 +18,17 @@
 //!   operator instance,
 //! * [`primitives::replay_buffer_state`] — replay unprocessed tuples from an
 //!   upstream output buffer to bring restored state up to date,
-//! * [`primitives::partition_processing_state`],
-//!   [`primitives::partition_routing_state`] and
-//!   [`primitives::partition_buffer_state`] — split state across new
-//!   partitioned operators for scale out (Algorithm 2 of the paper).
+//! * [`primitives::partition_checkpoint`] — split a checkpoint's processing
+//!   and buffer state across new partitioned operators for scale out
+//!   (Algorithm 2 of the paper),
+//! * [`merge::merge_checkpoints`] — the scale-in counterpart (§3.3): combine
+//!   two adjacent partitions' checkpoints so one VM can be released.
 //!
 //! Both **dynamic scale out** and **failure recovery** are built on these
 //! primitives: recovery is simply scale out with a parallelisation level of
 //! one (see `seep-runtime`).
 //!
-//! The crate also defines the data model ([`tuple`]), the operator model
+//! The crate also defines the data model ([`mod@tuple`]), the operator model
 //! ([`operator`]), the three kinds of operator state ([`state`]) and the
 //! logical query / physical execution graphs ([`graph`]).
 

@@ -19,7 +19,31 @@ use crate::state::RoutingState;
 /// The two key ranges must be adjacent (`a.hi + 1 == b.lo` in either order) so
 /// the merged operator owns a contiguous interval; otherwise routing state
 /// could no longer be expressed as one entry per partition. Returns the merged
-/// checkpoint and the merged key range.
+/// checkpoint and the merged key range. The merged checkpoint's emit clock is
+/// the maximum of the two inputs', so a restore can resume the logical output
+/// clock without reusing timestamps either partition already emitted.
+///
+/// ```
+/// use seep_core::merge::merge_checkpoints;
+/// use seep_core::state::{BufferState, ProcessingState};
+/// use seep_core::{Checkpoint, Key, KeyRange, OperatorId};
+///
+/// // Two partitions of one logical operator, each owning half the key space.
+/// let halves = KeyRange::full().split_even(2)?;
+/// let mut low = ProcessingState::empty();
+/// low.insert(Key(7), b"low".to_vec());
+/// let mut high = ProcessingState::empty();
+/// high.insert(Key(u64::MAX - 7), b"high".to_vec());
+/// let a = Checkpoint::new(OperatorId::new(1), 4, low, BufferState::new());
+/// let b = Checkpoint::new(OperatorId::new(2), 9, high, BufferState::new());
+///
+/// let (merged, range) =
+///     merge_checkpoints(OperatorId::new(3), (a, halves[0]), (b, halves[1]))?;
+/// assert_eq!(range, KeyRange::full());
+/// assert_eq!(merged.processing.len(), 2);
+/// assert_eq!(merged.meta.sequence, 9);
+/// # Ok::<(), seep_core::Error>(())
+/// ```
 pub fn merge_checkpoints(
     merged_operator: OperatorId,
     a: (Checkpoint, KeyRange),
@@ -39,6 +63,7 @@ pub fn merge_checkpoints(
     }
     let merged_range = KeyRange::new(lo_range.lo, hi_range.hi);
 
+    let emit_clock = lo_cp.emit_clock.max(hi_cp.emit_clock);
     let mut processing = lo_cp.processing;
     processing.merge(hi_cp.processing);
     let mut buffer = lo_cp.buffer;
@@ -49,7 +74,7 @@ pub fn merge_checkpoints(
     }
     let sequence = lo_cp.meta.sequence.max(hi_cp.meta.sequence);
     Ok((
-        Checkpoint::new(merged_operator, sequence, processing, buffer),
+        Checkpoint::new(merged_operator, sequence, processing, buffer).with_emit_clock(emit_clock),
         merged_range,
     ))
 }
@@ -134,6 +159,52 @@ mod tests {
             (b, KeyRange::new(20, 29)),
         );
         assert!(matches!(err, Err(Error::InvalidKeySplit(_))));
+    }
+
+    #[test]
+    fn merge_rejects_non_adjacent_ranges_in_either_argument_order() {
+        // A gap between the ranges is rejected no matter which partition is
+        // passed first, and likewise for overlapping ranges.
+        for (ra, rb) in [
+            (KeyRange::new(0, 9), KeyRange::new(20, 29)),
+            (KeyRange::new(20, 29), KeyRange::new(0, 9)),
+            (KeyRange::new(0, 15), KeyRange::new(10, 29)),
+            (KeyRange::new(10, 29), KeyRange::new(0, 15)),
+        ] {
+            let a = checkpoint(1, &[1], 1);
+            let b = checkpoint(2, &[50], 1);
+            let err = merge_checkpoints(OperatorId::new(3), (a, ra), (b, rb));
+            assert!(
+                matches!(err, Err(Error::InvalidKeySplit(_))),
+                "{ra} + {rb} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_guards_against_overflow_when_low_range_ends_at_u64_max() {
+        // The adjacency test is `lo.hi + 1 == hi.lo`; when the low range
+        // already ends at u64::MAX the check must reject the pair instead of
+        // overflowing. Both ranges start at 0 so the full range is picked as
+        // the low one.
+        let a = checkpoint(1, &[1], 1);
+        let b = checkpoint(2, &[2], 1);
+        let err = merge_checkpoints(
+            OperatorId::new(3),
+            (a, KeyRange::full()),
+            (b, KeyRange::new(0, 5)),
+        );
+        assert!(matches!(err, Err(Error::InvalidKeySplit(_))));
+    }
+
+    #[test]
+    fn merge_propagates_the_larger_emit_clock() {
+        let ranges = KeyRange::full().split_even(2).unwrap();
+        let a = checkpoint(1, &[5], 3).with_emit_clock(120);
+        let b = checkpoint(2, &[u64::MAX - 1], 7).with_emit_clock(80);
+        let (merged, _) =
+            merge_checkpoints(OperatorId::new(3), (a, ranges[0]), (b, ranges[1])).unwrap();
+        assert_eq!(merged.emit_clock, 120);
     }
 
     #[test]

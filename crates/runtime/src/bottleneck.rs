@@ -1,10 +1,20 @@
-//! Bottleneck detection and the scaling policy (§5.1).
+//! Bottleneck / under-utilisation detection and the bidirectional scaling
+//! policy (§5.1, §3.3).
 //!
 //! Every `r` seconds the VMs hosting operators submit CPU utilisation
 //! reports; when `k` consecutive reports of an operator exceed the threshold
 //! δ, the operator is declared a bottleneck and the scale-out coordinator is
 //! asked to parallelise it. The paper determines empirically that `r = 5 s`,
 //! `k = 2` and `δ = 70 %` give appropriate scaling behaviour.
+//!
+//! The policy is bidirectional: the paper lists *merge* as the scale-in
+//! counterpart of the partition primitives, releasing a VM when partitions of
+//! a logical operator are under-utilised. Scale in triggers when
+//! `scale_in_reports` consecutive reports of *both* partitions of an adjacent
+//! sibling pair fall below the low-water threshold `low_threshold`. The low
+//! watermark sits well under δ (hysteresis), so a freshly merged operator —
+//! whose utilisation is roughly the sum of the two merged partitions — does
+//! not immediately trip the bottleneck detector and flap back out.
 
 use serde::{Deserialize, Serialize};
 
@@ -14,7 +24,8 @@ use seep_core::OperatorId;
 /// The scaling policy parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScalingPolicy {
-    /// CPU utilisation threshold δ in `[0, 1]`.
+    /// CPU utilisation threshold δ in `[0, 1]` above which an operator is a
+    /// scale-out candidate.
     pub threshold: f64,
     /// Number of consecutive reports above the threshold required (k).
     pub consecutive_reports: usize,
@@ -23,6 +34,20 @@ pub struct ScalingPolicy {
     /// Additional partitions created per scale-out action (the paper scales
     /// one bottleneck operator at a time, splitting it in two).
     pub partitions_per_action: usize,
+    /// Low-water utilisation threshold in `[0, 1]` below which a partition is
+    /// a scale-in candidate. Must stay below `threshold`; the gap is the
+    /// hysteresis band that keeps the system from flapping between scale out
+    /// and scale in. Ignored unless `scale_in` is enabled.
+    pub low_threshold: f64,
+    /// Consecutive reports below `low_threshold` required before two sibling
+    /// partitions are merged. Defaults higher than `consecutive_reports`:
+    /// releasing a VM too eagerly costs a re-partition minutes later, whereas
+    /// holding it a little longer only costs VM-hours.
+    pub scale_in_reports: usize,
+    /// Whether the control loop may merge under-utilised partitions and
+    /// release VMs. Off by default so experiments that only study scale out
+    /// keep the original behaviour.
+    pub scale_in: bool,
 }
 
 impl Default for ScalingPolicy {
@@ -32,6 +57,9 @@ impl Default for ScalingPolicy {
             consecutive_reports: 2,
             report_interval_ms: 5_000,
             partitions_per_action: 2,
+            low_threshold: 0.20,
+            scale_in_reports: 3,
+            scale_in: false,
         }
     }
 }
@@ -43,9 +71,26 @@ impl ScalingPolicy {
         self.threshold = threshold;
         self
     }
+
+    /// Enable scale in with the given low-water threshold.
+    pub fn with_scale_in(mut self, low_threshold: f64) -> Self {
+        self.scale_in = true;
+        self.low_threshold = low_threshold;
+        self
+    }
+
+    /// The low-water threshold actually used for scale-in decisions: clamped
+    /// below the scale-out threshold so the two triggers can never overlap,
+    /// whatever the caller configured. Merging two partitions at most doubles
+    /// utilisation, so half of δ is the largest low watermark that cannot
+    /// produce an immediate re-split; the clamp enforces it.
+    pub fn effective_low_threshold(&self) -> f64 {
+        self.low_threshold.min(self.threshold / 2.0)
+    }
 }
 
-/// Detects bottleneck operators from CPU utilisation reports.
+/// Detects bottleneck and under-utilised operators from CPU utilisation
+/// reports.
 #[derive(Debug)]
 pub struct BottleneckDetector {
     policy: ScalingPolicy,
@@ -76,6 +121,26 @@ impl BottleneckDetector {
             })
             .collect()
     }
+
+    /// The operators among `candidates` whose last `scale_in_reports` reports
+    /// are all below the (hysteresis-clamped) low-water threshold. Empty when
+    /// scale in is disabled. The caller is responsible for pairing adjacent
+    /// siblings — under-utilisation alone does not make an operator mergeable.
+    pub fn underutilized(
+        &self,
+        monitor: &CpuMonitor,
+        candidates: &[OperatorId],
+    ) -> Vec<OperatorId> {
+        if !self.policy.scale_in {
+            return Vec::new();
+        }
+        let low = self.policy.effective_low_threshold();
+        candidates
+            .iter()
+            .copied()
+            .filter(|op| monitor.consecutive_below(*op, self.policy.scale_in_reports, low))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +165,20 @@ mod tests {
         assert_eq!(p.report_interval_ms, 5_000);
         let p10 = p.with_threshold(0.10);
         assert!((p10.threshold - 0.10).abs() < 1e-9);
+        assert!(!p.scale_in, "scale in is opt-in");
+        assert!(p.low_threshold < p.threshold);
+        assert!(p.scale_in_reports > p.consecutive_reports);
+    }
+
+    #[test]
+    fn low_threshold_is_clamped_for_hysteresis() {
+        let p = ScalingPolicy::default().with_scale_in(0.9);
+        assert!(p.scale_in);
+        // Configured above δ, but the effective watermark stays at δ/2 so a
+        // merged operator cannot immediately become a bottleneck again.
+        assert!((p.effective_low_threshold() - 0.35).abs() < 1e-9);
+        let sane = ScalingPolicy::default().with_scale_in(0.15);
+        assert!((sane.effective_low_threshold() - 0.15).abs() < 1e-9);
     }
 
     #[test]
@@ -133,5 +212,41 @@ mod tests {
         monitor.record(report(1, 10_000, 0.9));
         assert!(detector.bottlenecks(&monitor, &ops).is_empty());
         assert_eq!(detector.policy().consecutive_reports, 2);
+    }
+
+    #[test]
+    fn underutilized_requires_scale_in_enabled_and_a_full_streak() {
+        let monitor = CpuMonitor::new(16);
+        let ops = [OperatorId::new(1), OperatorId::new(2)];
+        for at in [0, 5_000, 10_000] {
+            monitor.record(report(1, at, 0.05));
+            monitor.record(report(2, at, 0.5));
+        }
+        let off = BottleneckDetector::new(ScalingPolicy::default());
+        assert!(off.underutilized(&monitor, &ops).is_empty(), "disabled");
+
+        let on = BottleneckDetector::new(ScalingPolicy::default().with_scale_in(0.2));
+        assert_eq!(on.underutilized(&monitor, &ops), vec![OperatorId::new(1)]);
+
+        // A busy report breaks the streak.
+        monitor.record(report(1, 15_000, 0.6));
+        monitor.record(report(1, 20_000, 0.05));
+        assert!(on.underutilized(&monitor, &ops).is_empty());
+    }
+
+    #[test]
+    fn an_operator_is_never_both_bottleneck_and_underutilized() {
+        let monitor = CpuMonitor::new(16);
+        let ops = [OperatorId::new(1)];
+        // Even with a degenerate configuration (low watermark above δ) the
+        // clamp keeps the two trigger bands disjoint.
+        let policy = ScalingPolicy::default().with_scale_in(0.95);
+        let detector = BottleneckDetector::new(policy);
+        for at in [0, 5_000, 10_000, 15_000] {
+            monitor.record(report(1, at, 0.5));
+        }
+        let hot = detector.bottlenecks(&monitor, &ops);
+        let cold = detector.underutilized(&monitor, &ops);
+        assert!(hot.is_empty() && cold.is_empty());
     }
 }

@@ -32,9 +32,9 @@ pub mod worker;
 
 pub use bottleneck::{BottleneckDetector, ScalingPolicy};
 pub use config::RuntimeConfig;
-pub use metrics::{Metrics, MetricsSnapshot, StoreIoRecord};
+pub use metrics::{Metrics, MetricsSnapshot, ScaleInRecord, ScaleOutRecord, StoreIoRecord};
 pub use recovery::RecoveryStrategy;
-pub use runtime::Runtime;
+pub use runtime::{Runtime, ScaleInOutcome, ScaleOutOutcome};
 pub use worker::WorkerCore;
 
 // Re-exported so experiment drivers can configure the checkpoint-store

@@ -82,6 +82,23 @@ pub struct ScaleOutRecord {
     pub duration_us: u64,
 }
 
+/// One scale-in (operator merge) action performed by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleInRecord {
+    /// The logical operator whose partitions were merged.
+    pub logical: LogicalOpId,
+    /// New number of partitions of that logical operator.
+    pub new_parallelism: usize,
+    /// Virtual time of the action (ms).
+    pub at_ms: u64,
+    /// Wall-clock cost of the merge and reconfiguration (µs), excluding
+    /// catch-up.
+    pub duration_us: u64,
+    /// Tuples replayed from the merged partitions' restored buffers and the
+    /// upstream output buffers.
+    pub replayed_tuples: usize,
+}
+
 #[derive(Debug, Default)]
 struct MetricsInner {
     latencies_us: Vec<u64>,
@@ -90,6 +107,7 @@ struct MetricsInner {
     checkpoints: Vec<CheckpointRecord>,
     recoveries: Vec<RecoveryRecord>,
     scale_outs: Vec<ScaleOutRecord>,
+    scale_ins: Vec<ScaleInRecord>,
     dropped_sends: u64,
     store_io: HashMap<String, StoreIoRecord>,
 }
@@ -119,6 +137,9 @@ pub struct MetricsSnapshot {
     pub recoveries: usize,
     /// Number of scale-out actions performed.
     pub scale_outs: usize,
+    /// Number of scale-in (merge) actions performed.
+    #[serde(default)]
+    pub scale_ins: usize,
     /// Sends that failed because the destination was disconnected.
     pub dropped_sends: u64,
     /// Bytes written to checkpoint stores (all backends).
@@ -163,6 +184,11 @@ impl Metrics {
     /// Record a scale-out action.
     pub fn record_scale_out(&self, record: ScaleOutRecord) {
         self.inner.lock().scale_outs.push(record);
+    }
+
+    /// Record a scale-in (merge) action.
+    pub fn record_scale_in(&self, record: ScaleInRecord) {
+        self.inner.lock().scale_ins.push(record);
     }
 
     /// Record a checkpoint write against the store backend `backend`.
@@ -247,6 +273,11 @@ impl Metrics {
         self.inner.lock().scale_outs.clone()
     }
 
+    /// All scale-in records so far.
+    pub fn scale_ins(&self) -> Vec<ScaleInRecord> {
+        self.inner.lock().scale_ins.clone()
+    }
+
     /// Clear latency samples (used between experiment phases so the measured
     /// percentiles cover only the phase of interest).
     pub fn reset_latencies(&self) {
@@ -265,6 +296,7 @@ impl Metrics {
             checkpoints: inner.checkpoints.len(),
             recoveries: inner.recoveries.len(),
             scale_outs: inner.scale_outs.len(),
+            scale_ins: inner.scale_ins.len(),
             dropped_sends: inner.dropped_sends,
             store_write_bytes: inner.store_io.values().map(|r| r.write_bytes).sum(),
             store_restore_bytes: inner.store_io.values().map(|r| r.restore_bytes).sum(),
@@ -348,13 +380,23 @@ mod tests {
             at_ms: 6_000,
             duration_us: 900,
         });
+        m.record_scale_in(ScaleInRecord {
+            logical: LogicalOpId(2),
+            new_parallelism: 1,
+            at_ms: 60_000,
+            duration_us: 700,
+            replayed_tuples: 12,
+        });
         assert_eq!(m.checkpoints().len(), 1);
         assert_eq!(m.recoveries().len(), 1);
         assert_eq!(m.scale_outs().len(), 1);
+        assert_eq!(m.scale_ins().len(), 1);
+        assert_eq!(m.scale_ins()[0].replayed_tuples, 12);
         let snap = m.snapshot();
         assert_eq!(snap.checkpoints, 1);
         assert_eq!(snap.recoveries, 1);
         assert_eq!(snap.scale_outs, 1);
+        assert_eq!(snap.scale_ins, 1);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use seep_store::{BackupCoordinator, StoreStats};
 
 use crate::bottleneck::BottleneckDetector;
 use crate::config::RuntimeConfig;
-use crate::metrics::{CheckpointRecord, Metrics, RecoveryRecord, ScaleOutRecord};
+use crate::metrics::{CheckpointRecord, Metrics, RecoveryRecord, ScaleInRecord, ScaleOutRecord};
 use crate::recovery::RecoveryStrategy;
 use crate::worker::{SharedClock, WorkerCore};
 
@@ -28,6 +28,20 @@ pub struct ScaleOutOutcome {
     pub new_operators: Vec<OperatorId>,
     /// Tuples replayed from upstream buffers to bring the new partitions up
     /// to date.
+    pub replayed_tuples: usize,
+}
+
+/// Result of a scale-in (operator merge) action.
+#[derive(Debug, Clone)]
+pub struct ScaleInOutcome {
+    /// The merged operator replacing the two partitions. It is hosted on the
+    /// VM that carried `target`, so no fresh VM is consumed.
+    pub merged_operator: OperatorId,
+    /// The VM freed by the merge (the one that hosted the victim partition),
+    /// already released back to the provider.
+    pub released_vm: seep_cloud::VmId,
+    /// Tuples replayed from the merged checkpoint's buffers and from upstream
+    /// output buffers to bring the merged operator up to date.
     pub replayed_tuples: usize,
 }
 
@@ -190,6 +204,17 @@ impl Runtime {
             .pool
             .acquire(self.now_ms)
             .ok_or_else(|| Error::Invariant("VM pool exhausted".into()))?;
+        self.create_worker_on(instance, vm)
+    }
+
+    /// Create a worker for `instance` hosted on an already-running VM —
+    /// used by scale in, where the merged operator takes over the surviving
+    /// partition's VM instead of drawing a fresh one from the pool.
+    fn create_worker_on(
+        &mut self,
+        instance: &seep_core::graph::OperatorInstance,
+        vm: seep_cloud::VmId,
+    ) -> Result<()> {
         let receiver = self.network.register(instance.id);
         let factory = self
             .factories
@@ -371,8 +396,55 @@ impl Runtime {
                 for op in bottlenecks {
                     let _ = self.scale_out(op, pi);
                 }
+                // Scale in: merge adjacent sibling partitions that have both
+                // been under the low watermark for the required streak. The
+                // candidate list is re-derived because the scale outs above
+                // may have replaced instances.
+                if self.config.scaling_policy.scale_in {
+                    let survivors: Vec<OperatorId> = self
+                        .graph()
+                        .instances()
+                        .map(|i| i.id)
+                        .filter(|id| candidates.contains(id))
+                        .collect();
+                    let under = self.detector.underutilized(&self.monitor, &survivors);
+                    for (target, victim) in self.mergeable_pairs(&under) {
+                        let _ = self.scale_in(target, victim);
+                    }
+                }
             }
         }
+    }
+
+    /// At most one adjacent pair of under-utilised sibling partitions per
+    /// logical operator, ordered so the partition owning the lower key range
+    /// survives the merge.
+    fn mergeable_pairs(&self, under: &[OperatorId]) -> Vec<(OperatorId, OperatorId)> {
+        let graph = self.graph();
+        let mut pairs = Vec::new();
+        for op in graph.query().operators() {
+            let partitions = graph.partitions(op.id);
+            if partitions.len() < 2 {
+                continue;
+            }
+            let mut by_range: Vec<&seep_core::graph::OperatorInstance> = partitions
+                .iter()
+                .filter_map(|id| graph.instance(*id).ok())
+                .collect();
+            by_range.sort_by_key(|i| i.key_range.lo);
+            for pair in by_range.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if a.key_range.hi != u64::MAX
+                    && a.key_range.hi + 1 == b.key_range.lo
+                    && under.contains(&a.id)
+                    && under.contains(&b.id)
+                {
+                    pairs.push((a.id, b.id));
+                    break;
+                }
+            }
+        }
+        pairs
     }
 
     /// Take a checkpoint of `operator`, back it up to an upstream VM and trim
@@ -651,6 +723,311 @@ impl Runtime {
         });
         Ok(ScaleOutOutcome {
             new_operators: new_instances.iter().map(|i| i.id).collect(),
+            replayed_tuples: replayed,
+        })
+    }
+
+    fn set_pair_paused(&mut self, a: OperatorId, b: OperatorId, paused: bool) {
+        for id in [a, b] {
+            if let Some(worker) = self.workers.get_mut(&id) {
+                worker.set_paused(paused);
+            }
+        }
+    }
+
+    /// Scale in: merge two adjacent partitions of one logical operator and
+    /// release a VM (§3.3, the merge primitive). `target` survives — the
+    /// merged operator is restored on its VM — while `victim`'s VM is
+    /// released back to the provider, so billing reflects the shrink.
+    ///
+    /// The sequence mirrors scale out run backwards: pause the two partitions,
+    /// back up their latest state, merge the backed-up checkpoints (at the
+    /// backup VM via `seep-store`'s `merge_for_scale_in`), rewrite the
+    /// execution graph and upstream routing so the merged key range maps to
+    /// one operator, restore the merged state, and replay both partitions'
+    /// unreflected tuples from the upstream output buffers — downstream
+    /// duplicate filters discard anything delivered twice.
+    pub fn scale_in(&mut self, target: OperatorId, victim: OperatorId) -> Result<ScaleInOutcome> {
+        let started = Instant::now();
+        if target == victim {
+            return Err(Error::Invariant(
+                "scale in needs two distinct partitions".into(),
+            ));
+        }
+        let inst_t = self.graph().instance(target)?.clone();
+        let inst_v = self.graph().instance(victim)?.clone();
+        if inst_t.logical != inst_v.logical {
+            return Err(Error::Invariant(format!(
+                "cannot merge partitions of different logical operators \
+                 ({} is {}, {} is {})",
+                target, inst_t.logical, victim, inst_v.logical
+            )));
+        }
+        let logical = inst_t.logical;
+        for id in [target, victim] {
+            if self
+                .workers
+                .get(&id)
+                .map(WorkerCore::is_failed)
+                .unwrap_or(true)
+            {
+                return Err(Error::Invariant(format!(
+                    "cannot merge failed or unknown operator {id} (recover it instead)"
+                )));
+            }
+        }
+        // The merged operator must own a contiguous interval (the same
+        // adjacency rule merge_checkpoints enforces), checked up front so no
+        // state has been touched when the request is rejected.
+        let (lo, hi) = if inst_t.key_range.lo <= inst_v.key_range.lo {
+            (inst_t.key_range, inst_v.key_range)
+        } else {
+            (inst_v.key_range, inst_t.key_range)
+        };
+        if lo.hi == u64::MAX || lo.hi + 1 != hi.lo {
+            return Err(Error::InvalidKeySplit(format!(
+                "cannot merge non-adjacent partitions {target} ({}) and {victim} ({})",
+                inst_t.key_range, inst_v.key_range
+            )));
+        }
+        let surviving_vm = self
+            .vm_of
+            .get(&target)
+            .copied()
+            .ok_or_else(|| Error::Invariant(format!("operator {target} has no VM")))?;
+        let released_vm = self
+            .vm_of
+            .get(&victim)
+            .copied()
+            .ok_or_else(|| Error::Invariant(format!("operator {victim} has no VM")))?;
+        let previous_parallelism = self.graph().parallelism(logical);
+
+        // 1. Drain the two partitions' inbound queues, then pause them and
+        //    capture their latest state: a fresh checkpoint backs up
+        //    everything processed so far and trims the upstream buffers
+        //    accordingly. Draining first matters for correctness — the merged
+        //    reflected-timestamp vector is the pointwise max over both
+        //    partitions, so any tuple still queued below that watermark would
+        //    be neither restored nor replayed. Without checkpoints (UB/SR
+        //    baselines) the merge starts from empty state and the untrimmed
+        //    upstream buffers replay the full history instead.
+        {
+            let network = self.network.clone();
+            let metrics = self.metrics.clone();
+            let epoch = self.epoch;
+            let batch = self.config.worker_batch;
+            for id in [target, victim] {
+                if let Some(worker) = self.workers.get_mut(&id) {
+                    while worker.step(&network, &metrics, epoch, batch) > 0 {}
+                    worker.set_paused(true);
+                }
+            }
+        }
+        // 2. Checkpoint both partitions and merge the backed-up checkpoints
+        //    at the store (`merge_for_scale_in` is the inverse of
+        //    Algorithm 2's partitioning). All of this runs BEFORE the graph
+        //    is touched: a failure here (full disk, unreachable backup store)
+        //    unpauses the partitions and rejects the request with the runtime
+        //    exactly as it was. The checkpoints trim the upstream buffers, so
+        //    from here on the merged checkpoint is the only copy of the
+        //    reflected state — it must not be dropped on a later error.
+        let mut merged_cp = if self.config.strategy.checkpoints() {
+            let restore_started = Instant::now();
+            let read_before = self.backup.aggregate_stats().bytes_restored;
+            // Provisionally stamped with the survivor's id; re-stamped once
+            // the execution graph assigns the merged instance its real id.
+            let merged = self
+                .checkpoint_operator(target)
+                .and_then(|_| self.checkpoint_operator(victim))
+                .and_then(|_| {
+                    self.backup.merge_for_scale_in(
+                        target,
+                        (target, inst_t.key_range),
+                        (victim, inst_v.key_range),
+                    )
+                });
+            match merged {
+                Ok((cp, _)) => {
+                    let read = self
+                        .backup
+                        .aggregate_stats()
+                        .bytes_restored
+                        .saturating_sub(read_before);
+                    self.metrics.record_store_restore(
+                        self.config.store.label(),
+                        read as usize,
+                        restore_started.elapsed().as_micros() as u64,
+                    );
+                    cp
+                }
+                Err(e) => {
+                    self.set_pair_paused(target, victim, false);
+                    return Err(e);
+                }
+            }
+        } else {
+            // UB/SR baselines keep no checkpoints: the merged operator starts
+            // empty and the untrimmed upstream buffers rebuild its state.
+            Checkpoint::empty(target)
+        };
+
+        // 3. Update the execution graph: both partitions are replaced by one
+        //    instance owning the union of their key ranges.
+        let merged_range = KeyRange::new(lo.lo, hi.hi);
+        let new_instances =
+            match self
+                .graph_mut()
+                .repartition(logical, &[target, victim], &[merged_range])
+            {
+                Ok(instances) => instances,
+                Err(e) => {
+                    self.set_pair_paused(target, victim, false);
+                    return Err(e);
+                }
+            };
+        let merged_inst = new_instances[0].clone();
+        merged_cp.meta.operator = merged_inst.id;
+        let reflected = merged_cp.processing.timestamps().clone();
+
+        // 4. Store the merged checkpoint as the survivor's initial backup and
+        //    delete the two partitions' now-superseded backups. Best effort:
+        //    if the store refuses the write, the merged state still lives in
+        //    the worker restored below, the old backups stay in place (they
+        //    are only deleted after a successful put), and the next periodic
+        //    checkpoint re-establishes the backup.
+        let upstream_instances = self.graph().upstream_instances(merged_inst.id)?;
+        if !upstream_instances.is_empty() {
+            if let Ok(put) =
+                self.backup
+                    .store_merged([target, victim], &upstream_instances, &merged_cp)
+            {
+                self.metrics.record_store_write(
+                    self.config.store.label(),
+                    put.bytes_written,
+                    put.write_us,
+                    false,
+                );
+            }
+        }
+
+        // 5. Restore the merged operator on the surviving VM. Failing to
+        //    build its store here is the one error left after the graph
+        //    rewrite; the merged backup stored above makes it recoverable
+        //    with `scale_out(merged, 1)`, the same path as a VM failure.
+        self.create_worker_on(&merged_inst, surviving_vm)?;
+        let emit_clock = merged_cp.emit_clock;
+        let worker = self.workers.get_mut(&merged_inst.id).expect("just created");
+        worker.restore(merged_cp);
+        // With no sibling partition left the shared logical clock can be
+        // reset, so re-emitted tuples are recognised as duplicates downstream
+        // (the same rule as a serial replacement in scale out).
+        if previous_parallelism == 2 {
+            if let Some(clock) = self.clocks.get(&logical) {
+                clock.reset_to(emit_clock);
+            }
+        }
+
+        // 6. Stop the replaced partitions. The victim's VM is released back
+        //    to the provider — this is the entire point of scaling in — while
+        //    the target's VM lives on hosting the merged operator. Because
+        //    that VM survives, the backups *other* operators stored on the
+        //    target's store move over to the merged operator's store (same
+        //    VM) instead of dying with the bookkeeping; only the victim's
+        //    store is genuinely lost, exactly as with its VM.
+        if let (Ok(old_store), Ok(new_store)) = (
+            self.backup.store_of(target),
+            self.backup.store_of(merged_inst.id),
+        ) {
+            for owner in old_store.owners() {
+                if owner == target || owner == victim {
+                    continue; // superseded by the merged checkpoint
+                }
+                if let Ok(cp) = old_store.latest(owner) {
+                    if new_store.put(owner, cp).is_ok()
+                        && self.backup.backup_of(owner) == Some(target)
+                    {
+                        self.backup.set_backup_of(owner, merged_inst.id);
+                    }
+                }
+            }
+        }
+        for id in [target, victim] {
+            self.network.disconnect(id);
+            self.workers.remove(&id);
+            self.backup.unregister_store(id);
+            self.backup.clear_backup_of(id);
+            self.vm_of.remove(&id);
+            self.monitor.forget(id);
+            self.checkpoint_seq.remove(&id);
+            self.last_checkpoint_ms.remove(&id);
+            self.last_backed_up.remove(&id);
+        }
+        self.pool.release(released_vm, self.now_ms);
+
+        // 7. The merged operator replays its restored output buffers
+        //    downstream; duplicate filters discard what was already processed.
+        let mut replayed = 0usize;
+        {
+            let network = self.network.clone();
+            let metrics = self.metrics.clone();
+            let downstream_logicals = self.graph().query().downstream(logical);
+            let routings: Vec<(LogicalOpId, seep_core::RoutingState)> = downstream_logicals
+                .iter()
+                .filter_map(|ld| self.graph().routing(*ld).ok().map(|r| (*ld, r.clone())))
+                .collect();
+            let mut planned: Vec<OperatorId> = Vec::new();
+            if let Some(worker) = self.workers.get_mut(&merged_inst.id) {
+                for (ld, routing) in routings {
+                    worker.set_routing(ld, routing);
+                }
+                planned.extend(worker.buffer().downstreams());
+            }
+            if let Some(worker) = self.workers.get(&merged_inst.id) {
+                for d in planned {
+                    replayed += worker.replay_to(d, &TimestampVec::new(), &network, &metrics);
+                }
+            }
+        }
+
+        // 8. Update the upstream operators: new routing (two entries collapse
+        //    into one), migrate tuples buffered for the replaced partitions,
+        //    and replay everything the merged checkpoint does not reflect.
+        let new_routing = self.graph().routing(logical)?.clone();
+        {
+            let network = self.network.clone();
+            let metrics = self.metrics.clone();
+            for up in &upstream_instances {
+                let Some(worker) = self.workers.get_mut(up) else {
+                    continue;
+                };
+                worker.set_paused(true);
+                worker.set_routing(logical, new_routing.clone());
+                for old in [target, victim] {
+                    let pending = worker
+                        .buffer_mut()
+                        .remove_downstream(old)
+                        .unwrap_or_default();
+                    for tuple in pending {
+                        if let Some(new_target) = new_routing.route(tuple.key) {
+                            worker.buffer_mut().push(new_target, tuple);
+                        }
+                    }
+                }
+                replayed += worker.replay_to(merged_inst.id, &reflected, &network, &metrics);
+                worker.set_paused(false);
+            }
+        }
+
+        self.metrics.record_scale_in(ScaleInRecord {
+            logical,
+            new_parallelism: self.graph().parallelism(logical),
+            at_ms: self.now_ms,
+            duration_us: started.elapsed().as_micros() as u64,
+            replayed_tuples: replayed,
+        });
+        Ok(ScaleInOutcome {
+            merged_operator: merged_inst.id,
+            released_vm,
             replayed_tuples: replayed,
         })
     }
@@ -1037,6 +1414,169 @@ mod tests {
         assert_eq!(h.runtime.parallelism(h.count), 2);
         assert_eq!(count_of(&h, "common"), 51);
         assert_eq!(count_of(&h, "tail"), 1);
+    }
+
+    #[test]
+    fn scale_in_merges_partitions_and_releases_vm() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        for sentence in ["one two three", "two three", "three"] {
+            inject_sentence(&mut h, sentence);
+        }
+        h.runtime.drain();
+        h.runtime.advance_to(5_000); // checkpoint
+        let target = counter_instance(&h);
+        h.runtime.scale_out(target, 2).unwrap();
+        h.runtime.drain();
+        inject_sentence(&mut h, "four three"); // processed after the split
+        h.runtime.drain();
+        assert_eq!(h.runtime.parallelism(h.count), 2);
+
+        let vms_before = h.runtime.vm_count();
+        let parts = h.runtime.partitions(h.count);
+        let outcome = h.runtime.scale_in(parts[0], parts[1]).unwrap();
+        h.runtime.drain();
+
+        assert_eq!(h.runtime.parallelism(h.count), 1);
+        assert_eq!(h.runtime.vm_count(), vms_before - 1, "one VM released");
+        let released = h.runtime.provider().vm(outcome.released_vm).unwrap();
+        assert!(!released.is_running(), "victim VM given back to the cloud");
+        assert_eq!(h.runtime.metrics().scale_ins().len(), 1);
+        assert_eq!(h.runtime.metrics().snapshot().scale_ins, 1);
+
+        // Merged state carries the full counts, including post-split tuples.
+        assert_eq!(count_of(&h, "one"), 1);
+        assert_eq!(count_of(&h, "two"), 2);
+        assert_eq!(count_of(&h, "three"), 4);
+        assert_eq!(count_of(&h, "four"), 1);
+
+        // New tuples route to the merged operator and are processed.
+        inject_sentence(&mut h, "five three");
+        h.runtime.drain();
+        assert_eq!(count_of(&h, "three"), 5);
+        assert_eq!(count_of(&h, "five"), 1);
+    }
+
+    #[test]
+    fn scale_in_migrates_third_party_backups_to_the_surviving_store() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        inject_sentence(&mut h, "alpha beta");
+        h.runtime.drain();
+        h.runtime.advance_to(5_000);
+        let target = counter_instance(&h);
+        h.runtime.scale_out(target, 2).unwrap();
+        h.runtime.drain();
+        let parts = h.runtime.partitions(h.count);
+
+        // A downstream operator's checkpoint hosted on the surviving
+        // partition's store (as the sink's would be if it checkpointed).
+        let owner = OperatorId::new(4242);
+        h.runtime
+            .backup
+            .store_of(parts[0])
+            .unwrap()
+            .put(owner, Checkpoint::empty(owner))
+            .unwrap();
+        h.runtime.backup.set_backup_of(owner, parts[0]);
+
+        let outcome = h.runtime.scale_in(parts[0], parts[1]).unwrap();
+        // The surviving VM keeps hosting that backup under the merged
+        // operator's store; it stays retrievable.
+        assert_eq!(
+            h.runtime.backup.backup_of(owner),
+            Some(outcome.merged_operator)
+        );
+        let restored = h.runtime.backup.retrieve(owner).unwrap();
+        assert_eq!(restored.meta.operator, owner);
+    }
+
+    #[test]
+    fn scale_in_under_upstream_backup_rebuilds_state_from_buffers() {
+        let config = RuntimeConfig::default().with_strategy(RecoveryStrategy::UpstreamBackup);
+        let mut h = word_count_harness(config);
+        for sentence in ["ub one two", "ub two"] {
+            inject_sentence(&mut h, sentence);
+        }
+        h.runtime.drain();
+        let target = counter_instance(&h);
+        h.runtime.scale_out(target, 2).unwrap();
+        h.runtime.drain();
+        inject_sentence(&mut h, "ub one");
+        h.runtime.drain();
+
+        let parts = h.runtime.partitions(h.count);
+        h.runtime.scale_in(parts[0], parts[1]).unwrap();
+        h.runtime.drain();
+        // No checkpoints exist under UB: the merge starts empty and the
+        // untrimmed upstream buffers replay the full history.
+        assert_eq!(h.runtime.parallelism(h.count), 1);
+        assert_eq!(count_of(&h, "ub"), 3);
+        assert_eq!(count_of(&h, "one"), 2);
+        assert_eq!(count_of(&h, "two"), 2);
+    }
+
+    #[test]
+    fn scale_in_rejects_invalid_pairs() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        inject_sentence(&mut h, "seed words");
+        h.runtime.drain();
+        let counter = counter_instance(&h);
+        // Merging an operator with itself, or with a different logical
+        // operator's partition, is rejected.
+        assert!(h.runtime.scale_in(counter, counter).is_err());
+        let splitter = h.runtime.partitions(h.split)[0];
+        assert!(h.runtime.scale_in(counter, splitter).is_err());
+
+        // Three partitions: the outer two are not adjacent.
+        h.runtime.scale_out(counter, 2).unwrap();
+        let parts = h.runtime.partitions(h.count);
+        h.runtime.scale_out(parts[0], 2).unwrap();
+        let parts = h.runtime.partitions(h.count);
+        assert_eq!(parts.len(), 3);
+        let mut by_lo: Vec<OperatorId> = parts.clone();
+        by_lo.sort_by_key(|id| {
+            h.runtime
+                .execution_graph()
+                .instance(*id)
+                .unwrap()
+                .key_range
+                .lo
+        });
+        assert!(h.runtime.scale_in(by_lo[0], by_lo[2]).is_err());
+        // A failed partition cannot be merged.
+        h.runtime.fail_operator(by_lo[1]);
+        assert!(h.runtime.scale_in(by_lo[0], by_lo[1]).is_err());
+        assert_eq!(h.runtime.metrics().scale_ins().len(), 0);
+    }
+
+    #[test]
+    fn auto_scale_in_merges_idle_partitions() {
+        let mut policy = crate::ScalingPolicy::default().with_scale_in(0.2);
+        policy.scale_in_reports = 2;
+        let config = RuntimeConfig {
+            scaling_policy: policy,
+            ..RuntimeConfig::default()
+        };
+        let mut h = word_count_harness(config);
+        h.runtime.set_auto_scale(true);
+        inject_sentence(&mut h, "warm up words");
+        h.runtime.drain();
+        let target = counter_instance(&h);
+        h.runtime.scale_out(target, 2).unwrap();
+        h.runtime.drain();
+        assert_eq!(h.runtime.parallelism(h.count), 2);
+        let vms_before = h.runtime.vm_count();
+
+        // No load: every report is far below the low watermark; after the
+        // required streak the control loop merges the two counter partitions.
+        for step in 1..=4u64 {
+            h.runtime.advance_to(step * 5_000);
+        }
+        assert_eq!(h.runtime.parallelism(h.count), 1, "idle partitions merged");
+        assert!(h.runtime.vm_count() < vms_before);
+        assert_eq!(h.runtime.metrics().scale_ins().len(), 1);
+        let record = &h.runtime.metrics().scale_ins()[0];
+        assert_eq!(record.logical, h.count);
+        assert_eq!(record.new_parallelism, 1);
     }
 
     #[test]

@@ -319,9 +319,10 @@ impl SimEngine {
 
         // Scaling decisions at every report interval.
         let mut scaled_out = false;
+        let mut scaled_in = false;
         if t > 0 && t.saturating_sub(self.last_report_s) >= self.config.policy.report_interval_s {
             self.last_report_s = t;
-            scaled_out = self.evaluate_policy(t);
+            (scaled_out, scaled_in) = self.evaluate_policy(t);
         }
 
         let p50 = latency_ms;
@@ -336,30 +337,47 @@ impl SimEngine {
             latency_p95_ms: p95,
             stage_parallelism: self.parallelism(),
             scaled_out,
+            scaled_in,
         }
     }
 
-    fn evaluate_policy(&mut self, t: u64) -> bool {
+    fn evaluate_policy(&mut self, t: u64) -> (bool, bool) {
         let interval_us = self.config.policy.report_interval_s as f64 * VM_BUDGET_US;
         let mut to_scale: Vec<usize> = Vec::new();
+        // Stages with at least two partitions under the low watermark for the
+        // full streak — the sim analogue of an adjacent idle sibling pair.
+        let mut to_merge: Vec<usize> = Vec::new();
         for (idx, stage) in self.stages.iter_mut().enumerate() {
             let spec = &self.config.query.stages[idx];
+            let mut low_triggered = 0usize;
             for (pidx, partition) in stage.partitions.iter_mut().enumerate() {
                 let utilization = (partition.busy_accum_us / interval_us).min(1.0);
                 partition.busy_accum_us = 0.0;
-                if spec.scalable
-                    && self
-                        .tracker
-                        .record(idx, pidx, utilization, &self.config.policy)
+                if !spec.scalable {
+                    continue;
+                }
+                if self
+                    .tracker
+                    .record(idx, pidx, utilization, &self.config.policy)
                     && !to_scale.contains(&idx)
                 {
                     to_scale.push(idx);
                 }
+                if self
+                    .tracker
+                    .record_low(idx, pidx, utilization, &self.config.policy)
+                {
+                    low_triggered += 1;
+                }
+            }
+            if low_triggered >= 2 && stage.partitions.len() >= 2 {
+                to_merge.push(idx);
             }
         }
         if !self.config.dynamic_scaling {
-            return false;
+            return (false, false);
         }
+        let scaled_in = self.merge_stages(&to_merge);
         let mut scaled = false;
         for idx in to_scale {
             if let Some(max) = self.config.max_vms {
@@ -401,7 +419,42 @@ impl SimEngine {
             stage.disruption_ms = state_penalty_ms + backlog_penalty_ms;
             scaled = true;
         }
-        scaled
+        (scaled, scaled_in)
+    }
+
+    /// Merge one partition away from each of `stages` (scale in): the
+    /// partition's queue is redistributed over the survivors and its VM goes
+    /// back to the spare pool, ready for the next scale out. Moving the
+    /// merged state disturbs latency like a scale out does, only shorter —
+    /// the merge happens off the critical path at the backup VM and only the
+    /// restore is visible.
+    fn merge_stages(&mut self, stages: &[usize]) -> bool {
+        let mut merged = false;
+        for &idx in stages {
+            let stage = &mut self.stages[idx];
+            if stage.partitions.len() < 2 {
+                continue;
+            }
+            let removed_idx = stage.partitions.len() - 1;
+            let removed = stage.partitions.pop().expect("checked length");
+            self.tracker.forget(idx, removed_idx);
+            let n = stage.partitions.len() as f64;
+            let total_queue = stage.total_queue() + removed.queue;
+            for partition in stage.partitions.iter_mut() {
+                partition.queue = total_queue / n;
+            }
+            self.pool_available += 1;
+            let spec = &self.config.query.stages[idx];
+            let state_penalty_ms = if spec.stateful {
+                250.0 + spec.state_bytes_per_k_keys as f64 / 2_000.0
+            } else {
+                75.0
+            };
+            stage.disruption_s = self.config.scale_out_disruption_s.div_ceil(2);
+            stage.disruption_ms = stage.disruption_ms.max(state_penalty_ms);
+            merged = true;
+        }
+        merged
     }
 
     /// Run the simulation for `duration_s` seconds with the offered rate
@@ -604,6 +657,46 @@ mod tests {
         // Stateless stages pay nothing regardless of backend.
         let fwd = mem.config().query.index_of("forwarder").unwrap();
         assert_eq!(file.stage_checkpoint_tax_us(fwd), 0.0);
+    }
+
+    #[test]
+    fn ramp_down_releases_vms_when_scale_in_enabled() {
+        let config = SimConfig {
+            policy: SimScalingPolicy::default().with_scale_in(0.2),
+            ..lrb_config()
+        };
+        let mut engine = SimEngine::new(config);
+        let pool_before = engine.pool_available();
+        // High load for 300 s (forces scale out), then a trickle for 300 s.
+        let trace = engine.run(600, |t| if t < 300 { 120_000.0 } else { 500.0 });
+        let summary = trace.summary();
+        assert!(summary.scale_out_actions > 0, "the ramp must scale out");
+        assert!(
+            summary.scale_in_actions > 0,
+            "idle partitions must be merged after the ramp down"
+        );
+        assert!(
+            summary.final_vms < summary.peak_vms,
+            "VMs released: {} final vs {} peak",
+            summary.final_vms,
+            summary.peak_vms
+        );
+        // Released VMs return to the spare pool, ready for the next burst.
+        assert!(engine.pool_available() > pool_before);
+        // Never below one partition per stage.
+        assert!(summary.final_parallelism.iter().all(|p| *p >= 1));
+    }
+
+    #[test]
+    fn scale_in_disabled_keeps_vms_after_ramp_down() {
+        let mut engine = SimEngine::new(lrb_config());
+        let trace = engine.run(600, |t| if t < 300 { 120_000.0 } else { 500.0 });
+        let summary = trace.summary();
+        assert_eq!(summary.scale_in_actions, 0);
+        assert_eq!(
+            summary.final_vms, summary.peak_vms,
+            "without scale in the deployment stays at its peak"
+        );
     }
 
     #[test]

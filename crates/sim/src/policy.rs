@@ -1,9 +1,16 @@
-//! The simulator's scaling policy (§5.1), mirroring the runtime's policy.
+//! The simulator's scaling policy (§5.1), mirroring the runtime's
+//! bidirectional policy.
 //!
 //! Every `report_interval_s` seconds each partition's CPU utilisation over
 //! the interval is reported; when `consecutive_reports` successive reports of
 //! a partition exceed `threshold`, the partition is declared a bottleneck and
-//! split in two (if a VM can be obtained from the pool).
+//! split in two (if a VM can be obtained from the pool). Symmetrically, when
+//! scale in is enabled and `scale_in_reports` successive reports of *two*
+//! partitions of a stage fall below `low_threshold`, the stage merges one
+//! partition away and the VM is returned — the paper's merge primitive
+//! (§3.3). The low watermark is clamped to half the scale-out threshold, so a
+//! merged partition (whose load is roughly the sum of the two) can never trip
+//! the bottleneck detector immediately: the policy cannot flap.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -17,6 +24,25 @@ pub struct SimScalingPolicy {
     pub consecutive_reports: usize,
     /// Report interval r in seconds.
     pub report_interval_s: u64,
+    /// Low-water utilisation threshold for scale in; clamped below
+    /// `threshold / 2` when applied. Ignored unless `scale_in` is set.
+    #[serde(default = "default_low_threshold")]
+    pub low_threshold: f64,
+    /// Consecutive reports below the low watermark required before a stage
+    /// gives a partition back.
+    #[serde(default = "default_scale_in_reports")]
+    pub scale_in_reports: usize,
+    /// Whether the policy may merge partitions and release VMs.
+    #[serde(default)]
+    pub scale_in: bool,
+}
+
+fn default_low_threshold() -> f64 {
+    0.20
+}
+
+fn default_scale_in_reports() -> usize {
+    3
 }
 
 impl Default for SimScalingPolicy {
@@ -25,6 +51,9 @@ impl Default for SimScalingPolicy {
             threshold: 0.70,
             consecutive_reports: 2,
             report_interval_s: 5,
+            low_threshold: default_low_threshold(),
+            scale_in_reports: default_scale_in_reports(),
+            scale_in: false,
         }
     }
 }
@@ -35,12 +64,28 @@ impl SimScalingPolicy {
         self.threshold = threshold;
         self
     }
+
+    /// Enable scale in with the given low-water threshold.
+    pub fn with_scale_in(mut self, low_threshold: f64) -> Self {
+        self.scale_in = true;
+        self.low_threshold = low_threshold;
+        self
+    }
+
+    /// The low watermark actually applied, clamped for hysteresis (merging
+    /// two partitions at most doubles utilisation, so `threshold / 2` is the
+    /// highest value that cannot cause an immediate re-split).
+    pub fn effective_low_threshold(&self) -> f64 {
+        self.low_threshold.min(self.threshold / 2.0)
+    }
 }
 
-/// Tracks consecutive above-threshold reports per partition.
+/// Tracks consecutive above-threshold and below-watermark reports per
+/// partition.
 #[derive(Debug, Default)]
 pub struct BottleneckTracker {
     streaks: HashMap<(usize, usize), usize>,
+    low_streaks: HashMap<(usize, usize), usize>,
 }
 
 impl BottleneckTracker {
@@ -73,9 +118,38 @@ impl BottleneckTracker {
         }
     }
 
-    /// Forget a partition's streak (after it was replaced by a scale out).
+    /// Record the same report against the low watermark and return whether
+    /// the partition has now been under-utilised for `scale_in_reports`
+    /// consecutive reports. Always `false` when scale in is disabled.
+    pub fn record_low(
+        &mut self,
+        stage: usize,
+        partition: usize,
+        utilization: f64,
+        policy: &SimScalingPolicy,
+    ) -> bool {
+        if !policy.scale_in {
+            return false;
+        }
+        let streak = self.low_streaks.entry((stage, partition)).or_insert(0);
+        if utilization < policy.effective_low_threshold() {
+            *streak += 1;
+        } else {
+            *streak = 0;
+        }
+        if *streak >= policy.scale_in_reports {
+            *streak = 0; // reset after triggering so merging is rate-limited
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Forget a partition's streaks (after it was replaced by a scale out or
+    /// merged away by a scale in).
     pub fn forget(&mut self, stage: usize, partition: usize) {
         self.streaks.remove(&(stage, partition));
+        self.low_streaks.remove(&(stage, partition));
     }
 }
 
@@ -115,5 +189,35 @@ mod tests {
             "forgotten streak restarts"
         );
         assert!(tracker.record(0, 1, 0.9, &policy));
+    }
+
+    #[test]
+    fn low_watermark_triggers_only_when_enabled() {
+        let off = SimScalingPolicy::default();
+        let mut tracker = BottleneckTracker::new();
+        for _ in 0..10 {
+            assert!(!tracker.record_low(0, 0, 0.01, &off));
+        }
+
+        let on = SimScalingPolicy::default().with_scale_in(0.2);
+        assert!(!tracker.record_low(0, 0, 0.05, &on));
+        assert!(!tracker.record_low(0, 0, 0.05, &on));
+        assert!(tracker.record_low(0, 0, 0.05, &on), "third low report");
+        // Streak resets after triggering.
+        assert!(!tracker.record_low(0, 0, 0.05, &on));
+        // A busy report resets the streak too.
+        assert!(!tracker.record_low(0, 1, 0.05, &on));
+        assert!(!tracker.record_low(0, 1, 0.9, &on));
+        assert!(!tracker.record_low(0, 1, 0.05, &on));
+        assert!(!tracker.record_low(0, 1, 0.05, &on));
+        assert!(tracker.record_low(0, 1, 0.05, &on));
+    }
+
+    #[test]
+    fn effective_low_threshold_is_clamped() {
+        let p = SimScalingPolicy::default().with_scale_in(0.6);
+        assert!((p.effective_low_threshold() - 0.35).abs() < 1e-9);
+        let q = SimScalingPolicy::default().with_scale_in(0.1);
+        assert!((q.effective_low_threshold() - 0.1).abs() < 1e-9);
     }
 }

@@ -24,6 +24,10 @@ pub struct SimRecord {
     pub stage_parallelism: Vec<usize>,
     /// Whether a scale-out action happened during this second.
     pub scaled_out: bool,
+    /// Whether a scale-in (partition merge) action happened during this
+    /// second.
+    #[serde(default)]
+    pub scaled_in: bool,
 }
 
 /// Aggregate summary of a simulation run.
@@ -43,6 +47,9 @@ pub struct SimSummary {
     pub total_dropped: f64,
     /// Number of scale-out actions performed.
     pub scale_out_actions: usize,
+    /// Number of scale-in (merge) actions performed.
+    #[serde(default)]
+    pub scale_in_actions: usize,
     /// Final parallelism per stage.
     pub final_parallelism: Vec<usize>,
 }
@@ -81,6 +88,7 @@ impl SimTrace {
                 peak_throughput: 0.0,
                 total_dropped: 0.0,
                 scale_out_actions: 0,
+                scale_in_actions: 0,
                 final_parallelism: Vec::new(),
             };
         }
@@ -101,6 +109,7 @@ impl SimTrace {
                 .fold(0.0, f64::max),
             total_dropped: self.records.iter().map(|r| r.dropped).sum(),
             scale_out_actions: self.records.iter().filter(|r| r.scaled_out).count(),
+            scale_in_actions: self.records.iter().filter(|r| r.scaled_in).count(),
             final_parallelism: last.stage_parallelism.clone(),
         }
     }
@@ -129,6 +138,7 @@ mod tests {
             latency_p95_ms: 500.0 + t as f64,
             stage_parallelism: vec![1, vms.saturating_sub(2), 1],
             scaled_out: scaled,
+            scaled_in: false,
         }
     }
 

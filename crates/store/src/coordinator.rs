@@ -214,6 +214,57 @@ impl BackupCoordinator {
             .partition_for_scale_out(operator, assignments)
     }
 
+    /// Merge the backed-up checkpoints of two adjacent partitions `a` and `b`
+    /// into a single checkpoint owned by `merged` — the scale-in counterpart
+    /// of [`partition_for_scale_out`](Self::partition_for_scale_out). When
+    /// both backups live on the same store the merge runs there, as the paper
+    /// would run it on the backup VM; otherwise the two checkpoints are
+    /// fetched from their respective backup stores and merged here. Fails
+    /// with [`Error::NoBackup`] when either partition has no backup yet (the
+    /// caller then checkpoints first or falls back to replay-only merge).
+    pub fn merge_for_scale_in(
+        &self,
+        merged: OperatorId,
+        a: (OperatorId, seep_core::KeyRange),
+        b: (OperatorId, seep_core::KeyRange),
+    ) -> Result<(Checkpoint, seep_core::KeyRange)> {
+        let backup_a = self.backup_of(a.0).ok_or(Error::NoBackup(a.0))?;
+        let backup_b = self.backup_of(b.0).ok_or(Error::NoBackup(b.0))?;
+        if backup_a == backup_b {
+            return self.store_of(backup_a)?.merge_for_scale_in(merged, a, b);
+        }
+        let cp_a = self.store_of(backup_a)?.latest(a.0)?;
+        let cp_b = self.store_of(backup_b)?.latest(b.0)?;
+        seep_core::merge::merge_checkpoints(merged, (cp_a, a.1), (cp_b, b.1))
+    }
+
+    /// Store the merged checkpoint as the initial backup of the surviving
+    /// operator and delete the two replaced partitions' backups — the
+    /// scale-in counterpart of [`store_partitioned`](Self::store_partitioned).
+    /// The old backups are removed only after the merged checkpoint is safely
+    /// stored, so a crash mid-way never leaves the system without any copy.
+    pub fn store_merged(
+        &self,
+        replaced: [OperatorId; 2],
+        upstreams: &[OperatorId],
+        merged: &Checkpoint,
+    ) -> Result<PutOutcome> {
+        let owner = merged.meta.operator;
+        let chosen = select_backup_operator(owner, upstreams)
+            .ok_or_else(|| Error::Invariant("no upstream for merged backup".into()))?;
+        let put = self.store_of(chosen)?.put(owner, merged.clone())?;
+        self.assignments.lock().insert(owner, chosen);
+        for old in replaced {
+            if let Some(backup) = self.backup_of(old) {
+                if let Ok(store) = self.store_of(backup) {
+                    store.delete(old);
+                }
+            }
+            self.clear_backup_of(old);
+        }
+        Ok(put)
+    }
+
     /// Store partitioned checkpoints as the initial backups of the new
     /// partitions (Algorithm 2, line 8) and drop the replaced operator's
     /// backup. Each partition's backup lands on the store chosen by the same
@@ -392,6 +443,81 @@ mod tests {
         assert_eq!(parts.len(), 2);
         let total: usize = parts.iter().map(|p| p.processing.len()).sum();
         assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn merge_for_scale_in_combines_backups_from_one_store() {
+        let coord = coordinator_with_stores(&[1]);
+        let ups = [OperatorId::new(1)];
+        let ranges = KeyRange::full().split_even(2).unwrap();
+        coord
+            .backup_state(OperatorId::new(10), &ups, checkpoint(10, 3))
+            .unwrap();
+        coord
+            .backup_state(OperatorId::new(11), &ups, checkpoint(11, 5))
+            .unwrap();
+        let (merged, range) = coord
+            .merge_for_scale_in(
+                OperatorId::new(20),
+                (OperatorId::new(10), ranges[0]),
+                (OperatorId::new(11), ranges[1]),
+            )
+            .unwrap();
+        assert_eq!(range, KeyRange::full());
+        assert_eq!(merged.meta.operator, OperatorId::new(20));
+        assert_eq!(merged.processing.len(), 2);
+
+        coord
+            .store_merged([OperatorId::new(10), OperatorId::new(11)], &ups, &merged)
+            .unwrap();
+        assert_eq!(
+            coord
+                .retrieve(OperatorId::new(20))
+                .unwrap()
+                .processing
+                .len(),
+            2
+        );
+        assert!(coord.retrieve(OperatorId::new(10)).is_err());
+        assert!(coord.retrieve(OperatorId::new(11)).is_err());
+        assert!(coord.backup_of(OperatorId::new(10)).is_none());
+    }
+
+    #[test]
+    fn merge_for_scale_in_spans_stores_and_requires_backups() {
+        let coord = coordinator_with_stores(&[1, 2]);
+        let ranges = KeyRange::full().split_even(2).unwrap();
+        // Pin the two partitions' backups to *different* stores.
+        coord
+            .backup_state(
+                OperatorId::new(10),
+                &[OperatorId::new(1)],
+                checkpoint(10, 1),
+            )
+            .unwrap();
+        let err = coord.merge_for_scale_in(
+            OperatorId::new(20),
+            (OperatorId::new(10), ranges[0]),
+            (OperatorId::new(11), ranges[1]),
+        );
+        assert!(matches!(err, Err(Error::NoBackup(_))), "11 has no backup");
+
+        coord
+            .backup_state(
+                OperatorId::new(11),
+                &[OperatorId::new(2)],
+                checkpoint(11, 2),
+            )
+            .unwrap();
+        let (merged, range) = coord
+            .merge_for_scale_in(
+                OperatorId::new(20),
+                (OperatorId::new(10), ranges[0]),
+                (OperatorId::new(11), ranges[1]),
+            )
+            .unwrap();
+        assert_eq!(range, KeyRange::full());
+        assert_eq!(merged.processing.len(), 2);
     }
 
     #[test]

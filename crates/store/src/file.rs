@@ -9,7 +9,7 @@
 //! +----------+-----------+------------------+
 //! ```
 //!
-//! The payload is a bincode-encoded [`LogRecord`]: a full checkpoint, an
+//! The payload is a bincode-encoded `LogRecord`: a full checkpoint, an
 //! incremental delta on top of the owner's current chain, or a tombstone.
 //! Restores read the owner's last full record from disk and re-apply its
 //! delta chain, so recovery I/O cost is actually paid and measurable.

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use seep_core::checkpoint::{Checkpoint, IncrementalCheckpoint};
 use seep_core::key::KeyRange;
+use seep_core::merge::merge_checkpoints;
 use seep_core::operator::OperatorId;
 use seep_core::primitives::partition_checkpoint;
 use seep_core::Result;
@@ -198,5 +199,25 @@ pub trait CheckpointStore: Send + Sync {
     ) -> Result<Vec<Checkpoint>> {
         let checkpoint = self.latest(owner)?;
         partition_checkpoint(&checkpoint, assignments)
+    }
+
+    /// Merge the stored latest checkpoints of two adjacent partitions into a
+    /// single checkpoint owned by `merged` — the scale-in counterpart of
+    /// [`partition_for_scale_out`](Self::partition_for_scale_out), run by the
+    /// backup VM that holds both copies (§3.3). Restoring through `latest`
+    /// means a `FileStore`/`TieredStore` owner backed up as a full record
+    /// plus a delta chain is materialised before merging, so the merged
+    /// checkpoint reflects every applied increment. The two old owners'
+    /// backups are left in place; the coordinator deletes them once the
+    /// merged checkpoint is safely stored.
+    fn merge_for_scale_in(
+        &self,
+        merged: OperatorId,
+        a: (OperatorId, KeyRange),
+        b: (OperatorId, KeyRange),
+    ) -> Result<(Checkpoint, KeyRange)> {
+        let cp_a = self.latest(a.0)?;
+        let cp_b = self.latest(b.0)?;
+        merge_checkpoints(merged, (cp_a, a.1), (cp_b, b.1))
     }
 }

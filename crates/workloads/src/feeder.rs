@@ -26,6 +26,22 @@ pub enum RateSchedule {
     /// A sequence of steps `(from_ms, rate)`; the rate of the last step whose
     /// `from_ms` is ≤ now applies.
     Steps(Vec<(u64, f64)>),
+    /// Ramp from `base` to `peak` over `ramp_up_ms`, hold the peak for
+    /// `plateau_ms`, then ramp back down to `base` over `ramp_down_ms` and
+    /// stay there — the load profile of the elasticity experiments, which
+    /// exercise scale out on the way up and scale in on the way down.
+    Trapezoid {
+        /// Rate before the ramp up and after the ramp down (tuples/s).
+        base: f64,
+        /// Rate during the plateau (tuples/s).
+        peak: f64,
+        /// Length of the rising edge in milliseconds.
+        ramp_up_ms: u64,
+        /// Length of the plateau in milliseconds.
+        plateau_ms: u64,
+        /// Length of the falling edge in milliseconds.
+        ramp_down_ms: u64,
+    },
 }
 
 impl RateSchedule {
@@ -50,6 +66,27 @@ impl RateSchedule {
                 .find(|(from, _)| *from <= now_ms)
                 .map(|(_, r)| *r)
                 .unwrap_or(0.0),
+            RateSchedule::Trapezoid {
+                base,
+                peak,
+                ramp_up_ms,
+                plateau_ms,
+                ramp_down_ms,
+            } => {
+                let up_end = *ramp_up_ms;
+                let plateau_end = up_end + plateau_ms;
+                let down_end = plateau_end + ramp_down_ms;
+                if now_ms < up_end {
+                    base + (peak - base) * now_ms as f64 / (*ramp_up_ms).max(1) as f64
+                } else if now_ms < plateau_end {
+                    *peak
+                } else if now_ms < down_end {
+                    let into = (now_ms - plateau_end) as f64;
+                    peak - (peak - base) * into / (*ramp_down_ms).max(1) as f64
+                } else {
+                    *base
+                }
+            }
         }
     }
 }
@@ -202,6 +239,24 @@ mod tests {
         assert!(feeder.due(1_000) > 0);
         assert_eq!(feeder.due(1_000), 0);
         assert_eq!(feeder.due(500), 0);
+    }
+
+    #[test]
+    fn trapezoid_ramps_up_holds_and_ramps_down() {
+        let profile = RateSchedule::Trapezoid {
+            base: 100.0,
+            peak: 1_100.0,
+            ramp_up_ms: 10_000,
+            plateau_ms: 20_000,
+            ramp_down_ms: 10_000,
+        };
+        assert_eq!(profile.rate_at(0), 100.0);
+        assert_eq!(profile.rate_at(5_000), 600.0);
+        assert_eq!(profile.rate_at(10_000), 1_100.0);
+        assert_eq!(profile.rate_at(25_000), 1_100.0);
+        assert_eq!(profile.rate_at(35_000), 600.0);
+        assert_eq!(profile.rate_at(40_000), 100.0);
+        assert_eq!(profile.rate_at(1_000_000), 100.0, "stays at base");
     }
 
     #[test]
