@@ -8,8 +8,10 @@ use seep_bench::print_table;
 use seep_bench::runtime_experiments::recovery_by_backend;
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (rate, warmup_s) = if smoke { (100, 5) } else { (500, 15) };
     let dir = std::env::temp_dir().join(format!("seep-store-backends-{}", std::process::id()));
-    let rows = recovery_by_backend(500, 15, &dir);
+    let rows = recovery_by_backend(rate, warmup_s, &dir);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -25,7 +27,10 @@ fn main() {
         })
         .collect();
     print_table(
-        "Checkpoint-store backends — word-frequency query, rate 500 tps, c=2s, fail+recover",
+        &format!(
+            "Checkpoint-store backends — word-frequency query, rate {rate} tps, c=2s, \
+             fail+recover"
+        ),
         &[
             "backend",
             "recovery_ms",

@@ -1,16 +1,19 @@
-//! Shared experiment harness: the windowed word-frequency query (word
-//! splitter → word counter, §6.2/§6.3) deployed on the threaded runtime, plus
-//! helpers for driving it at a given input rate and failing/recovering the
-//! stateful word counter.
+//! Shared experiment harnesses on the threaded runtime: the windowed
+//! word-frequency query (word splitter → word counter, §6.2/§6.3) driven at
+//! a given input rate with fail/recover helpers, and the Linear Road
+//! Benchmark pipeline fed by the (optionally expressway-skewed) LRB
+//! generator for the repartitioning experiments.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use seep_core::operator::OperatorFactory;
 use seep_core::{Key, LogicalOpId, OperatorId, QueryGraph, StatefulOperator};
+use seep_operators::lrb::{Forwarder, TollCalculator};
 use seep_operators::{WindowedWordCount, WordSplitter};
 use seep_runtime::{Runtime, RuntimeConfig};
 use seep_workloads::sentences::{SentenceConfig, SentenceGenerator};
+use seep_workloads::{LrbConfig, LrbGenerator};
 
 /// A deployed word-frequency query ready to be driven by an experiment.
 pub struct WordCountHarness {
@@ -165,9 +168,131 @@ impl WordCountHarness {
     }
 }
 
+/// The LRB pipeline (source → forwarder → toll calculator → sink) on the
+/// threaded runtime, fed by the synthetic generator. The forwarder re-keys
+/// position reports by segment, so the toll calculator's per-segment state
+/// carries the workload's key distribution — the harness for the
+/// skew-aware-repartitioning experiments.
+pub struct LrbSkewHarness {
+    /// The runtime hosting the query.
+    pub runtime: Runtime,
+    /// Logical id of the source.
+    pub source: LogicalOpId,
+    /// Logical id of the stateless forwarder.
+    pub forwarder: LogicalOpId,
+    /// Logical id of the stateful toll calculator.
+    pub calculator: LogicalOpId,
+    /// Logical id of the sink.
+    pub sink: LogicalOpId,
+    generator: LrbGenerator,
+    /// Next simulated second to feed.
+    t: u32,
+}
+
+impl LrbSkewHarness {
+    /// Deploy the pipeline with the given runtime and workload
+    /// configurations.
+    pub fn deploy(config: RuntimeConfig, workload: LrbConfig) -> Self {
+        let mut b = QueryGraph::builder();
+        let source = b.source("data_feeder");
+        let forwarder = b.stateless("forwarder");
+        let calculator = b.stateful("toll_calculator");
+        let sink = b.sink("sink");
+        b.connect(source, forwarder);
+        b.connect(forwarder, calculator);
+        b.connect(calculator, sink);
+        let query = b.build().expect("valid LRB query");
+
+        let mut factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> = HashMap::new();
+        factories.insert(
+            source,
+            Arc::new(|| -> Box<dyn StatefulOperator> {
+                Box::new(seep_core::StatelessFn::new(
+                    "feeder",
+                    |_, t: &seep_core::Tuple, out: &mut Vec<seep_core::OutputTuple>| {
+                        out.push(seep_core::OutputTuple::new(t.key, t.payload.clone()));
+                    },
+                ))
+            }) as Arc<dyn OperatorFactory>,
+        );
+        factories.insert(
+            forwarder,
+            Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(Forwarder::new()) })
+                as Arc<dyn OperatorFactory>,
+        );
+        factories.insert(
+            calculator,
+            Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(TollCalculator::new()) })
+                as Arc<dyn OperatorFactory>,
+        );
+        factories.insert(
+            sink,
+            Arc::new(|| -> Box<dyn StatefulOperator> {
+                Box::new(seep_core::StatelessFn::new(
+                    "lrb_sink",
+                    |_, _t: &seep_core::Tuple, _out: &mut Vec<seep_core::OutputTuple>| {},
+                ))
+            }) as Arc<dyn OperatorFactory>,
+        );
+
+        let mut runtime = Runtime::new(config);
+        runtime.deploy(query, factories).expect("deploy");
+        LrbSkewHarness {
+            runtime,
+            source,
+            forwarder,
+            calculator,
+            sink,
+            generator: LrbGenerator::new(workload),
+            t: 0,
+        }
+    }
+
+    /// Feed `seconds` of generator output, advancing virtual time one second
+    /// per batch and draining the pipeline after each.
+    pub fn run_for(&mut self, seconds: u64) {
+        for _ in 0..seconds {
+            let records = self.generator.generate_second(self.t);
+            for record in records {
+                let key = Key::from_u64((u64::from(record.time()) << 32) | u64::from(self.t));
+                let payload = bincode::serialize(&record).expect("serialise");
+                self.runtime.inject(self.source, key, payload);
+            }
+            self.t += 1;
+            self.runtime.advance_to(u64::from(self.t) * 1_000);
+            self.runtime.drain();
+        }
+    }
+
+    /// Tuples processed so far by each toll-calculator partition, in
+    /// partition order.
+    pub fn calculator_processed(&self) -> Vec<(OperatorId, u64)> {
+        self.runtime
+            .partitions(self.calculator)
+            .iter()
+            .map(|id| (*id, self.runtime.metrics().processed_by(*id)))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lrb_skew_harness_feeds_the_calculator() {
+        let workload = LrbConfig {
+            expressways: 2,
+            duration_secs: 40,
+            ..Default::default()
+        }
+        .with_skew(0.8, 8);
+        let mut h = LrbSkewHarness::deploy(RuntimeConfig::default(), workload);
+        h.run_for(6);
+        let processed = h.calculator_processed();
+        assert_eq!(processed.len(), 1);
+        assert!(processed[0].1 > 0, "toll calculator must see tuples");
+    }
 
     #[test]
     fn harness_runs_and_recovers() {

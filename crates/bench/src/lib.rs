@@ -18,6 +18,12 @@
 //! | Fig. 14 — checkpoint overhead vs state size | [`runtime_experiments::state_size_overhead`] |
 //! | Fig. 15 — latency / recovery-time trade-off | [`runtime_experiments::interval_tradeoff`] |
 //! | Elasticity — ramp up/down, scale out + scale in, VM cost | [`sim_experiments::elasticity`] |
+//! | Elasticity on the threaded runtime — wall-clock plan cost | [`runtime_experiments::runtime_elasticity`] |
+//! | Skew — even vs distribution split vs rebalance, LRB hot band | [`runtime_experiments::skew_experiment`] |
+//! | Skew at cluster scale — scale-out-only vs rebalance policy | [`sim_experiments::skew_rebalance_sim`] |
+//!
+//! Every figure bin accepts `--smoke` (where applicable) so CI can drive the
+//! experiment code end-to-end at tiny iteration counts.
 
 pub mod harness;
 pub mod runtime_experiments;

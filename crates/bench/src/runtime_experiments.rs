@@ -11,9 +11,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use seep_runtime::{RecoveryStrategy, RuntimeConfig};
+use seep_runtime::{RecoveryStrategy, RuntimeConfig, ScalingPolicy, SplitPolicy};
+use seep_workloads::LrbConfig;
 
-use crate::harness::WordCountHarness;
+use crate::harness::{LrbSkewHarness, WordCountHarness};
 
 /// Default warm-up length before the failure is injected: one 30 s window,
 /// as in §6.2.
@@ -367,6 +368,246 @@ pub fn recovery_by_backend(
     ]
 }
 
+/// One leg of the skew-aware-repartitioning experiment: the LRB pipeline
+/// under expressway skew, with the toll calculator split two ways by the
+/// given strategy, measured after the reconfiguration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkewMeasurement {
+    /// Split strategy label ("even", "distribution", "rebalance").
+    pub split: String,
+    /// Tuples processed by each toll-calculator partition during the
+    /// measurement window, in partition order.
+    pub partition_tuples: Vec<u64>,
+    /// Per-partition tuple imbalance: hottest partition's tuple count over
+    /// the ideal equal share (1.0 = perfectly balanced).
+    pub tuple_imbalance: f64,
+    /// Imbalance the plan predicted from its checkpoint sample when it chose
+    /// the split (0.0 when no sample was taken).
+    pub predicted_imbalance: f64,
+    /// 99th-percentile end-to-end latency (ms) over the measurement window.
+    pub latency_p99_ms: f64,
+    /// Reconfigurations taken (scale outs + rebalances).
+    pub reconfigurations: usize,
+    /// Wall-clock cost of the last reconfiguration (µs), from its plan
+    /// timing.
+    pub reconfig_us: u64,
+}
+
+fn tuple_imbalance(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 1.0;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let ideal = total as f64 / counts.len() as f64;
+    counts.iter().copied().max().unwrap_or(0) as f64 / ideal
+}
+
+/// The skewed LRB workload the experiment feeds: `l` expressways with 80 %
+/// of the vehicles on expressway 0's first 8 inbound segments.
+fn skewed_workload(l: u16, duration_s: u64) -> LrbConfig {
+    LrbConfig {
+        expressways: l,
+        duration_secs: duration_s as u32,
+        ..Default::default()
+    }
+    .with_skew(0.8, 8)
+}
+
+fn measure_skew_leg(
+    label: &str,
+    split: SplitPolicy,
+    rebalance: bool,
+    l: u16,
+    warmup_s: u64,
+    measure_s: u64,
+) -> SkewMeasurement {
+    let config = RuntimeConfig::default().with_split(split);
+    let total_s = warmup_s + measure_s + if rebalance { warmup_s } else { 0 };
+    let mut h = LrbSkewHarness::deploy(config, skewed_workload(l, total_s));
+    // Warm up past at least one checkpoint so the split samples real state.
+    h.run_for(warmup_s.max(6));
+    let target = h.runtime.partitions(h.calculator)[0];
+    h.runtime.scale_out(target, 2).expect("scale out");
+    h.runtime.drain();
+    if rebalance {
+        // Let the even split's skew manifest, then repartition in place.
+        h.run_for(warmup_s.max(3));
+        let parts = h.runtime.partitions(h.calculator);
+        h.runtime.rebalance(parts[0], parts[1]).expect("rebalance");
+        h.runtime.drain();
+    }
+    h.runtime.metrics().reset_latencies();
+    let before: Vec<(seep_core::OperatorId, u64)> = h.calculator_processed();
+    h.run_for(measure_s);
+    let after = h.calculator_processed();
+    let partition_tuples: Vec<u64> = after
+        .iter()
+        .map(|(id, n)| {
+            let base = before
+                .iter()
+                .find(|(bid, _)| bid == id)
+                .map(|(_, b)| *b)
+                .unwrap_or(0);
+            n - base
+        })
+        .collect();
+    let metrics = h.runtime.metrics();
+    let (reconfigurations, last_timing) = {
+        let outs = metrics.scale_outs();
+        let rebs = metrics.rebalances();
+        let timing = rebs
+            .last()
+            .map(|r| r.timing)
+            .or_else(|| outs.last().map(|r| r.timing))
+            .unwrap_or_default();
+        (outs.len() + rebs.len(), timing)
+    };
+    SkewMeasurement {
+        split: label.to_string(),
+        tuple_imbalance: tuple_imbalance(&partition_tuples),
+        partition_tuples,
+        predicted_imbalance: last_timing.post_split_imbalance,
+        latency_p99_ms: metrics.latency_percentile_ms(99.0),
+        reconfigurations,
+        reconfig_us: last_timing.total_us,
+    }
+}
+
+/// The skew experiment: split the toll calculator of an expressway-skewed
+/// LRB run two ways — evenly (the seed behaviour), distribution-guided at
+/// split time, and even-then-rebalanced — and compare per-partition tuple
+/// imbalance, tail latency and reconfiguration cost.
+pub fn skew_experiment(l: u16, warmup_s: u64, measure_s: u64) -> Vec<SkewMeasurement> {
+    vec![
+        measure_skew_leg("even", SplitPolicy::Even, false, l, warmup_s, measure_s),
+        measure_skew_leg(
+            "distribution",
+            SplitPolicy::skew_aware(),
+            false,
+            l,
+            warmup_s,
+            measure_s,
+        ),
+        measure_skew_leg("rebalance", SplitPolicy::Even, true, l, warmup_s, measure_s),
+    ]
+}
+
+/// One phase of the threaded-runtime elasticity run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeElasticityPhase {
+    /// Phase label ("ramp-up", "plateau", "ramp-down", "tail").
+    pub phase: String,
+    /// VMs running at the end of the phase.
+    pub end_vms: usize,
+    /// Partitions of the stateful word counter at the end of the phase.
+    pub end_parallelism: usize,
+}
+
+/// Result of driving the *threaded* runtime (not the simulator) through a
+/// trapezoid load profile with the bidirectional scaling policy — the
+/// wall-clock counterpart to `sim_experiments::elasticity`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeElasticityResult {
+    /// Per-phase VM counts.
+    pub phases: Vec<RuntimeElasticityPhase>,
+    /// Scale-out actions taken.
+    pub scale_outs: usize,
+    /// Scale-in actions taken.
+    pub scale_ins: usize,
+    /// Mean wall-clock cost of a scale-out reconfiguration (µs), from the
+    /// plans' phase timings.
+    pub mean_scale_out_us: f64,
+    /// Mean wall-clock cost of a scale-in reconfiguration (µs).
+    pub mean_scale_in_us: f64,
+    /// Peak VM count over the run.
+    pub peak_vms: usize,
+    /// VM count at the end of the run.
+    pub final_vms: usize,
+}
+
+/// Drive the threaded runtime's word-count query through a trapezoid rate
+/// profile with auto-scaling in both directions, and report the wall-clock
+/// reconfiguration costs measured by the plan executor. The utilisation
+/// threshold is calibrated to wall-clock busy time per virtual second
+/// (`threshold` ≈ the busy fraction a partition reaches at the peak rate on
+/// the host machine), since the runtime measures real CPU cost against
+/// virtual time.
+pub fn runtime_elasticity(
+    ramp_up_s: u64,
+    plateau_s: u64,
+    ramp_down_s: u64,
+    tail_s: u64,
+    base_rate: u64,
+    peak_rate: u64,
+    threshold: f64,
+) -> RuntimeElasticityResult {
+    use seep_workloads::RateSchedule;
+
+    let mut policy = ScalingPolicy::default()
+        .with_threshold(threshold)
+        .with_scale_in(threshold / 2.5);
+    policy.report_interval_ms = 1_000;
+    policy.scale_in_reports = 3;
+    let config = RuntimeConfig {
+        scaling_policy: policy,
+        ..RuntimeConfig::default()
+    };
+    let mut h = WordCountHarness::deploy(config, 5_000, 0);
+    h.runtime.set_auto_scale(true);
+
+    let profile = RateSchedule::Trapezoid {
+        base: base_rate as f64,
+        peak: peak_rate as f64,
+        ramp_up_ms: ramp_up_s * 1_000,
+        plateau_ms: plateau_s * 1_000,
+        ramp_down_ms: ramp_down_s * 1_000,
+    };
+    let mut peak_vms = h.runtime.vm_count();
+    let mut phases = Vec::new();
+    let bounds = [
+        ("ramp-up", ramp_up_s),
+        ("plateau", plateau_s),
+        ("ramp-down", ramp_down_s),
+        ("tail", tail_s),
+    ];
+    let mut elapsed = 0u64;
+    for (label, len_s) in bounds {
+        for _ in 0..len_s {
+            let rate = profile.rate_at(elapsed * 1_000).round() as u64;
+            h.run_for(1, rate);
+            elapsed += 1;
+            peak_vms = peak_vms.max(h.runtime.vm_count());
+        }
+        phases.push(RuntimeElasticityPhase {
+            phase: label.to_string(),
+            end_vms: h.runtime.vm_count(),
+            end_parallelism: h.runtime.parallelism(h.counter),
+        });
+    }
+    let metrics = h.runtime.metrics();
+    let outs = metrics.scale_outs();
+    let ins = metrics.scale_ins();
+    let mean = |us: Vec<u64>| {
+        if us.is_empty() {
+            0.0
+        } else {
+            us.iter().sum::<u64>() as f64 / us.len() as f64
+        }
+    };
+    RuntimeElasticityResult {
+        phases,
+        scale_outs: outs.len(),
+        scale_ins: ins.len(),
+        mean_scale_out_us: mean(outs.iter().map(|r| r.timing.total_us).collect()),
+        mean_scale_in_us: mean(ins.iter().map(|r| r.timing.total_us).collect()),
+        peak_vms,
+        final_vms: h.runtime.vm_count(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +664,59 @@ mod tests {
         let rows = interval_tradeoff(&[2, 8], 100, 4);
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.recovery_ms >= 0.0));
+    }
+
+    #[test]
+    fn skew_experiment_distribution_and_rebalance_beat_even_split() {
+        let rows = skew_experiment(2, 8, 8);
+        assert_eq!(rows.len(), 3);
+        let even = rows.iter().find(|r| r.split == "even").unwrap();
+        let dist = rows.iter().find(|r| r.split == "distribution").unwrap();
+        let reb = rows.iter().find(|r| r.split == "rebalance").unwrap();
+        assert_eq!(even.partition_tuples.len(), 2);
+        assert!(even.partition_tuples.iter().sum::<u64>() > 0);
+        assert!(
+            even.tuple_imbalance > 1.15,
+            "the expressway skew must show up under an even split ({})",
+            even.tuple_imbalance
+        );
+        assert!(
+            dist.tuple_imbalance < even.tuple_imbalance,
+            "distribution split must cut the imbalance ({} vs {})",
+            dist.tuple_imbalance,
+            even.tuple_imbalance
+        );
+        assert!(
+            reb.tuple_imbalance < even.tuple_imbalance,
+            "rebalancing must cut the imbalance ({} vs {})",
+            reb.tuple_imbalance,
+            even.tuple_imbalance
+        );
+        // The distribution leg actually sampled the checkpoint and measured
+        // per-phase costs; the rebalance leg took one extra reconfiguration.
+        assert!(dist.predicted_imbalance > 0.0);
+        assert!(dist.reconfig_us > 0);
+        assert_eq!(even.reconfigurations, 1);
+        assert_eq!(reb.reconfigurations, 2);
+    }
+
+    #[test]
+    fn runtime_elasticity_scales_both_ways_and_times_the_plans() {
+        // The utilisation threshold is calibrated to wall-clock busy time
+        // per virtual second: tiny, so the ~1000 tuples/s peak reliably
+        // crosses it on any machine while the ~1 tuple/s tail sits far
+        // below the (clamped) low watermark.
+        let result = runtime_elasticity(6, 4, 6, 10, 1, 1_000, 0.001);
+        assert!(result.scale_outs > 0, "the ramp up must scale out");
+        assert!(result.scale_ins > 0, "the idle tail must scale in");
+        assert!(result.peak_vms > result.final_vms, "VMs handed back");
+        assert!(result.mean_scale_out_us > 0.0);
+        assert!(result.mean_scale_in_us > 0.0);
+        assert_eq!(result.phases.len(), 4);
+        let plateau = &result.phases[1];
+        let tail = &result.phases[3];
+        assert!(plateau.end_parallelism > 1, "plateau runs partitioned");
+        assert!(tail.end_parallelism < plateau.end_parallelism);
     }
 
     #[test]

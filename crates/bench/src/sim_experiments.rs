@@ -215,6 +215,64 @@ pub fn manual_vs_dynamic(duration_s: u64, l: u16, manual_vms: &[usize]) -> Vec<A
     rows
 }
 
+/// One row of the simulated skew comparison: the same skewed LRB run under
+/// a scale-out-only policy vs the rebalance-aware one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkewSimRow {
+    /// "scale-out-only" or "rebalance".
+    pub mode: String,
+    /// Operator VMs at the end of the run.
+    pub vms: usize,
+    /// Scale-out actions taken.
+    pub scale_outs: usize,
+    /// Rebalance actions taken.
+    pub rebalances: usize,
+    /// 95th-percentile latency (ms).
+    pub latency_p95_ms: f64,
+}
+
+/// The simulator's projection of the skew experiment: a constant-rate LRB
+/// run with `hot_fraction` of the traffic pinned to one partition's key
+/// range, under the plain policy (which can only split, never move hot keys)
+/// and under the rebalance-aware policy (which re-draws the boundary once,
+/// for free).
+pub fn skew_rebalance_sim(duration_s: u64, rate: f64, hot_fraction: f64) -> Vec<SkewSimRow> {
+    let run = |rebalance: bool| {
+        let policy = if rebalance {
+            SimScalingPolicy::default().with_rebalance()
+        } else {
+            SimScalingPolicy::default()
+        };
+        let mut engine = SimEngine::new(SimConfig {
+            query: lrb_query(),
+            policy,
+            hot_fraction,
+            vm_pool_size: 6,
+            provisioning_delay_s: 60,
+            ..SimConfig::default()
+        });
+        engine.run(duration_s, |_| rate).summary()
+    };
+    let plain = run(false);
+    let balanced = run(true);
+    vec![
+        SkewSimRow {
+            mode: "scale-out-only".into(),
+            vms: plain.final_vms,
+            scale_outs: plain.scale_out_actions,
+            rebalances: plain.rebalance_actions,
+            latency_p95_ms: plain.latency_p95_ms,
+        },
+        SkewSimRow {
+            mode: "rebalance".into(),
+            vms: balanced.final_vms,
+            scale_outs: balanced.scale_out_actions,
+            rebalances: balanced.rebalance_actions,
+            latency_p95_ms: balanced.latency_p95_ms,
+        },
+    ]
+}
+
 /// One phase of the elasticity experiment (ramp up / plateau / ramp down /
 /// tail), aggregated from the per-second trace.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -388,6 +446,15 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[2].mode, "dynamic");
         assert!(rows.iter().all(|r| r.vms > 0));
+    }
+
+    #[test]
+    fn skew_sim_saves_vms_with_rebalancing() {
+        let rows = skew_rebalance_sim(400, 30_000.0, 0.6);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].rebalances, 0);
+        assert!(rows[1].rebalances > 0);
+        assert!(rows[1].vms < rows[0].vms, "{rows:?}");
     }
 
     #[test]

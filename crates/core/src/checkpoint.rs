@@ -93,6 +93,18 @@ impl Checkpoint {
         self.processing.size_bytes() + self.buffer.size_bytes()
     }
 
+    /// A load-weighted sample of at most `max` keys from the checkpointed
+    /// processing state, for distribution-guided key splits during
+    /// reconfiguration: hot keys (larger state footprint) are repeated in
+    /// proportion to their share of the state bytes, so
+    /// [`KeyRange::split_by_distribution`] balances load rather than
+    /// distinct-key counts.
+    ///
+    /// [`KeyRange::split_by_distribution`]: crate::key::KeyRange::split_by_distribution
+    pub fn sample_keys(&self, max: usize) -> Vec<Key> {
+        self.processing.weighted_key_sample(max)
+    }
+
     /// Apply an incremental checkpoint on top of this checkpoint, producing
     /// the state the increment was derived from.
     pub fn apply_increment(&mut self, inc: &IncrementalCheckpoint) {
@@ -193,6 +205,22 @@ mod tests {
         assert!(cp.processing.is_empty());
         assert!(cp.buffer.is_empty());
         assert_eq!(cp.meta.sequence, 0);
+    }
+
+    #[test]
+    fn sample_keys_reflects_state_weights() {
+        let mut st = ProcessingState::empty();
+        st.insert(Key(10), vec![0u8; 400]);
+        st.insert(Key(20), vec![0u8; 40]);
+        let cp = Checkpoint::new(OperatorId::new(1), 1, st, BufferState::new());
+        let sample = cp.sample_keys(50);
+        assert!(!sample.is_empty() && sample.len() <= 50);
+        let hot = sample.iter().filter(|k| **k == Key(10)).count();
+        let cold = sample.iter().filter(|k| **k == Key(20)).count();
+        assert!(hot > cold, "hot key must dominate the sample");
+        assert!(Checkpoint::empty(OperatorId::new(2))
+            .sample_keys(10)
+            .is_empty());
     }
 
     #[test]

@@ -105,8 +105,17 @@ impl KeyRange {
     /// keys (distribution-guided split, §3.2 "the key distribution can be used
     /// to guide the split").
     ///
-    /// Keys outside the range are ignored. Falls back to [`split_even`] when
-    /// the sample is too small to provide `parts` distinct boundaries.
+    /// The sample is treated as a **multiset**: a key that appears several
+    /// times pulls the boundaries towards itself proportionally, so samples
+    /// weighted by per-key load (e.g. [`crate::Checkpoint::sample_keys`],
+    /// which repeats keys in proportion to their state footprint) produce an
+    /// equi-*load* split rather than an equi-*key* split.
+    ///
+    /// Keys outside the range are ignored. Degenerate samples never error:
+    /// an empty sample, an all-duplicates sample, or one with fewer distinct
+    /// in-range keys than `parts` degrades to [`split_even`], as does any
+    /// sample whose quantiles cannot supply `parts − 1` distinct boundaries
+    /// above `lo`.
     ///
     /// [`split_even`]: KeyRange::split_even
     pub fn split_by_distribution(&self, parts: usize, sample: &[Key]) -> Result<Vec<KeyRange>> {
@@ -122,18 +131,42 @@ impl KeyRange {
             .map(|k| k.0)
             .collect();
         keys.sort_unstable();
-        keys.dedup();
-        if keys.len() < parts {
+        // Collapse the multiset into distinct keys with their multiplicity
+        // and the cumulative mass strictly below each. A sample with fewer
+        // distinct keys than parts (empty and all-duplicates included)
+        // cannot yield `parts` distinct sub-ranges.
+        let mut distinct: Vec<(u64, usize)> = Vec::new(); // (key, mass below it)
+        for (below, &k) in keys.iter().enumerate() {
+            match distinct.last() {
+                Some((last, _)) if *last == k => {}
+                _ => distinct.push((k, below)),
+            }
+        }
+        if distinct.len() < parts {
             return self.split_even(parts);
         }
-        // Pick boundaries at equi-depth quantiles of the sample.
+        // Pick boundaries at equi-depth quantiles of the weighted sample. A
+        // boundary must fall *between* distinct keys (a boundary inside a hot
+        // key's run would dump the whole run on one side), so for each
+        // quantile target the candidate whose below-mass is closest to it is
+        // chosen, keeping candidates strictly increasing.
+        let total = keys.len();
         let mut boundaries = Vec::with_capacity(parts - 1);
+        let mut j = 1usize; // boundary = distinct[j].0; distinct[j].1 mass below
         for i in 1..parts {
-            let idx = i * keys.len() / parts;
-            boundaries.push(keys[idx]);
+            if j >= distinct.len() {
+                break;
+            }
+            let target = i * total / parts;
+            while j + 1 < distinct.len()
+                && distinct[j + 1].1.abs_diff(target) < distinct[j].1.abs_diff(target)
+            {
+                j += 1;
+            }
+            boundaries.push(distinct[j].0);
+            j += 1;
         }
-        boundaries.dedup();
-        if boundaries.len() < parts - 1 || boundaries[0] <= self.lo {
+        if boundaries.len() < parts - 1 {
             return self.split_even(parts);
         }
         let mut out = Vec::with_capacity(parts);
@@ -145,6 +178,33 @@ impl KeyRange {
         out.push(KeyRange::new(lo, self.hi));
         Ok(out)
     }
+}
+
+/// Load imbalance of `ranges` over a sampled key population: the largest
+/// per-range share of the sample divided by the ideal equal share
+/// (`1.0` = perfectly balanced, `parts as f64` = everything on one range).
+///
+/// The sample is a multiset, so weighting keys by load (repeating hot keys)
+/// measures load imbalance rather than distinct-key imbalance. Returns `1.0`
+/// for an empty sample or empty range list, so callers comparing against a
+/// skew threshold treat "no information" as "balanced".
+pub fn sample_imbalance(ranges: &[KeyRange], sample: &[Key]) -> f64 {
+    if ranges.is_empty() || sample.is_empty() {
+        return 1.0;
+    }
+    let mut counts = vec![0usize; ranges.len()];
+    let mut total = 0usize;
+    for key in sample {
+        if let Some(idx) = ranges.iter().position(|r| r.contains(*key)) {
+            counts[idx] += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    let ideal = total as f64 / ranges.len() as f64;
+    counts.into_iter().max().unwrap_or(0) as f64 / ideal
 }
 
 impl std::fmt::Display for KeyRange {
@@ -267,6 +327,68 @@ mod tests {
     }
 
     #[test]
+    fn distribution_split_degrades_on_degenerate_samples() {
+        let r = KeyRange::new(0, 999);
+        let even = r.split_even(4).unwrap();
+        // Empty sample.
+        assert_eq!(r.split_by_distribution(4, &[]).unwrap(), even);
+        // All-duplicate sample (one distinct key, heavily repeated).
+        let dup = vec![Key(7); 500];
+        assert_eq!(r.split_by_distribution(4, &dup).unwrap(), even);
+        // Fewer distinct keys than parts, duplicates notwithstanding.
+        let mut few = vec![Key(1); 100];
+        few.extend(vec![Key(2); 100]);
+        few.extend(vec![Key(3); 100]);
+        assert_eq!(r.split_by_distribution(4, &few).unwrap(), even);
+        // A sample made entirely of out-of-range keys is as good as empty.
+        let outside = vec![Key(5_000), Key(6_000)];
+        assert_eq!(r.split_by_distribution(4, &outside).unwrap(), even);
+    }
+
+    #[test]
+    fn weighted_sample_pulls_boundaries_towards_hot_keys() {
+        // One key at 100 carries 45 % of the sampled load and the rest sits
+        // at 200..750: the even mid-point split dumps 75 % of the load on the
+        // lower half, while the weighted quantile puts the boundary right
+        // where the cumulative load crosses one half.
+        let r = KeyRange::new(0, 999);
+        let mut sample = vec![Key(100); 450];
+        for k in 200..750u64 {
+            sample.push(Key(k));
+        }
+        let split = r.split_by_distribution(2, &sample).unwrap();
+        assert_eq!(split.len(), 2);
+        let imb = sample_imbalance(&split, &sample);
+        let even_imb = sample_imbalance(&r.split_even(2).unwrap(), &sample);
+        assert!(
+            (even_imb - 1.5).abs() < 1e-9,
+            "even split imbalance {even_imb}"
+        );
+        assert!(
+            imb < 1.1,
+            "weighted split must be near-balanced ({imb} vs even {even_imb})"
+        );
+        // A boundary never lands inside a hot key's run: the hot key and the
+        // cold mass straddling the quantile stay separable.
+        assert!(split[0].contains(Key(100)) ^ split[1].contains(Key(100)));
+    }
+
+    #[test]
+    fn sample_imbalance_measures_share_of_hottest_range() {
+        let ranges = KeyRange::new(0, 99).split_even(2).unwrap();
+        // Perfect balance.
+        let balanced: Vec<Key> = (0..100).map(Key).collect();
+        assert!((sample_imbalance(&ranges, &balanced) - 1.0).abs() < 1e-9);
+        // Everything on the first range: imbalance = number of parts.
+        let hot: Vec<Key> = (0..50).map(Key).collect();
+        assert!((sample_imbalance(&ranges, &hot) - 2.0).abs() < 1e-9);
+        // Degenerate inputs read as balanced.
+        assert_eq!(sample_imbalance(&ranges, &[]), 1.0);
+        assert_eq!(sample_imbalance(&[], &balanced), 1.0);
+        assert_eq!(sample_imbalance(&ranges, &[Key(5_000)]), 1.0);
+    }
+
+    #[test]
     fn key_split_strategy_dispatch() {
         let r = KeyRange::new(0, 99);
         assert_eq!(KeySplit::Even.apply(&r, 2).unwrap().len(), 2);
@@ -309,6 +431,31 @@ mod tests {
             prop_assert_eq!(owners, 1);
             prop_assert_eq!(split[0].lo, 0);
             prop_assert_eq!(split.last().unwrap().hi, 9_999);
+        }
+
+        /// Heavily duplicated (weighted) samples — the shape real checkpoint
+        /// sampling produces — never make the split error or lose coverage,
+        /// whatever the duplication pattern.
+        #[test]
+        fn prop_weighted_samples_never_error(
+            distinct in proptest::collection::vec(0u64..1_000, 0..20),
+            copies in 1usize..50,
+            parts in 1usize..6,
+            probe in 0u64..1_000,
+        ) {
+            let range = KeyRange::new(0, 999);
+            let mut sample = Vec::new();
+            for (i, k) in distinct.iter().enumerate() {
+                // Vary the weight per key so quantiles land unevenly.
+                for _ in 0..(1 + (i * copies) % 50) {
+                    sample.push(Key(*k));
+                }
+            }
+            let split = range.split_by_distribution(parts, &sample).unwrap();
+            prop_assert_eq!(split.len(), parts);
+            let owners = split.iter().filter(|r| r.contains(Key(probe))).count();
+            prop_assert_eq!(owners, 1);
+            prop_assert!(sample_imbalance(&split, &sample) >= 1.0 - 1e-9);
         }
     }
 }

@@ -54,7 +54,7 @@ pub use clock::LogicalClock;
 pub use dedup::DuplicateFilter;
 pub use error::{Error, Result};
 pub use graph::{ExecutionGraph, LogicalOpId, OperatorKind, QueryGraph, QueryGraphBuilder};
-pub use key::{KeyRange, KeySplit};
+pub use key::{sample_imbalance, KeyRange, KeySplit};
 pub use operator::{OperatorId, OutputTuple, StatefulOperator, StatelessFn};
 pub use spill::{MemoryBudget, SpillPolicy, SpillStore};
 pub use state::{BufferState, ProcessingState, RoutingState};

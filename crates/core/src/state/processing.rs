@@ -91,6 +91,54 @@ impl ProcessingState {
         self.entries.keys().copied().collect()
     }
 
+    /// A load-weighted key sample of at most `max` entries for
+    /// distribution-guided splits ([`KeyRange::split_by_distribution`] treats
+    /// its sample as a multiset).
+    ///
+    /// Each key appears at least once and hot keys — those with a larger
+    /// state footprint, which in windowed operators tracks the traffic they
+    /// receive — are repeated in proportion to their share of the state
+    /// bytes **above the per-key minimum**: every serialised entry carries a
+    /// fixed encoding overhead that says nothing about load, and on states
+    /// with many barely-touched keys that common baseline would otherwise
+    /// drown out the hot keys' signal. When the state holds more distinct
+    /// keys than `max`, a uniform stride sub-sample of the distinct keys is
+    /// returned instead (per-key weighting is meaningless below one slot per
+    /// key).
+    ///
+    /// [`KeyRange::split_by_distribution`]: crate::key::KeyRange::split_by_distribution
+    pub fn weighted_key_sample(&self, max: usize) -> Vec<Key> {
+        if max == 0 || self.entries.is_empty() {
+            return Vec::new();
+        }
+        let distinct = self.entries.len();
+        if distinct >= max {
+            let stride = distinct.div_ceil(max);
+            return self
+                .entries
+                .keys()
+                .step_by(stride)
+                .copied()
+                .take(max)
+                .collect();
+        }
+        let baseline = self.entries.values().map(Bytes::len).min().unwrap_or(0);
+        let weight_of = |v: &Bytes| v.len() - baseline;
+        let total: usize = self.entries.values().map(weight_of).sum();
+        let spare = max - distinct;
+        let mut out = Vec::with_capacity(max);
+        for (key, value) in &self.entries {
+            // One guaranteed slot per key plus a share of the spare slots
+            // proportional to the key's differential state footprint.
+            let extra = (weight_of(value) * spare).checked_div(total).unwrap_or(0);
+            for _ in 0..=extra {
+                out.push(*key);
+            }
+        }
+        out.truncate(max);
+        out
+    }
+
     /// The timestamp vector τ_o of the most recent reflected input tuples.
     pub fn timestamps(&self) -> &TimestampVec {
         &self.ts
@@ -271,6 +319,36 @@ mod tests {
         let changed_keys: Vec<u64> = changed.iter().map(|(k, _)| k.0).collect();
         assert_eq!(changed_keys, vec![2, 4]);
         assert_eq!(removed, vec![Key(3)]);
+    }
+
+    #[test]
+    fn weighted_sample_repeats_hot_keys_and_respects_max() {
+        let mut st = ProcessingState::empty();
+        st.insert(Key(1), vec![0u8; 900]); // hot: ~90 % of the state bytes
+        st.insert(Key(2), vec![0u8; 50]);
+        st.insert(Key(3), vec![0u8; 50]);
+        let sample = st.weighted_key_sample(100);
+        assert!(sample.len() <= 100);
+        let hot = sample.iter().filter(|k| **k == Key(1)).count();
+        let cold = sample.iter().filter(|k| **k == Key(2)).count();
+        assert!(hot > cold * 5, "hot key under-sampled: {hot} vs {cold}");
+        // Every key appears at least once.
+        for k in [Key(1), Key(2), Key(3)] {
+            assert!(sample.contains(&k));
+        }
+        // More distinct keys than slots: stride sub-sample of distinct keys.
+        let mut wide = ProcessingState::empty();
+        for k in 0..1_000u64 {
+            wide.insert(Key(k), vec![0u8; 8]);
+        }
+        let sub = wide.weighted_key_sample(64);
+        assert!(sub.len() <= 64 && sub.len() >= 32);
+        let mut dedup = sub.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sub.len(), "stride sample has no duplicates");
+        // Degenerate inputs.
+        assert!(ProcessingState::empty().weighted_key_sample(10).is_empty());
+        assert!(st.weighted_key_sample(0).is_empty());
     }
 
     #[test]

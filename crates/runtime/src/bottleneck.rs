@@ -48,6 +48,14 @@ pub struct ScalingPolicy {
     /// release VMs. Off by default so experiments that only study scale out
     /// keep the original behaviour.
     pub scale_in: bool,
+    /// Whether the control loop may **rebalance** instead of scaling out:
+    /// when a partition is a bottleneck but its adjacent sibling is cold
+    /// enough that the pair's mean utilisation sits below δ, the skew is in
+    /// the key split rather than in aggregate demand, and the runtime
+    /// re-draws the boundary from the observed key distribution without
+    /// consuming a VM. Off by default.
+    #[serde(default)]
+    pub rebalance: bool,
 }
 
 impl Default for ScalingPolicy {
@@ -60,6 +68,7 @@ impl Default for ScalingPolicy {
             low_threshold: 0.20,
             scale_in_reports: 3,
             scale_in: false,
+            rebalance: false,
         }
     }
 }
@@ -76,6 +85,12 @@ impl ScalingPolicy {
     pub fn with_scale_in(mut self, low_threshold: f64) -> Self {
         self.scale_in = true;
         self.low_threshold = low_threshold;
+        self
+    }
+
+    /// Enable skew-driven rebalancing of hot/cold sibling pairs.
+    pub fn with_rebalance(mut self) -> Self {
+        self.rebalance = true;
         self
     }
 
@@ -166,6 +181,8 @@ mod tests {
         let p10 = p.with_threshold(0.10);
         assert!((p10.threshold - 0.10).abs() < 1e-9);
         assert!(!p.scale_in, "scale in is opt-in");
+        assert!(!p.rebalance, "rebalancing is opt-in");
+        assert!(p.with_rebalance().rebalance);
         assert!(p.low_threshold < p.threshold);
         assert!(p.scale_in_reports > p.consecutive_reports);
     }

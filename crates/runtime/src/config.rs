@@ -6,6 +6,7 @@ use seep_cloud::{ProviderConfig, VmPoolConfig};
 use seep_store::StoreConfig;
 
 use crate::bottleneck::ScalingPolicy;
+use crate::reconfig::SplitPolicy;
 use crate::recovery::RecoveryStrategy;
 
 /// Configuration of the SPS runtime.
@@ -39,6 +40,11 @@ pub struct RuntimeConfig {
     /// incremental.
     #[serde(default)]
     pub store: StoreConfig,
+    /// How reconfiguration plans split key ranges: evenly (the default and
+    /// the paper's behaviour) or distribution-guided from a load-weighted
+    /// checkpoint sample when the sampled imbalance exceeds a threshold.
+    #[serde(default)]
+    pub split: SplitPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -54,6 +60,7 @@ impl Default for RuntimeConfig {
             worker_batch: 512,
             latency_probe_at_stateful: false,
             store: StoreConfig::default(),
+            split: SplitPolicy::default(),
         }
     }
 }
@@ -76,6 +83,13 @@ impl RuntimeConfig {
         self.store = store;
         self
     }
+
+    /// A configuration using the given key-split policy for reconfiguration
+    /// plans.
+    pub fn with_split(mut self, split: SplitPolicy) -> Self {
+        self.split = split;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +104,14 @@ mod tests {
         assert!(c.channel_capacity > 1_000);
         assert_eq!(c.store.backend, seep_store::StoreBackendKind::Mem);
         assert!(!c.store.incremental);
+        // Seed behaviour: even splits unless skew-awareness is opted into.
+        assert_eq!(c.split, SplitPolicy::Even);
+    }
+
+    #[test]
+    fn split_policy_is_configurable() {
+        let c = RuntimeConfig::default().with_split(SplitPolicy::skew_aware());
+        assert!(matches!(c.split, SplitPolicy::SkewAware { .. }));
     }
 
     #[test]

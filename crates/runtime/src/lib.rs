@@ -26,15 +26,20 @@
 pub mod bottleneck;
 pub mod config;
 pub mod metrics;
+pub mod reconfig;
 pub mod recovery;
 pub mod runtime;
 pub mod worker;
 
 pub use bottleneck::{BottleneckDetector, ScalingPolicy};
 pub use config::RuntimeConfig;
-pub use metrics::{Metrics, MetricsSnapshot, ScaleInRecord, ScaleOutRecord, StoreIoRecord};
+pub use metrics::{
+    Metrics, MetricsSnapshot, RebalanceRecord, ReconfigTiming, ScaleInRecord, ScaleOutRecord,
+    SplitKind, StoreIoRecord,
+};
+pub use reconfig::{ReconfigKind, ReconfigPlan, SplitPolicy};
 pub use recovery::RecoveryStrategy;
-pub use runtime::{Runtime, ScaleInOutcome, ScaleOutOutcome};
+pub use runtime::{RebalanceOutcome, Runtime, ScaleInOutcome, ScaleOutOutcome};
 pub use worker::WorkerCore;
 
 // Re-exported so experiment drivers can configure the checkpoint-store

@@ -54,6 +54,62 @@ pub struct StoreIoRecord {
     pub restore_us: u64,
 }
 
+/// How the key range of a reconfigured operator was split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitKind {
+    /// No split took place (e.g. a merge, or a serial π=1 replacement).
+    #[default]
+    None,
+    /// Even key-space split (hash partitioning).
+    Even,
+    /// Distribution-guided split from a sampled checkpoint.
+    Distribution,
+}
+
+impl SplitKind {
+    /// Short label for experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SplitKind::None => "none",
+            SplitKind::Even => "even",
+            SplitKind::Distribution => "distribution",
+        }
+    }
+}
+
+/// Wall-clock cost of one reconfiguration, broken down by plan phase, plus
+/// the key-split decision the plan took. Shared by
+/// [`ScaleOutRecord`], [`ScaleInRecord`] and [`RecoveryRecord`] so benches
+/// read reconfiguration cost from the metrics registry instead of timing the
+/// runtime calls externally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigTiming {
+    /// Draining the reconfigured partitions' inbound queues (µs).
+    pub drain_us: u64,
+    /// Capturing state: checkpoints, backup retrieval, store-side merge (µs).
+    pub checkpoint_us: u64,
+    /// Rewriting the execution graph and choosing the key split (µs).
+    pub rewrite_us: u64,
+    /// Splitting or merging the captured checkpoint (µs).
+    pub transform_us: u64,
+    /// Creating workers and restoring state onto their VMs (µs).
+    pub restore_us: u64,
+    /// Storing the new partitions' initial backups and retiring the replaced
+    /// instances (µs).
+    pub commit_us: u64,
+    /// Updating routing and replaying buffered tuples (µs).
+    pub replay_us: u64,
+    /// End-to-end wall-clock cost of the reconfiguration (µs), excluding
+    /// catch-up processing.
+    pub total_us: u64,
+    /// How the key range was split.
+    pub split: SplitKind,
+    /// Post-split load imbalance over the sampled keys: largest per-partition
+    /// share divided by the ideal equal share (1.0 = perfectly balanced,
+    /// 0.0 = no sample was available).
+    pub post_split_imbalance: f64,
+}
+
 /// One recovery performed by the runtime.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecoveryRecord {
@@ -67,6 +123,10 @@ pub struct RecoveryRecord {
     pub replayed_tuples: usize,
     /// Strategy label ("R+SM", "UB", "SR").
     pub strategy: String,
+    /// Per-phase cost of the underlying reconfiguration plan (excluding the
+    /// catch-up processing included in `duration_ms`).
+    #[serde(default)]
+    pub timing: ReconfigTiming,
 }
 
 /// One scale-out action performed by the runtime.
@@ -80,6 +140,9 @@ pub struct ScaleOutRecord {
     pub at_ms: u64,
     /// Wall-clock cost of the reconfiguration (µs), excluding catch-up.
     pub duration_us: u64,
+    /// Per-phase cost and key-split decision of the plan.
+    #[serde(default)]
+    pub timing: ReconfigTiming,
 }
 
 /// One scale-in (operator merge) action performed by the runtime.
@@ -97,6 +160,29 @@ pub struct ScaleInRecord {
     /// Tuples replayed from the merged partitions' restored buffers and the
     /// upstream output buffers.
     pub replayed_tuples: usize,
+    /// Per-phase cost of the plan.
+    #[serde(default)]
+    pub timing: ReconfigTiming,
+}
+
+/// One rebalance (repartition-in-place) action performed by the runtime: a
+/// skewed pair of adjacent partitions had its shared key range re-split by
+/// the observed key distribution without adding or releasing a VM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceRecord {
+    /// The logical operator whose partitions were rebalanced.
+    pub logical: LogicalOpId,
+    /// Parallelism of the logical operator (unchanged by a rebalance).
+    pub parallelism: usize,
+    /// Virtual time of the action (ms).
+    pub at_ms: u64,
+    /// Wall-clock cost of the reconfiguration (µs), excluding catch-up.
+    pub duration_us: u64,
+    /// Tuples replayed from restored and upstream buffers.
+    pub replayed_tuples: usize,
+    /// Per-phase cost and key-split decision of the plan.
+    #[serde(default)]
+    pub timing: ReconfigTiming,
 }
 
 #[derive(Debug, Default)]
@@ -108,6 +194,7 @@ struct MetricsInner {
     recoveries: Vec<RecoveryRecord>,
     scale_outs: Vec<ScaleOutRecord>,
     scale_ins: Vec<ScaleInRecord>,
+    rebalances: Vec<RebalanceRecord>,
     dropped_sends: u64,
     store_io: HashMap<String, StoreIoRecord>,
 }
@@ -140,6 +227,9 @@ pub struct MetricsSnapshot {
     /// Number of scale-in (merge) actions performed.
     #[serde(default)]
     pub scale_ins: usize,
+    /// Number of rebalance (repartition-in-place) actions performed.
+    #[serde(default)]
+    pub rebalances: usize,
     /// Sends that failed because the destination was disconnected.
     pub dropped_sends: u64,
     /// Bytes written to checkpoint stores (all backends).
@@ -189,6 +279,11 @@ impl Metrics {
     /// Record a scale-in (merge) action.
     pub fn record_scale_in(&self, record: ScaleInRecord) {
         self.inner.lock().scale_ins.push(record);
+    }
+
+    /// Record a rebalance (repartition-in-place) action.
+    pub fn record_rebalance(&self, record: RebalanceRecord) {
+        self.inner.lock().rebalances.push(record);
     }
 
     /// Record a checkpoint write against the store backend `backend`.
@@ -278,6 +373,11 @@ impl Metrics {
         self.inner.lock().scale_ins.clone()
     }
 
+    /// All rebalance records so far.
+    pub fn rebalances(&self) -> Vec<RebalanceRecord> {
+        self.inner.lock().rebalances.clone()
+    }
+
     /// Clear latency samples (used between experiment phases so the measured
     /// percentiles cover only the phase of interest).
     pub fn reset_latencies(&self) {
@@ -297,6 +397,7 @@ impl Metrics {
             recoveries: inner.recoveries.len(),
             scale_outs: inner.scale_outs.len(),
             scale_ins: inner.scale_ins.len(),
+            rebalances: inner.rebalances.len(),
             dropped_sends: inner.dropped_sends,
             store_write_bytes: inner.store_io.values().map(|r| r.write_bytes).sum(),
             store_restore_bytes: inner.store_io.values().map(|r| r.restore_bytes).sum(),
@@ -373,12 +474,26 @@ mod tests {
             duration_ms: 12.5,
             replayed_tuples: 100,
             strategy: "R+SM".into(),
+            timing: ReconfigTiming::default(),
         });
+        let timing = ReconfigTiming {
+            drain_us: 1,
+            checkpoint_us: 2,
+            rewrite_us: 3,
+            transform_us: 4,
+            restore_us: 5,
+            commit_us: 6,
+            replay_us: 7,
+            total_us: 28,
+            split: SplitKind::Distribution,
+            post_split_imbalance: 1.1,
+        };
         m.record_scale_out(ScaleOutRecord {
             logical: LogicalOpId(2),
             new_parallelism: 2,
             at_ms: 6_000,
             duration_us: 900,
+            timing,
         });
         m.record_scale_in(ScaleInRecord {
             logical: LogicalOpId(2),
@@ -386,17 +501,31 @@ mod tests {
             at_ms: 60_000,
             duration_us: 700,
             replayed_tuples: 12,
+            timing: ReconfigTiming::default(),
+        });
+        m.record_rebalance(RebalanceRecord {
+            logical: LogicalOpId(2),
+            parallelism: 2,
+            at_ms: 70_000,
+            duration_us: 300,
+            replayed_tuples: 4,
+            timing,
         });
         assert_eq!(m.checkpoints().len(), 1);
         assert_eq!(m.recoveries().len(), 1);
         assert_eq!(m.scale_outs().len(), 1);
         assert_eq!(m.scale_ins().len(), 1);
         assert_eq!(m.scale_ins()[0].replayed_tuples, 12);
+        assert_eq!(m.rebalances().len(), 1);
+        assert_eq!(m.scale_outs()[0].timing.split, SplitKind::Distribution);
+        assert_eq!(m.scale_outs()[0].timing.split.label(), "distribution");
+        assert!(m.scale_outs()[0].timing.post_split_imbalance > 1.0);
         let snap = m.snapshot();
         assert_eq!(snap.checkpoints, 1);
         assert_eq!(snap.recoveries, 1);
         assert_eq!(snap.scale_outs, 1);
         assert_eq!(snap.scale_ins, 1);
+        assert_eq!(snap.rebalances, 1);
     }
 
     #[test]

@@ -1,0 +1,684 @@
+//! The reconfiguration-plan executor.
+//!
+//! One choreography serves every plan shape. The phases, in order:
+//!
+//! 1. **Resolve & validate** — nothing is touched if the plan is rejected.
+//! 2. **Drain & pause** — merge-shaped plans (scale in, rebalance) drain the
+//!    pair's inbound queues and pause it; a scale out leaves the (possibly
+//!    failed) target alone.
+//! 3. **Capture** — obtain the checkpoint to repartition: the backed-up copy
+//!    for scale out/recovery, or a store-side merge of the pair's fresh
+//!    checkpoints for scale in/rebalance. *Every fallible state acquisition
+//!    happens here, before the graph is rewritten*: a failure unpauses the
+//!    pair and rejects the plan with the runtime exactly as it was.
+//! 4. **Rewrite** — choose the key split (even or distribution-guided from a
+//!    load-weighted checkpoint sample) and rewrite the execution graph.
+//! 5. **Transform** — partition the captured checkpoint over the new ranges
+//!    (Algorithm 2; a merge is the 1-range special case).
+//! 6. **Restore** — create workers on their VMs (fresh from the pool for
+//!    scale out, reused for merge/rebalance) and install the state.
+//! 7. **Commit** — store the new partitions' initial backups, migrate
+//!    third-party backups living on reused VMs, retire the replaced
+//!    instances and release VMs.
+//! 8. **Replay** — new partitions replay their restored output buffers;
+//!    upstream operators re-route, migrate pending buffered tuples and
+//!    replay everything the captured state does not reflect. Downstream
+//!    duplicate filters discard re-deliveries.
+//!
+//! Per-phase wall-clock durations are recorded in
+//! [`ReconfigTiming`](crate::metrics::ReconfigTiming).
+
+use std::time::Instant;
+
+use seep_core::primitives::partition_checkpoint;
+use seep_core::{Checkpoint, Error, KeyRange, LogicalOpId, OperatorId, Result, TimestampVec};
+
+use crate::metrics::{ReconfigTiming, SplitKind};
+use crate::reconfig::plan::{ReconfigKind, ReconfigPlan, SplitDecision};
+use crate::runtime::Runtime;
+use crate::worker::WorkerCore;
+
+/// The result of executing a reconfiguration plan.
+#[derive(Debug, Clone)]
+pub struct ReconfigOutcome {
+    /// The logical operator that was reconfigured.
+    pub logical: LogicalOpId,
+    /// The new physical instances, in key-range order.
+    pub new_operators: Vec<OperatorId>,
+    /// Parallelism of the logical operator after the plan.
+    pub new_parallelism: usize,
+    /// Tuples replayed to bring the new instances up to date (for scale out
+    /// this counts upstream replays, matching the original accounting; merge
+    /// and rebalance also count the restored buffers they re-send).
+    pub replayed_tuples: usize,
+    /// The VM released back to the provider, if the plan shrank the
+    /// deployment.
+    pub released_vm: Option<seep_cloud::VmId>,
+    /// Per-phase wall-clock cost and the key-split decision taken.
+    pub timing: ReconfigTiming,
+}
+
+/// Stopwatch over the executor phases.
+struct PhaseTimer {
+    begun: Instant,
+    at: Instant,
+}
+
+impl PhaseTimer {
+    fn start() -> Self {
+        let now = Instant::now();
+        PhaseTimer {
+            begun: now,
+            at: now,
+        }
+    }
+
+    /// Microseconds since the previous lap.
+    fn lap(&mut self) -> u64 {
+        let us = self.at.elapsed().as_micros() as u64;
+        self.at = Instant::now();
+        us
+    }
+
+    fn total_us(&self) -> u64 {
+        self.begun.elapsed().as_micros() as u64
+    }
+}
+
+/// A validated plan: the instances it replaces and the per-shape flags the
+/// executor branches on.
+struct ResolvedPlan {
+    /// Instances being replaced. For merge shapes the first entry is the
+    /// survivor whose VM hosts (the first of) the new instances.
+    olds: Vec<OperatorId>,
+    /// `(instance, key range)` of each replaced instance, same order.
+    old_ranges: Vec<(OperatorId, KeyRange)>,
+    logical: LogicalOpId,
+    /// The key range the new instances must cover.
+    source_range: KeyRange,
+    /// Number of new instances.
+    parts: usize,
+    previous_parallelism: usize,
+    /// Scale out only: whether the target had already crash-stopped.
+    was_failed: bool,
+    /// Drain and pause the replaced instances before capturing state.
+    pause_olds: bool,
+    /// Propagate backup-store failures (seed scale-out semantics) instead of
+    /// treating the initial backup as best-effort.
+    strict_backup: bool,
+    /// Count the new instances' own restored-buffer replays in the outcome.
+    count_own_replays: bool,
+}
+
+impl Runtime {
+    /// Execute a reconfiguration plan. See the [module docs](self) for the
+    /// phase sequence and failure semantics.
+    pub(crate) fn execute_plan(&mut self, plan: &ReconfigPlan) -> Result<ReconfigOutcome> {
+        let mut timer = PhaseTimer::start();
+        let mut timing = ReconfigTiming::default();
+
+        // Phase 1: resolve & validate.
+        let resolved = self.resolve_plan(plan)?;
+
+        // Phase 2: drain & pause.
+        if resolved.pause_olds {
+            self.drain_inbound(&resolved.olds);
+            self.set_all_paused(&resolved.olds, true);
+        }
+        timing.drain_us = timer.lap();
+
+        // Phase 3: capture state (fail-before-rewrite: any error here leaves
+        // the runtime untouched apart from the checkpoints themselves).
+        let captured = match self.capture_state(plan, &resolved) {
+            Ok(checkpoint) => checkpoint,
+            Err(e) => return Err(self.abort_paused(&resolved, e)),
+        };
+        let reflected = captured.processing.timestamps().clone();
+        let emit_clock = captured.emit_clock;
+        timing.checkpoint_us = timer.lap();
+
+        // Phase 4: choose the split and rewrite the execution graph.
+        let decision = match self.choose_split(plan, &resolved, &captured) {
+            Ok(decision) => decision,
+            Err(e) => return Err(self.abort_paused(&resolved, e)),
+        };
+        timing.split = decision.kind;
+        timing.post_split_imbalance = decision.post_split_imbalance;
+        let new_instances =
+            match self
+                .graph_mut()
+                .repartition(resolved.logical, &resolved.olds, &decision.ranges)
+            {
+                Ok(instances) => instances,
+                Err(e) => return Err(self.abort_paused(&resolved, e)),
+            };
+        timing.rewrite_us = timer.lap();
+
+        // Phase 5: transform the captured checkpoint (Algorithm 2; a merge
+        // is the single-range case and keeps the whole state).
+        let assignments: Vec<(OperatorId, KeyRange)> =
+            new_instances.iter().map(|i| (i.id, i.key_range)).collect();
+        let mut parts = partition_checkpoint(&captured, &assignments)?;
+        // Carry the captured emit clock into the parts stored as initial
+        // backups: if a new instance's VM fails before its first periodic
+        // checkpoint, a serial recovery resets the shared logical clock from
+        // the backup, and a zero clock would make downstream duplicate
+        // filters discard genuinely new output.
+        for part in &mut parts {
+            part.emit_clock = emit_clock;
+        }
+        timing.transform_us = timer.lap();
+
+        // Phase 6: create the new workers on their VMs and restore state.
+        match plan.kind {
+            ReconfigKind::ScaleOut { .. } => {
+                for instance in &new_instances {
+                    self.create_worker(instance)?;
+                }
+            }
+            ReconfigKind::ScaleIn { .. } => {
+                // The merged operator takes over the survivor's VM.
+                let vm = self.vm_of_required(resolved.olds[0])?;
+                self.create_worker_on(&new_instances[0], vm)?;
+            }
+            ReconfigKind::Rebalance { .. } => {
+                // Both VMs are reused: the i-th new range lands on the VM of
+                // the i-th old range (both lists are in key order).
+                for (old, instance) in resolved.olds.iter().zip(&new_instances) {
+                    let vm = self.vm_of_required(*old)?;
+                    self.create_worker_on(instance, vm)?;
+                }
+            }
+        }
+        for (instance, part) in new_instances.iter().zip(parts.iter()) {
+            let worker = self.workers.get_mut(&instance.id).expect("just created");
+            worker.restore(part.clone());
+        }
+        // Reset the shared logical clock only when exactly one partition
+        // remains afterwards (a serial replacement or a merge to π=1), so no
+        // sibling is concurrently emitting on the same clock (§3.2).
+        if resolved.previous_parallelism + new_instances.len() == resolved.olds.len() + 1 {
+            if let Some(clock) = self.clocks.get(&resolved.logical) {
+                clock.reset_to(emit_clock);
+            }
+        }
+        timing.restore_us = timer.lap();
+
+        // Phase 7: commit — initial backups, third-party backup migration,
+        // retirement of the replaced instances, VM release.
+        let upstream_instances = self.graph().upstream_instances(new_instances[0].id)?;
+        if !upstream_instances.is_empty() {
+            match self
+                .backup
+                .store_repartitioned(&resolved.olds, &upstream_instances, &parts)
+            {
+                Ok(outcomes) => {
+                    if resolved.pause_olds {
+                        // Merge-shaped plans surface the store write in the
+                        // metrics (the merged copy goes through the backend).
+                        for put in outcomes {
+                            self.metrics.record_store_write(
+                                self.config.store.label(),
+                                put.bytes_written,
+                                put.write_us,
+                                false,
+                            );
+                        }
+                    }
+                }
+                Err(e) if resolved.strict_backup => return Err(e),
+                // Best effort otherwise: the state lives in the restored
+                // workers, the old backups stay in place (deleted only after
+                // a successful put) and the next periodic checkpoint
+                // re-establishes the backup.
+                Err(_) => {}
+            }
+        }
+        // VMs that survive under a new instance keep the backups *other*
+        // operators stored on them: move those over to the new instance's
+        // store instead of losing them with the bookkeeping.
+        let reused: Vec<(OperatorId, OperatorId)> = match plan.kind {
+            ReconfigKind::ScaleOut { .. } => Vec::new(),
+            ReconfigKind::ScaleIn { .. } => vec![(resolved.olds[0], new_instances[0].id)],
+            ReconfigKind::Rebalance { .. } => resolved
+                .olds
+                .iter()
+                .copied()
+                .zip(new_instances.iter().map(|i| i.id))
+                .collect(),
+        };
+        for (old, new) in &reused {
+            self.migrate_third_party_backups(&resolved.olds, *old, *new);
+        }
+        let released_vm = match plan.kind {
+            ReconfigKind::ScaleOut { target, .. } => {
+                // The replaced operator's VM goes back to the pool; a failed
+                // operator's VM is already gone.
+                if !resolved.was_failed {
+                    if let Some(vm) = self.vm_of.get(&target) {
+                        self.pool.release(*vm, self.now_ms);
+                    }
+                }
+                None
+            }
+            ReconfigKind::ScaleIn { victim, .. } => {
+                let vm = self.vm_of_required(victim)?;
+                self.pool.release(vm, self.now_ms);
+                Some(vm)
+            }
+            ReconfigKind::Rebalance { .. } => None,
+        };
+        self.retire_instances(&resolved.olds);
+        timing.commit_us = timer.lap();
+
+        // Phase 8: replay. First the new instances re-send their restored
+        // output buffers downstream, then the upstream operators re-route,
+        // migrate pending tuples and replay everything unreflected.
+        let replayed_own = self.replay_restored_buffers(resolved.logical, &new_instances);
+        let replayed_upstream = self.update_upstreams(
+            resolved.logical,
+            &resolved.olds,
+            &new_instances,
+            &upstream_instances,
+            &reflected,
+        )?;
+        timing.replay_us = timer.lap();
+        timing.total_us = timer.total_us();
+
+        let replayed_tuples = replayed_upstream
+            + if resolved.count_own_replays {
+                replayed_own
+            } else {
+                0
+            };
+        Ok(ReconfigOutcome {
+            logical: resolved.logical,
+            new_operators: new_instances.iter().map(|i| i.id).collect(),
+            new_parallelism: self.graph().parallelism(resolved.logical),
+            replayed_tuples,
+            released_vm,
+            timing,
+        })
+    }
+
+    /// Validate the plan against the current graph and workers without
+    /// touching anything.
+    fn resolve_plan(&self, plan: &ReconfigPlan) -> Result<ResolvedPlan> {
+        match plan.kind {
+            ReconfigKind::ScaleOut { target, partitions } => {
+                if partitions == 0 {
+                    return Err(Error::InvalidParallelism(0));
+                }
+                let inst = self.graph().instance(target)?.clone();
+                let was_failed = self
+                    .workers
+                    .get(&target)
+                    .map(WorkerCore::is_failed)
+                    .unwrap_or(true);
+                Ok(ResolvedPlan {
+                    olds: vec![target],
+                    old_ranges: vec![(target, inst.key_range)],
+                    logical: inst.logical,
+                    source_range: inst.key_range,
+                    parts: partitions,
+                    previous_parallelism: self.graph().parallelism(inst.logical),
+                    was_failed,
+                    pause_olds: false,
+                    strict_backup: true,
+                    count_own_replays: false,
+                })
+            }
+            ReconfigKind::ScaleIn { target, victim }
+            | ReconfigKind::Rebalance { target, victim } => {
+                if target == victim {
+                    return Err(Error::Invariant(
+                        "reconfiguring a pair needs two distinct partitions".into(),
+                    ));
+                }
+                let inst_t = self.graph().instance(target)?.clone();
+                let inst_v = self.graph().instance(victim)?.clone();
+                if inst_t.logical != inst_v.logical {
+                    return Err(Error::Invariant(format!(
+                        "cannot reconfigure partitions of different logical operators \
+                         ({} is {}, {} is {})",
+                        target, inst_t.logical, victim, inst_v.logical
+                    )));
+                }
+                for id in [target, victim] {
+                    if self
+                        .workers
+                        .get(&id)
+                        .map(WorkerCore::is_failed)
+                        .unwrap_or(true)
+                    {
+                        return Err(Error::Invariant(format!(
+                            "cannot reconfigure failed or unknown operator {id} \
+                             (recover it instead)"
+                        )));
+                    }
+                    self.vm_of_required(id)?;
+                }
+                // The pair must own a contiguous interval (the same adjacency
+                // rule merge_checkpoints enforces), checked up front so no
+                // state has been touched when the request is rejected.
+                let (lo, hi) = if inst_t.key_range.lo <= inst_v.key_range.lo {
+                    (inst_t.key_range, inst_v.key_range)
+                } else {
+                    (inst_v.key_range, inst_t.key_range)
+                };
+                if lo.hi == u64::MAX || lo.hi + 1 != hi.lo {
+                    return Err(Error::InvalidKeySplit(format!(
+                        "cannot reconfigure non-adjacent partitions {target} ({}) and \
+                         {victim} ({})",
+                        inst_t.key_range, inst_v.key_range
+                    )));
+                }
+                let rebalance = matches!(plan.kind, ReconfigKind::Rebalance { .. });
+                let olds = if rebalance {
+                    // Key order, so each new range reuses the VM that owned
+                    // that side of the key space.
+                    if inst_t.key_range.lo <= inst_v.key_range.lo {
+                        vec![target, victim]
+                    } else {
+                        vec![victim, target]
+                    }
+                } else {
+                    // The survivor (whose VM hosts the merged operator) first.
+                    vec![target, victim]
+                };
+                let old_ranges = olds
+                    .iter()
+                    .map(|id| {
+                        let inst = if *id == target { &inst_t } else { &inst_v };
+                        (*id, inst.key_range)
+                    })
+                    .collect();
+                Ok(ResolvedPlan {
+                    olds,
+                    old_ranges,
+                    logical: inst_t.logical,
+                    source_range: KeyRange::new(lo.lo, hi.hi),
+                    parts: if rebalance { 2 } else { 1 },
+                    previous_parallelism: self.graph().parallelism(inst_t.logical),
+                    was_failed: false,
+                    pause_olds: true,
+                    strict_backup: false,
+                    count_own_replays: true,
+                })
+            }
+        }
+    }
+
+    /// Obtain the checkpoint the plan repartitions.
+    fn capture_state(
+        &mut self,
+        plan: &ReconfigPlan,
+        resolved: &ResolvedPlan,
+    ) -> Result<Checkpoint> {
+        match plan.kind {
+            ReconfigKind::ScaleOut { target, .. } => {
+                // The backed-up checkpoint of the target (Algorithm 3
+                // partitions backup(o)'s copy so the overloaded/failed
+                // operator itself is not involved). If no backup exists yet
+                // and the operator is alive, take one now; otherwise start
+                // from empty state and rely on replay (the UB/SR baselines).
+                let restore_started = Instant::now();
+                match self.backup.retrieve_measured(target) {
+                    Ok((checkpoint, read_bytes)) => {
+                        self.metrics.record_store_restore(
+                            self.config.store.label(),
+                            read_bytes as usize,
+                            restore_started.elapsed().as_micros() as u64,
+                        );
+                        Ok(checkpoint)
+                    }
+                    Err(_) if !resolved.was_failed && self.config.strategy.checkpoints() => {
+                        self.checkpoint_operator(target)?;
+                        let restore_started = Instant::now();
+                        let (checkpoint, read_bytes) = self.backup.retrieve_measured(target)?;
+                        self.metrics.record_store_restore(
+                            self.config.store.label(),
+                            read_bytes as usize,
+                            restore_started.elapsed().as_micros() as u64,
+                        );
+                        Ok(checkpoint)
+                    }
+                    // No backup anywhere (UB/SR baselines or a failed, never
+                    // checkpointed operator): nothing was read from any store.
+                    Err(_) => Ok(Checkpoint::empty(target)),
+                }
+            }
+            ReconfigKind::ScaleIn { target, victim }
+            | ReconfigKind::Rebalance { target, victim } => {
+                if !self.config.strategy.checkpoints() {
+                    // UB/SR baselines keep no checkpoints: the plan starts
+                    // from empty state and the untrimmed upstream buffers
+                    // rebuild it through replay.
+                    return Ok(Checkpoint::empty(target));
+                }
+                // Checkpoint both partitions (backing up their final state
+                // and trimming the upstream buffers to it) and merge the
+                // backed-up copies at the store — `merge_for_scale_in` is the
+                // inverse of Algorithm 2's partitioning, run by the backup VM
+                // when both copies live there. Provisionally stamped with the
+                // survivor's id; the transform phase re-stamps it.
+                let range_of = |id: OperatorId| {
+                    resolved
+                        .old_ranges
+                        .iter()
+                        .find(|(o, _)| *o == id)
+                        .map(|(_, r)| *r)
+                        .expect("resolved pair")
+                };
+                let restore_started = Instant::now();
+                let read_before = self.backup.aggregate_stats().bytes_restored;
+                let (merged, _) = self
+                    .checkpoint_operator(target)
+                    .and_then(|_| self.checkpoint_operator(victim))
+                    .and_then(|_| {
+                        self.backup.merge_for_scale_in(
+                            target,
+                            (target, range_of(target)),
+                            (victim, range_of(victim)),
+                        )
+                    })?;
+                let read = self
+                    .backup
+                    .aggregate_stats()
+                    .bytes_restored
+                    .saturating_sub(read_before);
+                self.metrics.record_store_restore(
+                    self.config.store.label(),
+                    read as usize,
+                    restore_started.elapsed().as_micros() as u64,
+                );
+                Ok(merged)
+            }
+        }
+    }
+
+    /// Pick the new key ranges for the plan.
+    fn choose_split(
+        &self,
+        plan: &ReconfigPlan,
+        resolved: &ResolvedPlan,
+        captured: &Checkpoint,
+    ) -> Result<SplitDecision> {
+        match plan.kind {
+            // A merge produces a single range covering the pair.
+            ReconfigKind::ScaleIn { .. } => Ok(SplitDecision {
+                ranges: vec![resolved.source_range],
+                kind: SplitKind::None,
+                post_split_imbalance: 0.0,
+            }),
+            ReconfigKind::ScaleOut { .. } | ReconfigKind::Rebalance { .. } => {
+                plan.split
+                    .choose(&resolved.source_range, resolved.parts, captured)
+            }
+        }
+    }
+
+    /// Process every queued tuple on the given operators' inbound channels.
+    /// Draining before a merge matters for correctness: the merged
+    /// reflected-timestamp vector is the pointwise max over the pair, so any
+    /// tuple still queued below that watermark would be neither restored nor
+    /// replayed.
+    fn drain_inbound(&mut self, ops: &[OperatorId]) {
+        let network = self.network.clone();
+        let metrics = self.metrics.clone();
+        let epoch = self.epoch;
+        let batch = self.config.worker_batch;
+        for id in ops {
+            if let Some(worker) = self.workers.get_mut(id) {
+                while worker.step(&network, &metrics, epoch, batch) > 0 {}
+            }
+        }
+    }
+
+    fn set_all_paused(&mut self, ops: &[OperatorId], paused: bool) {
+        for id in ops {
+            if let Some(worker) = self.workers.get_mut(id) {
+                worker.set_paused(paused);
+            }
+        }
+    }
+
+    /// Unpause a paused pair and hand the error back — the capture/rewrite
+    /// failure path that leaves the runtime exactly as it was.
+    fn abort_paused(&mut self, resolved: &ResolvedPlan, e: Error) -> Error {
+        if resolved.pause_olds {
+            self.set_all_paused(&resolved.olds, false);
+        }
+        e
+    }
+
+    fn vm_of_required(&self, operator: OperatorId) -> Result<seep_cloud::VmId> {
+        self.vm_of
+            .get(&operator)
+            .copied()
+            .ok_or_else(|| Error::Invariant(format!("operator {operator} has no VM")))
+    }
+
+    /// Move the backups *other* operators stored on `old`'s (surviving) VM
+    /// over to `new`'s store; only a released VM's store is genuinely lost.
+    fn migrate_third_party_backups(
+        &mut self,
+        replaced: &[OperatorId],
+        old: OperatorId,
+        new: OperatorId,
+    ) {
+        if let (Ok(old_store), Ok(new_store)) =
+            (self.backup.store_of(old), self.backup.store_of(new))
+        {
+            for owner in old_store.owners() {
+                if replaced.contains(&owner) {
+                    continue; // superseded by the repartitioned checkpoints
+                }
+                if let Ok(checkpoint) = old_store.latest(owner) {
+                    if new_store.put(owner, checkpoint).is_ok()
+                        && self.backup.backup_of(owner) == Some(old)
+                    {
+                        self.backup.set_backup_of(owner, new);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove every trace of the replaced instances from the runtime's
+    /// bookkeeping (their VMs have been released or re-used already).
+    fn retire_instances(&mut self, olds: &[OperatorId]) {
+        for old in olds {
+            self.network.disconnect(*old);
+            self.workers.remove(old);
+            self.backup.unregister_store(*old);
+            self.backup.clear_backup_of(*old);
+            self.vm_of.remove(old);
+            self.monitor.forget(*old);
+            self.checkpoint_seq.remove(old);
+            self.last_checkpoint_ms.remove(old);
+            self.last_backed_up.remove(old);
+        }
+    }
+
+    /// New partitions replay their restored output buffers downstream
+    /// (Algorithm 3, line 7); downstream duplicate filters discard what they
+    /// already processed. Routing towards downstream partitions is refreshed
+    /// first. Returns the number of tuples re-sent.
+    fn replay_restored_buffers(
+        &mut self,
+        logical: LogicalOpId,
+        new_instances: &[seep_core::graph::OperatorInstance],
+    ) -> usize {
+        let network = self.network.clone();
+        let metrics = self.metrics.clone();
+        let downstream_logicals = self.graph().query().downstream(logical);
+        let routings: Vec<(LogicalOpId, seep_core::RoutingState)> = downstream_logicals
+            .iter()
+            .filter_map(|ld| self.graph().routing(*ld).ok().map(|r| (*ld, r.clone())))
+            .collect();
+        let mut planned: Vec<(OperatorId, OperatorId)> = Vec::new();
+        for instance in new_instances {
+            if let Some(worker) = self.workers.get_mut(&instance.id) {
+                for (ld, routing) in &routings {
+                    worker.set_routing(*ld, routing.clone());
+                }
+                planned.extend(
+                    worker
+                        .buffer()
+                        .downstreams()
+                        .into_iter()
+                        .map(|d| (instance.id, d)),
+                );
+            }
+        }
+        let mut replayed = 0;
+        for (from, to) in planned {
+            if let Some(worker) = self.workers.get(&from) {
+                replayed += worker.replay_to(to, &TimestampVec::new(), &network, &metrics);
+            }
+        }
+        replayed
+    }
+
+    /// Update the upstream operators: stop, install the new routing, migrate
+    /// tuples buffered for the replaced instances to the partition now owning
+    /// their key, replay everything `reflected` does not cover, restart
+    /// (Algorithm 3, lines 9–14). Returns the number of tuples replayed.
+    fn update_upstreams(
+        &mut self,
+        logical: LogicalOpId,
+        olds: &[OperatorId],
+        new_instances: &[seep_core::graph::OperatorInstance],
+        upstream_instances: &[OperatorId],
+        reflected: &TimestampVec,
+    ) -> Result<usize> {
+        let new_routing = self.graph().routing(logical)?.clone();
+        let network = self.network.clone();
+        let metrics = self.metrics.clone();
+        let mut replayed = 0;
+        for up in upstream_instances {
+            let Some(worker) = self.workers.get_mut(up) else {
+                continue;
+            };
+            worker.set_paused(true);
+            worker.set_routing(logical, new_routing.clone());
+            for old in olds {
+                let pending = worker
+                    .buffer_mut()
+                    .remove_downstream(*old)
+                    .unwrap_or_default();
+                for tuple in pending {
+                    if let Some(new_target) = new_routing.route(tuple.key) {
+                        worker.buffer_mut().push(new_target, tuple);
+                    }
+                }
+            }
+            for instance in new_instances {
+                replayed += worker.replay_to(instance.id, reflected, &network, &metrics);
+            }
+            worker.set_paused(false);
+        }
+        Ok(replayed)
+    }
+}

@@ -1,0 +1,44 @@
+//! The unified reconfiguration-plan engine.
+//!
+//! The paper's central claim is that fault tolerance, scale out and scale in
+//! are **one mechanism**: checkpointed operator state that can be split,
+//! merged and restored. This module makes that literal. Every
+//! reconfiguration — scaling an operator out, merging two partitions in,
+//! recovering a failed instance, or rebalancing a skewed pair — is a
+//! declarative [`ReconfigPlan`] handed to one executor that owns the shared
+//! choreography:
+//!
+//! ```text
+//!  drain ─ pause ─ checkpoint ─ graph-rewrite ─ state split/merge
+//!                                        │
+//!            replay ─ route ─ restore ◀──┘
+//! ```
+//!
+//! with fail-before-rewrite semantics (every fallible state acquisition runs
+//! before the execution graph is touched, so a rejected plan leaves the
+//! runtime exactly as it was) and per-phase wall-clock metrics
+//! ([`crate::metrics::ReconfigTiming`]).
+//!
+//! [`Runtime::scale_out`], [`Runtime::scale_in`], [`Runtime::recover`] and
+//! [`Runtime::rebalance`] are thin builders over this engine.
+//!
+//! The plan's split phase is **skew-aware**: with
+//! [`SplitPolicy::SkewAware`], the executor samples hot keys from the
+//! captured checkpoint (weighted by per-key state footprint, see
+//! [`seep_core::Checkpoint::sample_keys`]) and switches from the even
+//! key-space split to [`seep_core::KeyRange::split_by_distribution`] when
+//! the sampled imbalance exceeds the configured threshold.
+//!
+//! [`Runtime::scale_out`]: crate::Runtime::scale_out
+//! [`Runtime::scale_in`]: crate::Runtime::scale_in
+//! [`Runtime::recover`]: crate::Runtime::recover
+//! [`Runtime::rebalance`]: crate::Runtime::rebalance
+
+mod executor;
+mod plan;
+
+pub use executor::ReconfigOutcome;
+pub use plan::{
+    ReconfigKind, ReconfigPlan, SplitDecision, SplitPolicy, DEFAULT_IMBALANCE_THRESHOLD,
+    DEFAULT_SPLIT_SAMPLE,
+};

@@ -1,5 +1,11 @@
 //! The SPS runtime: deployment, checkpointing, failure handling and the
-//! integrated fault-tolerant scale-out algorithm (Algorithm 3).
+//! integrated fault-tolerant reconfiguration engine (Algorithm 3 as a
+//! [`crate::reconfig::ReconfigPlan`]).
+//!
+//! [`Runtime::scale_out`], [`Runtime::scale_in`], [`Runtime::recover`] and
+//! [`Runtime::rebalance`] are thin plan builders over the shared executor in
+//! [`crate::reconfig`]; the drain/pause/checkpoint/rewrite/restore/replay
+//! choreography lives there, once.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -7,17 +13,20 @@ use std::time::Instant;
 
 use seep_cloud::{CloudProvider, CpuMonitor, UtilizationReport, VmPool};
 use seep_core::operator::OperatorFactory;
-use seep_core::primitives::partition_checkpoint;
 use seep_core::{
-    Checkpoint, Error, ExecutionGraph, IncrementalCheckpoint, Key, KeyRange, LogicalOpId,
-    OperatorId, OperatorKind, QueryGraph, Result, StreamId, TimestampVec,
+    Checkpoint, Error, ExecutionGraph, IncrementalCheckpoint, Key, LogicalOpId, OperatorId,
+    OperatorKind, QueryGraph, Result, StreamId, TimestampVec,
 };
 use seep_net::Network;
 use seep_store::{BackupCoordinator, StoreStats};
 
 use crate::bottleneck::BottleneckDetector;
 use crate::config::RuntimeConfig;
-use crate::metrics::{CheckpointRecord, Metrics, RecoveryRecord, ScaleInRecord, ScaleOutRecord};
+use crate::metrics::{
+    CheckpointRecord, Metrics, RebalanceRecord, ReconfigTiming, RecoveryRecord, ScaleInRecord,
+    ScaleOutRecord,
+};
+use crate::reconfig::ReconfigPlan;
 use crate::recovery::RecoveryStrategy;
 use crate::worker::{SharedClock, WorkerCore};
 
@@ -45,31 +54,51 @@ pub struct ScaleInOutcome {
     pub replayed_tuples: usize,
 }
 
+/// Result of a rebalance (repartition-in-place) action.
+#[derive(Debug, Clone)]
+pub struct RebalanceOutcome {
+    /// The new partition pair, in key order, hosted on the same two VMs the
+    /// replaced pair occupied.
+    pub new_operators: Vec<OperatorId>,
+    /// Tuples replayed from restored and upstream buffers.
+    pub replayed_tuples: usize,
+    /// How the key range was re-split and the imbalance the sampled keys
+    /// predict for the new boundaries.
+    pub timing: ReconfigTiming,
+}
+
 /// The stream processing system.
 pub struct Runtime {
-    config: RuntimeConfig,
-    network: Network,
+    pub(crate) config: RuntimeConfig,
+    pub(crate) network: Network,
     graph: Option<ExecutionGraph>,
     factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>>,
-    workers: BTreeMap<OperatorId, WorkerCore>,
-    backup: BackupCoordinator,
+    pub(crate) workers: BTreeMap<OperatorId, WorkerCore>,
+    pub(crate) backup: BackupCoordinator,
     provider: Arc<CloudProvider>,
-    pool: VmPool,
-    monitor: CpuMonitor,
+    pub(crate) pool: VmPool,
+    pub(crate) monitor: CpuMonitor,
     detector: BottleneckDetector,
-    metrics: Arc<Metrics>,
-    clocks: HashMap<LogicalOpId, SharedClock>,
-    vm_of: HashMap<OperatorId, seep_cloud::VmId>,
-    now_ms: u64,
-    epoch: Instant,
-    last_checkpoint_ms: HashMap<OperatorId, u64>,
-    checkpoint_seq: HashMap<OperatorId, u64>,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) clocks: HashMap<LogicalOpId, SharedClock>,
+    pub(crate) vm_of: HashMap<OperatorId, seep_cloud::VmId>,
+    pub(crate) now_ms: u64,
+    pub(crate) epoch: Instant,
+    pub(crate) last_checkpoint_ms: HashMap<OperatorId, u64>,
+    pub(crate) checkpoint_seq: HashMap<OperatorId, u64>,
     /// Last checkpoint successfully backed up per operator; the base against
     /// which incremental backups are diffed.
-    last_backed_up: HashMap<OperatorId, Checkpoint>,
+    pub(crate) last_backed_up: HashMap<OperatorId, Checkpoint>,
     last_tick_ms: u64,
     last_report_ms: u64,
     auto_scale: bool,
+    /// Logical operators the control loop has already rebalanced since their
+    /// last topology change. One rebalance per shape mirrors the simulator's
+    /// one-shot `balanced` flag: if re-drawing the boundary did not relieve
+    /// the hot partition (e.g. a single mega-hot key), the next trigger must
+    /// scale out instead of paying the same disruption every report
+    /// interval. A scale out or scale in of the operator re-arms it.
+    rebalanced: std::collections::HashSet<LogicalOpId>,
 }
 
 impl Runtime {
@@ -100,6 +129,7 @@ impl Runtime {
             last_tick_ms: 0,
             last_report_ms: 0,
             auto_scale: false,
+            rebalanced: std::collections::HashSet::new(),
             config,
         }
     }
@@ -141,11 +171,11 @@ impl Runtime {
         Ok(())
     }
 
-    fn graph(&self) -> &ExecutionGraph {
+    pub(crate) fn graph(&self) -> &ExecutionGraph {
         self.graph.as_ref().expect("query deployed")
     }
 
-    fn graph_mut(&mut self) -> &mut ExecutionGraph {
+    pub(crate) fn graph_mut(&mut self) -> &mut ExecutionGraph {
         self.graph.as_mut().expect("query deployed")
     }
 
@@ -199,7 +229,10 @@ impl Runtime {
         self.workers.values().map(WorkerCore::queued).sum()
     }
 
-    fn create_worker(&mut self, instance: &seep_core::graph::OperatorInstance) -> Result<()> {
+    pub(crate) fn create_worker(
+        &mut self,
+        instance: &seep_core::graph::OperatorInstance,
+    ) -> Result<()> {
         let vm = self
             .pool
             .acquire(self.now_ms)
@@ -208,9 +241,10 @@ impl Runtime {
     }
 
     /// Create a worker for `instance` hosted on an already-running VM —
-    /// used by scale in, where the merged operator takes over the surviving
-    /// partition's VM instead of drawing a fresh one from the pool.
-    fn create_worker_on(
+    /// used by scale in and rebalancing, where the new operators take over
+    /// the replaced partitions' VMs instead of drawing fresh ones from the
+    /// pool.
+    pub(crate) fn create_worker_on(
         &mut self,
         instance: &seep_core::graph::OperatorInstance,
         vm: seep_cloud::VmId,
@@ -394,6 +428,26 @@ impl Runtime {
                 let bottlenecks = self.detector.bottlenecks(&self.monitor, &candidates);
                 let pi = self.config.scaling_policy.partitions_per_action;
                 for op in bottlenecks {
+                    // A hot partition whose adjacent sibling is cold enough
+                    // that the pair's aggregate CPU is fine does not need a
+                    // fresh VM — it needs its share of the key space
+                    // re-drawn. Rebalance in place instead of scaling out,
+                    // at most once per topology shape: if the re-drawn
+                    // boundary did not relieve the partition, the next
+                    // trigger escalates to a scale out.
+                    if self.config.scaling_policy.rebalance {
+                        let logical = self.graph().instance(op).map(|i| i.logical);
+                        if let Ok(logical) = logical {
+                            if !self.rebalanced.contains(&logical) {
+                                if let Some(partner) = self.rebalance_partner(op) {
+                                    if self.rebalance(op, partner).is_ok() {
+                                        self.rebalanced.insert(logical);
+                                        continue;
+                                    }
+                                }
+                            }
+                        }
+                    }
                     let _ = self.scale_out(op, pi);
                 }
                 // Scale in: merge adjacent sibling partitions that have both
@@ -445,6 +499,41 @@ impl Runtime {
             }
         }
         pairs
+    }
+
+    /// The adjacent sibling to rebalance a hot partition against: the pair's
+    /// mean utilisation must sit below the scale-out threshold (the skew is
+    /// in the key split, not in aggregate demand — splitting onto a new VM
+    /// would waste one, merging would overload; re-drawing the boundary by
+    /// the observed key distribution is the right move). `None` when no
+    /// adjacent sibling qualifies.
+    fn rebalance_partner(&self, hot: OperatorId) -> Option<OperatorId> {
+        let graph = self.graph();
+        let inst = graph.instance(hot).ok()?;
+        let hot_util = self.monitor.latest(hot)?.utilization;
+        let threshold = self.config.scaling_policy.threshold;
+        for sibling in graph.partitions(inst.logical) {
+            if *sibling == hot {
+                continue;
+            }
+            let Ok(sib_inst) = graph.instance(*sibling) else {
+                continue;
+            };
+            let adjacent = (inst.key_range.hi != u64::MAX
+                && inst.key_range.hi + 1 == sib_inst.key_range.lo)
+                || (sib_inst.key_range.hi != u64::MAX
+                    && sib_inst.key_range.hi + 1 == inst.key_range.lo);
+            if !adjacent {
+                continue;
+            }
+            let Some(sib_report) = self.monitor.latest(*sibling) else {
+                continue;
+            };
+            if (hot_util + sib_report.utilization) / 2.0 < threshold {
+                return Some(*sibling);
+            }
+        }
+        None
     }
 
     /// Take a checkpoint of `operator`, back it up to an upstream VM and trim
@@ -554,185 +643,42 @@ impl Runtime {
     }
 
     /// Scale out (or recover) `target` into `pi` new partitioned operators —
-    /// Algorithm 3. Returns the new operator ids and the number of tuples
-    /// replayed from upstream buffers.
+    /// Algorithm 3, expressed as a [`ReconfigPlan`] and handed to the shared
+    /// executor in [`crate::reconfig`]. The key split follows the
+    /// configured [`crate::reconfig::SplitPolicy`]: even by default, or
+    /// distribution-guided from a sampled checkpoint when skew-aware.
+    /// Returns the new operator ids and the number of tuples replayed from
+    /// upstream buffers.
     pub fn scale_out(&mut self, target: OperatorId, pi: usize) -> Result<ScaleOutOutcome> {
-        let started = Instant::now();
-        let inst = self.graph().instance(target)?.clone();
-        let logical = inst.logical;
-        let was_failed = self
-            .workers
-            .get(&target)
-            .map(|w| w.is_failed())
-            .unwrap_or(true);
-        let previous_parallelism = self.graph().parallelism(logical);
-
-        // 1. Obtain the checkpoint to partition: the backed-up checkpoint of
-        //    the target (Algorithm 3 partitions backup(o)'s copy so the
-        //    overloaded/failed operator itself is not involved). If no backup
-        //    exists yet and the operator is alive, take one now; otherwise
-        //    start from empty state and rely on replay (the UB/SR baselines).
-        let restore_started = Instant::now();
-        let checkpoint = match self.backup.retrieve_measured(target) {
-            Ok((cp, read_bytes)) => {
-                self.metrics.record_store_restore(
-                    self.config.store.label(),
-                    read_bytes as usize,
-                    restore_started.elapsed().as_micros() as u64,
-                );
-                cp
-            }
-            Err(_) if !was_failed && self.config.strategy.checkpoints() => {
-                self.checkpoint_operator(target)?;
-                let restore_started = Instant::now();
-                let (cp, read_bytes) = self.backup.retrieve_measured(target)?;
-                self.metrics.record_store_restore(
-                    self.config.store.label(),
-                    read_bytes as usize,
-                    restore_started.elapsed().as_micros() as u64,
-                );
-                cp
-            }
-            // No backup anywhere (UB/SR baselines or a failed, never
-            // checkpointed operator): nothing was read from any store.
-            Err(_) => Checkpoint::empty(target),
-        };
-        let reflected = checkpoint.processing.timestamps().clone();
-
-        // 2. Split the key range owned by the target.
-        let ranges: Vec<KeyRange> = inst.key_range.split_even(pi)?;
-
-        // 3. Update the execution graph: new instances + routing entries.
-        let new_instances = self.graph_mut().repartition(logical, &[target], &ranges)?;
-        let assignments: Vec<(OperatorId, KeyRange)> =
-            new_instances.iter().map(|i| (i.id, i.key_range)).collect();
-
-        // 4. Partition the checkpoint (Algorithm 2).
-        let parts = partition_checkpoint(&checkpoint, &assignments)?;
-
-        // 5. Create the new workers on fresh VMs and restore their state.
-        for (instance, part) in new_instances.iter().zip(parts.iter()) {
-            self.create_worker(instance)?;
-            let worker = self.workers.get_mut(&instance.id).expect("just created");
-            worker.restore(part.clone());
-        }
-        // Reset the shared logical clock only for a serial replacement of a
-        // single partition, where no sibling is concurrently emitting (§3.2).
-        if pi == 1 && previous_parallelism == 1 {
-            if let Some(clock) = self.clocks.get(&logical) {
-                clock.reset_to(checkpoint.emit_clock);
-            }
-        }
-
-        // 6. Store the partitioned checkpoints as the initial backups of the
-        //    new partitions and drop the replaced operator's backup
-        //    (Algorithm 2, line 8).
-        let upstream_instances = self.graph().upstream_instances(new_instances[0].id)?;
-        if !upstream_instances.is_empty() {
-            self.backup
-                .store_partitioned(target, &upstream_instances, &parts)?;
-        }
-
-        // 7. New partitions replay their restored output buffers downstream
-        //    (Algorithm 3, line 7); downstream duplicate filters discard what
-        //    they already processed.
-        {
-            let network = self.network.clone();
-            let metrics = self.metrics.clone();
-            let downstream_logicals = self.graph().query().downstream(logical);
-            let mut planned: Vec<(OperatorId, OperatorId)> = Vec::new();
-            for instance in &new_instances {
-                if let Some(worker) = self.workers.get(&instance.id) {
-                    for d in worker.buffer().downstreams() {
-                        planned.push((instance.id, d));
-                    }
-                }
-                // Make sure routing towards downstream partitions is current.
-                let routings: Vec<(LogicalOpId, seep_core::RoutingState)> = downstream_logicals
-                    .iter()
-                    .filter_map(|ld| self.graph().routing(*ld).ok().map(|r| (*ld, r.clone())))
-                    .collect();
-                if let Some(worker) = self.workers.get_mut(&instance.id) {
-                    for (ld, routing) in routings {
-                        worker.set_routing(ld, routing);
-                    }
-                }
-            }
-            for (from, to) in planned {
-                if let Some(worker) = self.workers.get(&from) {
-                    worker.replay_to(to, &TimestampVec::new(), &network, &metrics);
-                }
-            }
-        }
-
-        // 8. Stop the replaced operator and release its VM (Algorithm 3,
-        //    line 8). A failed operator's VM is already gone.
-        if !was_failed {
-            self.network.disconnect(target);
-            if let Some(vm) = self.vm_of.get(&target) {
-                self.pool.release(*vm, self.now_ms);
-            }
-        }
-        self.workers.remove(&target);
-        self.backup.unregister_store(target);
-        self.vm_of.remove(&target);
-        self.monitor.forget(target);
-        self.checkpoint_seq.remove(&target);
-        self.last_checkpoint_ms.remove(&target);
-        self.last_backed_up.remove(&target);
-
-        // 9. Update the upstream operators: stop, repartition routing and
-        //    buffer state, replay unprocessed tuples, restart (Algorithm 3,
-        //    lines 9-14).
-        let new_routing = self.graph().routing(logical)?.clone();
-        let mut replayed = 0usize;
-        {
-            let network = self.network.clone();
-            let metrics = self.metrics.clone();
-            for up in &upstream_instances {
-                let Some(worker) = self.workers.get_mut(up) else {
-                    continue;
-                };
-                worker.set_paused(true);
-                worker.set_routing(logical, new_routing.clone());
-                // partition-buffer-state: move tuples that were buffered for
-                // the replaced operator to the partition now owning their key.
-                let pending = worker
-                    .buffer_mut()
-                    .remove_downstream(target)
-                    .unwrap_or_default();
-                for tuple in pending {
-                    if let Some(new_target) = new_routing.route(tuple.key) {
-                        worker.buffer_mut().push(new_target, tuple);
-                    }
-                }
-                // replay-buffer-state towards every new partition, skipping
-                // tuples already reflected in the restored checkpoint.
-                for instance in &new_instances {
-                    replayed += worker.replay_to(instance.id, &reflected, &network, &metrics);
-                }
-                worker.set_paused(false);
-            }
-        }
-
-        self.metrics.record_scale_out(ScaleOutRecord {
-            logical,
-            new_parallelism: self.graph().parallelism(logical),
-            at_ms: self.now_ms,
-            duration_us: started.elapsed().as_micros() as u64,
-        });
-        Ok(ScaleOutOutcome {
-            new_operators: new_instances.iter().map(|i| i.id).collect(),
-            replayed_tuples: replayed,
-        })
+        let (outcome, _) = self.scale_out_with_timing(target, pi)?;
+        Ok(outcome)
     }
 
-    fn set_pair_paused(&mut self, a: OperatorId, b: OperatorId, paused: bool) {
-        for id in [a, b] {
-            if let Some(worker) = self.workers.get_mut(&id) {
-                worker.set_paused(paused);
-            }
-        }
+    /// `scale_out` returning the plan timing as well, so `recover` can embed
+    /// it in the recovery record without re-reading the metrics registry.
+    fn scale_out_with_timing(
+        &mut self,
+        target: OperatorId,
+        pi: usize,
+    ) -> Result<(ScaleOutOutcome, ReconfigTiming)> {
+        let plan = ReconfigPlan::scale_out(target, pi, self.config.split);
+        let outcome = self.execute_plan(&plan)?;
+        // The topology changed: the control loop may rebalance again.
+        self.rebalanced.remove(&outcome.logical);
+        self.metrics.record_scale_out(ScaleOutRecord {
+            logical: outcome.logical,
+            new_parallelism: outcome.new_parallelism,
+            at_ms: self.now_ms,
+            duration_us: outcome.timing.total_us,
+            timing: outcome.timing,
+        });
+        Ok((
+            ScaleOutOutcome {
+                new_operators: outcome.new_operators,
+                replayed_tuples: outcome.replayed_tuples,
+            },
+            outcome.timing,
+        ))
     }
 
     /// Scale in: merge two adjacent partitions of one logical operator and
@@ -740,295 +686,62 @@ impl Runtime {
     /// merged operator is restored on its VM — while `victim`'s VM is
     /// released back to the provider, so billing reflects the shrink.
     ///
-    /// The sequence mirrors scale out run backwards: pause the two partitions,
-    /// back up their latest state, merge the backed-up checkpoints (at the
-    /// backup VM via `seep-store`'s `merge_for_scale_in`), rewrite the
-    /// execution graph and upstream routing so the merged key range maps to
-    /// one operator, restore the merged state, and replay both partitions'
-    /// unreflected tuples from the upstream output buffers — downstream
-    /// duplicate filters discard anything delivered twice.
+    /// The plan is scale out run backwards: the executor drains and pauses
+    /// the pair, backs up their latest state, merges the backed-up
+    /// checkpoints at the backup VM (`seep-store`'s `merge_for_scale_in`),
+    /// rewrites the execution graph and upstream routing so the merged key
+    /// range maps to one operator, restores the merged state, and replays
+    /// both partitions' unreflected tuples — downstream duplicate filters
+    /// discard anything delivered twice. A failure before the graph rewrite
+    /// (full disk, unreachable backup store) unpauses the partitions and
+    /// rejects the request with the runtime exactly as it was.
     pub fn scale_in(&mut self, target: OperatorId, victim: OperatorId) -> Result<ScaleInOutcome> {
-        let started = Instant::now();
-        if target == victim {
-            return Err(Error::Invariant(
-                "scale in needs two distinct partitions".into(),
-            ));
-        }
-        let inst_t = self.graph().instance(target)?.clone();
-        let inst_v = self.graph().instance(victim)?.clone();
-        if inst_t.logical != inst_v.logical {
-            return Err(Error::Invariant(format!(
-                "cannot merge partitions of different logical operators \
-                 ({} is {}, {} is {})",
-                target, inst_t.logical, victim, inst_v.logical
-            )));
-        }
-        let logical = inst_t.logical;
-        for id in [target, victim] {
-            if self
-                .workers
-                .get(&id)
-                .map(WorkerCore::is_failed)
-                .unwrap_or(true)
-            {
-                return Err(Error::Invariant(format!(
-                    "cannot merge failed or unknown operator {id} (recover it instead)"
-                )));
-            }
-        }
-        // The merged operator must own a contiguous interval (the same
-        // adjacency rule merge_checkpoints enforces), checked up front so no
-        // state has been touched when the request is rejected.
-        let (lo, hi) = if inst_t.key_range.lo <= inst_v.key_range.lo {
-            (inst_t.key_range, inst_v.key_range)
-        } else {
-            (inst_v.key_range, inst_t.key_range)
-        };
-        if lo.hi == u64::MAX || lo.hi + 1 != hi.lo {
-            return Err(Error::InvalidKeySplit(format!(
-                "cannot merge non-adjacent partitions {target} ({}) and {victim} ({})",
-                inst_t.key_range, inst_v.key_range
-            )));
-        }
-        let surviving_vm = self
-            .vm_of
-            .get(&target)
-            .copied()
-            .ok_or_else(|| Error::Invariant(format!("operator {target} has no VM")))?;
-        let released_vm = self
-            .vm_of
-            .get(&victim)
-            .copied()
-            .ok_or_else(|| Error::Invariant(format!("operator {victim} has no VM")))?;
-        let previous_parallelism = self.graph().parallelism(logical);
-
-        // 1. Drain the two partitions' inbound queues, then pause them and
-        //    capture their latest state: a fresh checkpoint backs up
-        //    everything processed so far and trims the upstream buffers
-        //    accordingly. Draining first matters for correctness — the merged
-        //    reflected-timestamp vector is the pointwise max over both
-        //    partitions, so any tuple still queued below that watermark would
-        //    be neither restored nor replayed. Without checkpoints (UB/SR
-        //    baselines) the merge starts from empty state and the untrimmed
-        //    upstream buffers replay the full history instead.
-        {
-            let network = self.network.clone();
-            let metrics = self.metrics.clone();
-            let epoch = self.epoch;
-            let batch = self.config.worker_batch;
-            for id in [target, victim] {
-                if let Some(worker) = self.workers.get_mut(&id) {
-                    while worker.step(&network, &metrics, epoch, batch) > 0 {}
-                    worker.set_paused(true);
-                }
-            }
-        }
-        // 2. Checkpoint both partitions and merge the backed-up checkpoints
-        //    at the store (`merge_for_scale_in` is the inverse of
-        //    Algorithm 2's partitioning). All of this runs BEFORE the graph
-        //    is touched: a failure here (full disk, unreachable backup store)
-        //    unpauses the partitions and rejects the request with the runtime
-        //    exactly as it was. The checkpoints trim the upstream buffers, so
-        //    from here on the merged checkpoint is the only copy of the
-        //    reflected state — it must not be dropped on a later error.
-        let mut merged_cp = if self.config.strategy.checkpoints() {
-            let restore_started = Instant::now();
-            let read_before = self.backup.aggregate_stats().bytes_restored;
-            // Provisionally stamped with the survivor's id; re-stamped once
-            // the execution graph assigns the merged instance its real id.
-            let merged = self
-                .checkpoint_operator(target)
-                .and_then(|_| self.checkpoint_operator(victim))
-                .and_then(|_| {
-                    self.backup.merge_for_scale_in(
-                        target,
-                        (target, inst_t.key_range),
-                        (victim, inst_v.key_range),
-                    )
-                });
-            match merged {
-                Ok((cp, _)) => {
-                    let read = self
-                        .backup
-                        .aggregate_stats()
-                        .bytes_restored
-                        .saturating_sub(read_before);
-                    self.metrics.record_store_restore(
-                        self.config.store.label(),
-                        read as usize,
-                        restore_started.elapsed().as_micros() as u64,
-                    );
-                    cp
-                }
-                Err(e) => {
-                    self.set_pair_paused(target, victim, false);
-                    return Err(e);
-                }
-            }
-        } else {
-            // UB/SR baselines keep no checkpoints: the merged operator starts
-            // empty and the untrimmed upstream buffers rebuild its state.
-            Checkpoint::empty(target)
-        };
-
-        // 3. Update the execution graph: both partitions are replaced by one
-        //    instance owning the union of their key ranges.
-        let merged_range = KeyRange::new(lo.lo, hi.hi);
-        let new_instances =
-            match self
-                .graph_mut()
-                .repartition(logical, &[target, victim], &[merged_range])
-            {
-                Ok(instances) => instances,
-                Err(e) => {
-                    self.set_pair_paused(target, victim, false);
-                    return Err(e);
-                }
-            };
-        let merged_inst = new_instances[0].clone();
-        merged_cp.meta.operator = merged_inst.id;
-        let reflected = merged_cp.processing.timestamps().clone();
-
-        // 4. Store the merged checkpoint as the survivor's initial backup and
-        //    delete the two partitions' now-superseded backups. Best effort:
-        //    if the store refuses the write, the merged state still lives in
-        //    the worker restored below, the old backups stay in place (they
-        //    are only deleted after a successful put), and the next periodic
-        //    checkpoint re-establishes the backup.
-        let upstream_instances = self.graph().upstream_instances(merged_inst.id)?;
-        if !upstream_instances.is_empty() {
-            if let Ok(put) =
-                self.backup
-                    .store_merged([target, victim], &upstream_instances, &merged_cp)
-            {
-                self.metrics.record_store_write(
-                    self.config.store.label(),
-                    put.bytes_written,
-                    put.write_us,
-                    false,
-                );
-            }
-        }
-
-        // 5. Restore the merged operator on the surviving VM. Failing to
-        //    build its store here is the one error left after the graph
-        //    rewrite; the merged backup stored above makes it recoverable
-        //    with `scale_out(merged, 1)`, the same path as a VM failure.
-        self.create_worker_on(&merged_inst, surviving_vm)?;
-        let emit_clock = merged_cp.emit_clock;
-        let worker = self.workers.get_mut(&merged_inst.id).expect("just created");
-        worker.restore(merged_cp);
-        // With no sibling partition left the shared logical clock can be
-        // reset, so re-emitted tuples are recognised as duplicates downstream
-        // (the same rule as a serial replacement in scale out).
-        if previous_parallelism == 2 {
-            if let Some(clock) = self.clocks.get(&logical) {
-                clock.reset_to(emit_clock);
-            }
-        }
-
-        // 6. Stop the replaced partitions. The victim's VM is released back
-        //    to the provider — this is the entire point of scaling in — while
-        //    the target's VM lives on hosting the merged operator. Because
-        //    that VM survives, the backups *other* operators stored on the
-        //    target's store move over to the merged operator's store (same
-        //    VM) instead of dying with the bookkeeping; only the victim's
-        //    store is genuinely lost, exactly as with its VM.
-        if let (Ok(old_store), Ok(new_store)) = (
-            self.backup.store_of(target),
-            self.backup.store_of(merged_inst.id),
-        ) {
-            for owner in old_store.owners() {
-                if owner == target || owner == victim {
-                    continue; // superseded by the merged checkpoint
-                }
-                if let Ok(cp) = old_store.latest(owner) {
-                    if new_store.put(owner, cp).is_ok()
-                        && self.backup.backup_of(owner) == Some(target)
-                    {
-                        self.backup.set_backup_of(owner, merged_inst.id);
-                    }
-                }
-            }
-        }
-        for id in [target, victim] {
-            self.network.disconnect(id);
-            self.workers.remove(&id);
-            self.backup.unregister_store(id);
-            self.backup.clear_backup_of(id);
-            self.vm_of.remove(&id);
-            self.monitor.forget(id);
-            self.checkpoint_seq.remove(&id);
-            self.last_checkpoint_ms.remove(&id);
-            self.last_backed_up.remove(&id);
-        }
-        self.pool.release(released_vm, self.now_ms);
-
-        // 7. The merged operator replays its restored output buffers
-        //    downstream; duplicate filters discard what was already processed.
-        let mut replayed = 0usize;
-        {
-            let network = self.network.clone();
-            let metrics = self.metrics.clone();
-            let downstream_logicals = self.graph().query().downstream(logical);
-            let routings: Vec<(LogicalOpId, seep_core::RoutingState)> = downstream_logicals
-                .iter()
-                .filter_map(|ld| self.graph().routing(*ld).ok().map(|r| (*ld, r.clone())))
-                .collect();
-            let mut planned: Vec<OperatorId> = Vec::new();
-            if let Some(worker) = self.workers.get_mut(&merged_inst.id) {
-                for (ld, routing) in routings {
-                    worker.set_routing(ld, routing);
-                }
-                planned.extend(worker.buffer().downstreams());
-            }
-            if let Some(worker) = self.workers.get(&merged_inst.id) {
-                for d in planned {
-                    replayed += worker.replay_to(d, &TimestampVec::new(), &network, &metrics);
-                }
-            }
-        }
-
-        // 8. Update the upstream operators: new routing (two entries collapse
-        //    into one), migrate tuples buffered for the replaced partitions,
-        //    and replay everything the merged checkpoint does not reflect.
-        let new_routing = self.graph().routing(logical)?.clone();
-        {
-            let network = self.network.clone();
-            let metrics = self.metrics.clone();
-            for up in &upstream_instances {
-                let Some(worker) = self.workers.get_mut(up) else {
-                    continue;
-                };
-                worker.set_paused(true);
-                worker.set_routing(logical, new_routing.clone());
-                for old in [target, victim] {
-                    let pending = worker
-                        .buffer_mut()
-                        .remove_downstream(old)
-                        .unwrap_or_default();
-                    for tuple in pending {
-                        if let Some(new_target) = new_routing.route(tuple.key) {
-                            worker.buffer_mut().push(new_target, tuple);
-                        }
-                    }
-                }
-                replayed += worker.replay_to(merged_inst.id, &reflected, &network, &metrics);
-                worker.set_paused(false);
-            }
-        }
-
+        let plan = ReconfigPlan::scale_in(target, victim);
+        let outcome = self.execute_plan(&plan)?;
+        // The topology changed: the control loop may rebalance again.
+        self.rebalanced.remove(&outcome.logical);
         self.metrics.record_scale_in(ScaleInRecord {
-            logical,
-            new_parallelism: self.graph().parallelism(logical),
+            logical: outcome.logical,
+            new_parallelism: outcome.new_parallelism,
             at_ms: self.now_ms,
-            duration_us: started.elapsed().as_micros() as u64,
-            replayed_tuples: replayed,
+            duration_us: outcome.timing.total_us,
+            replayed_tuples: outcome.replayed_tuples,
+            timing: outcome.timing,
         });
         Ok(ScaleInOutcome {
-            merged_operator: merged_inst.id,
-            released_vm,
-            replayed_tuples: replayed,
+            merged_operator: outcome.new_operators[0],
+            released_vm: outcome.released_vm.expect("scale in releases a VM"),
+            replayed_tuples: outcome.replayed_tuples,
+        })
+    }
+
+    /// Rebalance a skewed pair of adjacent partitions: re-split their union
+    /// key range by the observed key distribution (sampled from the merged
+    /// checkpoint, weighted by per-key state footprint) and restore the two
+    /// new partitions **onto the same two VMs** — a pure repartition that
+    /// neither grows nor shrinks the deployment. Triggered by the control
+    /// loop when one sibling is hot while the pair's aggregate CPU is fine
+    /// ([`crate::ScalingPolicy::rebalance`]), or invoked directly by
+    /// experiments.
+    pub fn rebalance(
+        &mut self,
+        target: OperatorId,
+        victim: OperatorId,
+    ) -> Result<RebalanceOutcome> {
+        let plan = ReconfigPlan::rebalance(target, victim);
+        let outcome = self.execute_plan(&plan)?;
+        self.metrics.record_rebalance(RebalanceRecord {
+            logical: outcome.logical,
+            parallelism: outcome.new_parallelism,
+            at_ms: self.now_ms,
+            duration_us: outcome.timing.total_us,
+            replayed_tuples: outcome.replayed_tuples,
+            timing: outcome.timing,
+        });
+        Ok(RebalanceOutcome {
+            new_operators: outcome.new_operators,
+            replayed_tuples: outcome.replayed_tuples,
+            timing: outcome.timing,
         })
     }
 
@@ -1042,7 +755,9 @@ impl Runtime {
         let started = Instant::now();
         let strategy = self.config.strategy;
         let logical = self.graph().instance(failed)?.logical;
-        let outcome = self.scale_out(failed, pi)?;
+        // Recovery *is* a scale out of the failed operator — the same plan,
+        // the same executor (the paper's integrated mechanism).
+        let (outcome, timing) = self.scale_out_with_timing(failed, pi)?;
         let mut replayed = outcome.replayed_tuples;
 
         if strategy == RecoveryStrategy::SourceReplay {
@@ -1058,6 +773,7 @@ impl Runtime {
             duration_ms: started.elapsed().as_secs_f64() * 1_000.0,
             replayed_tuples: replayed,
             strategy: strategy.label().to_string(),
+            timing,
         };
         self.metrics.record_recovery(record.clone());
         Ok(record)

@@ -109,6 +109,14 @@ pub struct SimConfig {
     /// How many seconds a scale-out action disturbs latency (stream buffering
     /// and replay, §6.1 observes peaks of up to 4 s).
     pub scale_out_disruption_s: u64,
+    /// Key-distribution skew: the fraction of each stage's input pinned to
+    /// the partition owning the hot keys (LRB's expressway skew — a handful
+    /// of hot segments). `0.0` (the default) is the uniform workload. An
+    /// even key split cannot move hot keys, so the pinned share sticks to
+    /// one partition through every scale out; only a distribution-guided
+    /// **rebalance** (see [`SimScalingPolicy::rebalance`]) spreads it.
+    #[serde(default)]
+    pub hot_fraction: f64,
 }
 
 impl Default for SimConfig {
@@ -128,6 +136,7 @@ impl Default for SimConfig {
             store: SimStoreProfile::default(),
             network_hop_ms: 20.0,
             scale_out_disruption_s: 4,
+            hot_fraction: 0.0,
         }
     }
 }
@@ -145,6 +154,10 @@ struct Stage {
     disruption_s: u64,
     /// Extra latency (ms) added while the disruption lasts.
     disruption_ms: f64,
+    /// Whether a distribution-guided rebalance has re-drawn this stage's key
+    /// boundaries: once balanced, the configured hot fraction spreads evenly
+    /// across the partitions instead of sticking to one.
+    balanced: bool,
 }
 
 impl Stage {
@@ -158,6 +171,7 @@ impl Stage {
                 .collect(),
             disruption_s: 0,
             disruption_ms: 0.0,
+            balanced: false,
         }
     }
 
@@ -271,10 +285,22 @@ impl SimEngine {
             let n = stage.partitions.len() as f64;
             let tax = taxes[idx];
 
-            let share = input / n;
+            // Skewed input sticks to partition 0 (the owner of the hot keys)
+            // until a rebalance re-draws the stage's key boundaries.
+            let hot = if self.config.hot_fraction > 0.0 && !stage.balanced && n > 1.0 {
+                self.config.hot_fraction.min(1.0)
+            } else {
+                0.0
+            };
+            let even_share = input * (1.0 - hot) / n;
             let mut stage_processed = 0.0;
             let mut stage_util: f64 = 0.0;
-            for partition in stage.partitions.iter_mut() {
+            for (pidx, partition) in stage.partitions.iter_mut().enumerate() {
+                let share = if pidx == 0 {
+                    even_share + input * hot
+                } else {
+                    even_share
+                };
                 partition.queue += share;
                 let budget_us = (VM_BUDGET_US - tax).max(0.0);
                 let capacity = budget_us / spec.cost_us.max(0.01);
@@ -320,9 +346,10 @@ impl SimEngine {
         // Scaling decisions at every report interval.
         let mut scaled_out = false;
         let mut scaled_in = false;
+        let mut rebalanced = false;
         if t > 0 && t.saturating_sub(self.last_report_s) >= self.config.policy.report_interval_s {
             self.last_report_s = t;
-            (scaled_out, scaled_in) = self.evaluate_policy(t);
+            (scaled_out, scaled_in, rebalanced) = self.evaluate_policy(t);
         }
 
         let p50 = latency_ms;
@@ -338,30 +365,37 @@ impl SimEngine {
             stage_parallelism: self.parallelism(),
             scaled_out,
             scaled_in,
+            rebalanced,
         }
     }
 
-    fn evaluate_policy(&mut self, t: u64) -> (bool, bool) {
+    fn evaluate_policy(&mut self, t: u64) -> (bool, bool, bool) {
         let interval_us = self.config.policy.report_interval_s as f64 * VM_BUDGET_US;
         let mut to_scale: Vec<usize> = Vec::new();
         // Stages with at least two partitions under the low watermark for the
         // full streak — the sim analogue of an adjacent idle sibling pair.
         let mut to_merge: Vec<usize> = Vec::new();
+        // Skewed stages where a partition runs hot while the stage's mean
+        // utilisation is fine: repartition by the key distribution instead of
+        // consuming a VM (mirrors the runtime's rebalance plan).
+        let mut to_rebalance: Vec<usize> = Vec::new();
         for (idx, stage) in self.stages.iter_mut().enumerate() {
             let spec = &self.config.query.stages[idx];
             let mut low_triggered = 0usize;
+            let mut hot_triggered = false;
+            let mut util_sum = 0.0;
             for (pidx, partition) in stage.partitions.iter_mut().enumerate() {
                 let utilization = (partition.busy_accum_us / interval_us).min(1.0);
                 partition.busy_accum_us = 0.0;
                 if !spec.scalable {
                     continue;
                 }
+                util_sum += utilization;
                 if self
                     .tracker
                     .record(idx, pidx, utilization, &self.config.policy)
-                    && !to_scale.contains(&idx)
                 {
-                    to_scale.push(idx);
+                    hot_triggered = true;
                 }
                 if self
                     .tracker
@@ -370,14 +404,27 @@ impl SimEngine {
                     low_triggered += 1;
                 }
             }
+            if hot_triggered {
+                let mean = util_sum / stage.partitions.len().max(1) as f64;
+                if self.config.policy.rebalance
+                    && !stage.balanced
+                    && stage.partitions.len() >= 2
+                    && mean < self.config.policy.threshold
+                {
+                    to_rebalance.push(idx);
+                } else if !to_scale.contains(&idx) {
+                    to_scale.push(idx);
+                }
+            }
             if low_triggered >= 2 && stage.partitions.len() >= 2 {
                 to_merge.push(idx);
             }
         }
         if !self.config.dynamic_scaling {
-            return (false, false);
+            return (false, false, false);
         }
         let scaled_in = self.merge_stages(&to_merge);
+        let rebalanced = self.rebalance_stages(&to_rebalance);
         let mut scaled = false;
         for idx in to_scale {
             if let Some(max) = self.config.max_vms {
@@ -419,7 +466,38 @@ impl SimEngine {
             stage.disruption_ms = state_penalty_ms + backlog_penalty_ms;
             scaled = true;
         }
-        (scaled, scaled_in)
+        (scaled, scaled_in, rebalanced)
+    }
+
+    /// Rebalance skewed stages: the key boundaries are re-drawn from the
+    /// observed distribution (the runtime samples the backed-up checkpoint),
+    /// so from now on the hot share spreads across the partitions. No VM is
+    /// taken or returned; the queues even out and the restore shows up as a
+    /// short disruption, like a scale-in's.
+    fn rebalance_stages(&mut self, stages: &[usize]) -> bool {
+        let mut rebalanced = false;
+        for &idx in stages {
+            let stage = &mut self.stages[idx];
+            if stage.partitions.len() < 2 || stage.balanced {
+                continue;
+            }
+            stage.balanced = true;
+            let n = stage.partitions.len() as f64;
+            let total_queue = stage.total_queue();
+            for partition in stage.partitions.iter_mut() {
+                partition.queue = total_queue / n;
+            }
+            let spec = &self.config.query.stages[idx];
+            let state_penalty_ms = if spec.stateful {
+                250.0 + spec.state_bytes_per_k_keys as f64 / 2_000.0
+            } else {
+                75.0
+            };
+            stage.disruption_s = self.config.scale_out_disruption_s.div_ceil(2);
+            stage.disruption_ms = stage.disruption_ms.max(state_penalty_ms);
+            rebalanced = true;
+        }
+        rebalanced
     }
 
     /// Merge one partition away from each of `stages` (scale in): the
@@ -696,6 +774,60 @@ mod tests {
         assert_eq!(
             summary.final_vms, summary.peak_vms,
             "without scale in the deployment stays at its peak"
+        );
+    }
+
+    #[test]
+    fn skewed_stage_rebalances_instead_of_hoarding_vms() {
+        // 60 % of the traffic pinned to one partition's key range (the
+        // expressway-skew shape). At 30 k tuples/s the toll calculator needs
+        // two VMs in aggregate — but the hot partition alone overflows one,
+        // so an even-split policy keeps splitting without relief, while a
+        // rebalance-aware policy re-draws the boundary once and stops.
+        let run = |rebalance: bool| {
+            let policy = if rebalance {
+                SimScalingPolicy::default().with_rebalance()
+            } else {
+                SimScalingPolicy::default()
+            };
+            let mut engine = SimEngine::new(SimConfig {
+                hot_fraction: 0.6,
+                policy,
+                ..lrb_config()
+            });
+            engine.run(400, |_| 30_000.0).summary()
+        };
+        let plain = run(false);
+        let balanced = run(true);
+        assert_eq!(plain.rebalance_actions, 0);
+        assert!(
+            balanced.rebalance_actions > 0,
+            "the skewed stage must be rebalanced"
+        );
+        assert!(
+            balanced.final_vms < plain.final_vms,
+            "rebalancing must save VMs ({} vs {})",
+            balanced.final_vms,
+            plain.final_vms
+        );
+        assert!(
+            balanced.scale_out_actions < plain.scale_out_actions,
+            "rebalancing must absorb scale-out pressure ({} vs {})",
+            balanced.scale_out_actions,
+            plain.scale_out_actions
+        );
+    }
+
+    #[test]
+    fn uniform_load_never_rebalances() {
+        let mut engine = SimEngine::new(SimConfig {
+            policy: SimScalingPolicy::default().with_rebalance(),
+            ..lrb_config()
+        });
+        let summary = engine.run(300, |_| 30_000.0).summary();
+        assert_eq!(
+            summary.rebalance_actions, 0,
+            "no skew configured, nothing to rebalance"
         );
     }
 

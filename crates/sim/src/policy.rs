@@ -35,6 +35,14 @@ pub struct SimScalingPolicy {
     /// Whether the policy may merge partitions and release VMs.
     #[serde(default)]
     pub scale_in: bool,
+    /// Whether the policy may **rebalance** a skewed stage instead of
+    /// scaling it out: when a partition runs hot while the stage's mean
+    /// utilisation is below the threshold, the key split — not aggregate
+    /// demand — is the problem, and repartitioning by the observed key
+    /// distribution fixes it without consuming a VM (mirrors the runtime's
+    /// `ScalingPolicy::rebalance`).
+    #[serde(default)]
+    pub rebalance: bool,
 }
 
 fn default_low_threshold() -> f64 {
@@ -54,6 +62,7 @@ impl Default for SimScalingPolicy {
             low_threshold: default_low_threshold(),
             scale_in_reports: default_scale_in_reports(),
             scale_in: false,
+            rebalance: false,
         }
     }
 }
@@ -69,6 +78,12 @@ impl SimScalingPolicy {
     pub fn with_scale_in(mut self, low_threshold: f64) -> Self {
         self.scale_in = true;
         self.low_threshold = low_threshold;
+        self
+    }
+
+    /// Enable skew-driven rebalancing.
+    pub fn with_rebalance(mut self) -> Self {
+        self.rebalance = true;
         self
     }
 

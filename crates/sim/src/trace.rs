@@ -28,6 +28,10 @@ pub struct SimRecord {
     /// second.
     #[serde(default)]
     pub scaled_in: bool,
+    /// Whether a rebalance (skew-driven repartition without a VM change)
+    /// happened during this second.
+    #[serde(default)]
+    pub rebalanced: bool,
 }
 
 /// Aggregate summary of a simulation run.
@@ -50,6 +54,9 @@ pub struct SimSummary {
     /// Number of scale-in (merge) actions performed.
     #[serde(default)]
     pub scale_in_actions: usize,
+    /// Number of rebalance actions performed.
+    #[serde(default)]
+    pub rebalance_actions: usize,
     /// Final parallelism per stage.
     pub final_parallelism: Vec<usize>,
 }
@@ -89,6 +96,7 @@ impl SimTrace {
                 total_dropped: 0.0,
                 scale_out_actions: 0,
                 scale_in_actions: 0,
+                rebalance_actions: 0,
                 final_parallelism: Vec::new(),
             };
         }
@@ -110,6 +118,7 @@ impl SimTrace {
             total_dropped: self.records.iter().map(|r| r.dropped).sum(),
             scale_out_actions: self.records.iter().filter(|r| r.scaled_out).count(),
             scale_in_actions: self.records.iter().filter(|r| r.scaled_in).count(),
+            rebalance_actions: self.records.iter().filter(|r| r.rebalanced).count(),
             final_parallelism: last.stage_parallelism.clone(),
         }
     }
@@ -139,6 +148,7 @@ mod tests {
             stage_parallelism: vec![1, vms.saturating_sub(2), 1],
             scaled_out: scaled,
             scaled_in: false,
+            rebalanced: false,
         }
     }
 

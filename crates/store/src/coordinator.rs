@@ -202,6 +202,18 @@ impl BackupCoordinator {
         Ok((checkpoint, read))
     }
 
+    /// A load-weighted key sample of `operator`'s backed-up checkpoint, drawn
+    /// at the store that holds it (so `FileStore` delta chains are
+    /// materialised by the backend before sampling). The plan executor
+    /// samples the checkpoint it has already retrieved for partitioning;
+    /// this entry point serves callers that want a split or skew probe
+    /// *without* shipping the full checkpoint — e.g. a policy asking "is
+    /// this partition's backup skewed?" before committing to a plan.
+    pub fn sample_keys(&self, operator: OperatorId, max: usize) -> Result<Vec<seep_core::Key>> {
+        let backup = self.backup_of(operator).ok_or(Error::NoBackup(operator))?;
+        self.store_of(backup)?.sample_keys(operator, max)
+    }
+
     /// Partition the backed-up checkpoint of `operator` for scale out on the
     /// VM that holds it (Algorithm 2 runs at the backup operator).
     pub fn partition_for_scale_out(
@@ -249,20 +261,9 @@ impl BackupCoordinator {
         upstreams: &[OperatorId],
         merged: &Checkpoint,
     ) -> Result<PutOutcome> {
-        let owner = merged.meta.operator;
-        let chosen = select_backup_operator(owner, upstreams)
-            .ok_or_else(|| Error::Invariant("no upstream for merged backup".into()))?;
-        let put = self.store_of(chosen)?.put(owner, merged.clone())?;
-        self.assignments.lock().insert(owner, chosen);
-        for old in replaced {
-            if let Some(backup) = self.backup_of(old) {
-                if let Ok(store) = self.store_of(backup) {
-                    store.delete(old);
-                }
-            }
-            self.clear_backup_of(old);
-        }
-        Ok(put)
+        let outcomes =
+            self.store_repartitioned(&replaced, upstreams, std::slice::from_ref(merged))?;
+        Ok(outcomes[0])
     }
 
     /// Store partitioned checkpoints as the initial backups of the new
@@ -275,20 +276,41 @@ impl BackupCoordinator {
         upstreams: &[OperatorId],
         partitions: &[Checkpoint],
     ) -> Result<()> {
+        self.store_repartitioned(&[replaced], upstreams, partitions)?;
+        Ok(())
+    }
+
+    /// The common backup bookkeeping behind every reconfiguration shape:
+    /// store the checkpoints of the instances replacing `replaced` as their
+    /// initial backups (each landing on the store chosen by the hash rule
+    /// over `upstreams`) and only then drop every replaced operator's backup,
+    /// so a crash mid-way never leaves the system without any copy. Scale out
+    /// is 1 replaced → π partitions, scale in is 2 → 1, a rebalance is 2 → 2.
+    /// Returns one [`PutOutcome`] per stored partition, in order.
+    pub fn store_repartitioned(
+        &self,
+        replaced: &[OperatorId],
+        upstreams: &[OperatorId],
+        partitions: &[Checkpoint],
+    ) -> Result<Vec<PutOutcome>> {
+        let mut outcomes = Vec::with_capacity(partitions.len());
         for cp in partitions {
             let chosen = select_backup_operator(cp.meta.operator, upstreams)
                 .ok_or_else(|| Error::Invariant("no upstream for partition backup".into()))?;
-            self.store_of(chosen)?.put(cp.meta.operator, cp.clone())?;
+            outcomes.push(self.store_of(chosen)?.put(cp.meta.operator, cp.clone())?);
             self.assignments.lock().insert(cp.meta.operator, chosen);
         }
-        // Afterwards backup(o) is removed safely from the system (line 8).
-        if let Some(old_backup) = self.backup_of(replaced) {
-            if let Ok(store) = self.store_of(old_backup) {
-                store.delete(replaced);
+        // Afterwards the replaced backups are removed safely from the system
+        // (Algorithm 1, line 8).
+        for old in replaced {
+            if let Some(old_backup) = self.backup_of(*old) {
+                if let Ok(store) = self.store_of(old_backup) {
+                    store.delete(*old);
+                }
             }
+            self.clear_backup_of(*old);
         }
-        self.clear_backup_of(replaced);
-        Ok(())
+        Ok(outcomes)
     }
 }
 
@@ -401,6 +423,53 @@ mod tests {
             Checkpoint::empty(OperatorId::new(5)),
         );
         assert!(matches!(err, Err(Error::UnknownOperator(_))));
+    }
+
+    #[test]
+    fn sample_keys_reads_the_backed_up_checkpoint() {
+        let coord = coordinator_with_stores(&[1]);
+        let op = OperatorId::new(5);
+        let mut st = ProcessingState::empty();
+        st.insert(Key(10), vec![0u8; 500]); // hot
+        st.insert(Key(20), vec![0u8; 20]);
+        let cp = Checkpoint::new(op, 1, st, BufferState::new());
+        coord.backup_state(op, &[OperatorId::new(1)], cp).unwrap();
+        let sample = coord.sample_keys(op, 64).unwrap();
+        assert!(!sample.is_empty() && sample.len() <= 64);
+        let hot = sample.iter().filter(|k| **k == Key(10)).count();
+        let cold = sample.iter().filter(|k| **k == Key(20)).count();
+        assert!(hot > cold, "sample must weight by state footprint");
+        // No backup: sampling is an error the caller can fall back from.
+        assert!(matches!(
+            coord.sample_keys(OperatorId::new(99), 64),
+            Err(Error::NoBackup(_))
+        ));
+    }
+
+    #[test]
+    fn store_repartitioned_replaces_a_pair_with_a_pair() {
+        // The rebalance shape: two old partitions replaced by two new ones.
+        let coord = coordinator_with_stores(&[1, 2]);
+        let ups = [OperatorId::new(1), OperatorId::new(2)];
+        for old in [10, 11] {
+            coord
+                .backup_state(OperatorId::new(old), &ups, checkpoint(old, 1))
+                .unwrap();
+        }
+        let parts = vec![
+            Checkpoint::empty(OperatorId::new(20)),
+            Checkpoint::empty(OperatorId::new(21)),
+        ];
+        let outcomes = coord
+            .store_repartitioned(&[OperatorId::new(10), OperatorId::new(11)], &ups, &parts)
+            .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(coord.retrieve(OperatorId::new(20)).is_ok());
+        assert!(coord.retrieve(OperatorId::new(21)).is_ok());
+        for old in [10, 11] {
+            assert!(coord.backup_of(OperatorId::new(old)).is_none());
+            assert!(coord.retrieve(OperatorId::new(old)).is_err());
+        }
     }
 
     #[test]

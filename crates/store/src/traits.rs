@@ -201,6 +201,16 @@ pub trait CheckpointStore: Send + Sync {
         partition_checkpoint(&checkpoint, assignments)
     }
 
+    /// A load-weighted sample of at most `max` keys from the stored latest
+    /// checkpoint of `owner`, used to pick distribution-guided key splits
+    /// during reconfiguration. Restoring through [`latest`](Self::latest)
+    /// means a `FileStore`/`TieredStore` owner backed up as a full record
+    /// plus a delta chain is materialised before sampling, so the sample
+    /// reflects every applied increment.
+    fn sample_keys(&self, owner: OperatorId, max: usize) -> Result<Vec<seep_core::Key>> {
+        Ok(self.latest(owner)?.sample_keys(max))
+    }
+
     /// Merge the stored latest checkpoints of two adjacent partitions into a
     /// single checkpoint owned by `merged` — the scale-in counterpart of
     /// [`partition_for_scale_out`](Self::partition_for_scale_out), run by the

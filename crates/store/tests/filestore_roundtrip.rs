@@ -118,3 +118,37 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+/// Key sampling through a `FileStore` delta chain: the default
+/// `CheckpointStore::sample_keys` materialises the full record plus every
+/// applied increment before sampling, so keys added (or fattened) by deltas
+/// are visible to distribution-guided splits.
+#[test]
+fn sample_keys_sees_keys_added_by_the_delta_chain() {
+    let dir = fresh_dir();
+    let store = FileStore::open_dir(&dir).unwrap();
+    let owner = OperatorId::new(7);
+    let base = checkpoint_from(&[1, 2, 3], 1, 0);
+    store.put(owner, base.clone()).unwrap();
+
+    // A delta adds a hot key that dwarfs the base entries.
+    let mut next = base.clone();
+    next.meta.sequence = 2;
+    next.processing.insert(Key(500), vec![0u8; 2_000]);
+    let inc = IncrementalCheckpoint::diff(&base, &next);
+    store.apply_incremental(owner, &inc).unwrap();
+
+    let sample = store.sample_keys(owner, 64).unwrap();
+    let hot = sample.iter().filter(|k| **k == Key(500)).count();
+    assert!(hot > 0, "delta-added key missing from the sample");
+    assert!(
+        hot > sample.len() / 2,
+        "hot delta key must dominate the weighted sample ({hot}/{})",
+        sample.len()
+    );
+    // The base keys are still represented.
+    for k in [1u64, 2, 3] {
+        assert!(sample.contains(&Key(k)), "base key {k} missing");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -45,6 +45,22 @@ pub struct LrbConfig {
     /// rate profile is stretched accordingly). `LRB_DURATION_SECS` reproduces
     /// the full benchmark; tests and examples use much shorter runs.
     pub duration_secs: u32,
+    /// Expressway skew: the fraction of vehicles concentrated on expressway
+    /// 0's hot band of segments (`hot_segments`), with a Zipf-like 1/(s+1)
+    /// weight inside the band so the first segments dominate — rush-hour
+    /// congestion around an incident. `0.0` (the default) reproduces the
+    /// uniform benchmark. Skewed runs are the test case for
+    /// key-distribution-aware repartitioning: most per-segment state and
+    /// traffic lands on a handful of keys.
+    #[serde(default)]
+    pub hot_fraction: f64,
+    /// Number of segments in the hot band on expressway 0.
+    #[serde(default = "default_hot_segments")]
+    pub hot_segments: u16,
+}
+
+fn default_hot_segments() -> u16 {
+    8
 }
 
 impl Default for LrbConfig {
@@ -55,6 +71,8 @@ impl Default for LrbConfig {
             accident_fraction: 0.002,
             seed: 7,
             duration_secs: LRB_DURATION_SECS,
+            hot_fraction: 0.0,
+            hot_segments: default_hot_segments(),
         }
     }
 }
@@ -66,6 +84,13 @@ impl LrbConfig {
             expressways,
             ..Default::default()
         }
+    }
+
+    /// Same configuration with the given expressway skew.
+    pub fn with_skew(mut self, hot_fraction: f64, hot_segments: u16) -> Self {
+        self.hot_fraction = hot_fraction;
+        self.hot_segments = hot_segments.max(1);
+        self
     }
 }
 
@@ -136,14 +161,49 @@ impl LrbGenerator {
         } else {
             None
         };
+        // Skewed runs concentrate vehicles on expressway 0's hot band,
+        // all travelling inbound (dir 0) — the rush-hour shape.
+        let (xway, seg, dir) =
+            if self.config.hot_fraction > 0.0 && self.rng.gen_bool(self.config.hot_fraction) {
+                let seg = self.hot_segment();
+                (0, seg, 0)
+            } else {
+                (
+                    xway,
+                    self.rng.gen_range(0..SEGMENTS_PER_XWAY),
+                    self.rng.gen_range(0..2),
+                )
+            };
         VehicleState {
             vid,
             xway,
-            dir: self.rng.gen_range(0..2),
-            seg: self.rng.gen_range(0..SEGMENTS_PER_XWAY),
+            dir,
+            seg,
             speed: self.rng.gen_range(30..=70),
             stopped,
         }
+    }
+
+    /// The effective hot band width: at least one segment, never more than
+    /// an expressway holds (an oversized configuration is clamped everywhere
+    /// so movement can't wander outside the valid segment range).
+    fn hot_band(&self) -> u16 {
+        self.config.hot_segments.clamp(1, SEGMENTS_PER_XWAY)
+    }
+
+    /// A segment from the hot band, Zipf-weighted (1/(s+1)) so the first
+    /// segments carry most of the traffic.
+    fn hot_segment(&mut self) -> u16 {
+        let band = self.hot_band();
+        let z: f64 = (0..band).map(|s| 1.0 / (f64::from(s) + 1.0)).sum();
+        let mut pick = self.rng.gen_unit() * z;
+        for s in 0..band {
+            pick -= 1.0 / (f64::from(s) + 1.0);
+            if pick <= 0.0 {
+                return s;
+            }
+        }
+        band - 1
     }
 
     fn report_for(vehicle: &VehicleState, t: u32) -> PositionReport {
@@ -191,12 +251,23 @@ impl LrbGenerator {
             // Advance the vehicle: move a segment occasionally, keep stopped
             // vehicles in place.
             {
+                let band = self.hot_band();
+                let in_hot_band = self.config.hot_fraction > 0.0
+                    && self.vehicles[idx].xway == 0
+                    && self.vehicles[idx].dir == 0
+                    && self.vehicles[idx].seg < band;
                 let v = &mut self.vehicles[idx];
                 match &mut v.stopped {
                     Some(count) => *count = count.saturating_add(1),
                     None => {
                         if self.rng.gen_bool(0.1) {
-                            v.seg = (v.seg + 1) % SEGMENTS_PER_XWAY;
+                            // Hot-band vehicles circulate within the band so
+                            // the skew persists for the whole run.
+                            v.seg = if in_hot_band {
+                                (v.seg + 1) % band
+                            } else {
+                                (v.seg + 1) % SEGMENTS_PER_XWAY
+                            };
                         }
                     }
                 }
@@ -295,6 +366,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn skewed_runs_concentrate_reports_on_the_hot_band() {
+        let mut generator = LrbGenerator::new(
+            LrbConfig {
+                expressways: 4,
+                duration_secs: 100,
+                ..Default::default()
+            }
+            .with_skew(0.8, 8),
+        );
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for t in 0..20 {
+            for r in generator.generate_second(t) {
+                if let LrbRecord::Position(p) = r {
+                    total += 1;
+                    if p.xway == 0 && p.seg < 8 {
+                        hot += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            hot * 10 > total * 6,
+            "≥60 % of reports must land on the hot band ({hot}/{total})"
+        );
+        // The uniform generator spreads reports out.
+        let mut uniform = LrbGenerator::new(LrbConfig {
+            expressways: 4,
+            duration_secs: 100,
+            ..Default::default()
+        });
+        let mut u_hot = 0usize;
+        let mut u_total = 0usize;
+        for t in 0..20 {
+            for r in uniform.generate_second(t) {
+                if let LrbRecord::Position(p) = r {
+                    u_total += 1;
+                    if p.xway == 0 && p.seg < 8 {
+                        u_hot += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            u_hot * 10 < u_total * 2,
+            "uniform runs must not be hot ({u_hot}/{u_total})"
+        );
     }
 
     #[test]

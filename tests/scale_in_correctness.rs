@@ -104,6 +104,104 @@ fn round_trip_with_durable_backend_preserves_counts() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The skewed-split round trip: even-split → rebalance (the key boundary is
+/// re-drawn from the sampled key distribution, both VMs reused) → merge back
+/// to one partition. The counts must equal the never-scaled run at every
+/// step — a rebalance moves state between partitions without losing or
+/// duplicating any of it — and the VM count must be unchanged by the
+/// rebalance itself.
+#[test]
+fn even_split_rebalance_merge_round_trip_keeps_counts() {
+    let (baseline, _) = run_round_trip(RuntimeConfig::default(), 8, 40, None, None);
+
+    let mut harness = WordCountHarness::deploy(RuntimeConfig::default(), 300, 0);
+    for s in 0..8u64 {
+        harness.run_for(1, 40);
+        if s == 2 {
+            let target = harness.runtime.partitions(harness.counter)[0];
+            harness.runtime.scale_out(target, 2).expect("scale out");
+            harness.runtime.drain();
+        }
+        if s == 4 {
+            let vms_before = harness.runtime.vm_count();
+            let parts = harness.runtime.partitions(harness.counter);
+            let outcome = harness
+                .runtime
+                .rebalance(parts[0], parts[1])
+                .expect("rebalance");
+            harness.runtime.drain();
+            assert_eq!(outcome.new_operators.len(), 2);
+            assert_eq!(
+                harness.runtime.vm_count(),
+                vms_before,
+                "a rebalance neither acquires nor releases VMs"
+            );
+            assert_eq!(harness.runtime.parallelism(harness.counter), 2);
+        }
+        if s == 6 {
+            let parts = harness.runtime.partitions(harness.counter);
+            harness
+                .runtime
+                .scale_in(parts[0], parts[1])
+                .expect("scale in");
+            harness.runtime.drain();
+        }
+    }
+    assert_eq!(
+        harness.total_counted_words(),
+        baseline,
+        "counts after the even-split → rebalance → merge round trip must \
+         match the never-scaled run"
+    );
+    assert_eq!(harness.runtime.parallelism(harness.counter), 1);
+    assert_eq!(harness.runtime.metrics().scale_outs().len(), 1);
+    assert_eq!(harness.runtime.metrics().rebalances().len(), 1);
+    assert_eq!(harness.runtime.metrics().scale_ins().len(), 1);
+    // The rebalance record carries the plan's split decision and timing.
+    let record = &harness.runtime.metrics().rebalances()[0];
+    assert_eq!(record.parallelism, 2);
+    assert!(record.timing.total_us > 0);
+}
+
+/// Regression: the merged checkpoint stored as the survivor's initial backup
+/// must carry the merged emit clock. If the merged operator's VM fails
+/// *before its first periodic checkpoint*, serial recovery resets the shared
+/// logical clock from that backup — a zero clock would make the recovered
+/// operator re-issue timestamps the downstream duplicate filters have
+/// already seen, silently discarding genuinely new output.
+#[test]
+fn merged_backup_failing_before_next_checkpoint_recovers_with_live_clock() {
+    let mut harness = WordCountHarness::deploy(RuntimeConfig::default(), 300, 0);
+    harness.run_for(3, 40);
+    let target = harness.runtime.partitions(harness.counter)[0];
+    harness.runtime.scale_out(target, 2).expect("scale out");
+    harness.runtime.drain();
+    harness.run_for(2, 40);
+
+    let parts = harness.runtime.partitions(harness.counter);
+    harness
+        .runtime
+        .scale_in(parts[0], parts[1])
+        .expect("scale in");
+    harness.runtime.drain();
+    let counted_before = harness.total_counted_words();
+
+    // Fail the merged operator immediately — its only backup is the merged
+    // checkpoint stored during the scale in — and recover serially.
+    let merged = harness.runtime.partitions(harness.counter)[0];
+    harness.runtime.fail_operator(merged);
+    harness.runtime.recover(merged, 1).expect("recovery");
+    assert_eq!(harness.total_counted_words(), counted_before);
+
+    // New traffic after the recovery must be counted: the reset clock must
+    // not collide with timestamps the sink's duplicate filter already saw.
+    harness.run_for(2, 40);
+    assert!(
+        harness.total_counted_words() > counted_before,
+        "post-recovery output must not be dropped as duplicates"
+    );
+}
+
 #[test]
 fn repeated_round_trips_keep_counts_stable() {
     let mut harness = WordCountHarness::deploy(RuntimeConfig::default(), 300, 0);

@@ -68,6 +68,42 @@ fn scale_out_followed_by_failure_recovers_each_partition() {
     assert_eq!(harness.runtime.parallelism(harness.counter), 2);
 }
 
+/// Plan equivalence: with the default (Even) split policy the plan-driven
+/// `scale_out` produces exactly the seed behaviour's routing table — the
+/// even key-space split, covering the full range — and records its per-phase
+/// timings.
+#[test]
+fn plan_driven_even_split_matches_seed_routing() {
+    use seep::core::KeyRange;
+
+    let mut harness = WordCountHarness::deploy(RuntimeConfig::default(), 300, 0);
+    harness.run_for(3, 40);
+    let target = harness.runtime.partitions(harness.counter)[0];
+    harness.runtime.scale_out(target, 2).expect("scale out");
+    let graph = harness.runtime.execution_graph();
+    let mut ranges: Vec<KeyRange> = harness
+        .runtime
+        .partitions(harness.counter)
+        .iter()
+        .map(|id| graph.instance(*id).unwrap().key_range)
+        .collect();
+    ranges.sort_by_key(|r| r.lo);
+    assert_eq!(
+        ranges,
+        KeyRange::full().split_even(2).unwrap(),
+        "the default policy must reproduce the seed's even split"
+    );
+    assert!(graph
+        .routing(harness.counter)
+        .unwrap()
+        .covers_exactly(KeyRange::full()));
+    // The plan recorded its split decision and phase timings.
+    let record = &harness.runtime.metrics().scale_outs()[0];
+    assert_eq!(record.timing.split, seep::runtime::SplitKind::Even);
+    assert!(record.timing.total_us > 0);
+    assert!(record.timing.restore_us + record.timing.replay_us <= record.timing.total_us);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
