@@ -3,22 +3,23 @@
 //! a given input rate with fail/recover helpers, and the Linear Road
 //! Benchmark pipeline fed by the (optionally expressway-skewed) LRB
 //! generator for the repartitioning experiments.
+//!
+//! Both harnesses construct their dataflow with the typed
+//! [`seep_runtime::api::Job`] builder and drive it through the
+//! [`seep_runtime::api::JobHandle`] facade.
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
-use seep_core::operator::OperatorFactory;
-use seep_core::{Key, LogicalOpId, OperatorId, QueryGraph, StatefulOperator};
+use seep_core::{Key, LogicalOpId, OperatorId};
 use seep_operators::lrb::{Forwarder, TollCalculator};
 use seep_operators::{WindowedWordCount, WordSplitter};
-use seep_runtime::{Runtime, RuntimeConfig};
+use seep_runtime::api::{discard, passthrough, Job, JobHandle};
+use seep_runtime::RuntimeConfig;
 use seep_workloads::sentences::{SentenceConfig, SentenceGenerator};
 use seep_workloads::{LrbConfig, LrbGenerator};
 
 /// A deployed word-frequency query ready to be driven by an experiment.
 pub struct WordCountHarness {
-    /// The runtime hosting the query.
-    pub runtime: Runtime,
+    /// The handle driving the deployed query.
+    pub handle: JobHandle,
     /// Logical id of the source (data feeder).
     pub source: LogicalOpId,
     /// Logical id of the stateless word splitter.
@@ -39,57 +40,25 @@ impl WordCountHarness {
     /// (which controls the word counter's dictionary / state size, §6.3) and
     /// optional pre-populated dictionary entries.
     pub fn deploy(config: RuntimeConfig, vocabulary: usize, prepopulate: usize) -> Self {
-        let mut b = QueryGraph::builder();
-        let source = b.source("data_feeder");
-        let splitter = b.stateless("word_splitter");
-        let counter = b.stateful("word_counter");
-        let sink = b.sink("sink");
-        b.connect(source, splitter);
-        b.connect(splitter, counter);
-        b.connect(counter, sink);
-        let query = b.build().expect("valid query");
-
-        let mut factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> = HashMap::new();
-        factories.insert(
-            source,
-            Arc::new(|| -> Box<dyn StatefulOperator> {
-                Box::new(seep_core::StatelessFn::new(
-                    "feeder",
-                    |_, t: &seep_core::Tuple, out: &mut Vec<seep_core::OutputTuple>| {
-                        out.push(seep_core::OutputTuple::new(t.key, t.payload.clone()));
-                    },
-                ))
-            }) as Arc<dyn OperatorFactory>,
-        );
-        factories.insert(
-            splitter,
-            Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(WordSplitter::new()) })
-                as Arc<dyn OperatorFactory>,
-        );
-        factories.insert(
-            counter,
-            Arc::new(move || -> Box<dyn StatefulOperator> {
+        let handle = Job::builder(config)
+            .source("data_feeder", passthrough("feeder"))
+            .then_stateless("word_splitter", WordSplitter::new)
+            .then_stateful("word_counter", move || {
                 let mut op = WindowedWordCount::new(WINDOW_MS);
                 if prepopulate > 0 {
                     op.prepopulate(prepopulate);
                 }
-                Box::new(op)
-            }) as Arc<dyn OperatorFactory>,
-        );
-        factories.insert(
-            sink,
-            Arc::new(|| -> Box<dyn StatefulOperator> {
-                Box::new(seep_core::StatelessFn::new(
-                    "collector",
-                    |_, _t: &seep_core::Tuple, _out: &mut Vec<seep_core::OutputTuple>| {},
-                ))
-            }) as Arc<dyn OperatorFactory>,
-        );
-
-        let mut runtime = Runtime::new(config);
-        runtime.deploy(query, factories).expect("deploy");
+                op
+            })
+            .sink("sink", discard("collector"))
+            .deploy()
+            .expect("deploy");
+        let source = handle.op("data_feeder");
+        let splitter = handle.op("word_splitter");
+        let counter = handle.op("word_counter");
+        let sink = handle.op("sink");
         WordCountHarness {
-            runtime,
+            handle,
             source,
             splitter,
             counter,
@@ -105,7 +74,7 @@ impl WordCountHarness {
     /// The physical instance currently hosting the word counter (first
     /// partition).
     pub fn counter_instance(&self) -> OperatorId {
-        self.runtime.partitions(self.counter)[0]
+        self.handle.partitions(self.counter)[0]
     }
 
     /// Drive the query for `seconds` of virtual time at `rate` sentence
@@ -114,17 +83,17 @@ impl WordCountHarness {
     /// are queued, and the pipeline is drained — so checkpoint cost shows up
     /// in the measured per-tuple latency exactly as it would on a busy VM.
     pub fn run_for(&mut self, seconds: u64, rate: u64) {
-        let start = self.runtime.now_ms();
+        let start = self.handle.now_ms();
         for s in 0..seconds {
             for _ in 0..rate {
                 let fragment = self.generator.next_fragment();
                 let payload = bincode::serialize(&fragment).expect("fragment serialises");
-                self.runtime
+                self.handle
                     .inject(self.source, Key::from_str_key(&fragment), payload);
                 self.injected += 1;
             }
-            self.runtime.advance_to(start + (s + 1) * 1_000);
-            self.runtime.drain();
+            self.handle.advance_to(start + (s + 1) * 1_000);
+            self.handle.drain();
         }
     }
 
@@ -137,19 +106,19 @@ impl WordCountHarness {
     /// returning the measured recovery time in milliseconds.
     pub fn fail_and_recover(&mut self, pi: usize) -> f64 {
         let victim = self.counter_instance();
-        self.runtime.fail_operator(victim);
-        let record = self.runtime.recover(victim, pi).expect("recovery succeeds");
+        self.handle.fail_operator(victim);
+        let record = self.handle.recover(victim, pi).expect("recovery succeeds");
         record.duration_ms
     }
 
     /// Total word count across all partitions of the word counter (used for
     /// correctness checks).
     pub fn total_counted_words(&self) -> u64 {
-        self.runtime
+        self.handle
             .partitions(self.counter)
             .iter()
             .filter_map(|id| {
-                self.runtime.with_operator(*id, |op| {
+                self.handle.with_operator(*id, |op| {
                     let state = op.get_processing_state();
                     state
                         .iter()
@@ -174,8 +143,8 @@ impl WordCountHarness {
 /// carries the workload's key distribution — the harness for the
 /// skew-aware-repartitioning experiments.
 pub struct LrbSkewHarness {
-    /// The runtime hosting the query.
-    pub runtime: Runtime,
+    /// The handle driving the deployed pipeline.
+    pub handle: JobHandle,
     /// Logical id of the source.
     pub source: LogicalOpId,
     /// Logical id of the stateless forwarder.
@@ -193,52 +162,19 @@ impl LrbSkewHarness {
     /// Deploy the pipeline with the given runtime and workload
     /// configurations.
     pub fn deploy(config: RuntimeConfig, workload: LrbConfig) -> Self {
-        let mut b = QueryGraph::builder();
-        let source = b.source("data_feeder");
-        let forwarder = b.stateless("forwarder");
-        let calculator = b.stateful("toll_calculator");
-        let sink = b.sink("sink");
-        b.connect(source, forwarder);
-        b.connect(forwarder, calculator);
-        b.connect(calculator, sink);
-        let query = b.build().expect("valid LRB query");
-
-        let mut factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> = HashMap::new();
-        factories.insert(
-            source,
-            Arc::new(|| -> Box<dyn StatefulOperator> {
-                Box::new(seep_core::StatelessFn::new(
-                    "feeder",
-                    |_, t: &seep_core::Tuple, out: &mut Vec<seep_core::OutputTuple>| {
-                        out.push(seep_core::OutputTuple::new(t.key, t.payload.clone()));
-                    },
-                ))
-            }) as Arc<dyn OperatorFactory>,
-        );
-        factories.insert(
-            forwarder,
-            Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(Forwarder::new()) })
-                as Arc<dyn OperatorFactory>,
-        );
-        factories.insert(
-            calculator,
-            Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(TollCalculator::new()) })
-                as Arc<dyn OperatorFactory>,
-        );
-        factories.insert(
-            sink,
-            Arc::new(|| -> Box<dyn StatefulOperator> {
-                Box::new(seep_core::StatelessFn::new(
-                    "lrb_sink",
-                    |_, _t: &seep_core::Tuple, _out: &mut Vec<seep_core::OutputTuple>| {},
-                ))
-            }) as Arc<dyn OperatorFactory>,
-        );
-
-        let mut runtime = Runtime::new(config);
-        runtime.deploy(query, factories).expect("deploy");
+        let handle = Job::builder(config)
+            .source("data_feeder", passthrough("feeder"))
+            .then_stateless("forwarder", Forwarder::new)
+            .then_stateful("toll_calculator", TollCalculator::new)
+            .sink("sink", discard("lrb_sink"))
+            .deploy()
+            .expect("deploy");
+        let source = handle.op("data_feeder");
+        let forwarder = handle.op("forwarder");
+        let calculator = handle.op("toll_calculator");
+        let sink = handle.op("sink");
         LrbSkewHarness {
-            runtime,
+            handle,
             source,
             forwarder,
             calculator,
@@ -256,21 +192,21 @@ impl LrbSkewHarness {
             for record in records {
                 let key = Key::from_u64((u64::from(record.time()) << 32) | u64::from(self.t));
                 let payload = bincode::serialize(&record).expect("serialise");
-                self.runtime.inject(self.source, key, payload);
+                self.handle.inject(self.source, key, payload);
             }
             self.t += 1;
-            self.runtime.advance_to(u64::from(self.t) * 1_000);
-            self.runtime.drain();
+            self.handle.advance_to(u64::from(self.t) * 1_000);
+            self.handle.drain();
         }
     }
 
     /// Tuples processed so far by each toll-calculator partition, in
     /// partition order.
     pub fn calculator_processed(&self) -> Vec<(OperatorId, u64)> {
-        self.runtime
+        self.handle
             .partitions(self.calculator)
             .iter()
-            .map(|id| (*id, self.runtime.metrics().processed_by(*id)))
+            .map(|id| (*id, self.handle.metrics().processed_by(*id)))
             .collect()
     }
 }
@@ -315,13 +251,13 @@ mod tests {
         let h_small = WordCountHarness::deploy(RuntimeConfig::default(), 100, 100);
         let h_large = WordCountHarness::deploy(RuntimeConfig::default(), 100, 10_000);
         let small = h_small
-            .runtime
+            .handle
             .with_operator(h_small.counter_instance(), |op| {
                 op.get_processing_state().size_bytes()
             })
             .unwrap();
         let large = h_large
-            .runtime
+            .handle
             .with_operator(h_large.counter_instance(), |op| {
                 op.get_processing_state().size_bytes()
             })

@@ -59,7 +59,7 @@ fn measure_recovery(
     // multiple of the interval would always fail right after a checkpoint and
     // under-state the replay cost of long intervals.
     if strategy.checkpoints() && checkpoint_interval_s > 1 {
-        let elapsed_s = harness.runtime.now_ms() / 1_000;
+        let elapsed_s = harness.handle.now_ms() / 1_000;
         let since_last = elapsed_s % checkpoint_interval_s;
         let extra = checkpoint_interval_s - 1 - since_last.min(checkpoint_interval_s - 1);
         if extra > 0 {
@@ -69,7 +69,7 @@ fn measure_recovery(
     let words_before = harness.total_counted_words();
     let recovery_ms = harness.fail_and_recover(parallelism);
     let replayed = harness
-        .runtime
+        .handle
         .metrics()
         .recoveries()
         .last()
@@ -202,7 +202,7 @@ fn measure_overhead(
     config.latency_probe_at_stateful = true;
     let mut harness = WordCountHarness::deploy(config, 10_000, entries);
     harness.run_for(duration_s, rate);
-    let metrics = harness.runtime.metrics();
+    let metrics = harness.handle.metrics();
     let checkpoints = metrics.checkpoints();
     let mean_checkpoint_ms = if checkpoints.is_empty() {
         0.0
@@ -316,7 +316,7 @@ fn measure_backend(
         words_before,
         "backend {label} lost state across recovery"
     );
-    let metrics = harness.runtime.metrics();
+    let metrics = harness.handle.metrics();
     let io = metrics.store_io(backend_label);
     let checkpoints = metrics.checkpoints();
     let mean_checkpoint_ms = if checkpoints.is_empty() {
@@ -429,17 +429,17 @@ fn measure_skew_leg(
     let mut h = LrbSkewHarness::deploy(config, skewed_workload(l, total_s));
     // Warm up past at least one checkpoint so the split samples real state.
     h.run_for(warmup_s.max(6));
-    let target = h.runtime.partitions(h.calculator)[0];
-    h.runtime.scale_out(target, 2).expect("scale out");
-    h.runtime.drain();
+    let target = h.handle.partitions(h.calculator)[0];
+    h.handle.scale_out(target, 2).expect("scale out");
+    h.handle.drain();
     if rebalance {
         // Let the even split's skew manifest, then repartition in place.
         h.run_for(warmup_s.max(3));
-        let parts = h.runtime.partitions(h.calculator);
-        h.runtime.rebalance(parts[0], parts[1]).expect("rebalance");
-        h.runtime.drain();
+        let parts = h.handle.partitions(h.calculator);
+        h.handle.rebalance(parts[0], parts[1]).expect("rebalance");
+        h.handle.drain();
     }
-    h.runtime.metrics().reset_latencies();
+    h.handle.metrics().reset_latencies();
     let before: Vec<(seep_core::OperatorId, u64)> = h.calculator_processed();
     h.run_for(measure_s);
     let after = h.calculator_processed();
@@ -454,7 +454,7 @@ fn measure_skew_leg(
             n - base
         })
         .collect();
-    let metrics = h.runtime.metrics();
+    let metrics = h.handle.metrics();
     let (reconfigurations, last_timing) = {
         let outs = metrics.scale_outs();
         let rebs = metrics.rebalances();
@@ -556,7 +556,7 @@ pub fn runtime_elasticity(
         ..RuntimeConfig::default()
     };
     let mut h = WordCountHarness::deploy(config, 5_000, 0);
-    h.runtime.set_auto_scale(true);
+    h.handle.set_auto_scale(true);
 
     let profile = RateSchedule::Trapezoid {
         base: base_rate as f64,
@@ -565,7 +565,7 @@ pub fn runtime_elasticity(
         plateau_ms: plateau_s * 1_000,
         ramp_down_ms: ramp_down_s * 1_000,
     };
-    let mut peak_vms = h.runtime.vm_count();
+    let mut peak_vms = h.handle.vm_count();
     let mut phases = Vec::new();
     let bounds = [
         ("ramp-up", ramp_up_s),
@@ -579,15 +579,15 @@ pub fn runtime_elasticity(
             let rate = profile.rate_at(elapsed * 1_000).round() as u64;
             h.run_for(1, rate);
             elapsed += 1;
-            peak_vms = peak_vms.max(h.runtime.vm_count());
+            peak_vms = peak_vms.max(h.handle.vm_count());
         }
         phases.push(RuntimeElasticityPhase {
             phase: label.to_string(),
-            end_vms: h.runtime.vm_count(),
-            end_parallelism: h.runtime.parallelism(h.counter),
+            end_vms: h.handle.vm_count(),
+            end_parallelism: h.handle.parallelism(h.counter),
         });
     }
-    let metrics = h.runtime.metrics();
+    let metrics = h.handle.metrics();
     let outs = metrics.scale_outs();
     let ins = metrics.scale_ins();
     let mean = |us: Vec<u64>| {
@@ -604,7 +604,7 @@ pub fn runtime_elasticity(
         mean_scale_out_us: mean(outs.iter().map(|r| r.timing.total_us).collect()),
         mean_scale_in_us: mean(ins.iter().map(|r| r.timing.total_us).collect()),
         peak_vms,
-        final_vms: h.runtime.vm_count(),
+        final_vms: h.handle.vm_count(),
     }
 }
 

@@ -28,6 +28,10 @@ pub enum Error {
     UnknownLogicalOperator(u32),
     /// The query graph is malformed (cycle, missing source/sink, ...).
     InvalidGraph(String),
+    /// A query is already deployed where a fresh deployment was required.
+    /// Deploying twice would silently clobber the running workers, clocks and
+    /// execution graph, so the runtime rejects it.
+    AlreadyDeployed,
     /// State spilling to disk failed.
     Spill(String),
     /// A checkpoint-store backend failed (I/O error, corrupt log record, …).
@@ -50,6 +54,9 @@ impl fmt::Display for Error {
             Error::UnknownOperator(op) => write!(f, "unknown operator instance {op}"),
             Error::UnknownLogicalOperator(op) => write!(f, "unknown logical operator {op}"),
             Error::InvalidGraph(msg) => write!(f, "invalid query graph: {msg}"),
+            Error::AlreadyDeployed => {
+                write!(f, "a query is already deployed on this runtime")
+            }
             Error::Spill(msg) => write!(f, "spill error: {msg}"),
             Error::Store(msg) => write!(f, "checkpoint store error: {msg}"),
             Error::Invariant(msg) => write!(f, "invariant violation: {msg}"),
@@ -77,6 +84,8 @@ mod tests {
         assert!(e.to_string().contains('0'));
         let e = Error::NoRoute(0xff);
         assert!(e.to_string().contains("0xff"));
+        let e = Error::AlreadyDeployed;
+        assert!(e.to_string().contains("already deployed"));
     }
 
     #[test]

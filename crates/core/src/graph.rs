@@ -76,7 +76,16 @@ pub struct QueryGraph {
 }
 
 impl QueryGraph {
-    /// Start building a query graph.
+    /// Start building a bare query graph — topology only, no operator
+    /// factories.
+    ///
+    /// Most users want `seep-runtime`'s typed job builder instead
+    /// (`Job::builder` in `seep_runtime::api`), which declares each
+    /// operator's factory together with the topology and deploys the two as
+    /// one artifact; this low-level builder exists for code that pairs the
+    /// graph with a factory map by hand at `Runtime::deploy`.
+    #[doc(alias = "Job")]
+    #[doc(alias = "JobBuilder")]
     pub fn builder() -> QueryGraphBuilder {
         QueryGraphBuilder::default()
     }

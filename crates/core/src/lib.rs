@@ -55,7 +55,10 @@ pub use dedup::DuplicateFilter;
 pub use error::{Error, Result};
 pub use graph::{ExecutionGraph, LogicalOpId, OperatorKind, QueryGraph, QueryGraphBuilder};
 pub use key::{sample_imbalance, KeyRange, KeySplit};
-pub use operator::{OperatorId, OutputTuple, StatefulOperator, StatelessFn};
+pub use operator::{
+    CloneFactory, IntoOperatorFactory, OperatorFactory, OperatorId, OutputTuple, StatefulOperator,
+    StatelessFn,
+};
 pub use spill::{MemoryBudget, SpillPolicy, SpillStore};
 pub use state::{BufferState, ProcessingState, RoutingState};
 pub use tuple::{Key, StreamId, Timestamp, TimestampVec, Tuple};

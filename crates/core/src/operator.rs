@@ -9,6 +9,7 @@
 //! state is always empty.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -164,10 +165,46 @@ where
     }
 }
 
+/// Boxed trait objects act as operators themselves, so factories may return
+/// either a concrete operator or an already-erased `Box<dyn StatefulOperator>`
+/// interchangeably.
+impl StatefulOperator for Box<dyn StatefulOperator> {
+    fn process(&mut self, stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>) {
+        (**self).process(stream, tuple, out)
+    }
+
+    fn get_processing_state(&self) -> ProcessingState {
+        (**self).get_processing_state()
+    }
+
+    fn set_processing_state(&mut self, state: ProcessingState) {
+        (**self).set_processing_state(state)
+    }
+
+    fn is_stateful(&self) -> bool {
+        (**self).is_stateful()
+    }
+
+    fn on_tick(&mut self, now_ms: u64, out: &mut Vec<OutputTuple>) {
+        (**self).on_tick(now_ms, out)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 /// Factory that builds fresh instances of an operator, used when the SPS
 /// deploys new partitioned operators onto new VMs during scale out or
 /// recovery. The fresh instance starts with empty state; the SPS then calls
 /// [`StatefulOperator::set_processing_state`] with the partitioned checkpoint.
+///
+/// Any `Fn() -> O` closure where `O: StatefulOperator` is a factory, so
+/// operator constructors can be passed directly — e.g.
+/// `builder.then_stateful("count", || WindowedWordCount::new(30_000))` with
+/// the job API, no boxing or `as Arc<dyn OperatorFactory>` casts required.
+/// For operators that are `Clone`, [`CloneFactory`] turns a prototype value
+/// into a factory.
 pub trait OperatorFactory: Send + Sync {
     /// Build a fresh operator instance.
     fn build(&self) -> Box<dyn StatefulOperator>;
@@ -178,12 +215,70 @@ pub trait OperatorFactory: Send + Sync {
     }
 }
 
-impl<F> OperatorFactory for F
+impl<F, O> OperatorFactory for F
 where
-    F: Fn() -> Box<dyn StatefulOperator> + Send + Sync,
+    F: Fn() -> O + Send + Sync,
+    O: StatefulOperator + 'static,
 {
     fn build(&self) -> Box<dyn StatefulOperator> {
-        self()
+        Box::new(self())
+    }
+}
+
+/// Factory that clones a prototype operator value for every build.
+///
+/// This is the "factory from a [`StatefulOperator`] value" adapter: operators
+/// that are `Clone` (most pure-state operators are) can be handed to the job
+/// API directly as `CloneFactory::new(op)` instead of a construction closure.
+pub struct CloneFactory<O> {
+    prototype: O,
+}
+
+impl<O> CloneFactory<O>
+where
+    O: StatefulOperator + Clone + Sync + 'static,
+{
+    /// Wrap a prototype operator; every [`OperatorFactory::build`] clones it.
+    pub fn new(prototype: O) -> Self {
+        CloneFactory { prototype }
+    }
+}
+
+impl<O> OperatorFactory for CloneFactory<O>
+where
+    O: StatefulOperator + Clone + Sync + 'static,
+{
+    fn build(&self) -> Box<dyn StatefulOperator> {
+        Box::new(self.prototype.clone())
+    }
+
+    fn name(&self) -> &str {
+        self.prototype.name()
+    }
+}
+
+/// Conversion into a shared operator factory, accepted wherever the job API
+/// takes a factory. Implemented by every [`OperatorFactory`] (closures
+/// included, via the blanket impl) and by `Arc<dyn OperatorFactory>` itself,
+/// so both fresh closures and pre-shared factories can be passed without
+/// casts.
+pub trait IntoOperatorFactory {
+    /// Convert into a shared factory handle.
+    fn into_factory(self) -> Arc<dyn OperatorFactory>;
+}
+
+impl<F> IntoOperatorFactory for F
+where
+    F: OperatorFactory + 'static,
+{
+    fn into_factory(self) -> Arc<dyn OperatorFactory> {
+        Arc::new(self)
+    }
+}
+
+impl IntoOperatorFactory for Arc<dyn OperatorFactory> {
+    fn into_factory(self) -> Arc<dyn OperatorFactory> {
+        self
     }
 }
 
@@ -234,6 +329,77 @@ mod tests {
         };
         let op = OperatorFactory::build(&factory);
         assert!(!op.is_stateful());
+    }
+
+    #[test]
+    fn factory_from_concrete_closure_needs_no_boxing() {
+        // A closure returning a concrete operator type is a factory directly.
+        let factory = || StatelessFn::new("noop", |_, _, _: &mut Vec<OutputTuple>| {});
+        let op = OperatorFactory::build(&factory);
+        assert!(!op.is_stateful());
+        assert_eq!(op.name(), "noop");
+    }
+
+    #[test]
+    fn boxed_operator_forwards_through_stateful_impl() {
+        let mut boxed: Box<dyn StatefulOperator> = Box::new(StatelessFn::new(
+            "fwd",
+            |_s, t: &Tuple, out: &mut Vec<OutputTuple>| {
+                out.push(OutputTuple::new(t.key, t.payload.clone()));
+            },
+        ));
+        let mut out = Vec::new();
+        StatefulOperator::process(
+            &mut boxed,
+            StreamId(0),
+            &Tuple::new(1, Key(5), vec![7]),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(StatefulOperator::name(&boxed), "fwd");
+        assert!(!StatefulOperator::is_stateful(&boxed));
+        assert!(StatefulOperator::get_processing_state(&boxed).is_empty());
+    }
+
+    #[derive(Clone)]
+    struct Proto {
+        state: ProcessingState,
+    }
+
+    impl StatefulOperator for Proto {
+        fn process(&mut self, _s: StreamId, _t: &Tuple, _o: &mut Vec<OutputTuple>) {}
+        fn get_processing_state(&self) -> ProcessingState {
+            self.state.clone()
+        }
+        fn set_processing_state(&mut self, state: ProcessingState) {
+            self.state = state;
+        }
+        fn name(&self) -> &str {
+            "proto"
+        }
+    }
+
+    #[test]
+    fn clone_factory_clones_the_prototype() {
+        let mut state = ProcessingState::empty();
+        state.insert(Key(1), vec![9]);
+        let factory = CloneFactory::new(Proto { state });
+        assert_eq!(factory.name(), "proto");
+        let a = factory.build();
+        let b = factory.build();
+        assert_eq!(a.get_processing_state().len(), 1);
+        assert_eq!(b.get_processing_state().len(), 1);
+    }
+
+    #[test]
+    fn into_factory_accepts_closures_and_shared_factories() {
+        let from_closure =
+            (|| StatelessFn::new("a", |_, _, _: &mut Vec<OutputTuple>| {})).into_factory();
+        assert!(!from_closure.build().is_stateful());
+        // An already-shared factory passes through unchanged.
+        let shared: Arc<dyn OperatorFactory> = from_closure.clone();
+        let same = shared.into_factory();
+        assert!(Arc::ptr_eq(&from_closure, &same));
     }
 
     #[test]

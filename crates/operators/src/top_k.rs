@@ -22,10 +22,17 @@ pub struct RankingEntry {
     pub interval: u64,
 }
 
+/// A dictionary entry of the reducer's processing state: one counted item.
+///
+/// Public so that result aggregators (the paper's sink merges partial
+/// rankings from the partitioned reducers) can decode the reducer's
+/// checkpointable state entries directly.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-struct ItemCount {
-    item: String,
-    count: u64,
+pub struct ItemCount {
+    /// The counted item (e.g. a Wikipedia language code).
+    pub item: String,
+    /// Number of visits so far in the current interval.
+    pub count: u64,
 }
 
 /// Stateful top-k reducer.

@@ -1,0 +1,49 @@
+//! The typed job API: one fluent facade over graph construction, operator
+//! factories and deployment.
+//!
+//! The paper treats a query as a single artifact — a dataflow of operators
+//! whose state the platform owns end to end. This module makes the public
+//! API match: a [`Job`] couples the [`seep_core::QueryGraph`] topology with
+//! the operator factories *at declaration time*, so "no factory registered
+//! for op" is unrepresentable, and [`Job::deploy`] returns a [`JobHandle`]
+//! that drives the running deployment by operator **name** instead of raw
+//! [`seep_core::LogicalOpId`] handles.
+//!
+//! ```
+//! use seep_core::{Key, OutputTuple, StatelessFn, Tuple};
+//! use seep_runtime::api::Job;
+//! use seep_runtime::RuntimeConfig;
+//!
+//! let mut handle = Job::builder(RuntimeConfig::default())
+//!     .source("feed", || {
+//!         StatelessFn::new("feed", |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
+//!             out.push(OutputTuple::new(t.key, t.payload.clone()));
+//!         })
+//!     })
+//!     .then_stateless("echo", || {
+//!         StatelessFn::new("echo", |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
+//!             out.push(OutputTuple::new(t.key, t.payload.clone()));
+//!         })
+//!     })
+//!     .sink("out", || {
+//!         StatelessFn::new("out", |_, _t: &Tuple, _out: &mut Vec<OutputTuple>| {})
+//!     })
+//!     .deploy()
+//!     .expect("valid job");
+//!
+//! handle.inject("feed", Key(7), vec![1u8, 2, 3]);
+//! assert!(handle.drain() >= 2, "echo and sink each process the tuple");
+//! ```
+//!
+//! The low-level pairing —
+//! [`Runtime::deploy`](crate::Runtime::deploy) with a hand-built
+//! `QueryGraph` plus a factory map — remains available underneath and is
+//! what `Job::deploy` itself calls; [`JobHandle::runtime`] and
+//! [`JobHandle::runtime_mut`] expose it for anything the facade does not
+//! cover.
+
+mod builder;
+mod handle;
+
+pub use builder::{discard, passthrough, Job, JobBuilder};
+pub use handle::{JobHandle, OpSelector, SinkCollector};

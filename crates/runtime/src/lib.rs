@@ -6,6 +6,14 @@
 //! integrated scale out / recovery (Algorithm 3) using the state-management
 //! primitives of `seep-core`.
 //!
+//! Queries are described and deployed through the typed job facade in
+//! [`api`]: [`api::Job::builder`] fuses the dataflow topology with the
+//! operator factories (each node takes its factory at declaration) and
+//! [`api::Job::deploy`] returns an [`api::JobHandle`] that drives the
+//! deployment by operator name. The handle wraps the low-level layer —
+//! [`runtime::Runtime::deploy`] over a hand-built
+//! [`seep_core::QueryGraph`] plus factory map — which remains public.
+//!
 //! The runtime is **controller-driven**: the experiment harness (or an
 //! example binary) owns a [`runtime::Runtime`], injects source tuples,
 //! advances virtual time with [`runtime::Runtime::advance_to`] (which triggers
@@ -23,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod bottleneck;
 pub mod config;
 pub mod metrics;
@@ -31,6 +40,7 @@ pub mod recovery;
 pub mod runtime;
 pub mod worker;
 
+pub use api::{Job, JobBuilder, JobHandle, SinkCollector};
 pub use bottleneck::{BottleneckDetector, ScalingPolicy};
 pub use config::RuntimeConfig;
 pub use metrics::{

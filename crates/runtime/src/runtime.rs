@@ -145,16 +145,38 @@ impl Runtime {
     /// (parallelisation level 1, Fig. 3a). `factories` provides a fresh
     /// operator instance per logical operator, used both at deployment and
     /// whenever new partitions are created during scale out or recovery.
+    ///
+    /// This is the low-level layer: the query graph and the factory map are
+    /// paired here, and a missing or mismatched pairing is rejected. The
+    /// typed [`crate::api::Job`] builder constructs both together, making
+    /// those mismatches unrepresentable.
+    ///
+    /// A runtime hosts at most one query: a second `deploy` returns
+    /// [`Error::AlreadyDeployed`] instead of silently clobbering the running
+    /// workers, clocks and execution graph.
     pub fn deploy(
         &mut self,
         query: QueryGraph,
         factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>>,
     ) -> Result<()> {
+        if self.graph.is_some() {
+            return Err(Error::AlreadyDeployed);
+        }
         for op in query.operators() {
             if !factories.contains_key(&op.id) {
                 return Err(Error::InvalidGraph(format!(
                     "no operator factory registered for {} ({})",
                     op.id, op.name
+                )));
+            }
+        }
+        // The reverse mismatch fails just as loudly: a factory keyed by an id
+        // that is not in the query is a typo waiting to deploy the wrong
+        // operator silently.
+        for id in factories.keys() {
+            if query.operator(*id).is_err() {
+                return Err(Error::InvalidGraph(format!(
+                    "operator factory registered for {id}, which is not in the query graph"
                 )));
             }
         }
@@ -954,6 +976,55 @@ mod tests {
         assert_eq!(misses, 0);
         assert_eq!(h.runtime.parallelism(h.count), 1);
         assert_eq!(h.runtime.execution_graph().total_instances(), 4);
+    }
+
+    #[test]
+    fn second_deploy_is_rejected_and_leaves_the_first_intact() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        inject_sentence(&mut h, "before redeploy");
+        h.runtime.drain();
+        let instances_before = h.runtime.execution_graph().total_instances();
+
+        let mut b = QueryGraph::builder();
+        let src = b.source("src2");
+        let snk = b.sink("snk2");
+        b.connect(src, snk);
+        let query = b.build().unwrap();
+        let mut factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> = HashMap::new();
+        let feeder = || StatelessFn::new("noop", |_, _t: &Tuple, _out: &mut Vec<OutputTuple>| {});
+        factories.insert(src, Arc::new(feeder));
+        factories.insert(snk, Arc::new(feeder));
+
+        let err = h.runtime.deploy(query, factories).unwrap_err();
+        assert_eq!(err, Error::AlreadyDeployed);
+        // The original deployment keeps running untouched.
+        assert_eq!(
+            h.runtime.execution_graph().total_instances(),
+            instances_before
+        );
+        assert_eq!(count_of(&h, "redeploy"), 1);
+    }
+
+    #[test]
+    fn deploy_rejects_factory_for_unknown_operator() {
+        let mut b = QueryGraph::builder();
+        let src = b.source("src");
+        let snk = b.sink("snk");
+        b.connect(src, snk);
+        let query = b.build().unwrap();
+        let noop = || StatelessFn::new("noop", |_, _t: &Tuple, _out: &mut Vec<OutputTuple>| {});
+        let mut factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> = HashMap::new();
+        factories.insert(src, Arc::new(noop));
+        factories.insert(snk, Arc::new(noop));
+        // A typo'd id that is not part of the query graph.
+        factories.insert(LogicalOpId(99), Arc::new(noop));
+
+        let mut runtime = Runtime::new(RuntimeConfig::default());
+        let err = runtime.deploy(query, factories).unwrap_err();
+        assert!(
+            matches!(err, Error::InvalidGraph(ref msg) if msg.contains("lop99")),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

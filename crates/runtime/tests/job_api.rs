@@ -1,0 +1,261 @@
+//! Integration tests for the typed `Job` builder API: construction-time
+//! validation (cycles, dead-end sinks, duplicate names, dangling
+//! `branch`/`connect` targets), the low-level deploy guards it sits on, and
+//! a round-trip proving a `Job`-built deployment behaves identically to the
+//! hand-built `QueryGraph` + factory-map path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use seep_core::operator::OperatorFactory;
+use seep_core::{Error, Key, LogicalOpId, QueryGraph, StatelessFn, Tuple};
+use seep_operators::word_count::WordFrequency;
+use seep_operators::{WindowedWordCount, WordSplitter};
+use seep_runtime::api::{discard, passthrough, Job, SinkCollector};
+use seep_runtime::{Runtime, RuntimeConfig};
+
+fn invalid_graph(err: Error) -> String {
+    match err {
+        Error::InvalidGraph(msg) => msg,
+        other => panic!("expected InvalidGraph, got {other:?}"),
+    }
+}
+
+#[test]
+fn builder_rejects_cycles() {
+    let err = Job::builder(RuntimeConfig::default())
+        .source("src", passthrough("src"))
+        .then_stateful("a", passthrough("a"))
+        .then_stateful("b", passthrough("b"))
+        .connect("b", "a") // back edge: a -> b -> a
+        .sink("sink", discard("sink"))
+        .build()
+        .unwrap_err();
+    assert!(invalid_graph(err).contains("cycle"));
+}
+
+#[test]
+fn builder_rejects_sink_with_no_inbound_stream() {
+    // `sink()` always chains from the cursor, so an orphaned sink can only
+    // be declared through the explicit `add_sink` + `connect` path — and a
+    // forgotten `connect` must fail loudly at build time.
+    let err = Job::builder(RuntimeConfig::default())
+        .source("src", passthrough("src"))
+        .sink("connected", discard("connected"))
+        .add_sink("orphan", discard("orphan"))
+        .build()
+        .map(|_| ())
+        .unwrap_err();
+    assert!(invalid_graph(err).contains("no inbound stream"));
+
+    // With the connect in place the same shape is valid.
+    let job = Job::builder(RuntimeConfig::default())
+        .source("src", passthrough("src"))
+        .sink("connected", discard("connected"))
+        .add_sink("fan_in", discard("fan_in"))
+        .connect("src", "fan_in")
+        .build()
+        .expect("explicitly connected sink is valid");
+    assert_eq!(job.query().sinks().len(), 2);
+}
+
+#[test]
+fn builder_rejects_dead_end_operator_with_no_outbound_stream() {
+    let err = Job::builder(RuntimeConfig::default())
+        .source("src", passthrough("src"))
+        .sink("sink", discard("sink"))
+        .branch("src")
+        .then_stateful("dangling", passthrough("dangling"))
+        .build()
+        .unwrap_err();
+    assert!(invalid_graph(err).contains("no outbound stream"));
+}
+
+#[test]
+fn builder_rejects_duplicate_operator_names() {
+    let err = Job::builder(RuntimeConfig::default())
+        .source("feed", passthrough("feed"))
+        .then_stateful("count", passthrough("count"))
+        .then_stateful("count", passthrough("count"))
+        .sink("sink", discard("sink"))
+        .build()
+        .unwrap_err();
+    assert!(invalid_graph(err).contains("duplicate operator name"));
+}
+
+#[test]
+fn builder_rejects_unknown_branch_and_connect_targets() {
+    let err = Job::builder(RuntimeConfig::default())
+        .source("src", passthrough("src"))
+        .branch("nope")
+        .sink("sink", discard("sink"))
+        .build()
+        .unwrap_err();
+    assert!(invalid_graph(err).contains("branch target"));
+
+    let err = Job::builder(RuntimeConfig::default())
+        .source("src", passthrough("src"))
+        .sink("sink", discard("sink"))
+        .connect("src", "typo")
+        .build()
+        .unwrap_err();
+    assert!(invalid_graph(err).contains("connect target"));
+}
+
+#[test]
+fn builder_rejects_chaining_without_a_source() {
+    let err = Job::builder(RuntimeConfig::default())
+        .then_stateful("count", passthrough("count"))
+        .build()
+        .unwrap_err();
+    assert!(invalid_graph(err).contains("nothing to chain from"));
+}
+
+#[test]
+fn deploying_twice_on_one_runtime_is_rejected() {
+    let (config, query, factories) = word_count_job().into_parts();
+    let mut runtime = Runtime::new(config);
+    runtime.deploy(query.clone(), factories.clone()).unwrap();
+    let err = runtime.deploy(query, factories).unwrap_err();
+    assert_eq!(err, Error::AlreadyDeployed);
+}
+
+#[test]
+fn low_level_deploy_rejects_factory_for_unknown_operator() {
+    let (config, query, mut factories) = word_count_job().into_parts();
+    factories.insert(
+        LogicalOpId(4040),
+        seep_runtime::api::passthrough("typo"), // keyed by an id the query lacks
+    );
+    let mut runtime = Runtime::new(config);
+    let err = runtime.deploy(query, factories).unwrap_err();
+    assert!(invalid_graph(err).contains("lop4040"));
+}
+
+/// The word-count query as a `Job` (builder path).
+fn word_count_job() -> Job {
+    Job::builder(RuntimeConfig::default())
+        .source("data_feeder", passthrough("feeder"))
+        .then_stateless("word_splitter", WordSplitter::new)
+        .then_stateful("word_counter", || WindowedWordCount::new(30_000))
+        .sink("sink", discard("collector"))
+        .build()
+        .expect("valid word-count job")
+}
+
+/// Drive a deployed word-count runtime through a fixed script and return the
+/// per-word counts.
+fn run_script(runtime: &mut Runtime, src: LogicalOpId, count: LogicalOpId) -> Vec<(String, u64)> {
+    let sentences = [
+        "alpha beta gamma",
+        "beta gamma",
+        "gamma gamma delta",
+        "epsilon alpha",
+    ];
+    for (i, sentence) in sentences.iter().enumerate() {
+        let payload = bincode::serialize(&sentence.to_string()).unwrap();
+        runtime.inject(src, Key::from_str_key(sentence), payload);
+        runtime.drain();
+        // Cross checkpoint boundaries mid-script (the interval is 5 s) while
+        // staying inside the 30 s window, so the counter state read below
+        // still holds the accumulated counts.
+        runtime.advance_to((i as u64 + 1) * 5_000);
+    }
+
+    let mut counts: Vec<(String, u64)> = Vec::new();
+    for word in ["alpha", "beta", "gamma", "delta", "epsilon"] {
+        let total: u64 = runtime
+            .partitions(count)
+            .iter()
+            .filter_map(|id| {
+                runtime.with_operator(*id, |op| {
+                    op.get_processing_state()
+                        .get_decoded::<seep_operators::word_count::WordEntry>(Key::from_str_key(
+                            word,
+                        ))
+                        .ok()
+                        .flatten()
+                        .map(|e| e.count)
+                })
+            })
+            .flatten()
+            .sum();
+        counts.push((word.to_string(), total));
+    }
+
+    // Close the 30 s window so the frequencies are delivered to the sink.
+    runtime.advance_to(40_000);
+    runtime.drain();
+    counts
+}
+
+/// Round trip: the `Job`-built deployment must produce counts identical to
+/// the hand-built `QueryGraph` + factory-map path on the same word-count
+/// script — the new facade is sugar over the low-level layer, not a fork of
+/// its semantics.
+#[test]
+fn job_built_deployment_matches_hand_built_path() {
+    // Path A: hand-built QueryGraph + factory map + Runtime::deploy, exactly
+    // the boilerplate the examples used to carry.
+    let mut b = QueryGraph::builder();
+    let src = b.source("data_feeder");
+    let split = b.stateless("word_splitter");
+    let count = b.stateful("word_counter");
+    let snk = b.sink("sink");
+    b.connect(src, split);
+    b.connect(split, count);
+    b.connect(count, snk);
+    let query = b.build().unwrap();
+
+    let results_a: Arc<parking_lot::Mutex<Vec<WordFrequency>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let results_for_sink = results_a.clone();
+    let mut factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> = HashMap::new();
+    factories.insert(src, seep_runtime::api::passthrough("feeder"));
+    factories.insert(split, Arc::new(WordSplitter::new));
+    factories.insert(count, Arc::new(|| WindowedWordCount::new(30_000)));
+    factories.insert(
+        snk,
+        Arc::new(move || {
+            let results = results_for_sink.clone();
+            StatelessFn::new(
+                "collector",
+                move |_, t: &Tuple, _out: &mut Vec<seep_core::OutputTuple>| {
+                    if let Ok(freq) = t.decode::<WordFrequency>() {
+                        results.lock().push(freq);
+                    }
+                },
+            )
+        }),
+    );
+    let mut runtime_a = Runtime::new(RuntimeConfig::default());
+    runtime_a.deploy(query, factories).unwrap();
+    let counts_a = run_script(&mut runtime_a, src, count);
+    let sunk_a = results_a.lock().len();
+
+    // Path B: the same query as a typed Job with a typed sink collector.
+    let collected: SinkCollector<WordFrequency> = SinkCollector::new();
+    let handle = Job::builder(RuntimeConfig::default())
+        .source("data_feeder", passthrough("feeder"))
+        .then_stateless("word_splitter", WordSplitter::new)
+        .then_stateful("word_counter", || WindowedWordCount::new(30_000))
+        .sink_collect("sink", &collected)
+        .deploy()
+        .expect("valid job");
+    let src_b = handle.op("data_feeder");
+    let count_b = handle.op("word_counter");
+    let mut runtime_b = handle.into_runtime();
+    let counts_b = run_script(&mut runtime_b, src_b, count_b);
+
+    assert_eq!(counts_a, counts_b, "counts diverged between the two paths");
+    assert!(counts_a.iter().any(|(_, n)| *n > 0));
+    assert_eq!(
+        sunk_a,
+        collected.len(),
+        "both sinks must see the same window results"
+    );
+    assert!(
+        !collected.is_empty(),
+        "window results reached the typed sink"
+    );
+}

@@ -23,7 +23,7 @@ fn main() {
     println!("driving 12 s of traffic at 500 fragments/s …");
     harness.run_for(12, 500);
     let words_before = harness.total_counted_words();
-    let io_before = harness.runtime.metrics().store_io("file");
+    let io_before = harness.handle.metrics().store_io("file");
     println!(
         "  checkpoints so far: {} full + {} incremental, {} bytes appended to the log",
         io_before.writes, io_before.incremental_writes, io_before.write_bytes
@@ -33,16 +33,16 @@ fn main() {
     // lives in the upstream VM's on-disk log.
     let victim = harness.counter_instance();
     println!("\nkilling worker {victim} mid-stream …");
-    harness.runtime.fail_operator(victim);
+    harness.handle.fail_operator(victim);
     let log_files: usize = walk_segments(&dir);
     println!("  on-disk log survives the failure: {log_files} segment file(s) present");
 
     // Recover from disk.
     let record = harness
-        .runtime
+        .handle
         .recover(victim, 1)
         .expect("recovery succeeds");
-    let io_after = harness.runtime.metrics().store_io("file");
+    let io_after = harness.handle.metrics().store_io("file");
     println!("\nrecovered in {:.2} ms", record.duration_ms);
     println!(
         "  tuples replayed from upstream buffers: {}",

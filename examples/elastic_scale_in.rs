@@ -26,21 +26,21 @@ fn main() {
     let counter = harness.counter_instance();
     println!(
         "  parallelism {}, {} VMs running",
-        harness.runtime.parallelism(harness.counter),
-        harness.runtime.vm_count()
+        harness.handle.parallelism(harness.counter),
+        harness.handle.vm_count()
     );
 
     // Split the hot word counter in two (what the bottleneck detector would
     // do under sustained load).
     println!("\nscaling the word counter out to 2 partitions …");
-    harness.runtime.scale_out(counter, 2).expect("scale out");
-    harness.runtime.drain();
+    harness.handle.scale_out(counter, 2).expect("scale out");
+    harness.handle.drain();
     harness.run_for(3, 400);
     let words_at_peak = harness.total_counted_words();
-    let vms_at_peak = harness.runtime.vm_count();
+    let vms_at_peak = harness.handle.vm_count();
     println!(
         "  parallelism {}, {} VMs, {} words counted",
-        harness.runtime.parallelism(harness.counter),
+        harness.handle.parallelism(harness.counter),
         vms_at_peak,
         words_at_peak
     );
@@ -48,14 +48,14 @@ fn main() {
     // The load stops. With auto-scale on, the control loop sees both
     // partitions idle below the low watermark and merges them.
     println!("\nload stops; auto-scale watches the utilisation reports …");
-    harness.runtime.set_auto_scale(true);
-    let start = harness.runtime.now_ms();
+    harness.handle.set_auto_scale(true);
+    let start = harness.handle.now_ms();
     let mut step = 0u64;
-    while harness.runtime.metrics().scale_ins().is_empty() && step < 10 {
+    while harness.handle.metrics().scale_ins().is_empty() && step < 10 {
         step += 1;
-        harness.runtime.advance_to(start + step * 5_000);
+        harness.handle.advance_to(start + step * 5_000);
     }
-    let scale_ins = harness.runtime.metrics().scale_ins();
+    let scale_ins = harness.handle.metrics().scale_ins();
     let record = scale_ins.first().expect("the idle partitions were merged");
     println!(
         "  merged after {} idle report(s): parallelism {} -> {}, in {:.2} ms",
@@ -66,23 +66,23 @@ fn main() {
     );
     println!(
         "  {} VMs running (was {}), released VM billing stopped",
-        harness.runtime.vm_count(),
+        harness.handle.vm_count(),
         vms_at_peak
     );
 
     // Semantics preserved across the round trip.
-    harness.runtime.drain();
-    assert_eq!(harness.runtime.parallelism(harness.counter), 1);
+    harness.handle.drain();
+    assert_eq!(harness.handle.parallelism(harness.counter), 1);
     assert_eq!(harness.total_counted_words(), words_at_peak);
-    assert!(harness.runtime.vm_count() < vms_at_peak);
+    assert!(harness.handle.vm_count() < vms_at_peak);
     println!(
         "\nword counts identical across the round trip ({} words) — no loss, no duplicates",
         words_at_peak
     );
 
-    let now = harness.runtime.now_ms();
+    let now = harness.handle.now_ms();
     println!(
         "total VM cost so far: {:.6} (only surviving VMs keep accruing)",
-        harness.runtime.provider().total_cost(now)
+        harness.handle.provider().total_cost(now)
     );
 }

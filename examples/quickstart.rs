@@ -3,109 +3,89 @@
 //! its VM and recover it from the checkpoint — then verify the word counts
 //! survived the failure.
 //!
+//! The query is declared with the typed [`Job`] builder: topology and
+//! operator factories in one fluent description, deployed in one call.
+//!
 //! Run with: `cargo run --release --example quickstart`
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
-use seep::core::operator::OperatorFactory;
-use seep::core::{Key, LogicalOpId, OutputTuple, QueryGraph, StatefulOperator, StatelessFn, Tuple};
+use seep::api::{passthrough, Job, JobHandle, SinkCollector};
+use seep::core::Key;
+use seep::operators::word_count::WordFrequency;
 use seep::operators::{WindowedWordCount, WordSplitter};
-use seep::runtime::{Runtime, RuntimeConfig};
+use seep::runtime::RuntimeConfig;
 
 fn main() {
-    // 1. Describe the query graph: src -> word_splitter -> word_counter -> sink.
-    let mut b = QueryGraph::builder();
-    let src = b.source("data_feeder");
-    let split = b.stateless("word_splitter");
-    let count = b.stateful("word_counter");
-    let snk = b.sink("sink");
-    b.connect(src, split);
-    b.connect(split, count);
-    b.connect(count, snk);
-    let query = b.build().expect("valid query graph");
+    // 1. Describe the job: the dataflow src -> word_splitter -> word_counter
+    //    -> sink, with each operator's factory given at declaration — there
+    //    is no separate factory registry to keep in sync with the graph.
+    //    Factories are reused whenever the SPS deploys new partitions during
+    //    scale out or recovery. The sink collects typed window results.
+    let frequencies: SinkCollector<WordFrequency> = SinkCollector::new();
+    let mut handle: JobHandle = Job::builder(RuntimeConfig::default())
+        .source("data_feeder", passthrough("feeder"))
+        .then_stateless("word_splitter", WordSplitter::new)
+        .then_stateful("word_counter", || WindowedWordCount::new(30_000))
+        .sink_collect("sink", &frequencies)
+        .deploy()
+        .expect("valid job");
 
-    // 2. Register an operator factory per logical operator. Factories are
-    //    reused whenever the SPS deploys new partitions during scale out or
-    //    recovery.
-    let mut factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> = HashMap::new();
-    factories.insert(
-        src,
-        Arc::new(|| -> Box<dyn StatefulOperator> {
-            Box::new(StatelessFn::new(
-                "feeder",
-                |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
-                    out.push(OutputTuple::new(t.key, t.payload.clone()));
-                },
-            ))
-        }) as Arc<dyn OperatorFactory>,
-    );
-    factories.insert(
-        split,
-        Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(WordSplitter::new()) })
-            as Arc<dyn OperatorFactory>,
-    );
-    factories.insert(
-        count,
-        Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(WindowedWordCount::new(30_000)) })
-            as Arc<dyn OperatorFactory>,
-    );
-    factories.insert(
-        snk,
-        Arc::new(|| -> Box<dyn StatefulOperator> {
-            Box::new(StatelessFn::new(
-                "collector",
-                |_, _t: &Tuple, _out: &mut Vec<OutputTuple>| {},
-            ))
-        }) as Arc<dyn OperatorFactory>,
-    );
-
-    // 3. Deploy on the (simulated) cloud: one VM per operator.
-    let mut runtime = Runtime::new(RuntimeConfig::default());
-    runtime.deploy(query, factories).expect("deployment");
+    // 2. One VM per operator was acquired from the (simulated) cloud.
     println!(
         "deployed {} operator instances on {} VMs",
-        4,
-        runtime.vm_count()
+        handle.execution_graph().total_instances(),
+        handle.vm_count()
     );
 
-    // 4. Stream the sentences of the paper's Fig. 2 through the query.
+    // 3. Stream the sentences of the paper's Fig. 2 through the query.
     for sentence in [" first set ", " second set ", " third set "] {
         let payload = bincode_payload(sentence);
-        runtime.inject(src, Key::from_str_key(sentence), payload);
+        handle.inject("data_feeder", Key::from_str_key(sentence), payload);
     }
-    runtime.drain();
-    println!("after processing:    {}", counts_line(&runtime, count));
+    handle.drain();
+    println!("after processing:    {}", counts_line(&handle));
 
-    // 5. Advance time past the checkpoint interval (5 s): the word counter's
+    // 4. Advance time past the checkpoint interval (5 s): the word counter's
     //    state is checkpointed and backed up to the upstream VM.
-    runtime.advance_to(5_000);
+    handle.advance_to(5_000);
     println!(
         "checkpoints taken:   {}",
-        runtime.metrics().checkpoints().len()
+        handle.metrics().checkpoints().len()
     );
 
-    // 6. More data arrives after the checkpoint (it stays buffered upstream
+    // 5. More data arrives after the checkpoint (it stays buffered upstream
     //    until the next checkpoint), then the word counter's VM crashes.
-    runtime.inject(
-        src,
+    handle.inject(
+        "data_feeder",
         Key::from_str_key("x"),
         bincode_payload("second chance"),
     );
-    runtime.drain();
-    let victim = runtime.partitions(count)[0];
-    runtime.fail_operator(victim);
+    handle.drain();
+    let victim = handle.partitions("word_counter")[0];
+    handle.fail_operator(victim);
     println!("operator {victim} failed — recovering from the checkpoint…");
 
-    // 7. Recovery = scale out with parallelisation level 1: restore the
+    // 6. Recovery = scale out with parallelisation level 1: restore the
     //    checkpoint on a new VM and replay the buffered tuples.
-    let record = runtime.recover(victim, 1).expect("recovery");
+    let record = handle.recover(victim, 1).expect("recovery");
     println!(
         "recovered in {:.2} ms, {} tuples replayed",
         record.duration_ms, record.replayed_tuples
     );
-    println!("after recovery:      {}", counts_line(&runtime, count));
+    println!("after recovery:      {}", counts_line(&handle));
     println!("word 'set' count must still be 3, and 'second' must now be 2.");
+
+    // 7. Close the 30 s window: the counter emits its frequencies, which the
+    //    typed sink collector decodes for us.
+    handle.advance_to(30_000);
+    handle.drain();
+    let mut collected = frequencies.take();
+    collected.sort_by(|a, b| b.count.cmp(&a.count).then(a.word.cmp(&b.word)));
+    let top: Vec<String> = collected
+        .iter()
+        .take(3)
+        .map(|f| format!("{}={}", f.word, f.count))
+        .collect();
+    println!("window results at the sink: {}", top.join(" "));
 }
 
 fn bincode_payload(sentence: &str) -> Vec<u8> {
@@ -113,14 +93,14 @@ fn bincode_payload(sentence: &str) -> Vec<u8> {
     bincode::serialize(&sentence.to_string()).expect("serialise")
 }
 
-fn counts_line(runtime: &Runtime, count: LogicalOpId) -> String {
+fn counts_line(handle: &JobHandle) -> String {
     let mut parts: Vec<String> = Vec::new();
     for word in ["first", "second", "third", "set", "chance"] {
-        let total: u64 = runtime
-            .partitions(count)
+        let total: u64 = handle
+            .partitions("word_counter")
             .iter()
             .filter_map(|id| {
-                runtime.with_operator(*id, |op| {
+                handle.with_operator(*id, |op| {
                     op.get_processing_state()
                         .get_decoded::<seep::operators::word_count::WordEntry>(Key::from_str_key(
                             word,

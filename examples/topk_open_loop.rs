@@ -6,111 +6,74 @@
 //! Run with: `cargo run --release --example topk_open_loop`
 
 use std::collections::HashMap;
-use std::sync::Arc;
 
-use seep::core::operator::OperatorFactory;
-use seep::core::{Key, LogicalOpId, OutputTuple, QueryGraph, StatefulOperator, StatelessFn, Tuple};
+use seep::api::{discard, passthrough, Job, JobHandle};
+use seep::core::Key;
+use seep::operators::top_k::ItemCount;
 use seep::operators::{ProjectFields, TopKReducer};
-use seep::runtime::{Runtime, RuntimeConfig};
+use seep::runtime::RuntimeConfig;
 use seep::workloads::{WikiConfig, WikiTraceGenerator};
 
 fn main() {
-    // Query: sources -> map (project language field) -> reduce (top-k) -> sink.
-    let mut b = QueryGraph::builder();
-    let src = b.source("sources");
-    let map = b.stateless("map");
-    let reduce = b.stateful("reduce");
-    let snk = b.sink("sink");
-    b.connect(src, map);
-    b.connect(map, reduce);
-    b.connect(reduce, snk);
-    let query = b.build().expect("valid query");
-
-    let mut factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> = HashMap::new();
-    factories.insert(
-        src,
-        Arc::new(|| -> Box<dyn StatefulOperator> {
-            Box::new(StatelessFn::new(
-                "feeder",
-                |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
-                    out.push(OutputTuple::new(t.key, t.payload.clone()));
-                },
-            ))
-        }) as Arc<dyn OperatorFactory>,
-    );
-    factories.insert(
-        map,
-        // Field 1 of the page-view record is the language code.
-        Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(ProjectFields::new(1)) })
-            as Arc<dyn OperatorFactory>,
-    );
-    factories.insert(
-        reduce,
-        Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(TopKReducer::new(5, 30_000)) })
-            as Arc<dyn OperatorFactory>,
-    );
-    factories.insert(
-        snk,
-        Arc::new(|| -> Box<dyn StatefulOperator> {
-            Box::new(StatelessFn::new(
-                "collector",
-                |_, _t: &Tuple, _out: &mut Vec<OutputTuple>| {},
-            ))
-        }) as Arc<dyn OperatorFactory>,
-    );
-
-    let mut runtime = Runtime::new(RuntimeConfig::default());
-    runtime.deploy(query, factories).expect("deployment");
+    // Query: sources -> map (project language field) -> reduce (top-k) ->
+    // sink, declared and deployed as one typed job. Field 1 of the page-view
+    // record is the language code.
+    let mut handle = Job::builder(RuntimeConfig::default())
+        .source("sources", passthrough("feeder"))
+        .then_stateless("map", || ProjectFields::new(1))
+        .then_stateful("reduce", || TopKReducer::new(5, 30_000))
+        .sink("sink", discard("collector"))
+        .deploy()
+        .expect("valid job");
 
     // Feed 20 000 synthetic page views (Zipf-distributed languages).
     let mut generator = WikiTraceGenerator::new(WikiConfig::default());
     for view in generator.next_batch(0, 20_000) {
         let payload = bincode::serialize(&view).expect("serialise");
-        runtime.inject(src, Key::from_str_key(&view[1]), payload);
+        handle.inject("sources", Key::from_str_key(&view[1]), payload);
     }
-    runtime.drain();
+    handle.drain();
     println!(
         "top languages with a single reducer: {:?}",
-        ranking(&runtime, reduce)
+        ranking(&handle)
     );
 
     // The reducer becomes the bottleneck: scale it out to 3 partitions. Its
     // dictionary is split by key range and the map's routing state updated.
-    let target = runtime.partitions(reduce)[0];
-    runtime.scale_out(target, 3).expect("scale out");
+    let target = handle.partitions("reduce")[0];
+    handle.scale_out(target, 3).expect("scale out");
     println!(
         "reducer scaled out to {} partitions",
-        runtime.parallelism(reduce)
+        handle.parallelism("reduce")
     );
 
     // Keep streaming: another 20 000 page views now spread across partitions.
     for view in generator.next_batch(1, 20_000) {
         let payload = bincode::serialize(&view).expect("serialise");
-        runtime.inject(src, Key::from_str_key(&view[1]), payload);
+        handle.inject("sources", Key::from_str_key(&view[1]), payload);
     }
-    runtime.drain();
-    println!(
-        "top languages after scale out:      {:?}",
-        ranking(&runtime, reduce)
-    );
+    handle.drain();
+    println!("top languages after scale out:      {:?}", ranking(&handle));
     println!("(the sink merges partial rankings from the partitioned reducers, §6.1)");
 }
 
 /// Merge the partial top-k rankings of every reducer partition, as the sink
 /// operator does in the paper's query.
-fn ranking(runtime: &Runtime, reduce: LogicalOpId) -> Vec<(String, u64)> {
+fn ranking(handle: &JobHandle) -> Vec<(String, u64)> {
     let mut totals: HashMap<String, u64> = HashMap::new();
-    for id in runtime.partitions(reduce) {
-        let partial: Vec<(String, u64)> = runtime
+    for id in handle.partitions("reduce") {
+        let partial: Vec<(String, u64)> = handle
             .with_operator(id, |op| {
                 let state = op.get_processing_state();
                 state
                     .iter()
                     .filter(|(k, _)| *k != Key(u64::MAX))
                     .filter_map(|(k, _)| {
-                        // ItemCount is private; decode through (item, count)
-                        // pairs encoded identically (String + u64).
-                        state.get_decoded::<(String, u64)>(k).ok().flatten()
+                        state
+                            .get_decoded::<ItemCount>(k)
+                            .ok()
+                            .flatten()
+                            .map(|e| (e.item, e.count))
                     })
                     .collect()
             })

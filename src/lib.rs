@@ -9,6 +9,8 @@ pub use seep_core as core;
 pub use seep_net as net;
 pub use seep_operators as operators;
 pub use seep_runtime as runtime;
+pub use seep_runtime::api;
+pub use seep_runtime::api::{Job, JobBuilder, JobHandle, SinkCollector};
 pub use seep_sim as sim;
 pub use seep_store as store;
 pub use seep_workloads as workloads;

@@ -37,7 +37,7 @@ fn run_file_scenario_checking_log(config: RuntimeConfig, base: &Path) -> u64 {
     harness.run_for(7, 40);
     // Kill the worker mid-stream (no recovery yet) and observe the log.
     let victim = harness.counter_instance();
-    harness.runtime.fail_operator(victim);
+    harness.handle.fail_operator(victim);
     let segments = find_segments(base);
     assert!(
         !segments.is_empty(),
@@ -49,7 +49,7 @@ fn run_file_scenario_checking_log(config: RuntimeConfig, base: &Path) -> u64 {
     );
     // Now recover from disk and finish the run.
     harness
-        .runtime
+        .handle
         .recover(victim, 1)
         .expect("recovery succeeds");
     harness.run_for(3, 40);
@@ -112,7 +112,7 @@ fn filestore_recovers_from_log_with_full_plus_incremental_deltas() {
         // full checkpoint, the following ones ship as deltas.
         harness.run_for(16, 30);
         counter_instance = harness.counter_instance();
-        let io = harness.runtime.metrics().store_io("file");
+        let io = harness.handle.metrics().store_io("file");
         assert!(io.writes >= 1, "expected at least one full backup: {io:?}");
         assert!(
             io.incremental_writes >= 2,
@@ -120,9 +120,9 @@ fn filestore_recovers_from_log_with_full_plus_incremental_deltas() {
         );
         // Take one more checkpoint with the pipeline fully drained so the
         // chain's tip reflects every processed tuple, then "crash".
-        harness.runtime.drain();
-        let now = harness.runtime.now_ms();
-        harness.runtime.advance_to(now + 5_000);
+        harness.handle.drain();
+        let now = harness.handle.now_ms();
+        harness.handle.advance_to(now + 5_000);
         words_at_last_checkpoint = harness.total_counted_words();
         // Simulated process crash: the runtime (and every in-memory store
         // handle) is dropped; only the log on disk remains.

@@ -2,120 +2,53 @@
 //! full query of Fig. 5, fed by the synthetic LRB generator, produce
 //! consistent results — and the stateful toll calculator can be scaled out
 //! and recovered mid-run without breaking the accounting invariants.
+//!
+//! The query has fan-out (the forwarder feeds both the toll calculator and
+//! the toll assessment) and fan-in (the collector merges assessment and
+//! account output), so it exercises the job builder's `branch`/`connect`
+//! path rather than the linear `then_*` chaining.
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
-use seep::core::operator::OperatorFactory;
-use seep::core::{Key, LogicalOpId, OutputTuple, QueryGraph, StatefulOperator, StatelessFn, Tuple};
+use seep::api::{passthrough, Job, JobHandle, SinkCollector};
+use seep::core::{Key, LogicalOpId};
 use seep::operators::lrb::{
     BalanceAccount, Collector, Forwarder, LrbRecord, TollAssessment, TollCalculator,
 };
-use seep::runtime::{Runtime, RuntimeConfig};
+use seep::runtime::RuntimeConfig;
 use seep::workloads::{LrbConfig, LrbGenerator};
 
 struct LrbHarness {
-    runtime: Runtime,
+    handle: JobHandle,
     src: LogicalOpId,
     toll_calc: LogicalOpId,
     toll_assess: LogicalOpId,
-    sink_tolls: Arc<Mutex<Vec<(u32, u32)>>>,    // (vid, toll)
-    sink_balances: Arc<Mutex<Vec<(u32, u64)>>>, // (vid, balance)
+    sink: SinkCollector<LrbRecord>,
 }
 
 fn deploy() -> LrbHarness {
-    let mut b = QueryGraph::builder();
-    let src = b.source("data_feeder");
-    let fwd = b.stateless("forwarder");
-    let calc = b.stateful("toll_calculator");
-    let assess = b.stateful("toll_assessment");
-    let account = b.stateful("balance_account");
-    let coll = b.stateless("collector");
-    let snk = b.sink("sink");
-    b.connect(src, fwd);
-    b.connect(fwd, calc);
-    b.connect(fwd, assess); // balance queries go straight to the assessment
-    b.connect(calc, assess);
-    b.connect(assess, account); // balance responses are aggregated per account
-    b.connect(assess, coll); // toll notifications go to the collector
-    b.connect(account, coll);
-    b.connect(coll, snk);
-    let query = b.build().expect("valid LRB query graph");
-
-    let sink_tolls: Arc<Mutex<Vec<(u32, u32)>>> = Arc::new(Mutex::new(Vec::new()));
-    let sink_balances: Arc<Mutex<Vec<(u32, u64)>>> = Arc::new(Mutex::new(Vec::new()));
-    let tolls = sink_tolls.clone();
-    let balances = sink_balances.clone();
-
-    let mut factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> = HashMap::new();
-    factories.insert(
-        src,
-        Arc::new(|| -> Box<dyn StatefulOperator> {
-            Box::new(StatelessFn::new(
-                "feeder",
-                |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
-                    out.push(OutputTuple::new(t.key, t.payload.clone()));
-                },
-            ))
-        }) as Arc<dyn OperatorFactory>,
-    );
-    factories.insert(
-        fwd,
-        Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(Forwarder::new()) })
-            as Arc<dyn OperatorFactory>,
-    );
-    factories.insert(
-        calc,
-        Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(TollCalculator::new()) })
-            as Arc<dyn OperatorFactory>,
-    );
-    factories.insert(
-        assess,
-        Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(TollAssessment::new()) })
-            as Arc<dyn OperatorFactory>,
-    );
-    factories.insert(
-        account,
-        Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(BalanceAccount::new()) })
-            as Arc<dyn OperatorFactory>,
-    );
-    factories.insert(
-        coll,
-        Arc::new(|| -> Box<dyn StatefulOperator> { Box::new(Collector::new()) })
-            as Arc<dyn OperatorFactory>,
-    );
-    factories.insert(
-        snk,
-        Arc::new(move || -> Box<dyn StatefulOperator> {
-            let tolls = tolls.clone();
-            let balances = balances.clone();
-            Box::new(StatelessFn::new(
-                "lrb_sink",
-                move |_, t: &Tuple, _out: &mut Vec<OutputTuple>| {
-                    if let Ok(record) = t.decode::<LrbRecord>() {
-                        match record {
-                            LrbRecord::Toll(n) => tolls.lock().push((n.vid, n.toll)),
-                            LrbRecord::BalanceResponse(r) => {
-                                balances.lock().push((r.vid, r.balance))
-                            }
-                            _ => {}
-                        }
-                    }
-                },
-            ))
-        }) as Arc<dyn OperatorFactory>,
-    );
-
-    let mut runtime = Runtime::new(RuntimeConfig::default());
-    runtime.deploy(query, factories).expect("deployment");
+    let sink = SinkCollector::new();
+    let handle = Job::builder(RuntimeConfig::default())
+        .source("data_feeder", passthrough("feeder"))
+        .then_stateless("forwarder", Forwarder::new)
+        .then_stateful("toll_calculator", TollCalculator::new)
+        .branch("forwarder")
+        .then_stateful("toll_assessment", TollAssessment::new)
+        .connect("toll_calculator", "toll_assessment") // fan-in at the assessment
+        .then_stateful("balance_account", BalanceAccount::new)
+        .branch("toll_assessment")
+        .then_stateless("collector", Collector::new)
+        .connect("balance_account", "collector") // fan-in at the collector
+        .sink_collect("sink", &sink)
+        .deploy()
+        .expect("valid LRB job");
+    let src = handle.op("data_feeder");
+    let toll_calc = handle.op("toll_calculator");
+    let toll_assess = handle.op("toll_assessment");
     LrbHarness {
-        runtime,
+        handle,
         src,
-        toll_calc: calc,
-        toll_assess: assess,
-        sink_tolls,
-        sink_balances,
+        toll_calc,
+        toll_assess,
+        sink,
     }
 }
 
@@ -124,20 +57,46 @@ fn feed_seconds(h: &mut LrbHarness, generator: &mut LrbGenerator, seconds: u32) 
         for record in generator.generate_second(t) {
             let key = Key::from_u64(u64::from(record.time()) << 32 | t as u64);
             let payload = bincode::serialize(&record).expect("serialise");
-            h.runtime.inject(h.src, key, payload);
+            h.handle.inject(h.src, key, payload);
         }
-        h.runtime.advance_to(((t + 1) as u64) * 1_000);
-        h.runtime.drain();
+        h.handle.advance_to(((t + 1) as u64) * 1_000);
+        h.handle.drain();
     }
+}
+
+/// Toll notifications delivered to the sink so far, as `(vid, toll)`.
+fn sink_tolls(h: &LrbHarness) -> Vec<(u32, u32)> {
+    h.sink.with(|records| {
+        records
+            .iter()
+            .filter_map(|r| match r {
+                LrbRecord::Toll(n) => Some((n.vid, n.toll)),
+                _ => None,
+            })
+            .collect()
+    })
+}
+
+/// Balance responses delivered to the sink so far, as `(vid, balance)`.
+fn sink_balances(h: &LrbHarness) -> Vec<(u32, u64)> {
+    h.sink.with(|records| {
+        records
+            .iter()
+            .filter_map(|r| match r {
+                LrbRecord::BalanceResponse(b) => Some((b.vid, b.balance)),
+                _ => None,
+            })
+            .collect()
+    })
 }
 
 /// Sum of balances held by all toll-assessment partitions.
 fn total_balance(h: &LrbHarness) -> u64 {
-    h.runtime
+    h.handle
         .partitions(h.toll_assess)
         .iter()
         .filter_map(|id| {
-            h.runtime.with_operator(*id, |op| {
+            h.handle.with_operator(*id, |op| {
                 let state = op.get_processing_state();
                 state
                     .iter()
@@ -165,15 +124,14 @@ fn lrb_pipeline_produces_tolls_and_consistent_balances() {
     });
     feed_seconds(&mut h, &mut generator, 12);
 
-    let tolls = h.sink_tolls.lock().clone();
+    let tolls = sink_tolls(&h);
     assert!(!tolls.is_empty(), "toll notifications must reach the sink");
     // Every toll charged at the sink is reflected in some account balance.
     let charged: u64 = tolls.iter().map(|(_, t)| u64::from(*t)).sum();
     assert_eq!(total_balance(&h), charged);
 
-    let balances = h.sink_balances.lock().clone();
     assert!(
-        !balances.is_empty(),
+        !sink_balances(&h).is_empty(),
         "balance queries must be answered (query fraction 5%)"
     );
 }
@@ -190,23 +148,23 @@ fn toll_calculator_scale_out_and_recovery_keep_accounting_consistent() {
 
     // Scale the toll calculator out to two partitions (checkpointed state is
     // split by segment key range).
-    let target = h.runtime.partitions(h.toll_calc)[0];
-    h.runtime.scale_out(target, 2).expect("scale out");
-    assert_eq!(h.runtime.parallelism(h.toll_calc), 2);
+    let target = h.handle.partitions(h.toll_calc)[0];
+    h.handle.scale_out(target, 2).expect("scale out");
+    assert_eq!(h.handle.parallelism(h.toll_calc), 2);
     feed_seconds(&mut h, &mut generator, 6);
 
     // Fail one partition and recover it; accounting stays consistent.
-    h.runtime.advance_to(h.runtime.now_ms() + 6_000); // force a checkpoint round
-    let victim = h.runtime.partitions(h.toll_calc)[0];
-    h.runtime.fail_operator(victim);
-    h.runtime.recover(victim, 1).expect("recovery");
+    h.handle.advance_to(h.handle.now_ms() + 6_000); // force a checkpoint round
+    let victim = h.handle.partitions(h.toll_calc)[0];
+    h.handle.fail_operator(victim);
+    h.handle.recover(victim, 1).expect("recovery");
     feed_seconds(&mut h, &mut generator, 4);
 
-    let charged: u64 = h.sink_tolls.lock().iter().map(|(_, t)| u64::from(*t)).sum();
+    let charged: u64 = sink_tolls(&h).iter().map(|(_, t)| u64::from(*t)).sum();
     assert_eq!(
         total_balance(&h),
         charged,
         "sum of account balances must equal the tolls delivered to the sink"
     );
-    assert_eq!(h.runtime.parallelism(h.toll_calc), 2);
+    assert_eq!(h.handle.parallelism(h.toll_calc), 2);
 }

@@ -19,18 +19,18 @@ fn run_round_trip(
     for s in 0..seconds {
         harness.run_for(1, rate);
         if scale_out_at == Some(s) {
-            let target = harness.runtime.partitions(harness.counter)[0];
-            harness.runtime.scale_out(target, 2).expect("scale out");
-            harness.runtime.drain();
+            let target = harness.handle.partitions(harness.counter)[0];
+            harness.handle.scale_out(target, 2).expect("scale out");
+            harness.handle.drain();
         }
         if scale_in_at == Some(s) {
-            let parts = harness.runtime.partitions(harness.counter);
+            let parts = harness.handle.partitions(harness.counter);
             assert_eq!(parts.len(), 2, "round trip needs two partitions");
             harness
-                .runtime
+                .handle
                 .scale_in(parts[0], parts[1])
                 .expect("scale in");
-            harness.runtime.drain();
+            harness.handle.drain();
         }
     }
     (harness.total_counted_words(), harness)
@@ -45,42 +45,42 @@ fn scale_out_then_scale_in_matches_the_never_scaled_run() {
         round_trip, baseline,
         "counts after the round trip must match the never-scaled run"
     );
-    assert_eq!(harness.runtime.parallelism(harness.counter), 1);
-    assert_eq!(harness.runtime.metrics().scale_outs().len(), 1);
-    assert_eq!(harness.runtime.metrics().scale_ins().len(), 1);
+    assert_eq!(harness.handle.parallelism(harness.counter), 1);
+    assert_eq!(harness.handle.metrics().scale_outs().len(), 1);
+    assert_eq!(harness.handle.metrics().scale_ins().len(), 1);
 }
 
 #[test]
 fn scale_in_releases_the_vm_and_stops_billing() {
     let mut harness = WordCountHarness::deploy(RuntimeConfig::default(), 300, 0);
     harness.run_for(3, 40);
-    let target = harness.runtime.partitions(harness.counter)[0];
-    harness.runtime.scale_out(target, 2).expect("scale out");
-    harness.runtime.drain();
+    let target = harness.handle.partitions(harness.counter)[0];
+    harness.handle.scale_out(target, 2).expect("scale out");
+    harness.handle.drain();
     harness.run_for(2, 40);
 
-    let vms_before = harness.runtime.vm_count();
-    let parts = harness.runtime.partitions(harness.counter);
+    let vms_before = harness.handle.vm_count();
+    let parts = harness.handle.partitions(harness.counter);
     let outcome = harness
-        .runtime
+        .handle
         .scale_in(parts[0], parts[1])
         .expect("scale in");
-    assert_eq!(harness.runtime.vm_count(), vms_before - 1);
+    assert_eq!(harness.handle.vm_count(), vms_before - 1);
 
     // The released VM stops accruing cost: its terminated timestamp is set
     // and the provider's total no longer grows on its account.
     let vm = harness
-        .runtime
+        .handle
         .provider()
         .vm(outcome.released_vm)
         .expect("released VM still on the books");
     assert!(!vm.is_running());
     assert!(vm.terminated_at_ms.is_some());
-    let now = harness.runtime.now_ms();
-    let cost_now = harness.runtime.provider().total_cost(now);
-    let cost_later = harness.runtime.provider().total_cost(now + 3_600_000);
+    let now = harness.handle.now_ms();
+    let cost_now = harness.handle.provider().total_cost(now);
+    let cost_later = harness.handle.provider().total_cost(now + 3_600_000);
     let hourly = seep_cloud::VmSpec::small().hourly_cost;
-    let still_running = harness.runtime.vm_count() as f64;
+    let still_running = harness.handle.vm_count() as f64;
     assert!(
         (cost_later - cost_now - still_running * hourly).abs() < 1e-6,
         "only the surviving VMs keep billing"
@@ -98,7 +98,7 @@ fn round_trip_with_durable_backend_preserves_counts() {
     assert_eq!(round_trip, baseline);
     // The merged operator's state went through the on-disk log: the merge
     // read checkpoints back and stored the merged one.
-    let io = harness.runtime.metrics().store_io("file");
+    let io = harness.handle.metrics().store_io("file");
     assert!(io.restore_bytes > 0, "merge restored from the log");
     assert!(io.write_bytes > 0);
     let _ = std::fs::remove_dir_all(&dir);
@@ -118,33 +118,33 @@ fn even_split_rebalance_merge_round_trip_keeps_counts() {
     for s in 0..8u64 {
         harness.run_for(1, 40);
         if s == 2 {
-            let target = harness.runtime.partitions(harness.counter)[0];
-            harness.runtime.scale_out(target, 2).expect("scale out");
-            harness.runtime.drain();
+            let target = harness.handle.partitions(harness.counter)[0];
+            harness.handle.scale_out(target, 2).expect("scale out");
+            harness.handle.drain();
         }
         if s == 4 {
-            let vms_before = harness.runtime.vm_count();
-            let parts = harness.runtime.partitions(harness.counter);
+            let vms_before = harness.handle.vm_count();
+            let parts = harness.handle.partitions(harness.counter);
             let outcome = harness
-                .runtime
+                .handle
                 .rebalance(parts[0], parts[1])
                 .expect("rebalance");
-            harness.runtime.drain();
+            harness.handle.drain();
             assert_eq!(outcome.new_operators.len(), 2);
             assert_eq!(
-                harness.runtime.vm_count(),
+                harness.handle.vm_count(),
                 vms_before,
                 "a rebalance neither acquires nor releases VMs"
             );
-            assert_eq!(harness.runtime.parallelism(harness.counter), 2);
+            assert_eq!(harness.handle.parallelism(harness.counter), 2);
         }
         if s == 6 {
-            let parts = harness.runtime.partitions(harness.counter);
+            let parts = harness.handle.partitions(harness.counter);
             harness
-                .runtime
+                .handle
                 .scale_in(parts[0], parts[1])
                 .expect("scale in");
-            harness.runtime.drain();
+            harness.handle.drain();
         }
     }
     assert_eq!(
@@ -153,12 +153,12 @@ fn even_split_rebalance_merge_round_trip_keeps_counts() {
         "counts after the even-split → rebalance → merge round trip must \
          match the never-scaled run"
     );
-    assert_eq!(harness.runtime.parallelism(harness.counter), 1);
-    assert_eq!(harness.runtime.metrics().scale_outs().len(), 1);
-    assert_eq!(harness.runtime.metrics().rebalances().len(), 1);
-    assert_eq!(harness.runtime.metrics().scale_ins().len(), 1);
+    assert_eq!(harness.handle.parallelism(harness.counter), 1);
+    assert_eq!(harness.handle.metrics().scale_outs().len(), 1);
+    assert_eq!(harness.handle.metrics().rebalances().len(), 1);
+    assert_eq!(harness.handle.metrics().scale_ins().len(), 1);
     // The rebalance record carries the plan's split decision and timing.
-    let record = &harness.runtime.metrics().rebalances()[0];
+    let record = &harness.handle.metrics().rebalances()[0];
     assert_eq!(record.parallelism, 2);
     assert!(record.timing.total_us > 0);
 }
@@ -173,24 +173,24 @@ fn even_split_rebalance_merge_round_trip_keeps_counts() {
 fn merged_backup_failing_before_next_checkpoint_recovers_with_live_clock() {
     let mut harness = WordCountHarness::deploy(RuntimeConfig::default(), 300, 0);
     harness.run_for(3, 40);
-    let target = harness.runtime.partitions(harness.counter)[0];
-    harness.runtime.scale_out(target, 2).expect("scale out");
-    harness.runtime.drain();
+    let target = harness.handle.partitions(harness.counter)[0];
+    harness.handle.scale_out(target, 2).expect("scale out");
+    harness.handle.drain();
     harness.run_for(2, 40);
 
-    let parts = harness.runtime.partitions(harness.counter);
+    let parts = harness.handle.partitions(harness.counter);
     harness
-        .runtime
+        .handle
         .scale_in(parts[0], parts[1])
         .expect("scale in");
-    harness.runtime.drain();
+    harness.handle.drain();
     let counted_before = harness.total_counted_words();
 
     // Fail the merged operator immediately — its only backup is the merged
     // checkpoint stored during the scale in — and recover serially.
-    let merged = harness.runtime.partitions(harness.counter)[0];
-    harness.runtime.fail_operator(merged);
-    harness.runtime.recover(merged, 1).expect("recovery");
+    let merged = harness.handle.partitions(harness.counter)[0];
+    harness.handle.fail_operator(merged);
+    harness.handle.recover(merged, 1).expect("recovery");
     assert_eq!(harness.total_counted_words(), counted_before);
 
     // New traffic after the recovery must be counted: the reset clock must
@@ -208,16 +208,16 @@ fn repeated_round_trips_keep_counts_stable() {
     let mut expected = None;
     for _ in 0..3 {
         harness.run_for(2, 25);
-        let target = harness.runtime.partitions(harness.counter)[0];
-        harness.runtime.scale_out(target, 2).expect("scale out");
-        harness.runtime.drain();
+        let target = harness.handle.partitions(harness.counter)[0];
+        harness.handle.scale_out(target, 2).expect("scale out");
+        harness.handle.drain();
         harness.run_for(1, 25);
-        let parts = harness.runtime.partitions(harness.counter);
+        let parts = harness.handle.partitions(harness.counter);
         harness
-            .runtime
+            .handle
             .scale_in(parts[0], parts[1])
             .expect("scale in");
-        harness.runtime.drain();
+        harness.handle.drain();
         // Totals only ever grow by the injected tuples; a merge never loses
         // or duplicates state across iterations.
         let total = harness.total_counted_words();
@@ -226,6 +226,6 @@ fn repeated_round_trips_keep_counts_stable() {
         }
         expected = Some(total);
     }
-    assert_eq!(harness.runtime.parallelism(harness.counter), 1);
-    assert_eq!(harness.runtime.metrics().scale_ins().len(), 3);
+    assert_eq!(harness.handle.parallelism(harness.counter), 1);
+    assert_eq!(harness.handle.metrics().scale_ins().len(), 3);
 }

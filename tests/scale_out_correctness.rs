@@ -14,9 +14,9 @@ fn run_with_scale_outs(seconds: u64, rate: u64, scale_at: &[u64]) -> (u64, usize
         harness.run_for(1, rate);
         if scale_at.contains(&s) {
             // Scale out the first partition of the counter by one extra VM.
-            let target = harness.runtime.partitions(harness.counter)[0];
-            harness.runtime.scale_out(target, 2).expect("scale out");
-            harness.runtime.drain();
+            let target = harness.handle.partitions(harness.counter)[0];
+            harness.handle.scale_out(target, 2).expect("scale out");
+            harness.handle.drain();
             done += 1;
         }
     }
@@ -44,28 +44,28 @@ fn repeated_scale_out_grows_parallelism_and_preserves_totals() {
     let mut harness = WordCountHarness::deploy(RuntimeConfig::default(), 300, 0);
     harness.run_for(1, 10);
     for _ in 0..3 {
-        let target = harness.runtime.partitions(harness.counter)[0];
-        harness.runtime.scale_out(target, 2).expect("scale out");
+        let target = harness.handle.partitions(harness.counter)[0];
+        harness.handle.scale_out(target, 2).expect("scale out");
     }
-    assert_eq!(harness.runtime.parallelism(harness.counter), 4);
+    assert_eq!(harness.handle.parallelism(harness.counter), 4);
 }
 
 #[test]
 fn scale_out_followed_by_failure_recovers_each_partition() {
     let mut harness = WordCountHarness::deploy(RuntimeConfig::default(), 300, 0);
     harness.run_for(4, 40);
-    let target = harness.runtime.partitions(harness.counter)[0];
-    harness.runtime.scale_out(target, 2).expect("scale out");
-    harness.runtime.drain();
+    let target = harness.handle.partitions(harness.counter)[0];
+    harness.handle.scale_out(target, 2).expect("scale out");
+    harness.handle.drain();
     let before = harness.total_counted_words();
 
     // Checkpoint both partitions, then fail one of them and recover it.
-    harness.runtime.advance_to(harness.runtime.now_ms() + 6_000);
-    let victim = harness.runtime.partitions(harness.counter)[1];
-    harness.runtime.fail_operator(victim);
-    harness.runtime.recover(victim, 1).expect("recovery");
+    harness.handle.advance_to(harness.handle.now_ms() + 6_000);
+    let victim = harness.handle.partitions(harness.counter)[1];
+    harness.handle.fail_operator(victim);
+    harness.handle.recover(victim, 1).expect("recovery");
     assert_eq!(harness.total_counted_words(), before);
-    assert_eq!(harness.runtime.parallelism(harness.counter), 2);
+    assert_eq!(harness.handle.parallelism(harness.counter), 2);
 }
 
 /// Plan equivalence: with the default (Even) split policy the plan-driven
@@ -78,11 +78,11 @@ fn plan_driven_even_split_matches_seed_routing() {
 
     let mut harness = WordCountHarness::deploy(RuntimeConfig::default(), 300, 0);
     harness.run_for(3, 40);
-    let target = harness.runtime.partitions(harness.counter)[0];
-    harness.runtime.scale_out(target, 2).expect("scale out");
-    let graph = harness.runtime.execution_graph();
+    let target = harness.handle.partitions(harness.counter)[0];
+    harness.handle.scale_out(target, 2).expect("scale out");
+    let graph = harness.handle.execution_graph();
     let mut ranges: Vec<KeyRange> = harness
-        .runtime
+        .handle
         .partitions(harness.counter)
         .iter()
         .map(|id| graph.instance(*id).unwrap().key_range)
@@ -98,7 +98,7 @@ fn plan_driven_even_split_matches_seed_routing() {
         .unwrap()
         .covers_exactly(KeyRange::full()));
     // The plan recorded its split decision and phase timings.
-    let record = &harness.runtime.metrics().scale_outs()[0];
+    let record = &harness.handle.metrics().scale_outs()[0];
     assert_eq!(record.timing.split, seep::runtime::SplitKind::Even);
     assert!(record.timing.total_us > 0);
     assert!(record.timing.restore_us + record.timing.replay_us <= record.timing.total_us);
