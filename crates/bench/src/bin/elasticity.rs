@@ -12,15 +12,25 @@
 //! reconfiguration from the plan executor's per-phase timings — the measured
 //! counterpart to the simulator's disruption model.
 //!
+//! A third section (`--consolidate`) compares scale-in-by-merge against
+//! scale-in-by-**consolidation** on two-slot VMs: under-utilised partitions
+//! are packed onto shared VMs (first-fit-decreasing) and the emptied VMs
+//! released, keeping parallelism. The threaded runtime demo reports the
+//! billing effect directly: VM-seconds per virtual hour before and after the
+//! packing.
+//!
 //! Run with: `cargo run --release -p seep-bench --bin elasticity`
-//! (`--smoke` for a seconds-long CI-sized run).
+//! (`--smoke` for a seconds-long CI-sized run, `--consolidate` for the
+//! consolidation arm).
 
 use seep_bench::print_table;
-use seep_bench::runtime_experiments::runtime_elasticity;
-use seep_bench::sim_experiments::elasticity;
+use seep_bench::runtime_experiments::{runtime_consolidate, runtime_elasticity};
+use seep_bench::sim_experiments::{elasticity, elasticity_with};
+use seep_sim::SimScalingPolicy;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let consolidate_arm = std::env::args().any(|a| a == "--consolidate");
     let (ramp_up, plateau, ramp_down, tail) = if smoke {
         (60, 60, 60, 60)
     } else {
@@ -140,10 +150,97 @@ fn main() {
         run.final_vms
     );
     println!(
+        "threaded runtime billed {:.0} VM-seconds over the run (provider billing ledger)",
+        run.vm_seconds
+    );
+    println!(
         "simulator projects a {}..{} ms latency disruption per reconfiguration; the threaded \
          runtime completes the plan itself in {:.1} ms (catch-up excluded)",
         75,
         500,
         (run.mean_scale_out_us.max(run.mean_scale_in_us)) / 1_000.0
+    );
+
+    if consolidate_arm {
+        consolidate_section(ramp_up, plateau, ramp_down, tail, base, peak, smoke);
+    }
+}
+
+/// The consolidation arm: merge-only scale-in vs consolidation on two-slot
+/// VMs in the simulator, plus the threaded-runtime packing demo with its
+/// billing effect.
+#[allow(clippy::too_many_arguments)]
+fn consolidate_section(
+    ramp_up: u64,
+    plateau: u64,
+    ramp_down: u64,
+    tail: u64,
+    base: f64,
+    peak: f64,
+    smoke: bool,
+) {
+    let merge_only = elasticity(ramp_up, plateau, ramp_down, tail, base, peak, true);
+    let packed = elasticity_with(
+        SimScalingPolicy::default()
+            .with_scale_in(0.2)
+            .with_consolidate(),
+        2,
+        ramp_up,
+        plateau,
+        ramp_down,
+        tail,
+        base,
+        peak,
+    );
+    let rows: Vec<Vec<String>> = [("merge-only", &merge_only), ("consolidate", &packed)]
+        .iter()
+        .map(|(label, r)| {
+            vec![
+                label.to_string(),
+                r.scale_outs.to_string(),
+                r.scale_ins.to_string(),
+                r.consolidates.to_string(),
+                r.peak_vms.to_string(),
+                r.final_vms.to_string(),
+                format!("{:.0}", r.vm_seconds),
+                format!("{:.3}", r.total_cost),
+            ]
+        })
+        .collect();
+    print_table(
+        "Consolidate arm — scale-in by merge vs bin-packing onto 2-slot VMs",
+        &[
+            "policy",
+            "scale_outs",
+            "scale_ins",
+            "consolidates",
+            "peak_vms",
+            "final_vms",
+            "vm_seconds",
+            "cost",
+        ],
+        &rows,
+    );
+
+    let (seconds, rate) = if smoke { (6, 40) } else { (20, 400) };
+    let demo = runtime_consolidate(seconds, rate);
+    println!(
+        "\nthreaded runtime consolidate: {} partitions packed {} -> {} VMs \
+         ({} released, plan {:.1} ms); billing {:.0} -> {:.0} VM-seconds per virtual hour",
+        demo.parallelism,
+        demo.vms_before,
+        demo.vms_after,
+        demo.vms_released,
+        demo.plan_us as f64 / 1_000.0,
+        demo.vm_seconds_per_hour_before,
+        demo.vm_seconds_per_hour_after,
+    );
+    assert_eq!(
+        demo.counted_words, demo.expected_words,
+        "consolidated run diverged from the never-reconfigured baseline"
+    );
+    println!(
+        "equivalence: consolidated run counted {} words == never-reconfigured baseline",
+        demo.counted_words
     );
 }

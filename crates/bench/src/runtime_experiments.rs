@@ -526,6 +526,10 @@ pub struct RuntimeElasticityResult {
     pub peak_vms: usize,
     /// VM count at the end of the run.
     pub final_vms: usize,
+    /// Total VM-seconds billed over the run, from the provider's billing
+    /// ledger (virtual time) — the pay-as-you-go figure the elasticity bin
+    /// prints next to the reconfiguration counts.
+    pub vm_seconds: f64,
 }
 
 /// Drive the threaded runtime's word-count query through a trapezoid rate
@@ -597,6 +601,7 @@ pub fn runtime_elasticity(
             us.iter().sum::<u64>() as f64 / us.len() as f64
         }
     };
+    let vm_seconds = h.handle.provider().total_vm_hours(h.handle.now_ms()) * 3_600.0;
     RuntimeElasticityResult {
         phases,
         scale_outs: outs.len(),
@@ -605,7 +610,95 @@ pub fn runtime_elasticity(
         mean_scale_in_us: mean(ins.iter().map(|r| r.timing.total_us).collect()),
         peak_vms,
         final_vms: h.handle.vm_count(),
+        vm_seconds,
     }
+}
+
+/// Result of the threaded-runtime consolidation demo: a partitioned word
+/// counter packed onto shared VM slots, with the billing effect measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeConsolidateResult {
+    /// Partitions of the word counter (unchanged by the consolidation).
+    pub parallelism: usize,
+    /// VMs running before the consolidation.
+    pub vms_before: usize,
+    /// VMs running after the consolidation.
+    pub vms_after: usize,
+    /// VMs released by the packing.
+    pub vms_released: usize,
+    /// Wall-clock cost of the consolidation plan (µs).
+    pub plan_us: u64,
+    /// VM-seconds that one virtual hour of the pre-consolidation deployment
+    /// would bill.
+    pub vm_seconds_per_hour_before: f64,
+    /// VM-seconds that one virtual hour bills after the consolidation —
+    /// the released VMs' meters have stopped.
+    pub vm_seconds_per_hour_after: f64,
+    /// Words counted across all partitions after the consolidation and a
+    /// catch-up drain (for the equivalence check against `expected_words`).
+    pub counted_words: u64,
+    /// Words counted by an identical run that never reconfigured.
+    pub expected_words: u64,
+}
+
+/// Drive the threaded runtime's word-count query to four partitions, let the
+/// load drop, consolidate the partitions onto two-slot VMs and report the
+/// billing effect: the packed deployment keeps its parallelism while the
+/// emptied VMs stop accruing VM-seconds. The word counts are compared with a
+/// never-reconfigured run so the demo doubles as an equivalence check.
+pub fn runtime_consolidate(seconds: u64, rate: u64) -> RuntimeConsolidateResult {
+    let run = |consolidate: bool| -> (u64, Option<RuntimeConsolidateResult>) {
+        let config = RuntimeConfig {
+            pool: seep_cloud::VmPoolConfig::default().with_slots_per_vm(2),
+            ..RuntimeConfig::default()
+        };
+        let mut h = WordCountHarness::deploy(config, 5_000, 0);
+        let warmup = (seconds / 2).max(1);
+        h.run_for(warmup, rate);
+        if !consolidate {
+            h.run_for(seconds - warmup, rate);
+            return (h.total_counted_words(), None);
+        }
+        let target = h.counter_instance();
+        h.handle.scale_out(target, 4).expect("scale out");
+        h.handle.drain();
+        let vms_before = h.handle.vm_count();
+        let hours_before = h.handle.provider().total_vm_hours(h.handle.now_ms());
+        let billed_before = {
+            let now = h.handle.now_ms();
+            (h.handle.provider().total_vm_hours(now + 3_600_000) - hours_before) * 3_600.0
+        };
+        let outcome = h.handle.consolidate(h.counter).expect("consolidate");
+        h.handle.drain();
+        let vms_after = h.handle.vm_count();
+        let billed_after = {
+            let now = h.handle.now_ms();
+            (h.handle.provider().total_vm_hours(now + 3_600_000)
+                - h.handle.provider().total_vm_hours(now))
+                * 3_600.0
+        };
+        h.run_for(seconds - warmup, rate);
+        (
+            h.total_counted_words(),
+            Some(RuntimeConsolidateResult {
+                parallelism: h.handle.parallelism(h.counter),
+                vms_before,
+                vms_after,
+                vms_released: outcome.released_vms.len(),
+                plan_us: outcome.timing.total_us,
+                vm_seconds_per_hour_before: billed_before,
+                vm_seconds_per_hour_after: billed_after,
+                counted_words: 0,
+                expected_words: 0,
+            }),
+        )
+    };
+    let (expected_words, _) = run(false);
+    let (counted_words, result) = run(true);
+    let mut result = result.expect("consolidating run returns a result");
+    result.counted_words = counted_words;
+    result.expected_words = expected_words;
+    result
 }
 
 #[cfg(test)]
@@ -717,6 +810,26 @@ mod tests {
         let tail = &result.phases[3];
         assert!(plateau.end_parallelism > 1, "plateau runs partitioned");
         assert!(tail.end_parallelism < plateau.end_parallelism);
+    }
+
+    #[test]
+    fn runtime_consolidate_keeps_counts_and_stops_billing_released_vms() {
+        let result = runtime_consolidate(6, 40);
+        assert_eq!(result.parallelism, 4, "consolidation keeps parallelism");
+        assert_eq!(result.vms_released, 2, "four partitions pack onto two VMs");
+        assert_eq!(result.vms_after, result.vms_before - 2);
+        assert!(result.plan_us > 0);
+        assert!(
+            result.vm_seconds_per_hour_after + 2.0 * 3_600.0
+                <= result.vm_seconds_per_hour_before + 1.0,
+            "released VMs must stop accruing VM-seconds ({} vs {})",
+            result.vm_seconds_per_hour_after,
+            result.vm_seconds_per_hour_before
+        );
+        assert_eq!(
+            result.counted_words, result.expected_words,
+            "the consolidated run must count exactly what the never-reconfigured run counts"
+        );
     }
 
     #[test]

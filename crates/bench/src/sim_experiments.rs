@@ -305,12 +305,21 @@ pub struct ElasticityResult {
     pub scale_outs: usize,
     /// Scale-in actions over the run.
     pub scale_ins: usize,
+    /// Consolidation actions over the run (partitions packed onto shared VM
+    /// slots; 0 unless the policy enables consolidation).
+    #[serde(default)]
+    pub consolidates: usize,
     /// Peak operator VMs.
     pub peak_vms: usize,
     /// Operator VMs at the end of the run.
     pub final_vms: usize,
     /// Total VM cost of the elastic run.
     pub total_cost: f64,
+    /// Total VM-seconds billed over the run (the quantity the cost is
+    /// derived from; printed next to it so runs with different VM specs stay
+    /// comparable).
+    #[serde(default)]
+    pub vm_seconds: f64,
     /// What the same run would have cost had the deployment been statically
     /// provisioned at its peak size for the whole duration.
     pub static_peak_cost: f64,
@@ -330,15 +339,42 @@ pub fn elasticity(
     peak_rate: f64,
     scale_in: bool,
 ) -> ElasticityResult {
-    use seep_workloads::RateSchedule;
-
     let mut policy = SimScalingPolicy::default();
     if scale_in {
         policy = policy.with_scale_in(0.2);
     }
+    elasticity_with(
+        policy,
+        1,
+        ramp_up_s,
+        plateau_s,
+        ramp_down_s,
+        tail_s,
+        base_rate,
+        peak_rate,
+    )
+}
+
+/// The elasticity experiment with an explicit policy and VM slot capacity —
+/// the entry point for the consolidate arm, which packs under-utilised
+/// partitions onto shared VM slots instead of (only) merging siblings.
+#[allow(clippy::too_many_arguments)]
+pub fn elasticity_with(
+    policy: SimScalingPolicy,
+    slots_per_vm: usize,
+    ramp_up_s: u64,
+    plateau_s: u64,
+    ramp_down_s: u64,
+    tail_s: u64,
+    base_rate: f64,
+    peak_rate: f64,
+) -> ElasticityResult {
+    use seep_workloads::RateSchedule;
+
     let mut engine = SimEngine::new(SimConfig {
         query: lrb_query(),
         policy,
+        slots_per_vm,
         vm_pool_size: 6,
         provisioning_delay_s: 60,
         ..SimConfig::default()
@@ -392,9 +428,11 @@ pub fn elasticity(
         phases,
         scale_outs: summary.scale_out_actions,
         scale_ins: summary.scale_in_actions,
+        consolidates: summary.consolidate_actions,
         peak_vms: summary.peak_vms,
         final_vms: summary.final_vms,
         total_cost: cost_of(&trace.records),
+        vm_seconds: trace.records.iter().map(|r| r.vms as f64).sum(),
         static_peak_cost: summary.peak_vms as f64 * hourly / 3_600.0 * duration_s as f64,
         trace,
     }
@@ -479,5 +517,33 @@ mod tests {
         assert_eq!(rigid.final_vms, rigid.peak_vms);
         assert!(elastic.final_vms < rigid.final_vms);
         assert!(elastic.total_cost < rigid.total_cost);
+        assert!(elastic.vm_seconds < rigid.vm_seconds);
+    }
+
+    #[test]
+    fn consolidate_arm_packs_partitions_and_reports_vm_seconds() {
+        let merge_only = elasticity(100, 100, 100, 200, 500.0, 120_000.0, true);
+        let consolidate = elasticity_with(
+            SimScalingPolicy::default()
+                .with_scale_in(0.2)
+                .with_consolidate(),
+            2,
+            100,
+            100,
+            100,
+            200,
+            500.0,
+            120_000.0,
+        );
+        assert_eq!(merge_only.consolidates, 0);
+        assert!(
+            consolidate.consolidates > 0,
+            "the consolidate arm must pack partitions"
+        );
+        assert!(consolidate.vm_seconds > 0.0);
+        assert!(
+            consolidate.total_cost < consolidate.static_peak_cost,
+            "consolidation must beat the static peak deployment"
+        );
     }
 }

@@ -22,6 +22,17 @@ pub struct VmPoolConfig {
     pub target_size: usize,
     /// Spec of the pooled VMs.
     pub spec: VmSpec,
+    /// Operator slots per VM: how many partitioned operators the runtime may
+    /// place on one VM. The paper deploys one operator per VM (`1`, the
+    /// default); raising it lets scale-in **consolidate** — pack several
+    /// light partitions onto a shared VM and release the emptied ones —
+    /// instead of only merging sibling partitions.
+    #[serde(default = "default_slots_per_vm")]
+    pub slots_per_vm: usize,
+}
+
+fn default_slots_per_vm() -> usize {
+    1
 }
 
 impl Default for VmPoolConfig {
@@ -29,7 +40,17 @@ impl Default for VmPoolConfig {
         VmPoolConfig {
             target_size: 2,
             spec: VmSpec::small(),
+            slots_per_vm: default_slots_per_vm(),
         }
+    }
+}
+
+impl VmPoolConfig {
+    /// The same pool configuration with `slots` operator slots per VM
+    /// (clamped to at least 1).
+    pub fn with_slots_per_vm(mut self, slots: usize) -> Self {
+        self.slots_per_vm = slots.max(1);
+        self
     }
 }
 
@@ -180,7 +201,7 @@ mod tests {
             provider.clone(),
             VmPoolConfig {
                 target_size: target,
-                spec: VmSpec::small(),
+                ..VmPoolConfig::default()
             },
             0,
         );
@@ -237,7 +258,7 @@ mod tests {
             provider,
             VmPoolConfig {
                 target_size: 5,
-                spec: VmSpec::small(),
+                ..VmPoolConfig::default()
             },
             0,
         );
@@ -255,6 +276,15 @@ mod tests {
         // refilling beyond the new target.
         pool.set_target_size(1, 0);
         assert_eq!(pool.ready_count(), 4);
+    }
+
+    #[test]
+    fn slots_per_vm_defaults_to_one_operator_per_vm() {
+        let config = VmPoolConfig::default();
+        assert_eq!(config.slots_per_vm, 1, "the paper's one-operator-per-VM");
+        assert_eq!(config.with_slots_per_vm(4).slots_per_vm, 4);
+        // Zero is nonsense (no VM could host anything): clamped to 1.
+        assert_eq!(VmPoolConfig::default().with_slots_per_vm(0).slots_per_vm, 1);
     }
 
     #[test]

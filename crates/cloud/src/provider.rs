@@ -227,6 +227,13 @@ impl CloudProvider {
         self.inner.lock().billing.total_cost(now_ms)
     }
 
+    /// Total VM-hours billed so far (running VMs are counted up to `now_ms`).
+    /// Multiply by 3 600 for the VM-seconds figure the elasticity experiments
+    /// print next to cost.
+    pub fn total_vm_hours(&self, now_ms: u64) -> f64 {
+        self.inner.lock().billing.total_vm_hours(now_ms)
+    }
+
     /// Total number of VMs ever requested.
     pub fn total_requested(&self) -> usize {
         self.inner.lock().vms.len()

@@ -42,6 +42,13 @@ pub struct Checkpoint {
     /// and downstream operators can discard them as duplicates.
     #[serde(default)]
     pub emit_clock: crate::tuple::Timestamp,
+    /// Decayed per-key tuple counters observed by the worker up to the
+    /// checkpoint. When present, [`sample_keys`](Self::sample_keys) weights
+    /// its sample by this observed traffic instead of the state-footprint
+    /// heuristic. Empty for checkpoints taken before traffic tracking (or by
+    /// operators that saw no tuples).
+    #[serde(default)]
+    pub traffic: crate::traffic::TrafficStats,
 }
 
 impl Checkpoint {
@@ -57,12 +64,19 @@ impl Checkpoint {
             processing,
             buffer,
             emit_clock: 0,
+            traffic: crate::traffic::TrafficStats::new(),
         }
     }
 
     /// Attach the operator's logical output-clock value.
     pub fn with_emit_clock(mut self, clock: crate::tuple::Timestamp) -> Self {
         self.emit_clock = clock;
+        self
+    }
+
+    /// Attach the worker's observed per-key traffic counters.
+    pub fn with_traffic(mut self, traffic: crate::traffic::TrafficStats) -> Self {
+        self.traffic = traffic;
         self
     }
 
@@ -93,16 +107,25 @@ impl Checkpoint {
         self.processing.size_bytes() + self.buffer.size_bytes()
     }
 
-    /// A load-weighted sample of at most `max` keys from the checkpointed
-    /// processing state, for distribution-guided key splits during
-    /// reconfiguration: hot keys (larger state footprint) are repeated in
-    /// proportion to their share of the state bytes, so
+    /// A load-weighted sample of at most `max` keys from the checkpoint, for
+    /// distribution-guided key splits during reconfiguration: hot keys are
+    /// repeated in proportion to their share of the load, so
     /// [`KeyRange::split_by_distribution`] balances load rather than
     /// distinct-key counts.
     ///
+    /// When the checkpoint carries [`traffic`](Self::traffic) counters the
+    /// sample is weighted by **observed tuple traffic** (with exponential
+    /// decay applied at the worker, so stale hot spots fade); otherwise it
+    /// falls back to the state-footprint heuristic, which tracks load for
+    /// windowed operators but not for constant-size per-key state.
+    ///
     /// [`KeyRange::split_by_distribution`]: crate::key::KeyRange::split_by_distribution
     pub fn sample_keys(&self, max: usize) -> Vec<Key> {
-        self.processing.weighted_key_sample(max)
+        if !self.traffic.is_empty() {
+            self.traffic.weighted_sample(max)
+        } else {
+            self.processing.weighted_key_sample(max)
+        }
     }
 
     /// Apply an incremental checkpoint on top of this checkpoint, producing
@@ -119,6 +142,7 @@ impl Checkpoint {
         self.buffer = inc.buffer.clone();
         self.meta.sequence = inc.meta.sequence;
         self.emit_clock = inc.emit_clock;
+        self.traffic = inc.traffic.clone();
     }
 }
 
@@ -146,6 +170,12 @@ pub struct IncrementalCheckpoint {
     /// would reuse old timestamps and be dropped as duplicates downstream.
     #[serde(default)]
     pub emit_clock: crate::tuple::Timestamp,
+    /// Current per-key traffic counters. Carried in full like the buffer
+    /// state (decay rewrites every counter each interval, so there is no
+    /// stable base to diff against) so delta-chain materialisation samples
+    /// the *current* traffic, not the last full checkpoint's.
+    #[serde(default)]
+    pub traffic: crate::traffic::TrafficStats,
 }
 
 impl IncrementalCheckpoint {
@@ -160,6 +190,7 @@ impl IncrementalCheckpoint {
             timestamps: current.processing.timestamps().clone(),
             buffer: current.buffer.clone(),
             emit_clock: current.emit_clock,
+            traffic: current.traffic.clone(),
         }
     }
 

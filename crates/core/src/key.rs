@@ -207,6 +207,45 @@ pub fn sample_imbalance(ranges: &[KeyRange], sample: &[Key]) -> f64 {
     counts.into_iter().max().unwrap_or(0) as f64 / ideal
 }
 
+/// Draw a weighted multiset key sample of at most `max` entries from
+/// key-ordered `(key, weight)` pairs — the one sampling algorithm behind
+/// both `ProcessingState::weighted_key_sample` (weight = state bytes above
+/// the per-key minimum) and `TrafficStats::weighted_sample` (weight =
+/// decayed tuple count).
+///
+/// Every key gets one guaranteed slot; the spare slots are distributed in
+/// proportion to each key's share of the total weight, so hot keys repeat
+/// and [`KeyRange::split_by_distribution`] balances load rather than
+/// distinct-key counts. When there are more distinct keys than slots, a
+/// uniform stride sub-sample of the distinct keys is returned instead
+/// (per-key weighting is meaningless below one slot per key).
+pub(crate) fn weighted_multiset_sample(entries: &[(Key, u64)], max: usize) -> Vec<Key> {
+    if max == 0 || entries.is_empty() {
+        return Vec::new();
+    }
+    let distinct = entries.len();
+    if distinct >= max {
+        let stride = distinct.div_ceil(max);
+        return entries
+            .iter()
+            .step_by(stride)
+            .map(|(k, _)| *k)
+            .take(max)
+            .collect();
+    }
+    let total: u64 = entries.iter().map(|(_, w)| *w).sum();
+    let spare = (max - distinct) as u64;
+    let mut out = Vec::with_capacity(max);
+    for (key, weight) in entries {
+        let extra = (weight * spare).checked_div(total).unwrap_or(0);
+        for _ in 0..=extra {
+            out.push(*key);
+        }
+    }
+    out.truncate(max);
+    out
+}
+
 impl std::fmt::Display for KeyRange {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "[{:#x}, {:#x}]", self.lo, self.hi)

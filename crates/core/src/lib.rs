@@ -46,6 +46,7 @@ pub mod operator;
 pub mod primitives;
 pub mod spill;
 pub mod state;
+pub mod traffic;
 pub mod tuple;
 
 pub use backup::select_backup_operator;
@@ -61,4 +62,5 @@ pub use operator::{
 };
 pub use spill::{MemoryBudget, SpillPolicy, SpillStore};
 pub use state::{BufferState, ProcessingState, RoutingState};
+pub use traffic::TrafficStats;
 pub use tuple::{Key, StreamId, Timestamp, TimestampVec, Tuple};

@@ -72,9 +72,13 @@ pub fn merge_checkpoints(
             buffer.push(d, t.clone());
         }
     }
+    let mut traffic = lo_cp.traffic;
+    traffic.merge(&hi_cp.traffic);
     let sequence = lo_cp.meta.sequence.max(hi_cp.meta.sequence);
     Ok((
-        Checkpoint::new(merged_operator, sequence, processing, buffer).with_emit_clock(emit_clock),
+        Checkpoint::new(merged_operator, sequence, processing, buffer)
+            .with_emit_clock(emit_clock)
+            .with_traffic(traffic),
         merged_range,
     ))
 }

@@ -114,11 +114,15 @@ pub fn partition_checkpoint(
     let ranges: Vec<KeyRange> = new_operators.iter().map(|(_, r)| *r).collect();
     let states = checkpoint.processing.partition_by_ranges(&ranges);
     let buffers = checkpoint.buffer.assign_to_first(new_operators.len());
+    let traffic = checkpoint.traffic.partition_by_ranges(&ranges);
     Ok(new_operators
         .iter()
         .zip(states)
         .zip(buffers)
-        .map(|(((op, _), processing), buffer)| Checkpoint::new(*op, 0, processing, buffer))
+        .zip(traffic)
+        .map(|((((op, _), processing), buffer), traffic)| {
+            Checkpoint::new(*op, 0, processing, buffer).with_traffic(traffic)
+        })
         .collect())
 }
 

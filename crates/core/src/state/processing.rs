@@ -108,35 +108,13 @@ impl ProcessingState {
     ///
     /// [`KeyRange::split_by_distribution`]: crate::key::KeyRange::split_by_distribution
     pub fn weighted_key_sample(&self, max: usize) -> Vec<Key> {
-        if max == 0 || self.entries.is_empty() {
-            return Vec::new();
-        }
-        let distinct = self.entries.len();
-        if distinct >= max {
-            let stride = distinct.div_ceil(max);
-            return self
-                .entries
-                .keys()
-                .step_by(stride)
-                .copied()
-                .take(max)
-                .collect();
-        }
         let baseline = self.entries.values().map(Bytes::len).min().unwrap_or(0);
-        let weight_of = |v: &Bytes| v.len() - baseline;
-        let total: usize = self.entries.values().map(weight_of).sum();
-        let spare = max - distinct;
-        let mut out = Vec::with_capacity(max);
-        for (key, value) in &self.entries {
-            // One guaranteed slot per key plus a share of the spare slots
-            // proportional to the key's differential state footprint.
-            let extra = (weight_of(value) * spare).checked_div(total).unwrap_or(0);
-            for _ in 0..=extra {
-                out.push(*key);
-            }
-        }
-        out.truncate(max);
-        out
+        let pairs: Vec<(Key, u64)> = self
+            .entries
+            .iter()
+            .map(|(k, v)| (*k, (v.len() - baseline) as u64))
+            .collect();
+        crate::key::weighted_multiset_sample(&pairs, max)
     }
 
     /// The timestamp vector τ_o of the most recent reflected input tuples.

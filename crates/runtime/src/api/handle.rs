@@ -11,7 +11,9 @@ use seep_core::{
 };
 
 use crate::metrics::{CheckpointRecord, Metrics, RecoveryRecord};
-use crate::runtime::{RebalanceOutcome, Runtime, ScaleInOutcome, ScaleOutOutcome};
+use crate::runtime::{
+    ConsolidateOutcome, RebalanceOutcome, Runtime, ScaleInOutcome, ScaleOutOutcome,
+};
 
 /// Selects a logical operator of a deployed job: either by the **name** it
 /// was declared under in the builder (the ergonomic path) or by a raw
@@ -132,6 +134,12 @@ impl JobHandle {
         self.runtime.advance_to(now_ms)
     }
 
+    /// Fallible [`advance_to`](Self::advance_to): a broken placement
+    /// invariant surfaces as an error instead of a panic.
+    pub fn try_advance_to(&mut self, now_ms: u64) -> seep_core::Result<()> {
+        self.runtime.try_advance_to(now_ms)
+    }
+
     /// Current virtual time in milliseconds.
     pub fn now_ms(&self) -> u64 {
         self.runtime.now_ms()
@@ -175,13 +183,34 @@ impl JobHandle {
         self.runtime.scale_in(target, victim)
     }
 
-    /// Re-split a skewed pair of adjacent partitions in place (no VM change).
+    /// Re-split a skewed pair of sibling partitions in place (no VM change).
+    /// The plan engine rebalances the whole logical operator the pair names;
+    /// see [`rebalance_operator`](Self::rebalance_operator).
     pub fn rebalance(
         &mut self,
         target: OperatorId,
         victim: OperatorId,
     ) -> seep_core::Result<RebalanceOutcome> {
         self.runtime.rebalance(target, victim)
+    }
+
+    /// Re-split **all π partitions** of a logical operator in one plan by
+    /// the observed key distribution, reusing every VM (no deployment
+    /// change).
+    pub fn rebalance_operator(
+        &mut self,
+        op: impl OpSelector,
+    ) -> seep_core::Result<RebalanceOutcome> {
+        let op = op.resolve(self);
+        self.runtime.rebalance_operator(op)
+    }
+
+    /// Pack the partitions of a logical operator onto as few VM slots as
+    /// the pool's `slots_per_vm` allows (first-fit-decreasing by state
+    /// size), releasing the emptied VMs — scale-in that keeps parallelism.
+    pub fn consolidate(&mut self, op: impl OpSelector) -> seep_core::Result<ConsolidateOutcome> {
+        let op = op.resolve(self);
+        self.runtime.consolidate(op)
     }
 
     /// Crash-stop the VM hosting `operator`.
@@ -250,6 +279,11 @@ impl JobHandle {
     /// VM pool hit/miss statistics.
     pub fn pool_stats(&self) -> (u64, u64) {
         self.runtime.pool_stats()
+    }
+
+    /// The placement layer: which VM slot hosts which partition.
+    pub fn placement(&self) -> &crate::placement::Placement {
+        self.runtime.placement()
     }
 
     /// The wrapped [`Runtime`] — the documented low-level layer, for

@@ -49,13 +49,21 @@ pub struct ScalingPolicy {
     /// keep the original behaviour.
     pub scale_in: bool,
     /// Whether the control loop may **rebalance** instead of scaling out:
-    /// when a partition is a bottleneck but its adjacent sibling is cold
-    /// enough that the pair's mean utilisation sits below δ, the skew is in
+    /// when a partition is a bottleneck but its siblings are cold enough
+    /// that the operator's mean utilisation sits below δ, the skew is in
     /// the key split rather than in aggregate demand, and the runtime
-    /// re-draws the boundary from the observed key distribution without
-    /// consuming a VM. Off by default.
+    /// re-draws all the boundaries from the observed key distribution
+    /// without consuming a VM. Off by default.
     #[serde(default)]
     pub rebalance: bool,
+    /// Whether the control loop may **consolidate** under-utilised
+    /// partitions: pack them onto shared VM slots (first-fit-decreasing over
+    /// [`seep_cloud::VmPoolConfig::slots_per_vm`]) and release the emptied
+    /// VMs, keeping parallelism — the scale-in path that does not require
+    /// adjacent siblings. Takes effect only together with `scale_in` and a
+    /// multi-slot placement. Off by default.
+    #[serde(default)]
+    pub consolidate: bool,
 }
 
 impl Default for ScalingPolicy {
@@ -69,6 +77,7 @@ impl Default for ScalingPolicy {
             scale_in_reports: 3,
             scale_in: false,
             rebalance: false,
+            consolidate: false,
         }
     }
 }
@@ -88,9 +97,17 @@ impl ScalingPolicy {
         self
     }
 
-    /// Enable skew-driven rebalancing of hot/cold sibling pairs.
+    /// Enable skew-driven rebalancing of hot/cold sibling partitions.
     pub fn with_rebalance(mut self) -> Self {
         self.rebalance = true;
+        self
+    }
+
+    /// Enable consolidation of under-utilised partitions onto shared VM
+    /// slots (effective only together with scale in and
+    /// `pool.slots_per_vm >= 2`).
+    pub fn with_consolidate(mut self) -> Self {
+        self.consolidate = true;
         self
     }
 
@@ -182,7 +199,9 @@ mod tests {
         assert!((p10.threshold - 0.10).abs() < 1e-9);
         assert!(!p.scale_in, "scale in is opt-in");
         assert!(!p.rebalance, "rebalancing is opt-in");
+        assert!(!p.consolidate, "consolidation is opt-in");
         assert!(p.with_rebalance().rebalance);
+        assert!(p.with_consolidate().consolidate);
         assert!(p.low_threshold < p.threshold);
         assert!(p.scale_in_reports > p.consecutive_reports);
     }

@@ -35,6 +35,7 @@ pub mod api;
 pub mod bottleneck;
 pub mod config;
 pub mod metrics;
+pub mod placement;
 pub mod reconfig;
 pub mod recovery;
 pub mod runtime;
@@ -44,12 +45,13 @@ pub use api::{Job, JobBuilder, JobHandle, SinkCollector};
 pub use bottleneck::{BottleneckDetector, ScalingPolicy};
 pub use config::RuntimeConfig;
 pub use metrics::{
-    Metrics, MetricsSnapshot, RebalanceRecord, ReconfigTiming, ScaleInRecord, ScaleOutRecord,
-    SplitKind, StoreIoRecord,
+    ConsolidateRecord, Metrics, MetricsSnapshot, RebalanceRecord, ReconfigTiming, ScaleInRecord,
+    ScaleOutRecord, SplitKind, StoreIoRecord,
 };
+pub use placement::Placement;
 pub use reconfig::{ReconfigKind, ReconfigPlan, SplitPolicy};
 pub use recovery::RecoveryStrategy;
-pub use runtime::{RebalanceOutcome, Runtime, ScaleInOutcome, ScaleOutOutcome};
+pub use runtime::{ConsolidateOutcome, RebalanceOutcome, Runtime, ScaleInOutcome, ScaleOutOutcome};
 pub use worker::WorkerCore;
 
 // Re-exported so experiment drivers can configure the checkpoint-store

@@ -185,6 +185,29 @@ pub struct RebalanceRecord {
     pub timing: ReconfigTiming,
 }
 
+/// One consolidation (partition bin-packing) action performed by the
+/// runtime: the partitions of a logical operator were checkpoint-moved onto
+/// shared VM slots and the emptied VMs released, without changing
+/// parallelism or key ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsolidateRecord {
+    /// The logical operator whose partitions were packed.
+    pub logical: LogicalOpId,
+    /// Parallelism of the logical operator (unchanged by a consolidation).
+    pub parallelism: usize,
+    /// VMs emptied by the packing and released to the provider.
+    pub vms_released: usize,
+    /// Virtual time of the action (ms).
+    pub at_ms: u64,
+    /// Wall-clock cost of the reconfiguration (µs), excluding catch-up.
+    pub duration_us: u64,
+    /// Tuples replayed from restored and upstream buffers.
+    pub replayed_tuples: usize,
+    /// Per-phase cost of the plan.
+    #[serde(default)]
+    pub timing: ReconfigTiming,
+}
+
 #[derive(Debug, Default)]
 struct MetricsInner {
     latencies_us: Vec<u64>,
@@ -195,6 +218,7 @@ struct MetricsInner {
     scale_outs: Vec<ScaleOutRecord>,
     scale_ins: Vec<ScaleInRecord>,
     rebalances: Vec<RebalanceRecord>,
+    consolidates: Vec<ConsolidateRecord>,
     dropped_sends: u64,
     store_io: HashMap<String, StoreIoRecord>,
 }
@@ -230,6 +254,9 @@ pub struct MetricsSnapshot {
     /// Number of rebalance (repartition-in-place) actions performed.
     #[serde(default)]
     pub rebalances: usize,
+    /// Number of consolidation (partition bin-packing) actions performed.
+    #[serde(default)]
+    pub consolidates: usize,
     /// Sends that failed because the destination was disconnected.
     pub dropped_sends: u64,
     /// Bytes written to checkpoint stores (all backends).
@@ -284,6 +311,11 @@ impl Metrics {
     /// Record a rebalance (repartition-in-place) action.
     pub fn record_rebalance(&self, record: RebalanceRecord) {
         self.inner.lock().rebalances.push(record);
+    }
+
+    /// Record a consolidation (partition bin-packing) action.
+    pub fn record_consolidate(&self, record: ConsolidateRecord) {
+        self.inner.lock().consolidates.push(record);
     }
 
     /// Record a checkpoint write against the store backend `backend`.
@@ -378,6 +410,11 @@ impl Metrics {
         self.inner.lock().rebalances.clone()
     }
 
+    /// All consolidation records so far.
+    pub fn consolidates(&self) -> Vec<ConsolidateRecord> {
+        self.inner.lock().consolidates.clone()
+    }
+
     /// Clear latency samples (used between experiment phases so the measured
     /// percentiles cover only the phase of interest).
     pub fn reset_latencies(&self) {
@@ -398,6 +435,7 @@ impl Metrics {
             scale_outs: inner.scale_outs.len(),
             scale_ins: inner.scale_ins.len(),
             rebalances: inner.rebalances.len(),
+            consolidates: inner.consolidates.len(),
             dropped_sends: inner.dropped_sends,
             store_write_bytes: inner.store_io.values().map(|r| r.write_bytes).sum(),
             store_restore_bytes: inner.store_io.values().map(|r| r.restore_bytes).sum(),

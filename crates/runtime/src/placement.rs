@@ -1,0 +1,268 @@
+//! The placement layer: which VM slot hosts which partition.
+//!
+//! The seed hardened the paper's deployment model into a one-partition-per-VM
+//! invariant, scattered across the runtime as a bare
+//! `HashMap<OperatorId, VmId>`. [`Placement`] makes the mapping explicit and
+//! bidirectional — partition → VM and VM → resident partitions — with a
+//! per-VM **slot capacity** ([`VmPoolConfig::slots_per_vm`]). Every
+//! reconfiguration plan resolves VMs through it:
+//!
+//! * scale out places each new partition on a fresh VM from the pool,
+//! * scale in restores the merged partition on the survivor's slot,
+//! * an N-way rebalance reuses all of the replaced partitions' VMs in key
+//!   order, and
+//! * **consolidate** packs light partitions onto shared VMs with the
+//!   first-fit-decreasing heuristic ([`first_fit_decreasing`]) and releases
+//!   the VMs that end up empty.
+//!
+//! The placement is also the authority for billing attribution: a
+//! utilisation report for a partition the placement does not know is an
+//! [`Error::Invariant`], not a silent report against VM 0.
+//!
+//! [`VmPoolConfig::slots_per_vm`]: seep_cloud::VmPoolConfig
+
+use std::collections::{BTreeMap, HashMap};
+
+use seep_cloud::VmId;
+use seep_core::{Error, OperatorId, Result};
+
+/// Partition → VM-slot mapping with per-VM capacity.
+///
+/// Capacity is advisory at this layer: [`assign`](Self::assign) rejects a
+/// placement beyond `slots_per_vm`, but during a reconfiguration the executor
+/// briefly co-locates a replaced partition with its replacement on the same
+/// VM (the old worker is retired within the same plan), so the check allows
+/// the instances the caller has marked as outgoing.
+#[derive(Debug, Default)]
+pub struct Placement {
+    slots_per_vm: usize,
+    vm_of: HashMap<OperatorId, VmId>,
+    residents: BTreeMap<VmId, Vec<OperatorId>>,
+}
+
+impl Placement {
+    /// An empty placement with `slots_per_vm` operator slots per VM
+    /// (clamped to at least 1).
+    pub fn new(slots_per_vm: usize) -> Self {
+        Placement {
+            slots_per_vm: slots_per_vm.max(1),
+            vm_of: HashMap::new(),
+            residents: BTreeMap::new(),
+        }
+    }
+
+    /// Operator slots every VM offers.
+    pub fn slots_per_vm(&self) -> usize {
+        self.slots_per_vm
+    }
+
+    /// Place `operator` on `vm`. Fails with [`Error::Invariant`] when the
+    /// operator is already placed, or when the VM has no free slot after
+    /// discounting residents in `outgoing` (instances being replaced by the
+    /// same reconfiguration plan, which vacate their slot before the plan
+    /// commits).
+    pub fn assign(
+        &mut self,
+        operator: OperatorId,
+        vm: VmId,
+        outgoing: &[OperatorId],
+    ) -> Result<()> {
+        if self.vm_of.contains_key(&operator) {
+            return Err(Error::Invariant(format!(
+                "operator {operator} is already placed"
+            )));
+        }
+        let residents = self.residents.entry(vm).or_default();
+        let effective = residents.iter().filter(|r| !outgoing.contains(r)).count();
+        if effective >= self.slots_per_vm {
+            return Err(Error::Invariant(format!(
+                "VM {vm} has no free slot ({effective}/{} occupied)",
+                self.slots_per_vm
+            )));
+        }
+        residents.push(operator);
+        self.vm_of.insert(operator, vm);
+        Ok(())
+    }
+
+    /// Remove `operator` from the placement. Returns the VM it occupied and
+    /// whether that VM is now empty (and so can be released to the provider).
+    pub fn release(&mut self, operator: OperatorId) -> Option<(VmId, bool)> {
+        let vm = self.vm_of.remove(&operator)?;
+        let emptied = if let Some(residents) = self.residents.get_mut(&vm) {
+            residents.retain(|r| *r != operator);
+            let empty = residents.is_empty();
+            if empty {
+                self.residents.remove(&vm);
+            }
+            empty
+        } else {
+            true
+        };
+        Some((vm, emptied))
+    }
+
+    /// The VM hosting `operator`, if the placement knows it.
+    pub fn vm_of(&self, operator: OperatorId) -> Option<VmId> {
+        self.vm_of.get(&operator).copied()
+    }
+
+    /// The VM hosting `operator`; an unknown operator is an invariant
+    /// violation (every live worker must occupy exactly one slot).
+    pub fn vm_of_required(&self, operator: OperatorId) -> Result<VmId> {
+        self.vm_of
+            .get(&operator)
+            .copied()
+            .ok_or_else(|| Error::Invariant(format!("operator {operator} has no VM placement")))
+    }
+
+    /// The partitions currently hosted by `vm`, in placement order.
+    pub fn residents(&self, vm: VmId) -> &[OperatorId] {
+        self.residents.get(&vm).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of partitions currently on `vm`.
+    pub fn occupancy(&self, vm: VmId) -> usize {
+        self.residents(vm).len()
+    }
+
+    /// Free slots on `vm` after discounting residents in `outgoing`.
+    pub fn free_slots(&self, vm: VmId, outgoing: &[OperatorId]) -> usize {
+        let effective = self
+            .residents(vm)
+            .iter()
+            .filter(|r| !outgoing.contains(r))
+            .count();
+        self.slots_per_vm.saturating_sub(effective)
+    }
+
+    /// VMs that currently host at least one partition, in id order.
+    pub fn occupied_vms(&self) -> Vec<VmId> {
+        self.residents.keys().copied().collect()
+    }
+
+    /// Number of placed partitions.
+    pub fn len(&self) -> usize {
+        self.vm_of.len()
+    }
+
+    /// Whether no partition is placed.
+    pub fn is_empty(&self) -> bool {
+        self.vm_of.is_empty()
+    }
+}
+
+/// First-fit-decreasing bin packing for consolidation: place each item
+/// (heaviest first) into the first bin with a free slot. `bins` carries each
+/// bin's id and free-slot count; `items` carries each item's id and weight.
+/// Returns the chosen bin id per item, in the order of `items`.
+///
+/// Capacity here is slot-count, not weight — the weights only fix a
+/// deterministic order in which items claim slots, so the leading bins fill
+/// up with the heaviest partitions and the trailing bins are the ones left
+/// empty for release. Returns `None` when the bins offer fewer slots than
+/// there are items (the caller sized the bins wrongly).
+pub fn first_fit_decreasing(
+    items: &[(OperatorId, usize)],
+    bins: &[(VmId, usize)],
+) -> Option<HashMap<OperatorId, VmId>> {
+    let total: usize = bins.iter().map(|(_, free)| free).sum();
+    if total < items.len() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|a, b| {
+        items[*b]
+            .1
+            .cmp(&items[*a].1)
+            .then_with(|| items[*a].0.cmp(&items[*b].0))
+    });
+    let mut free: Vec<(VmId, usize)> = bins.to_vec();
+    let mut out = HashMap::with_capacity(items.len());
+    for idx in order {
+        let (op, _) = items[idx];
+        let slot = free.iter_mut().find(|(_, f)| *f > 0)?;
+        slot.1 -= 1;
+        out.insert(op, slot.0);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(i: u64) -> OperatorId {
+        OperatorId::new(i)
+    }
+
+    #[test]
+    fn assign_release_roundtrip_and_emptied_flag() {
+        let mut p = Placement::new(2);
+        assert!(p.is_empty());
+        p.assign(op(1), VmId(7), &[]).unwrap();
+        p.assign(op(2), VmId(7), &[]).unwrap();
+        assert_eq!(p.vm_of(op(1)), Some(VmId(7)));
+        assert_eq!(p.occupancy(VmId(7)), 2);
+        assert_eq!(p.residents(VmId(7)), &[op(1), op(2)]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.occupied_vms(), vec![VmId(7)]);
+
+        assert_eq!(p.release(op(1)), Some((VmId(7), false)));
+        assert_eq!(p.release(op(2)), Some((VmId(7), true)), "last one empties");
+        assert_eq!(p.release(op(2)), None, "double release is a no-op");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_outgoing_discount() {
+        let mut p = Placement::new(1);
+        p.assign(op(1), VmId(3), &[]).unwrap();
+        // A second partition on a 1-slot VM is rejected...
+        assert!(p.assign(op(2), VmId(3), &[]).is_err());
+        // ...unless the resident is outgoing (being replaced by the same
+        // plan), which is the scale-in / rebalance restore step.
+        p.assign(op(2), VmId(3), &[op(1)]).unwrap();
+        assert_eq!(p.occupancy(VmId(3)), 2, "transiently co-located");
+        p.release(op(1));
+        assert_eq!(p.residents(VmId(3)), &[op(2)]);
+        // Re-placing an operator that is already placed is an error.
+        assert!(p.assign(op(2), VmId(4), &[]).is_err());
+    }
+
+    #[test]
+    fn vm_of_required_surfaces_unknown_operators() {
+        let p = Placement::new(1);
+        let err = p.vm_of_required(op(9)).unwrap_err();
+        assert!(matches!(err, Error::Invariant(_)));
+    }
+
+    #[test]
+    fn free_slots_accounts_for_outgoing() {
+        let mut p = Placement::new(2);
+        p.assign(op(1), VmId(1), &[]).unwrap();
+        assert_eq!(p.free_slots(VmId(1), &[]), 1);
+        assert_eq!(p.free_slots(VmId(1), &[op(1)]), 2);
+        assert_eq!(p.free_slots(VmId(9), &[]), 2, "unknown VM is empty");
+    }
+
+    #[test]
+    fn ffd_packs_heaviest_first_and_fills_bins() {
+        let items = [(op(1), 10), (op(2), 90), (op(3), 40), (op(4), 5)];
+        let bins = [(VmId(1), 2), (VmId(2), 2)];
+        let packed = first_fit_decreasing(&items, &bins).unwrap();
+        assert_eq!(packed.len(), 4);
+        // Heaviest two land on the first bin, the rest spill to the second.
+        assert_eq!(packed[&op(2)], VmId(1));
+        assert_eq!(packed[&op(3)], VmId(1));
+        assert_eq!(packed[&op(1)], VmId(2));
+        assert_eq!(packed[&op(4)], VmId(2));
+    }
+
+    #[test]
+    fn ffd_rejects_insufficient_capacity() {
+        let items = [(op(1), 1), (op(2), 1), (op(3), 1)];
+        assert!(first_fit_decreasing(&items, &[(VmId(1), 2)]).is_none());
+        assert!(first_fit_decreasing(&[], &[]).is_some());
+    }
+}

@@ -3,23 +3,27 @@
 //! One choreography serves every plan shape. The phases, in order:
 //!
 //! 1. **Resolve & validate** — nothing is touched if the plan is rejected.
-//! 2. **Drain & pause** — merge-shaped plans (scale in, rebalance) drain the
-//!    pair's inbound queues and pause it; a scale out leaves the (possibly
-//!    failed) target alone.
+//! 2. **Drain & pause** — merge-shaped plans (scale in, rebalance,
+//!    consolidate) drain the replaced partitions' inbound queues and pause
+//!    them; a scale out leaves the (possibly failed) target alone.
 //! 3. **Capture** — obtain the checkpoint to repartition: the backed-up copy
-//!    for scale out/recovery, or a store-side merge of the pair's fresh
-//!    checkpoints for scale in/rebalance. *Every fallible state acquisition
-//!    happens here, before the graph is rewritten*: a failure unpauses the
-//!    pair and rejects the plan with the runtime exactly as it was.
-//! 4. **Rewrite** — choose the key split (even or distribution-guided from a
-//!    load-weighted checkpoint sample) and rewrite the execution graph.
+//!    for scale out/recovery, or a store-side merge of the replaced
+//!    partitions' fresh checkpoints (pairwise for scale in, N-way for
+//!    rebalance/consolidate). *Every fallible state acquisition happens
+//!    here, before the graph is rewritten*: a failure unpauses the
+//!    partitions and rejects the plan with the runtime exactly as it was.
+//! 4. **Rewrite** — choose the key split (even, distribution-guided from a
+//!    load-weighted checkpoint sample, or the unchanged ranges for a
+//!    consolidation) and rewrite the execution graph.
 //! 5. **Transform** — partition the captured checkpoint over the new ranges
 //!    (Algorithm 2; a merge is the 1-range special case).
-//! 6. **Restore** — create workers on their VMs (fresh from the pool for
-//!    scale out, reused for merge/rebalance) and install the state.
+//! 6. **Restore** — create workers on VM slots resolved through the
+//!    [placement layer](crate::placement): fresh from the pool for scale
+//!    out, reused in key order for merge/rebalance, first-fit-decreasing
+//!    packed for consolidate — and install the state.
 //! 7. **Commit** — store the new partitions' initial backups, migrate
 //!    third-party backups living on reused VMs, retire the replaced
-//!    instances and release VMs.
+//!    instances and release every VM the placement reports emptied.
 //! 8. **Replay** — new partitions replay their restored output buffers;
 //!    upstream operators re-route, migrate pending buffered tuples and
 //!    replay everything the captured state does not reflect. Downstream
@@ -34,6 +38,7 @@ use seep_core::primitives::partition_checkpoint;
 use seep_core::{Checkpoint, Error, KeyRange, LogicalOpId, OperatorId, Result, TimestampVec};
 
 use crate::metrics::{ReconfigTiming, SplitKind};
+use crate::placement::first_fit_decreasing;
 use crate::reconfig::plan::{ReconfigKind, ReconfigPlan, SplitDecision};
 use crate::runtime::Runtime;
 use crate::worker::WorkerCore;
@@ -48,12 +53,14 @@ pub struct ReconfigOutcome {
     /// Parallelism of the logical operator after the plan.
     pub new_parallelism: usize,
     /// Tuples replayed to bring the new instances up to date (for scale out
-    /// this counts upstream replays, matching the original accounting; merge
-    /// and rebalance also count the restored buffers they re-send).
+    /// this counts upstream replays, matching the original accounting; merge,
+    /// rebalance and consolidate also count the restored buffers they
+    /// re-send).
     pub replayed_tuples: usize,
-    /// The VM released back to the provider, if the plan shrank the
-    /// deployment.
-    pub released_vm: Option<seep_cloud::VmId>,
+    /// VMs released back to the provider, if the plan shrank the deployment
+    /// (one for a merge that empties the victim's VM, possibly several for a
+    /// consolidation).
+    pub released_vms: Vec<seep_cloud::VmId>,
     /// Per-phase wall-clock cost and the key-split decision taken.
     pub timing: ReconfigTiming,
 }
@@ -88,8 +95,9 @@ impl PhaseTimer {
 /// A validated plan: the instances it replaces and the per-shape flags the
 /// executor branches on.
 struct ResolvedPlan {
-    /// Instances being replaced. For merge shapes the first entry is the
-    /// survivor whose VM hosts (the first of) the new instances.
+    /// Instances being replaced. For a merge the first entry is the survivor
+    /// whose VM hosts the merged instance; for rebalance and consolidate the
+    /// entries are in key order.
     olds: Vec<OperatorId>,
     /// `(instance, key range)` of each replaced instance, same order.
     old_ranges: Vec<(OperatorId, KeyRange)>,
@@ -108,6 +116,9 @@ struct ResolvedPlan {
     strict_backup: bool,
     /// Count the new instances' own restored-buffer replays in the outcome.
     count_own_replays: bool,
+    /// Consolidate only: the new instances keep exactly these ranges (in key
+    /// order) instead of taking a split decision.
+    fixed_ranges: Option<Vec<KeyRange>>,
 }
 
 impl Runtime {
@@ -169,7 +180,8 @@ impl Runtime {
         }
         timing.transform_us = timer.lap();
 
-        // Phase 6: create the new workers on their VMs and restore state.
+        // Phase 6: create the new workers on their VM slots (resolved through
+        // the placement layer) and restore state.
         match plan.kind {
             ReconfigKind::ScaleOut { .. } => {
                 for instance in &new_instances {
@@ -177,16 +189,42 @@ impl Runtime {
                 }
             }
             ReconfigKind::ScaleIn { .. } => {
-                // The merged operator takes over the survivor's VM.
-                let vm = self.vm_of_required(resolved.olds[0])?;
-                self.create_worker_on(&new_instances[0], vm)?;
+                // The merged operator takes over the survivor's slot.
+                let vm = self.placement.vm_of_required(resolved.olds[0])?;
+                self.create_worker_on(&new_instances[0], vm, &resolved.olds)?;
             }
             ReconfigKind::Rebalance { .. } => {
-                // Both VMs are reused: the i-th new range lands on the VM of
-                // the i-th old range (both lists are in key order).
+                // Every VM is reused: the i-th new range lands on the VM of
+                // the i-th old range (both lists are in key order), so each
+                // VM keeps serving its slice of the key space.
                 for (old, instance) in resolved.olds.iter().zip(&new_instances) {
-                    let vm = self.vm_of_required(*old)?;
-                    self.create_worker_on(instance, vm)?;
+                    let vm = self.placement.vm_of_required(*old)?;
+                    self.create_worker_on(instance, vm, &resolved.olds)?;
+                }
+            }
+            ReconfigKind::Consolidate { .. } => {
+                // First-fit-decreasing bin packing: the heaviest partitions
+                // (by checkpointed state size) claim slots first, over the
+                // VMs the operator already occupies in key order, so the
+                // leading VMs fill up and the trailing ones empty out.
+                let mut bins: Vec<(seep_cloud::VmId, usize)> = Vec::new();
+                for old in &resolved.olds {
+                    let vm = self.placement.vm_of_required(*old)?;
+                    if !bins.iter().any(|(b, _)| *b == vm) {
+                        bins.push((vm, self.placement.free_slots(vm, &resolved.olds)));
+                    }
+                }
+                let items: Vec<(OperatorId, usize)> = new_instances
+                    .iter()
+                    .zip(parts.iter())
+                    .map(|(inst, cp)| (inst.id, cp.size_bytes().max(1)))
+                    .collect();
+                let packed = first_fit_decreasing(&items, &bins).ok_or_else(|| {
+                    Error::Invariant("consolidation bin packing ran out of VM slots".into())
+                })?;
+                for instance in &new_instances {
+                    let vm = packed[&instance.id];
+                    self.create_worker_on(instance, vm, &resolved.olds)?;
                 }
             }
         }
@@ -235,40 +273,55 @@ impl Runtime {
             }
         }
         // VMs that survive under a new instance keep the backups *other*
-        // operators stored on them: move those over to the new instance's
-        // store instead of losing them with the bookkeeping.
+        // operators stored on them: move those over to a new instance on the
+        // same VM instead of losing them with the bookkeeping. The pairing is
+        // derived from the placement — for a merge this is survivor → merged,
+        // for rebalance the key-order identity, for consolidate whatever the
+        // packing co-located; a replaced instance whose VM hosts no new one
+        // (the merge victim, an emptied consolidation VM) loses its store
+        // exactly as a released VM would.
         let reused: Vec<(OperatorId, OperatorId)> = match plan.kind {
             ReconfigKind::ScaleOut { .. } => Vec::new(),
-            ReconfigKind::ScaleIn { .. } => vec![(resolved.olds[0], new_instances[0].id)],
-            ReconfigKind::Rebalance { .. } => resolved
+            _ => resolved
                 .olds
                 .iter()
-                .copied()
-                .zip(new_instances.iter().map(|i| i.id))
+                .filter_map(|old| {
+                    let vm = self.placement.vm_of(*old)?;
+                    let new = new_instances
+                        .iter()
+                        .find(|i| self.placement.vm_of(i.id) == Some(vm))?;
+                    Some((*old, new.id))
+                })
                 .collect(),
         };
         for (old, new) in &reused {
             self.migrate_third_party_backups(&resolved.olds, *old, *new);
         }
-        let released_vm = match plan.kind {
-            ReconfigKind::ScaleOut { target, .. } => {
-                // The replaced operator's VM goes back to the pool; a failed
-                // operator's VM is already gone.
+        // Retire the replaced instances; the placement reports which VMs are
+        // now empty. A scale out hands the (non-failed) target's VM back to
+        // the pool without reporting it as a shrink; the merge and
+        // consolidate shapes release every emptied VM and report them.
+        let emptied = self.retire_instances(&resolved.olds);
+        let released_vms: Vec<seep_cloud::VmId> = match plan.kind {
+            ReconfigKind::ScaleOut { .. } => {
                 if !resolved.was_failed {
-                    if let Some(vm) = self.vm_of.get(&target) {
+                    for vm in &emptied {
                         self.pool.release(*vm, self.now_ms);
                     }
                 }
-                None
+                Vec::new()
             }
-            ReconfigKind::ScaleIn { victim, .. } => {
-                let vm = self.vm_of_required(victim)?;
-                self.pool.release(vm, self.now_ms);
-                Some(vm)
+            ReconfigKind::Rebalance { .. } => {
+                debug_assert!(emptied.is_empty(), "a rebalance reuses every VM");
+                Vec::new()
             }
-            ReconfigKind::Rebalance { .. } => None,
+            ReconfigKind::ScaleIn { .. } | ReconfigKind::Consolidate { .. } => {
+                for vm in &emptied {
+                    self.pool.release(*vm, self.now_ms);
+                }
+                emptied
+            }
         };
-        self.retire_instances(&resolved.olds);
         timing.commit_us = timer.lap();
 
         // Phase 8: replay. First the new instances re-send their restored
@@ -296,7 +349,7 @@ impl Runtime {
             new_operators: new_instances.iter().map(|i| i.id).collect(),
             new_parallelism: self.graph().parallelism(resolved.logical),
             replayed_tuples,
-            released_vm,
+            released_vms,
             timing,
         })
     }
@@ -326,10 +379,10 @@ impl Runtime {
                     pause_olds: false,
                     strict_backup: true,
                     count_own_replays: false,
+                    fixed_ranges: None,
                 })
             }
-            ReconfigKind::ScaleIn { target, victim }
-            | ReconfigKind::Rebalance { target, victim } => {
+            ReconfigKind::ScaleIn { target, victim } => {
                 if target == victim {
                     return Err(Error::Invariant(
                         "reconfiguring a pair needs two distinct partitions".into(),
@@ -345,18 +398,7 @@ impl Runtime {
                     )));
                 }
                 for id in [target, victim] {
-                    if self
-                        .workers
-                        .get(&id)
-                        .map(WorkerCore::is_failed)
-                        .unwrap_or(true)
-                    {
-                        return Err(Error::Invariant(format!(
-                            "cannot reconfigure failed or unknown operator {id} \
-                             (recover it instead)"
-                        )));
-                    }
-                    self.vm_of_required(id)?;
+                    self.live_partition(id)?;
                 }
                 // The pair must own a contiguous interval (the same adjacency
                 // rule merge_checkpoints enforces), checked up front so no
@@ -373,40 +415,90 @@ impl Runtime {
                         inst_t.key_range, inst_v.key_range
                     )));
                 }
-                let rebalance = matches!(plan.kind, ReconfigKind::Rebalance { .. });
-                let olds = if rebalance {
-                    // Key order, so each new range reuses the VM that owned
-                    // that side of the key space.
-                    if inst_t.key_range.lo <= inst_v.key_range.lo {
-                        vec![target, victim]
-                    } else {
-                        vec![victim, target]
-                    }
-                } else {
-                    // The survivor (whose VM hosts the merged operator) first.
-                    vec![target, victim]
-                };
-                let old_ranges = olds
-                    .iter()
-                    .map(|id| {
-                        let inst = if *id == target { &inst_t } else { &inst_v };
-                        (*id, inst.key_range)
-                    })
-                    .collect();
                 Ok(ResolvedPlan {
-                    olds,
-                    old_ranges,
+                    // The survivor (whose VM hosts the merged operator) first.
+                    olds: vec![target, victim],
+                    old_ranges: vec![(target, inst_t.key_range), (victim, inst_v.key_range)],
                     logical: inst_t.logical,
                     source_range: KeyRange::new(lo.lo, hi.hi),
-                    parts: if rebalance { 2 } else { 1 },
+                    parts: 1,
                     previous_parallelism: self.graph().parallelism(inst_t.logical),
                     was_failed: false,
                     pause_olds: true,
                     strict_backup: false,
                     count_own_replays: true,
+                    fixed_ranges: None,
+                })
+            }
+            ReconfigKind::Rebalance { logical } | ReconfigKind::Consolidate { logical } => {
+                // Whole-operator shapes: every partition of `logical` is
+                // replaced. The partitions are taken in key order so VM reuse
+                // (rebalance) and bin ordering (consolidate) follow the key
+                // space, and their ranges must chain into one contiguous
+                // interval — which deploy and repartition guarantee, but is
+                // cheap to verify before any state is touched.
+                let consolidate = matches!(plan.kind, ReconfigKind::Consolidate { .. });
+                let partitions = self.graph().partitions(logical).to_vec();
+                if partitions.len() < 2 {
+                    return Err(Error::Invariant(format!(
+                        "{} of {logical} needs at least two partitions",
+                        if consolidate {
+                            "consolidation"
+                        } else {
+                            "rebalancing"
+                        },
+                    )));
+                }
+                let mut insts = Vec::with_capacity(partitions.len());
+                for id in partitions {
+                    self.live_partition(id)?;
+                    insts.push(self.graph().instance(id)?.clone());
+                }
+                insts.sort_by_key(|i| i.key_range.lo);
+                for pair in insts.windows(2) {
+                    let (a, b) = (&pair[0], &pair[1]);
+                    if a.key_range.hi == u64::MAX || a.key_range.hi + 1 != b.key_range.lo {
+                        return Err(Error::InvalidKeySplit(format!(
+                            "partitions of {logical} do not cover a contiguous interval \
+                             ({} then {})",
+                            a.key_range, b.key_range
+                        )));
+                    }
+                }
+                let source_range =
+                    KeyRange::new(insts[0].key_range.lo, insts.last().unwrap().key_range.hi);
+                Ok(ResolvedPlan {
+                    olds: insts.iter().map(|i| i.id).collect(),
+                    old_ranges: insts.iter().map(|i| (i.id, i.key_range)).collect(),
+                    logical,
+                    source_range,
+                    parts: insts.len(),
+                    previous_parallelism: insts.len(),
+                    was_failed: false,
+                    pause_olds: true,
+                    strict_backup: false,
+                    count_own_replays: true,
+                    fixed_ranges: consolidate.then(|| insts.iter().map(|i| i.key_range).collect()),
                 })
             }
         }
+    }
+
+    /// A partition a merge-shaped plan may touch: known to the graph, its
+    /// worker alive, its placement known.
+    fn live_partition(&self, id: OperatorId) -> Result<()> {
+        if self
+            .workers
+            .get(&id)
+            .map(WorkerCore::is_failed)
+            .unwrap_or(true)
+        {
+            return Err(Error::Invariant(format!(
+                "cannot reconfigure failed or unknown operator {id} (recover it instead)"
+            )));
+        }
+        self.placement.vm_of_required(id)?;
+        Ok(())
     }
 
     /// Obtain the checkpoint the plan repartitions.
@@ -448,40 +540,31 @@ impl Runtime {
                     Err(_) => Ok(Checkpoint::empty(target)),
                 }
             }
-            ReconfigKind::ScaleIn { target, victim }
-            | ReconfigKind::Rebalance { target, victim } => {
+            ReconfigKind::ScaleIn { .. }
+            | ReconfigKind::Rebalance { .. }
+            | ReconfigKind::Consolidate { .. } => {
+                let stamp = resolved.olds[0];
                 if !self.config.strategy.checkpoints() {
                     // UB/SR baselines keep no checkpoints: the plan starts
                     // from empty state and the untrimmed upstream buffers
                     // rebuild it through replay.
-                    return Ok(Checkpoint::empty(target));
+                    return Ok(Checkpoint::empty(stamp));
                 }
-                // Checkpoint both partitions (backing up their final state
-                // and trimming the upstream buffers to it) and merge the
-                // backed-up copies at the store — `merge_for_scale_in` is the
-                // inverse of Algorithm 2's partitioning, run by the backup VM
-                // when both copies live there. Provisionally stamped with the
-                // survivor's id; the transform phase re-stamps it.
-                let range_of = |id: OperatorId| {
-                    resolved
-                        .old_ranges
-                        .iter()
-                        .find(|(o, _)| *o == id)
-                        .map(|(_, r)| *r)
-                        .expect("resolved pair")
-                };
+                // Checkpoint every replaced partition (backing up its final
+                // state and trimming the upstream buffers to it) and merge
+                // the backed-up copies at the store — the inverse of
+                // Algorithm 2's partitioning. A merge pools two partitions,
+                // a rebalance or consolidation pools all π; the pooled
+                // checkpoint also carries the union of the per-partition
+                // traffic samples, which is what the weighted-quantile
+                // re-split consults. Provisionally stamped with the first
+                // old's id; the transform phase re-stamps the parts.
                 let restore_started = Instant::now();
                 let read_before = self.backup.aggregate_stats().bytes_restored;
-                let (merged, _) = self
-                    .checkpoint_operator(target)
-                    .and_then(|_| self.checkpoint_operator(victim))
-                    .and_then(|_| {
-                        self.backup.merge_for_scale_in(
-                            target,
-                            (target, range_of(target)),
-                            (victim, range_of(victim)),
-                        )
-                    })?;
+                for id in &resolved.olds {
+                    self.checkpoint_operator(*id)?;
+                }
+                let (merged, _) = self.backup.merge_adjacent(stamp, &resolved.old_ranges)?;
                 let read = self
                     .backup
                     .aggregate_stats()
@@ -508,6 +591,16 @@ impl Runtime {
             // A merge produces a single range covering the pair.
             ReconfigKind::ScaleIn { .. } => Ok(SplitDecision {
                 ranges: vec![resolved.source_range],
+                kind: SplitKind::None,
+                post_split_imbalance: 0.0,
+            }),
+            // A consolidation moves partitions between VMs without touching
+            // the key space: the new instances keep the old ranges.
+            ReconfigKind::Consolidate { .. } => Ok(SplitDecision {
+                ranges: resolved
+                    .fixed_ranges
+                    .clone()
+                    .expect("consolidate resolves fixed ranges"),
                 kind: SplitKind::None,
                 post_split_imbalance: 0.0,
             }),
@@ -552,13 +645,6 @@ impl Runtime {
         e
     }
 
-    fn vm_of_required(&self, operator: OperatorId) -> Result<seep_cloud::VmId> {
-        self.vm_of
-            .get(&operator)
-            .copied()
-            .ok_or_else(|| Error::Invariant(format!("operator {operator} has no VM")))
-    }
-
     /// Move the backups *other* operators stored on `old`'s (surviving) VM
     /// over to `new`'s store; only a released VM's store is genuinely lost.
     fn migrate_third_party_backups(
@@ -586,19 +672,26 @@ impl Runtime {
     }
 
     /// Remove every trace of the replaced instances from the runtime's
-    /// bookkeeping (their VMs have been released or re-used already).
-    fn retire_instances(&mut self, olds: &[OperatorId]) {
+    /// bookkeeping. Returns the VMs whose last slot was vacated, so the
+    /// caller can decide whether to release them to the pool.
+    fn retire_instances(&mut self, olds: &[OperatorId]) -> Vec<seep_cloud::VmId> {
+        let mut emptied = Vec::new();
         for old in olds {
             self.network.disconnect(*old);
             self.workers.remove(old);
             self.backup.unregister_store(*old);
             self.backup.clear_backup_of(*old);
-            self.vm_of.remove(old);
+            if let Some((vm, empty)) = self.placement.release(*old) {
+                if empty {
+                    emptied.push(vm);
+                }
+            }
             self.monitor.forget(*old);
             self.checkpoint_seq.remove(old);
             self.last_checkpoint_ms.remove(old);
             self.last_backed_up.remove(old);
         }
+        emptied
     }
 
     /// New partitions replay their restored output buffers downstream

@@ -4,7 +4,8 @@
 //! are **one mechanism**: checkpointed operator state that can be split,
 //! merged and restored. This module makes that literal. Every
 //! reconfiguration — scaling an operator out, merging two partitions in,
-//! recovering a failed instance, or rebalancing a skewed pair — is a
+//! recovering a failed instance, rebalancing all of an operator's
+//! partitions, or consolidating them onto shared VM slots — is a
 //! declarative [`ReconfigPlan`] handed to one executor that owns the shared
 //! choreography:
 //!
@@ -19,20 +20,25 @@
 //! runtime exactly as it was) and per-phase wall-clock metrics
 //! ([`crate::metrics::ReconfigTiming`]).
 //!
-//! [`Runtime::scale_out`], [`Runtime::scale_in`], [`Runtime::recover`] and
-//! [`Runtime::rebalance`] are thin builders over this engine.
+//! [`Runtime::scale_out`], [`Runtime::scale_in`], [`Runtime::recover`],
+//! [`Runtime::rebalance_operator`] and [`Runtime::consolidate`] are thin
+//! builders over this engine; VM slots are resolved through the
+//! [placement layer](crate::placement).
 //!
 //! The plan's split phase is **skew-aware**: with
 //! [`SplitPolicy::SkewAware`], the executor samples hot keys from the
-//! captured checkpoint (weighted by per-key state footprint, see
-//! [`seep_core::Checkpoint::sample_keys`]) and switches from the even
-//! key-space split to [`seep_core::KeyRange::split_by_distribution`] when
-//! the sampled imbalance exceeds the configured threshold.
+//! captured checkpoint (weighted by observed per-key traffic when the
+//! checkpoint carries [`seep_core::TrafficStats`], by state footprint
+//! otherwise — see [`seep_core::Checkpoint::sample_keys`]) and switches
+//! from the even key-space split to
+//! [`seep_core::KeyRange::split_by_distribution`] when the sampled
+//! imbalance exceeds the configured threshold.
 //!
 //! [`Runtime::scale_out`]: crate::Runtime::scale_out
 //! [`Runtime::scale_in`]: crate::Runtime::scale_in
 //! [`Runtime::recover`]: crate::Runtime::recover
-//! [`Runtime::rebalance`]: crate::Runtime::rebalance
+//! [`Runtime::rebalance_operator`]: crate::Runtime::rebalance_operator
+//! [`Runtime::consolidate`]: crate::Runtime::consolidate
 
 mod executor;
 mod plan;

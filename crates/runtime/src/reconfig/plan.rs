@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use seep_core::{sample_imbalance, Checkpoint, Key, KeyRange, OperatorId, Result};
+use seep_core::{sample_imbalance, Checkpoint, Key, KeyRange, LogicalOpId, OperatorId, Result};
 
 use crate::metrics::SplitKind;
 
@@ -142,21 +142,32 @@ pub enum ReconfigKind {
         partitions: usize,
     },
     /// Merge two adjacent sibling partitions onto `target`'s VM and release
-    /// `victim`'s VM back to the provider.
+    /// `victim`'s VM back to the provider (when the merge empties it).
     ScaleIn {
         /// The partition whose VM hosts the merged operator.
         target: OperatorId,
-        /// The partition whose VM is released.
+        /// The partition whose VM is vacated.
         victim: OperatorId,
     },
-    /// Re-split the union range of two adjacent sibling partitions by the
-    /// observed key distribution, reusing both VMs — a repartition without
-    /// growing or shrinking the deployment.
+    /// Re-split **all π partitions** of a logical operator by the observed
+    /// key distribution in one plan: every partition is checkpointed, the
+    /// pooled (traffic- or footprint-weighted) key sample of the merged
+    /// checkpoint chooses π new weighted-quantile boundaries, and each new
+    /// partition is restored onto the VM that owned that slice of the key
+    /// space — a repartition that neither grows nor shrinks the deployment.
     Rebalance {
-        /// The first partition of the skewed pair.
-        target: OperatorId,
-        /// Its adjacent sibling.
-        victim: OperatorId,
+        /// The logical operator whose partitions are re-split.
+        logical: LogicalOpId,
+    },
+    /// Consolidate the partitions of a logical operator onto fewer VMs: the
+    /// key ranges are untouched, but each partition is checkpoint-moved onto
+    /// a shared VM chosen by first-fit-decreasing bin packing over the VMs'
+    /// slot capacity, and the VMs left empty are released to the cloud pool.
+    /// Scale-in without losing parallelism — and without requiring adjacent
+    /// siblings.
+    Consolidate {
+        /// The logical operator whose partitions are packed.
+        logical: LogicalOpId,
     },
 }
 
@@ -193,17 +204,27 @@ impl ReconfigPlan {
         }
     }
 
-    /// Rebalance the pair `(target, victim)` by the observed key
+    /// Rebalance all partitions of `logical` by the observed key
     /// distribution. The threshold is 1.0 — any measurable improvement over
     /// the even boundaries is taken, since the caller has already decided the
-    /// pair is skewed.
-    pub fn rebalance(target: OperatorId, victim: OperatorId) -> Self {
+    /// operator is skewed.
+    pub fn rebalance(logical: LogicalOpId) -> Self {
         ReconfigPlan {
-            kind: ReconfigKind::Rebalance { target, victim },
+            kind: ReconfigKind::Rebalance { logical },
             split: SplitPolicy::SkewAware {
                 imbalance_threshold: 1.0,
                 max_sample: DEFAULT_SPLIT_SAMPLE,
             },
+        }
+    }
+
+    /// Pack the partitions of `logical` onto as few VMs as their slot
+    /// capacity allows, releasing the emptied VMs. Key ranges are untouched,
+    /// so no split decision is taken.
+    pub fn consolidate(logical: LogicalOpId) -> Self {
+        ReconfigPlan {
+            kind: ReconfigKind::Consolidate { logical },
+            split: SplitPolicy::Even,
         }
     }
 }
@@ -292,11 +313,23 @@ mod tests {
         ));
         let plan = ReconfigPlan::scale_in(a, b);
         assert!(matches!(plan.kind, ReconfigKind::ScaleIn { .. }));
-        let plan = ReconfigPlan::rebalance(a, b);
-        assert!(matches!(plan.kind, ReconfigKind::Rebalance { .. }));
+        let plan = ReconfigPlan::rebalance(LogicalOpId(3));
+        assert!(matches!(
+            plan.kind,
+            ReconfigKind::Rebalance {
+                logical: LogicalOpId(3)
+            }
+        ));
         assert!(matches!(
             plan.split,
             SplitPolicy::SkewAware { imbalance_threshold, .. } if imbalance_threshold == 1.0
+        ));
+        let plan = ReconfigPlan::consolidate(LogicalOpId(3));
+        assert!(matches!(
+            plan.kind,
+            ReconfigKind::Consolidate {
+                logical: LogicalOpId(3)
+            }
         ));
     }
 }

@@ -2,10 +2,11 @@
 //! integrated fault-tolerant reconfiguration engine (Algorithm 3 as a
 //! [`crate::reconfig::ReconfigPlan`]).
 //!
-//! [`Runtime::scale_out`], [`Runtime::scale_in`], [`Runtime::recover`] and
-//! [`Runtime::rebalance`] are thin plan builders over the shared executor in
-//! [`crate::reconfig`]; the drain/pause/checkpoint/rewrite/restore/replay
-//! choreography lives there, once.
+//! [`Runtime::scale_out`], [`Runtime::scale_in`], [`Runtime::recover`],
+//! [`Runtime::rebalance_operator`] and [`Runtime::consolidate`] are thin
+//! plan builders over the shared executor in [`crate::reconfig`]; the
+//! drain/pause/checkpoint/rewrite/restore/replay choreography lives there,
+//! once, and resolves VM slots through the [`crate::placement`] layer.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -23,9 +24,10 @@ use seep_store::{BackupCoordinator, StoreStats};
 use crate::bottleneck::BottleneckDetector;
 use crate::config::RuntimeConfig;
 use crate::metrics::{
-    CheckpointRecord, Metrics, RebalanceRecord, ReconfigTiming, RecoveryRecord, ScaleInRecord,
-    ScaleOutRecord,
+    CheckpointRecord, ConsolidateRecord, Metrics, RebalanceRecord, ReconfigTiming, RecoveryRecord,
+    ScaleInRecord, ScaleOutRecord,
 };
+use crate::placement::Placement;
 use crate::reconfig::ReconfigPlan;
 use crate::recovery::RecoveryStrategy;
 use crate::worker::{SharedClock, WorkerCore};
@@ -46,9 +48,11 @@ pub struct ScaleInOutcome {
     /// The merged operator replacing the two partitions. It is hosted on the
     /// VM that carried `target`, so no fresh VM is consumed.
     pub merged_operator: OperatorId,
-    /// The VM freed by the merge (the one that hosted the victim partition),
-    /// already released back to the provider.
-    pub released_vm: seep_cloud::VmId,
+    /// The VM freed by the merge, already released back to the provider.
+    /// `None` when the victim shared its VM with other partitions (multi-slot
+    /// placements), in which case only the slot was vacated and billing
+    /// continues for the co-residents.
+    pub released_vm: Option<seep_cloud::VmId>,
     /// Tuples replayed from the merged checkpoint's buffers and from upstream
     /// output buffers to bring the merged operator up to date.
     pub replayed_tuples: usize,
@@ -57,13 +61,28 @@ pub struct ScaleInOutcome {
 /// Result of a rebalance (repartition-in-place) action.
 #[derive(Debug, Clone)]
 pub struct RebalanceOutcome {
-    /// The new partition pair, in key order, hosted on the same two VMs the
-    /// replaced pair occupied.
+    /// The new partitions, in key order, hosted on the same VMs the replaced
+    /// partitions occupied.
     pub new_operators: Vec<OperatorId>,
     /// Tuples replayed from restored and upstream buffers.
     pub replayed_tuples: usize,
     /// How the key range was re-split and the imbalance the sampled keys
     /// predict for the new boundaries.
+    pub timing: ReconfigTiming,
+}
+
+/// Result of a consolidation (partition bin-packing) action.
+#[derive(Debug, Clone)]
+pub struct ConsolidateOutcome {
+    /// The moved partitions, in key order. Parallelism is unchanged; only
+    /// the VM placement differs.
+    pub new_operators: Vec<OperatorId>,
+    /// VMs emptied by the packing, already released back to the provider
+    /// (billing stops).
+    pub released_vms: Vec<seep_cloud::VmId>,
+    /// Tuples replayed from restored and upstream buffers.
+    pub replayed_tuples: usize,
+    /// Per-phase wall-clock cost of the plan.
     pub timing: ReconfigTiming,
 }
 
@@ -81,7 +100,9 @@ pub struct Runtime {
     detector: BottleneckDetector,
     pub(crate) metrics: Arc<Metrics>,
     pub(crate) clocks: HashMap<LogicalOpId, SharedClock>,
-    pub(crate) vm_of: HashMap<OperatorId, seep_cloud::VmId>,
+    /// Partition → VM-slot mapping (with per-VM capacity): the placement
+    /// layer every reconfiguration plan resolves VMs through.
+    pub(crate) placement: Placement,
     pub(crate) now_ms: u64,
     pub(crate) epoch: Instant,
     pub(crate) last_checkpoint_ms: HashMap<OperatorId, u64>,
@@ -120,7 +141,7 @@ impl Runtime {
             detector,
             metrics: Arc::new(Metrics::new()),
             clocks: HashMap::new(),
-            vm_of: HashMap::new(),
+            placement: Placement::new(config.pool.slots_per_vm),
             now_ms: 0,
             epoch: Instant::now(),
             last_checkpoint_ms: HashMap::new(),
@@ -259,17 +280,19 @@ impl Runtime {
             .pool
             .acquire(self.now_ms)
             .ok_or_else(|| Error::Invariant("VM pool exhausted".into()))?;
-        self.create_worker_on(instance, vm)
+        self.create_worker_on(instance, vm, &[])
     }
 
-    /// Create a worker for `instance` hosted on an already-running VM —
-    /// used by scale in and rebalancing, where the new operators take over
-    /// the replaced partitions' VMs instead of drawing fresh ones from the
-    /// pool.
+    /// Create a worker for `instance` hosted on an already-running VM — used
+    /// by scale in, rebalancing and consolidation, where the new operators
+    /// take over slots on the replaced partitions' VMs instead of drawing
+    /// fresh ones from the pool. `outgoing` names the instances the same
+    /// plan is retiring, whose slots the placement may treat as free.
     pub(crate) fn create_worker_on(
         &mut self,
         instance: &seep_core::graph::OperatorInstance,
         vm: seep_cloud::VmId,
+        outgoing: &[OperatorId],
     ) -> Result<()> {
         let receiver = self.network.register(instance.id);
         let factory = self
@@ -315,7 +338,7 @@ impl Runtime {
             .build(&format!("op-{}", instance.id.raw()))?;
         self.backup.register_store(instance.id, store);
         self.workers.insert(instance.id, worker);
-        self.vm_of.insert(instance.id, vm);
+        self.placement.assign(instance.id, vm, outgoing)?;
         self.checkpoint_seq.insert(instance.id, 0);
         self.last_checkpoint_ms.insert(instance.id, self.now_ms);
         Ok(())
@@ -375,9 +398,22 @@ impl Runtime {
     /// Advance virtual time. Triggers, in order: VM-pool refill, operator
     /// window ticks, periodic checkpoints, CPU-utilisation reports and (when
     /// auto-scale is on) the scaling policy.
+    ///
+    /// # Panics
+    /// Panics when the runtime's placement invariant is broken (a live worker
+    /// without a VM slot) — see [`try_advance_to`](Self::try_advance_to) for
+    /// the fallible form.
     pub fn advance_to(&mut self, now_ms: u64) {
+        self.try_advance_to(now_ms)
+            .expect("runtime invariant violated while advancing time");
+    }
+
+    /// Fallible [`advance_to`](Self::advance_to): a utilisation report for an
+    /// operator the placement does not know surfaces as
+    /// [`Error::Invariant`] instead of being silently attributed to VM 0.
+    pub fn try_advance_to(&mut self, now_ms: u64) -> Result<()> {
         if now_ms < self.now_ms {
-            return;
+            return Ok(());
         }
         self.now_ms = now_ms;
         self.pool.tick(now_ms);
@@ -422,15 +458,19 @@ impl Runtime {
                     continue;
                 }
                 let utilization = worker.utilization(report_interval);
-                reports.push(UtilizationReport {
-                    operator: *id,
-                    vm: self.vm_of.get(id).copied().unwrap_or(seep_cloud::VmId(0)),
+                reports.push((*id, utilization));
+            }
+            for (id, utilization) in reports {
+                // A live worker the placement does not know is a broken
+                // invariant: surface it instead of billing the report to an
+                // arbitrary VM.
+                let vm = self.placement.vm_of_required(id)?;
+                self.monitor.record(UtilizationReport {
+                    operator: id,
+                    vm,
                     at_ms: now_ms,
                     utilization,
                 });
-            }
-            for r in reports {
-                self.monitor.record(r);
             }
             if self.auto_scale {
                 let candidates: Vec<OperatorId> = {
@@ -450,32 +490,30 @@ impl Runtime {
                 let bottlenecks = self.detector.bottlenecks(&self.monitor, &candidates);
                 let pi = self.config.scaling_policy.partitions_per_action;
                 for op in bottlenecks {
-                    // A hot partition whose adjacent sibling is cold enough
-                    // that the pair's aggregate CPU is fine does not need a
-                    // fresh VM — it needs its share of the key space
-                    // re-drawn. Rebalance in place instead of scaling out,
-                    // at most once per topology shape: if the re-drawn
-                    // boundary did not relieve the partition, the next
+                    // A hot partition whose siblings are cold enough that the
+                    // operator's aggregate CPU is fine does not need a fresh
+                    // VM — it needs the key boundaries re-drawn. Rebalance
+                    // all partitions in place instead of scaling out, at
+                    // most once per topology shape: if the re-drawn
+                    // boundaries did not relieve the partition, the next
                     // trigger escalates to a scale out.
                     if self.config.scaling_policy.rebalance {
-                        let logical = self.graph().instance(op).map(|i| i.logical);
-                        if let Ok(logical) = logical {
-                            if !self.rebalanced.contains(&logical) {
-                                if let Some(partner) = self.rebalance_partner(op) {
-                                    if self.rebalance(op, partner).is_ok() {
-                                        self.rebalanced.insert(logical);
-                                        continue;
-                                    }
-                                }
+                        if let Some(logical) = self.rebalance_worthwhile(op) {
+                            if !self.rebalanced.contains(&logical)
+                                && self.rebalance_operator(logical).is_ok()
+                            {
+                                self.rebalanced.insert(logical);
+                                continue;
                             }
                         }
                     }
                     let _ = self.scale_out(op, pi);
                 }
-                // Scale in: merge adjacent sibling partitions that have both
-                // been under the low watermark for the required streak. The
-                // candidate list is re-derived because the scale outs above
-                // may have replaced instances.
+                // Scale in: consolidate the partitions of logical operators
+                // whose partitions have been under the low watermark (pack
+                // them onto shared VM slots, keeping parallelism), then merge
+                // adjacent sibling pairs. The candidate list is re-derived
+                // because the scale outs above may have replaced instances.
                 if self.config.scaling_policy.scale_in {
                     let survivors: Vec<OperatorId> = self
                         .graph()
@@ -484,12 +522,54 @@ impl Runtime {
                         .filter(|id| candidates.contains(id))
                         .collect();
                     let under = self.detector.underutilized(&self.monitor, &survivors);
+                    if self.config.scaling_policy.consolidate {
+                        for logical in self.consolidatable(&under) {
+                            let _ = self.consolidate(logical);
+                        }
+                    }
+                    // Consolidated operators got fresh instance ids, so the
+                    // stale ids in `under` no longer pair up for a merge —
+                    // the two shrink paths never fight over one operator in
+                    // the same report interval.
                     for (target, victim) in self.mergeable_pairs(&under) {
                         let _ = self.scale_in(target, victim);
                     }
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Logical operators with at least two under-utilised partitions whose
+    /// placement spreads over more VMs than their slot capacity needs — the
+    /// operators a consolidation would actually shrink.
+    fn consolidatable(&self, under: &[OperatorId]) -> Vec<LogicalOpId> {
+        let slots = self.placement.slots_per_vm();
+        if slots < 2 {
+            return Vec::new();
+        }
+        let graph = self.graph();
+        let mut out = Vec::new();
+        for op in graph.query().operators() {
+            let partitions = graph.partitions(op.id);
+            if partitions.len() < 2 {
+                continue;
+            }
+            let under_count = partitions.iter().filter(|id| under.contains(id)).count();
+            if under_count < 2 {
+                continue;
+            }
+            let mut vms: Vec<seep_cloud::VmId> = partitions
+                .iter()
+                .filter_map(|id| self.placement.vm_of(*id))
+                .collect();
+            vms.sort_unstable();
+            vms.dedup();
+            if vms.len() > partitions.len().div_ceil(slots) {
+                out.push(op.id);
+            }
+        }
+        out
     }
 
     /// At most one adjacent pair of under-utilised sibling partitions per
@@ -523,39 +603,26 @@ impl Runtime {
         pairs
     }
 
-    /// The adjacent sibling to rebalance a hot partition against: the pair's
-    /// mean utilisation must sit below the scale-out threshold (the skew is
-    /// in the key split, not in aggregate demand — splitting onto a new VM
-    /// would waste one, merging would overload; re-drawing the boundary by
-    /// the observed key distribution is the right move). `None` when no
-    /// adjacent sibling qualifies.
-    fn rebalance_partner(&self, hot: OperatorId) -> Option<OperatorId> {
+    /// Whether a hot partition's logical operator is worth rebalancing
+    /// instead of scaling out: the operator must have siblings and their mean
+    /// utilisation (every partition reporting) must sit below the scale-out
+    /// threshold — the skew is in the key split, not in aggregate demand, so
+    /// splitting onto a new VM would waste one while re-drawing all the
+    /// boundaries by the observed key distribution relieves the hot
+    /// partition. Returns the logical operator to rebalance, or `None`.
+    fn rebalance_worthwhile(&self, hot: OperatorId) -> Option<LogicalOpId> {
         let graph = self.graph();
         let inst = graph.instance(hot).ok()?;
-        let hot_util = self.monitor.latest(hot)?.utilization;
-        let threshold = self.config.scaling_policy.threshold;
-        for sibling in graph.partitions(inst.logical) {
-            if *sibling == hot {
-                continue;
-            }
-            let Ok(sib_inst) = graph.instance(*sibling) else {
-                continue;
-            };
-            let adjacent = (inst.key_range.hi != u64::MAX
-                && inst.key_range.hi + 1 == sib_inst.key_range.lo)
-                || (sib_inst.key_range.hi != u64::MAX
-                    && sib_inst.key_range.hi + 1 == inst.key_range.lo);
-            if !adjacent {
-                continue;
-            }
-            let Some(sib_report) = self.monitor.latest(*sibling) else {
-                continue;
-            };
-            if (hot_util + sib_report.utilization) / 2.0 < threshold {
-                return Some(*sibling);
-            }
+        let partitions = graph.partitions(inst.logical);
+        if partitions.len() < 2 {
+            return None;
         }
-        None
+        let mut sum = 0.0;
+        for id in partitions {
+            sum += self.monitor.latest(*id)?.utilization;
+        }
+        let mean = sum / partitions.len() as f64;
+        (mean < self.config.scaling_policy.threshold).then_some(inst.logical)
     }
 
     /// Take a checkpoint of `operator`, back it up to an upstream VM and trim
@@ -637,20 +704,30 @@ impl Runtime {
         Ok(record)
     }
 
-    /// Crash-stop the VM hosting `operator`: the worker stops, its in-memory
-    /// state and any backups it stored for other operators are lost, and its
-    /// network endpoint disappears.
+    /// Crash-stop the VM hosting `operator`: every worker placed on that VM
+    /// stops, their in-memory state and any backups they stored for other
+    /// operators are lost, and their network endpoints disappear. With the
+    /// default one-slot placement this fails exactly one operator; on a
+    /// multi-slot VM (after a consolidation) the co-resident partitions go
+    /// down with it — a VM crash is a VM crash.
     pub fn fail_operator(&mut self, operator: OperatorId) {
-        if let Some(worker) = self.workers.get_mut(&operator) {
-            worker.mark_failed();
+        let residents: Vec<OperatorId> = match self.placement.vm_of(operator) {
+            Some(vm) => {
+                self.provider.fail_vm(vm, self.now_ms);
+                self.placement.residents(vm).to_vec()
+            }
+            None => vec![operator],
+        };
+        for op in residents {
+            if let Some(worker) = self.workers.get_mut(&op) {
+                worker.mark_failed();
+            }
+            self.network.disconnect(op);
+            self.backup.unregister_store(op);
+            self.monitor.forget(op);
+            self.last_backed_up.remove(&op);
+            self.placement.release(op);
         }
-        self.network.disconnect(operator);
-        if let Some(vm) = self.vm_of.get(&operator) {
-            self.provider.fail_vm(*vm, self.now_ms);
-        }
-        self.backup.unregister_store(operator);
-        self.monitor.forget(operator);
-        self.last_backed_up.remove(&operator);
     }
 
     /// Aggregate I/O counters of every checkpoint store in the deployment
@@ -705,8 +782,9 @@ impl Runtime {
 
     /// Scale in: merge two adjacent partitions of one logical operator and
     /// release a VM (§3.3, the merge primitive). `target` survives — the
-    /// merged operator is restored on its VM — while `victim`'s VM is
-    /// released back to the provider, so billing reflects the shrink.
+    /// merged operator is restored on its VM — while `victim`'s slot is
+    /// vacated; the victim's VM is released back to the provider (billing
+    /// stops) when the merge empties it.
     ///
     /// The plan is scale out run backwards: the executor drains and pauses
     /// the pair, backs up their latest state, merges the backed-up
@@ -732,25 +810,24 @@ impl Runtime {
         });
         Ok(ScaleInOutcome {
             merged_operator: outcome.new_operators[0],
-            released_vm: outcome.released_vm.expect("scale in releases a VM"),
+            released_vm: outcome.released_vms.first().copied(),
             replayed_tuples: outcome.replayed_tuples,
         })
     }
 
-    /// Rebalance a skewed pair of adjacent partitions: re-split their union
-    /// key range by the observed key distribution (sampled from the merged
-    /// checkpoint, weighted by per-key state footprint) and restore the two
-    /// new partitions **onto the same two VMs** — a pure repartition that
-    /// neither grows nor shrinks the deployment. Triggered by the control
-    /// loop when one sibling is hot while the pair's aggregate CPU is fine
+    /// Rebalance **all π partitions** of a logical operator in one plan:
+    /// every partition is checkpointed, the pooled key sample of the merged
+    /// checkpoint (weighted by observed per-key traffic when available, by
+    /// state footprint otherwise) chooses π new weighted-quantile boundaries,
+    /// and each new partition is restored **onto the VM that owned that
+    /// slice of the key space** — a pure repartition that neither grows nor
+    /// shrinks the deployment. Triggered by the control loop when one
+    /// partition is hot while the operator's aggregate CPU is fine
     /// ([`crate::ScalingPolicy::rebalance`]), or invoked directly by
-    /// experiments.
-    pub fn rebalance(
-        &mut self,
-        target: OperatorId,
-        victim: OperatorId,
-    ) -> Result<RebalanceOutcome> {
-        let plan = ReconfigPlan::rebalance(target, victim);
+    /// experiments. The predicted post-split imbalance is reported in the
+    /// plan's [`ReconfigTiming`].
+    pub fn rebalance_operator(&mut self, logical: LogicalOpId) -> Result<RebalanceOutcome> {
+        let plan = ReconfigPlan::rebalance(logical);
         let outcome = self.execute_plan(&plan)?;
         self.metrics.record_rebalance(RebalanceRecord {
             logical: outcome.logical,
@@ -762,6 +839,72 @@ impl Runtime {
         });
         Ok(RebalanceOutcome {
             new_operators: outcome.new_operators,
+            replayed_tuples: outcome.replayed_tuples,
+            timing: outcome.timing,
+        })
+    }
+
+    /// Rebalance the logical operator that `target` and `victim` partition —
+    /// the pairwise entry point kept for callers that address partitions
+    /// directly. Since the plan engine re-splits **all** partitions of the
+    /// operator at once, the pair only names it: both must be live sibling
+    /// partitions, and the whole operator is rebalanced.
+    pub fn rebalance(
+        &mut self,
+        target: OperatorId,
+        victim: OperatorId,
+    ) -> Result<RebalanceOutcome> {
+        if target == victim {
+            return Err(Error::Invariant(
+                "rebalancing a pair needs two distinct partitions".into(),
+            ));
+        }
+        let logical_t = self.graph().instance(target)?.logical;
+        let logical_v = self.graph().instance(victim)?.logical;
+        if logical_t != logical_v {
+            return Err(Error::Invariant(format!(
+                "cannot rebalance partitions of different logical operators \
+                 ({target} is {logical_t}, {victim} is {logical_v})"
+            )));
+        }
+        self.rebalance_operator(logical_t)
+    }
+
+    /// Consolidate the partitions of a logical operator onto fewer VMs: the
+    /// key ranges stay as they are, but each partition is checkpoint-moved
+    /// onto a VM slot chosen by first-fit-decreasing bin packing (heaviest
+    /// state first) over the operator's current VMs, and every VM left empty
+    /// is released to the provider — scale-in that keeps parallelism and
+    /// does not require adjacent siblings. Needs a multi-slot placement
+    /// ([`seep_cloud::VmPoolConfig::slots_per_vm`] ≥ 2).
+    pub fn consolidate(&mut self, logical: LogicalOpId) -> Result<ConsolidateOutcome> {
+        if self.placement.slots_per_vm() < 2 {
+            return Err(Error::Invariant(
+                "consolidation needs multi-slot VMs (pool.slots_per_vm >= 2)".into(),
+            ));
+        }
+        let vms_before = self.vm_count();
+        let plan = ReconfigPlan::consolidate(logical);
+        let outcome = self.execute_plan(&plan)?;
+        // The instance ids changed: the control loop may rebalance again.
+        self.rebalanced.remove(&logical);
+        self.metrics.record_consolidate(ConsolidateRecord {
+            logical: outcome.logical,
+            parallelism: outcome.new_parallelism,
+            vms_released: outcome.released_vms.len(),
+            at_ms: self.now_ms,
+            duration_us: outcome.timing.total_us,
+            replayed_tuples: outcome.replayed_tuples,
+            timing: outcome.timing,
+        });
+        debug_assert_eq!(
+            self.vm_count() + outcome.released_vms.len(),
+            vms_before,
+            "every released VM must have stopped running"
+        );
+        Ok(ConsolidateOutcome {
+            new_operators: outcome.new_operators,
+            released_vms: outcome.released_vms,
             replayed_tuples: outcome.replayed_tuples,
             timing: outcome.timing,
         })
@@ -852,6 +995,11 @@ impl Runtime {
     /// VM pool hit/miss statistics (see §5.2).
     pub fn pool_stats(&self) -> (u64, u64) {
         self.pool.stats()
+    }
+
+    /// The placement layer: which VM slot hosts which partition.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
     }
 }
 
@@ -1225,7 +1373,10 @@ mod tests {
 
         assert_eq!(h.runtime.parallelism(h.count), 1);
         assert_eq!(h.runtime.vm_count(), vms_before - 1, "one VM released");
-        let released = h.runtime.provider().vm(outcome.released_vm).unwrap();
+        let released_vm = outcome
+            .released_vm
+            .expect("single-slot merge empties the VM");
+        let released = h.runtime.provider().vm(released_vm).unwrap();
         assert!(!released.is_running(), "victim VM given back to the cloud");
         assert_eq!(h.runtime.metrics().scale_ins().len(), 1);
         assert_eq!(h.runtime.metrics().snapshot().scale_ins, 1);
@@ -1364,6 +1515,190 @@ mod tests {
         let record = &h.runtime.metrics().scale_ins()[0];
         assert_eq!(record.logical, h.count);
         assert_eq!(record.new_parallelism, 1);
+    }
+
+    #[test]
+    fn consolidate_packs_partitions_and_releases_vms() {
+        let config = RuntimeConfig {
+            pool: seep_cloud::VmPoolConfig::default().with_slots_per_vm(2),
+            ..RuntimeConfig::default()
+        };
+        let mut h = word_count_harness(config);
+        for sentence in ["pack one two", "pack two", "pack three four"] {
+            inject_sentence(&mut h, sentence);
+        }
+        h.runtime.drain();
+        h.runtime.advance_to(5_000); // checkpoint
+        let target = counter_instance(&h);
+        h.runtime.scale_out(target, 4).unwrap();
+        h.runtime.drain();
+        inject_sentence(&mut h, "pack five"); // post-split, pre-consolidate
+        h.runtime.drain();
+        assert_eq!(h.runtime.parallelism(h.count), 4);
+
+        let vms_before = h.runtime.vm_count();
+        let outcome = h.runtime.consolidate(h.count).unwrap();
+        h.runtime.drain();
+
+        // Parallelism unchanged, partitions packed 2-per-VM, 2 VMs released.
+        assert_eq!(h.runtime.parallelism(h.count), 4);
+        assert_eq!(outcome.new_operators.len(), 4);
+        assert_eq!(outcome.released_vms.len(), 2);
+        assert_eq!(h.runtime.vm_count(), vms_before - 2);
+        for vm in &outcome.released_vms {
+            assert!(!h.runtime.provider().vm(*vm).unwrap().is_running());
+        }
+        let mut vms: Vec<seep_cloud::VmId> = h
+            .runtime
+            .partitions(h.count)
+            .iter()
+            .map(|id| h.runtime.placement().vm_of(*id).unwrap())
+            .collect();
+        vms.sort_unstable();
+        vms.dedup();
+        assert_eq!(vms.len(), 2, "four partitions share two VMs");
+
+        // Counts survive the move and new traffic keeps routing correctly.
+        assert_eq!(count_of(&h, "pack"), 4);
+        assert_eq!(count_of(&h, "two"), 2);
+        assert_eq!(count_of(&h, "five"), 1);
+        inject_sentence(&mut h, "pack six");
+        h.runtime.drain();
+        assert_eq!(count_of(&h, "pack"), 5);
+        assert_eq!(count_of(&h, "six"), 1);
+        assert_eq!(h.runtime.metrics().consolidates().len(), 1);
+        let record = &h.runtime.metrics().consolidates()[0];
+        assert_eq!(record.parallelism, 4);
+        assert_eq!(record.vms_released, 2);
+        assert_eq!(h.runtime.metrics().snapshot().consolidates, 1);
+    }
+
+    #[test]
+    fn consolidate_requires_multislot_vms_and_siblings() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        inject_sentence(&mut h, "just words");
+        h.runtime.drain();
+        // Default placement has one slot per VM: nothing to pack onto.
+        let err = h.runtime.consolidate(h.count).unwrap_err();
+        assert!(matches!(err, Error::Invariant(_)));
+
+        let config = RuntimeConfig {
+            pool: seep_cloud::VmPoolConfig::default().with_slots_per_vm(2),
+            ..RuntimeConfig::default()
+        };
+        let mut h = word_count_harness(config);
+        inject_sentence(&mut h, "just words");
+        h.runtime.drain();
+        // A single partition has nothing to consolidate with.
+        assert!(h.runtime.consolidate(h.count).is_err());
+        assert!(h.runtime.metrics().consolidates().is_empty());
+    }
+
+    #[test]
+    fn failing_one_partition_fails_its_vm_co_residents() {
+        let config = RuntimeConfig {
+            pool: seep_cloud::VmPoolConfig::default().with_slots_per_vm(2),
+            ..RuntimeConfig::default()
+        };
+        let mut h = word_count_harness(config);
+        inject_sentence(&mut h, "shared fate");
+        h.runtime.drain();
+        h.runtime.advance_to(5_000);
+        let target = counter_instance(&h);
+        h.runtime.scale_out(target, 2).unwrap();
+        h.runtime.drain();
+        h.runtime.consolidate(h.count).unwrap();
+        let parts = h.runtime.partitions(h.count);
+        assert_eq!(
+            h.runtime.placement().vm_of(parts[0]),
+            h.runtime.placement().vm_of(parts[1]),
+            "both partitions share one VM after consolidation"
+        );
+
+        // A VM crash is a VM crash: both co-residents go down.
+        h.runtime.fail_operator(parts[0]);
+        assert!(h.runtime.workers.get(&parts[0]).unwrap().is_failed());
+        assert!(h.runtime.workers.get(&parts[1]).unwrap().is_failed());
+    }
+
+    #[test]
+    fn rebalance_operator_resplits_all_partitions_in_one_plan() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        for i in 0..40 {
+            inject_sentence(&mut h, &format!("skew{i} filler"));
+        }
+        h.runtime.drain();
+        h.runtime.advance_to(5_000); // checkpoint
+        let target = counter_instance(&h);
+        h.runtime.scale_out(target, 4).unwrap();
+        h.runtime.drain();
+        assert_eq!(h.runtime.parallelism(h.count), 4);
+        let vms_before = h.runtime.vm_count();
+
+        let outcome = h.runtime.rebalance_operator(h.count).unwrap();
+        h.runtime.drain();
+        // One plan re-split all four partitions; the deployment is unchanged.
+        assert_eq!(outcome.new_operators.len(), 4);
+        assert_eq!(h.runtime.parallelism(h.count), 4);
+        assert_eq!(h.runtime.vm_count(), vms_before);
+        assert_eq!(h.runtime.metrics().rebalances().len(), 1);
+        let record = &h.runtime.metrics().rebalances()[0];
+        assert_eq!(record.parallelism, 4);
+        assert!(
+            record.timing.post_split_imbalance > 0.0,
+            "the pooled sample must predict the post-split imbalance"
+        );
+        // No word lost or duplicated by the four-way move.
+        assert_eq!(count_of(&h, "filler"), 40);
+        assert_eq!(count_of(&h, "skew7"), 1);
+    }
+
+    #[test]
+    fn try_advance_to_surfaces_missing_placement_as_invariant() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        inject_sentence(&mut h, "report me");
+        h.runtime.drain();
+        // Break the invariant behind the runtime's back: the counter worker
+        // stays alive but loses its placement entry.
+        let counter = counter_instance(&h);
+        h.runtime.placement.release(counter);
+        let err = h.runtime.try_advance_to(5_000).unwrap_err();
+        assert!(
+            matches!(err, Error::Invariant(ref msg) if msg.contains("placement")),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn auto_consolidate_packs_idle_partitions() {
+        let mut policy = crate::ScalingPolicy::default()
+            .with_scale_in(0.2)
+            .with_consolidate();
+        policy.scale_in_reports = 2;
+        let config = RuntimeConfig {
+            scaling_policy: policy,
+            pool: seep_cloud::VmPoolConfig::default().with_slots_per_vm(2),
+            ..RuntimeConfig::default()
+        };
+        let mut h = word_count_harness(config);
+        h.runtime.set_auto_scale(true);
+        inject_sentence(&mut h, "warm up words");
+        h.runtime.drain();
+        let target = counter_instance(&h);
+        h.runtime.scale_out(target, 4).unwrap();
+        h.runtime.drain();
+        let vms_before = h.runtime.vm_count();
+
+        // No load: the control loop packs the idle partitions onto shared
+        // slots before any sibling pair is merged away.
+        for step in 1..=4u64 {
+            h.runtime.advance_to(step * 5_000);
+        }
+        assert!(
+            !h.runtime.metrics().consolidates().is_empty(),
+            "idle partitions must be consolidated"
+        );
+        assert!(h.runtime.vm_count() < vms_before, "VMs handed back");
     }
 
     #[test]

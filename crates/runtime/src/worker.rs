@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use seep_core::{
     BufferState, Checkpoint, DuplicateFilter, Key, LogicalOpId, OperatorId, OutputTuple,
-    RoutingState, StatefulOperator, StreamId, Timestamp, TimestampVec,
+    RoutingState, StatefulOperator, StreamId, Timestamp, TimestampVec, TrafficStats,
 };
 use seep_net::{DataReceiver, Envelope, Message, Network};
 
@@ -79,6 +79,10 @@ pub struct WorkerCore {
     dedup: DuplicateFilter,
     clock: SharedClock,
     ts: TimestampVec,
+    /// Decayed per-key tuple counters: the observed-traffic signal embedded
+    /// in checkpoints so distribution-guided splits weight keys by the load
+    /// they actually receive, not by their state footprint.
+    traffic: TrafficStats,
     paused: bool,
     failed: bool,
     processed: u64,
@@ -120,6 +124,7 @@ impl WorkerCore {
             dedup: DuplicateFilter::new(),
             clock,
             ts: TimestampVec::new(),
+            traffic: TrafficStats::new(),
             paused: false,
             failed: false,
             processed: 0,
@@ -219,9 +224,17 @@ impl WorkerCore {
         self.dedup = DuplicateFilter::new();
     }
 
+    /// The worker's decayed per-key traffic counters.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
     /// CPU utilisation since the previous report: busy time divided by the
-    /// report interval.
+    /// report interval. Reporting is also the traffic counters' decay tick:
+    /// one half-life per report interval, so a key must keep receiving
+    /// tuples to stay hot in the checkpoint's split sample.
     pub fn utilization(&mut self, interval_ms: u64) -> f64 {
+        self.traffic.decay();
         let delta = self.busy.saturating_sub(self.busy_at_last_report);
         self.busy_at_last_report = self.busy;
         if interval_ms == 0 {
@@ -261,6 +274,7 @@ impl WorkerCore {
                     let mut out = Vec::new();
                     self.operator.process(stream, &tuple, &mut out);
                     self.ts.advance(stream, tuple.ts);
+                    self.traffic.record(tuple.key);
                     self.busy += started.elapsed();
                     self.processed += 1;
                     processed += 1;
@@ -374,13 +388,15 @@ impl WorkerCore {
     }
 
     /// Take a checkpoint of the operator: processing state (with the
-    /// reflected-timestamp vector attached), output buffers and the value of
-    /// the logical output clock.
+    /// reflected-timestamp vector attached), output buffers, the value of
+    /// the logical output clock and the decayed traffic counters (so
+    /// distribution-guided splits can weight keys by observed load).
     pub fn take_checkpoint(&self, sequence: u64) -> Checkpoint {
         let mut processing = self.operator.get_processing_state();
         *processing.timestamps_mut() = self.ts.clone();
         Checkpoint::new(self.id, sequence, processing, self.buffer.clone())
             .with_emit_clock(self.clock.last())
+            .with_traffic(self.traffic.clone())
     }
 
     /// Restore the worker from a (possibly partitioned) checkpoint: install
@@ -392,6 +408,9 @@ impl WorkerCore {
         self.dedup = DuplicateFilter::resume_from(self.ts.clone());
         self.operator.set_processing_state(checkpoint.processing);
         self.buffer = checkpoint.buffer;
+        // Seed the traffic counters from the checkpoint (partitioned to this
+        // worker's range), so a follow-up rebalance keeps its signal.
+        self.traffic = checkpoint.traffic;
         for routing in self.routing.values() {
             for target in routing.targets() {
                 self.buffer.add_downstream(target);
@@ -609,6 +628,64 @@ mod tests {
             .unwrap()
             .covers_exactly(KeyRange::full()));
         assert!(core.routing(LogicalOpId(8)).is_none());
+    }
+
+    #[test]
+    fn traffic_counters_track_keys_decay_and_travel_with_checkpoints() {
+        let net = network();
+        let metrics = Metrics::new();
+        let (mut core, _rx) = worker_with_downstream(&net, 1, 2);
+        let epoch = Instant::now();
+        let mut ts = 0u64;
+        let mut feed = |core: &mut WorkerCore, key: u64, n: usize| {
+            for _ in 0..n {
+                ts += 1;
+                net.send_tuple(
+                    OperatorId::new(0),
+                    OperatorId::new(1),
+                    StreamId(0),
+                    Tuple::new(ts, Key(key), vec![]),
+                )
+                .unwrap();
+            }
+            core.step(&net, &metrics, epoch, 256);
+        };
+        feed(&mut core, 5, 8);
+        feed(&mut core, 9, 1);
+        assert_eq!(core.traffic().count(Key(5)), 8);
+        assert_eq!(core.traffic().count(Key(9)), 1);
+
+        // The checkpoint carries the counters, and its sample now weights by
+        // traffic — key 5 dominates even though both keys hold equal-size
+        // state (the passthrough operator holds none at all, so the
+        // footprint heuristic would have no signal whatsoever).
+        let cp = core.take_checkpoint(1);
+        let sample = cp.sample_keys(64);
+        let hot = sample.iter().filter(|k| **k == Key(5)).count();
+        let cold = sample.iter().filter(|k| **k == Key(9)).count();
+        assert!(
+            hot > cold,
+            "traffic must weight the sample: {hot} vs {cold}"
+        );
+
+        // A utilisation report is a decay tick: the counters halve.
+        core.utilization(5_000);
+        assert_eq!(core.traffic().count(Key(5)), 4);
+
+        // Restore installs the checkpointed counters.
+        let rx2 = net.register(OperatorId::new(7));
+        let mut restored = WorkerCore::new(
+            OperatorId::new(7),
+            LogicalOpId(1),
+            passthrough(),
+            rx2,
+            BTreeMap::new(),
+            SharedClock::new(),
+            false,
+            true,
+        );
+        restored.restore(cp);
+        assert_eq!(restored.traffic().count(Key(5)), 8);
     }
 
     #[test]

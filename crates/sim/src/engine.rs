@@ -117,6 +117,17 @@ pub struct SimConfig {
     /// **rebalance** (see [`SimScalingPolicy::rebalance`]) spreads it.
     #[serde(default)]
     pub hot_fraction: f64,
+    /// Operator slots per VM, mirroring the runtime placement layer's
+    /// capacity (`VmPoolConfig::slots_per_vm`). With the default of 1 every
+    /// partition owns a VM; above 1 a **consolidation** (see
+    /// [`SimScalingPolicy::consolidate`]) can pack an under-utilised stage's
+    /// partitions onto shared VMs, whose compute the residents then share.
+    #[serde(default = "default_slots_per_vm")]
+    pub slots_per_vm: usize,
+}
+
+fn default_slots_per_vm() -> usize {
+    1
 }
 
 impl Default for SimConfig {
@@ -137,6 +148,7 @@ impl Default for SimConfig {
             network_hop_ms: 20.0,
             scale_out_disruption_s: 4,
             hot_fraction: 0.0,
+            slots_per_vm: default_slots_per_vm(),
         }
     }
 }
@@ -150,6 +162,9 @@ struct Partition {
 #[derive(Debug, Clone)]
 struct Stage {
     partitions: Vec<Partition>,
+    /// VMs hosting this stage's partitions. Equal to the parallelism until a
+    /// consolidation packs several partitions per VM; never exceeds it.
+    vms: usize,
     /// Remaining seconds of post-scale-out disruption.
     disruption_s: u64,
     /// Extra latency (ms) added while the disruption lasts.
@@ -169,6 +184,7 @@ impl Stage {
                     busy_accum_us: 0.0,
                 })
                 .collect(),
+            vms: parallelism.max(1),
             disruption_s: 0,
             disruption_ms: 0.0,
             balanced: false,
@@ -181,6 +197,12 @@ impl Stage {
 
     fn total_queue(&self) -> f64 {
         self.partitions.iter().map(|p| p.queue).sum()
+    }
+
+    /// The share of one VM's compute each partition gets: 1.0 while every
+    /// partition owns a VM, `vms / parallelism` once consolidated.
+    fn vm_share(&self) -> f64 {
+        (self.vms as f64 / self.partitions.len().max(1) as f64).min(1.0)
     }
 }
 
@@ -217,9 +239,10 @@ impl SimEngine {
         }
     }
 
-    /// Number of VMs hosting operators (one per partition of every stage).
+    /// Number of VMs hosting operators (one per partition of every stage,
+    /// fewer for consolidated stages whose partitions share VM slots).
     pub fn operator_vms(&self) -> usize {
-        self.stages.iter().map(Stage::parallelism).sum()
+        self.stages.iter().map(|s| s.vms).sum()
     }
 
     /// Current parallelism per stage.
@@ -295,6 +318,9 @@ impl SimEngine {
             let even_share = input * (1.0 - hot) / n;
             let mut stage_processed = 0.0;
             let mut stage_util: f64 = 0.0;
+            // Consolidated partitions share their VM's compute with their
+            // co-residents: each gets vms/π of a VM instead of a whole one.
+            let vm_share = stage.vm_share();
             for (pidx, partition) in stage.partitions.iter_mut().enumerate() {
                 let share = if pidx == 0 {
                     even_share + input * hot
@@ -302,7 +328,7 @@ impl SimEngine {
                     even_share
                 };
                 partition.queue += share;
-                let budget_us = (VM_BUDGET_US - tax).max(0.0);
+                let budget_us = (VM_BUDGET_US * vm_share - tax).max(0.0);
                 let capacity = budget_us / spec.cost_us.max(0.01);
                 let processed = partition.queue.min(capacity);
                 partition.queue -= processed;
@@ -319,7 +345,9 @@ impl SimEngine {
 
             // Latency contribution: service time plus queueing delay behind
             // the residual queue, plus a per-hop network/batching constant.
-            let stage_capacity = n * VM_BUDGET_US / spec.cost_us.max(0.01);
+            // Aggregate compute is what the stage's VMs offer, not its
+            // partition count — a consolidated stage drains more slowly.
+            let stage_capacity = stage.vms as f64 * VM_BUDGET_US / spec.cost_us.max(0.01);
             let queue_delay_ms = if stage_capacity > 0.0 {
                 (stage.total_queue() / stage_capacity) * 1_000.0
             } else {
@@ -347,9 +375,10 @@ impl SimEngine {
         let mut scaled_out = false;
         let mut scaled_in = false;
         let mut rebalanced = false;
+        let mut consolidated = false;
         if t > 0 && t.saturating_sub(self.last_report_s) >= self.config.policy.report_interval_s {
             self.last_report_s = t;
-            (scaled_out, scaled_in, rebalanced) = self.evaluate_policy(t);
+            (scaled_out, scaled_in, rebalanced, consolidated) = self.evaluate_policy(t);
         }
 
         let p50 = latency_ms;
@@ -366,10 +395,11 @@ impl SimEngine {
             scaled_out,
             scaled_in,
             rebalanced,
+            consolidated,
         }
     }
 
-    fn evaluate_policy(&mut self, t: u64) -> (bool, bool, bool) {
+    fn evaluate_policy(&mut self, t: u64) -> (bool, bool, bool, bool) {
         let interval_us = self.config.policy.report_interval_s as f64 * VM_BUDGET_US;
         let mut to_scale: Vec<usize> = Vec::new();
         // Stages with at least two partitions under the low watermark for the
@@ -379,6 +409,11 @@ impl SimEngine {
         // utilisation is fine: repartition by the key distribution instead of
         // consuming a VM (mirrors the runtime's rebalance plan).
         let mut to_rebalance: Vec<usize> = Vec::new();
+        // Under-utilised stages whose partitions still spread over more VMs
+        // than the slot capacity needs: pack them instead of merging, keeping
+        // parallelism (mirrors the runtime's consolidate plan).
+        let mut to_consolidate: Vec<usize> = Vec::new();
+        let slots = self.config.slots_per_vm.max(1);
         for (idx, stage) in self.stages.iter_mut().enumerate() {
             let spec = &self.config.query.stages[idx];
             let mut low_triggered = 0usize;
@@ -417,12 +452,20 @@ impl SimEngine {
                 }
             }
             if low_triggered >= 2 && stage.partitions.len() >= 2 {
-                to_merge.push(idx);
+                let packable = self.config.policy.consolidate
+                    && slots >= 2
+                    && stage.vms > stage.partitions.len().div_ceil(slots);
+                if packable {
+                    to_consolidate.push(idx);
+                } else {
+                    to_merge.push(idx);
+                }
             }
         }
         if !self.config.dynamic_scaling {
-            return (false, false, false);
+            return (false, false, false, false);
         }
+        let consolidated = self.consolidate_stages(&to_consolidate);
         let scaled_in = self.merge_stages(&to_merge);
         let rebalanced = self.rebalance_stages(&to_rebalance);
         let mut scaled = false;
@@ -440,12 +483,14 @@ impl SimEngine {
             self.pool_available -= 1;
             self.pool_pending.push(t + self.config.provisioning_delay_s);
             let stage = &mut self.stages[idx];
-            // Split the load: add one partition and rebalance the queues.
+            // Split the load: add one partition on its own fresh VM and
+            // rebalance the queues.
             let total_queue = stage.total_queue();
             stage.partitions.push(Partition {
                 queue: 0.0,
                 busy_accum_us: 0.0,
             });
+            stage.vms += 1;
             let n = stage.partitions.len() as f64;
             for partition in stage.partitions.iter_mut() {
                 partition.queue = total_queue / n;
@@ -466,7 +511,38 @@ impl SimEngine {
             stage.disruption_ms = state_penalty_ms + backlog_penalty_ms;
             scaled = true;
         }
-        (scaled, scaled_in, rebalanced)
+        (scaled, scaled_in, rebalanced, consolidated)
+    }
+
+    /// Consolidate under-utilised stages: pack the partitions onto
+    /// `ceil(π / slots_per_vm)` VMs and return the emptied VMs to the spare
+    /// pool. Parallelism and key boundaries are untouched — from now on
+    /// co-resident partitions share their VM's compute — and the
+    /// checkpoint-move restore shows up as a short disruption, like a
+    /// scale-in's.
+    fn consolidate_stages(&mut self, stages: &[usize]) -> bool {
+        let slots = self.config.slots_per_vm.max(1);
+        let mut consolidated = false;
+        for &idx in stages {
+            let stage = &mut self.stages[idx];
+            let needed = stage.partitions.len().div_ceil(slots);
+            if stage.vms <= needed {
+                continue;
+            }
+            let freed = stage.vms - needed;
+            stage.vms = needed;
+            self.pool_available += freed;
+            let spec = &self.config.query.stages[idx];
+            let state_penalty_ms = if spec.stateful {
+                250.0 + spec.state_bytes_per_k_keys as f64 / 2_000.0
+            } else {
+                75.0
+            };
+            stage.disruption_s = self.config.scale_out_disruption_s.div_ceil(2);
+            stage.disruption_ms = stage.disruption_ms.max(state_penalty_ms);
+            consolidated = true;
+        }
+        consolidated
     }
 
     /// Rebalance skewed stages: the key boundaries are re-drawn from the
@@ -521,7 +597,13 @@ impl SimEngine {
             for partition in stage.partitions.iter_mut() {
                 partition.queue = total_queue / n;
             }
-            self.pool_available += 1;
+            // The victim's VM returns to the pool only when the merge empties
+            // it — on a consolidated stage the slot is vacated but the VM
+            // keeps hosting co-resident partitions.
+            if stage.vms > stage.partitions.len() {
+                stage.vms = stage.partitions.len();
+                self.pool_available += 1;
+            }
             let spec = &self.config.query.stages[idx];
             let state_penalty_ms = if spec.stateful {
                 250.0 + spec.state_bytes_per_k_keys as f64 / 2_000.0
@@ -763,6 +845,54 @@ mod tests {
         assert!(engine.pool_available() > pool_before);
         // Never below one partition per stage.
         assert!(summary.final_parallelism.iter().all(|p| *p >= 1));
+    }
+
+    #[test]
+    fn ramp_down_consolidates_before_merging_with_multislot_vms() {
+        let config = SimConfig {
+            policy: SimScalingPolicy::default()
+                .with_scale_in(0.2)
+                .with_consolidate(),
+            slots_per_vm: 2,
+            ..lrb_config()
+        };
+        let mut engine = SimEngine::new(config);
+        let trace = engine.run(600, |t| if t < 300 { 120_000.0 } else { 500.0 });
+        let summary = trace.summary();
+        assert!(summary.scale_out_actions > 0, "the ramp must scale out");
+        assert!(
+            summary.consolidate_actions > 0,
+            "idle partitions must be packed onto shared VMs"
+        );
+        assert!(
+            summary.final_vms < summary.peak_vms,
+            "consolidation must release VMs: {} final vs {} peak",
+            summary.final_vms,
+            summary.peak_vms
+        );
+        // VMs never undercount the slot maths: every stage keeps at least
+        // ceil(π / slots) VMs.
+        let last = trace.records.last().unwrap();
+        for (stage, p) in last.stage_parallelism.iter().enumerate() {
+            let _ = stage;
+            assert!(*p >= 1);
+        }
+    }
+
+    #[test]
+    fn single_slot_vms_never_consolidate() {
+        let config = SimConfig {
+            policy: SimScalingPolicy::default()
+                .with_scale_in(0.2)
+                .with_consolidate(),
+            // slots_per_vm stays 1: there is nothing to pack onto.
+            ..lrb_config()
+        };
+        let mut engine = SimEngine::new(config);
+        let trace = engine.run(600, |t| if t < 300 { 120_000.0 } else { 500.0 });
+        let summary = trace.summary();
+        assert_eq!(summary.consolidate_actions, 0);
+        assert!(summary.scale_in_actions > 0, "merge path still works");
     }
 
     #[test]

@@ -43,6 +43,13 @@ pub struct SimScalingPolicy {
     /// `ScalingPolicy::rebalance`).
     #[serde(default)]
     pub rebalance: bool,
+    /// Whether the policy may **consolidate** an under-utilised stage: pack
+    /// its partitions onto shared VM slots (`SimConfig::slots_per_vm`) and
+    /// return the emptied VMs to the pool without reducing parallelism
+    /// (mirrors the runtime's `ScalingPolicy::consolidate`). Takes effect
+    /// only together with `scale_in` and a multi-slot configuration.
+    #[serde(default)]
+    pub consolidate: bool,
 }
 
 fn default_low_threshold() -> f64 {
@@ -63,6 +70,7 @@ impl Default for SimScalingPolicy {
             scale_in_reports: default_scale_in_reports(),
             scale_in: false,
             rebalance: false,
+            consolidate: false,
         }
     }
 }
@@ -84,6 +92,12 @@ impl SimScalingPolicy {
     /// Enable skew-driven rebalancing.
     pub fn with_rebalance(mut self) -> Self {
         self.rebalance = true;
+        self
+    }
+
+    /// Enable consolidation of under-utilised stages onto shared VM slots.
+    pub fn with_consolidate(mut self) -> Self {
+        self.consolidate = true;
         self
     }
 

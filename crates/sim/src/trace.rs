@@ -32,6 +32,10 @@ pub struct SimRecord {
     /// happened during this second.
     #[serde(default)]
     pub rebalanced: bool,
+    /// Whether a consolidation (partitions packed onto shared VM slots,
+    /// emptied VMs returned to the pool) happened during this second.
+    #[serde(default)]
+    pub consolidated: bool,
 }
 
 /// Aggregate summary of a simulation run.
@@ -57,6 +61,9 @@ pub struct SimSummary {
     /// Number of rebalance actions performed.
     #[serde(default)]
     pub rebalance_actions: usize,
+    /// Number of consolidation actions performed.
+    #[serde(default)]
+    pub consolidate_actions: usize,
     /// Final parallelism per stage.
     pub final_parallelism: Vec<usize>,
 }
@@ -97,6 +104,7 @@ impl SimTrace {
                 scale_out_actions: 0,
                 scale_in_actions: 0,
                 rebalance_actions: 0,
+                consolidate_actions: 0,
                 final_parallelism: Vec::new(),
             };
         }
@@ -119,6 +127,7 @@ impl SimTrace {
             scale_out_actions: self.records.iter().filter(|r| r.scaled_out).count(),
             scale_in_actions: self.records.iter().filter(|r| r.scaled_in).count(),
             rebalance_actions: self.records.iter().filter(|r| r.rebalanced).count(),
+            consolidate_actions: self.records.iter().filter(|r| r.consolidated).count(),
             final_parallelism: last.stage_parallelism.clone(),
         }
     }
@@ -149,6 +158,7 @@ mod tests {
             scaled_out: scaled,
             scaled_in: false,
             rebalanced: false,
+            consolidated: false,
         }
     }
 

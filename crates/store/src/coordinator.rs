@@ -250,6 +250,37 @@ impl BackupCoordinator {
         seep_core::merge::merge_checkpoints(merged, (cp_a, a.1), (cp_b, b.1))
     }
 
+    /// Merge the backed-up checkpoints of **all** `parts` — adjacent
+    /// partitions of one logical operator, in any order — into a single
+    /// checkpoint owned by `merged`: the N-way generalisation of
+    /// [`merge_for_scale_in`](Self::merge_for_scale_in), used by whole-
+    /// operator rebalancing and consolidation to pool every partition's
+    /// state (and traffic sample) before re-splitting it. Fails with
+    /// [`Error::NoBackup`] when any partition has no backup yet, and with
+    /// the usual adjacency error when the ranges do not form one contiguous
+    /// interval.
+    pub fn merge_adjacent(
+        &self,
+        merged: OperatorId,
+        parts: &[(OperatorId, seep_core::KeyRange)],
+    ) -> Result<(Checkpoint, seep_core::KeyRange)> {
+        let mut sorted = parts.to_vec();
+        sorted.sort_by_key(|(_, r)| r.lo);
+        let mut iter = sorted.into_iter();
+        let (first_op, first_range) = iter
+            .next()
+            .ok_or_else(|| Error::Invariant("cannot merge zero partitions".into()))?;
+        let mut acc = (self.retrieve(first_op)?, first_range);
+        for (op, range) in iter {
+            let cp = self.retrieve(op)?;
+            acc = seep_core::merge::merge_checkpoints(merged, acc, (cp, range))?;
+        }
+        let (mut checkpoint, range) = acc;
+        // A single partition skips the merge loop: stamp it by hand.
+        checkpoint.meta.operator = merged;
+        Ok((checkpoint, range))
+    }
+
     /// Store the merged checkpoint as the initial backup of the surviving
     /// operator and delete the two replaced partitions' backups — the
     /// scale-in counterpart of [`store_partitioned`](Self::store_partitioned).
@@ -550,6 +581,47 @@ mod tests {
         assert!(coord.retrieve(OperatorId::new(10)).is_err());
         assert!(coord.retrieve(OperatorId::new(11)).is_err());
         assert!(coord.backup_of(OperatorId::new(10)).is_none());
+    }
+
+    #[test]
+    fn merge_adjacent_pools_many_partitions() {
+        let coord = coordinator_with_stores(&[1, 2]);
+        let ups = [OperatorId::new(1), OperatorId::new(2)];
+        let ranges = KeyRange::full().split_even(4).unwrap();
+        for (i, op) in [10u64, 11, 12, 13].iter().enumerate() {
+            coord
+                .backup_state(OperatorId::new(*op), &ups, checkpoint(*op, i as u64 + 1))
+                .unwrap();
+        }
+        // Out-of-key-order input is sorted before merging.
+        let parts = vec![
+            (OperatorId::new(12), ranges[2]),
+            (OperatorId::new(10), ranges[0]),
+            (OperatorId::new(13), ranges[3]),
+            (OperatorId::new(11), ranges[1]),
+        ];
+        let (merged, range) = coord.merge_adjacent(OperatorId::new(20), &parts).unwrap();
+        assert_eq!(range, KeyRange::full());
+        assert_eq!(merged.meta.operator, OperatorId::new(20));
+        assert_eq!(merged.processing.len(), 4);
+
+        // A missing backup surfaces instead of silently merging less state.
+        let gap = vec![
+            (OperatorId::new(10), ranges[0]),
+            (OperatorId::new(99), ranges[1]),
+        ];
+        assert!(matches!(
+            coord.merge_adjacent(OperatorId::new(21), &gap),
+            Err(Error::NoBackup(_))
+        ));
+        // Non-adjacent ranges are rejected like the pairwise merge rejects
+        // them.
+        let torn = vec![
+            (OperatorId::new(10), ranges[0]),
+            (OperatorId::new(12), ranges[2]),
+        ];
+        assert!(coord.merge_adjacent(OperatorId::new(22), &torn).is_err());
+        assert!(coord.merge_adjacent(OperatorId::new(23), &[]).is_err());
     }
 
     #[test]

@@ -69,10 +69,13 @@ fn scale_in_releases_the_vm_and_stops_billing() {
 
     // The released VM stops accruing cost: its terminated timestamp is set
     // and the provider's total no longer grows on its account.
+    let released_vm = outcome
+        .released_vm
+        .expect("a single-slot merge empties the victim's VM");
     let vm = harness
         .handle
         .provider()
-        .vm(outcome.released_vm)
+        .vm(released_vm)
         .expect("released VM still on the books");
     assert!(!vm.is_running());
     assert!(vm.terminated_at_ms.is_some());
