@@ -24,9 +24,62 @@
 //! consolidation arm).
 
 use seep_bench::print_table;
-use seep_bench::runtime_experiments::{runtime_consolidate, runtime_elasticity};
-use seep_bench::sim_experiments::{elasticity, elasticity_with};
+use seep_bench::runtime_experiments::{
+    runtime_consolidate, runtime_elasticity, RuntimeElasticityResult,
+};
+use seep_bench::sim_experiments::{elasticity, elasticity_with, ElasticityResult};
 use seep_sim::SimScalingPolicy;
+
+/// Headline numbers of the simulator arm, for `BENCH_elasticity.json`.
+#[derive(serde::Serialize)]
+struct SimHeadline {
+    scale_outs: usize,
+    scale_ins: usize,
+    peak_vms: usize,
+    final_vms: usize,
+    vm_seconds: f64,
+    total_cost: f64,
+    static_peak_cost: f64,
+    savings_vs_static_pct: f64,
+    savings_vs_no_scale_in_pct: f64,
+}
+
+/// The machine-readable result the bin writes next to its tables, so the
+/// perf trajectory of elasticity runs can be tracked across commits.
+#[derive(serde::Serialize)]
+struct BenchReport {
+    smoke: bool,
+    sim: SimHeadline,
+    runtime: RuntimeElasticityResult,
+}
+
+fn write_report(
+    smoke: bool,
+    elastic: &ElasticityResult,
+    rigid: &ElasticityResult,
+    run: &RuntimeElasticityResult,
+) {
+    let report = BenchReport {
+        smoke,
+        sim: SimHeadline {
+            scale_outs: elastic.scale_outs,
+            scale_ins: elastic.scale_ins,
+            peak_vms: elastic.peak_vms,
+            final_vms: elastic.final_vms,
+            vm_seconds: elastic.vm_seconds,
+            total_cost: elastic.total_cost,
+            static_peak_cost: elastic.static_peak_cost,
+            savings_vs_static_pct: (1.0 - elastic.total_cost / elastic.static_peak_cost) * 100.0,
+            savings_vs_no_scale_in_pct: (1.0 - elastic.total_cost / rigid.total_cost) * 100.0,
+        },
+        runtime: run.clone(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    match std::fs::write("BENCH_elasticity.json", json) {
+        Ok(()) => println!("\nwrote BENCH_elasticity.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_elasticity.json: {e}"),
+    }
+}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -160,6 +213,8 @@ fn main() {
         500,
         (run.mean_scale_out_us.max(run.mean_scale_in_us)) / 1_000.0
     );
+
+    write_report(smoke, &elastic, &rigid, &run);
 
     if consolidate_arm {
         consolidate_section(ramp_up, plateau, ramp_down, tail, base, peak, smoke);

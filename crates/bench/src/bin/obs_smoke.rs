@@ -1,0 +1,139 @@
+//! Ops-plane smoke test: drive the word-count query through a scripted
+//! scale-out → rebalance → consolidate sequence with the reconfiguration
+//! journal's JSONL sink attached and the metrics endpoint served, then
+//! scrape the endpoint over real HTTP and validate the Prometheus
+//! exposition with the crate's own scrape-side parser.
+//!
+//! Flags:
+//!
+//! * `--serve ADDR` — bind the metrics endpoint to `ADDR` (default
+//!   `127.0.0.1:0`, i.e. an ephemeral port).
+//! * `--journal PATH` — mirror the journal to a JSONL file at `PATH`.
+//! * `--hold SECS` — keep the endpoint up for `SECS` seconds after the
+//!   scripted run, so an external scraper (CI's `curl`) can probe it.
+//! * `--replay PATH` — don't run anything; replay a journal JSONL file and
+//!   pretty-print it (exits non-zero on a malformed file).
+//!
+//! Run with: `cargo run --release -p seep-bench --bin obs_smoke`
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use seep_bench::harness::WordCountHarness;
+use seep_runtime::obs::validate_exposition;
+use seep_runtime::{Journal, RuntimeConfig};
+
+/// Value of `--flag VALUE` from the command line, if present.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Minimal HTTP/1.1 GET against the ops endpoint; returns the body.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to ops endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: seep\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header block");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "{path}: expected 200, got: {head}"
+    );
+    body.to_string()
+}
+
+fn main() {
+    if let Some(path) = arg_value("--replay") {
+        match Journal::replay_file(&path) {
+            Ok(events) => {
+                print!("{}", Journal::render(&events));
+                println!("replayed {} journal events from {path}", events.len());
+            }
+            Err(e) => {
+                eprintln!("replay of {path} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let serve = arg_value("--serve").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let hold_s: u64 = arg_value("--hold")
+        .map(|v| v.parse().expect("--hold takes seconds"))
+        .unwrap_or(0);
+
+    // Two slots per VM so the consolidation step has somewhere to pack.
+    let config = RuntimeConfig {
+        pool: seep_cloud::VmPoolConfig::default().with_slots_per_vm(2),
+        ..RuntimeConfig::default()
+    };
+    let mut h = WordCountHarness::deploy(config, 5_000, 0);
+    if let Some(path) = arg_value("--journal") {
+        let p = h
+            .handle
+            .journal_to_file(&path)
+            .expect("attach journal sink");
+        println!("journal sink -> {}", p.display());
+    }
+    let addr = h.handle.serve_metrics(&serve).expect("serve metrics");
+    println!("metrics on http://{addr}/metrics, health on http://{addr}/health");
+
+    // The scripted sequence from the acceptance criteria: scale out, then
+    // rebalance in place, then consolidate back onto shared slots.
+    h.run_for(5, 200);
+    let target = h.counter_instance();
+    h.handle.scale_out(target, 4).expect("scale out");
+    h.run_for(5, 200);
+    h.handle.rebalance_operator(h.counter).expect("rebalance");
+    h.run_for(5, 200);
+    h.handle.consolidate(h.counter).expect("consolidate");
+    h.run_for(5, 50);
+
+    // Scrape ourselves over real HTTP and hold the output to the same
+    // standard an external Prometheus server would.
+    let metrics = http_get(addr, "/metrics");
+    let exposition = validate_exposition(&metrics).expect("exposition well-formed");
+    println!(
+        "scraped {} samples across {} families",
+        exposition.samples.len(),
+        exposition.types.len()
+    );
+    let journalled = exposition
+        .scalar("seep_journal_events_total")
+        .expect("journal counter exported");
+    assert!(
+        journalled >= 3.0,
+        "three plans journalled, saw {journalled}"
+    );
+    let health = http_get(addr, "/health");
+    assert!(
+        health.contains("\"status\""),
+        "health endpoint returns JSON: {health}"
+    );
+    println!("health: {health}");
+
+    println!("{}", Journal::render(&h.handle.journal().events()));
+
+    if hold_s > 0 {
+        println!("holding the endpoint for {hold_s}s...");
+        std::thread::sleep(Duration::from_secs(hold_s));
+    }
+    h.handle.stop_metrics();
+    println!("ops-plane smoke ok");
+}

@@ -530,6 +530,15 @@ pub struct RuntimeElasticityResult {
     /// ledger (virtual time) — the pay-as-you-go figure the elasticity bin
     /// prints next to the reconfiguration counts.
     pub vm_seconds: f64,
+    /// Median end-to-end sink latency over the whole run (ms).
+    #[serde(default)]
+    pub latency_p50_ms: f64,
+    /// 95th-percentile end-to-end sink latency (ms).
+    #[serde(default)]
+    pub latency_p95_ms: f64,
+    /// 99th-percentile end-to-end sink latency (ms).
+    #[serde(default)]
+    pub latency_p99_ms: f64,
 }
 
 /// Drive the threaded runtime's word-count query through a trapezoid rate
@@ -602,6 +611,7 @@ pub fn runtime_elasticity(
         }
     };
     let vm_seconds = h.handle.provider().total_vm_hours(h.handle.now_ms()) * 3_600.0;
+    let latency = metrics.snapshot();
     RuntimeElasticityResult {
         phases,
         scale_outs: outs.len(),
@@ -611,6 +621,9 @@ pub fn runtime_elasticity(
         peak_vms,
         final_vms: h.handle.vm_count(),
         vm_seconds,
+        latency_p50_ms: latency.latency_p50_ms,
+        latency_p95_ms: latency.latency_p95_ms,
+        latency_p99_ms: latency.latency_p99_ms,
     }
 }
 

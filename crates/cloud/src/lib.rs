@@ -27,6 +27,6 @@ pub mod vm;
 pub use billing::BillingLedger;
 pub use failure::FailureInjector;
 pub use monitor::{CpuMonitor, UtilizationReport};
-pub use pool::{VmPool, VmPoolConfig};
+pub use pool::{PoolStats, VmPool, VmPoolConfig};
 pub use provider::{CloudProvider, ProviderConfig};
 pub use vm::{Vm, VmId, VmSpec, VmState};

@@ -35,6 +35,31 @@ fn default_slots_per_vm() -> usize {
     1
 }
 
+/// Named acquisition statistics of a [`VmPool`]: how many `acquire` calls
+/// were served instantly from the pre-allocated set (*hits*) versus found
+/// the pool exhausted and had to wait for provisioning (*misses*).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Acquisitions served instantly from the pool.
+    pub hits: u64,
+    /// Acquisitions that found the pool empty (the caller pays the
+    /// provisioning delay §5.2 warns about).
+    pub misses: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquisitions served from the pool (1.0 when none
+    /// happened — an idle pool has not failed anyone).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 impl Default for VmPoolConfig {
     fn default() -> Self {
         VmPoolConfig {
@@ -171,10 +196,13 @@ impl VmPool {
         self.inner.lock().pending.len()
     }
 
-    /// `(hits, misses)` acquisition statistics.
-    pub fn stats(&self) -> (u64, u64) {
+    /// Acquisition statistics: pool hits vs misses.
+    pub fn stats(&self) -> PoolStats {
         let inner = self.inner.lock();
-        (inner.hits, inner.misses)
+        PoolStats {
+            hits: inner.hits,
+            misses: inner.misses,
+        }
     }
 
     /// Adjust the target pool size at runtime (§5.2 discusses shrinking the
@@ -216,7 +244,7 @@ mod tests {
         assert!(pool.acquire(0).is_some());
         // Pool refills after an acquisition.
         assert_eq!(pool.ready_count(), 3);
-        assert_eq!(pool.stats(), (1, 0));
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 0 });
     }
 
     #[test]
@@ -228,8 +256,9 @@ mod tests {
         pool.tick(120_000);
         assert_eq!(pool.ready_count(), 2);
         assert!(pool.acquire(120_001).is_some());
-        let (hits, misses) = pool.stats();
-        assert_eq!((hits, misses), (1, 1));
+        let stats = pool.stats();
+        assert_eq!(stats, PoolStats { hits: 1, misses: 1 });
+        assert!((stats.hit_rate() - 0.5).abs() < f64::EPSILON);
     }
 
     #[test]

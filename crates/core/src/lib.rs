@@ -42,6 +42,7 @@ pub mod error;
 pub mod graph;
 pub mod key;
 pub mod merge;
+pub mod obs;
 pub mod operator;
 pub mod primitives;
 pub mod spill;
@@ -56,6 +57,9 @@ pub use dedup::DuplicateFilter;
 pub use error::{Error, Result};
 pub use graph::{ExecutionGraph, LogicalOpId, OperatorKind, QueryGraph, QueryGraphBuilder};
 pub use key::{sample_imbalance, KeyRange, KeySplit};
+pub use obs::{
+    EventRing, HealthState, HistogramSnapshot, LatencyHistogram, LATENCY_BUCKET_BOUNDS_US,
+};
 pub use operator::{
     CloneFactory, IntoOperatorFactory, OperatorFactory, OperatorId, OutputTuple, StatefulOperator,
     StatelessFn,

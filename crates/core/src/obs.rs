@@ -1,0 +1,342 @@
+//! Observability primitives shared by the runtime's ops plane: a fixed
+//! log-scale latency histogram, the per-operator health states and a bounded
+//! event ring.
+//!
+//! The paper evaluates the elastic operator exclusively through observed
+//! series — latency percentiles, throughput, recovery time, VM allocation —
+//! so the exporter needs an aggregation that survives unbounded run lengths.
+//! [`LatencyHistogram`] buckets latency samples into a fixed 1–2.5–5
+//! log-scale ladder (Prometheus-style cumulative export, `+Inf` included),
+//! which keeps memory constant and lets a scraper reconstruct p50/p95/p99
+//! within one bucket's resolution. [`EventRing`] is the bounded in-memory
+//! backing of the reconfiguration journal: the newest `capacity` events are
+//! retained, the total count keeps growing.
+
+use serde::{Deserialize, Serialize};
+
+/// Upper bounds (inclusive, in µs) of the latency histogram buckets: a
+/// 1–2.5–5 ladder from 10 µs to 10 s. Samples above the last bound land in
+/// the implicit `+Inf` bucket.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 19] = [
+    10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+    500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// A latency histogram with fixed log-scale buckets
+/// ([`LATENCY_BUCKET_BOUNDS_US`] plus `+Inf`).
+///
+/// Constant-size regardless of how many samples are recorded — the backing
+/// store for the Prometheus exposition's `_bucket`/`_sum`/`_count` series
+/// and for percentile estimates that do not require retaining raw samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Per-bucket (non-cumulative) counts; the last slot is `+Inf`.
+    counts: [u64; LATENCY_BUCKET_BOUNDS_US.len() + 1],
+    sum_us: u64,
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; LATENCY_BUCKET_BOUNDS_US.len() + 1],
+            sum_us: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one latency sample in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        let idx = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|le| us <= *le)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_US.len());
+        self.counts[idx] += 1;
+        self.sum_us += us;
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (µs).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Forget every sample (used between experiment phases).
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+
+    /// Estimate the latency at percentile `p` (0–100) in µs by walking the
+    /// cumulative bucket counts and interpolating linearly within the bucket
+    /// the rank falls into. Returns 0 for an empty histogram; a rank in the
+    /// `+Inf` bucket reports the last finite bound.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, n) in self.counts.iter().enumerate() {
+            let next = cumulative + n;
+            if (next as f64) >= rank && *n > 0 {
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    LATENCY_BUCKET_BOUNDS_US[i - 1] as f64
+                };
+                let hi = match LATENCY_BUCKET_BOUNDS_US.get(i) {
+                    Some(le) => *le as f64,
+                    // +Inf bucket: report its lower bound, the last finite le.
+                    None => return lo,
+                };
+                let into = (rank - cumulative as f64).max(0.0) / *n as f64;
+                return lo + (hi - lo) * into.min(1.0);
+            }
+            cumulative = next;
+        }
+        LATENCY_BUCKET_BOUNDS_US[LATENCY_BUCKET_BOUNDS_US.len() - 1] as f64
+    }
+
+    /// A serialisable copy of the bucket state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds_us: LATENCY_BUCKET_BOUNDS_US.to_vec(),
+            counts: self.counts.to_vec(),
+            sum_us: self.sum_us,
+            count: self.count,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], as rendered by the
+/// Prometheus exporter.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds (µs), ascending.
+    pub bounds_us: Vec<u64>,
+    /// Per-bucket (non-cumulative) counts; one more entry than `bounds_us`,
+    /// the last being the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all samples (µs).
+    pub sum_us: u64,
+    /// Total samples.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Cumulative counts per bucket (Prometheus `_bucket` semantics): entry
+    /// `i` counts every sample ≤ `bounds_us[i]`, the final entry (`+Inf`)
+    /// equals [`count`](Self::count).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0u64;
+        self.counts
+            .iter()
+            .map(|n| {
+                total += n;
+                total
+            })
+            .collect()
+    }
+}
+
+/// Health of one operator instance, derived by the runtime from worker queue
+/// depth, utilisation reports, failure flags and in-flight reconfiguration
+/// plans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Processing normally.
+    #[default]
+    Ok,
+    /// Inbound queue depth exceeds the configured backpressure watermark.
+    Backpressured,
+    /// A reconfiguration plan touched the operator at the current virtual
+    /// instant (scale out/in, rebalance or consolidate); catch-up may still
+    /// be in progress.
+    Reconfiguring,
+    /// The operator's VM has crashed and no recovery has replaced it yet.
+    Failed,
+    /// The operator was just restored by a recovery plan at the current
+    /// virtual instant.
+    Recovering,
+}
+
+impl HealthState {
+    /// Lowercase label used by the Prometheus exposition and the journal.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Ok => "ok",
+            HealthState::Backpressured => "backpressured",
+            HealthState::Reconfiguring => "reconfiguring",
+            HealthState::Failed => "failed",
+            HealthState::Recovering => "recovering",
+        }
+    }
+
+    /// Every state, in severity order (for exposition completeness checks).
+    pub fn all() -> [HealthState; 5] {
+        [
+            HealthState::Ok,
+            HealthState::Backpressured,
+            HealthState::Reconfiguring,
+            HealthState::Recovering,
+            HealthState::Failed,
+        ]
+    }
+}
+
+/// A bounded ring of events: the newest `capacity` entries are retained
+/// while the total number of pushes keeps counting. The in-memory backing of
+/// the reconfiguration journal.
+#[derive(Debug, Clone)]
+pub struct EventRing<T> {
+    capacity: usize,
+    items: std::collections::VecDeque<T>,
+    total: u64,
+}
+
+impl<T: Clone> EventRing<T> {
+    /// An empty ring retaining at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            capacity: capacity.max(1),
+            items: std::collections::VecDeque::new(),
+            total: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest when full. Returns the event's
+    /// zero-based sequence number over the ring's lifetime.
+    pub fn push(&mut self, item: T) -> u64 {
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+        }
+        self.items.push_back(item);
+        let seq = self.total;
+        self.total += 1;
+        seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn items(&self) -> Vec<T> {
+        self.items.iter().cloned().collect()
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total events pushed over the ring's lifetime (including evicted).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_strictly_increasing() {
+        for w in LATENCY_BUCKET_BOUNDS_US.windows(2) {
+            assert!(w[0] < w[1], "bounds must ascend: {w:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_sum_track_samples() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.percentile_us(99.0), 0.0, "empty histogram reads zero");
+        for us in [5u64, 10, 11, 100_000, 20_000_000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_us(), 5 + 10 + 11 + 100_000 + 20_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.counts.iter().sum::<u64>(), 5);
+        // 5 and 10 land in the first bucket (le=10), 11 in le=25, the
+        // 20 s outlier in +Inf.
+        assert_eq!(snap.counts[0], 2);
+        assert_eq!(snap.counts[1], 1);
+        assert_eq!(*snap.counts.last().unwrap(), 1);
+        let cumulative = snap.cumulative();
+        assert_eq!(*cumulative.last().unwrap(), snap.count);
+        for w in cumulative.windows(2) {
+            assert!(w[0] <= w[1], "cumulative buckets must be monotone");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_within_one_bucket_of_exact() {
+        let mut h = LatencyHistogram::new();
+        // 1..=100 ms uniformly.
+        for i in 1..=100u64 {
+            h.record_us(i * 1_000);
+        }
+        let p50 = h.percentile_us(50.0) / 1_000.0;
+        let p95 = h.percentile_us(95.0) / 1_000.0;
+        let p99 = h.percentile_us(99.0) / 1_000.0;
+        // The bucket ladder around 50 ms is 25→50→100 ms, so the estimate
+        // must land inside the bucket holding the exact value.
+        assert!((25.0..=100.0).contains(&p50), "p50 estimate {p50}");
+        assert!((50.0..=250.0).contains(&p95), "p95 estimate {p95}");
+        assert!((50.0..=250.0).contains(&p99), "p99 estimate {p99}");
+        assert!(p50 <= p95 && p95 <= p99, "percentiles must be ordered");
+    }
+
+    #[test]
+    fn histogram_reset_forgets_everything() {
+        let mut h = LatencyHistogram::new();
+        h.record_us(1_000);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_us(), 0);
+        assert_eq!(h.snapshot().counts.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn health_state_labels_are_distinct() {
+        let labels: Vec<&str> = HealthState::all().iter().map(|s| s.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(HealthState::default(), HealthState::Ok);
+    }
+
+    #[test]
+    fn event_ring_evicts_oldest_and_keeps_total() {
+        let mut ring = EventRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5u32 {
+            assert_eq!(ring.push(i), u64::from(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total(), 5);
+        assert_eq!(ring.items(), vec![2, 3, 4]);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(EventRing::<u32>::new(0).capacity(), 1, "clamped");
+    }
+}

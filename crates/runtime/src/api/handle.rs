@@ -11,6 +11,7 @@ use seep_core::{
 };
 
 use crate::metrics::{CheckpointRecord, Metrics, RecoveryRecord};
+use crate::obs::{Journal, ObsServer, ObsSnapshot, OperatorHealth};
 use crate::runtime::{
     ConsolidateOutcome, RebalanceOutcome, Runtime, ScaleInOutcome, ScaleOutOutcome,
 };
@@ -73,6 +74,7 @@ impl OpSelector for &str {
 pub struct JobHandle {
     runtime: Runtime,
     names: HashMap<String, LogicalOpId>,
+    obs_server: Option<ObsServer>,
 }
 
 impl std::fmt::Debug for JobHandle {
@@ -88,7 +90,11 @@ impl std::fmt::Debug for JobHandle {
 
 impl JobHandle {
     pub(crate) fn new(runtime: Runtime, names: HashMap<String, LogicalOpId>) -> Self {
-        JobHandle { runtime, names }
+        JobHandle {
+            runtime,
+            names,
+            obs_server: None,
+        }
     }
 
     /// The logical operator declared under `name`.
@@ -276,9 +282,76 @@ impl JobHandle {
         self.runtime.store_backend()
     }
 
-    /// VM pool hit/miss statistics.
-    pub fn pool_stats(&self) -> (u64, u64) {
+    /// VM pool acquisition statistics (hits, misses, hit rate).
+    pub fn pool_stats(&self) -> seep_cloud::PoolStats {
         self.runtime.pool_stats()
+    }
+
+    /// Derived per-operator health: `Failed` > `Recovering` /
+    /// `Reconfiguring` (a plan committed at the current virtual instant) >
+    /// `Backpressured` (inbound queue at or above
+    /// [`crate::ScalingPolicy::backpressure_queue`]) > `Ok`.
+    pub fn health(&self) -> Vec<OperatorHealth> {
+        self.runtime.health()
+    }
+
+    /// The reconfiguration event journal of the deployment.
+    pub fn journal(&self) -> Arc<Journal> {
+        self.runtime.journal()
+    }
+
+    /// Attach a JSONL sink at `path`: events already retained are written
+    /// immediately and every future plan appends one line, replayable with
+    /// [`Journal::replay_file`].
+    pub fn journal_to_file(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> seep_core::Result<std::path::PathBuf> {
+        self.runtime
+            .journal()
+            .attach_sink(path)
+            .map_err(|e| seep_core::Error::Invariant(format!("cannot attach journal sink: {e}")))
+    }
+
+    /// A fresh observability snapshot (what a scrape would serve right now).
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        self.runtime.obs_snapshot()
+    }
+
+    /// Start the scrape endpoint on `addr` (e.g. `"127.0.0.1:9184"`; port 0
+    /// picks an ephemeral one). Serves `GET /metrics` (Prometheus text
+    /// format 0.0.4) and `GET /health` (JSON) from a snapshot the runtime
+    /// refreshes after every state change. Returns the bound address; a
+    /// previous server, if any, is stopped first.
+    pub fn serve_metrics(&mut self, addr: &str) -> seep_core::Result<std::net::SocketAddr> {
+        self.stop_metrics();
+        // Publish a first snapshot so a scrape racing the startup never
+        // sees the empty default.
+        self.runtime
+            .obs_shared()
+            .update(self.runtime.obs_snapshot());
+        let server = ObsServer::start(addr, self.runtime.obs_shared()).map_err(|e| {
+            seep_core::Error::Invariant(format!("cannot bind metrics endpoint {addr}: {e}"))
+        })?;
+        let bound = server.addr();
+        self.obs_server = Some(server);
+        Ok(bound)
+    }
+
+    /// Stop the scrape endpoint, if one is running. Returns whether one was.
+    pub fn stop_metrics(&mut self) -> bool {
+        match self.obs_server.take() {
+            Some(mut server) => {
+                server.stop();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The scrape endpoint's bound address, while one is running.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs_server.as_ref().map(ObsServer::addr)
     }
 
     /// The placement layer: which VM slot hosts which partition.

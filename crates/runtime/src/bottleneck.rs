@@ -64,6 +64,15 @@ pub struct ScalingPolicy {
     /// multi-slot placement. Off by default.
     #[serde(default)]
     pub consolidate: bool,
+    /// Inbound queue depth (tuples) at or above which an operator reports
+    /// [`seep_core::HealthState::Backpressured`] through the ops plane. A
+    /// health watermark only — it does not trigger any scaling action.
+    #[serde(default = "default_backpressure_queue")]
+    pub backpressure_queue: usize,
+}
+
+fn default_backpressure_queue() -> usize {
+    10_000
 }
 
 impl Default for ScalingPolicy {
@@ -78,6 +87,7 @@ impl Default for ScalingPolicy {
             scale_in: false,
             rebalance: false,
             consolidate: false,
+            backpressure_queue: default_backpressure_queue(),
         }
     }
 }
@@ -108,6 +118,13 @@ impl ScalingPolicy {
     /// `pool.slots_per_vm >= 2`).
     pub fn with_consolidate(mut self) -> Self {
         self.consolidate = true;
+        self
+    }
+
+    /// A policy with a different backpressure health watermark (inbound
+    /// queue depth in tuples).
+    pub fn with_backpressure_queue(mut self, queued: usize) -> Self {
+        self.backpressure_queue = queued.max(1);
         self
     }
 
@@ -204,6 +221,9 @@ mod tests {
         assert!(p.with_consolidate().consolidate);
         assert!(p.low_threshold < p.threshold);
         assert!(p.scale_in_reports > p.consecutive_reports);
+        assert_eq!(p.backpressure_queue, 10_000);
+        assert_eq!(p.with_backpressure_queue(0).backpressure_queue, 1);
+        assert_eq!(p.with_backpressure_queue(64).backpressure_queue, 64);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod api;
 pub mod bottleneck;
 pub mod config;
 pub mod metrics;
+pub mod obs;
 pub mod placement;
 pub mod reconfig;
 pub mod recovery;
@@ -48,6 +49,10 @@ pub use metrics::{
     ConsolidateRecord, Metrics, MetricsSnapshot, RebalanceRecord, ReconfigTiming, ScaleInRecord,
     ScaleOutRecord, SplitKind, StoreIoRecord,
 };
+pub use obs::{
+    HealthReport, Journal, JournalEvent, JournalKind, ObsServer, ObsSnapshot, OperatorHealth,
+    PlanTrigger,
+};
 pub use placement::Placement;
 pub use reconfig::{ReconfigKind, ReconfigPlan, SplitPolicy};
 pub use recovery::RecoveryStrategy;
@@ -57,3 +62,7 @@ pub use worker::WorkerCore;
 // Re-exported so experiment drivers can configure the checkpoint-store
 // subsystem without depending on `seep-store` directly.
 pub use seep_store::{StoreBackendKind, StoreConfig, StoreStats};
+// Re-exported so ops-plane consumers read health states and pool statistics
+// without depending on the lower crates directly.
+pub use seep_cloud::PoolStats;
+pub use seep_core::HealthState;

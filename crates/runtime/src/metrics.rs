@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use seep_core::{LogicalOpId, OperatorId};
+use seep_core::{HistogramSnapshot, LatencyHistogram, LogicalOpId, OperatorId};
 
 /// One checkpoint taken by the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -211,6 +211,7 @@ pub struct ConsolidateRecord {
 #[derive(Debug, Default)]
 struct MetricsInner {
     latencies_us: Vec<u64>,
+    latency_hist: LatencyHistogram,
     sink_tuples: u64,
     processed: HashMap<OperatorId, u64>,
     checkpoints: Vec<CheckpointRecord>,
@@ -271,10 +272,13 @@ impl Metrics {
         Self::default()
     }
 
-    /// Record one end-to-end latency sample observed at a sink.
+    /// Record one end-to-end latency sample observed at a sink. The sample
+    /// feeds both the exact nearest-rank percentiles and the fixed log-scale
+    /// histogram the Prometheus exporter renders.
     pub fn record_latency_us(&self, us: u64) {
         let mut inner = self.inner.lock();
         inner.latencies_us.push(us);
+        inner.latency_hist.record_us(us);
         inner.sink_tuples += 1;
     }
 
@@ -375,6 +379,12 @@ impl Metrics {
         self.inner.lock().latencies_us.len()
     }
 
+    /// Bucketed copy of the latency distribution: the fixed log-scale
+    /// histogram backing the Prometheus `_bucket`/`_sum`/`_count` export.
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        self.inner.lock().latency_hist.snapshot()
+    }
+
     /// Tuples processed by a given operator.
     pub fn processed_by(&self, operator: OperatorId) -> u64 {
         self.inner
@@ -418,7 +428,9 @@ impl Metrics {
     /// Clear latency samples (used between experiment phases so the measured
     /// percentiles cover only the phase of interest).
     pub fn reset_latencies(&self) {
-        self.inner.lock().latencies_us.clear();
+        let mut inner = self.inner.lock();
+        inner.latencies_us.clear();
+        inner.latency_hist.reset();
     }
 
     /// Aggregate snapshot of the registry.
@@ -596,6 +608,20 @@ mod tests {
         m.record_processed(OperatorId::new(1), 1);
         m.reset_latencies();
         assert_eq!(m.latency_samples(), 0);
+        assert_eq!(m.latency_histogram().count, 0, "histogram follows");
         assert_eq!(m.processed_by(OperatorId::new(1)), 1);
+    }
+
+    #[test]
+    fn latency_histogram_tracks_samples() {
+        let m = Metrics::new();
+        for i in 1..=100u64 {
+            m.record_latency_us(i * 1_000);
+        }
+        let h = m.latency_histogram();
+        assert_eq!(h.count, 100);
+        assert_eq!(h.sum_us, (1..=100u64).map(|i| i * 1_000).sum::<u64>());
+        assert_eq!(h.counts.iter().sum::<u64>(), 100);
+        assert_eq!(*h.cumulative().last().unwrap(), h.count);
     }
 }

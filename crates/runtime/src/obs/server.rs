@@ -1,0 +1,208 @@
+//! Minimal std-only HTTP scrape endpoint.
+//!
+//! One background thread, a non-blocking [`TcpListener`] and two routes:
+//! `GET /metrics` (Prometheus text format) and `GET /health` (JSON). The
+//! server never touches the runtime — it renders from the [`ObsShared`]
+//! snapshot the runtime refreshes after every state change — so a scrape
+//! can never block or race a reconfiguration. No HTTP library is involved;
+//! the exposition format only needs status line + headers + body.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::obs::ObsShared;
+
+/// How long the accept loop sleeps when no connection is pending.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// The scrape endpoint: a one-thread HTTP server bound to a local address,
+/// started via [`crate::JobHandle::serve_metrics`] and stopped on
+/// [`stop`](ObsServer::stop) or drop.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9184"`, or port 0 for an ephemeral
+    /// port) and start serving `shared` in a background thread. Returns the
+    /// bound address.
+    pub fn start(addr: &str, shared: Arc<ObsShared>) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = shutdown.clone();
+        let thread = std::thread::Builder::new()
+            .name("seep-obs".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Serve inline: scrapes are small and rare, and a
+                            // single thread keeps shutdown trivial.
+                            let _ = serve_connection(stream, &shared);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => std::thread::sleep(POLL_INTERVAL),
+                    }
+                }
+            })?;
+        Ok(ObsServer {
+            addr: bound,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal the server thread to exit and wait for it.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &ObsShared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read until the end of the request head; scrapers send no body.
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut request = head.lines().next().unwrap_or("").split_whitespace();
+    let method = request.next().unwrap_or("");
+    let path = request.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path.trim_end_matches('/') {
+            "/metrics" | "" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                shared.render_prometheus(),
+            ),
+            "/health" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                shared.render_health_json(),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::prometheus::{validate_exposition, ObsSnapshot};
+
+    /// Blocking one-shot HTTP GET against the test server.
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("header/body separator");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_health_and_404() {
+        let shared = Arc::new(ObsShared::default());
+        shared.update(ObsSnapshot {
+            now_ms: 7_000,
+            ..ObsSnapshot::default()
+        });
+
+        let mut server = ObsServer::start("127.0.0.1:0", shared.clone()).expect("bind");
+        let addr = server.addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        let exp = validate_exposition(&body).expect("scrape output must parse");
+        assert_eq!(
+            exp.scalar("seep_virtual_time_milliseconds").unwrap(),
+            7_000.0
+        );
+
+        let (head, body) = http_get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        // The server reflects snapshot refreshes without restarting.
+        shared.update(ObsSnapshot {
+            now_ms: 9_000,
+            ..ObsSnapshot::default()
+        });
+        let (_, body) = http_get(addr, "/metrics");
+        let exp = validate_exposition(&body).unwrap();
+        assert_eq!(
+            exp.scalar("seep_virtual_time_milliseconds").unwrap(),
+            9_000.0
+        );
+
+        server.stop();
+        // After stop the port no longer accepts (give the OS a moment).
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(TcpStream::connect(addr).is_err(), "server must be down");
+    }
+}

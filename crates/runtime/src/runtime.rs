@@ -27,6 +27,10 @@ use crate::metrics::{
     CheckpointRecord, ConsolidateRecord, Metrics, RebalanceRecord, ReconfigTiming, RecoveryRecord,
     ScaleInRecord, ScaleOutRecord,
 };
+use crate::obs::{
+    Journal, JournalEvent, JournalKind, ObsShared, ObsSnapshot, OperatorHealth, PlanActivity,
+    PlanTrigger, ReconfigPhaseTotals, SlotBinding,
+};
 use crate::placement::Placement;
 use crate::reconfig::ReconfigPlan;
 use crate::recovery::RecoveryStrategy;
@@ -120,6 +124,19 @@ pub struct Runtime {
     /// scale out instead of paying the same disruption every report
     /// interval. A scale out or scale in of the operator re-arms it.
     rebalanced: std::collections::HashSet<LogicalOpId>,
+    /// The reconfiguration event journal: every executed plan appends one
+    /// event here (ops plane).
+    journal: Arc<Journal>,
+    /// Snapshot cell shared with the scrape endpoint; refreshed after every
+    /// state change while a server holds the other reference.
+    obs: Arc<ObsShared>,
+    /// Logical operators with a plan committed at the stamped virtual
+    /// instant — the health derivation reports them `Reconfiguring` /
+    /// `Recovering` until time advances past the stamp.
+    activity: HashMap<LogicalOpId, (PlanActivity, u64)>,
+    /// What initiates the plans currently being built (`AutoScale` inside
+    /// the control loop, `Manual` otherwise).
+    plan_trigger: PlanTrigger,
 }
 
 impl Runtime {
@@ -151,6 +168,10 @@ impl Runtime {
             last_report_ms: 0,
             auto_scale: false,
             rebalanced: std::collections::HashSet::new(),
+            journal: Arc::new(Journal::default()),
+            obs: Arc::new(ObsShared::default()),
+            activity: HashMap::new(),
+            plan_trigger: PlanTrigger::Manual,
             config,
         }
     }
@@ -379,6 +400,7 @@ impl Runtime {
                 break;
             }
         }
+        self.refresh_obs();
         total
     }
 
@@ -417,6 +439,9 @@ impl Runtime {
         }
         self.now_ms = now_ms;
         self.pool.tick(now_ms);
+        // Plans committed before this instant are no longer "in flight":
+        // the health derivation stops reporting Reconfiguring/Recovering.
+        self.activity.retain(|_, (_, at)| *at >= now_ms);
 
         // Window ticks.
         if now_ms.saturating_sub(self.last_tick_ms) >= self.config.tick_interval_ms {
@@ -473,6 +498,9 @@ impl Runtime {
                 });
             }
             if self.auto_scale {
+                // Plans built below are control-loop decisions: journal them
+                // with the AutoScale trigger.
+                self.plan_trigger = PlanTrigger::AutoScale;
                 let candidates: Vec<OperatorId> = {
                     let graph = self.graph();
                     graph
@@ -535,8 +563,10 @@ impl Runtime {
                         let _ = self.scale_in(target, victim);
                     }
                 }
+                self.plan_trigger = PlanTrigger::Manual;
             }
         }
+        self.refresh_obs();
         Ok(())
     }
 
@@ -728,6 +758,7 @@ impl Runtime {
             self.last_backed_up.remove(&op);
             self.placement.release(op);
         }
+        self.refresh_obs();
     }
 
     /// Aggregate I/O counters of every checkpoint store in the deployment
@@ -760,8 +791,28 @@ impl Runtime {
         target: OperatorId,
         pi: usize,
     ) -> Result<(ScaleOutOutcome, ReconfigTiming)> {
+        self.scale_out_inner(target, pi, JournalKind::ScaleOut)
+    }
+
+    /// The shared scale-out body, journalled as `kind` — `ScaleOut` for a
+    /// plain scale out, `Recovery` when [`recover`](Self::recover) re-deploys
+    /// a failed operator through the same plan.
+    fn scale_out_inner(
+        &mut self,
+        target: OperatorId,
+        pi: usize,
+        kind: JournalKind,
+    ) -> Result<(ScaleOutOutcome, ReconfigTiming)> {
+        let logical = self.graph().instance(target)?.logical;
+        let vacated = self.slot_bindings(&[target]);
         let plan = ReconfigPlan::scale_out(target, pi, self.config.split);
-        let outcome = self.execute_plan(&plan)?;
+        let outcome = match self.execute_plan(&plan) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.journal_rejected(kind, logical, vacated, &e);
+                return Err(e);
+            }
+        };
         // The topology changed: the control loop may rebalance again.
         self.rebalanced.remove(&outcome.logical);
         self.metrics.record_scale_out(ScaleOutRecord {
@@ -771,6 +822,7 @@ impl Runtime {
             duration_us: outcome.timing.total_us,
             timing: outcome.timing,
         });
+        self.journal_committed(kind, vacated, &outcome);
         Ok((
             ScaleOutOutcome {
                 new_operators: outcome.new_operators,
@@ -796,10 +848,19 @@ impl Runtime {
     /// (full disk, unreachable backup store) unpauses the partitions and
     /// rejects the request with the runtime exactly as it was.
     pub fn scale_in(&mut self, target: OperatorId, victim: OperatorId) -> Result<ScaleInOutcome> {
+        let logical = self.graph().instance(target)?.logical;
+        let vacated = self.slot_bindings(&[target, victim]);
         let plan = ReconfigPlan::scale_in(target, victim);
-        let outcome = self.execute_plan(&plan)?;
+        let outcome = match self.execute_plan(&plan) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.journal_rejected(JournalKind::ScaleIn, logical, vacated, &e);
+                return Err(e);
+            }
+        };
         // The topology changed: the control loop may rebalance again.
         self.rebalanced.remove(&outcome.logical);
+        self.journal_committed(JournalKind::ScaleIn, vacated, &outcome);
         self.metrics.record_scale_in(ScaleInRecord {
             logical: outcome.logical,
             new_parallelism: outcome.new_parallelism,
@@ -827,8 +888,16 @@ impl Runtime {
     /// experiments. The predicted post-split imbalance is reported in the
     /// plan's [`ReconfigTiming`].
     pub fn rebalance_operator(&mut self, logical: LogicalOpId) -> Result<RebalanceOutcome> {
+        let vacated = self.slot_bindings(&self.partitions_or_empty(logical));
         let plan = ReconfigPlan::rebalance(logical);
-        let outcome = self.execute_plan(&plan)?;
+        let outcome = match self.execute_plan(&plan) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.journal_rejected(JournalKind::Rebalance, logical, vacated, &e);
+                return Err(e);
+            }
+        };
+        self.journal_committed(JournalKind::Rebalance, vacated, &outcome);
         self.metrics.record_rebalance(RebalanceRecord {
             logical: outcome.logical,
             parallelism: outcome.new_parallelism,
@@ -884,10 +953,18 @@ impl Runtime {
             ));
         }
         let vms_before = self.vm_count();
+        let vacated = self.slot_bindings(&self.partitions_or_empty(logical));
         let plan = ReconfigPlan::consolidate(logical);
-        let outcome = self.execute_plan(&plan)?;
+        let outcome = match self.execute_plan(&plan) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.journal_rejected(JournalKind::Consolidate, logical, vacated, &e);
+                return Err(e);
+            }
+        };
         // The instance ids changed: the control loop may rebalance again.
         self.rebalanced.remove(&logical);
+        self.journal_committed(JournalKind::Consolidate, vacated, &outcome);
         self.metrics.record_consolidate(ConsolidateRecord {
             logical: outcome.logical,
             parallelism: outcome.new_parallelism,
@@ -921,8 +998,9 @@ impl Runtime {
         let strategy = self.config.strategy;
         let logical = self.graph().instance(failed)?.logical;
         // Recovery *is* a scale out of the failed operator — the same plan,
-        // the same executor (the paper's integrated mechanism).
-        let (outcome, timing) = self.scale_out_with_timing(failed, pi)?;
+        // the same executor (the paper's integrated mechanism). Journalled
+        // under its own kind so a replay distinguishes growth from repair.
+        let (outcome, timing) = self.scale_out_inner(failed, pi, JournalKind::Recovery)?;
         let mut replayed = outcome.replayed_tuples;
 
         if strategy == RecoveryStrategy::SourceReplay {
@@ -993,13 +1071,260 @@ impl Runtime {
 
 impl Runtime {
     /// VM pool hit/miss statistics (see §5.2).
-    pub fn pool_stats(&self) -> (u64, u64) {
+    pub fn pool_stats(&self) -> seep_cloud::PoolStats {
         self.pool.stats()
     }
 
     /// The placement layer: which VM slot hosts which partition.
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// The reconfiguration event journal.
+    pub fn journal(&self) -> Arc<Journal> {
+        self.journal.clone()
+    }
+
+    /// The snapshot cell the scrape endpoint reads from.
+    pub(crate) fn obs_shared(&self) -> Arc<ObsShared> {
+        self.obs.clone()
+    }
+
+    /// Re-publish the observability snapshot. Skipped while nothing holds
+    /// the other end (no scrape server running), so the hot path does not
+    /// pay for snapshots nobody reads.
+    pub(crate) fn refresh_obs(&self) {
+        if Arc::strong_count(&self.obs) > 1 {
+            self.obs.update(self.obs_snapshot());
+        }
+    }
+
+    /// Derive per-operator health from worker flags, queue depth against
+    /// [`crate::ScalingPolicy::backpressure_queue`], the latest utilisation
+    /// report and any plan committed at the current virtual instant.
+    /// Precedence: `Failed` > `Recovering`/`Reconfiguring` > `Backpressured`
+    /// > `Ok`.
+    pub fn health(&self) -> Vec<OperatorHealth> {
+        let watermark = self.config.scaling_policy.backpressure_queue;
+        self.workers
+            .iter()
+            .map(|(id, w)| {
+                let active = self
+                    .activity
+                    .get(&w.logical)
+                    .filter(|(_, at)| *at >= self.now_ms)
+                    .map(|(a, _)| a.state());
+                let state = if w.is_failed() {
+                    seep_core::HealthState::Failed
+                } else if let Some(busy) = active {
+                    busy
+                } else if w.queued() >= watermark {
+                    seep_core::HealthState::Backpressured
+                } else {
+                    seep_core::HealthState::Ok
+                };
+                OperatorHealth {
+                    operator: *id,
+                    logical: w.logical,
+                    name: w.name().to_string(),
+                    state,
+                    queued: w.queued(),
+                    utilization: self
+                        .monitor
+                        .latest(*id)
+                        .map(|r| r.utilization)
+                        .unwrap_or(0.0),
+                    processed: w.processed(),
+                    vm: self.placement.vm_of(*id).map(|vm| vm.0),
+                }
+            })
+            .collect()
+    }
+
+    /// Build a fresh observability snapshot from the runtime's current
+    /// state: metrics, latency histogram, health, placement occupancy and
+    /// the VM/billing counters.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let mut reconfig_phases = Vec::new();
+        let mut add = |kind: &'static str, timings: Vec<ReconfigTiming>| {
+            if timings.is_empty() {
+                return;
+            }
+            let mut totals = ReconfigPhaseTotals {
+                kind,
+                count: timings.len() as u64,
+                ..ReconfigPhaseTotals::default()
+            };
+            for t in timings {
+                totals.drain_us += t.drain_us;
+                totals.checkpoint_us += t.checkpoint_us;
+                totals.rewrite_us += t.rewrite_us;
+                totals.transform_us += t.transform_us;
+                totals.restore_us += t.restore_us;
+                totals.commit_us += t.commit_us;
+                totals.replay_us += t.replay_us;
+                totals.total_us += t.total_us;
+            }
+            reconfig_phases.push(totals);
+        };
+        add(
+            "scale_out",
+            self.metrics
+                .scale_outs()
+                .into_iter()
+                .map(|r| r.timing)
+                .collect(),
+        );
+        add(
+            "scale_in",
+            self.metrics
+                .scale_ins()
+                .into_iter()
+                .map(|r| r.timing)
+                .collect(),
+        );
+        add(
+            "rebalance",
+            self.metrics
+                .rebalances()
+                .into_iter()
+                .map(|r| r.timing)
+                .collect(),
+        );
+        add(
+            "consolidate",
+            self.metrics
+                .consolidates()
+                .into_iter()
+                .map(|r| r.timing)
+                .collect(),
+        );
+        let occupancy = self
+            .placement
+            .occupied_vms()
+            .into_iter()
+            .map(|vm| (vm.0, self.placement.occupancy(vm)))
+            .collect();
+        ObsSnapshot {
+            now_ms: self.now_ms,
+            metrics: self.metrics.snapshot(),
+            latency: self.metrics.latency_histogram(),
+            store_io: self.metrics.store_io_all(),
+            reconfig_phases,
+            health: self.health(),
+            occupancy,
+            slots_per_vm: self.placement.slots_per_vm(),
+            vms_running: self.provider.running_count(),
+            vms_provisioning: self.provider.provisioning_count(),
+            vm_seconds: self.provider.total_vm_hours(self.now_ms) * 3_600.0,
+            vm_cost: self.provider.total_cost(self.now_ms),
+            pool: self.pool.stats(),
+            pool_ready: self.pool.ready_count(),
+            pool_pending: self.pool.pending_count(),
+            pool_target: self.pool.target_size(),
+            journal_events: self.journal.total(),
+        }
+    }
+
+    /// The current slot bindings of `ops` (VM `None` for unplaced
+    /// instances, e.g. a failed operator whose slot was already released).
+    fn slot_bindings(&self, ops: &[OperatorId]) -> Vec<SlotBinding> {
+        ops.iter()
+            .map(|op| SlotBinding {
+                operator: op.raw(),
+                vm: self.placement.vm_of(*op).map(|vm| vm.0),
+            })
+            .collect()
+    }
+
+    /// Partitions of `logical`, or empty when the graph does not know it
+    /// (the plan executor will reject the plan with a proper error).
+    fn partitions_or_empty(&self, logical: LogicalOpId) -> Vec<OperatorId> {
+        self.graph
+            .as_ref()
+            .map(|g| g.partitions(logical).to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Name of a logical operator, for journal events.
+    fn logical_name(&self, logical: LogicalOpId) -> String {
+        self.graph
+            .as_ref()
+            .and_then(|g| g.query().operator(logical).ok())
+            .map(|o| o.name.clone())
+            .unwrap_or_else(|| format!("{logical}"))
+    }
+
+    /// Journal a committed plan: placement delta from the pre-plan slot
+    /// bindings to the new operators' slots, VM churn, per-phase timing —
+    /// and mark the logical operator busy for the health derivation.
+    fn journal_committed(
+        &mut self,
+        kind: JournalKind,
+        vacated: Vec<SlotBinding>,
+        outcome: &crate::reconfig::ReconfigOutcome,
+    ) {
+        let placed = self.slot_bindings(&outcome.new_operators);
+        let vacated_vms: std::collections::HashSet<u64> =
+            vacated.iter().filter_map(|s| s.vm).collect();
+        let mut acquired_vms: Vec<u64> = placed
+            .iter()
+            .filter_map(|s| s.vm)
+            .filter(|vm| !vacated_vms.contains(vm))
+            .collect();
+        acquired_vms.sort_unstable();
+        acquired_vms.dedup();
+        let activity = match kind {
+            JournalKind::Recovery => PlanActivity::Recovering,
+            _ => PlanActivity::Reconfiguring,
+        };
+        self.activity
+            .insert(outcome.logical, (activity, self.now_ms));
+        self.journal.append(JournalEvent {
+            seq: 0,
+            at_ms: self.now_ms,
+            kind,
+            trigger: self.plan_trigger,
+            logical: outcome.logical.0,
+            operator: self.logical_name(outcome.logical),
+            new_parallelism: outcome.new_parallelism,
+            replayed_tuples: outcome.replayed_tuples,
+            timing: outcome.timing,
+            vacated,
+            placed,
+            released_vms: outcome.released_vms.iter().map(|vm| vm.0).collect(),
+            acquired_vms,
+            outcome: "ok".into(),
+        });
+        self.refresh_obs();
+    }
+
+    /// Journal a plan the executor rejected (fail-before-rewrite: the
+    /// runtime is exactly as it was, so the event carries no delta).
+    fn journal_rejected(
+        &mut self,
+        kind: JournalKind,
+        logical: LogicalOpId,
+        vacated: Vec<SlotBinding>,
+        err: &Error,
+    ) {
+        self.journal.append(JournalEvent {
+            seq: 0,
+            at_ms: self.now_ms,
+            kind,
+            trigger: self.plan_trigger,
+            logical: logical.0,
+            operator: self.logical_name(logical),
+            new_parallelism: 0,
+            replayed_tuples: 0,
+            timing: ReconfigTiming::default(),
+            vacated,
+            placed: Vec::new(),
+            released_vms: Vec::new(),
+            acquired_vms: Vec::new(),
+            outcome: format!("rejected: {err}"),
+        });
+        self.refresh_obs();
     }
 }
 
@@ -1119,9 +1444,9 @@ mod tests {
         let h = word_count_harness(RuntimeConfig::default());
         // One VM per operator instance plus the pre-allocated pool VMs.
         assert!(h.runtime.vm_count() >= 4);
-        let (hits, misses) = h.runtime.pool_stats();
-        assert_eq!(hits, 4);
-        assert_eq!(misses, 0);
+        let stats = h.runtime.pool_stats();
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.misses, 0);
         assert_eq!(h.runtime.parallelism(h.count), 1);
         assert_eq!(h.runtime.execution_graph().total_instances(), 4);
     }
@@ -1728,5 +2053,244 @@ mod tests {
         assert!(h.runtime.metrics().latency_samples() > 0);
         let snapshot = h.runtime.metrics().snapshot();
         assert!(snapshot.latency_p95_ms >= 0.0);
+    }
+
+    fn health_of(h: &Harness, instance: OperatorId) -> seep_core::HealthState {
+        h.runtime
+            .health()
+            .into_iter()
+            .find(|o| o.operator == instance)
+            .map(|o| o.state)
+            .expect("instance reported")
+    }
+
+    #[test]
+    fn health_reports_failed_recovering_then_ok() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        inject_sentence(&mut h, "health check words");
+        h.runtime.drain();
+        h.runtime.advance_to(5_000);
+        for o in h.runtime.health() {
+            assert_eq!(o.state, seep_core::HealthState::Ok, "{} healthy", o.name);
+        }
+
+        let failed = counter_instance(&h);
+        h.runtime.fail_operator(failed);
+        assert_eq!(health_of(&h, failed), seep_core::HealthState::Failed);
+
+        h.runtime.recover(failed, 1).unwrap();
+        let recovered = counter_instance(&h);
+        assert_ne!(recovered, failed);
+        assert_eq!(
+            health_of(&h, recovered),
+            seep_core::HealthState::Recovering,
+            "recovery plan committed at the current instant"
+        );
+        // Time moves on: the plan is history, the operator is healthy again.
+        h.runtime.advance_to(6_000);
+        assert_eq!(health_of(&h, recovered), seep_core::HealthState::Ok);
+    }
+
+    #[test]
+    fn health_reports_reconfiguring_during_a_plan_instant() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        inject_sentence(&mut h, "reconfig health words");
+        h.runtime.drain();
+        h.runtime.advance_to(5_000);
+        let target = counter_instance(&h);
+        h.runtime.scale_out(target, 2).unwrap();
+        for id in h.runtime.partitions(h.count) {
+            assert_eq!(health_of(&h, id), seep_core::HealthState::Reconfiguring);
+        }
+        // Sibling logical operators are unaffected.
+        let splitter = h.runtime.partitions(h.split)[0];
+        assert_eq!(health_of(&h, splitter), seep_core::HealthState::Ok);
+        h.runtime.advance_to(10_000);
+        for id in h.runtime.partitions(h.count) {
+            assert_eq!(health_of(&h, id), seep_core::HealthState::Ok);
+        }
+    }
+
+    #[test]
+    fn health_reports_backpressure_from_queue_depth() {
+        let config = RuntimeConfig {
+            scaling_policy: crate::ScalingPolicy::default().with_backpressure_queue(1),
+            ..RuntimeConfig::default()
+        };
+        let mut h = word_count_harness(config);
+        // Inject without draining: the splitter's inbound queue holds the
+        // tuple, at or above the (tiny) watermark.
+        inject_sentence(&mut h, "queued");
+        let splitter = h.runtime.partitions(h.split)[0];
+        assert_eq!(
+            health_of(&h, splitter),
+            seep_core::HealthState::Backpressured
+        );
+        h.runtime.drain();
+        assert_eq!(health_of(&h, splitter), seep_core::HealthState::Ok);
+    }
+
+    #[test]
+    fn journal_records_scale_out_rebalance_and_consolidate() {
+        let config = RuntimeConfig {
+            pool: seep_cloud::VmPoolConfig::default().with_slots_per_vm(2),
+            ..RuntimeConfig::default()
+        };
+        let mut h = word_count_harness(config);
+        let journal = h.runtime.journal();
+        for sentence in ["journal alpha beta", "journal beta", "journal gamma delta"] {
+            inject_sentence(&mut h, sentence);
+        }
+        h.runtime.drain();
+        h.runtime.advance_to(5_000);
+
+        let target = counter_instance(&h);
+        h.runtime.scale_out(target, 4).unwrap();
+        h.runtime.drain();
+        h.runtime.advance_to(10_000);
+        h.runtime.rebalance_operator(h.count).unwrap();
+        h.runtime.drain();
+        h.runtime.advance_to(15_000);
+        h.runtime.consolidate(h.count).unwrap();
+        h.runtime.drain();
+
+        let events = journal.events();
+        assert_eq!(events.len(), 3);
+        let kinds: Vec<JournalKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                JournalKind::ScaleOut,
+                JournalKind::Rebalance,
+                JournalKind::Consolidate
+            ]
+        );
+        for e in &events {
+            assert!(e.committed(), "{}: {}", e.kind.label(), e.outcome);
+            assert_eq!(e.trigger, PlanTrigger::Manual);
+            assert_eq!(e.operator, "word_counter");
+            assert_eq!(e.logical, h.count.0);
+            assert!(!e.vacated.is_empty());
+            assert!(!e.placed.is_empty());
+            assert!(e.timing.total_us > 0, "phases timed");
+        }
+        let scale_out = &events[0];
+        assert_eq!(scale_out.at_ms, 5_000);
+        assert_eq!(scale_out.new_parallelism, 4);
+        assert!(
+            !scale_out.acquired_vms.is_empty(),
+            "scale out draws fresh VMs"
+        );
+        let rebalance = &events[1];
+        assert_eq!(rebalance.new_parallelism, 4);
+        assert!(
+            rebalance.released_vms.is_empty() && rebalance.acquired_vms.is_empty(),
+            "a rebalance reuses every VM"
+        );
+        let consolidate = &events[2];
+        assert!(
+            !consolidate.released_vms.is_empty(),
+            "consolidation empties VMs"
+        );
+        assert_eq!(journal.total(), 3);
+
+        let text = Journal::render(&events);
+        for needle in ["scale_out", "rebalance", "consolidate", "word_counter"] {
+            assert!(text.contains(needle), "replay lists {needle}: {text}");
+        }
+    }
+
+    #[test]
+    fn journal_records_recovery_and_rejected_plans() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        inject_sentence(&mut h, "crash and learn");
+        h.runtime.drain();
+        h.runtime.advance_to(5_000);
+        let failed = counter_instance(&h);
+        h.runtime.fail_operator(failed);
+        h.runtime.recover(failed, 2).unwrap();
+
+        // A doomed plan: partitions of different logical operators cannot
+        // merge. The executor rejects it and the journal says so.
+        let counter = counter_instance(&h);
+        let splitter = h.runtime.partitions(h.split)[0];
+        assert!(h.runtime.scale_in(counter, splitter).is_err());
+
+        let events = h.runtime.journal().events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, JournalKind::Recovery);
+        assert!(events[0].committed());
+        assert_eq!(events[0].new_parallelism, 2);
+        assert!(
+            events[0].vacated[0].vm.is_none(),
+            "the failed instance had already lost its slot"
+        );
+        assert_eq!(events[1].kind, JournalKind::ScaleIn);
+        assert!(!events[1].committed());
+        assert!(
+            events[1].outcome.starts_with("rejected:"),
+            "{}",
+            events[1].outcome
+        );
+    }
+
+    #[test]
+    fn auto_scale_plans_are_journalled_with_the_autoscale_trigger() {
+        let mut policy = crate::ScalingPolicy::default().with_scale_in(0.2);
+        policy.scale_in_reports = 2;
+        let config = RuntimeConfig {
+            scaling_policy: policy,
+            ..RuntimeConfig::default()
+        };
+        let mut h = word_count_harness(config);
+        h.runtime.set_auto_scale(true);
+        inject_sentence(&mut h, "idle after this");
+        h.runtime.drain();
+        let target = counter_instance(&h);
+        h.runtime.scale_out(target, 2).unwrap();
+        h.runtime.drain();
+        // Idle reports trip the scale-in path of the control loop.
+        for step in 1..=4u64 {
+            h.runtime.advance_to(step * 5_000);
+        }
+        assert_eq!(h.runtime.parallelism(h.count), 1);
+        let events = h.runtime.journal().events();
+        let merge = events
+            .iter()
+            .find(|e| e.kind == JournalKind::ScaleIn)
+            .expect("control-loop merge journalled");
+        assert_eq!(merge.trigger, PlanTrigger::AutoScale);
+        // The manual scale out that preceded it stays Manual.
+        assert_eq!(events[0].kind, JournalKind::ScaleOut);
+        assert_eq!(events[0].trigger, PlanTrigger::Manual);
+    }
+
+    #[test]
+    fn obs_snapshot_reflects_runtime_state() {
+        let mut h = word_count_harness(RuntimeConfig::default());
+        inject_sentence(&mut h, "snapshot words here");
+        h.runtime.drain();
+        h.runtime.advance_to(30_000);
+        h.runtime.drain();
+        let target = counter_instance(&h);
+        h.runtime.scale_out(target, 2).unwrap();
+
+        let snap = h.runtime.obs_snapshot();
+        assert_eq!(snap.now_ms, 30_000);
+        assert_eq!(snap.health.len(), h.runtime.workers.len());
+        assert!(snap.latency.count > 0, "sink latencies flowed in");
+        assert!(!snap.occupancy.is_empty());
+        assert_eq!(snap.vms_running, h.runtime.vm_count());
+        assert_eq!(snap.journal_events, 1);
+        assert_eq!(
+            snap.reconfig_phases.len(),
+            1,
+            "only scale_out timings so far"
+        );
+        assert_eq!(snap.reconfig_phases[0].kind, "scale_out");
+        assert_eq!(snap.reconfig_phases[0].count, 1);
+        // The exposition of a live snapshot passes the scrape-side parser.
+        let text = crate::obs::render_prometheus(&snap);
+        crate::obs::validate_exposition(&text).expect("live exposition valid");
     }
 }
