@@ -23,6 +23,7 @@ fn main() {
                 format!("{:.1}", r.write_us as f64 / 1_000.0),
                 r.restore_bytes.to_string(),
                 format!("{:.3}", r.mean_checkpoint_ms),
+                r.syncs.to_string(),
             ]
         })
         .collect();
@@ -39,6 +40,7 @@ fn main() {
             "write_ms_total",
             "restore_bytes",
             "mean_ckpt_ms",
+            "syncs",
         ],
         &table,
     );
@@ -46,6 +48,8 @@ fn main() {
         "\nmem keeps backups in VM memory (lost on VM failure of the backup host); \
          file pays disk writes per checkpoint but recovery survives process loss; \
          file+inc ships deltas, cutting write bytes for slowly-changing state; \
+         file+syncN trades the per-record fsync cost against at most N-1 records \
+         lost to an OS crash (the crash scan truncates the unsynced tail); \
          tiered serves restores from memory while staying durable on disk"
     );
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,62 @@
+//! Open-loop saturation benchmark of the data plane: the word-frequency
+//! query driven as fast as the pipeline absorbs tuples, once per batch size
+//! (per-tuple seed behaviour at batch=1 up to batch=256), reporting
+//! tuples/sec/core and the batched-vs-per-tuple speedup. Writes
+//! `BENCH_throughput.json` with the headline for CI and the paper artifacts.
+
+use seep_bench::print_table;
+use seep_bench::throughput::saturation;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (fragments, chunk) = if smoke {
+        (20_000, 1_000)
+    } else {
+        (200_000, 1_000)
+    };
+    let report = saturation(fragments, chunk, smoke);
+
+    let table: Vec<Vec<String>> = report
+        .sweep
+        .iter()
+        .map(|arm| {
+            vec![
+                arm.label.clone(),
+                arm.fragments.to_string(),
+                arm.tuples_processed.to_string(),
+                format!("{:.1}", arm.elapsed_ms),
+                format!("{:.0}", arm.tuples_per_sec),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Open-loop saturation — word-frequency query, {fragments} fragments per arm, \
+             chunked drains of {chunk}"
+        ),
+        &[
+            "arm",
+            "fragments",
+            "tuples_processed",
+            "elapsed_ms",
+            "tuples_per_sec",
+        ],
+        &table,
+    );
+    println!(
+        "\nheadline: {:.0} tuples/sec/core (batched, {} core); batched vs per-tuple: {:.2}x",
+        report.headline_tuples_per_sec_per_core, report.cores, report.speedup_batched_vs_per_tuple
+    );
+    if report.speedup_batched_vs_per_tuple < 2.0 {
+        eprintln!(
+            "warning: batched arm below the 2x target ({:.2}x)",
+            report.speedup_batched_vs_per_tuple
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    match std::fs::write("BENCH_throughput.json", json) {
+        Ok(()) => println!("\nwrote BENCH_throughput.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_throughput.json: {e}"),
+    }
+}

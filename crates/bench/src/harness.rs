@@ -102,6 +102,39 @@ impl WordCountHarness {
         self.injected
     }
 
+    /// Open-loop injection: feed `fragments` sentence fragments as fast as
+    /// the pipeline absorbs them — inject a chunk, drain, repeat — without
+    /// advancing virtual time, so no window closes or checkpoints run and
+    /// the measured cost is the data plane alone (the saturation mode of the
+    /// throughput benchmark).
+    pub fn pump(&mut self, fragments: u64, chunk: u64) {
+        let chunk = chunk.max(1);
+        let mut remaining = fragments;
+        while remaining > 0 {
+            let due = remaining.min(chunk);
+            for _ in 0..due {
+                let fragment = self.generator.next_fragment();
+                let payload = bincode::serialize(&fragment).expect("fragment serialises");
+                self.handle
+                    .inject(self.source, Key::from_str_key(&fragment), payload);
+                self.injected += 1;
+            }
+            self.handle.drain();
+            remaining -= due;
+        }
+    }
+
+    /// Tuples processed across every operator of the query (source, splitter,
+    /// counter, sink partitions) — the total data-plane work performed.
+    pub fn total_processed(&self) -> u64 {
+        let metrics = self.handle.metrics();
+        [self.source, self.splitter, self.counter, self.sink]
+            .iter()
+            .flat_map(|logical| self.handle.partitions(*logical))
+            .map(|id| metrics.processed_by(id))
+            .sum()
+    }
+
     /// Fail the word counter's VM and recover it with parallelism `pi`,
     /// returning the measured recovery time in milliseconds.
     pub fn fail_and_recover(&mut self, pi: usize) -> f64 {

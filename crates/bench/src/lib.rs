@@ -21,6 +21,7 @@
 //! | Elasticity on the threaded runtime — wall-clock plan cost | [`runtime_experiments::runtime_elasticity`] |
 //! | Skew — even vs distribution split vs rebalance, LRB hot band | [`runtime_experiments::skew_experiment`] |
 //! | Skew at cluster scale — scale-out-only vs rebalance policy | [`sim_experiments::skew_rebalance_sim`] |
+//! | Saturation — open-loop batched vs per-tuple data plane | [`throughput::saturation`] |
 //!
 //! Every figure bin accepts `--smoke` (where applicable) so CI can drive the
 //! experiment code end-to-end at tiny iteration counts.
@@ -28,6 +29,7 @@
 pub mod harness;
 pub mod runtime_experiments;
 pub mod sim_experiments;
+pub mod throughput;
 
 /// Print a table of rows (each a vector of cells) with a header, in the
 /// simple aligned format used by all figure binaries.

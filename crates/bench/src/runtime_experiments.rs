@@ -295,6 +295,9 @@ pub struct BackendMeasurement {
     pub restore_bytes: u64,
     /// Mean checkpoint duration (ms), including the backup write.
     pub mean_checkpoint_ms: f64,
+    /// `sync_data` calls the backend issued (0 unless `fsync` was on; sync
+    /// coalescing shrinks this without changing `write_bytes`).
+    pub syncs: u64,
 }
 
 fn measure_backend(
@@ -303,7 +306,13 @@ fn measure_backend(
     warmup_s: u64,
 ) -> BackendMeasurement {
     let incremental = store.incremental;
-    let label = format!("{}{}", store.label(), if incremental { "+inc" } else { "" });
+    let mut label = store.label().to_string();
+    if incremental {
+        label.push_str("+inc");
+    }
+    if store.fsync {
+        label.push_str(&format!("+sync{}", store.sync_every_n_frames.max(1)));
+    }
     let backend_label = store.label();
     let mut config = RuntimeConfig::default().with_store(store);
     config.checkpoint_interval_ms = 2_000;
@@ -343,12 +352,14 @@ fn measure_backend(
         write_us: io.write_us,
         restore_bytes: io.restore_bytes,
         mean_checkpoint_ms,
+        syncs: harness.handle.store_stats().syncs,
     }
 }
 
 /// Compare recovery and checkpoint I/O of the three checkpoint-store
-/// backends (plus the file backend with incremental backups) on the same
-/// word-count failure scenario. `dir` roots the on-disk backends' logs.
+/// backends (plus the file backend with incremental backups, and with
+/// per-record vs coalesced fsync) on the same word-count failure scenario.
+/// `dir` roots the on-disk backends' logs.
 pub fn recovery_by_backend(
     rate: u64,
     warmup_s: u64,
@@ -361,6 +372,16 @@ pub fn recovery_by_backend(
         measure_backend(StoreConfig::file(dir.join("file")), rate, warmup_s),
         measure_backend(
             StoreConfig::file(dir.join("file-inc")).with_incremental(true),
+            rate,
+            warmup_s,
+        ),
+        measure_backend(
+            StoreConfig::file(dir.join("file-sync1")).with_fsync_every(1),
+            rate,
+            warmup_s,
+        ),
+        measure_backend(
+            StoreConfig::file(dir.join("file-sync8")).with_fsync_every(8),
             rate,
             warmup_s,
         ),
@@ -849,9 +870,19 @@ mod tests {
     fn backend_comparison_covers_all_backends_and_writes_bytes() {
         let dir = std::env::temp_dir().join(format!("seep-bench-backends-{}", std::process::id()));
         let rows = recovery_by_backend(40, 5, &dir);
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 6);
         let labels: Vec<&str> = rows.iter().map(|r| r.backend.as_str()).collect();
-        assert_eq!(labels, vec!["mem", "file", "file+inc", "tiered"]);
+        assert_eq!(
+            labels,
+            vec![
+                "mem",
+                "file",
+                "file+inc",
+                "file+sync1",
+                "file+sync8",
+                "tiered"
+            ]
+        );
         // Every backend recovered (asserted inside measure_backend) and every
         // backend actually wrote checkpoint bytes.
         assert!(rows.iter().all(|r| r.write_bytes > 0), "{rows:?}");
@@ -864,6 +895,18 @@ mod tests {
             inc.write_bytes,
             file.write_bytes
         );
+        // Coalescing fsync every 8 frames issues strictly fewer syncs than
+        // syncing every record, while the unsynced arms issue none.
+        let sync1 = rows.iter().find(|r| r.backend == "file+sync1").unwrap();
+        let sync8 = rows.iter().find(|r| r.backend == "file+sync8").unwrap();
+        assert!(sync1.syncs > 0, "per-record fsync must sync");
+        assert!(
+            sync8.syncs < sync1.syncs,
+            "coalesced {} vs per-record {}",
+            sync8.syncs,
+            sync1.syncs
+        );
+        assert_eq!(file.syncs, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

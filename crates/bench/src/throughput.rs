@@ -1,0 +1,134 @@
+//! Open-loop saturation measurement of the data plane: the word-frequency
+//! query driven as fast as the pipeline absorbs tuples (no virtual-time
+//! pacing, no checkpoints or window ticks in the timed window), once per
+//! batch size. The headline is tuples processed per second per core; the
+//! runtime is single-threaded, so per-core and absolute throughput coincide
+//! and the batched-vs-per-tuple comparison isolates exactly the per-hop
+//! costs batching amortises (envelope serialisation, channel sends, dedup
+//! and clock updates).
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use seep_runtime::RuntimeConfig;
+
+use crate::harness::WordCountHarness;
+
+/// One measured arm: the query run to saturation at a fixed batch size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputArm {
+    /// Arm label ("batch=N").
+    pub label: String,
+    /// Per-edge batch size the runtime was configured with.
+    pub batch_size: usize,
+    /// Sentence fragments injected in the timed window.
+    pub fragments: u64,
+    /// Tuples processed across all operators in the timed window (fragments
+    /// through source and splitter plus the words they produced through the
+    /// counter).
+    pub tuples_processed: u64,
+    /// Wall-clock duration of the timed window (ms).
+    pub elapsed_ms: f64,
+    /// Tuples processed per second of wall-clock time.
+    pub tuples_per_sec: f64,
+}
+
+/// The full saturation report written to `BENCH_throughput.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Headline: tuples/sec/core of the batched arm (single-threaded
+    /// runtime, so cores = 1 and this equals the arm's absolute throughput).
+    pub headline_tuples_per_sec_per_core: f64,
+    /// Cores the data plane used (the controller runtime is
+    /// single-threaded).
+    pub cores: usize,
+    /// Batched arm throughput over per-tuple arm throughput.
+    pub speedup_batched_vs_per_tuple: f64,
+    /// The batch=1 arm (the seed's per-tuple data plane).
+    pub per_tuple: ThroughputArm,
+    /// The batch=64 arm (the batched data plane at its default size).
+    pub batched: ThroughputArm,
+    /// Every measured batch size, smallest first.
+    pub sweep: Vec<ThroughputArm>,
+    /// Whether this was a `--smoke` run (tiny tuple counts, CI only).
+    pub smoke: bool,
+}
+
+/// Batch sizes the sweep measures; 1 and 64 double as the per-tuple and
+/// batched comparison arms.
+pub const SWEEP_BATCH_SIZES: [usize; 4] = [1, 8, 64, 256];
+
+fn measure_arm(batch_size: usize, fragments: u64, chunk: u64) -> ThroughputArm {
+    let config = RuntimeConfig::default().with_batch_size(batch_size);
+    let mut harness = WordCountHarness::deploy(config, 1_000, 0);
+    // One untimed chunk warms the dictionaries and allocator.
+    harness.pump(chunk, chunk);
+    let processed_before = harness.total_processed();
+    let injected_before = harness.injected();
+    let started = Instant::now();
+    harness.pump(fragments, chunk);
+    let elapsed = started.elapsed();
+    let tuples_processed = harness.total_processed() - processed_before;
+    let elapsed_ms = elapsed.as_secs_f64() * 1_000.0;
+    ThroughputArm {
+        label: format!("batch={batch_size}"),
+        batch_size,
+        fragments: harness.injected() - injected_before,
+        tuples_processed,
+        elapsed_ms,
+        tuples_per_sec: tuples_processed as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Run the saturation sweep: `fragments` sentence fragments per arm, fed in
+/// chunks of `chunk` fragments per drain.
+pub fn saturation(fragments: u64, chunk: u64, smoke: bool) -> ThroughputReport {
+    let sweep: Vec<ThroughputArm> = SWEEP_BATCH_SIZES
+        .iter()
+        .map(|&b| measure_arm(b, fragments, chunk))
+        .collect();
+    let per_tuple = sweep
+        .iter()
+        .find(|a| a.batch_size == 1)
+        .expect("sweep includes batch=1")
+        .clone();
+    let batched = sweep
+        .iter()
+        .find(|a| a.batch_size == 64)
+        .expect("sweep includes batch=64")
+        .clone();
+    ThroughputReport {
+        headline_tuples_per_sec_per_core: batched.tuples_per_sec,
+        cores: 1,
+        speedup_batched_vs_per_tuple: batched.tuples_per_sec / per_tuple.tuples_per_sec.max(1e-9),
+        per_tuple,
+        batched,
+        sweep,
+        smoke,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_measures_every_sweep_arm() {
+        let report = saturation(2_000, 500, true);
+        assert_eq!(report.sweep.len(), SWEEP_BATCH_SIZES.len());
+        for arm in &report.sweep {
+            assert_eq!(arm.fragments, 2_000, "{}", arm.label);
+            assert!(arm.tuples_processed > arm.fragments, "{}", arm.label);
+            assert!(arm.tuples_per_sec > 0.0, "{}", arm.label);
+        }
+        assert_eq!(report.per_tuple.batch_size, 1);
+        assert_eq!(report.batched.batch_size, 64);
+        assert_eq!(
+            report.headline_tuples_per_sec_per_core,
+            report.batched.tuples_per_sec
+        );
+        assert!(report.speedup_batched_vs_per_tuple > 0.0);
+        assert_eq!(report.cores, 1);
+    }
+}

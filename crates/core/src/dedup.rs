@@ -12,6 +12,19 @@ use serde::{Deserialize, Serialize};
 
 use crate::tuple::{StreamId, Timestamp, TimestampVec, Tuple};
 
+/// Verdict of a whole-batch duplicate probe ([`DuplicateFilter::accept_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchAdmission {
+    /// Every tuple in the batch is new; the watermark already advanced past
+    /// the batch's last timestamp.
+    All,
+    /// Every tuple in the batch is a replayed duplicate; drop it whole.
+    None,
+    /// Mixed (the replay boundary falls inside the batch, or the batch is not
+    /// monotonic): fall back to per-tuple [`DuplicateFilter::accept`] calls.
+    Partial,
+}
+
 /// Per-input-stream duplicate filter.
 ///
 /// `accept` returns `true` exactly once for each timestamp of a stream, in
@@ -44,6 +57,38 @@ impl DuplicateFilter {
         } else {
             self.seen.advance(stream, tuple.ts);
             true
+        }
+    }
+
+    /// Probe a whole batch against the watermark with one comparison pair
+    /// instead of a map lookup per tuple.
+    ///
+    /// Batches carry strictly increasing timestamps (the producer assigns
+    /// them from one contiguous clock block), so in the steady state the
+    /// first timestamp being fresh proves the whole batch is ([`All`]), and a
+    /// fully replayed batch is rejected by its last timestamp ([`None`]).
+    /// Only a batch straddling the replay boundary — or a defensive
+    /// non-monotonic one — pays the per-tuple path ([`Partial`]).
+    ///
+    /// [`All`]: BatchAdmission::All
+    /// [`None`]: BatchAdmission::None
+    /// [`Partial`]: BatchAdmission::Partial
+    pub fn accept_batch(&mut self, stream: StreamId, tuples: &[Tuple]) -> BatchAdmission {
+        let (Some(first), Some(last)) = (tuples.first(), tuples.last()) else {
+            return BatchAdmission::None;
+        };
+        let monotonic = tuples.windows(2).all(|w| w[0].ts < w[1].ts);
+        if !monotonic {
+            return BatchAdmission::Partial;
+        }
+        let watermark = self.seen.get(stream).unwrap_or(0);
+        if first.ts > watermark {
+            self.seen.advance(stream, last.ts);
+            BatchAdmission::All
+        } else if last.ts <= watermark {
+            BatchAdmission::None
+        } else {
+            BatchAdmission::Partial
         }
     }
 
@@ -87,6 +132,52 @@ mod tests {
         assert!(f.accept(StreamId(1), &t(5)));
         assert!(!f.accept(StreamId(0), &t(5)));
         assert_eq!(f.watermark(StreamId(2)), 0);
+    }
+
+    #[test]
+    fn batch_admission_fast_paths_and_straddle() {
+        let mut f = DuplicateFilter::new();
+        let s = StreamId(0);
+        assert_eq!(f.accept_batch(s, &[]), BatchAdmission::None);
+        // Fresh monotonic batch: admitted whole, watermark jumps to the end.
+        let fresh = vec![t(1), t(2), t(3)];
+        assert_eq!(f.accept_batch(s, &fresh), BatchAdmission::All);
+        assert_eq!(f.watermark(s), 3);
+        // Full replay of the same batch: rejected whole.
+        assert_eq!(f.accept_batch(s, &fresh), BatchAdmission::None);
+        // Straddling the replay boundary: per-tuple fallback, watermark
+        // untouched by the probe itself.
+        let straddle = vec![t(3), t(4)];
+        assert_eq!(f.accept_batch(s, &straddle), BatchAdmission::Partial);
+        assert_eq!(f.watermark(s), 3);
+        assert!(!f.accept(s, &t(3)));
+        assert!(f.accept(s, &t(4)));
+        // A non-monotonic batch never takes a fast path.
+        let shuffled = vec![t(6), t(5)];
+        assert_eq!(f.accept_batch(s, &shuffled), BatchAdmission::Partial);
+    }
+
+    #[test]
+    fn batch_admission_matches_per_tuple_filter() {
+        // Whatever mix of fresh/replayed runs arrive, resolving admissions
+        // per the fast-path verdicts must accept exactly the tuples a pure
+        // per-tuple filter would.
+        let runs: Vec<Vec<Timestamp>> =
+            vec![vec![1, 2, 3], vec![2, 3], vec![4, 5], vec![1, 2], vec![6]];
+        let s = StreamId(7);
+        let mut per_tuple = DuplicateFilter::new();
+        let mut batched = DuplicateFilter::new();
+        for run in &runs {
+            let tuples: Vec<Tuple> = run.iter().map(|&ts| t(ts)).collect();
+            let reference: Vec<bool> = tuples.iter().map(|x| per_tuple.accept(s, x)).collect();
+            let resolved: Vec<bool> = match batched.accept_batch(s, &tuples) {
+                BatchAdmission::All => vec![true; tuples.len()],
+                BatchAdmission::None => vec![false; tuples.len()],
+                BatchAdmission::Partial => tuples.iter().map(|x| batched.accept(s, x)).collect(),
+            };
+            assert_eq!(resolved, reference, "run {run:?}");
+        }
+        assert_eq!(per_tuple.watermarks(), batched.watermarks());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod backup;
+pub mod batch;
 pub mod checkpoint;
 pub mod clock;
 pub mod dedup;
@@ -51,9 +52,10 @@ pub mod traffic;
 pub mod tuple;
 
 pub use backup::select_backup_operator;
+pub use batch::{BatchOutput, TupleBatch};
 pub use checkpoint::{Checkpoint, CheckpointMeta, IncrementalCheckpoint};
 pub use clock::LogicalClock;
-pub use dedup::DuplicateFilter;
+pub use dedup::{BatchAdmission, DuplicateFilter};
 pub use error::{Error, Result};
 pub use graph::{ExecutionGraph, LogicalOpId, OperatorKind, QueryGraph, QueryGraphBuilder};
 pub use key::{sample_imbalance, KeyRange, KeySplit};

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::BatchOutput;
 use crate::state::ProcessingState;
 use crate::tuple::{Key, StreamId, Timestamp, Tuple};
 
@@ -97,6 +98,23 @@ pub trait StatefulOperator: Send {
     /// Process one input tuple arriving on `stream`, appending outputs to `out`.
     fn process(&mut self, stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>);
 
+    /// Process a run of consecutive input tuples from `stream`, attributing
+    /// each output to the index of the input that produced it.
+    ///
+    /// The default loops [`process`](Self::process) over the batch, so every
+    /// operator is batch-capable with per-tuple semantics. Hot operators
+    /// override this with a hand-rolled loop that skips the per-tuple scratch
+    /// allocation and dispatch bookkeeping; overrides must produce exactly
+    /// the outputs the default would (the `batch_equivalence` suite holds
+    /// them to it).
+    fn process_batch(&mut self, stream: StreamId, tuples: &[Tuple], out: &mut BatchOutput) {
+        let mut scratch = Vec::new();
+        for (index, tuple) in tuples.iter().enumerate() {
+            self.process(stream, tuple, &mut scratch);
+            out.absorb(index, &mut scratch);
+        }
+    }
+
     /// Take a consistent copy of the processing state as key/value pairs.
     fn get_processing_state(&self) -> ProcessingState;
 
@@ -171,6 +189,12 @@ where
 impl StatefulOperator for Box<dyn StatefulOperator> {
     fn process(&mut self, stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>) {
         (**self).process(stream, tuple, out)
+    }
+
+    // Forwarding matters: without it, a boxed operator would fall back to the
+    // trait default and silently bypass the inner operator's batch override.
+    fn process_batch(&mut self, stream: StreamId, tuples: &[Tuple], out: &mut BatchOutput) {
+        (**self).process_batch(stream, tuples, out)
     }
 
     fn get_processing_state(&self) -> ProcessingState {
@@ -400,6 +424,55 @@ mod tests {
         let shared: Arc<dyn OperatorFactory> = from_closure.clone();
         let same = shared.into_factory();
         assert!(Arc::ptr_eq(&from_closure, &same));
+    }
+
+    #[test]
+    fn default_process_batch_loops_process_with_attribution() {
+        let mut op = StatelessFn::new("dup", |_s, t: &Tuple, out: &mut Vec<OutputTuple>| {
+            out.push(OutputTuple::new(t.key, t.payload.clone()));
+            out.push(OutputTuple::new(t.key, t.payload.clone()));
+        });
+        let tuples = vec![
+            Tuple::new(1, Key(1), vec![1]),
+            Tuple::new(2, Key(2), vec![2]),
+        ];
+        let mut out = BatchOutput::new();
+        op.process_batch(StreamId(0), &tuples, &mut out);
+        let items = out.into_items();
+        assert_eq!(items.len(), 4);
+        assert_eq!(items[0].0, 0);
+        assert_eq!(items[1].0, 0);
+        assert_eq!(items[2].0, 1);
+        assert_eq!(items[3].0, 1);
+        assert_eq!(items[3].1.key, Key(2));
+    }
+
+    struct Batchy;
+
+    impl StatefulOperator for Batchy {
+        fn process(&mut self, _s: StreamId, t: &Tuple, out: &mut Vec<OutputTuple>) {
+            out.push(OutputTuple::new(t.key, vec![0]));
+        }
+        fn process_batch(&mut self, _s: StreamId, tuples: &[Tuple], out: &mut BatchOutput) {
+            for (i, t) in tuples.iter().enumerate() {
+                out.set_source(i);
+                out.push(OutputTuple::new(t.key, vec![1]));
+            }
+        }
+        fn get_processing_state(&self) -> ProcessingState {
+            ProcessingState::empty()
+        }
+        fn set_processing_state(&mut self, _state: ProcessingState) {}
+    }
+
+    #[test]
+    fn boxed_operator_forwards_batch_override() {
+        let mut boxed: Box<dyn StatefulOperator> = Box::new(Batchy);
+        let tuples = vec![Tuple::new(1, Key(3), vec![])];
+        let mut out = BatchOutput::new();
+        StatefulOperator::process_batch(&mut boxed, StreamId(0), &tuples, &mut out);
+        // The override's payload marker, not the per-tuple default's.
+        assert_eq!(&out.items()[0].1.payload[..], &[1]);
     }
 
     #[test]

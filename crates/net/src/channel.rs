@@ -42,12 +42,20 @@ impl TransportStats {
 pub struct DataSender {
     tx: Sender<Vec<u8>>,
     stats: Arc<TransportStats>,
+    queued_tuples: Arc<AtomicU64>,
 }
 
 /// The receiving half of a data channel.
 pub struct DataReceiver {
     rx: Receiver<Vec<u8>>,
     stats: Arc<TransportStats>,
+    queued_tuples: Arc<AtomicU64>,
+}
+
+/// In-queue weight of an envelope: data tuples it carries, with control
+/// messages still counting as one so `queued() == 0` keeps meaning "empty".
+fn envelope_tuples(envelope: &Envelope) -> u64 {
+    envelope.message.tuple_count().max(1) as u64
 }
 
 /// A bounded channel carrying serialised [`Envelope`]s.
@@ -59,12 +67,18 @@ impl DataChannel {
     pub fn new(capacity: usize) -> (DataSender, DataReceiver) {
         let (tx, rx) = bounded(capacity.max(1));
         let stats = Arc::new(TransportStats::default());
+        let queued_tuples = Arc::new(AtomicU64::new(0));
         (
             DataSender {
                 tx,
                 stats: stats.clone(),
+                queued_tuples: queued_tuples.clone(),
             },
-            DataReceiver { rx, stats },
+            DataReceiver {
+                rx,
+                stats,
+                queued_tuples,
+            },
         )
     }
 }
@@ -84,9 +98,11 @@ impl DataSender {
     pub fn send(&self, envelope: &Envelope) -> Result<(), ChannelSendError> {
         let bytes = bincode::serialize(envelope).expect("envelope serialises");
         let len = bytes.len();
+        let tuples = envelope_tuples(envelope);
         self.tx
             .send(bytes)
             .map_err(|_| ChannelSendError::Disconnected)?;
+        self.queued_tuples.fetch_add(tuples, Ordering::Relaxed);
         self.stats.record(len);
         Ok(())
     }
@@ -98,6 +114,8 @@ impl DataSender {
         let len = bytes.len();
         match self.tx.try_send(bytes) {
             Ok(()) => {
+                self.queued_tuples
+                    .fetch_add(envelope_tuples(envelope), Ordering::Relaxed);
                 self.stats.record(len);
                 Ok(())
             }
@@ -120,6 +138,8 @@ impl DataReceiver {
         match self.rx.recv_timeout(timeout) {
             Ok(bytes) => {
                 let env: Envelope = bincode::deserialize(&bytes).expect("envelope deserialises");
+                self.queued_tuples
+                    .fetch_sub(envelope_tuples(&env), Ordering::Relaxed);
                 Ok(Some(env))
             }
             Err(RecvTimeoutError::Timeout) => Ok(None),
@@ -131,14 +151,18 @@ impl DataReceiver {
     pub fn drain(&self) -> Vec<Envelope> {
         let mut out = Vec::new();
         while let Ok(bytes) = self.rx.try_recv() {
-            out.push(bincode::deserialize(&bytes).expect("envelope deserialises"));
+            let env: Envelope = bincode::deserialize(&bytes).expect("envelope deserialises");
+            self.queued_tuples
+                .fetch_sub(envelope_tuples(&env), Ordering::Relaxed);
+            out.push(env);
         }
         out
     }
 
-    /// Number of messages currently queued.
+    /// Number of data tuples currently queued (control messages count as
+    /// one each, so non-zero always means "something to process").
     pub fn queued(&self) -> usize {
-        self.rx.len()
+        self.queued_tuples.load(Ordering::Relaxed) as usize
     }
 
     /// Traffic statistics shared with the sender.
@@ -175,6 +199,28 @@ mod tests {
         assert_eq!(rx.drain().len(), 1);
         assert_eq!(rx.stats().messages(), 2);
         assert!(rx.stats().bytes() > 32);
+    }
+
+    #[test]
+    fn queued_counts_tuples_inside_batches() {
+        use seep_core::TupleBatch;
+        let (tx, rx) = DataChannel::new(8);
+        let mut batch = TupleBatch::new();
+        for ts in 1..=5u64 {
+            batch.push(Tuple::new(ts, Key(ts), vec![0u8; 4]), 0);
+        }
+        let env = Envelope::new(
+            OperatorId::new(1),
+            OperatorId::new(2),
+            Message::data_batch(StreamId(0), batch),
+        );
+        tx.send(&env).unwrap();
+        tx.send(&envelope(9)).unwrap();
+        assert_eq!(rx.queued(), 6, "5 batched tuples + 1 single");
+        rx.recv_timeout(Duration::from_millis(10)).unwrap().unwrap();
+        assert_eq!(rx.queued(), 1);
+        rx.drain();
+        assert_eq!(rx.queued(), 0);
     }
 
     #[test]

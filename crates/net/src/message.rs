@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use seep_core::{OperatorId, RoutingState, StreamId, Timestamp, Tuple};
+use seep_core::{OperatorId, RoutingState, StreamId, Timestamp, Tuple, TupleBatch};
 
 /// Control messages used by the scale-out / recovery coordinators.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,6 +54,16 @@ pub enum Message {
     },
     /// A control message from a coordinator.
     Control(ControlMessage),
+    /// A run of consecutive stream tuples from one producer, sent in one
+    /// envelope on the batched data plane. Appended after `Control` so the
+    /// wire encoding of the seed's two variants is unchanged.
+    DataBatch {
+        /// The stream the tuples belong to (identified by the logical
+        /// producer operator).
+        stream: StreamId,
+        /// The tuples with their per-tuple source emit times.
+        batch: TupleBatch,
+    },
 }
 
 impl Message {
@@ -62,9 +72,23 @@ impl Message {
         Message::Data { stream, tuple }
     }
 
-    /// Whether this is a data message.
+    /// Convenience constructor for batched data messages.
+    pub fn data_batch(stream: StreamId, batch: TupleBatch) -> Self {
+        Message::DataBatch { stream, batch }
+    }
+
+    /// Whether this carries data tuples (single or batched).
     pub fn is_data(&self) -> bool {
-        matches!(self, Message::Data { .. })
+        matches!(self, Message::Data { .. } | Message::DataBatch { .. })
+    }
+
+    /// Number of data tuples this message carries.
+    pub fn tuple_count(&self) -> usize {
+        match self {
+            Message::Data { .. } => 1,
+            Message::DataBatch { batch, .. } => batch.len(),
+            Message::Control(_) => 0,
+        }
     }
 }
 
@@ -124,6 +148,23 @@ mod tests {
         assert_eq!(back.message, msg);
         assert_eq!(back.from, OperatorId::new(1));
         assert!(env.wire_size() > 3);
+    }
+
+    #[test]
+    fn data_batch_roundtrip_and_counts() {
+        let mut batch = TupleBatch::new();
+        batch.push(Tuple::new(5, Key(1), vec![1]), 100);
+        batch.push(Tuple::new(6, Key(2), vec![2]), 0);
+        let msg = Message::data_batch(StreamId(3), batch);
+        assert!(msg.is_data());
+        assert_eq!(msg.tuple_count(), 2);
+        let bytes = bincode::serialize(&msg).unwrap();
+        let back: Message = bincode::deserialize(&bytes).unwrap();
+        assert_eq!(back, msg);
+        // The seed variants' wire encodings are unchanged by the new variant.
+        let single = Message::data(StreamId(1), Tuple::new(3, Key(9), vec![1, 2, 3]));
+        assert_eq!(single.tuple_count(), 1);
+        assert_eq!(Message::Control(ControlMessage::Shutdown).tuple_count(), 0);
     }
 
     #[test]

@@ -22,7 +22,9 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use seep_core::{Key, OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple};
+use seep_core::{
+    BatchOutput, Key, OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple,
+};
 
 use super::types::{AccidentAlert, LrbRecord, PositionReport, TollNotification};
 
@@ -185,6 +187,24 @@ impl StatefulOperator for TollCalculator {
             self.handle_report(&report, out);
         }
         // Balance queries are not for this operator; ignore them.
+    }
+
+    // Hand-rolled batch loop: decode once per tuple and reuse one scratch
+    // vector for the occasional accident/toll emission, attributing each
+    // output to the position report that caused it.
+    fn process_batch(&mut self, _stream: StreamId, tuples: &[Tuple], out: &mut BatchOutput) {
+        let mut scratch = Vec::new();
+        for (index, tuple) in tuples.iter().enumerate() {
+            let Ok(record) = tuple.decode::<LrbRecord>() else {
+                continue;
+            };
+            if let LrbRecord::Position(report) = record {
+                self.handle_report(&report, &mut scratch);
+                if !scratch.is_empty() {
+                    out.absorb(index, &mut scratch);
+                }
+            }
+        }
     }
 
     fn get_processing_state(&self) -> ProcessingState {

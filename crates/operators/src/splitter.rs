@@ -5,7 +5,9 @@
 //! words, keying each output tuple by the word so that downstream partitioned
 //! word counters receive all occurrences of a given word.
 
-use seep_core::{Key, OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple};
+use seep_core::{
+    BatchOutput, Key, OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple,
+};
 
 /// Stateless word splitter: input payloads are `bincode`-encoded `String`s
 /// (sentence fragments); each output tuple carries one lower-cased word, keyed
@@ -43,6 +45,28 @@ impl StatefulOperator for WordSplitter {
             if let Ok(out_tuple) = OutputTuple::encode(key, &word) {
                 out.push(out_tuple);
                 self.emitted += 1;
+            }
+        }
+    }
+
+    // Hand-rolled batch loop: words go straight into the attributed output
+    // set, skipping the per-tuple scratch vector the default would drain.
+    fn process_batch(&mut self, _stream: StreamId, tuples: &[Tuple], out: &mut BatchOutput) {
+        for (index, tuple) in tuples.iter().enumerate() {
+            let Ok(sentence) = tuple.decode::<String>() else {
+                continue;
+            };
+            out.set_source(index);
+            for word in sentence
+                .split(|c: char| !c.is_alphanumeric())
+                .filter(|w| !w.is_empty())
+            {
+                let word = word.to_lowercase();
+                let key = Key::from_str_key(&word);
+                if let Ok(out_tuple) = OutputTuple::encode(key, &word) {
+                    out.push(out_tuple);
+                    self.emitted += 1;
+                }
             }
         }
     }

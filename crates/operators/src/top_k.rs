@@ -7,7 +7,9 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use seep_core::{Key, OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple};
+use seep_core::{
+    BatchOutput, Key, OutputTuple, ProcessingState, StatefulOperator, StreamId, Tuple,
+};
 
 /// One ranking entry emitted at the end of a reporting interval.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -93,6 +95,24 @@ impl StatefulOperator for TopKReducer {
             .entry(tuple.key)
             .or_insert_with(|| ItemCount { item, count: 0 });
         entry.count += 1;
+    }
+
+    // Hand-rolled batch loop: reducing emits nothing until the interval
+    // closes, so the batch is one tight increment pass. The payload only
+    // matters the first time a key is seen (the dictionary is keyed by the
+    // tuple key), so the decode is deferred to vacant entries.
+    fn process_batch(&mut self, _stream: StreamId, tuples: &[Tuple], _out: &mut BatchOutput) {
+        use std::collections::btree_map::Entry;
+        for tuple in tuples {
+            match self.counts.entry(tuple.key) {
+                Entry::Occupied(mut e) => e.get_mut().count += 1,
+                Entry::Vacant(v) => {
+                    if let Ok(item) = tuple.decode::<String>() {
+                        v.insert(ItemCount { item, count: 1 });
+                    }
+                }
+            }
+        }
     }
 
     fn on_tick(&mut self, now_ms: u64, out: &mut Vec<OutputTuple>) {

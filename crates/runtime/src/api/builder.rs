@@ -246,6 +246,30 @@ impl JobBuilder {
         self
     }
 
+    /// Batch every operator's outputs into runs of `size` tuples per channel
+    /// envelope (the data plane's transport unit). Size 1 — the default — is
+    /// the per-tuple path; larger sizes amortise channel, dedup and clock
+    /// costs without changing observable behaviour.
+    pub fn batch_size(mut self, size: usize) -> Self {
+        self.config.batch = crate::config::BatchConfig::uniform(size);
+        self
+    }
+
+    /// Override the output batch size of one already-declared operator (the
+    /// producing end of its outbound edges), keeping the job-wide
+    /// [`batch_size`](Self::batch_size) for everything else.
+    pub fn batch_size_at(mut self, name: &str, size: usize) -> Self {
+        match self.names.get(name).copied() {
+            Some(id) => {
+                self.config.batch = self.config.batch.clone().with_producer(id, size);
+            }
+            None => self.fail(Error::InvalidGraph(format!(
+                "batch_size_at target {name:?} is not a declared operator"
+            ))),
+        }
+        self
+    }
+
     /// Move the cursor back to an already-declared operator, so the next
     /// `then_*` / `sink` call branches off it (fan-out).
     pub fn branch(mut self, at: &str) -> Self {

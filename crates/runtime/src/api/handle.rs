@@ -272,6 +272,14 @@ impl JobHandle {
         self.runtime.queued_tuples()
     }
 
+    /// The last timestamp issued by the operator's shared output clock.
+    /// Identical clock values across batched and per-tuple runs are part of
+    /// the batch-equivalence contract.
+    pub fn emit_clock(&self, op: impl OpSelector) -> u64 {
+        let logical = op.resolve(self);
+        self.runtime.emit_clock(logical)
+    }
+
     /// Aggregate I/O counters of every checkpoint store in the deployment.
     pub fn store_stats(&self) -> seep_store::StoreStats {
         self.runtime.store_stats()

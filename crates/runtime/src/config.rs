@@ -1,13 +1,66 @@
 //! Runtime configuration.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 use seep_cloud::{ProviderConfig, VmPoolConfig};
+use seep_core::LogicalOpId;
 use seep_store::StoreConfig;
 
 use crate::bottleneck::ScalingPolicy;
 use crate::reconfig::SplitPolicy;
 use crate::recovery::RecoveryStrategy;
+
+/// Output batch sizes on the data plane, per producing logical operator.
+///
+/// A producer's batch size is the number of output tuples grouped into one
+/// envelope towards each downstream target. Size 1 — the default — is the
+/// seed per-tuple path, bit for bit. Larger sizes amortise channel
+/// serialisation, dedup probes and clock updates; the `batch_equivalence`
+/// suite pins every size to identical observable behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Batch size for every producer without an explicit override.
+    pub default_size: usize,
+    /// Per-producer overrides, keyed by the producing logical operator's raw
+    /// id (the edge's upstream end).
+    pub per_producer: BTreeMap<u32, usize>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            default_size: 1,
+            per_producer: BTreeMap::new(),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A uniform batch size for every edge.
+    pub fn uniform(size: usize) -> Self {
+        BatchConfig {
+            default_size: size.max(1),
+            per_producer: BTreeMap::new(),
+        }
+    }
+
+    /// Override the batch size on the edges leaving `producer`.
+    pub fn with_producer(mut self, producer: LogicalOpId, size: usize) -> Self {
+        self.per_producer.insert(producer.0, size.max(1));
+        self
+    }
+
+    /// The effective batch size for the edges leaving `producer`.
+    pub fn size_for(&self, producer: LogicalOpId) -> usize {
+        self.per_producer
+            .get(&producer.0)
+            .copied()
+            .unwrap_or(self.default_size)
+            .max(1)
+    }
+}
 
 /// Configuration of the SPS runtime.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,6 +98,9 @@ pub struct RuntimeConfig {
     /// checkpoint sample when the sampled imbalance exceeds a threshold.
     #[serde(default)]
     pub split: SplitPolicy,
+    /// Output batch sizes on the data plane (1 = the seed per-tuple path).
+    #[serde(default)]
+    pub batch: BatchConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -61,6 +117,7 @@ impl Default for RuntimeConfig {
             latency_probe_at_stateful: false,
             store: StoreConfig::default(),
             split: SplitPolicy::default(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -88,6 +145,13 @@ impl RuntimeConfig {
     /// plans.
     pub fn with_split(mut self, split: SplitPolicy) -> Self {
         self.split = split;
+        self
+    }
+
+    /// A configuration batching every producer's outputs into runs of `size`
+    /// tuples per envelope (1 = the seed per-tuple path).
+    pub fn with_batch_size(mut self, size: usize) -> Self {
+        self.batch = BatchConfig::uniform(size);
         self
     }
 }
@@ -120,6 +184,22 @@ mod tests {
             .with_store(StoreConfig::file("/tmp/seep-cfg-test").with_incremental(true));
         assert_eq!(c.store.backend, seep_store::StoreBackendKind::File);
         assert!(c.store.incremental);
+    }
+
+    #[test]
+    fn batch_sizes_default_to_per_tuple_and_resolve_overrides() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.batch, BatchConfig::default());
+        assert_eq!(c.batch.size_for(LogicalOpId(3)), 1, "seed path by default");
+
+        let batch = BatchConfig::uniform(64).with_producer(LogicalOpId(2), 8);
+        assert_eq!(batch.size_for(LogicalOpId(1)), 64);
+        assert_eq!(batch.size_for(LogicalOpId(2)), 8);
+        // Zero is clamped: a batch always carries at least one tuple.
+        assert_eq!(BatchConfig::uniform(0).size_for(LogicalOpId(0)), 1);
+
+        let c = RuntimeConfig::default().with_batch_size(128);
+        assert_eq!(c.batch.size_for(LogicalOpId(9)), 128);
     }
 
     #[test]

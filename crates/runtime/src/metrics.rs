@@ -292,6 +292,11 @@ impl Metrics {
         self.inner.lock().dropped_sends += 1;
     }
 
+    /// Record `n` tuples dropped by one failed batch send.
+    pub fn record_dropped_sends(&self, n: u64) {
+        self.inner.lock().dropped_sends += n;
+    }
+
     /// Record a checkpoint.
     pub fn record_checkpoint(&self, record: CheckpointRecord) {
         self.inner.lock().checkpoints.push(record);

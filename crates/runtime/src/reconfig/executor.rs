@@ -131,6 +131,13 @@ impl Runtime {
         // Phase 1: resolve & validate.
         let resolved = self.resolve_plan(plan)?;
 
+        // Partial output batches anywhere in the topology must reach their
+        // channels before the plan drains, pauses or captures state: a tuple
+        // held in a pending batch would otherwise be invisible to the drain
+        // below and to the checkpoint/replay protocol's view of "in flight".
+        // A no-op at batch size 1, so the seed path is untouched.
+        self.flush_all_pending();
+
         // Phase 2: drain & pause.
         if resolved.pause_olds {
             self.drain_inbound(&resolved.olds);

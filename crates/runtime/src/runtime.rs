@@ -293,6 +293,27 @@ impl Runtime {
         self.workers.values().map(WorkerCore::queued).sum()
     }
 
+    /// Flush every worker's partially filled output batches downstream. A
+    /// no-op at batch size 1; the reconfiguration executor calls this before
+    /// any plan drains, pauses or captures state so batch boundaries cannot
+    /// leak into the fail-before-rewrite protocol. Returns tuples flushed.
+    pub fn flush_all_pending(&mut self) -> usize {
+        let network = self.network.clone();
+        let metrics = self.metrics.clone();
+        let mut flushed = 0;
+        for worker in self.workers.values_mut() {
+            flushed += worker.flush_pending(&network, &metrics);
+        }
+        flushed
+    }
+
+    /// The last timestamp issued by the shared output clock of `logical`
+    /// (0 if the operator is unknown). Exposed so equivalence tests can
+    /// assert batched and per-tuple runs issue identical clock sequences.
+    pub fn emit_clock(&self, logical: LogicalOpId) -> u64 {
+        self.clocks.get(&logical).map(|c| c.last()).unwrap_or(0)
+    }
+
     pub(crate) fn create_worker(
         &mut self,
         instance: &seep_core::graph::OperatorInstance,
@@ -351,6 +372,7 @@ impl Runtime {
         if self.config.latency_probe_at_stateful && worker.stateful {
             worker.latency_probe = true;
         }
+        worker.out_batch = self.config.batch.size_for(instance.logical);
         // Every VM hosts one checkpoint store of the configured backend for
         // the downstream operators that back up to it.
         let store = self

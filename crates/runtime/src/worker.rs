@@ -14,8 +14,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use seep_core::{
-    BufferState, Checkpoint, DuplicateFilter, Key, LogicalOpId, OperatorId, OutputTuple,
-    RoutingState, StatefulOperator, StreamId, Timestamp, TimestampVec, TrafficStats,
+    BatchAdmission, BatchOutput, BufferState, Checkpoint, DuplicateFilter, Key, LogicalOpId,
+    OperatorId, OutputTuple, RoutingState, StatefulOperator, StreamId, Timestamp, TimestampVec,
+    TrafficStats, Tuple, TupleBatch,
 };
 use seep_net::{DataReceiver, Envelope, Message, Network};
 
@@ -40,6 +41,15 @@ impl SharedClock {
     /// Advance the clock and return the new timestamp.
     pub fn tick(&self) -> Timestamp {
         self.last.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Reserve a contiguous block of `n` timestamps with one atomic bump and
+    /// return the first; the block is `first..first + n`. This is the batched
+    /// plane's amortisation of the per-output [`tick`](Self::tick): a batch of
+    /// outputs pays one clock update instead of one per tuple, and the
+    /// timestamps stay exactly the sequence per-tuple ticking would assign.
+    pub fn tick_many(&self, n: u64) -> Timestamp {
+        self.last.fetch_add(n, Ordering::Relaxed) + 1
     }
 
     /// The most recently issued timestamp.
@@ -72,6 +82,13 @@ pub struct WorkerCore {
     /// Whether this worker keeps output buffers for replay (disabled for
     /// intermediate operators under the source-replay baseline).
     pub keep_buffers: bool,
+    /// Output batch size towards downstream operators. 1 (the default)
+    /// reproduces the seed per-tuple path exactly: every output is sent as
+    /// its own `Message::Data` envelope the moment it is produced. Above 1,
+    /// outputs accumulate in per-target pending batches that are sent when
+    /// full and flushed at every step/tick boundary (and before any
+    /// reconfiguration pauses the worker).
+    pub out_batch: usize,
     operator: Box<dyn StatefulOperator>,
     receiver: DataReceiver,
     buffer: BufferState,
@@ -83,6 +100,10 @@ pub struct WorkerCore {
     /// in checkpoints so distribution-guided splits weight keys by the load
     /// they actually receive, not by their state footprint.
     traffic: TrafficStats,
+    /// Partially filled output batches per downstream target. Tuples here are
+    /// already in the output buffer (pushed at route time), so a crash before
+    /// the flush loses nothing the replay protocol cannot restore.
+    pending: BTreeMap<OperatorId, TupleBatch>,
     paused: bool,
     failed: bool,
     processed: u64,
@@ -117,6 +138,7 @@ impl WorkerCore {
             latency_probe: is_sink,
             stateful,
             keep_buffers,
+            out_batch: 1,
             operator,
             receiver,
             buffer,
@@ -125,6 +147,7 @@ impl WorkerCore {
             clock,
             ts: TimestampVec::new(),
             traffic: TrafficStats::new(),
+            pending: BTreeMap::new(),
             paused: false,
             failed: false,
             processed: 0,
@@ -155,9 +178,12 @@ impl WorkerCore {
     }
 
     /// Crash-stop the worker: it stops processing and its in-memory state is
-    /// considered lost.
+    /// considered lost — including any partially filled output batches, which
+    /// only the replay protocol can regenerate (they were pushed to the
+    /// output buffer at route time).
     pub fn mark_failed(&mut self) {
         self.failed = true;
+        self.pending.clear();
     }
 
     /// Tuples processed so far.
@@ -168,6 +194,12 @@ impl WorkerCore {
     /// Number of tuples currently queued on the worker's inbound channel.
     pub fn queued(&self) -> usize {
         self.receiver.queued()
+    }
+
+    /// Number of output tuples sitting in partially filled batches, not yet
+    /// sent downstream.
+    pub fn pending_tuples(&self) -> usize {
+        self.pending.values().map(TupleBatch::len).sum()
     }
 
     /// Immutable access to the hosted operator (for assertions and result
@@ -289,12 +321,75 @@ impl WorkerCore {
                     // controller-driven runtime; control envelopes are kept
                     // for the wire protocol but are no-ops here.
                 }
+                Message::DataBatch { stream, batch } => {
+                    processed += self.process_data_batch(stream, batch, network, metrics, epoch);
+                }
             }
         }
+        // Step boundaries are flush points: partial batches never outlive the
+        // scheduling round that produced them, so `drain()` converges and
+        // batch size only affects how tuples are grouped, never whether they
+        // move.
+        self.flush_pending(network, metrics);
         if processed > 0 {
             metrics.record_processed(self.id, processed as u64);
         }
         processed
+    }
+
+    /// Process one inbound tuple batch: one duplicate-filter probe, one
+    /// reflected-timestamp advance and one `process_batch` call for the whole
+    /// run, with latency samples still recorded per tuple.
+    fn process_data_batch(
+        &mut self,
+        stream: StreamId,
+        batch: TupleBatch,
+        network: &Network,
+        metrics: &Metrics,
+        epoch: Instant,
+    ) -> usize {
+        let TupleBatch {
+            tuples,
+            emitted_at_us,
+        } = batch;
+        let (accepted, emit_us) = match self.dedup.accept_batch(stream, &tuples) {
+            BatchAdmission::All => (tuples, emitted_at_us),
+            BatchAdmission::None => return 0,
+            BatchAdmission::Partial => {
+                let mut kept = Vec::with_capacity(tuples.len());
+                let mut kept_emit = Vec::with_capacity(tuples.len());
+                for (tuple, emit) in tuples.into_iter().zip(emitted_at_us) {
+                    if self.dedup.accept(stream, &tuple) {
+                        kept.push(tuple);
+                        kept_emit.push(emit);
+                    }
+                }
+                (kept, kept_emit)
+            }
+        };
+        let Some(last_ts) = accepted.last().map(|t| t.ts) else {
+            return 0;
+        };
+        let started = Instant::now();
+        let mut out = BatchOutput::new();
+        self.operator.process_batch(stream, &accepted, &mut out);
+        self.busy += started.elapsed();
+        self.ts.advance(stream, last_ts);
+        for tuple in &accepted {
+            self.traffic.record(tuple.key);
+        }
+        let count = accepted.len();
+        self.processed += count as u64;
+        self.dispatch_batch(out, &emit_us, network, metrics);
+        if self.latency_probe {
+            let now_us = epoch.elapsed().as_micros() as u64;
+            for &emit in &emit_us {
+                if emit > 0 {
+                    metrics.record_latency_us(now_us.saturating_sub(emit));
+                }
+            }
+        }
+        count
     }
 
     /// Inject a source tuple: the worker behaves as the data feeder, emitting
@@ -329,6 +424,9 @@ impl WorkerCore {
             let now_us = epoch.elapsed().as_micros() as u64;
             self.dispatch(out, now_us, network, metrics);
         }
+        // Window emissions must not linger in partial batches until the next
+        // data tuple happens to arrive.
+        self.flush_pending(network, metrics);
     }
 
     fn dispatch(
@@ -341,26 +439,117 @@ impl WorkerCore {
         for output in outputs {
             let ts = self.clock.tick();
             let tuple = output.with_ts(ts);
-            for routing in self.routing.values() {
-                let Some(target) = routing.route(tuple.key) else {
-                    continue;
-                };
-                if self.keep_buffers {
-                    self.buffer.push(target, tuple.clone());
-                }
-                let envelope = Envelope::new(
-                    self.id,
-                    target,
-                    Message::data(StreamId(self.logical.0), tuple.clone()),
-                )
-                .with_emit_time(emitted_at_us);
-                if network.send(envelope).is_err() {
-                    // The destination VM is gone; the tuple stays in the
-                    // output buffer and will be replayed after recovery.
-                    metrics.record_dropped_send();
-                }
+            if self.out_batch > 1 {
+                self.enqueue_routed(tuple, emitted_at_us, network, metrics);
+            } else {
+                self.route_immediate(tuple, emitted_at_us, network, metrics);
             }
         }
+    }
+
+    /// Route the outputs of a `process_batch` call, reserving the whole
+    /// timestamp block with one clock bump and mapping each output back to
+    /// its input tuple's source emit time.
+    fn dispatch_batch(
+        &mut self,
+        out: BatchOutput,
+        input_emit_us: &[u64],
+        network: &Network,
+        metrics: &Metrics,
+    ) {
+        if out.is_empty() {
+            return;
+        }
+        if self.out_batch > 1 {
+            let first = self.clock.tick_many(out.len() as u64);
+            for (offset, (source, output)) in out.into_items().into_iter().enumerate() {
+                let emitted_at_us = input_emit_us.get(source).copied().unwrap_or(0);
+                let tuple = output.with_ts(first + offset as u64);
+                self.enqueue_routed(tuple, emitted_at_us, network, metrics);
+            }
+        } else {
+            for (source, output) in out.into_items() {
+                let emitted_at_us = input_emit_us.get(source).copied().unwrap_or(0);
+                let tuple = output.with_ts(self.clock.tick());
+                self.route_immediate(tuple, emitted_at_us, network, metrics);
+            }
+        }
+    }
+
+    /// The seed per-tuple send: one `Message::Data` envelope per routed copy,
+    /// buffered for replay at route time.
+    fn route_immediate(
+        &mut self,
+        tuple: Tuple,
+        emitted_at_us: u64,
+        network: &Network,
+        metrics: &Metrics,
+    ) {
+        for routing in self.routing.values() {
+            let Some(target) = routing.route(tuple.key) else {
+                continue;
+            };
+            if self.keep_buffers {
+                self.buffer.push(target, tuple.clone());
+            }
+            let envelope = Envelope::new(
+                self.id,
+                target,
+                Message::data(StreamId(self.logical.0), tuple.clone()),
+            )
+            .with_emit_time(emitted_at_us);
+            if network.send(envelope).is_err() {
+                // The destination VM is gone; the tuple stays in the
+                // output buffer and will be replayed after recovery.
+                metrics.record_dropped_send();
+            }
+        }
+    }
+
+    /// The batched send: the routed copy joins the target's pending batch
+    /// (buffered for replay at route time, exactly like the immediate path)
+    /// and the batch ships as one envelope once it reaches `out_batch`.
+    fn enqueue_routed(
+        &mut self,
+        tuple: Tuple,
+        emitted_at_us: u64,
+        network: &Network,
+        metrics: &Metrics,
+    ) {
+        for routing in self.routing.values() {
+            let Some(target) = routing.route(tuple.key) else {
+                continue;
+            };
+            if self.keep_buffers {
+                self.buffer.push(target, tuple.clone());
+            }
+            let slot = self.pending.entry(target).or_default();
+            slot.push(tuple.clone(), emitted_at_us);
+            if slot.len() >= self.out_batch {
+                let batch = std::mem::take(slot);
+                send_batch(network, metrics, self.id, self.logical, target, batch);
+            }
+        }
+    }
+
+    /// Send every partially filled output batch downstream. Called at step
+    /// and tick boundaries and by the reconfiguration executor before any
+    /// plan pauses or captures state, so batch boundaries are invisible to
+    /// the drain/pause/capture/replay protocol. Returns the tuples flushed.
+    pub fn flush_pending(&mut self, network: &Network, metrics: &Metrics) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let mut flushed = 0;
+        for (target, batch) in pending {
+            if batch.is_empty() {
+                continue;
+            }
+            flushed += batch.len();
+            send_batch(network, metrics, self.id, self.logical, target, batch);
+        }
+        flushed
     }
 
     /// Re-send buffered tuples towards `target` that are newer than the
@@ -416,6 +605,27 @@ impl WorkerCore {
                 self.buffer.add_downstream(target);
             }
         }
+    }
+}
+
+/// Ship a full batch as one envelope. A failed send counts every tuple the
+/// batch carried as dropped; they stay in the output buffer for replay.
+fn send_batch(
+    network: &Network,
+    metrics: &Metrics,
+    from: OperatorId,
+    logical: LogicalOpId,
+    target: OperatorId,
+    batch: TupleBatch,
+) {
+    let tuples = batch.len() as u64;
+    let envelope = Envelope::new(
+        from,
+        target,
+        Message::data_batch(StreamId(logical.0), batch),
+    );
+    if network.send(envelope).is_err() {
+        metrics.record_dropped_sends(tuples);
     }
 }
 
@@ -611,6 +821,114 @@ mod tests {
         net.send(env).unwrap();
         sink.step(&net, &metrics, epoch, 4);
         assert_eq!(metrics.latency_samples(), 1);
+    }
+
+    #[test]
+    fn batched_worker_groups_outputs_and_flushes_at_step_boundary() {
+        let net = network();
+        let metrics = Metrics::new();
+        let (mut core, downstream_rx) = worker_with_downstream(&net, 1, 2);
+        core.out_batch = 4;
+        let epoch = Instant::now();
+        for ts in 1..=6u64 {
+            net.send_tuple(
+                OperatorId::new(0),
+                OperatorId::new(1),
+                StreamId(0),
+                Tuple::new(ts, Key(ts), vec![ts as u8]),
+            )
+            .unwrap();
+        }
+        assert_eq!(core.step(&net, &metrics, epoch, 16), 6);
+        // 6 outputs at out_batch=4: one full batch plus a flushed partial —
+        // two envelopes, six tuples, nothing left pending.
+        assert_eq!(core.pending_tuples(), 0);
+        let envelopes = downstream_rx.drain();
+        assert_eq!(envelopes.len(), 2);
+        let counts: Vec<usize> = envelopes.iter().map(|e| e.message.tuple_count()).collect();
+        assert_eq!(counts, vec![4, 2]);
+        // Replay buffers were filled at route time, before any send.
+        assert_eq!(core.buffer().tuples_for(OperatorId::new(2)).len(), 6);
+    }
+
+    #[test]
+    fn batch_input_processes_once_through_dedup_and_forwards() {
+        let net = network();
+        let metrics = Metrics::new();
+        let (mut core, downstream_rx) = worker_with_downstream(&net, 1, 2);
+        core.out_batch = 8;
+        let epoch = Instant::now();
+        let mut batch = TupleBatch::new();
+        for ts in 1..=5u64 {
+            batch.push(Tuple::new(ts, Key(ts), vec![ts as u8]), 0);
+        }
+        let env = Envelope::new(
+            OperatorId::new(0),
+            OperatorId::new(1),
+            Message::data_batch(StreamId(0), batch.clone()),
+        );
+        net.send(env.clone()).unwrap();
+        // A replayed copy of the same batch must be rejected whole.
+        net.send(env).unwrap();
+        assert_eq!(core.step(&net, &metrics, epoch, 16), 5);
+        assert_eq!(core.processed(), 5);
+        assert_eq!(core.reflected().get(StreamId(0)), Some(5));
+        let envelopes = downstream_rx.drain();
+        assert_eq!(envelopes.len(), 1);
+        assert_eq!(envelopes[0].message.tuple_count(), 5);
+        assert_eq!(metrics.processed_by(OperatorId::new(1)), 5);
+    }
+
+    #[test]
+    fn batched_sink_records_latency_per_tuple() {
+        let net = network();
+        let metrics = Metrics::new();
+        let rx = net.register(OperatorId::new(3));
+        let mut sink = WorkerCore::new(
+            OperatorId::new(3),
+            LogicalOpId(2),
+            passthrough(),
+            rx,
+            BTreeMap::new(),
+            SharedClock::new(),
+            true,
+            true,
+        );
+        sink.out_batch = 64;
+        let epoch = Instant::now();
+        let mut batch = TupleBatch::new();
+        for ts in 1..=7u64 {
+            batch.push(Tuple::new(ts, Key(ts), vec![]), 1);
+        }
+        net.send(Envelope::new(
+            OperatorId::new(1),
+            OperatorId::new(3),
+            Message::data_batch(StreamId(0), batch),
+        ))
+        .unwrap();
+        sink.step(&net, &metrics, epoch, 4);
+        assert_eq!(
+            metrics.latency_samples(),
+            7,
+            "one latency sample per tuple, not per batch"
+        );
+    }
+
+    #[test]
+    fn failed_worker_loses_pending_batches() {
+        let net = network();
+        let metrics = Metrics::new();
+        let (mut core, downstream_rx) = worker_with_downstream(&net, 1, 2);
+        core.out_batch = 100;
+        let epoch = Instant::now();
+        core.emit_source(Key(1), vec![1], &net, &metrics, epoch);
+        core.emit_source(Key(2), vec![2], &net, &metrics, epoch);
+        assert_eq!(core.pending_tuples(), 2);
+        assert_eq!(downstream_rx.queued(), 0, "nothing sent before the flush");
+        core.mark_failed();
+        assert_eq!(core.pending_tuples(), 0);
+        // The tuples were buffered at route time: replay can regenerate them.
+        assert_eq!(core.buffer().tuples_for(OperatorId::new(2)).len(), 2);
     }
 
     #[test]

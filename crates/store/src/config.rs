@@ -53,8 +53,11 @@ pub struct StoreConfig {
     pub segment_target_bytes: u64,
     /// `TieredStore`: byte budget of the in-memory hot tier per store.
     pub hot_bytes_budget: usize,
-    /// `FileStore`: fsync after every record.
+    /// `FileStore`: fsync appended records.
     pub fsync: bool,
+    /// `FileStore`: with `fsync` on, coalesce to one `sync_data` per this
+    /// many appended frames (1 = sync every record).
+    pub sync_every_n_frames: usize,
 }
 
 impl Default for StoreConfig {
@@ -67,6 +70,7 @@ impl Default for StoreConfig {
             segment_target_bytes: 8 * 1024 * 1024,
             hot_bytes_budget: 64 * 1024 * 1024,
             fsync: false,
+            sync_every_n_frames: 1,
         }
     }
 }
@@ -101,6 +105,16 @@ impl StoreConfig {
         self
     }
 
+    /// Enable per-record durability, coalescing the `sync_data` calls to one
+    /// per `n` appended frames (1 = sync every record; a crash loses at most
+    /// the last `n - 1` unflushed records, which the crash scan truncates on
+    /// the next open).
+    pub fn with_fsync_every(mut self, n: usize) -> Self {
+        self.fsync = true;
+        self.sync_every_n_frames = n.max(1);
+        self
+    }
+
     /// Backend label for metrics.
     pub fn label(&self) -> &'static str {
         self.backend.label()
@@ -118,6 +132,7 @@ impl StoreConfig {
             compact_after_deltas: self.compact_after_deltas,
             segment_target_bytes: self.segment_target_bytes,
             fsync: self.fsync,
+            sync_every_n_frames: self.sync_every_n_frames,
         })
     }
 

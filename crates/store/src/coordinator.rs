@@ -110,6 +110,7 @@ impl BackupCoordinator {
             total.bytes_restored += s.bytes_restored;
             total.write_us += s.write_us;
             total.restore_us += s.restore_us;
+            total.syncs += s.syncs;
             total.compactions += s.compactions;
             total.failed_compactions += s.failed_compactions;
             total.hot_hits += s.hot_hits;

@@ -49,8 +49,15 @@ pub struct FileStoreConfig {
     pub compact_after_deltas: usize,
     /// Roll the active segment once it grows past this size.
     pub segment_target_bytes: u64,
-    /// `fsync` after every record (durability against OS crash, slower).
+    /// `fsync` after appended records (durability against OS crash, slower).
     pub fsync: bool,
+    /// When `fsync` is on, coalesce the `sync_data` calls to one per this
+    /// many appended frames (1 = sync every record, the strictest setting).
+    /// A crash can lose at most the last `sync_every_n_frames - 1` records
+    /// that the OS had not flushed on its own; the crash scan on reopen
+    /// truncates whatever tail did not survive, so recovery stays intact at
+    /// every coalescing level.
+    pub sync_every_n_frames: usize,
 }
 
 impl FileStoreConfig {
@@ -61,6 +68,7 @@ impl FileStoreConfig {
             compact_after_deltas: 8,
             segment_target_bytes: 8 * 1024 * 1024,
             fsync: false,
+            sync_every_n_frames: 1,
         }
     }
 }
@@ -115,6 +123,9 @@ struct Inner {
     /// Total bytes across all segment files (live + garbage).
     total_bytes: u64,
     segments: Vec<u64>,
+    /// Frames appended to the active segment since the last `sync_data`
+    /// (only maintained when `fsync` is on).
+    frames_since_sync: usize,
 }
 
 /// The log-structured on-disk backend. See the module docs for the format.
@@ -224,6 +235,7 @@ impl FileStore {
                 active_len,
                 total_bytes,
                 segments,
+                frames_since_sync: 0,
             }),
             metrics: StoreMetrics::default(),
         })
@@ -352,14 +364,31 @@ impl FileStore {
         inner.active.write_all(&frame).map_err(io_err)?;
         inner.active.flush().map_err(io_err)?;
         if self.config.fsync {
-            inner.active.sync_data().map_err(io_err)?;
+            inner.frames_since_sync += 1;
+            if inner.frames_since_sync >= self.config.sync_every_n_frames.max(1) {
+                self.sync_active(inner)?;
+            }
         }
         inner.active_len += frame.len() as u64;
         inner.total_bytes += frame.len() as u64;
         Ok(ptr)
     }
 
+    /// `sync_data` the active segment and reset the coalescing counter.
+    fn sync_active(&self, inner: &mut Inner) -> Result<()> {
+        inner.active.sync_data().map_err(io_err)?;
+        inner.frames_since_sync = 0;
+        self.metrics.record_sync();
+        Ok(())
+    }
+
     fn roll_segment(&self, inner: &mut Inner) -> Result<()> {
+        // Frames still pending a coalesced sync live in the segment being
+        // retired; flush them now so the at-most-N-unsynced-frames bound
+        // always refers to the active segment alone.
+        if self.config.fsync && inner.frames_since_sync > 0 {
+            self.sync_active(inner)?;
+        }
         let next = inner.active_id + 1;
         let path = segment_path(&self.config.dir, next);
         inner.active = OpenOptions::new()
@@ -443,6 +472,9 @@ impl FileStore {
         inner.active_len = 0;
         inner.total_bytes = 0;
         inner.segments = vec![inner.active_id];
+        // Unsynced frames of the retired segments are about to be deleted
+        // with them; the counter restarts with the fresh segment.
+        inner.frames_since_sync = 0;
         for (owner, checkpoint) in materialized {
             let sequence = checkpoint.meta.sequence;
             let record = LogRecord::Full { owner, checkpoint };
@@ -457,8 +489,8 @@ impl FileStore {
                 },
             );
         }
-        if self.config.fsync {
-            inner.active.sync_data().map_err(io_err)?;
+        if self.config.fsync && inner.frames_since_sync > 0 {
+            self.sync_active(inner)?;
         }
         for seg in old_segments {
             let _ = fs::remove_file(segment_path(&self.config.dir, seg));
@@ -827,6 +859,86 @@ mod tests {
         store.apply_incremental(OperatorId::new(3), &inc).unwrap();
         assert_eq!(store.prune(OperatorId::new(3), 2), 0);
         assert_eq!(store.latest(OperatorId::new(3)).unwrap().meta.sequence, 2);
+    }
+
+    #[test]
+    fn fsync_coalescing_issues_one_sync_per_n_frames() {
+        for (level, expected_syncs) in [(1usize, 8u64), (4, 2), (16, 0)] {
+            let dir = temp_dir(&format!("sync-{level}"));
+            let store = FileStore::open(FileStoreConfig {
+                fsync: true,
+                sync_every_n_frames: level,
+                ..FileStoreConfig::new(&dir)
+            })
+            .unwrap();
+            for seq in 1..=8u64 {
+                store
+                    .put(OperatorId::new(1), checkpoint(1, seq, 4))
+                    .unwrap();
+            }
+            assert_eq!(
+                store.stats().syncs,
+                expected_syncs,
+                "coalescing level {level}"
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn rolling_a_segment_flushes_pending_coalesced_frames() {
+        let dir = temp_dir("sync-roll");
+        let store = FileStore::open(FileStoreConfig {
+            fsync: true,
+            sync_every_n_frames: 1_000,
+            segment_target_bytes: 2_000,
+            ..FileStoreConfig::new(&dir)
+        })
+        .unwrap();
+        assert_eq!(store.stats().syncs, 0);
+        // Each owner's record is ~1 KB, so the segment rolls repeatedly long
+        // before the coalescing level is reached: every roll must sync the
+        // retiring segment so its tail is never left pending forever.
+        for seq in 1..=6u64 {
+            store
+                .put(OperatorId::new(seq), checkpoint(seq, 1, 30))
+                .unwrap();
+        }
+        assert!(store.segment_count() > 1);
+        assert!(store.stats().syncs > 0, "rolls must flush pending frames");
+    }
+
+    #[test]
+    fn crash_scan_recovers_at_every_coalescing_level() {
+        for level in [1usize, 4, 16] {
+            let dir = temp_dir(&format!("crash-{level}"));
+            let config = FileStoreConfig {
+                fsync: true,
+                sync_every_n_frames: level,
+                ..FileStoreConfig::new(&dir)
+            };
+            let mut last = None;
+            {
+                let store = FileStore::open(config.clone()).unwrap();
+                for seq in 1..=6u64 {
+                    let cp = checkpoint(3, seq, 8);
+                    store.put(OperatorId::new(3), cp.clone()).unwrap();
+                    last = Some(cp);
+                }
+            }
+            // Crash mid-append: garbage half-frame behind the last record.
+            let seg = segment_path(&dir, 0);
+            let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+            f.write_all(&[0xAA; 13]).unwrap();
+            drop(f);
+            let store = FileStore::open(config).unwrap();
+            assert_eq!(
+                store.latest(OperatorId::new(3)).unwrap(),
+                last.unwrap(),
+                "coalescing level {level}"
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

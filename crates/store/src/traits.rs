@@ -44,6 +44,9 @@ pub struct StoreStats {
     pub write_us: u64,
     /// Cumulative restore latency in microseconds.
     pub restore_us: u64,
+    /// `sync_data` calls issued (file-backed backends with `fsync` on; with
+    /// sync coalescing one call covers up to `sync_every_n_frames` records).
+    pub syncs: u64,
     /// Compactions performed (log-structured backends only).
     pub compactions: u64,
     /// Compaction passes that failed and were skipped (the triggering write
@@ -66,6 +69,7 @@ pub struct StoreMetrics {
     bytes_restored: AtomicU64,
     write_us: AtomicU64,
     restore_us: AtomicU64,
+    syncs: AtomicU64,
     compactions: AtomicU64,
     failed_compactions: AtomicU64,
     hot_hits: AtomicU64,
@@ -100,6 +104,11 @@ impl StoreMetrics {
             .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
     }
 
+    /// Record one `sync_data` call.
+    pub fn record_sync(&self) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record one compaction pass.
     pub fn record_compaction(&self) {
         self.compactions.fetch_add(1, Ordering::Relaxed);
@@ -130,6 +139,7 @@ impl StoreMetrics {
             bytes_restored: self.bytes_restored.load(Ordering::Relaxed),
             write_us: self.write_us.load(Ordering::Relaxed),
             restore_us: self.restore_us.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
             failed_compactions: self.failed_compactions.load(Ordering::Relaxed),
             hot_hits: self.hot_hits.load(Ordering::Relaxed),
