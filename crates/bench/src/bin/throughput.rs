@@ -1,56 +1,99 @@
 //! Open-loop saturation benchmark of the data plane: the word-frequency
 //! query driven as fast as the pipeline absorbs tuples, once per batch size
-//! (per-tuple seed behaviour at batch=1 up to batch=256), reporting
-//! tuples/sec/core and the batched-vs-per-tuple speedup. Writes
-//! `BENCH_throughput.json` with the headline for CI and the paper artifacts.
+//! (per-tuple seed behaviour at batch=1 up to batch=256) and once per core
+//! count (`--cores N`, doubling arms up to N on the parallel executor with
+//! the hot stages scaled to one partition per core). Reports tuples/sec/core,
+//! the batched-vs-per-tuple speedup, multi-core scaling efficiency and the
+//! zero-copy hop saving. Writes `BENCH_throughput.json` with the headlines
+//! for CI and the paper artifacts.
 
 use seep_bench::print_table;
 use seep_bench::throughput::saturation;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let cores = args
+        .iter()
+        .position(|a| a == "--cores")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4)
+        .max(1);
     let (fragments, chunk) = if smoke {
         (20_000, 1_000)
     } else {
         (200_000, 1_000)
     };
-    let report = saturation(fragments, chunk, smoke);
+    let report = saturation(fragments, chunk, cores, smoke);
 
-    let table: Vec<Vec<String>> = report
-        .sweep
-        .iter()
-        .map(|arm| {
-            vec![
-                arm.label.clone(),
-                arm.fragments.to_string(),
-                arm.tuples_processed.to_string(),
-                format!("{:.1}", arm.elapsed_ms),
-                format!("{:.0}", arm.tuples_per_sec),
-            ]
-        })
-        .collect();
+    let arm_rows = |arms: &[seep_bench::throughput::ThroughputArm]| -> Vec<Vec<String>> {
+        arms.iter()
+            .map(|arm| {
+                vec![
+                    arm.label.clone(),
+                    arm.cores.to_string(),
+                    arm.fragments.to_string(),
+                    arm.tuples_processed.to_string(),
+                    format!("{:.1}", arm.elapsed_ms),
+                    format!("{:.0}", arm.tuples_per_sec),
+                    format!("{:.2}", arm.scaling_efficiency),
+                ]
+            })
+            .collect()
+    };
+    let headers = [
+        "arm",
+        "cores",
+        "fragments",
+        "tuples_processed",
+        "elapsed_ms",
+        "tuples_per_sec",
+        "scaling_eff",
+    ];
     print_table(
         &format!(
             "Open-loop saturation — word-frequency query, {fragments} fragments per arm, \
              chunked drains of {chunk}"
         ),
-        &[
-            "arm",
-            "fragments",
-            "tuples_processed",
-            "elapsed_ms",
-            "tuples_per_sec",
-        ],
-        &table,
+        &headers,
+        &arm_rows(&report.sweep),
+    );
+    print_table(
+        &format!(
+            "Multi-core sweep — batch={}, hot stages scaled to one partition per core",
+            report.batched.batch_size
+        ),
+        &headers,
+        &arm_rows(&report.cores_sweep),
+    );
+
+    println!(
+        "\nheadline: {:.0} tuples/sec/core (batched, 1 core); batched vs per-tuple: {:.2}x",
+        report.headline_tuples_per_sec_per_core, report.speedup_batched_vs_per_tuple
     );
     println!(
-        "\nheadline: {:.0} tuples/sec/core (batched, {} core); batched vs per-tuple: {:.2}x",
-        report.headline_tuples_per_sec_per_core, report.cores, report.speedup_batched_vs_per_tuple
+        "multi-core headline: {:.0} tuples/sec aggregate at {} cores ({:.2}x single-core)",
+        report.headline_multicore_tuples_per_sec, report.cores, report.multicore_speedup
+    );
+    println!(
+        "zero-copy hop: {:.0} ns/envelope vs {:.0} ns/envelope with encode/decode \
+         ({} tuples/envelope, {:.1}x cheaper)",
+        report.zero_copy.zero_copy_ns_per_envelope,
+        report.zero_copy.encoded_ns_per_envelope,
+        report.zero_copy.tuples_per_envelope,
+        report.zero_copy.speedup
     );
     if report.speedup_batched_vs_per_tuple < 2.0 {
         eprintln!(
             "warning: batched arm below the 2x target ({:.2}x)",
             report.speedup_batched_vs_per_tuple
+        );
+    }
+    if report.cores >= 4 && report.multicore_speedup < 2.5 {
+        eprintln!(
+            "warning: {}-core arm below the 2.5x target ({:.2}x)",
+            report.cores, report.multicore_speedup
         );
     }
 

@@ -77,6 +77,23 @@ impl WordCountHarness {
         self.handle.partitions(self.counter)[0]
     }
 
+    /// Scale the hot pipeline stages (splitter and counter) out to
+    /// `partitions` partitions each, so a multi-threaded drain has enough
+    /// independent workers per stage to occupy every core. A no-op at 1.
+    pub fn scale_pipeline(&mut self, partitions: usize) {
+        if partitions <= 1 {
+            return;
+        }
+        let splitter = self.handle.partitions(self.splitter)[0];
+        self.handle
+            .scale_out(splitter, partitions)
+            .expect("scale out splitter");
+        let counter = self.handle.partitions(self.counter)[0];
+        self.handle
+            .scale_out(counter, partitions)
+            .expect("scale out counter");
+    }
+
     /// Drive the query for `seconds` of virtual time at `rate` sentence
     /// fragments per second. Within each virtual second the due fragments are
     /// injected, periodic work (checkpoints, window ticks) runs while they

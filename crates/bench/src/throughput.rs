@@ -1,27 +1,35 @@
 //! Open-loop saturation measurement of the data plane: the word-frequency
 //! query driven as fast as the pipeline absorbs tuples (no virtual-time
 //! pacing, no checkpoints or window ticks in the timed window), once per
-//! batch size. The headline is tuples processed per second per core; the
-//! runtime is single-threaded, so per-core and absolute throughput coincide
-//! and the batched-vs-per-tuple comparison isolates exactly the per-hop
-//! costs batching amortises (envelope serialisation, channel sends, dedup
-//! and clock updates).
+//! batch size and once per core count. The single-core headline is tuples
+//! processed per second per core (the batched arm); the multi-core sweep
+//! scales the hot stages to one partition per core, drains on the parallel
+//! executor and reports aggregate throughput plus scaling efficiency
+//! (aggregate over `cores ×` the single-core run). A micro-measure of one
+//! in-process channel hop quantifies what the zero-copy transport saved
+//! versus the old encode/decode round-trip.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use seep_core::{Key, OperatorId, StreamId, Tuple, TupleBatch};
+use seep_net::{wire, DataChannel, Envelope, Message};
 use seep_runtime::RuntimeConfig;
 
 use crate::harness::WordCountHarness;
 
-/// One measured arm: the query run to saturation at a fixed batch size.
+/// One measured arm: the query run to saturation at a fixed batch size and
+/// core count.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThroughputArm {
-    /// Arm label ("batch=N").
+    /// Arm label ("batch=N" or "cores=N").
     pub label: String,
     /// Per-edge batch size the runtime was configured with.
     pub batch_size: usize,
+    /// Worker threads the drain ran on (the hot stages are scaled to one
+    /// partition per thread when above 1).
+    pub cores: usize,
     /// Sentence fragments injected in the timed window.
     pub fragments: u64,
     /// Tuples processed across all operators in the timed window (fragments
@@ -30,27 +38,59 @@ pub struct ThroughputArm {
     pub tuples_processed: u64,
     /// Wall-clock duration of the timed window (ms).
     pub elapsed_ms: f64,
-    /// Tuples processed per second of wall-clock time.
+    /// Tuples processed per second of wall-clock time (aggregate across all
+    /// cores).
     pub tuples_per_sec: f64,
+    /// Aggregate throughput over `cores ×` the single-core arm of the same
+    /// batch size (1.0 = perfect linear scaling; single-core arms report 1.0
+    /// by definition).
+    pub scaling_efficiency: f64,
+}
+
+/// Before/after cost of one in-process channel hop: the same envelope pushed
+/// through a channel with the old encode/decode round-trip re-applied at
+/// each end, versus the zero-copy channel as it now is.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HopCostReport {
+    /// Envelopes pushed through each variant.
+    pub envelopes: u64,
+    /// Tuples carried per envelope.
+    pub tuples_per_envelope: usize,
+    /// Nanoseconds per envelope with the encode/decode round-trip (the data
+    /// plane before this change).
+    pub encoded_ns_per_envelope: f64,
+    /// Nanoseconds per envelope through the zero-copy channel.
+    pub zero_copy_ns_per_envelope: f64,
+    /// Encoded hop cost over zero-copy hop cost.
+    pub speedup: f64,
 }
 
 /// The full saturation report written to `BENCH_throughput.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThroughputReport {
-    /// Headline: tuples/sec/core of the batched arm (single-threaded
-    /// runtime, so cores = 1 and this equals the arm's absolute throughput).
+    /// Headline: tuples/sec/core of the batched single-core arm.
     pub headline_tuples_per_sec_per_core: f64,
-    /// Cores the data plane used (the controller runtime is
-    /// single-threaded).
+    /// Multi-core headline: aggregate tuples/sec of the widest cores arm.
+    pub headline_multicore_tuples_per_sec: f64,
+    /// Cores the widest arm of the sweep used.
     pub cores: usize,
-    /// Batched arm throughput over per-tuple arm throughput.
+    /// Aggregate throughput of the widest cores arm over the single-core
+    /// batched arm.
+    pub multicore_speedup: f64,
+    /// Batched arm throughput over per-tuple arm throughput (single core).
     pub speedup_batched_vs_per_tuple: f64,
-    /// The batch=1 arm (the seed's per-tuple data plane).
+    /// The batch=1 arm (the seed's per-tuple data plane, single core).
     pub per_tuple: ThroughputArm,
-    /// The batch=64 arm (the batched data plane at its default size).
+    /// The batch=64 arm (the batched data plane at its default size, single
+    /// core).
     pub batched: ThroughputArm,
-    /// Every measured batch size, smallest first.
+    /// Every measured batch size at one core, smallest first.
     pub sweep: Vec<ThroughputArm>,
+    /// Core counts measured at the batched size: 1 (the batched arm itself),
+    /// then doubling up to the requested core count.
+    pub cores_sweep: Vec<ThroughputArm>,
+    /// Micro-measure of one in-process hop, encode/decode vs zero-copy.
+    pub zero_copy: HopCostReport,
     /// Whether this was a `--smoke` run (tiny tuple counts, CI only).
     pub smoke: bool,
 }
@@ -59,9 +99,15 @@ pub struct ThroughputReport {
 /// batched comparison arms.
 pub const SWEEP_BATCH_SIZES: [usize; 4] = [1, 8, 64, 256];
 
-fn measure_arm(batch_size: usize, fragments: u64, chunk: u64) -> ThroughputArm {
-    let config = RuntimeConfig::default().with_batch_size(batch_size);
+/// Batch size of the multi-core arms (the batched data plane's default).
+pub const MULTICORE_BATCH_SIZE: usize = 64;
+
+fn measure_arm(batch_size: usize, cores: usize, fragments: u64, chunk: u64) -> ThroughputArm {
+    let config = RuntimeConfig::default()
+        .with_batch_size(batch_size)
+        .with_worker_threads(cores);
     let mut harness = WordCountHarness::deploy(config, 1_000, 0);
+    harness.scale_pipeline(cores);
     // One untimed chunk warms the dictionaries and allocator.
     harness.pump(chunk, chunk);
     let processed_before = harness.total_processed();
@@ -71,22 +117,89 @@ fn measure_arm(batch_size: usize, fragments: u64, chunk: u64) -> ThroughputArm {
     let elapsed = started.elapsed();
     let tuples_processed = harness.total_processed() - processed_before;
     let elapsed_ms = elapsed.as_secs_f64() * 1_000.0;
+    let label = if cores > 1 {
+        format!("cores={cores}")
+    } else {
+        format!("batch={batch_size}")
+    };
     ThroughputArm {
-        label: format!("batch={batch_size}"),
+        label,
         batch_size,
+        cores,
         fragments: harness.injected() - injected_before,
         tuples_processed,
         elapsed_ms,
         tuples_per_sec: tuples_processed as f64 / elapsed.as_secs_f64().max(1e-9),
+        scaling_efficiency: 1.0,
+    }
+}
+
+/// The core counts measured on the way to `cores`: doubling steps, always
+/// ending at `cores` itself (empty when `cores <= 1`).
+fn core_steps(cores: usize) -> Vec<usize> {
+    let mut steps = Vec::new();
+    let mut n = 2;
+    while n < cores {
+        steps.push(n);
+        n *= 2;
+    }
+    if cores > 1 {
+        steps.push(cores);
+    }
+    steps
+}
+
+/// Measure one in-process hop both ways: with the bincode encode/decode
+/// round-trip every hop used to pay, and through the zero-copy channel.
+pub fn hop_cost(envelopes: u64) -> HopCostReport {
+    const TUPLES: usize = 64;
+    let mut batch = TupleBatch::new();
+    for ts in 1..=TUPLES as u64 {
+        batch.push(Tuple::new(ts, Key(ts), vec![0u8; 24]), 0);
+    }
+    let proto = Envelope::new(
+        OperatorId::new(1),
+        OperatorId::new(2),
+        Message::data_batch(StreamId(0), batch),
+    );
+    let (tx, rx) = DataChannel::new(16);
+
+    let started = Instant::now();
+    for _ in 0..envelopes {
+        // The old data plane: serialise on send, deserialise on receive.
+        let bytes = wire::encode(&proto);
+        let decoded = wire::decode(&bytes).expect("decodes");
+        tx.send(decoded).expect("send");
+        rx.recv_timeout(Duration::ZERO).expect("recv");
+    }
+    let encoded = started.elapsed();
+
+    let started = Instant::now();
+    for _ in 0..envelopes {
+        // The zero-copy plane: the clone bumps payload refcounts, exactly
+        // what a worker pays when it keeps a replay copy.
+        tx.send(proto.clone()).expect("send");
+        rx.recv_timeout(Duration::ZERO).expect("recv");
+    }
+    let zero_copy = started.elapsed();
+
+    let per = |d: Duration| d.as_nanos() as f64 / envelopes.max(1) as f64;
+    HopCostReport {
+        envelopes,
+        tuples_per_envelope: TUPLES,
+        encoded_ns_per_envelope: per(encoded),
+        zero_copy_ns_per_envelope: per(zero_copy),
+        speedup: per(encoded) / per(zero_copy).max(1e-9),
     }
 }
 
 /// Run the saturation sweep: `fragments` sentence fragments per arm, fed in
-/// chunks of `chunk` fragments per drain.
-pub fn saturation(fragments: u64, chunk: u64, smoke: bool) -> ThroughputReport {
+/// chunks of `chunk` fragments per drain, with multi-core arms measured up
+/// to `cores` worker threads.
+pub fn saturation(fragments: u64, chunk: u64, cores: usize, smoke: bool) -> ThroughputReport {
     let sweep: Vec<ThroughputArm> = SWEEP_BATCH_SIZES
         .iter()
-        .map(|&b| measure_arm(b, fragments, chunk))
+        .map(|&b| measure_arm(b, 1, fragments, chunk))
         .collect();
     let per_tuple = sweep
         .iter()
@@ -95,16 +208,36 @@ pub fn saturation(fragments: u64, chunk: u64, smoke: bool) -> ThroughputReport {
         .clone();
     let batched = sweep
         .iter()
-        .find(|a| a.batch_size == 64)
+        .find(|a| a.batch_size == MULTICORE_BATCH_SIZE)
         .expect("sweep includes batch=64")
         .clone();
+
+    let mut cores_sweep = vec![{
+        let mut base = batched.clone();
+        base.label = "cores=1".to_string();
+        base
+    }];
+    for n in core_steps(cores) {
+        let mut arm = measure_arm(MULTICORE_BATCH_SIZE, n, fragments, chunk);
+        arm.scaling_efficiency = arm.tuples_per_sec / (batched.tuples_per_sec.max(1e-9) * n as f64);
+        cores_sweep.push(arm);
+    }
+    let widest = cores_sweep
+        .last()
+        .expect("cores sweep is non-empty")
+        .clone();
+
     ThroughputReport {
         headline_tuples_per_sec_per_core: batched.tuples_per_sec,
-        cores: 1,
+        headline_multicore_tuples_per_sec: widest.tuples_per_sec,
+        cores: widest.cores,
+        multicore_speedup: widest.tuples_per_sec / batched.tuples_per_sec.max(1e-9),
         speedup_batched_vs_per_tuple: batched.tuples_per_sec / per_tuple.tuples_per_sec.max(1e-9),
         per_tuple,
         batched,
         sweep,
+        cores_sweep,
+        zero_copy: hop_cost(if smoke { 2_000 } else { 50_000 }),
         smoke,
     }
 }
@@ -115,12 +248,13 @@ mod tests {
 
     #[test]
     fn saturation_measures_every_sweep_arm() {
-        let report = saturation(2_000, 500, true);
+        let report = saturation(2_000, 500, 2, true);
         assert_eq!(report.sweep.len(), SWEEP_BATCH_SIZES.len());
         for arm in &report.sweep {
             assert_eq!(arm.fragments, 2_000, "{}", arm.label);
             assert!(arm.tuples_processed > arm.fragments, "{}", arm.label);
             assert!(arm.tuples_per_sec > 0.0, "{}", arm.label);
+            assert_eq!(arm.cores, 1, "{}", arm.label);
         }
         assert_eq!(report.per_tuple.batch_size, 1);
         assert_eq!(report.batched.batch_size, 64);
@@ -129,6 +263,36 @@ mod tests {
             report.batched.tuples_per_sec
         );
         assert!(report.speedup_batched_vs_per_tuple > 0.0);
-        assert_eq!(report.cores, 1);
+
+        // The cores sweep carries the single-core baseline plus the 2-core
+        // arm, and the widest arm defines the multi-core headline.
+        assert_eq!(report.cores_sweep.len(), 2);
+        assert_eq!(report.cores_sweep[0].cores, 1);
+        assert_eq!(report.cores_sweep[1].cores, 2);
+        assert!(report.cores_sweep[1].scaling_efficiency > 0.0);
+        assert_eq!(report.cores, 2);
+        assert_eq!(
+            report.headline_multicore_tuples_per_sec,
+            report.cores_sweep[1].tuples_per_sec
+        );
+        assert!(report.zero_copy.speedup > 0.0);
+    }
+
+    #[test]
+    fn core_steps_double_up_to_the_target() {
+        assert!(core_steps(1).is_empty());
+        assert_eq!(core_steps(2), vec![2]);
+        assert_eq!(core_steps(3), vec![2, 3]);
+        assert_eq!(core_steps(4), vec![2, 4]);
+        assert_eq!(core_steps(8), vec![2, 4, 8]);
+        assert_eq!(core_steps(6), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn hop_cost_measures_both_variants() {
+        let report = hop_cost(200);
+        assert_eq!(report.envelopes, 200);
+        assert!(report.encoded_ns_per_envelope > 0.0);
+        assert!(report.zero_copy_ns_per_envelope > 0.0);
     }
 }

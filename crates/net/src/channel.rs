@@ -1,9 +1,13 @@
-//! Bounded, serialising data channels between workers.
+//! Bounded, zero-copy data channels between workers.
 //!
-//! Each channel serialises envelopes to bytes on send and deserialises them on
-//! receive, so the CPU cost of serialisation — which limits the paper's
-//! source/sink throughput — is really paid. Channels are bounded to model the
-//! finite socket buffers that give rise to back-pressure.
+//! Channels move [`Envelope`] values directly: tuple payloads are refcounted
+//! byte buffers ([`bytes::Bytes`]), so an in-process hop is a pointer move
+//! plus a refcount bump — no serialise/deserialise round-trip. The wire
+//! encoding a process boundary would pay lives in [`crate::wire`], and the
+//! byte counters here report the *estimated* wire size of the traffic so the
+//! transport stats keep measuring what a TCP deployment would ship. Channels
+//! are bounded to model the finite socket buffers that give rise to
+//! back-pressure.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -11,7 +15,7 @@ use std::time::Duration;
 
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 
-use crate::message::Envelope;
+use crate::message::{Envelope, Message};
 
 /// Counters describing the traffic that crossed a channel.
 #[derive(Debug, Default)]
@@ -26,7 +30,8 @@ impl TransportStats {
         self.messages.load(Ordering::Relaxed)
     }
 
-    /// Bytes transferred (serialised size).
+    /// Estimated wire bytes transferred (what a process boundary would have
+    /// serialised; local hops do not actually encode).
     pub fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
     }
@@ -40,14 +45,14 @@ impl TransportStats {
 /// The sending half of a data channel.
 #[derive(Clone)]
 pub struct DataSender {
-    tx: Sender<Vec<u8>>,
+    tx: Sender<Envelope>,
     stats: Arc<TransportStats>,
     queued_tuples: Arc<AtomicU64>,
 }
 
 /// The receiving half of a data channel.
 pub struct DataReceiver {
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<Envelope>,
     stats: Arc<TransportStats>,
     queued_tuples: Arc<AtomicU64>,
 }
@@ -58,7 +63,28 @@ fn envelope_tuples(envelope: &Envelope) -> u64 {
     envelope.message.tuple_count().max(1) as u64
 }
 
-/// A bounded channel carrying serialised [`Envelope`]s.
+/// Cheap estimate of the envelope's wire size: fixed header fields plus
+/// per-tuple framing and payload bytes. Constants mirror the bincode layout
+/// ([`crate::wire`]) closely enough for capacity planning without paying an
+/// exact `serialized_size` walk on every hop.
+fn estimated_wire_bytes(envelope: &Envelope) -> usize {
+    // from + to + emitted_at_us + message variant tag + stream id.
+    const HEADER: usize = 8 + 8 + 8 + 4 + 8;
+    // ts + key + payload length prefix.
+    const PER_TUPLE: usize = 8 + 8 + 8;
+    let body = match &envelope.message {
+        Message::Data { tuple, .. } => PER_TUPLE + tuple.payload.len(),
+        Message::DataBatch { batch, .. } => batch
+            .tuples
+            .iter()
+            .map(|tuple| PER_TUPLE + tuple.payload.len())
+            .sum::<usize>(),
+        Message::Control(_) => 8,
+    };
+    HEADER + body
+}
+
+/// A bounded channel carrying [`Envelope`]s by value.
 pub struct DataChannel;
 
 impl DataChannel {
@@ -95,28 +121,26 @@ pub enum ChannelSendError {
 impl DataSender {
     /// Send an envelope, blocking while the channel is full. Returns an error
     /// only when the receiving side is gone.
-    pub fn send(&self, envelope: &Envelope) -> Result<(), ChannelSendError> {
-        let bytes = bincode::serialize(envelope).expect("envelope serialises");
-        let len = bytes.len();
-        let tuples = envelope_tuples(envelope);
+    pub fn send(&self, envelope: Envelope) -> Result<(), ChannelSendError> {
+        let tuples = envelope_tuples(&envelope);
+        let bytes = estimated_wire_bytes(&envelope);
         self.tx
-            .send(bytes)
+            .send(envelope)
             .map_err(|_| ChannelSendError::Disconnected)?;
         self.queued_tuples.fetch_add(tuples, Ordering::Relaxed);
-        self.stats.record(len);
+        self.stats.record(bytes);
         Ok(())
     }
 
     /// Try to send without blocking; fails with [`ChannelSendError::Full`]
     /// when the channel is at capacity.
-    pub fn try_send(&self, envelope: &Envelope) -> Result<(), ChannelSendError> {
-        let bytes = bincode::serialize(envelope).expect("envelope serialises");
-        let len = bytes.len();
-        match self.tx.try_send(bytes) {
+    pub fn try_send(&self, envelope: Envelope) -> Result<(), ChannelSendError> {
+        let tuples = envelope_tuples(&envelope);
+        let bytes = estimated_wire_bytes(&envelope);
+        match self.tx.try_send(envelope) {
             Ok(()) => {
-                self.queued_tuples
-                    .fetch_add(envelope_tuples(envelope), Ordering::Relaxed);
-                self.stats.record(len);
+                self.queued_tuples.fetch_add(tuples, Ordering::Relaxed);
+                self.stats.record(bytes);
                 Ok(())
             }
             Err(TrySendError::Full(_)) => Err(ChannelSendError::Full),
@@ -136,8 +160,7 @@ impl DataReceiver {
     #[allow(clippy::result_unit_err)] // disconnection carries no detail
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Envelope>, ()> {
         match self.rx.recv_timeout(timeout) {
-            Ok(bytes) => {
-                let env: Envelope = bincode::deserialize(&bytes).expect("envelope deserialises");
+            Ok(env) => {
                 self.queued_tuples
                     .fetch_sub(envelope_tuples(&env), Ordering::Relaxed);
                 Ok(Some(env))
@@ -150,8 +173,7 @@ impl DataReceiver {
     /// Drain everything currently queued without blocking.
     pub fn drain(&self) -> Vec<Envelope> {
         let mut out = Vec::new();
-        while let Ok(bytes) = self.rx.try_recv() {
-            let env: Envelope = bincode::deserialize(&bytes).expect("envelope deserialises");
+        while let Ok(env) = self.rx.try_recv() {
             self.queued_tuples
                 .fetch_sub(envelope_tuples(&env), Ordering::Relaxed);
             out.push(env);
@@ -188,8 +210,8 @@ mod tests {
     #[test]
     fn send_receive_roundtrip() {
         let (tx, rx) = DataChannel::new(8);
-        tx.send(&envelope(1)).unwrap();
-        tx.send(&envelope(2)).unwrap();
+        tx.send(envelope(1)).unwrap();
+        tx.send(envelope(2)).unwrap();
         assert_eq!(rx.queued(), 2);
         let first = rx.recv_timeout(Duration::from_millis(10)).unwrap().unwrap();
         match first.message {
@@ -199,6 +221,44 @@ mod tests {
         assert_eq!(rx.drain().len(), 1);
         assert_eq!(rx.stats().messages(), 2);
         assert!(rx.stats().bytes() > 32);
+    }
+
+    /// A local hop must not copy the tuple payload: the received envelope
+    /// shares the sender's payload allocation.
+    #[test]
+    fn local_hop_shares_the_payload_allocation() {
+        let (tx, rx) = DataChannel::new(8);
+        let env = envelope(1);
+        let payload = match &env.message {
+            Message::Data { tuple, .. } => tuple.payload.clone(),
+            _ => unreachable!(),
+        };
+        tx.send(env).unwrap();
+        let received = rx.recv_timeout(Duration::from_millis(10)).unwrap().unwrap();
+        match received.message {
+            Message::Data { tuple, .. } => {
+                assert_eq!(
+                    tuple.payload.as_ptr(),
+                    payload.as_ptr(),
+                    "payload must be refcount-shared, not re-encoded"
+                );
+            }
+            _ => panic!("expected data"),
+        }
+    }
+
+    /// The stats estimate tracks the real wire encoding closely (within the
+    /// framing slack of the bincode layout).
+    #[test]
+    fn estimated_bytes_track_the_wire_encoding() {
+        let env = envelope(7);
+        let estimated = estimated_wire_bytes(&env);
+        let exact = crate::wire::encode(&env).len();
+        let delta = estimated.abs_diff(exact);
+        assert!(
+            delta <= exact / 2 + 16,
+            "estimate {estimated} strayed too far from wire size {exact}"
+        );
     }
 
     #[test]
@@ -214,8 +274,8 @@ mod tests {
             OperatorId::new(2),
             Message::data_batch(StreamId(0), batch),
         );
-        tx.send(&env).unwrap();
-        tx.send(&envelope(9)).unwrap();
+        tx.send(env).unwrap();
+        tx.send(envelope(9)).unwrap();
         assert_eq!(rx.queued(), 6, "5 batched tuples + 1 single");
         rx.recv_timeout(Duration::from_millis(10)).unwrap().unwrap();
         assert_eq!(rx.queued(), 1);
@@ -232,17 +292,17 @@ mod tests {
     #[test]
     fn try_send_reports_backpressure() {
         let (tx, rx) = DataChannel::new(1);
-        tx.try_send(&envelope(1)).unwrap();
-        assert_eq!(tx.try_send(&envelope(2)), Err(ChannelSendError::Full));
+        tx.try_send(envelope(1)).unwrap();
+        assert_eq!(tx.try_send(envelope(2)), Err(ChannelSendError::Full));
         rx.drain();
-        assert!(tx.try_send(&envelope(3)).is_ok());
+        assert!(tx.try_send(envelope(3)).is_ok());
     }
 
     #[test]
     fn dropped_receiver_disconnects_sender() {
         let (tx, rx) = DataChannel::new(1);
         drop(rx);
-        assert_eq!(tx.send(&envelope(1)), Err(ChannelSendError::Disconnected));
+        assert_eq!(tx.send(envelope(1)), Err(ChannelSendError::Disconnected));
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! source and sink saturate at ~600 000 tuples/s. This crate reproduces the
 //! relevant behaviour for a single-process deployment:
 //!
-//! * every message crossing a [`channel::DataChannel`] is serialised to bytes
-//!   and deserialised on receipt (so serialisation cost is actually paid and
-//!   measurable),
+//! * messages crossing a [`channel::DataChannel`] move as values — tuple
+//!   payloads are refcounted buffers, so a local hop is zero-copy; the wire
+//!   encoding a process boundary would pay lives in [`wire`] and stays
+//!   byte-identical to what the serialising channels used to ship,
 //! * channels are bounded, providing the back-pressure that output buffers
 //!   compensate for,
 //! * the [`network::Network`] registry models node-granularity connectivity:
@@ -24,6 +25,7 @@ pub mod channel;
 pub mod latency;
 pub mod message;
 pub mod network;
+pub mod wire;
 
 pub use channel::{DataChannel, DataReceiver, DataSender, TransportStats};
 pub use latency::LatencyModel;

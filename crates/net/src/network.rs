@@ -80,7 +80,7 @@ impl Network {
                 .cloned()
                 .ok_or(SendError::UnknownDestination(to))?
         };
-        sender.send(&envelope).map_err(|e| match e {
+        sender.send(envelope).map_err(|e| match e {
             ChannelSendError::Disconnected => SendError::Disconnected(to),
             ChannelSendError::Full => SendError::Backpressure(to),
         })
@@ -96,7 +96,7 @@ impl Network {
                 .cloned()
                 .ok_or(SendError::UnknownDestination(to))?
         };
-        sender.try_send(&envelope).map_err(|e| match e {
+        sender.try_send(envelope).map_err(|e| match e {
             ChannelSendError::Disconnected => SendError::Disconnected(to),
             ChannelSendError::Full => SendError::Backpressure(to),
         })

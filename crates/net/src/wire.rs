@@ -1,0 +1,80 @@
+//! Transport-boundary encoding of envelopes.
+//!
+//! The in-process channels move [`Envelope`] values directly: tuple payloads
+//! are refcounted byte buffers, so a local hop is a pointer move plus a
+//! refcount bump instead of a serialise/deserialise round-trip. Serialisation
+//! has not disappeared — a process boundary still pays it — it has moved
+//! here, behind the transport boundary, so a future TCP transport encodes
+//! with exactly the bytes every hop used to produce and the encoding stays
+//! one testable definition instead of a side effect of every channel send.
+
+use crate::message::Envelope;
+
+/// Encode an envelope exactly as it would cross a process boundary — the
+/// same bincode bytes every in-process hop paid for before the zero-copy
+/// channels.
+pub fn encode(envelope: &Envelope) -> Vec<u8> {
+    bincode::serialize(envelope).expect("envelope serialises")
+}
+
+/// Decode an envelope received from a remote transport.
+pub fn decode(bytes: &[u8]) -> Result<Envelope, bincode::Error> {
+    bincode::deserialize(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{ControlMessage, Message};
+    use seep_core::{Key, OperatorId, StreamId, Tuple, TupleBatch};
+
+    fn envelopes() -> Vec<Envelope> {
+        let mut batch = TupleBatch::new();
+        batch.push(Tuple::new(5, Key(1), vec![1, 2, 3]), 100);
+        batch.push(Tuple::new(6, Key(2), vec![4]), 0);
+        vec![
+            Envelope::new(
+                OperatorId::new(1),
+                OperatorId::new(2),
+                Message::data(StreamId(0), Tuple::new(3, Key(9), vec![7, 8])),
+            )
+            .with_emit_time(42),
+            Envelope::new(
+                OperatorId::new(3),
+                OperatorId::new(4),
+                Message::data_batch(StreamId(1), batch),
+            ),
+            Envelope::new(
+                OperatorId::new(5),
+                OperatorId::new(5),
+                Message::Control(ControlMessage::StopProcessing),
+            ),
+        ]
+    }
+
+    /// The transport-boundary encoding is byte-identical to what the
+    /// serialising channels used to put on the wire (a direct
+    /// `bincode::serialize` of the envelope), for every message kind.
+    #[test]
+    fn encoding_is_byte_identical_to_the_serialising_channel() {
+        for envelope in envelopes() {
+            let wire = encode(&envelope);
+            let legacy = bincode::serialize(&envelope).unwrap();
+            assert_eq!(wire, legacy, "encoding drifted for {envelope:?}");
+            assert_eq!(wire.len(), envelope.wire_size());
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        for envelope in envelopes() {
+            let back = decode(&encode(&envelope)).expect("decodes");
+            assert_eq!(back, envelope);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&[0xff; 3]).is_err());
+    }
+}

@@ -270,6 +270,16 @@ impl JobBuilder {
         self
     }
 
+    /// Drain the data plane across `threads` OS threads: workers are sharded
+    /// by their placement VM and stepped in parallel, while every
+    /// reconfiguration, checkpoint and window tick keeps the single-threaded
+    /// world (the drain's barrier is their quiesce point). 1 — the default —
+    /// is the cooperative seed stepper.
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.config.worker_threads = threads;
+        self
+    }
+
     /// Move the cursor back to an already-declared operator, so the next
     /// `then_*` / `sink` call branches off it (fan-out).
     pub fn branch(mut self, at: &str) -> Self {

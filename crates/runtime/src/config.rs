@@ -101,6 +101,19 @@ pub struct RuntimeConfig {
     /// Output batch sizes on the data plane (1 = the seed per-tuple path).
     #[serde(default)]
     pub batch: BatchConfig,
+    /// OS threads `drain` shards live workers across. 0 and 1 both select the
+    /// cooperative single-threaded stepper (the default and the seed
+    /// behaviour); above 1, the parallel executor groups workers by placement
+    /// VM and steps the groups on separate threads, quiescing to a barrier
+    /// before anything the single-threaded world owns (ticks, checkpoints,
+    /// reconfiguration plans, utilisation reports).
+    #[serde(default)]
+    pub worker_threads: usize,
+    /// Record one end-to-end latency sample per this many eligible tuples.
+    /// 0 and 1 both stamp every tuple (the seed behaviour); larger values
+    /// thin the histogram's input without shifting its quantiles.
+    #[serde(default)]
+    pub latency_sample_every: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -118,6 +131,8 @@ impl Default for RuntimeConfig {
             store: StoreConfig::default(),
             split: SplitPolicy::default(),
             batch: BatchConfig::default(),
+            worker_threads: 1,
+            latency_sample_every: 1,
         }
     }
 }
@@ -152,6 +167,20 @@ impl RuntimeConfig {
     /// tuples per envelope (1 = the seed per-tuple path).
     pub fn with_batch_size(mut self, size: usize) -> Self {
         self.batch = BatchConfig::uniform(size);
+        self
+    }
+
+    /// A configuration draining the data plane across `threads` OS threads
+    /// (1 = the cooperative single-threaded stepper).
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = threads;
+        self
+    }
+
+    /// A configuration recording one latency sample per `every` eligible
+    /// tuples (1 = stamp every tuple, the seed behaviour).
+    pub fn with_latency_sampling(mut self, every: u32) -> Self {
+        self.latency_sample_every = every;
         self
     }
 }
@@ -209,5 +238,18 @@ mod tests {
             .with_strategy(RecoveryStrategy::UpstreamBackup);
         assert_eq!(c.checkpoint_interval_ms, 10_000);
         assert_eq!(c.strategy, RecoveryStrategy::UpstreamBackup);
+    }
+
+    #[test]
+    fn parallelism_and_sampling_default_to_seed_behaviour() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.worker_threads, 1, "cooperative stepper by default");
+        assert_eq!(c.latency_sample_every, 1, "full stamping by default");
+
+        let c = RuntimeConfig::default()
+            .with_worker_threads(4)
+            .with_latency_sampling(16);
+        assert_eq!(c.worker_threads, 4);
+        assert_eq!(c.latency_sample_every, 16);
     }
 }

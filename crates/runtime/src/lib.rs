@@ -36,6 +36,7 @@ pub mod bottleneck;
 pub mod config;
 pub mod metrics;
 pub mod obs;
+mod parallel;
 pub mod placement;
 pub mod reconfig;
 pub mod recovery;

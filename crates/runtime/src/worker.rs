@@ -13,6 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
+
 use seep_core::{
     BatchAdmission, BatchOutput, BufferState, Checkpoint, DuplicateFilter, Key, LogicalOpId,
     OperatorId, OutputTuple, RoutingState, StatefulOperator, StreamId, Timestamp, TimestampVec,
@@ -30,6 +32,12 @@ use crate::metrics::Metrics;
 #[derive(Debug, Clone, Default)]
 pub struct SharedClock {
     last: Arc<AtomicU64>,
+    /// Serialises [stamp + channel push] across sibling partitions when they
+    /// emit from different worker threads: downstream duplicate filters are
+    /// per-stream high watermarks, so a logical stream's timestamps must
+    /// reach each receiver in monotonic order. The cooperative stepper never
+    /// locks it.
+    emit_gate: Arc<Mutex<()>>,
 }
 
 impl SharedClock {
@@ -63,6 +71,13 @@ impl SharedClock {
     pub fn reset_to(&self, ts: Timestamp) {
         self.last.store(ts, Ordering::Relaxed);
     }
+
+    /// The gate a parallel dispatcher holds while stamping outputs and
+    /// pushing them onto downstream channels. Cloned out so the caller can
+    /// lock it while still mutating the worker that owns the clock.
+    pub(crate) fn emit_gate(&self) -> Arc<Mutex<()>> {
+        Arc::clone(&self.emit_gate)
+    }
 }
 
 /// The state of one worker (one operator instance on one VM).
@@ -89,6 +104,20 @@ pub struct WorkerCore {
     /// full and flushed at every step/tick boundary (and before any
     /// reconfiguration pauses the worker).
     pub out_batch: usize,
+    /// Record one end-to-end latency sample per this many eligible tuples.
+    /// 1 — the default — stamps every tuple (the seed behaviour); larger
+    /// values trade histogram resolution for two fewer `Instant::now` reads
+    /// per unsampled tuple on the hot path.
+    pub latency_sample_every: u64,
+    /// Position in the 1-in-N latency sampling sequence; advances only for
+    /// tuples that would have been sampled at N=1, so N=1 is bit-identical
+    /// to full stamping.
+    latency_seq: u64,
+    /// Whether the worker is currently stepped by the parallel executor.
+    /// Dispatch then serialises [stamp + push] per logical operator through
+    /// the shared clock's emit gate, and batched outputs defer stamping to
+    /// ship time so sibling partitions interleave whole batches.
+    parallel: bool,
     operator: Box<dyn StatefulOperator>,
     receiver: DataReceiver,
     buffer: BufferState,
@@ -100,9 +129,11 @@ pub struct WorkerCore {
     /// in checkpoints so distribution-guided splits weight keys by the load
     /// they actually receive, not by their state footprint.
     traffic: TrafficStats,
-    /// Partially filled output batches per downstream target. Tuples here are
-    /// already in the output buffer (pushed at route time), so a crash before
-    /// the flush loses nothing the replay protocol cannot restore.
+    /// Partially filled output batches per downstream target. In cooperative
+    /// mode tuples here are already stamped and in the output buffer (pushed
+    /// at route time); in parallel mode they are unstamped and buffered only
+    /// at ship time, under the emit gate. Either way a crash before the flush
+    /// loses nothing the replay protocol cannot restore.
     pending: BTreeMap<OperatorId, TupleBatch>,
     paused: bool,
     failed: bool,
@@ -139,6 +170,9 @@ impl WorkerCore {
             stateful,
             keep_buffers,
             out_batch: 1,
+            latency_sample_every: 1,
+            latency_seq: 0,
+            parallel: false,
             operator,
             receiver,
             buffer,
@@ -179,8 +213,9 @@ impl WorkerCore {
 
     /// Crash-stop the worker: it stops processing and its in-memory state is
     /// considered lost — including any partially filled output batches, which
-    /// only the replay protocol can regenerate (they were pushed to the
-    /// output buffer at route time).
+    /// only the replay protocol can regenerate (in cooperative mode they were
+    /// pushed to the output buffer at route time; parallel pending batches
+    /// never outlive the drain that produced them).
     pub fn mark_failed(&mut self) {
         self.failed = true;
         self.pending.clear();
@@ -261,6 +296,25 @@ impl WorkerCore {
         &self.traffic
     }
 
+    /// Switch the worker between cooperative stepping (the default) and
+    /// parallel-executor stepping. Callers must flush pending batches before
+    /// turning parallel mode on: cooperative pending tuples are already
+    /// stamped, while parallel pending tuples take their timestamps at ship
+    /// time.
+    pub(crate) fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// Advance the 1-in-N latency sampling sequence and report whether this
+    /// tuple's latency should be recorded.
+    fn sample_latency(&mut self) -> bool {
+        let hit = self
+            .latency_seq
+            .is_multiple_of(self.latency_sample_every.max(1));
+        self.latency_seq = self.latency_seq.wrapping_add(1);
+        hit
+    }
+
     /// CPU utilisation since the previous report: busy time divided by the
     /// report interval. Reporting is also the traffic counters' decay tick:
     /// one half-life per report interval, so a key must keep receiving
@@ -311,7 +365,7 @@ impl WorkerCore {
                     self.processed += 1;
                     processed += 1;
                     self.dispatch(out, emitted_at_us, network, metrics);
-                    if self.latency_probe && emitted_at_us > 0 {
+                    if self.latency_probe && emitted_at_us > 0 && self.sample_latency() {
                         let now_us = epoch.elapsed().as_micros() as u64;
                         metrics.record_latency_us(now_us.saturating_sub(emitted_at_us));
                     }
@@ -384,7 +438,7 @@ impl WorkerCore {
         if self.latency_probe {
             let now_us = epoch.elapsed().as_micros() as u64;
             for &emit in &emit_us {
-                if emit > 0 {
+                if emit > 0 && self.sample_latency() {
                     metrics.record_latency_us(now_us.saturating_sub(emit));
                 }
             }
@@ -436,6 +490,27 @@ impl WorkerCore {
         network: &Network,
         metrics: &Metrics,
     ) {
+        if outputs.is_empty() {
+            return;
+        }
+        if self.parallel {
+            if self.out_batch > 1 {
+                // Defer stamping to ship time: whole batches take contiguous
+                // timestamp blocks under the emit gate, so sibling partitions
+                // interleave batch-monotonically on the shared stream.
+                for output in outputs {
+                    self.enqueue_routed(output.with_ts(0), emitted_at_us, network, metrics);
+                }
+            } else {
+                let gate = self.clock.emit_gate();
+                let _stamping = gate.lock();
+                for output in outputs {
+                    let ts = self.clock.tick();
+                    self.route_immediate(output.with_ts(ts), emitted_at_us, network, metrics);
+                }
+            }
+            return;
+        }
         for output in outputs {
             let ts = self.clock.tick();
             let tuple = output.with_ts(ts);
@@ -458,6 +533,24 @@ impl WorkerCore {
         metrics: &Metrics,
     ) {
         if out.is_empty() {
+            return;
+        }
+        if self.parallel {
+            if self.out_batch > 1 {
+                for (source, output) in out.into_items() {
+                    let emitted_at_us = input_emit_us.get(source).copied().unwrap_or(0);
+                    // Unstamped until ship time (see `ship_batch`).
+                    self.enqueue_routed(output.with_ts(0), emitted_at_us, network, metrics);
+                }
+            } else {
+                let gate = self.clock.emit_gate();
+                let _stamping = gate.lock();
+                for (source, output) in out.into_items() {
+                    let emitted_at_us = input_emit_us.get(source).copied().unwrap_or(0);
+                    let tuple = output.with_ts(self.clock.tick());
+                    self.route_immediate(tuple, emitted_at_us, network, metrics);
+                }
+            }
             return;
         }
         if self.out_batch > 1 {
@@ -506,9 +599,12 @@ impl WorkerCore {
         }
     }
 
-    /// The batched send: the routed copy joins the target's pending batch
-    /// (buffered for replay at route time, exactly like the immediate path)
-    /// and the batch ships as one envelope once it reaches `out_batch`.
+    /// The batched send: the routed copy joins the target's pending batch and
+    /// the batch ships as one envelope once it reaches `out_batch`. In
+    /// cooperative mode the tuple is buffered for replay at route time,
+    /// exactly like the immediate path; in parallel mode it is unstamped here
+    /// and both stamping and buffering happen at ship time, under the emit
+    /// gate.
     fn enqueue_routed(
         &mut self,
         tuple: Tuple,
@@ -516,19 +612,68 @@ impl WorkerCore {
         network: &Network,
         metrics: &Metrics,
     ) {
+        let mut filled = false;
         for routing in self.routing.values() {
             let Some(target) = routing.route(tuple.key) else {
                 continue;
             };
-            if self.keep_buffers {
+            if !self.parallel && self.keep_buffers {
                 self.buffer.push(target, tuple.clone());
             }
             let slot = self.pending.entry(target).or_default();
             slot.push(tuple.clone(), emitted_at_us);
-            if slot.len() >= self.out_batch {
-                let batch = std::mem::take(slot);
-                send_batch(network, metrics, self.id, self.logical, target, batch);
+            filled |= slot.len() >= self.out_batch;
+        }
+        if filled {
+            self.ship_full_slots(network, metrics);
+        }
+    }
+
+    /// Ship every pending batch that reached `out_batch`. Runs at most once
+    /// per `out_batch` enqueued tuples, so the slot scan amortises to nothing.
+    fn ship_full_slots(&mut self, network: &Network, metrics: &Metrics) {
+        let full: Vec<OperatorId> = self
+            .pending
+            .iter()
+            .filter(|(_, batch)| batch.len() >= self.out_batch)
+            .map(|(target, _)| *target)
+            .collect();
+        for target in full {
+            let batch = std::mem::take(self.pending.get_mut(&target).expect("slot exists"));
+            self.ship_batch(target, batch, network, metrics);
+        }
+    }
+
+    /// Put one batch on the wire. The cooperative path sends it as-is (its
+    /// tuples were stamped and buffered at route time). The parallel path
+    /// stamps the whole batch with one contiguous timestamp block and pushes
+    /// it into the replay buffer here, under the emit gate, so concurrent
+    /// sibling partitions emit monotonically on the shared logical stream.
+    fn ship_batch(
+        &mut self,
+        target: OperatorId,
+        mut batch: TupleBatch,
+        network: &Network,
+        metrics: &Metrics,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        if self.parallel {
+            let gate = self.clock.emit_gate();
+            let _stamping = gate.lock();
+            let first = self.clock.tick_many(batch.len() as u64);
+            for (offset, tuple) in batch.tuples.iter_mut().enumerate() {
+                tuple.ts = first + offset as u64;
             }
+            if self.keep_buffers {
+                for tuple in &batch.tuples {
+                    self.buffer.push(target, tuple.clone());
+                }
+            }
+            send_batch(network, metrics, self.id, self.logical, target, batch);
+        } else {
+            send_batch(network, metrics, self.id, self.logical, target, batch);
         }
     }
 
@@ -547,7 +692,7 @@ impl WorkerCore {
                 continue;
             }
             flushed += batch.len();
-            send_batch(network, metrics, self.id, self.logical, target, batch);
+            self.ship_batch(target, batch, network, metrics);
         }
         flushed
     }
@@ -929,6 +1074,104 @@ mod tests {
         assert_eq!(core.pending_tuples(), 0);
         // The tuples were buffered at route time: replay can regenerate them.
         assert_eq!(core.buffer().tuples_for(OperatorId::new(2)).len(), 2);
+    }
+
+    #[test]
+    fn parallel_batched_outputs_stamp_and_buffer_at_ship_time() {
+        let net = network();
+        let metrics = Metrics::new();
+        let (mut core, downstream_rx) = worker_with_downstream(&net, 1, 2);
+        core.out_batch = 4;
+        core.set_parallel(true);
+        let epoch = Instant::now();
+        for ts in 1..=6u64 {
+            net.send_tuple(
+                OperatorId::new(0),
+                OperatorId::new(1),
+                StreamId(0),
+                Tuple::new(ts, Key(ts), vec![ts as u8]),
+            )
+            .unwrap();
+        }
+        assert_eq!(core.step(&net, &metrics, epoch, 16), 6);
+        let envelopes = downstream_rx.drain();
+        assert_eq!(envelopes.len(), 2);
+        let mut stamped = Vec::new();
+        for env in &envelopes {
+            match &env.message {
+                Message::DataBatch { batch, .. } => {
+                    stamped.extend(batch.tuples.iter().map(|t| t.ts));
+                }
+                _ => panic!("expected batches"),
+            }
+        }
+        // Stamping happened at ship time: contiguous blocks, no zeros left.
+        assert_eq!(stamped, vec![1, 2, 3, 4, 5, 6]);
+        // Replay buffering moved to ship time too — and holds stamped tuples.
+        let buffered = core.buffer().tuples_for(OperatorId::new(2));
+        assert_eq!(buffered.len(), 6);
+        assert!(buffered.iter().all(|t| t.ts > 0));
+    }
+
+    #[test]
+    fn parallel_per_tuple_path_stamps_under_the_gate() {
+        let net = network();
+        let metrics = Metrics::new();
+        let (mut core, downstream_rx) = worker_with_downstream(&net, 1, 2);
+        core.set_parallel(true);
+        let epoch = Instant::now();
+        for ts in 1..=3u64 {
+            net.send_tuple(
+                OperatorId::new(0),
+                OperatorId::new(1),
+                StreamId(0),
+                Tuple::new(ts, Key(ts), vec![]),
+            )
+            .unwrap();
+        }
+        assert_eq!(core.step(&net, &metrics, epoch, 16), 3);
+        let stamped: Vec<u64> = downstream_rx
+            .drain()
+            .into_iter()
+            .map(|env| match env.message {
+                Message::Data { tuple, .. } => tuple.ts,
+                _ => panic!("expected per-tuple envelopes"),
+            })
+            .collect();
+        assert_eq!(stamped, vec![1, 2, 3]);
+        assert_eq!(core.buffer().tuples_for(OperatorId::new(2)).len(), 3);
+    }
+
+    #[test]
+    fn latency_sampling_records_one_in_n() {
+        let net = network();
+        let metrics = Metrics::new();
+        let rx = net.register(OperatorId::new(3));
+        let mut sink = WorkerCore::new(
+            OperatorId::new(3),
+            LogicalOpId(2),
+            passthrough(),
+            rx,
+            BTreeMap::new(),
+            SharedClock::new(),
+            true,
+            true,
+        );
+        sink.latency_sample_every = 3;
+        let epoch = Instant::now();
+        let mut batch = TupleBatch::new();
+        for ts in 1..=7u64 {
+            batch.push(Tuple::new(ts, Key(ts), vec![]), 1);
+        }
+        net.send(Envelope::new(
+            OperatorId::new(1),
+            OperatorId::new(3),
+            Message::data_batch(StreamId(0), batch),
+        ))
+        .unwrap();
+        sink.step(&net, &metrics, epoch, 4);
+        // Samples land on sequence positions 0, 3 and 6: ceil(7 / 3).
+        assert_eq!(metrics.latency_samples(), 3);
     }
 
     #[test]

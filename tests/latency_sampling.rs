@@ -1,0 +1,115 @@
+//! Latency-sampling regression suite: per-tuple latency stamping became
+//! 1-in-N sampling (`RuntimeConfig::with_latency_sampling`). N = 1 — the
+//! default — must be bit-identical to the seed's sample-every-tuple
+//! behaviour; N > 1 must record exactly ⌈eligible/N⌉ samples and keep the
+//! percentile estimates in the same ballpark as the full population.
+
+use seep::core::Key;
+use seep::operators::word_count::WordFrequency;
+use seep::operators::{WindowedWordCount, WordSplitter};
+use seep::runtime::api::{passthrough, Job, JobHandle, SinkCollector};
+use seep::runtime::RuntimeConfig;
+
+/// Short tumbling window so sink output flows within a few virtual seconds.
+const WINDOW_MS: u64 = 2_000;
+
+/// Deploy the word-frequency chain and drive `sentences` two-word sentences
+/// through it in chunks, closing every window, so the sink sees a stable,
+/// deterministic number of tuples (each one a latency-probe candidate).
+fn run(config: RuntimeConfig, sentences: u64) -> (JobHandle, usize) {
+    let results: SinkCollector<WordFrequency> = SinkCollector::new();
+    let mut handle = Job::builder(config)
+        .source("feeder", passthrough("feeder"))
+        .then_stateless("splitter", WordSplitter::new)
+        .then_stateful("counter", || WindowedWordCount::new(WINDOW_MS))
+        .sink_collect("sink", &results)
+        .deploy()
+        .expect("deploy");
+    let mut now = handle.now_ms();
+    for sequence in 0..sentences {
+        let a = (sequence * 7 + 3) % 13;
+        let b = (sequence * 13 + 5) % 13;
+        let sentence = format!("word{a} word{b}");
+        handle
+            .inject_encoded("feeder", Key::from_str_key(&sentence), &sentence)
+            .expect("inject");
+        if sequence % 50 == 49 {
+            now += 500;
+            handle.advance_to(now);
+            handle.drain();
+        }
+    }
+    now += 2 * WINDOW_MS;
+    handle.advance_to(now);
+    handle.drain();
+    let sink_tuples = results.take().len();
+    (handle, sink_tuples)
+}
+
+#[test]
+fn sampling_every_tuple_is_identical_to_the_default() {
+    // `with_latency_sampling(1)` and the untouched default are the same
+    // configuration: one sample per sink tuple, exactly as the seed did it.
+    let (seed, seed_sink) = run(RuntimeConfig::default(), 400);
+    let (explicit, explicit_sink) = run(RuntimeConfig::default().with_latency_sampling(1), 400);
+    assert_eq!(seed_sink, explicit_sink);
+    assert!(seed.metrics().latency_samples() > 0);
+    assert_eq!(
+        seed.metrics().latency_samples(),
+        explicit.metrics().latency_samples()
+    );
+    assert_eq!(seed.metrics().latency_samples(), seed_sink);
+    // Bucket contents are wall-clock dependent, but both runs must have put
+    // one sample in the histogram for every sink tuple.
+    assert_eq!(seed.metrics().latency_histogram().count, seed_sink as u64);
+    assert_eq!(
+        explicit.metrics().latency_histogram().count,
+        seed_sink as u64
+    );
+}
+
+#[test]
+fn one_in_n_records_exactly_ceil_eligible_over_n() {
+    let (full, sink_tuples) = run(RuntimeConfig::default(), 600);
+    assert_eq!(full.metrics().latency_samples(), sink_tuples);
+    for every in [2u32, 3, 8] {
+        let (sampled, sampled_sink) =
+            run(RuntimeConfig::default().with_latency_sampling(every), 600);
+        assert_eq!(sampled_sink, sink_tuples, "data plane must be untouched");
+        // The sample sequence only advances on probe-eligible tuples, so the
+        // hit count is exact, not probabilistic.
+        let expected = sink_tuples.div_ceil(every as usize);
+        assert_eq!(
+            sampled.metrics().latency_samples(),
+            expected,
+            "1-in-{every} of {sink_tuples} eligible tuples"
+        );
+    }
+}
+
+#[test]
+fn sampled_percentiles_track_the_full_population() {
+    // Virtual-time latencies here are near-zero and tightly clustered, so the
+    // check is deliberately loose: sampled percentiles must stay within the
+    // same order of magnitude band as the full population, proving the
+    // sampled histogram is representative rather than empty or wild.
+    let (full, _) = run(RuntimeConfig::default(), 600);
+    let (sampled, _) = run(RuntimeConfig::default().with_latency_sampling(4), 600);
+    assert!(sampled.metrics().latency_samples() > 0);
+    for p in [50.0, 95.0, 99.0] {
+        let full_p = full.metrics().latency_percentile_ms(p);
+        let sampled_p = sampled.metrics().latency_percentile_ms(p);
+        let tolerance = (full_p * 4.0).max(5.0);
+        assert!(
+            (sampled_p - full_p).abs() <= tolerance,
+            "p{p}: sampled {sampled_p} vs full {full_p} (tolerance {tolerance})"
+        );
+    }
+}
+
+#[test]
+fn sampling_zero_is_clamped_to_every_tuple() {
+    // 0 is not a valid stride; the runtime clamps it to 1 (seed behaviour).
+    let (clamped, sink_tuples) = run(RuntimeConfig::default().with_latency_sampling(0), 300);
+    assert_eq!(clamped.metrics().latency_samples(), sink_tuples);
+}

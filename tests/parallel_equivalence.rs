@@ -1,0 +1,279 @@
+//! Parallel/cooperative equivalence suite: draining the same query over the
+//! same injected stream on the threaded worker pool (`worker_threads` ∈
+//! {2, 4}) must be observably identical to the cooperative single-threaded
+//! stepper — same sink outputs in the same order, same per-operator
+//! processed counts, same emit clocks and the same number of latency
+//! samples — including with reconfiguration plans of all five kinds
+//! (scale out, rebalance, scale in, consolidate, recovery) executed
+//! mid-stream between drains.
+//!
+//! Set `SEEP_STORE=file` to run the whole suite against the durable
+//! `FileStore` checkpoint backend (CI does); the default is the in-memory
+//! backend. One test additionally pins the durable backend explicitly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use seep::core::Key;
+use seep::operators::word_count::WordFrequency;
+use seep::operators::{WindowedWordCount, WordSplitter};
+use seep::runtime::api::{passthrough, Job, JobHandle, SinkCollector};
+use seep::runtime::{RuntimeConfig, StoreConfig};
+
+/// Short tumbling window so sink output flows within a few virtual seconds.
+const WINDOW_MS: u64 = 2_000;
+
+/// Distinguishes the on-disk store directories of concurrent runs.
+static RUN_TAG: AtomicUsize = AtomicUsize::new(0);
+
+/// The checkpoint-store backend under test: `SEEP_STORE=file` selects the
+/// durable log-structured backend, anything else the seed's in-memory one.
+fn store_config() -> StoreConfig {
+    match std::env::var("SEEP_STORE").as_deref() {
+        Ok("file") => file_store(),
+        _ => StoreConfig::mem(),
+    }
+}
+
+/// A fresh on-disk store directory for one run.
+fn file_store() -> StoreConfig {
+    let tag = RUN_TAG.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "seep-parallel-equivalence-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    StoreConfig::file(dir)
+}
+
+/// Everything observable about one run, compared across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fingerprint {
+    /// `(word, count, window)` in sink arrival order.
+    sink_outputs: Vec<(String, u64, u64)>,
+    /// Tuples processed per logical operator, in chain order.
+    processed: Vec<(String, u64)>,
+    /// Emit-clock value per logical operator, in chain order.
+    emit_clocks: Vec<(String, u64)>,
+    /// End-to-end latency samples recorded.
+    latency_samples: usize,
+}
+
+/// A reconfiguration plan applied after the chunk with the given 0-based
+/// index, exercising the quiesce barrier between parallel drains.
+#[derive(Debug, Clone, Copy)]
+enum PlanStep {
+    /// Scale the counter out to this parallelism.
+    ScaleOutCounter(usize),
+    /// Scale the splitter out to this parallelism (a *stateless* scale-out:
+    /// its sibling partitions then share the emit gate under the pool).
+    ScaleOutSplitter(usize),
+    /// N-way rebalance of the counter's key ranges.
+    RebalanceCounter,
+    /// Merge the counter's first two partitions (scale in).
+    ScaleInCounter,
+    /// Pack the counter's partitions onto shared VM slots.
+    ConsolidateCounter,
+    /// Crash the first counter partition's VM and recover at this
+    /// parallelism.
+    FailAndRecoverCounter(usize),
+}
+
+fn apply(handle: &mut JobHandle, step: PlanStep) {
+    match step {
+        PlanStep::ScaleOutCounter(pi) => {
+            let target = handle.partitions("counter")[0];
+            handle.scale_out(target, pi).expect("scale out counter");
+        }
+        PlanStep::ScaleOutSplitter(pi) => {
+            let target = handle.partitions("splitter")[0];
+            handle.scale_out(target, pi).expect("scale out splitter");
+        }
+        PlanStep::RebalanceCounter => {
+            handle.rebalance_operator("counter").expect("rebalance");
+        }
+        PlanStep::ScaleInCounter => {
+            let parts = handle.partitions("counter");
+            assert!(parts.len() >= 2, "scale in needs siblings");
+            handle.scale_in(parts[0], parts[1]).expect("scale in");
+        }
+        PlanStep::ConsolidateCounter => {
+            handle.consolidate("counter").expect("consolidate");
+        }
+        PlanStep::FailAndRecoverCounter(pi) => {
+            let victim = handle.partitions("counter")[0];
+            handle.fail_operator(victim);
+            handle.recover(victim, pi).expect("recover");
+        }
+    }
+}
+
+/// Deploy feeder → splitter → windowed word counter → collecting sink,
+/// inject `chunks` of two-word sentences (one drain and 500 ms of virtual
+/// time per chunk), apply any due plans between chunks, close the final
+/// window and fingerprint the run.
+fn run_chain(
+    worker_threads: usize,
+    batch: usize,
+    slots_per_vm: usize,
+    store: StoreConfig,
+    chunks: &[usize],
+    vocabulary: usize,
+    plans: &[(usize, PlanStep)],
+) -> Fingerprint {
+    let mut config = RuntimeConfig::default()
+        .with_store(store)
+        .with_batch_size(batch)
+        .with_worker_threads(worker_threads);
+    config.pool = config.pool.with_slots_per_vm(slots_per_vm);
+    let results: SinkCollector<WordFrequency> = SinkCollector::new();
+    let mut handle = Job::builder(config)
+        .source("feeder", passthrough("feeder"))
+        .then_stateless("splitter", WordSplitter::new)
+        .then_stateful("counter", || WindowedWordCount::new(WINDOW_MS))
+        .sink_collect("sink", &results)
+        .deploy()
+        .expect("deploy");
+    let names = ["feeder", "splitter", "counter", "sink"];
+
+    let mut sequence = 0u64;
+    let mut now = handle.now_ms();
+    for (index, &chunk) in chunks.iter().enumerate() {
+        for _ in 0..chunk {
+            // Deterministic two-word sentences over a bounded vocabulary.
+            let a = (sequence * 7 + 3) % vocabulary as u64;
+            let b = (sequence * 13 + 5) % vocabulary as u64;
+            let sentence = format!("word{a} word{b}");
+            handle
+                .inject_encoded("feeder", Key::from_str_key(&sentence), &sentence)
+                .expect("inject");
+            sequence += 1;
+        }
+        now += 500;
+        handle.advance_to(now);
+        handle.drain();
+        for &(after, step) in plans {
+            if after == index {
+                apply(&mut handle, step);
+                handle.drain();
+            }
+        }
+    }
+    // Close the last window so every pending count reaches the sink.
+    handle.advance_to(now + 2 * WINDOW_MS);
+    handle.drain();
+
+    let metrics = handle.metrics();
+    let processed = names
+        .iter()
+        .map(|name| {
+            let total = handle
+                .partitions(*name)
+                .iter()
+                .map(|id| metrics.processed_by(*id))
+                .sum();
+            (name.to_string(), total)
+        })
+        .collect();
+    let emit_clocks = names
+        .iter()
+        .map(|name| (name.to_string(), handle.emit_clock(*name)))
+        .collect();
+    Fingerprint {
+        sink_outputs: results
+            .take()
+            .into_iter()
+            .map(|f| (f.word, f.count, f.window))
+            .collect(),
+        processed,
+        emit_clocks,
+        latency_samples: metrics.latency_samples(),
+    }
+}
+
+#[test]
+fn worker_pool_matches_the_cooperative_stepper() {
+    let chunks = [40, 25, 1, 33, 18];
+    for batch in [1, 64] {
+        let baseline = run_chain(1, batch, 1, store_config(), &chunks, 23, &[]);
+        assert!(
+            !baseline.sink_outputs.is_empty(),
+            "windows must have closed: {baseline:?}"
+        );
+        for threads in [2, 4] {
+            let pooled = run_chain(threads, batch, 1, store_config(), &chunks, 23, &[]);
+            assert_eq!(baseline, pooled, "threads={threads} batch={batch} diverged");
+        }
+    }
+}
+
+#[test]
+fn scaled_out_stages_match_under_the_pool() {
+    // Both hot stages scaled out mid-stream: the splitter's sibling
+    // partitions then emit concurrently onto the shared logical stream, the
+    // exact scenario the emit gate exists for.
+    let chunks = [30, 30, 30, 20];
+    let plans = [
+        (0, PlanStep::ScaleOutSplitter(2)),
+        (1, PlanStep::ScaleOutCounter(3)),
+    ];
+    let baseline = run_chain(1, 64, 1, store_config(), &chunks, 17, &plans);
+    assert!(!baseline.sink_outputs.is_empty());
+    for threads in [2, 4] {
+        let pooled = run_chain(threads, 64, 1, store_config(), &chunks, 17, &plans);
+        assert_eq!(baseline, pooled, "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn all_five_plan_kinds_match_under_the_pool() {
+    // Scale out → rebalance → crash-recovery → scale in → consolidate, each
+    // between chunks of live traffic, on a pool with two VM slots so
+    // consolidation packs surviving partitions onto shared VMs.
+    let chunks = [30, 20, 20, 20, 20, 15];
+    let plans = [
+        (0, PlanStep::ScaleOutCounter(3)),
+        (1, PlanStep::RebalanceCounter),
+        (2, PlanStep::FailAndRecoverCounter(1)),
+        (3, PlanStep::ScaleInCounter),
+        (4, PlanStep::ConsolidateCounter),
+    ];
+    let baseline = run_chain(1, 64, 2, store_config(), &chunks, 29, &plans);
+    assert!(!baseline.sink_outputs.is_empty());
+    for threads in [2, 4] {
+        let pooled = run_chain(threads, 64, 2, store_config(), &chunks, 29, &plans);
+        assert_eq!(baseline, pooled, "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn durable_file_store_matches_under_the_pool() {
+    // Pin the durable backend explicitly (independent of SEEP_STORE) with a
+    // mid-stream scale-out, so checkpoints really hit the log-structured
+    // store under the pool.
+    let chunks = [25, 25, 20];
+    let plans = [(0, PlanStep::ScaleOutCounter(2))];
+    let baseline = run_chain(1, 64, 1, file_store(), &chunks, 19, &plans);
+    assert!(!baseline.sink_outputs.is_empty());
+    let pooled = run_chain(4, 64, 1, file_store(), &chunks, 19, &plans);
+    assert_eq!(baseline, pooled);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any thread count, batch size and injection interleaving produces the
+    /// cooperative stepper's outputs, counts and clocks.
+    #[test]
+    fn prop_pooled_run_is_equivalent_to_cooperative_run(
+        threads in 2usize..5,
+        batch in 1usize..129,
+        chunks in proptest::collection::vec(1usize..40, 1..5),
+        vocabulary in 5usize..30,
+    ) {
+        let baseline = run_chain(1, batch, 1, store_config(), &chunks, vocabulary, &[]);
+        let pooled = run_chain(threads, batch, 1, store_config(), &chunks, vocabulary, &[]);
+        prop_assert_eq!(baseline, pooled);
+    }
+}
