@@ -22,6 +22,7 @@ pub mod failure;
 pub mod monitor;
 pub mod pool;
 pub mod provider;
+pub mod remote;
 pub mod vm;
 
 pub use billing::BillingLedger;
@@ -29,4 +30,5 @@ pub use failure::FailureInjector;
 pub use monitor::{CpuMonitor, UtilizationReport};
 pub use pool::{PoolStats, VmPool, VmPoolConfig};
 pub use provider::{CloudProvider, ProviderConfig};
+pub use remote::{RegisterError, RemoteVm, RemoteVmRegistry};
 pub use vm::{Vm, VmId, VmSpec, VmState};

@@ -1,0 +1,213 @@
+//! Registry of *real* worker processes acting as VMs.
+//!
+//! The simulated provider hands out VM ids for in-process workers; a
+//! distributed deployment instead has OS processes announcing themselves to
+//! the coordinator. This registry gives each registered process a [`VmId`]
+//! in the same id space the placement and journal machinery already uses,
+//! tracks its slot capacity and data-plane address, and turns missed
+//! heartbeats into the crash-stop failure signal (§2.2) the recovery path
+//! consumes — a `kill -9` and a simulated VM failure look identical above
+//! this line.
+
+use std::collections::BTreeMap;
+
+use crate::vm::VmId;
+
+/// One registered worker process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteVm {
+    /// The VM id the runtime knows this process by.
+    pub vm: VmId,
+    /// Operator-facing name (`--name` on the worker command line).
+    pub name: String,
+    /// Data-plane listen address peers dial for tuple traffic.
+    pub data_addr: String,
+    /// Operator slots the process offers.
+    pub slots: usize,
+    /// Time of the last heartbeat (ms, coordinator clock).
+    pub last_heartbeat_ms: u64,
+    /// Whether the process is considered alive.
+    pub alive: bool,
+}
+
+/// Why a registration was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// A live worker already registered under this name.
+    DuplicateName(String),
+    /// The worker offered no slots.
+    NoSlots,
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::DuplicateName(name) => {
+                write!(f, "a live worker is already registered as {name:?}")
+            }
+            RegisterError::NoSlots => write!(f, "worker offered zero slots"),
+        }
+    }
+}
+
+/// Registry of worker processes, keyed by the VM ids it assigns.
+#[derive(Debug, Default)]
+pub struct RemoteVmRegistry {
+    vms: BTreeMap<VmId, RemoteVm>,
+    next_id: u64,
+}
+
+impl RemoteVmRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        RemoteVmRegistry::default()
+    }
+
+    /// Register a worker process and assign it a VM id. Duplicate live
+    /// names are refused — two processes claiming the same identity is a
+    /// configuration error, not a reconnect.
+    pub fn register(
+        &mut self,
+        name: &str,
+        data_addr: &str,
+        slots: usize,
+        now_ms: u64,
+    ) -> Result<VmId, RegisterError> {
+        if slots == 0 {
+            return Err(RegisterError::NoSlots);
+        }
+        if self.vms.values().any(|w| w.alive && w.name == name) {
+            return Err(RegisterError::DuplicateName(name.to_string()));
+        }
+        let vm = VmId(self.next_id);
+        self.next_id += 1;
+        self.vms.insert(
+            vm,
+            RemoteVm {
+                vm,
+                name: name.to_string(),
+                data_addr: data_addr.to_string(),
+                slots,
+                last_heartbeat_ms: now_ms,
+                alive: true,
+            },
+        );
+        Ok(vm)
+    }
+
+    /// Record a heartbeat from `vm`.
+    pub fn heartbeat(&mut self, vm: VmId, now_ms: u64) {
+        if let Some(w) = self.vms.get_mut(&vm) {
+            w.last_heartbeat_ms = now_ms;
+        }
+    }
+
+    /// Mark `vm` failed (connection dropped or heartbeats missed).
+    pub fn mark_failed(&mut self, vm: VmId) {
+        if let Some(w) = self.vms.get_mut(&vm) {
+            w.alive = false;
+        }
+    }
+
+    /// The record for `vm`.
+    pub fn get(&self, vm: VmId) -> Option<&RemoteVm> {
+        self.vms.get(&vm)
+    }
+
+    /// All live workers, in VM-id order.
+    pub fn live(&self) -> Vec<&RemoteVm> {
+        self.vms.values().filter(|w| w.alive).collect()
+    }
+
+    /// Live workers whose last heartbeat is older than `timeout_ms` — the
+    /// crash-stop failure signal for the recovery path. Does not mark them
+    /// failed; the caller decides when detection becomes action.
+    pub fn timed_out(&self, now_ms: u64, timeout_ms: u64) -> Vec<VmId> {
+        self.vms
+            .values()
+            .filter(|w| w.alive && now_ms.saturating_sub(w.last_heartbeat_ms) > timeout_ms)
+            .map(|w| w.vm)
+            .collect()
+    }
+
+    /// `(name, lag ms)` per live worker, for the heartbeat-lag gauge.
+    pub fn heartbeat_lags(&self, now_ms: u64) -> Vec<(String, f64)> {
+        self.vms
+            .values()
+            .filter(|w| w.alive)
+            .map(|w| {
+                (
+                    w.name.clone(),
+                    now_ms.saturating_sub(w.last_heartbeat_ms) as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// Total slots offered by live workers.
+    pub fn live_slots(&self) -> usize {
+        self.vms.values().filter(|w| w.alive).map(|w| w.slots).sum()
+    }
+
+    /// Number of live workers.
+    pub fn live_count(&self) -> usize {
+        self.vms.values().filter(|w| w.alive).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_and_assigns_distinct_vm_ids() {
+        let mut reg = RemoteVmRegistry::new();
+        let a = reg.register("w1", "127.0.0.1:7001", 2, 10).unwrap();
+        let b = reg.register("w2", "127.0.0.1:7002", 2, 11).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(reg.live_count(), 2);
+        assert_eq!(reg.live_slots(), 4);
+        assert_eq!(reg.get(a).unwrap().data_addr, "127.0.0.1:7001");
+    }
+
+    #[test]
+    fn duplicate_live_name_is_refused_but_a_dead_name_is_reusable() {
+        let mut reg = RemoteVmRegistry::new();
+        let a = reg.register("w1", "127.0.0.1:7001", 1, 0).unwrap();
+        assert_eq!(
+            reg.register("w1", "127.0.0.1:7009", 1, 1),
+            Err(RegisterError::DuplicateName("w1".into()))
+        );
+        reg.mark_failed(a);
+        // A restarted process may reclaim the name of its dead predecessor.
+        assert!(reg.register("w1", "127.0.0.1:7009", 1, 2).is_ok());
+    }
+
+    #[test]
+    fn zero_slots_is_refused() {
+        let mut reg = RemoteVmRegistry::new();
+        assert_eq!(
+            reg.register("w1", "127.0.0.1:7001", 0, 0),
+            Err(RegisterError::NoSlots)
+        );
+    }
+
+    #[test]
+    fn heartbeat_timeouts_surface_as_failures() {
+        let mut reg = RemoteVmRegistry::new();
+        let a = reg.register("w1", "127.0.0.1:7001", 1, 0).unwrap();
+        let b = reg.register("w2", "127.0.0.1:7002", 1, 0).unwrap();
+        reg.heartbeat(a, 900);
+        assert_eq!(reg.timed_out(1_000, 500), vec![b]);
+        reg.heartbeat(b, 1_000);
+        assert!(reg.timed_out(1_100, 500).is_empty());
+        let lags = reg.heartbeat_lags(1_100);
+        assert_eq!(lags.len(), 2);
+        assert_eq!(lags[0], ("w1".to_string(), 200.0));
+        // A failed worker stops being reported at all.
+        reg.mark_failed(a);
+        assert_eq!(reg.live_count(), 1);
+        assert!(reg.timed_out(10_000, 500).contains(&b));
+        assert!(!reg.timed_out(10_000, 500).contains(&a));
+    }
+}

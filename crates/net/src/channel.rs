@@ -4,10 +4,10 @@
 //! byte buffers ([`bytes::Bytes`]), so an in-process hop is a pointer move
 //! plus a refcount bump — no serialise/deserialise round-trip. The wire
 //! encoding a process boundary would pay lives in [`crate::wire`], and the
-//! byte counters here report the *estimated* wire size of the traffic so the
-//! transport stats keep measuring what a TCP deployment would ship. Channels
-//! are bounded to model the finite socket buffers that give rise to
-//! back-pressure.
+//! byte counters here report the *exact* encoded size of the traffic
+//! ([`crate::wire::encoded_size`]) so the transport stats measure precisely
+//! what the TCP transport ships for the same envelopes. Channels are bounded
+//! to model the finite socket buffers that give rise to back-pressure.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 
-use crate::message::{Envelope, Message};
+use crate::message::Envelope;
 
 /// Counters describing the traffic that crossed a channel.
 #[derive(Debug, Default)]
@@ -30,13 +30,15 @@ impl TransportStats {
         self.messages.load(Ordering::Relaxed)
     }
 
-    /// Estimated wire bytes transferred (what a process boundary would have
-    /// serialised; local hops do not actually encode).
+    /// Exact wire bytes transferred: what a process boundary serialises for
+    /// this traffic. Local hops do not actually encode, but they account the
+    /// same byte count the TCP transport pays ([`crate::wire::encoded_size`]).
     pub fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
     }
 
-    fn record(&self, bytes: usize) {
+    /// Record one message of `bytes` encoded size.
+    pub fn record(&self, bytes: usize) {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
@@ -61,27 +63,6 @@ pub struct DataReceiver {
 /// messages still counting as one so `queued() == 0` keeps meaning "empty".
 fn envelope_tuples(envelope: &Envelope) -> u64 {
     envelope.message.tuple_count().max(1) as u64
-}
-
-/// Cheap estimate of the envelope's wire size: fixed header fields plus
-/// per-tuple framing and payload bytes. Constants mirror the bincode layout
-/// ([`crate::wire`]) closely enough for capacity planning without paying an
-/// exact `serialized_size` walk on every hop.
-fn estimated_wire_bytes(envelope: &Envelope) -> usize {
-    // from + to + emitted_at_us + message variant tag + stream id.
-    const HEADER: usize = 8 + 8 + 8 + 4 + 8;
-    // ts + key + payload length prefix.
-    const PER_TUPLE: usize = 8 + 8 + 8;
-    let body = match &envelope.message {
-        Message::Data { tuple, .. } => PER_TUPLE + tuple.payload.len(),
-        Message::DataBatch { batch, .. } => batch
-            .tuples
-            .iter()
-            .map(|tuple| PER_TUPLE + tuple.payload.len())
-            .sum::<usize>(),
-        Message::Control(_) => 8,
-    };
-    HEADER + body
 }
 
 /// A bounded channel carrying [`Envelope`]s by value.
@@ -123,7 +104,7 @@ impl DataSender {
     /// only when the receiving side is gone.
     pub fn send(&self, envelope: Envelope) -> Result<(), ChannelSendError> {
         let tuples = envelope_tuples(&envelope);
-        let bytes = estimated_wire_bytes(&envelope);
+        let bytes = crate::wire::encoded_size(&envelope);
         self.tx
             .send(envelope)
             .map_err(|_| ChannelSendError::Disconnected)?;
@@ -136,7 +117,7 @@ impl DataSender {
     /// when the channel is at capacity.
     pub fn try_send(&self, envelope: Envelope) -> Result<(), ChannelSendError> {
         let tuples = envelope_tuples(&envelope);
-        let bytes = estimated_wire_bytes(&envelope);
+        let bytes = crate::wire::encoded_size(&envelope);
         match self.tx.try_send(envelope) {
             Ok(()) => {
                 self.queued_tuples.fetch_add(tuples, Ordering::Relaxed);
@@ -247,18 +228,18 @@ mod tests {
         }
     }
 
-    /// The stats estimate tracks the real wire encoding closely (within the
-    /// framing slack of the bincode layout).
+    /// The byte counter records exactly what the wire encoding of the same
+    /// traffic would occupy — no estimate slack.
     #[test]
-    fn estimated_bytes_track_the_wire_encoding() {
-        let env = envelope(7);
-        let estimated = estimated_wire_bytes(&env);
-        let exact = crate::wire::encode(&env).len();
-        let delta = estimated.abs_diff(exact);
-        assert!(
-            delta <= exact / 2 + 16,
-            "estimate {estimated} strayed too far from wire size {exact}"
-        );
+    fn recorded_bytes_equal_the_wire_encoding_exactly() {
+        let (tx, rx) = DataChannel::new(8);
+        let mut expected = 0u64;
+        for ts in [0u64, 7, 200, 70_000] {
+            let env = envelope(ts);
+            expected += crate::wire::encode(&env).len() as u64;
+            tx.send(env).unwrap();
+        }
+        assert_eq!(rx.stats().bytes(), expected);
     }
 
     #[test]

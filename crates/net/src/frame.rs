@@ -1,0 +1,213 @@
+//! Length-prefixed framing for the TCP transport.
+//!
+//! Every frame is a 4-byte big-endian length followed by that many payload
+//! bytes. The payload of a data-plane frame is [`crate::wire::encode`]'s
+//! output; the coordinator control plane reuses the same framing with its
+//! own message encoding. [`FrameReader`] reassembles frames from the
+//! arbitrary split points a TCP stream delivers — a frame may arrive in one
+//! read, byte by byte, or glued to its neighbours — and rejects frames
+//! whose advertised length is implausible so a desynchronised or hostile
+//! peer cannot request an unbounded allocation.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload. Generous for data batches (a full batch
+/// of large tuples is far below this) while bounding the allocation a
+/// corrupt length prefix could demand.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Bytes of framing overhead per frame (the length prefix).
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Write one frame: length prefix plus payload, in a single buffered write
+/// so the kernel sees the frame as one unit where possible.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+        ));
+    }
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Read exactly one frame from a blocking reader. Returns `Ok(None)` on a
+/// clean end of stream (EOF at a frame boundary) and an error for a
+/// truncated frame or an oversized length prefix.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection dropped inside a frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection dropped mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Incremental frame reassembly for non-blocking sockets: feed it whatever
+/// bytes a read returned, pop complete frames as they form. Partial frames
+/// stay buffered across reads.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with an empty reassembly buffer.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Append bytes read from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, if one has fully arrived. Returns an
+    /// error when the buffered length prefix is implausible (the stream is
+    /// desynchronised and the connection should be dropped).
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.buf.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds MAX_FRAME_LEN"),
+            ));
+        }
+        if self.buf.len() < FRAME_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = self.buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
+        self.buf.drain(..FRAME_HEADER_LEN + len);
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet consumed as a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn framed(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for p in payloads {
+            write_frame(&mut out, p).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let bytes = framed(&[b"hello", b"", b"world"]);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"world");
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    /// Frames reassemble regardless of where the stream splits them —
+    /// including one byte at a time.
+    #[test]
+    fn reader_reassembles_torn_frames() {
+        let bytes = framed(&[b"alpha", b"beta-beta", b""]);
+        for chunk in [1usize, 2, 3, 7, bytes.len()] {
+            let mut reader = FrameReader::new();
+            let mut frames = Vec::new();
+            for piece in bytes.chunks(chunk) {
+                reader.push(piece);
+                while let Some(f) = reader.next_frame().unwrap() {
+                    frames.push(f);
+                }
+            }
+            assert_eq!(
+                frames,
+                vec![b"alpha".to_vec(), b"beta-beta".to_vec(), Vec::new()],
+                "chunk size {chunk}"
+            );
+            assert_eq!(reader.pending(), 0);
+        }
+    }
+
+    /// A partial frame stays pending: no frame is surfaced until the rest
+    /// arrives.
+    #[test]
+    fn partial_frame_stays_buffered() {
+        let bytes = framed(&[b"partial-frame"]);
+        let mut reader = FrameReader::new();
+        reader.push(&bytes[..bytes.len() - 1]);
+        assert_eq!(reader.next_frame().unwrap(), None);
+        assert!(reader.pending() > 0);
+        reader.push(&bytes[bytes.len() - 1..]);
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"partial-frame");
+    }
+
+    /// A dropped connection mid-frame is an error, not a silent truncation.
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let bytes = framed(&[b"will-be-cut"]);
+        let mut cursor = std::io::Cursor::new(&bytes[..bytes.len() - 3]);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Cut inside the header as well.
+        let mut cursor = std::io::Cursor::new(&bytes[..2]);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut bytes = vec![0xffu8, 0xff, 0xff, 0xff];
+        bytes.extend_from_slice(b"garbage");
+        let mut reader = FrameReader::new();
+        reader.push(&bytes);
+        assert!(reader.next_frame().is_err());
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

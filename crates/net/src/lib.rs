@@ -17,17 +17,27 @@
 //!   a failed VM's endpoints are disconnected, and sends to them fail exactly
 //!   like a broken TCP connection would,
 //! * [`latency::LatencyModel`] provides the transfer-time model the
-//!   discrete-event simulator uses for the same messages.
+//!   discrete-event simulator uses for the same messages,
+//! * the [`transport::Transport`] trait plus [`tcp`] put the same wire
+//!   encoding on real sockets: operators with remote routes are reached
+//!   through length-prefixed [`frame`]s, so a multi-process deployment
+//!   ships byte-for-byte what the in-process counters report.
 
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod frame;
 pub mod latency;
 pub mod message;
 pub mod network;
+pub mod tcp;
+pub mod transport;
 pub mod wire;
 
 pub use channel::{DataChannel, DataReceiver, DataSender, TransportStats};
+pub use frame::{read_frame, write_frame, FrameReader, FRAME_HEADER_LEN, MAX_FRAME_LEN};
 pub use latency::LatencyModel;
 pub use message::{ControlMessage, Envelope, Message};
 pub use network::{Network, SendError};
+pub use tcp::{TcpIngress, TcpTransport};
+pub use transport::{ConnectionStats, RemoteRoute, Transport};

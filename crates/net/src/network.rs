@@ -4,6 +4,12 @@
 //! other worker (or a coordinator) send envelopes to it. Disconnecting an
 //! operator — because its VM failed or was released — closes its channel, so
 //! in-flight sends fail the way writes to a dead TCP peer would.
+//!
+//! Operators hosted in *other* processes are reached through a pluggable
+//! [`Transport`]: a remote route maps the operator id to its host's
+//! data-plane address, and sends to it fall through to the transport. With
+//! no transport installed the network is exactly the in-process plane it
+//! always was — local hops never pay for the indirection.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -15,6 +21,7 @@ use seep_core::{OperatorId, StreamId, Tuple};
 
 use crate::channel::{ChannelSendError, DataChannel, DataReceiver, DataSender};
 use crate::message::{ControlMessage, Envelope, Message};
+use crate::transport::Transport;
 
 /// Error returned when a send cannot be delivered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +38,10 @@ pub enum SendError {
 #[derive(Clone, Default)]
 pub struct Network {
     senders: Arc<RwLock<HashMap<OperatorId, DataSender>>>,
+    /// Operators hosted elsewhere: id → data-plane address of the host.
+    remote: Arc<RwLock<HashMap<OperatorId, String>>>,
+    /// Ships envelopes to remote hosts; `None` for the pure in-process plane.
+    transport: Arc<RwLock<Option<Arc<dyn Transport>>>>,
     capacity: usize,
 }
 
@@ -40,8 +51,51 @@ impl Network {
     pub fn new(capacity: usize) -> Self {
         Network {
             senders: Arc::new(RwLock::new(HashMap::new())),
+            remote: Arc::new(RwLock::new(HashMap::new())),
+            transport: Arc::new(RwLock::new(None)),
             capacity: capacity.max(1),
         }
+    }
+
+    /// Install the transport used for operators with remote routes.
+    pub fn set_transport(&self, transport: Arc<dyn Transport>) {
+        *self.transport.write() = Some(transport);
+    }
+
+    /// The installed transport, if any.
+    pub fn transport(&self) -> Option<Arc<dyn Transport>> {
+        self.transport.read().clone()
+    }
+
+    /// Route sends for `operator` to the process listening at `addr`.
+    /// A local registration always wins over a remote route, so moving an
+    /// operator into this process just means registering it.
+    pub fn set_remote_route(&self, operator: OperatorId, addr: impl Into<String>) {
+        self.remote.write().insert(operator, addr.into());
+    }
+
+    /// Drop the remote route for `operator`.
+    pub fn clear_remote_route(&self, operator: OperatorId) {
+        self.remote.write().remove(&operator);
+    }
+
+    /// Remote routes, in operator order.
+    pub fn remote_routes(&self) -> Vec<(OperatorId, String)> {
+        let mut routes: Vec<(OperatorId, String)> = self
+            .remote
+            .read()
+            .iter()
+            .map(|(op, addr)| (*op, addr.clone()))
+            .collect();
+        routes.sort();
+        routes
+    }
+
+    /// Attempt delivery through the transport when `to` has a remote route.
+    fn send_remote(&self, envelope: &Envelope) -> Option<Result<(), SendError>> {
+        let addr = self.remote.read().get(&envelope.to).cloned()?;
+        let transport = self.transport.read().clone()?;
+        Some(transport.send(&addr, envelope))
     }
 
     /// Register an operator and return the receiving end of its inbound
@@ -70,15 +124,20 @@ impl Network {
         ops
     }
 
-    /// Send an envelope, blocking under back-pressure.
+    /// Send an envelope, blocking under back-pressure. A local endpoint is
+    /// preferred; otherwise the envelope falls through to the transport when
+    /// a remote route exists.
     pub fn send(&self, envelope: Envelope) -> Result<(), SendError> {
         let to = envelope.to;
         let sender = {
             let senders = self.senders.read();
-            senders
-                .get(&to)
-                .cloned()
-                .ok_or(SendError::UnknownDestination(to))?
+            senders.get(&to).cloned()
+        };
+        let Some(sender) = sender else {
+            return match self.send_remote(&envelope) {
+                Some(result) => result,
+                None => Err(SendError::UnknownDestination(to)),
+            };
         };
         sender.send(envelope).map_err(|e| match e {
             ChannelSendError::Disconnected => SendError::Disconnected(to),
@@ -86,15 +145,20 @@ impl Network {
         })
     }
 
-    /// Send without blocking; surfaces back-pressure to the caller.
+    /// Send without blocking; surfaces back-pressure to the caller. Remote
+    /// sends write to the socket directly (the kernel buffer absorbs the
+    /// burst; a full buffer blocks briefly rather than erroring).
     pub fn try_send(&self, envelope: Envelope) -> Result<(), SendError> {
         let to = envelope.to;
         let sender = {
             let senders = self.senders.read();
-            senders
-                .get(&to)
-                .cloned()
-                .ok_or(SendError::UnknownDestination(to))?
+            senders.get(&to).cloned()
+        };
+        let Some(sender) = sender else {
+            return match self.send_remote(&envelope) {
+                Some(result) => result,
+                None => Err(SendError::UnknownDestination(to)),
+            };
         };
         sender.try_send(envelope).map_err(|e| match e {
             ChannelSendError::Disconnected => SendError::Disconnected(to),
@@ -190,6 +254,70 @@ mod tests {
             net.try_send(env),
             Err(SendError::Backpressure(OperatorId::new(4)))
         );
+    }
+
+    /// Sends to an operator with a remote route fall through to the
+    /// transport; a local registration always shadows the route.
+    #[test]
+    fn remote_route_falls_through_to_the_transport() {
+        use crate::transport::{ConnectionStats, Transport};
+        use parking_lot::Mutex;
+
+        #[derive(Default)]
+        struct Recording {
+            sent: Mutex<Vec<(String, Envelope)>>,
+        }
+        impl Transport for Recording {
+            fn send(&self, addr: &str, envelope: &Envelope) -> Result<(), SendError> {
+                self.sent.lock().push((addr.to_string(), envelope.clone()));
+                Ok(())
+            }
+            fn connections(&self) -> Vec<ConnectionStats> {
+                Vec::new()
+            }
+        }
+
+        let net = Network::new(4);
+        let remote_op = OperatorId::new(7);
+        let transport = Arc::new(Recording::default());
+        net.set_transport(transport.clone());
+
+        // No route yet: still an unknown destination.
+        assert_eq!(
+            net.send_control(remote_op, ControlMessage::StopProcessing),
+            Err(SendError::UnknownDestination(remote_op))
+        );
+
+        net.set_remote_route(remote_op, "10.0.0.2:7000");
+        assert_eq!(
+            net.remote_routes(),
+            vec![(remote_op, "10.0.0.2:7000".into())]
+        );
+        net.send_tuple(
+            OperatorId::new(1),
+            remote_op,
+            StreamId(0),
+            Tuple::new(1, Key(1), vec![1]),
+        )
+        .unwrap();
+        net.try_send(Envelope::new(
+            OperatorId::new(1),
+            remote_op,
+            Message::Control(ControlMessage::StartProcessing),
+        ))
+        .unwrap();
+        assert_eq!(transport.sent.lock().len(), 2);
+        assert_eq!(transport.sent.lock()[0].0, "10.0.0.2:7000");
+
+        // Registering the operator locally shadows the remote route.
+        let rx = net.register(remote_op);
+        net.send_control(remote_op, ControlMessage::Shutdown)
+            .unwrap();
+        assert_eq!(rx.queued(), 1);
+        assert_eq!(transport.sent.lock().len(), 2, "local endpoint must win");
+
+        net.clear_remote_route(remote_op);
+        assert!(net.remote_routes().is_empty());
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! with exactly the bytes every hop used to produce and the encoding stays
 //! one testable definition instead of a side effect of every channel send.
 
-use crate::message::Envelope;
+use seep_core::{Tuple, TupleBatch};
+
+use crate::message::{Envelope, Message};
 
 /// Encode an envelope exactly as it would cross a process boundary — the
 /// same bincode bytes every in-process hop paid for before the zero-copy
@@ -20,6 +22,104 @@ pub fn encode(envelope: &Envelope) -> Vec<u8> {
 /// Decode an envelope received from a remote transport.
 pub fn decode(bytes: &[u8]) -> Result<Envelope, bincode::Error> {
     bincode::deserialize(bytes)
+}
+
+/// LEB128 length of a varint-encoded integer.
+fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+/// Encoded size of a bare `u64` value: tag byte plus varint.
+fn u64_size(v: u64) -> usize {
+    1 + varint_len(v)
+}
+
+/// Encoded size of a single-field newtype over an integer (`OperatorId`,
+/// `Key`, `StreamId`): a one-element sequence wrapping the integer.
+fn newtype_u64_size(v: u64) -> usize {
+    // seq tag + element count (1) + tagged varint.
+    2 + u64_size(v)
+}
+
+/// Encoded size of a record field name (names here are short ASCII, so the
+/// length prefix is a single varint byte).
+fn field(name: &str) -> usize {
+    1 + name.len()
+}
+
+/// Encoded size of a sequence header for `count` elements.
+fn seq_header(count: usize) -> usize {
+    1 + varint_len(count as u64)
+}
+
+/// Encoded size of a tuple: a three-field record (`ts`, `key`, `payload`)
+/// with the payload written as raw bytes.
+fn tuple_size(tuple: &Tuple) -> usize {
+    2 + field("ts")
+        + u64_size(tuple.ts)
+        + field("key")
+        + newtype_u64_size(tuple.key.0)
+        + field("payload")
+        + 1
+        + varint_len(tuple.payload.len() as u64)
+        + tuple.payload.len()
+}
+
+/// Encoded size of a tuple batch: a two-field record of parallel sequences.
+fn batch_size(batch: &TupleBatch) -> usize {
+    2 + field("tuples")
+        + seq_header(batch.tuples.len())
+        + batch.tuples.iter().map(tuple_size).sum::<usize>()
+        + field("emitted_at_us")
+        + seq_header(batch.emitted_at_us.len())
+        + batch
+            .emitted_at_us
+            .iter()
+            .map(|&us| u64_size(us))
+            .sum::<usize>()
+}
+
+/// Exact size in bytes of [`encode`]'s output, computed arithmetically —
+/// no allocation, no serialisation walk — so every data-plane hop can
+/// account its true wire bytes. Data messages (the hot path) are costed by
+/// mirroring the encoder's layout field by field; the rare control messages
+/// fall back to a real `serialized_size` walk rather than mirroring the
+/// whole routing-state encoding here.
+pub fn encoded_size(envelope: &Envelope) -> usize {
+    let message = match &envelope.message {
+        // variant tag + name + two-field record body.
+        Message::Data { stream, tuple } => {
+            2 + "Data".len()
+                + 2
+                + field("stream")
+                + newtype_u64_size(u64::from(stream.0))
+                + field("tuple")
+                + tuple_size(tuple)
+        }
+        Message::DataBatch { stream, batch } => {
+            2 + "DataBatch".len()
+                + 2
+                + field("stream")
+                + newtype_u64_size(u64::from(stream.0))
+                + field("batch")
+                + batch_size(batch)
+        }
+        Message::Control(_) => return bincode::serialized_size(envelope).unwrap_or(0) as usize,
+    };
+    // envelope record: four named fields.
+    2 + field("from")
+        + newtype_u64_size(envelope.from.0)
+        + field("to")
+        + newtype_u64_size(envelope.to.0)
+        + field("message")
+        + message
+        + field("emitted_at_us")
+        + u64_size(envelope.emitted_at_us)
 }
 
 #[cfg(test)]
@@ -76,5 +176,49 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert!(decode(&[0xff; 3]).is_err());
+    }
+
+    /// The arithmetic size mirror matches the encoder byte for byte across
+    /// every message kind and across varint length boundaries.
+    #[test]
+    fn encoded_size_is_exact() {
+        // Values straddling every LEB128 length boundary.
+        let edges = [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let mut corpus = envelopes();
+        for &v in &edges {
+            corpus.push(
+                Envelope::new(
+                    OperatorId::new(v),
+                    OperatorId::new(v.wrapping_add(1)),
+                    Message::data(
+                        StreamId(v as u32),
+                        Tuple::new(v, Key(v), vec![0u8; (v % 300) as usize]),
+                    ),
+                )
+                .with_emit_time(v),
+            );
+            let mut batch = TupleBatch::new();
+            for i in 0..(v % 5) + 1 {
+                batch.push(Tuple::new(v, Key(v ^ i), vec![1u8; 130]), v);
+            }
+            corpus.push(Envelope::new(
+                OperatorId::new(2),
+                OperatorId::new(v),
+                Message::data_batch(StreamId(7), batch),
+            ));
+        }
+        // An empty batch exercises the zero-length sequence headers.
+        corpus.push(Envelope::new(
+            OperatorId::new(1),
+            OperatorId::new(2),
+            Message::data_batch(StreamId(0), TupleBatch::new()),
+        ));
+        for envelope in corpus {
+            assert_eq!(
+                encoded_size(&envelope),
+                encode(&envelope).len(),
+                "size mirror drifted for {envelope:?}"
+            );
+        }
     }
 }

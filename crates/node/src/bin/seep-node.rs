@@ -1,0 +1,196 @@
+//! The `seep-node` daemon: one binary, three modes.
+//!
+//! - `seep-node --coordinator --workers N ...` runs the coordinator.
+//! - `seep-node --worker --name w1 --coordinator-addr HOST:PORT ...` runs a
+//!   worker that registers with the coordinator and hosts operators.
+//! - `seep-node --baseline --rounds R --rate T ...` runs the identical job
+//!   in-process and renders the same output, for equivalence checking.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use seep_node::coordinator::{run_coordinator, CoordinatorConfig};
+use seep_node::jobs;
+use seep_node::worker::{run_worker, WorkerConfig, WorkerError};
+
+const USAGE: &str = "\
+seep-node — distribute a seep query over OS processes
+
+USAGE:
+  seep-node --coordinator [--listen ADDR] --workers N [--job NAME]
+            [--rounds R] [--rate T] [--round-delay-ms MS] [--out FILE]
+            [--port-file FILE] [--metrics-addr ADDR]
+            [--metrics-port-file FILE] [--journal FILE]
+            [--heartbeat-timeout-ms MS] [--hold-ms MS]
+  seep-node --worker --name NAME --coordinator-addr ADDR [--data ADDR]
+            [--slots N] [--heartbeat-ms MS] [--job NAME]
+  seep-node --baseline [--rounds R] [--rate T] [--out FILE]
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("seep-node: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+struct Args {
+    argv: Vec<String>,
+    cursor: usize,
+}
+
+impl Args {
+    fn next_flag(&mut self) -> Option<String> {
+        let arg = self.argv.get(self.cursor)?.clone();
+        self.cursor += 1;
+        Some(arg)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<String, String> {
+        let v = self
+            .argv
+            .get(self.cursor)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .clone();
+        self.cursor += 1;
+        Ok(v)
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        self.value(flag)?
+            .parse()
+            .map_err(|_| format!("{flag} has an invalid value"))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = Args {
+        argv: std::env::args().skip(1).collect(),
+        cursor: 0,
+    };
+    match args.next_flag().as_deref() {
+        Some("--coordinator") => coordinator_main(args),
+        Some("--worker") => worker_main(args),
+        Some("--baseline") => baseline_main(args),
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown mode {other:?}")),
+        None => fail("a mode is required"),
+    }
+}
+
+fn coordinator_main(mut args: Args) -> ExitCode {
+    let mut cfg = CoordinatorConfig::default();
+    while let Some(flag) = args.next_flag() {
+        let parsed: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--listen" => cfg.listen = args.value(&flag)?,
+                "--workers" => cfg.workers = args.parse(&flag)?,
+                "--job" => cfg.job = args.value(&flag)?,
+                "--rounds" => cfg.rounds = args.parse(&flag)?,
+                "--rate" => cfg.rate = args.parse(&flag)?,
+                "--round-delay-ms" => cfg.round_delay_ms = args.parse(&flag)?,
+                "--out" => cfg.out = Some(PathBuf::from(args.value(&flag)?)),
+                "--port-file" => cfg.port_file = Some(PathBuf::from(args.value(&flag)?)),
+                "--metrics-addr" => cfg.metrics_addr = Some(args.value(&flag)?),
+                "--metrics-port-file" => {
+                    cfg.metrics_port_file = Some(PathBuf::from(args.value(&flag)?))
+                }
+                "--journal" => cfg.journal_path = Some(PathBuf::from(args.value(&flag)?)),
+                "--heartbeat-timeout-ms" => cfg.heartbeat_timeout_ms = args.parse(&flag)?,
+                "--hold-ms" => cfg.hold_ms = args.parse(&flag)?,
+                other => return Err(format!("unknown coordinator flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = parsed {
+            return fail(&msg);
+        }
+    }
+    match run_coordinator(cfg) {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("seep-node: coordinator failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn worker_main(mut args: Args) -> ExitCode {
+    let mut cfg = WorkerConfig::default();
+    while let Some(flag) = args.next_flag() {
+        let parsed: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--name" => cfg.name = args.value(&flag)?,
+                "--coordinator-addr" => cfg.coordinator = args.value(&flag)?,
+                "--data" => cfg.data_listen = args.value(&flag)?,
+                "--slots" => cfg.slots = args.parse(&flag)?,
+                "--heartbeat-ms" => cfg.heartbeat_ms = args.parse(&flag)?,
+                "--job" => cfg.job = args.value(&flag)?,
+                other => return Err(format!("unknown worker flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = parsed {
+            return fail(&msg);
+        }
+    }
+    if cfg.name.is_empty() {
+        return fail("--name is required for a worker");
+    }
+    if cfg.coordinator.is_empty() {
+        return fail("--coordinator-addr is required for a worker");
+    }
+    match run_worker(cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(WorkerError::Rejected(reason)) => {
+            eprintln!("seep-node: registration rejected: {reason}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("seep-node: worker failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn baseline_main(mut args: Args) -> ExitCode {
+    let mut rounds = 5u64;
+    let mut rate = 20u64;
+    let mut out: Option<PathBuf> = None;
+    while let Some(flag) = args.next_flag() {
+        let parsed: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--rounds" => rounds = args.parse(&flag)?,
+                "--rate" => rate = args.parse(&flag)?,
+                "--out" => out = Some(PathBuf::from(args.value(&flag)?)),
+                other => return Err(format!("unknown baseline flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = parsed {
+            return fail(&msg);
+        }
+    }
+    match jobs::run_baseline(rounds, rate) {
+        Ok(outcome) => {
+            let rendered = outcome.render();
+            if let Some(path) = out {
+                if let Err(e) = std::fs::write(&path, &rendered) {
+                    eprintln!("seep-node: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            print!("{rendered}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("seep-node: baseline failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

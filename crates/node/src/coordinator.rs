@@ -1,0 +1,1029 @@
+//! The coordinator: owns the graph, placement, checkpoints and recovery.
+//!
+//! One coordinator process accepts worker registrations until the requested
+//! cluster size is reached, deploys the job's execution graph across the
+//! workers' slots, and then drives rounds of the same schedule the
+//! in-process baseline uses — inject, quiesce, tick virtual time, quiesce,
+//! checkpoint — entirely over the control protocol. Checkpoints are shipped
+//! back and stored coordinator-side, making the coordinator the checkpoint
+//! store of the deployment.
+//!
+//! Failure handling: a worker that misses heartbeats (or whose control
+//! connection drops mid-command) is marked failed in the
+//! [`RemoteVmRegistry`], and every instance it hosted is recovered through
+//! the paper's R+SM sequence — pause, redeploy from the last checkpoint on a
+//! surviving worker, replay the restored output buffer, rewire and replay
+//! upstream buffers, resume — after which the interrupted step is retried.
+//! Each recovery is journalled as a [`JournalKind::Recovery`] event and
+//! recorded in [`Metrics`], so a real `kill -9` shows up on `/metrics`
+//! exactly like a simulated VM crash.
+//!
+//! Known limits of the demo driver: sources are assumed reliable (the paper
+//! delegates source durability upstream), so killing the worker hosting the
+//! source mid-injection can lose that round's tuples; and only stateful
+//! operators are recovered.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use seep_cloud::{RemoteVmRegistry, VmId};
+use seep_core::graph::OperatorInstance;
+use seep_core::{
+    Checkpoint, ExecutionGraph, Key, LogicalOpId, OperatorId, OperatorKind, ProcessingState,
+    StreamId, TimestampVec,
+};
+use seep_net::FrameReader;
+use seep_runtime::metrics::{CheckpointRecord, RecoveryRecord};
+use seep_runtime::obs::{ObsShared, SlotBinding, TransportConn};
+use seep_runtime::{
+    Journal, JournalEvent, JournalKind, Metrics, ObsServer, ObsSnapshot, PlanTrigger,
+    ReconfigTiming,
+};
+
+use crate::jobs::{self, RunOutcome};
+use crate::protocol::{
+    drain_msgs, read_msg_blocking, write_msg, DeployInstance, InjectEntry, NodeMsg, PeerRoute,
+    RoutingEntry,
+};
+
+/// Configuration of the coordinator process.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Control-plane listen address (port 0 picks an ephemeral port).
+    pub listen: String,
+    /// Number of workers to wait for before deploying.
+    pub workers: usize,
+    /// Job to deploy (must exist in [`jobs`]).
+    pub job: String,
+    /// Rounds to drive; each round injects `rate` words and advances
+    /// virtual time by one second.
+    pub rounds: u64,
+    /// Source tuples injected per round.
+    pub rate: u64,
+    /// Wall-clock pause between rounds — gives fault-injection tests a
+    /// window to kill workers mid-run.
+    pub round_delay_ms: u64,
+    /// Where to write the rendered [`RunOutcome`].
+    pub out: Option<PathBuf>,
+    /// File to write the bound control address to, for test orchestration.
+    pub port_file: Option<PathBuf>,
+    /// Prometheus scrape endpoint address, when observability is wanted.
+    pub metrics_addr: Option<String>,
+    /// File to write the bound scrape address to.
+    pub metrics_port_file: Option<PathBuf>,
+    /// JSONL journal sink path.
+    pub journal_path: Option<PathBuf>,
+    /// Heartbeats older than this mark a worker failed (ms).
+    pub heartbeat_timeout_ms: u64,
+    /// Keep serving `/metrics` this long after the run completes (ms).
+    pub hold_ms: u64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            listen: "127.0.0.1:0".into(),
+            workers: 2,
+            job: jobs::DEFAULT_JOB.into(),
+            rounds: 5,
+            rate: 20,
+            round_delay_ms: 0,
+            out: None,
+            port_file: None,
+            metrics_addr: None,
+            metrics_port_file: None,
+            journal_path: None,
+            heartbeat_timeout_ms: 2_000,
+            hold_ms: 0,
+        }
+    }
+}
+
+/// Why a coordinator step failed.
+#[derive(Debug)]
+enum CoordError {
+    /// The worker's control connection is dead or its heartbeats timed
+    /// out; recovery should run and the step be retried.
+    WorkerDead(VmId),
+    /// A non-recoverable protocol or invariant violation.
+    Protocol(String),
+    /// A local I/O failure.
+    Io(io::Error),
+}
+
+impl From<io::Error> for CoordError {
+    fn from(e: io::Error) -> Self {
+        CoordError::Io(e)
+    }
+}
+
+fn to_io(e: CoordError) -> io::Error {
+    match e {
+        CoordError::Io(e) => e,
+        CoordError::Protocol(what) => io::Error::new(io::ErrorKind::InvalidData, what),
+        CoordError::WorkerDead(vm) => io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            format!("worker vm{} died and recovery did not converge", vm.0),
+        ),
+    }
+}
+
+fn invalid(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+struct WorkerConn {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+/// What one recovered instance needs journalled after the cluster resumes.
+struct Recovered {
+    logical: LogicalOpId,
+    name: String,
+    old_id: OperatorId,
+    new_id: OperatorId,
+    host: VmId,
+    replayed: u64,
+    restore_us: u64,
+    replay_us: u64,
+}
+
+struct Coordinator {
+    cfg: CoordinatorConfig,
+    registry: RemoteVmRegistry,
+    conns: BTreeMap<VmId, WorkerConn>,
+    graph: ExecutionGraph,
+    placement: BTreeMap<OperatorId, VmId>,
+    /// Latest checkpoint per logical operator — the deployment's store.
+    /// Keyed by logical id so a replaced-then-killed instance still finds
+    /// its state.
+    checkpoints: BTreeMap<LogicalOpId, Checkpoint>,
+    /// Last per-instance processed totals, as reported by probes.
+    processed: BTreeMap<OperatorId, u64>,
+    metrics: Metrics,
+    journal: Journal,
+    obs: Arc<ObsShared>,
+    epoch: Instant,
+    last_tick: u64,
+}
+
+impl Coordinator {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Live workers in VM-id order.
+    fn live_vms(&self) -> Vec<VmId> {
+        self.registry.live().iter().map(|w| w.vm).collect()
+    }
+
+    /// Live workers sorted by name — the deterministic placement order.
+    fn live_by_name(&self) -> Vec<VmId> {
+        let mut vms: Vec<(String, VmId)> = self
+            .registry
+            .live()
+            .iter()
+            .map(|w| (w.name.clone(), w.vm))
+            .collect();
+        vms.sort();
+        vms.into_iter().map(|(_, vm)| vm).collect()
+    }
+
+    fn occupancy(&self, vm: VmId) -> usize {
+        self.placement.values().filter(|v| **v == vm).count()
+    }
+
+    fn free_slots(&self, vm: VmId) -> usize {
+        self.registry
+            .get(vm)
+            .map(|w| w.slots.saturating_sub(self.occupancy(vm)))
+            .unwrap_or(0)
+    }
+
+    /// One request/response exchange with a worker, absorbing heartbeats
+    /// that interleave with the reply.
+    fn rpc(&mut self, vm: VmId, msg: &NodeMsg) -> Result<NodeMsg, CoordError> {
+        {
+            let conn = self.conns.get_mut(&vm).ok_or(CoordError::WorkerDead(vm))?;
+            if write_msg(&mut conn.stream, msg).is_err() {
+                return Err(CoordError::WorkerDead(vm));
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            let now = self.now_ms();
+            let conn = self.conns.get_mut(&vm).ok_or(CoordError::WorkerDead(vm))?;
+            let (msgs, open) = match drain_msgs(&mut conn.stream, &mut conn.reader) {
+                Ok(r) => r,
+                Err(_) => return Err(CoordError::WorkerDead(vm)),
+            };
+            let mut reply = None;
+            let mut heartbeat = false;
+            for m in msgs {
+                if matches!(m, NodeMsg::Heartbeat) {
+                    heartbeat = true;
+                } else if reply.is_none() {
+                    reply = Some(m);
+                }
+            }
+            if heartbeat {
+                self.registry.heartbeat(vm, now);
+            }
+            match reply {
+                Some(NodeMsg::Error { what }) => {
+                    return Err(CoordError::Protocol(format!("worker vm{}: {what}", vm.0)))
+                }
+                Some(r) => return Ok(r),
+                None => {}
+            }
+            if !open || Instant::now() > deadline {
+                return Err(CoordError::WorkerDead(vm));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    fn rpc_ack(&mut self, vm: VmId, msg: &NodeMsg) -> Result<(), CoordError> {
+        match self.rpc(vm, msg)? {
+            NodeMsg::Ack => Ok(()),
+            other => Err(CoordError::Protocol(format!(
+                "expected Ack from vm{}, got {other:?}",
+                vm.0
+            ))),
+        }
+    }
+
+    /// Drain heartbeats (and notice closed connections or timeouts) for
+    /// `ms` wall-clock milliseconds without issuing commands.
+    fn pump(&mut self, ms: u64) -> Result<(), CoordError> {
+        let until = Instant::now() + Duration::from_millis(ms);
+        loop {
+            let now = self.now_ms();
+            let mut dead = None;
+            for vm in self.live_vms() {
+                let Some(conn) = self.conns.get_mut(&vm) else {
+                    dead = Some(vm);
+                    continue;
+                };
+                match drain_msgs(&mut conn.stream, &mut conn.reader) {
+                    Ok((msgs, open)) => {
+                        if msgs.iter().any(|m| matches!(m, NodeMsg::Heartbeat)) {
+                            self.registry.heartbeat(vm, now);
+                        }
+                        if !open {
+                            dead = Some(vm);
+                        }
+                    }
+                    Err(_) => dead = Some(vm),
+                }
+            }
+            if let Some(vm) = dead {
+                return Err(CoordError::WorkerDead(vm));
+            }
+            if let Some(&vm) = self
+                .registry
+                .timed_out(self.now_ms(), self.cfg.heartbeat_timeout_ms)
+                .first()
+            {
+                return Err(CoordError::WorkerDead(vm));
+            }
+            if Instant::now() >= until {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Run `step`, recovering failed workers and retrying until it
+    /// succeeds. Bounded: a cluster that keeps losing workers errors out.
+    fn with_retry<T>(
+        &mut self,
+        mut step: impl FnMut(&mut Self) -> Result<T, CoordError>,
+    ) -> io::Result<T> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > 8 {
+                return Err(io::Error::other("too many worker failures; giving up"));
+            }
+            match step(self) {
+                Ok(v) => return Ok(v),
+                Err(CoordError::WorkerDead(vm)) => {
+                    let mut dead = vm;
+                    loop {
+                        match self.recover(dead) {
+                            Ok(()) => break,
+                            Err(CoordError::WorkerDead(next)) => {
+                                attempts += 1;
+                                if attempts > 8 {
+                                    return Err(io::Error::other(
+                                        "too many worker failures; giving up",
+                                    ));
+                                }
+                                dead = next;
+                            }
+                            Err(e) => return Err(to_io(e)),
+                        }
+                    }
+                }
+                Err(e) => return Err(to_io(e)),
+            }
+        }
+    }
+
+    fn routing_entries(&self, logical: LogicalOpId) -> Result<Vec<RoutingEntry>, CoordError> {
+        self.graph
+            .query()
+            .downstream(logical)
+            .into_iter()
+            .map(|d| {
+                Ok(RoutingEntry {
+                    downstream: d.0,
+                    routing: self
+                        .graph
+                        .routing(d)
+                        .map_err(|e| CoordError::Protocol(e.to_string()))?
+                        .clone(),
+                })
+            })
+            .collect()
+    }
+
+    fn deploy_msg(&self, inst: &OperatorInstance) -> Result<DeployInstance, CoordError> {
+        let meta = self
+            .graph
+            .query()
+            .operator(inst.logical)
+            .map_err(|e| CoordError::Protocol(e.to_string()))?;
+        Ok(DeployInstance {
+            op: inst.id.raw(),
+            logical: inst.logical.0,
+            name: meta.name.clone(),
+            is_sink: meta.kind == OperatorKind::Sink,
+            routing: self.routing_entries(inst.logical)?,
+        })
+    }
+
+    /// Remote routes a worker needs: every instance hosted elsewhere.
+    fn peers_for(&self, vm: VmId) -> Vec<PeerRoute> {
+        self.placement
+            .iter()
+            .filter(|(_, host)| **host != vm)
+            .filter_map(|(op, host)| {
+                self.registry.get(*host).map(|w| PeerRoute {
+                    op: op.raw(),
+                    addr: w.data_addr.clone(),
+                })
+            })
+            .collect()
+    }
+
+    fn host_of(&self, op: OperatorId) -> Result<VmId, CoordError> {
+        self.placement
+            .get(&op)
+            .copied()
+            .ok_or_else(|| CoordError::Protocol(format!("instance {op:?} is unplaced")))
+    }
+
+    /// Initial placement: round-robin over name-sorted workers, skipping
+    /// full ones.
+    fn place_all(&mut self) -> Result<(), CoordError> {
+        let vms = self.live_by_name();
+        let instances: Vec<OperatorId> = self.graph.instances().map(|i| i.id).collect();
+        let mut next = 0usize;
+        for op in instances {
+            let mut placed = false;
+            for k in 0..vms.len() {
+                let vm = vms[(next + k) % vms.len()];
+                if self.free_slots(vm) > 0 {
+                    self.placement.insert(op, vm);
+                    next += k + 1;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return Err(CoordError::Protocol(format!(
+                    "no free slot for instance {op:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn deploy_all(&mut self) -> Result<(), CoordError> {
+        for vm in self.live_vms() {
+            let mine: Vec<OperatorInstance> = self
+                .graph
+                .instances()
+                .filter(|i| self.placement.get(&i.id) == Some(&vm))
+                .cloned()
+                .collect();
+            let instances: Vec<DeployInstance> = mine
+                .iter()
+                .map(|i| self.deploy_msg(i))
+                .collect::<Result<_, _>>()?;
+            let peers = self.peers_for(vm);
+            self.rpc_ack(vm, &NodeMsg::Deploy { instances, peers })?;
+        }
+        Ok(())
+    }
+
+    /// Probe every live worker until the whole data plane reports the same
+    /// fully-drained signature over three consecutive rounds.
+    fn quiesce(&mut self) -> Result<(), CoordError> {
+        let mut last_sig: Option<Vec<u64>> = None;
+        let mut stable = 0;
+        loop {
+            if let Some(&vm) = self
+                .registry
+                .timed_out(self.now_ms(), self.cfg.heartbeat_timeout_ms)
+                .first()
+            {
+                return Err(CoordError::WorkerDead(vm));
+            }
+            let mut sig = Vec::new();
+            let mut in_flight = 0u64;
+            for vm in self.live_vms() {
+                match self.rpc(vm, &NodeMsg::Probe)? {
+                    NodeMsg::ProbeReply {
+                        queued,
+                        pending,
+                        processed,
+                        sent_tuples,
+                        received_tuples,
+                    } => {
+                        in_flight += queued + pending;
+                        sig.extend([queued, pending, sent_tuples, received_tuples]);
+                        for c in processed {
+                            let op = OperatorId::new(c.op);
+                            let prev = self.processed.get(&op).copied().unwrap_or(0);
+                            if c.count > prev {
+                                self.metrics.record_processed(op, c.count - prev);
+                            }
+                            self.processed.insert(op, c.count);
+                            sig.extend([c.op, c.count]);
+                        }
+                    }
+                    other => {
+                        return Err(CoordError::Protocol(format!(
+                            "expected ProbeReply, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            if in_flight == 0 && last_sig.as_ref() == Some(&sig) {
+                stable += 1;
+                if stable >= 3 {
+                    return Ok(());
+                }
+            } else {
+                stable = 0;
+                last_sig = Some(sig);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    fn tick_all(&mut self, now_ms: u64) -> Result<(), CoordError> {
+        for vm in self.live_vms() {
+            self.rpc_ack(vm, &NodeMsg::Tick { now_ms })?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint every stateful and sink instance, store the checkpoint
+    /// coordinator-side, and trim upstream output buffers to the reflected
+    /// timestamps (the paper's checkpoint-then-trim protocol).
+    fn capture_round(&mut self, round: u64) -> Result<(), CoordError> {
+        let at_ms = (round + 1) * 1_000;
+        let targets: Vec<OperatorInstance> = self
+            .graph
+            .instances()
+            .filter(|i| {
+                self.graph
+                    .query()
+                    .operator(i.logical)
+                    .map(|o| matches!(o.kind, OperatorKind::Stateful | OperatorKind::Sink))
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        for inst in targets {
+            let host = self.host_of(inst.id)?;
+            let started = Instant::now();
+            let bytes = match self.rpc(
+                host,
+                &NodeMsg::Capture {
+                    op: inst.id.raw(),
+                    sequence: round + 1,
+                },
+            )? {
+                NodeMsg::Captured { bytes, .. } => bytes,
+                other => {
+                    return Err(CoordError::Protocol(format!(
+                        "expected Captured, got {other:?}"
+                    )))
+                }
+            };
+            let cp = Checkpoint::from_bytes(&bytes)
+                .map_err(|e| CoordError::Protocol(format!("undecodable checkpoint: {e}")))?;
+            self.metrics.record_checkpoint(CheckpointRecord {
+                operator: inst.id,
+                at_ms,
+                duration_us: started.elapsed().as_micros() as u64,
+                size_bytes: cp.size_bytes(),
+                stored_bytes: bytes.len(),
+                incremental: false,
+            });
+            let reflected = cp.timestamps().clone();
+            self.checkpoints.insert(inst.logical, cp);
+            for up_logical in self.graph.query().upstream(inst.logical) {
+                let Some(ts) = reflected.get(StreamId(up_logical.0)) else {
+                    continue;
+                };
+                for up in self.graph.partitions(up_logical).to_vec() {
+                    let up_host = self.host_of(up)?;
+                    self.rpc_ack(
+                        up_host,
+                        &NodeMsg::TrimBuffer {
+                            op: up.raw(),
+                            downstream: inst.id.raw(),
+                            ts,
+                        },
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recover every instance stranded on a dead VM: the executor's R+SM
+    /// sequence, driven over the control protocol.
+    fn recover(&mut self, dead: VmId) -> Result<(), CoordError> {
+        let t0 = Instant::now();
+        self.registry.mark_failed(dead);
+        self.conns.remove(&dead);
+
+        let alive: BTreeSet<VmId> = self.live_vms().into_iter().collect();
+        let failed: Vec<(OperatorId, LogicalOpId)> = self
+            .graph
+            .instances()
+            .filter(|i| match self.placement.get(&i.id) {
+                Some(vm) => !alive.contains(vm),
+                None => false,
+            })
+            .map(|i| (i.id, i.logical))
+            .collect();
+        if failed.is_empty() {
+            return Ok(());
+        }
+
+        for vm in self.live_vms() {
+            self.rpc_ack(vm, &NodeMsg::Pause { on: true })?;
+        }
+
+        let mut recovered = Vec::new();
+        for (old_id, logical) in failed {
+            let meta = self
+                .graph
+                .query()
+                .operator(logical)
+                .map_err(|e| CoordError::Protocol(e.to_string()))?;
+            if meta.kind != OperatorKind::Stateful {
+                return Err(CoordError::Protocol(format!(
+                    "cannot recover non-stateful operator {:?} lost with vm{}",
+                    meta.name, dead.0
+                )));
+            }
+            let name = meta.name.clone();
+            let restore_started = Instant::now();
+            let new_inst = self
+                .graph
+                .scale_out_instance(old_id, 1)
+                .map_err(|e| CoordError::Protocol(e.to_string()))?
+                .remove(0);
+            self.placement.remove(&old_id);
+            let host = self
+                .live_by_name()
+                .into_iter()
+                .find(|vm| self.free_slots(*vm) > 0)
+                .ok_or_else(|| {
+                    CoordError::Protocol("no live worker with a free slot".to_string())
+                })?;
+            self.placement.insert(new_inst.id, host);
+
+            let deploy = self.deploy_msg(&new_inst)?;
+            let peers = self.peers_for(host);
+            self.rpc_ack(
+                host,
+                &NodeMsg::Deploy {
+                    instances: vec![deploy],
+                    peers,
+                },
+            )?;
+            let host_addr = self
+                .registry
+                .get(host)
+                .map(|w| w.data_addr.clone())
+                .unwrap_or_default();
+            for vm in self.live_vms() {
+                if vm != host {
+                    self.rpc_ack(
+                        vm,
+                        &NodeMsg::SetPeers {
+                            peers: vec![PeerRoute {
+                                op: new_inst.id.raw(),
+                                addr: host_addr.clone(),
+                            }],
+                        },
+                    )?;
+                }
+            }
+
+            let mut reflected = TimestampVec::new();
+            if let Some(cp) = self.checkpoints.get(&logical) {
+                reflected = cp.timestamps().clone();
+                let bytes = cp
+                    .to_bytes()
+                    .map_err(|e| CoordError::Protocol(e.to_string()))?;
+                self.rpc_ack(
+                    host,
+                    &NodeMsg::Restore {
+                        op: new_inst.id.raw(),
+                        bytes,
+                    },
+                )?;
+            }
+            let restore_us = restore_started.elapsed().as_micros() as u64;
+
+            let replay_started = Instant::now();
+            let routing_entries = self.routing_entries(logical)?;
+            let mut replayed = match self.rpc(
+                host,
+                &NodeMsg::ReplayRestored {
+                    op: new_inst.id.raw(),
+                    routing: routing_entries,
+                },
+            )? {
+                NodeMsg::Replayed { tuples } => tuples,
+                other => {
+                    return Err(CoordError::Protocol(format!(
+                        "expected Replayed, got {other:?}"
+                    )))
+                }
+            };
+
+            let routing = self
+                .graph
+                .routing(logical)
+                .map_err(|e| CoordError::Protocol(e.to_string()))?
+                .clone();
+            for up_logical in self.graph.query().upstream(logical) {
+                for up in self.graph.partitions(up_logical).to_vec() {
+                    let up_host = self.host_of(up)?;
+                    replayed += match self.rpc(
+                        up_host,
+                        &NodeMsg::Rewire {
+                            at: up.raw(),
+                            logical: logical.0,
+                            olds: vec![old_id.raw()],
+                            routing: routing.clone(),
+                            new_targets: vec![new_inst.id.raw()],
+                            reflected: reflected.clone(),
+                        },
+                    )? {
+                        NodeMsg::Replayed { tuples } => tuples,
+                        other => {
+                            return Err(CoordError::Protocol(format!(
+                                "expected Replayed, got {other:?}"
+                            )))
+                        }
+                    };
+                }
+            }
+            let replay_us = replay_started.elapsed().as_micros() as u64;
+            recovered.push(Recovered {
+                logical,
+                name,
+                old_id,
+                new_id: new_inst.id,
+                host,
+                replayed,
+                restore_us,
+                replay_us,
+            });
+        }
+
+        for vm in self.live_vms() {
+            self.rpc_ack(vm, &NodeMsg::Pause { on: false })?;
+        }
+        self.quiesce()?;
+        if self.last_tick > 0 {
+            self.tick_all(self.last_tick)?;
+            self.quiesce()?;
+        }
+
+        let total_us = t0.elapsed().as_micros() as u64;
+        let at_ms = self.now_ms();
+        for r in recovered {
+            let timing = ReconfigTiming {
+                restore_us: r.restore_us,
+                replay_us: r.replay_us,
+                total_us,
+                ..Default::default()
+            };
+            self.journal.append(JournalEvent {
+                seq: 0,
+                at_ms,
+                kind: JournalKind::Recovery,
+                trigger: PlanTrigger::Manual,
+                logical: r.logical.0,
+                operator: r.name,
+                new_parallelism: 1,
+                replayed_tuples: r.replayed as usize,
+                timing,
+                vacated: vec![SlotBinding {
+                    operator: r.old_id.raw(),
+                    vm: Some(dead.0),
+                }],
+                placed: vec![SlotBinding {
+                    operator: r.new_id.raw(),
+                    vm: Some(r.host.0),
+                }],
+                released_vms: vec![dead.0],
+                acquired_vms: vec![],
+                outcome: "ok".into(),
+            });
+            self.metrics.record_recovery(RecoveryRecord {
+                operator: r.new_id,
+                parallelism: 1,
+                duration_ms: t0.elapsed().as_secs_f64() * 1_000.0,
+                replayed_tuples: r.replayed as usize,
+                strategy: "R+SM".into(),
+                timing,
+            });
+        }
+        // Best effort: surface the recovery on /metrics immediately.
+        let _ = self.refresh_obs();
+        Ok(())
+    }
+
+    /// Publish a fresh snapshot to the scrape endpoint: coordinator
+    /// metrics plus every worker's transport counters and heartbeat lags.
+    fn refresh_obs(&mut self) -> Result<(), CoordError> {
+        let mut transport = Vec::new();
+        for vm in self.live_vms() {
+            let name = self
+                .registry
+                .get(vm)
+                .map(|w| w.name.clone())
+                .unwrap_or_default();
+            match self.rpc(vm, &NodeMsg::Stats)? {
+                NodeMsg::StatsReply { conns } => {
+                    for c in conns {
+                        transport.push(TransportConn {
+                            peer: format!("{name}/{}", c.peer),
+                            direction: c.direction,
+                            bytes: c.bytes,
+                            frames: c.frames,
+                            tuples: c.tuples,
+                            reconnects: c.reconnects,
+                        });
+                    }
+                }
+                other => {
+                    return Err(CoordError::Protocol(format!(
+                        "expected StatsReply, got {other:?}"
+                    )))
+                }
+            }
+        }
+        let now = self.now_ms();
+        let occupancy = self
+            .live_vms()
+            .into_iter()
+            .map(|vm| (vm.0, self.occupancy(vm)))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        let slots_per_vm = self
+            .registry
+            .live()
+            .iter()
+            .map(|w| w.slots)
+            .max()
+            .unwrap_or(1);
+        self.obs.update(ObsSnapshot {
+            now_ms: now,
+            metrics: self.metrics.snapshot(),
+            latency: self.metrics.latency_histogram(),
+            occupancy,
+            slots_per_vm,
+            vms_running: self.registry.live_count(),
+            journal_events: self.journal.total(),
+            transport,
+            heartbeat_lag: self.registry.heartbeat_lags(now),
+            ..Default::default()
+        });
+        Ok(())
+    }
+
+    fn logical_by_name(&self, name: &str) -> Result<LogicalOpId, CoordError> {
+        self.graph
+            .query()
+            .operators()
+            .find(|o| o.name == name)
+            .map(|o| o.id)
+            .ok_or_else(|| CoordError::Protocol(format!("job has no operator {name:?}")))
+    }
+
+    /// Collect the sink state and assemble the run's outcome.
+    fn collect_outcome(&mut self) -> Result<RunOutcome, CoordError> {
+        let sink = self.logical_by_name("results")?;
+        let sink_inst = self.graph.partitions(sink)[0];
+        let host = self.host_of(sink_inst)?;
+        let bytes = match self.rpc(
+            host,
+            &NodeMsg::CollectState {
+                op: sink_inst.raw(),
+            },
+        )? {
+            NodeMsg::StateBytes { bytes, .. } => bytes,
+            other => {
+                return Err(CoordError::Protocol(format!(
+                    "expected StateBytes, got {other:?}"
+                )))
+            }
+        };
+        let state: ProcessingState = bincode::deserialize(&bytes)
+            .map_err(|e| CoordError::Protocol(format!("undecodable sink state: {e}")))?;
+        let results = jobs::decode_sink_state(&state);
+        let processed = ["feed", "count", "results"]
+            .into_iter()
+            .map(|name| {
+                let total = self
+                    .logical_by_name(name)
+                    .map(|lid| {
+                        self.graph
+                            .partitions(lid)
+                            .iter()
+                            .map(|op| self.processed.get(op).copied().unwrap_or(0))
+                            .sum()
+                    })
+                    .unwrap_or(0);
+                (name.to_string(), total)
+            })
+            .collect();
+        Ok(RunOutcome { results, processed })
+    }
+
+    fn run(&mut self) -> io::Result<RunOutcome> {
+        self.with_retry(|c| {
+            c.place_all()?;
+            c.deploy_all()
+        })?;
+        self.with_retry(|c| c.refresh_obs())?;
+
+        let feed = self.logical_by_name("feed").map_err(to_io)?;
+        for round in 0..self.cfg.rounds {
+            let words = jobs::round_words(round, self.cfg.rate, jobs::VOCAB);
+            let entries: Vec<InjectEntry> = words
+                .iter()
+                .map(|w| {
+                    Ok(InjectEntry {
+                        key: Key::from_str_key(w).0,
+                        payload: bincode::serialize(w).map_err(invalid)?,
+                    })
+                })
+                .collect::<io::Result<_>>()?;
+            self.with_retry(|c| {
+                let source = c.graph.partitions(feed)[0];
+                let host = c.host_of(source)?;
+                c.rpc_ack(
+                    host,
+                    &NodeMsg::InjectMany {
+                        op: source.raw(),
+                        entries: entries.clone(),
+                    },
+                )
+            })?;
+            self.with_retry(|c| c.quiesce())?;
+            let now_ms = (round + 1) * 1_000;
+            self.with_retry(|c| c.tick_all(now_ms))?;
+            self.last_tick = now_ms;
+            self.with_retry(|c| c.quiesce())?;
+            self.with_retry(|c| c.capture_round(round))?;
+            self.with_retry(|c| c.refresh_obs())?;
+            if self.cfg.round_delay_ms > 0 {
+                let delay = self.cfg.round_delay_ms;
+                self.with_retry(|c| c.pump(delay))?;
+            }
+        }
+
+        let outcome = self.with_retry(|c| c.collect_outcome())?;
+        if let Some(path) = self.cfg.out.clone() {
+            fs::write(path, outcome.render())?;
+        }
+        self.with_retry(|c| c.refresh_obs())?;
+        if self.cfg.hold_ms > 0 {
+            let hold = self.cfg.hold_ms;
+            self.with_retry(|c| c.pump(hold))?;
+        }
+        for vm in self.live_vms() {
+            if let Some(conn) = self.conns.get_mut(&vm) {
+                let _ = write_msg(&mut conn.stream, &NodeMsg::Shutdown);
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+/// Run a coordinator process to completion: accept registrations until the
+/// cluster is full, deploy the job, drive the configured rounds (recovering
+/// from worker failures), and return the collected outcome.
+pub fn run_coordinator(cfg: CoordinatorConfig) -> io::Result<RunOutcome> {
+    let listener = TcpListener::bind(&cfg.listen)?;
+    let bound = listener.local_addr()?;
+    if let Some(pf) = &cfg.port_file {
+        fs::write(pf, bound.to_string())?;
+    }
+
+    let obs = Arc::new(ObsShared::default());
+    let _obs_server = match &cfg.metrics_addr {
+        Some(addr) => {
+            let server = ObsServer::start(addr, obs.clone())?;
+            if let Some(pf) = &cfg.metrics_port_file {
+                fs::write(pf, server.addr().to_string())?;
+            }
+            Some(server)
+        }
+        None => None,
+    };
+
+    let journal = Journal::default();
+    if let Some(path) = &cfg.journal_path {
+        journal.attach_sink(path)?;
+    }
+
+    let epoch = Instant::now();
+    let mut registry = RemoteVmRegistry::new();
+    let mut conns = BTreeMap::new();
+    while registry.live_count() < cfg.workers {
+        let (mut stream, _) = listener.accept()?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let now_ms = epoch.elapsed().as_millis() as u64;
+        match read_msg_blocking(&mut stream)? {
+            Some(NodeMsg::Hello {
+                name,
+                slots,
+                data_addr,
+            }) => match registry.register(&name, &data_addr, slots as usize, now_ms) {
+                Ok(vm) => {
+                    write_msg(&mut stream, &NodeMsg::Welcome { vm: vm.0 })?;
+                    stream.set_read_timeout(Some(Duration::from_millis(10)))?;
+                    conns.insert(
+                        vm,
+                        WorkerConn {
+                            stream,
+                            reader: FrameReader::new(),
+                        },
+                    );
+                }
+                Err(e) => {
+                    let _ = write_msg(
+                        &mut stream,
+                        &NodeMsg::Reject {
+                            reason: e.to_string(),
+                        },
+                    );
+                }
+            },
+            _ => continue,
+        }
+    }
+
+    let graph = ExecutionGraph::deploy(jobs::query().map_err(invalid)?).map_err(invalid)?;
+
+    let mut coordinator = Coordinator {
+        cfg,
+        registry,
+        conns,
+        graph,
+        placement: BTreeMap::new(),
+        checkpoints: BTreeMap::new(),
+        processed: BTreeMap::new(),
+        metrics: Metrics::new(),
+        journal,
+        obs,
+        epoch,
+        last_tick: 0,
+    };
+    coordinator.run()
+}

@@ -1,0 +1,390 @@
+//! The coordinator ↔ worker control protocol.
+//!
+//! Bincode-encoded [`NodeMsg`] values in the same length-prefixed frames
+//! ([`seep_net::frame`]) the data plane uses. The protocol is strictly
+//! request/response from the coordinator's point of view — every command it
+//! sends is answered by exactly one reply — with one exception: workers
+//! push unsolicited [`NodeMsg::Heartbeat`] messages on the same connection,
+//! which the coordinator absorbs while waiting for replies.
+//!
+//! Data-plane tuples never travel here: workers stream batches peer-to-peer
+//! over [`seep_net::TcpTransport`]. The control plane only carries commands,
+//! checkpoints and state collections.
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use seep_core::{RoutingState, TimestampVec};
+use seep_net::{write_frame, FrameReader};
+
+/// One operator instance a worker is asked to host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeployInstance {
+    /// Physical operator instance id (raw).
+    pub op: u64,
+    /// Logical operator id (raw).
+    pub logical: u32,
+    /// Logical operator name — the worker resolves the operator factory
+    /// from this name and its `--job`.
+    pub name: String,
+    /// Whether the instance is a sink.
+    pub is_sink: bool,
+    /// Routing towards each logical downstream operator.
+    pub routing: Vec<RoutingEntry>,
+}
+
+/// Routing state towards one logical downstream operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingEntry {
+    /// Raw id of the logical downstream operator.
+    pub downstream: u32,
+    /// Key-range routing towards its partitions.
+    pub routing: RoutingState,
+}
+
+/// Data-plane address of a remote instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerRoute {
+    /// Raw physical operator id.
+    pub op: u64,
+    /// `host:port` of the data-plane listener of the hosting worker.
+    pub addr: String,
+}
+
+/// One source tuple to inject.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectEntry {
+    /// Raw tuple key.
+    pub key: u64,
+    /// Encoded payload.
+    pub payload: Vec<u8>,
+}
+
+/// Per-instance processed count, as reported by probes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpCount {
+    /// Raw physical operator id.
+    pub op: u64,
+    /// Tuples processed by the instance since it was deployed.
+    pub count: u64,
+}
+
+/// Counters for one data-plane connection, as reported by `Stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnStat {
+    /// Peer address.
+    pub peer: String,
+    /// `"out"` or `"in"`.
+    pub direction: String,
+    /// Envelope payload bytes.
+    pub bytes: u64,
+    /// Complete frames.
+    pub frames: u64,
+    /// Data tuples carried.
+    pub tuples: u64,
+    /// Re-dials after connection failures.
+    pub reconnects: u64,
+}
+
+/// A control-plane message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeMsg {
+    /// Worker → coordinator: register this process as a VM.
+    Hello {
+        /// Worker identity (`--name`).
+        name: String,
+        /// Operator slots offered.
+        slots: u64,
+        /// Data-plane listen address peers should dial.
+        data_addr: String,
+    },
+    /// Coordinator → worker: registration accepted.
+    Welcome {
+        /// The VM id assigned to the worker.
+        vm: u64,
+    },
+    /// Coordinator → worker: registration refused (duplicate name, no slots).
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Worker → coordinator: liveness signal (unsolicited).
+    Heartbeat,
+    /// Host the given instances and install remote routes.
+    Deploy {
+        /// Instances this worker must host.
+        instances: Vec<DeployInstance>,
+        /// Data-plane addresses of instances hosted elsewhere.
+        peers: Vec<PeerRoute>,
+    },
+    /// Install (additional) remote routes.
+    SetPeers {
+        /// Data-plane addresses of instances hosted elsewhere.
+        peers: Vec<PeerRoute>,
+    },
+    /// Inject source tuples at a locally hosted source instance.
+    InjectMany {
+        /// The source instance.
+        op: u64,
+        /// The tuples to emit.
+        entries: Vec<InjectEntry>,
+    },
+    /// Trigger time-based operator behaviour on every local instance.
+    Tick {
+        /// Virtual time in milliseconds.
+        now_ms: u64,
+    },
+    /// Request a quiescence signature.
+    Probe,
+    /// Reply to [`NodeMsg::Probe`]. The coordinator declares the data plane
+    /// quiescent once the concatenation of every live worker's reply is
+    /// unchanged over several consecutive probe rounds.
+    ProbeReply {
+        /// Tuples queued on local inbound channels.
+        queued: u64,
+        /// Output tuples in partially filled batches.
+        pending: u64,
+        /// Per-instance processed totals.
+        processed: Vec<OpCount>,
+        /// Data tuples sent over the TCP transport so far.
+        sent_tuples: u64,
+        /// Data tuples received over the TCP ingress so far.
+        received_tuples: u64,
+    },
+    /// Take a checkpoint of a local instance.
+    Capture {
+        /// The instance to checkpoint.
+        op: u64,
+        /// Checkpoint sequence number.
+        sequence: u64,
+    },
+    /// Reply to [`NodeMsg::Capture`]: the serialised checkpoint.
+    Captured {
+        /// The checkpointed instance.
+        op: u64,
+        /// `Checkpoint::to_bytes` output.
+        bytes: Vec<u8>,
+    },
+    /// Trim a local instance's output buffer towards a downstream instance
+    /// (Algorithm 1, line 4 — after the downstream checkpoint committed).
+    TrimBuffer {
+        /// The upstream instance whose buffer to trim.
+        op: u64,
+        /// The downstream instance the buffer feeds.
+        downstream: u64,
+        /// Trim up to and including this timestamp.
+        ts: u64,
+    },
+    /// Pause or resume every local instance.
+    Pause {
+        /// `true` to pause, `false` to resume.
+        on: bool,
+    },
+    /// Restore a local instance from a serialised checkpoint. Resets the
+    /// instance's output clock to the checkpoint's emit clock so re-emitted
+    /// tuples are recognised as duplicates downstream.
+    Restore {
+        /// The instance to restore.
+        op: u64,
+        /// `Checkpoint::to_bytes` output.
+        bytes: Vec<u8>,
+    },
+    /// A restored instance replays its restored output buffers downstream
+    /// (Algorithm 3, line 7); downstream duplicate filters discard what they
+    /// already processed.
+    ReplayRestored {
+        /// The restored instance.
+        op: u64,
+        /// Fresh routing towards each logical downstream operator.
+        routing: Vec<RoutingEntry>,
+    },
+    /// Update one upstream instance after a recovery: install the new
+    /// routing towards the recovered logical operator, migrate tuples
+    /// buffered for the replaced instances, replay everything `reflected`
+    /// does not cover (Algorithm 3, lines 9–14).
+    Rewire {
+        /// The local upstream instance to update.
+        at: u64,
+        /// Raw id of the reconfigured logical downstream operator.
+        logical: u32,
+        /// The replaced (failed) instances.
+        olds: Vec<u64>,
+        /// New routing towards the logical operator's partitions.
+        routing: RoutingState,
+        /// The new partitions to replay buffered tuples to.
+        new_targets: Vec<u64>,
+        /// Timestamps already reflected in the restored checkpoint.
+        reflected: TimestampVec,
+    },
+    /// Reply to replay commands: how many tuples were re-sent.
+    Replayed {
+        /// Tuples replayed.
+        tuples: u64,
+    },
+    /// Fetch a local instance's processing state (result collection).
+    CollectState {
+        /// The instance to read.
+        op: u64,
+    },
+    /// Reply to [`NodeMsg::CollectState`].
+    StateBytes {
+        /// The instance read.
+        op: u64,
+        /// Bincode-encoded `ProcessingState`.
+        bytes: Vec<u8>,
+    },
+    /// Request data-plane connection counters.
+    Stats,
+    /// Reply to [`NodeMsg::Stats`].
+    StatsReply {
+        /// Transport and ingress connection counters.
+        conns: Vec<ConnStat>,
+    },
+    /// Generic success reply.
+    Ack,
+    /// Generic failure reply.
+    Error {
+        /// What went wrong.
+        what: String,
+    },
+    /// Coordinator → worker: exit cleanly.
+    Shutdown,
+}
+
+/// Encode `msg` and write it as one frame.
+pub fn write_msg<W: Write>(w: &mut W, msg: &NodeMsg) -> io::Result<()> {
+    let bytes = bincode::serialize(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame(w, &bytes)
+}
+
+/// Decode one framed message payload.
+pub fn decode_msg(frame: &[u8]) -> io::Result<NodeMsg> {
+    bincode::deserialize(frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Blocking read of the next message from a stream (registration handshake).
+/// Returns `Ok(None)` on clean EOF.
+pub fn read_msg_blocking<R: Read>(r: &mut R) -> io::Result<Option<NodeMsg>> {
+    match seep_net::read_frame(r)? {
+        Some(frame) => Ok(Some(decode_msg(&frame)?)),
+        None => Ok(None),
+    }
+}
+
+/// Pull every decodable message out of readable (non-blocking) stream bytes.
+///
+/// Reads until the socket would block (or EOF), pushing bytes through
+/// `reader` and decoding complete frames. Returns the decoded messages and
+/// whether the stream is still open.
+pub fn drain_msgs<R: Read>(
+    stream: &mut R,
+    reader: &mut FrameReader,
+) -> io::Result<(Vec<NodeMsg>, bool)> {
+    let mut open = true;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                open = false;
+                break;
+            }
+            Ok(n) => reader.push(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let mut msgs = Vec::new();
+    while let Some(frame) = reader.next_frame()? {
+        msgs.push(decode_msg(&frame)?);
+    }
+    Ok((msgs, open))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seep_core::{KeyRange, OperatorId};
+
+    #[test]
+    fn messages_roundtrip_through_bincode() {
+        let mut routing = RoutingState::new();
+        routing.set_route(KeyRange::full(), OperatorId::new(7));
+        let mut reflected = TimestampVec::new();
+        reflected.advance(seep_core::StreamId(0), 41);
+        let msgs = vec![
+            NodeMsg::Hello {
+                name: "w1".into(),
+                slots: 4,
+                data_addr: "127.0.0.1:9000".into(),
+            },
+            NodeMsg::Welcome { vm: 3 },
+            NodeMsg::Heartbeat,
+            NodeMsg::Deploy {
+                instances: vec![DeployInstance {
+                    op: 1,
+                    logical: 0,
+                    name: "feed".into(),
+                    is_sink: false,
+                    routing: vec![RoutingEntry {
+                        downstream: 1,
+                        routing: routing.clone(),
+                    }],
+                }],
+                peers: vec![PeerRoute {
+                    op: 2,
+                    addr: "127.0.0.1:9001".into(),
+                }],
+            },
+            NodeMsg::InjectMany {
+                op: 1,
+                entries: vec![InjectEntry {
+                    key: 9,
+                    payload: vec![1, 2, 3],
+                }],
+            },
+            NodeMsg::ProbeReply {
+                queued: 1,
+                pending: 0,
+                processed: vec![OpCount { op: 1, count: 10 }],
+                sent_tuples: 5,
+                received_tuples: 5,
+            },
+            NodeMsg::Rewire {
+                at: 0,
+                logical: 1,
+                olds: vec![1],
+                routing,
+                new_targets: vec![4],
+                reflected,
+            },
+            NodeMsg::Error {
+                what: "nope".into(),
+            },
+        ];
+        for msg in msgs {
+            let bytes = bincode::serialize(&msg).unwrap();
+            let back: NodeMsg = bincode::deserialize(&bytes).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn framed_write_and_drain_roundtrip() {
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &NodeMsg::Heartbeat).unwrap();
+        write_msg(&mut wire, &NodeMsg::Tick { now_ms: 1_000 }).unwrap();
+        let mut reader = FrameReader::new();
+        let mut cursor = std::io::Cursor::new(wire);
+        let (msgs, open) = drain_msgs(&mut cursor, &mut reader).unwrap();
+        assert!(!open, "cursor EOFs after the last byte");
+        assert_eq!(
+            msgs,
+            vec![NodeMsg::Heartbeat, NodeMsg::Tick { now_ms: 1_000 }]
+        );
+    }
+}

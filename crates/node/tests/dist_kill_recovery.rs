@@ -1,0 +1,108 @@
+//! `kill -9` a worker mid-run: the coordinator must detect the failure via
+//! heartbeats, recover the lost operator from its last checkpoint through
+//! the standard R+SM path, journal the recovery, surface it on `/metrics`,
+//! and still finish with sink results identical to a run that never failed.
+
+mod util;
+
+use std::fs;
+use std::time::Duration;
+
+use seep_runtime::{Journal, JournalKind};
+use util::{baseline, metric_value, scratch, spawn, wait_for_file, wait_for_metric};
+
+#[test]
+fn sigkilled_worker_recovers_with_identical_results() {
+    let dir = scratch("kill-recovery");
+    let port_file = dir.join("port.txt");
+    let metrics_port_file = dir.join("mport.txt");
+    let out_file = dir.join("dist.txt");
+    let journal_file = dir.join("journal.jsonl");
+
+    let rounds = 20;
+    let rate = 20;
+    let mut coordinator = spawn(&[
+        "--coordinator",
+        "--workers",
+        "2",
+        "--rounds",
+        &rounds.to_string(),
+        "--rate",
+        &rate.to_string(),
+        "--round-delay-ms",
+        "150",
+        "--port-file",
+        port_file.to_str().unwrap(),
+        "--out",
+        out_file.to_str().unwrap(),
+        "--metrics-addr",
+        "127.0.0.1:0",
+        "--metrics-port-file",
+        metrics_port_file.to_str().unwrap(),
+        "--journal",
+        journal_file.to_str().unwrap(),
+        "--hold-ms",
+        "2000",
+    ]);
+    let addr = wait_for_file(&port_file, Duration::from_secs(20));
+
+    let _w1 = spawn(&["--worker", "--name", "w1", "--coordinator-addr", &addr]);
+    let mut w2 = spawn(&["--worker", "--name", "w2", "--coordinator-addr", &addr]);
+
+    // Let the run take at least two checkpoints of the stateful operator
+    // (hosted by w2 under the round-robin placement), then SIGKILL w2.
+    let metrics_addr = wait_for_file(&metrics_port_file, Duration::from_secs(20));
+    wait_for_metric(
+        &metrics_addr,
+        "two checkpoints",
+        Duration::from_secs(60),
+        |body| metric_value(body, "seep_checkpoints_total").unwrap_or(0.0) >= 2.0,
+    );
+    w2.0.kill().expect("SIGKILL w2");
+
+    // The failure must surface as a recovery on /metrics, with transport
+    // counters still exported for the surviving worker.
+    wait_for_metric(
+        &metrics_addr,
+        "a recovery",
+        Duration::from_secs(60),
+        |body| {
+            metric_value(body, "seep_recoveries_total").unwrap_or(0.0) >= 1.0
+                && metric_value(body, "seep_transport_bytes_total").is_some()
+                && metric_value(body, "seep_journal_events_total").unwrap_or(0.0) >= 1.0
+        },
+    );
+
+    let status = coordinator.0.wait().expect("wait coordinator");
+    assert!(status.success(), "coordinator exited with {status:?}");
+
+    // The recovery went through the standard journal, as a committed event.
+    let events = Journal::replay_file(&journal_file).expect("replay journal");
+    let recovery = events
+        .iter()
+        .find(|e| e.kind == JournalKind::Recovery)
+        .expect("journal holds a recovery event");
+    assert!(recovery.committed(), "recovery committed");
+    assert_eq!(recovery.operator, "count");
+    assert_eq!(recovery.released_vms.len(), 1, "one VM was lost");
+
+    // Sink results are exactly those of a run that never lost a worker.
+    // (Processed counters reset when an instance is replaced, so only the
+    // `result` lines are compared.)
+    let distributed: String = fs::read_to_string(&out_file)
+        .expect("distributed outcome")
+        .lines()
+        .filter(|l| l.starts_with("result "))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let expected: String = baseline(rounds, rate)
+        .lines()
+        .filter(|l| l.starts_with("result "))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(!distributed.is_empty(), "distributed run produced results");
+    assert_eq!(
+        distributed, expected,
+        "post-recovery results differ from the never-killed baseline"
+    );
+}

@@ -62,6 +62,19 @@ impl BatchConfig {
     }
 }
 
+/// Where scale-out plans place the new partitions they create.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPreference {
+    /// Draw a fresh VM from the pool for every new partition — the paper's
+    /// one-operator-per-VM deployment and the seed behaviour.
+    #[default]
+    FreshVm,
+    /// Fill partially occupied VM slots before drawing fresh VMs: a new
+    /// partition lands on an existing VM with a free slot when one exists,
+    /// spreading the query over fewer machines.
+    Pack,
+}
+
 /// Configuration of the SPS runtime.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RuntimeConfig {
@@ -114,6 +127,10 @@ pub struct RuntimeConfig {
     /// thin the histogram's input without shifting its quantiles.
     #[serde(default)]
     pub latency_sample_every: u32,
+    /// Where scale-out plans place new partitions: fresh VMs (the default,
+    /// the seed behaviour) or packed onto partially filled VM slots.
+    #[serde(default)]
+    pub placement: PlacementPreference,
 }
 
 impl Default for RuntimeConfig {
@@ -133,6 +150,7 @@ impl Default for RuntimeConfig {
             batch: BatchConfig::default(),
             worker_threads: 1,
             latency_sample_every: 1,
+            placement: PlacementPreference::FreshVm,
         }
     }
 }
@@ -181,6 +199,12 @@ impl RuntimeConfig {
     /// tuples (1 = stamp every tuple, the seed behaviour).
     pub fn with_latency_sampling(mut self, every: u32) -> Self {
         self.latency_sample_every = every;
+        self
+    }
+
+    /// A configuration using the given scale-out placement preference.
+    pub fn with_placement(mut self, placement: PlacementPreference) -> Self {
+        self.placement = placement;
         self
     }
 }
@@ -238,6 +262,14 @@ mod tests {
             .with_strategy(RecoveryStrategy::UpstreamBackup);
         assert_eq!(c.checkpoint_interval_ms, 10_000);
         assert_eq!(c.strategy, RecoveryStrategy::UpstreamBackup);
+    }
+
+    #[test]
+    fn placement_defaults_to_fresh_vms() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.placement, PlacementPreference::FreshVm);
+        let c = c.with_placement(PlacementPreference::Pack);
+        assert_eq!(c.placement, PlacementPreference::Pack);
     }
 
     #[test]

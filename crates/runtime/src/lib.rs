@@ -45,7 +45,7 @@ pub mod worker;
 
 pub use api::{Job, JobBuilder, JobHandle, SinkCollector};
 pub use bottleneck::{BottleneckDetector, ScalingPolicy};
-pub use config::{BatchConfig, RuntimeConfig};
+pub use config::{BatchConfig, PlacementPreference, RuntimeConfig};
 pub use metrics::{
     ConsolidateRecord, Metrics, MetricsSnapshot, RebalanceRecord, ReconfigTiming, ScaleInRecord,
     ScaleOutRecord, SplitKind, StoreIoRecord,

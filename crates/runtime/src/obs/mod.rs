@@ -24,7 +24,7 @@ pub use health::{HealthReport, OperatorHealth, PlanActivity};
 pub use journal::{Journal, JournalEvent, JournalKind, PlanTrigger, SlotBinding};
 pub use prometheus::{
     parse_exposition, render_health_json, render_prometheus, validate_exposition, Exposition,
-    ObsSnapshot, ParsedSample, ReconfigPhaseTotals,
+    ObsSnapshot, ParsedSample, ReconfigPhaseTotals, TransportConn,
 };
 pub use server::ObsServer;
 

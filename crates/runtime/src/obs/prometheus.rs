@@ -85,6 +85,30 @@ pub struct ObsSnapshot {
     pub pool_target: usize,
     /// Reconfiguration events journalled over the runtime's lifetime.
     pub journal_events: u64,
+    /// Per-connection transport traffic counters (empty for the pure
+    /// in-process plane).
+    pub transport: Vec<TransportConn>,
+    /// `(worker name, heartbeat lag ms)` per connected worker process, as
+    /// observed by the coordinator at snapshot time.
+    pub heartbeat_lag: Vec<(String, f64)>,
+}
+
+/// Traffic counters for one transport connection, as exported to the
+/// scrape endpoint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransportConn {
+    /// Peer address (`host:port`).
+    pub peer: String,
+    /// `"out"` for dialled connections, `"in"` for accepted ones.
+    pub direction: String,
+    /// Envelope payload bytes shipped (framing overhead excluded).
+    pub bytes: u64,
+    /// Complete frames shipped or reassembled.
+    pub frames: u64,
+    /// Data tuples carried.
+    pub tuples: u64,
+    /// Times the connection was re-dialled after a failure.
+    pub reconnects: u64,
 }
 
 impl Default for ObsSnapshot {
@@ -107,6 +131,8 @@ impl Default for ObsSnapshot {
             pool_pending: 0,
             pool_target: 0,
             journal_events: 0,
+            transport: Vec::new(),
+            heartbeat_lag: Vec::new(),
         }
     }
 }
@@ -507,6 +533,68 @@ pub fn render_prometheus(s: &ObsSnapshot) -> String {
         "Reconfiguration events journalled.",
     );
     w.sample("seep_journal_events_total", &[], s.journal_events as f64);
+
+    if !s.transport.is_empty() {
+        w.family(
+            "seep_transport_bytes_total",
+            "counter",
+            "Envelope payload bytes shipped per transport connection.",
+        );
+        for c in &s.transport {
+            w.sample(
+                "seep_transport_bytes_total",
+                &[("peer", &c.peer), ("dir", &c.direction)],
+                c.bytes as f64,
+            );
+        }
+        w.family(
+            "seep_transport_frames_total",
+            "counter",
+            "Frames shipped or reassembled per transport connection.",
+        );
+        for c in &s.transport {
+            w.sample(
+                "seep_transport_frames_total",
+                &[("peer", &c.peer), ("dir", &c.direction)],
+                c.frames as f64,
+            );
+        }
+        w.family(
+            "seep_transport_tuples_total",
+            "counter",
+            "Data tuples carried per transport connection.",
+        );
+        for c in &s.transport {
+            w.sample(
+                "seep_transport_tuples_total",
+                &[("peer", &c.peer), ("dir", &c.direction)],
+                c.tuples as f64,
+            );
+        }
+        w.family(
+            "seep_transport_reconnects_total",
+            "counter",
+            "Connection re-dials after transport failures.",
+        );
+        for c in &s.transport {
+            w.sample(
+                "seep_transport_reconnects_total",
+                &[("peer", &c.peer), ("dir", &c.direction)],
+                c.reconnects as f64,
+            );
+        }
+    }
+
+    if !s.heartbeat_lag.is_empty() {
+        w.family(
+            "seep_heartbeat_lag_ms",
+            "gauge",
+            "Milliseconds since each worker's last heartbeat.",
+        );
+        for (worker, lag) in &s.heartbeat_lag {
+            w.sample("seep_heartbeat_lag_ms", &[("worker", worker)], *lag);
+        }
+    }
 
     w.out
 }
@@ -912,6 +1000,25 @@ mod tests {
         s.pool_pending = 1;
         s.pool_target = 3;
         s.journal_events = 6;
+        s.transport = vec![
+            TransportConn {
+                peer: "127.0.0.1:7101".into(),
+                direction: "out".into(),
+                bytes: 10_240,
+                frames: 64,
+                tuples: 600,
+                reconnects: 1,
+            },
+            TransportConn {
+                peer: "127.0.0.1:52210".into(),
+                direction: "in".into(),
+                bytes: 8_192,
+                frames: 50,
+                tuples: 480,
+                reconnects: 0,
+            },
+        ];
+        s.heartbeat_lag = vec![("w1".into(), 120.0), ("w2".into(), 35.5)];
         s
     }
 
@@ -925,6 +1032,44 @@ mod tests {
         for name in exp.types.keys() {
             assert!(valid_metric_name(name), "bad family name {name}");
         }
+    }
+
+    /// Per-connection transport counters and heartbeat lag render as
+    /// labelled families and survive the validator.
+    #[test]
+    fn transport_families_expose_per_connection_counters() {
+        let s = snapshot_with_everything();
+        let text = render_prometheus(&s);
+        let exp = validate_exposition(&text).expect("exposition must stay valid");
+        let bytes = exp.of("seep_transport_bytes_total");
+        assert_eq!(bytes.len(), 2);
+        let out = bytes
+            .iter()
+            .find(|p| p.label("dir") == Some("out"))
+            .expect("outbound connection exported");
+        assert_eq!(out.label("peer"), Some("127.0.0.1:7101"));
+        assert_eq!(out.value, 10_240.0);
+        assert_eq!(exp.of("seep_transport_frames_total").len(), 2);
+        assert_eq!(exp.of("seep_transport_tuples_total").len(), 2);
+        let reconnects = exp.of("seep_transport_reconnects_total");
+        assert_eq!(reconnects.iter().map(|p| p.value).sum::<f64>(), 1.0);
+        let lag = exp.of("seep_heartbeat_lag_ms");
+        assert_eq!(lag.len(), 2);
+        let w2 = lag
+            .iter()
+            .find(|p| p.label("worker") == Some("w2"))
+            .expect("w2 exported");
+        assert_eq!(w2.value, 35.5);
+    }
+
+    /// A snapshot with no transport traffic (the in-process plane) renders
+    /// no transport families at all.
+    #[test]
+    fn transport_families_absent_without_connections() {
+        let text = render_prometheus(&ObsSnapshot::default());
+        assert!(!text.contains("seep_transport_"));
+        assert!(!text.contains("seep_heartbeat_lag_ms"));
+        validate_exposition(&text).expect("default exposition stays valid");
     }
 
     #[test]

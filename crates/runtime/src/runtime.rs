@@ -318,6 +318,20 @@ impl Runtime {
         &mut self,
         instance: &seep_core::graph::OperatorInstance,
     ) -> Result<()> {
+        // Under the Pack placement preference, fill a partially occupied VM
+        // slot before drawing a fresh machine. The retiring partitions of an
+        // in-flight plan still occupy their slots at this point, so only
+        // genuinely free capacity is packed.
+        if self.config.placement == crate::config::PlacementPreference::Pack {
+            let packed = self
+                .placement
+                .occupied_vms()
+                .into_iter()
+                .find(|vm| self.placement.free_slots(*vm, &[]) > 0);
+            if let Some(vm) = packed {
+                return self.create_worker_on(instance, vm, &[]);
+            }
+        }
         let vm = self
             .pool
             .acquire(self.now_ms)
@@ -1270,6 +1284,24 @@ impl Runtime {
             pool_pending: self.pool.pending_count(),
             pool_target: self.pool.target_size(),
             journal_events: self.journal.total(),
+            transport: self
+                .network
+                .transport()
+                .map(|t| {
+                    t.connections()
+                        .into_iter()
+                        .map(|c| crate::obs::TransportConn {
+                            peer: c.peer,
+                            direction: c.direction.to_string(),
+                            bytes: c.bytes,
+                            frames: c.frames,
+                            tuples: c.tuples,
+                            reconnects: c.reconnects,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            heartbeat_lag: Vec::new(),
         }
     }
 

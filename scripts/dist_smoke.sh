@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Distribution smoke test: a coordinator and two seep-node workers on
+# localhost, a word-frequency job driven end to end, one worker SIGKILLed
+# mid-run. Asserts that recovery happens through the standard path (journal
+# event + /metrics counters) and that the surviving run's results are
+# byte-identical to the in-process baseline.
+#
+# Usage: scripts/dist_smoke.sh [path-to-seep-node-binary]
+set -euo pipefail
+
+BIN="${1:-target/release/seep-node}"
+if [ ! -x "$BIN" ]; then
+  echo "dist_smoke: building $BIN" >&2
+  cargo build --release -p seep-node
+fi
+
+DIR="$(mktemp -d)"
+trap 'kill -9 ${COORD:-} ${W1:-} ${W2:-} 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+ROUNDS=20
+RATE=20
+
+# Raw-TCP /metrics scrape; CI runners may lack curl but bash has /dev/tcp.
+scrape() {
+  local host="${1%:*}" port="${1#*:}"
+  exec 3<>"/dev/tcp/$host/$port" || return 1
+  printf 'GET /metrics HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' >&3
+  cat <&3
+  exec 3<&-
+}
+
+metric_at_least() {
+  local body="$1" name="$2" threshold="$3"
+  echo "$body" | awk -v n="$name" -v t="$threshold" \
+    'index($1, n) == 1 && $NF + 0 >= t { found = 1 } END { exit !found }'
+}
+
+"$BIN" --coordinator --workers 2 --rounds "$ROUNDS" --rate "$RATE" \
+  --round-delay-ms 150 --port-file "$DIR/port" --out "$DIR/dist.txt" \
+  --metrics-addr 127.0.0.1:0 --metrics-port-file "$DIR/mport" \
+  --journal "$DIR/journal.jsonl" --hold-ms 2000 >/dev/null &
+COORD=$!
+
+for _ in $(seq 1 100); do [ -s "$DIR/port" ] && break; sleep 0.1; done
+ADDR="$(cat "$DIR/port")"
+echo "dist_smoke: coordinator at $ADDR"
+
+"$BIN" --worker --name w1 --coordinator-addr "$ADDR" >/dev/null & W1=$!
+"$BIN" --worker --name w2 --coordinator-addr "$ADDR" >/dev/null & W2=$!
+
+for _ in $(seq 1 100); do [ -s "$DIR/mport" ] && break; sleep 0.1; done
+MADDR="$(cat "$DIR/mport")"
+
+# Wait for at least two checkpoints, then SIGKILL the worker hosting the
+# stateful operator (w2 under the deterministic round-robin placement).
+for _ in $(seq 1 300); do
+  if BODY="$(scrape "$MADDR" 2>/dev/null)" \
+     && metric_at_least "$BODY" seep_checkpoints_total 2; then
+    break
+  fi
+  sleep 0.2
+done
+metric_at_least "$BODY" seep_checkpoints_total 2 \
+  || { echo "dist_smoke: no checkpoints observed" >&2; exit 1; }
+
+echo "dist_smoke: SIGKILLing worker w2 (pid $W2)"
+kill -9 "$W2"
+
+# The failure must surface as a recovery on /metrics.
+RECOVERED=0
+for _ in $(seq 1 300); do
+  if BODY="$(scrape "$MADDR" 2>/dev/null)" \
+     && metric_at_least "$BODY" seep_recoveries_total 1; then
+    RECOVERED=1
+    break
+  fi
+  sleep 0.2
+done
+[ "$RECOVERED" = 1 ] || { echo "dist_smoke: recovery never surfaced on /metrics" >&2; exit 1; }
+echo "$BODY" | grep -q '^seep_transport_bytes_total' \
+  || { echo "dist_smoke: transport counters missing from /metrics" >&2; exit 1; }
+
+wait "$COORD" || { echo "dist_smoke: coordinator failed" >&2; exit 1; }
+wait "$W1" || { echo "dist_smoke: surviving worker failed" >&2; exit 1; }
+
+grep -q '"kind":"Recovery"' "$DIR/journal.jsonl" \
+  || { echo "dist_smoke: no Recovery event in journal" >&2; exit 1; }
+
+# Results must match a run that never lost a worker. Processed counters
+# reset when an instance is replaced, so only `result` lines are compared.
+"$BIN" --baseline --rounds "$ROUNDS" --rate "$RATE" --out "$DIR/base.txt" >/dev/null
+grep '^result ' "$DIR/dist.txt" > "$DIR/dist-results.txt"
+grep '^result ' "$DIR/base.txt" > "$DIR/base-results.txt"
+diff -u "$DIR/base-results.txt" "$DIR/dist-results.txt" \
+  || { echo "dist_smoke: post-recovery results differ from baseline" >&2; exit 1; }
+
+echo "dist_smoke: OK ($(wc -l < "$DIR/dist-results.txt") result lines identical after kill -9)"

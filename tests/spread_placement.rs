@@ -1,0 +1,67 @@
+//! Integration test: the `PlacementPreference` knob. Under the default
+//! (`FreshVm`, the seed behaviour) every scale-out partition draws a fresh
+//! VM; under `Pack` new partitions fill partially occupied VM slots first,
+//! so the same plan sequence runs on fewer machines — with identical query
+//! results either way.
+
+use seep::cloud::VmPoolConfig;
+use seep::runtime::{PlacementPreference, RuntimeConfig};
+use seep_bench::harness::WordCountHarness;
+
+fn run_scaled(placement: PlacementPreference) -> (u64, usize, usize) {
+    let config = RuntimeConfig {
+        pool: VmPoolConfig::default().with_slots_per_vm(2),
+        ..RuntimeConfig::default()
+    }
+    .with_placement(placement);
+    let mut harness = WordCountHarness::deploy(config, 300, 0);
+    harness.run_for(2, 40);
+    let target = harness.handle.partitions(harness.counter)[0];
+    harness.handle.scale_out(target, 2).expect("scale out");
+    harness.handle.drain();
+    harness.run_for(2, 40);
+    let parallelism = harness.handle.parallelism(harness.counter);
+    (
+        harness.total_counted_words(),
+        harness.handle.vm_count(),
+        parallelism,
+    )
+}
+
+/// Same plan, same results; Pack uses strictly fewer VMs by landing the new
+/// partition on an existing machine's free slot.
+#[test]
+fn pack_reuses_free_slots_and_preserves_results() {
+    let (fresh_words, fresh_vms, fresh_par) = run_scaled(PlacementPreference::FreshVm);
+    let (packed_words, packed_vms, packed_par) = run_scaled(PlacementPreference::Pack);
+    assert_eq!(fresh_par, 2);
+    assert_eq!(packed_par, 2);
+    assert_eq!(
+        fresh_words, packed_words,
+        "placement must not change results"
+    );
+    assert!(fresh_words > 0);
+    assert!(
+        packed_vms < fresh_vms,
+        "Pack must use fewer VMs ({packed_vms}) than FreshVm ({fresh_vms})"
+    );
+}
+
+/// With single-slot VMs (the paper's one-operator-per-VM deployment) Pack
+/// degenerates to the seed behaviour: no free slots exist, so every new
+/// partition still draws a fresh VM.
+#[test]
+fn pack_falls_back_to_fresh_vms_when_slots_are_full() {
+    let config = RuntimeConfig::default().with_placement(PlacementPreference::Pack);
+    let mut harness = WordCountHarness::deploy(config, 300, 0);
+    harness.run_for(2, 30);
+    let vms_before = harness.handle.vm_count();
+    let target = harness.handle.partitions(harness.counter)[0];
+    harness.handle.scale_out(target, 2).expect("scale out");
+    harness.handle.drain();
+    assert_eq!(
+        harness.handle.vm_count(),
+        vms_before + 1,
+        "a full deployment has no slot to pack into"
+    );
+}
