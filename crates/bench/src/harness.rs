@@ -10,11 +10,21 @@
 
 use seep_core::{Key, LogicalOpId, OperatorId};
 use seep_operators::lrb::{Forwarder, TollCalculator};
-use seep_operators::{WindowedWordCount, WordSplitter};
+use seep_operators::{EmptyTokenFilter, SentenceTokenizer, WindowedWordCount, WordKeyer};
 use seep_runtime::api::{discard, passthrough, Job, JobHandle};
-use seep_runtime::RuntimeConfig;
+use seep_runtime::{FusionPolicy, RuntimeConfig};
 use seep_workloads::sentences::{SentenceConfig, SentenceGenerator};
 use seep_workloads::{LrbConfig, LrbGenerator};
+
+/// The word-splitting work of the query, declared as a three-stage stateless
+/// chain (tokenise → drop empties → lower-case and key by word) whose
+/// end-to-end outputs equal the monolithic `WordSplitter`'s. Under the
+/// default [`FusionPolicy::Fuse`] the physical-plan compiler collapses the
+/// chain into one fused unit, so the deployed pipeline has the same physical
+/// shape as the seed's four-operator query; compiled with
+/// [`FusionPolicy::Disabled`] every stage is its own operator and each word
+/// pays two extra channel hops.
+pub const SPLITTER_STAGES: [&str; 3] = ["tokenizer", "word_filter", "word_keyer"];
 
 /// A deployed word-frequency query ready to be driven by an experiment.
 pub struct WordCountHarness {
@@ -22,7 +32,9 @@ pub struct WordCountHarness {
     pub handle: JobHandle,
     /// Logical id of the source (data feeder).
     pub source: LogicalOpId,
-    /// Logical id of the stateless word splitter.
+    /// Physical unit hosting the word-splitting chain: the fused unit under
+    /// the default policy, the tokenizer stage when fusion is disabled (the
+    /// remaining stages are then addressed through [`SPLITTER_STAGES`]).
     pub splitter: LogicalOpId,
     /// Logical id of the stateful word counter.
     pub counter: LogicalOpId,
@@ -38,11 +50,27 @@ pub const WINDOW_MS: u64 = 30_000;
 impl WordCountHarness {
     /// Deploy the query with the given runtime configuration, vocabulary size
     /// (which controls the word counter's dictionary / state size, §6.3) and
-    /// optional pre-populated dictionary entries.
+    /// optional pre-populated dictionary entries. Compiles with the default
+    /// fusion policy: the splitter chain is fused into one unit.
     pub fn deploy(config: RuntimeConfig, vocabulary: usize, prepopulate: usize) -> Self {
+        Self::deploy_with_fusion(config, vocabulary, prepopulate, FusionPolicy::default())
+    }
+
+    /// Deploy the query under an explicit [`FusionPolicy`] — the throughput
+    /// benchmark's lever for measuring the fused chain against the same
+    /// chain left unfused.
+    pub fn deploy_with_fusion(
+        config: RuntimeConfig,
+        vocabulary: usize,
+        prepopulate: usize,
+        fusion: FusionPolicy,
+    ) -> Self {
         let handle = Job::builder(config)
+            .fusion(fusion)
             .source("data_feeder", passthrough("feeder"))
-            .then_stateless("word_splitter", WordSplitter::new)
+            .then_stateless("tokenizer", SentenceTokenizer::new)
+            .then_stateless("word_filter", EmptyTokenFilter::new)
+            .then_stateless("word_keyer", WordKeyer::new)
             .then_stateful("word_counter", move || {
                 let mut op = WindowedWordCount::new(WINDOW_MS);
                 if prepopulate > 0 {
@@ -54,7 +82,7 @@ impl WordCountHarness {
             .deploy()
             .expect("deploy");
         let source = handle.op("data_feeder");
-        let splitter = handle.op("word_splitter");
+        let splitter = handle.op("tokenizer");
         let counter = handle.op("word_counter");
         let sink = handle.op("sink");
         WordCountHarness {
@@ -77,17 +105,26 @@ impl WordCountHarness {
         self.handle.partitions(self.counter)[0]
     }
 
-    /// Scale the hot pipeline stages (splitter and counter) out to
-    /// `partitions` partitions each, so a multi-threaded drain has enough
-    /// independent workers per stage to occupy every core. A no-op at 1.
+    /// Scale the hot pipeline stages (the splitter chain and the counter)
+    /// out to `partitions` partitions each, so a multi-threaded drain has
+    /// enough independent workers per stage to occupy every core. The fused
+    /// chain scales as one unit; unfused, every stage scales on its own.
+    /// A no-op at 1.
     pub fn scale_pipeline(&mut self, partitions: usize) {
         if partitions <= 1 {
             return;
         }
-        let splitter = self.handle.partitions(self.splitter)[0];
-        self.handle
-            .scale_out(splitter, partitions)
-            .expect("scale out splitter");
+        let mut units: Vec<LogicalOpId> = SPLITTER_STAGES
+            .iter()
+            .map(|stage| self.handle.op(stage))
+            .collect();
+        units.dedup();
+        for unit in units {
+            let target = self.handle.partitions(unit)[0];
+            self.handle
+                .scale_out(target, partitions)
+                .expect("scale out splitter stage");
+        }
         let counter = self.handle.partitions(self.counter)[0];
         self.handle
             .scale_out(counter, partitions)
@@ -141,15 +178,19 @@ impl WordCountHarness {
         }
     }
 
-    /// Tuples processed across every operator of the query (source, splitter,
-    /// counter, sink partitions) — the total data-plane work performed.
+    /// Tuples processed across every logical operator of the query — the
+    /// total data-plane work performed, attributed per *logical* operator so
+    /// fused and unfused deployments count the same work: a fused chain
+    /// member's count is what its predecessor stage emitted, exactly what
+    /// the stage would have processed as its own physical operator.
     pub fn total_processed(&self) -> u64 {
-        let metrics = self.handle.metrics();
-        [self.source, self.splitter, self.counter, self.sink]
-            .iter()
-            .flat_map(|logical| self.handle.partitions(*logical))
-            .map(|id| metrics.processed_by(id))
-            .sum()
+        let mut total = self.handle.processed_total("data_feeder")
+            + self.handle.processed_total("word_counter");
+        total += self.handle.processed_total("sink");
+        for stage in SPLITTER_STAGES {
+            total += self.handle.processed_total(stage);
+        }
+        total
     }
 
     /// Fail the word counter's VM and recover it with parallelism `pi`,

@@ -11,7 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use seep_runtime::{RecoveryStrategy, RuntimeConfig, ScalingPolicy, SplitPolicy};
+use seep_runtime::{FusionPolicy, RecoveryStrategy, RuntimeConfig, ScalingPolicy, SplitPolicy};
 use seep_workloads::LrbConfig;
 
 use crate::harness::{LrbSkewHarness, WordCountHarness};
@@ -589,7 +589,12 @@ pub fn runtime_elasticity(
         scaling_policy: policy,
         ..RuntimeConfig::default()
     };
-    let mut h = WordCountHarness::deploy(config, 5_000, 0);
+    // Fusion stays on but the planner's fused-edge batch heuristic is pinned
+    // off: the utilisation threshold below is calibrated to per-tuple
+    // dispatch cost, and a batched counter inlet would amortise that cost
+    // under the watermark before the load ever looked hot.
+    let mut h =
+        WordCountHarness::deploy_with_fusion(config, 5_000, 0, FusionPolicy::FuseKeepBatches);
     h.handle.set_auto_scale(true);
 
     let profile = RateSchedule::Trapezoid {

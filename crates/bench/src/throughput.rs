@@ -8,6 +8,14 @@
 //! (aggregate over `cores ×` the single-core run). A micro-measure of one
 //! in-process channel hop quantifies what the zero-copy transport saved
 //! versus the old encode/decode round-trip.
+//!
+//! The query deploys its word-splitting work as a three-stage stateless
+//! chain which the physical-plan compiler fuses into one unit on every
+//! sweep arm; a dedicated `no-fuse` arm runs the identical chain with
+//! `FusionPolicy::Disabled` (one physical operator and two channel hops per
+//! stage), and `fusion_speedup_vs_unfused` is the headline ratio between
+//! them. Tuple counts are attributed per logical operator, so both plans
+//! report the same `tuples_processed` for the same input.
 
 use std::time::{Duration, Instant};
 
@@ -15,7 +23,7 @@ use serde::{Deserialize, Serialize};
 
 use seep_core::{Key, OperatorId, StreamId, Tuple, TupleBatch};
 use seep_net::{wire, DataChannel, Envelope, Message};
-use seep_runtime::RuntimeConfig;
+use seep_runtime::{FusionPolicy, RuntimeConfig};
 
 use crate::harness::WordCountHarness;
 
@@ -74,16 +82,29 @@ pub struct ThroughputReport {
     pub headline_multicore_tuples_per_sec: f64,
     /// Cores the widest arm of the sweep used.
     pub cores: usize,
+    /// Cores the machine actually has (`std::thread::available_parallelism`).
+    /// When below `cores`, the multi-core arms were oversubscribed and their
+    /// scaling efficiency says nothing about the data plane — consumers
+    /// (including the CI gate) must skip the multicore-speedup check instead
+    /// of reading the number at face value.
+    pub physical_cores: usize,
     /// Aggregate throughput of the widest cores arm over the single-core
     /// batched arm.
     pub multicore_speedup: f64,
     /// Batched arm throughput over per-tuple arm throughput (single core).
     pub speedup_batched_vs_per_tuple: f64,
+    /// Batched fused arm throughput over the no-fuse arm at the same batch
+    /// size: what collapsing the splitter chain into one fused unit saved.
+    pub fusion_speedup_vs_unfused: f64,
     /// The batch=1 arm (the seed's per-tuple data plane, single core).
     pub per_tuple: ThroughputArm,
     /// The batch=64 arm (the batched data plane at its default size, single
     /// core).
     pub batched: ThroughputArm,
+    /// The no-fuse comparison arm: same query, same batch size as `batched`,
+    /// compiled with `FusionPolicy::Disabled` so every splitter-chain stage
+    /// is its own physical operator (two extra channel hops per word).
+    pub unfused: ThroughputArm,
     /// Every measured batch size at one core, smallest first.
     pub sweep: Vec<ThroughputArm>,
     /// Core counts measured at the batched size: 1 (the batched arm itself),
@@ -102,11 +123,20 @@ pub const SWEEP_BATCH_SIZES: [usize; 4] = [1, 8, 64, 256];
 /// Batch size of the multi-core arms (the batched data plane's default).
 pub const MULTICORE_BATCH_SIZE: usize = 64;
 
-fn measure_arm(batch_size: usize, cores: usize, fragments: u64, chunk: u64) -> ThroughputArm {
+fn measure_arm(
+    batch_size: usize,
+    cores: usize,
+    fragments: u64,
+    chunk: u64,
+    fusion: FusionPolicy,
+) -> ThroughputArm {
     let config = RuntimeConfig::default()
         .with_batch_size(batch_size)
         .with_worker_threads(cores);
-    let mut harness = WordCountHarness::deploy(config, 1_000, 0);
+    // `FuseKeepBatches` on the fused arms keeps the comparison honest: the
+    // explicitly swept batch size is never overridden by the planner's
+    // fused-edge heuristic, so batch=1 really is the per-tuple plane.
+    let mut harness = WordCountHarness::deploy_with_fusion(config, 1_000, 0, fusion);
     harness.scale_pipeline(cores);
     // One untimed chunk warms the dictionaries and allocator.
     harness.pump(chunk, chunk);
@@ -117,7 +147,9 @@ fn measure_arm(batch_size: usize, cores: usize, fragments: u64, chunk: u64) -> T
     let elapsed = started.elapsed();
     let tuples_processed = harness.total_processed() - processed_before;
     let elapsed_ms = elapsed.as_secs_f64() * 1_000.0;
-    let label = if cores > 1 {
+    let label = if fusion == FusionPolicy::Disabled {
+        format!("no-fuse batch={batch_size}")
+    } else if cores > 1 {
         format!("cores={cores}")
     } else {
         format!("batch={batch_size}")
@@ -195,11 +227,24 @@ pub fn hop_cost(envelopes: u64) -> HopCostReport {
 
 /// Run the saturation sweep: `fragments` sentence fragments per arm, fed in
 /// chunks of `chunk` fragments per drain, with multi-core arms measured up
-/// to `cores` worker threads.
-pub fn saturation(fragments: u64, chunk: u64, cores: usize, smoke: bool) -> ThroughputReport {
+/// to `cores` worker threads. Every arm runs the splitter chain fused
+/// (keeping the swept batch size) plus one `no-fuse` arm at the batched
+/// size; `fuse` disables fusion on the sweep arms too, for A/B runs.
+pub fn saturation(
+    fragments: u64,
+    chunk: u64,
+    cores: usize,
+    smoke: bool,
+    fuse: bool,
+) -> ThroughputReport {
+    let sweep_policy = if fuse {
+        FusionPolicy::FuseKeepBatches
+    } else {
+        FusionPolicy::Disabled
+    };
     let sweep: Vec<ThroughputArm> = SWEEP_BATCH_SIZES
         .iter()
-        .map(|&b| measure_arm(b, 1, fragments, chunk))
+        .map(|&b| measure_arm(b, 1, fragments, chunk, sweep_policy))
         .collect();
     let per_tuple = sweep
         .iter()
@@ -211,6 +256,13 @@ pub fn saturation(fragments: u64, chunk: u64, cores: usize, smoke: bool) -> Thro
         .find(|a| a.batch_size == MULTICORE_BATCH_SIZE)
         .expect("sweep includes batch=64")
         .clone();
+    let unfused = measure_arm(
+        MULTICORE_BATCH_SIZE,
+        1,
+        fragments,
+        chunk,
+        FusionPolicy::Disabled,
+    );
 
     let mut cores_sweep = vec![{
         let mut base = batched.clone();
@@ -218,7 +270,7 @@ pub fn saturation(fragments: u64, chunk: u64, cores: usize, smoke: bool) -> Thro
         base
     }];
     for n in core_steps(cores) {
-        let mut arm = measure_arm(MULTICORE_BATCH_SIZE, n, fragments, chunk);
+        let mut arm = measure_arm(MULTICORE_BATCH_SIZE, n, fragments, chunk, sweep_policy);
         arm.scaling_efficiency = arm.tuples_per_sec / (batched.tuples_per_sec.max(1e-9) * n as f64);
         cores_sweep.push(arm);
     }
@@ -231,10 +283,15 @@ pub fn saturation(fragments: u64, chunk: u64, cores: usize, smoke: bool) -> Thro
         headline_tuples_per_sec_per_core: batched.tuples_per_sec,
         headline_multicore_tuples_per_sec: widest.tuples_per_sec,
         cores: widest.cores,
+        physical_cores: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
         multicore_speedup: widest.tuples_per_sec / batched.tuples_per_sec.max(1e-9),
         speedup_batched_vs_per_tuple: batched.tuples_per_sec / per_tuple.tuples_per_sec.max(1e-9),
+        fusion_speedup_vs_unfused: batched.tuples_per_sec / unfused.tuples_per_sec.max(1e-9),
         per_tuple,
         batched,
+        unfused,
         sweep,
         cores_sweep,
         zero_copy: hop_cost(if smoke { 2_000 } else { 50_000 }),
@@ -248,7 +305,7 @@ mod tests {
 
     #[test]
     fn saturation_measures_every_sweep_arm() {
-        let report = saturation(2_000, 500, 2, true);
+        let report = saturation(2_000, 500, 2, true, true);
         assert_eq!(report.sweep.len(), SWEEP_BATCH_SIZES.len());
         for arm in &report.sweep {
             assert_eq!(arm.fragments, 2_000, "{}", arm.label);
@@ -276,6 +333,27 @@ mod tests {
             report.cores_sweep[1].tuples_per_sec
         );
         assert!(report.zero_copy.speedup > 0.0);
+
+        // The fusion comparison arm: same batch size as the batched arm,
+        // compiled without fusion, and identical *attributed* work — the
+        // per-logical-operator accounting makes tuples_processed equal
+        // across plans, so tuples/sec is an apples-to-apples ratio.
+        assert_eq!(report.unfused.batch_size, MULTICORE_BATCH_SIZE);
+        assert_eq!(report.unfused.cores, 1);
+        assert!(report.unfused.label.starts_with("no-fuse"));
+        assert_eq!(
+            report.unfused.tuples_processed,
+            report.batched.tuples_processed
+        );
+        assert!(report.fusion_speedup_vs_unfused > 0.0);
+        assert!(report.physical_cores >= 1);
+    }
+
+    #[test]
+    fn no_fuse_mode_disables_fusion_on_the_sweep_arms() {
+        let report = saturation(500, 250, 1, true, false);
+        assert!(report.batched.label.starts_with("no-fuse"));
+        assert!(report.per_tuple.label.starts_with("no-fuse"));
     }
 
     #[test]

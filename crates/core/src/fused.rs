@@ -1,0 +1,453 @@
+//! Operator fusion: several stateless logical operators executed in-stack as
+//! one physical operator.
+//!
+//! The paper's model (§2.2) makes the *operator* the unit of state
+//! management, but a chain of stateless transforms carries no state to
+//! manage — every hop between them pays channel serialisation, dedup
+//! admission and clock bookkeeping for nothing. [`FusedOperator`] collapses
+//! such a chain into one physical operator whose
+//! [`process_batch`](crate::StatefulOperator::process_batch) runs every stage
+//! in a plain call stack: tuples cross **zero** channels, zero duplicate
+//! filters and zero clock bumps between fused stages.
+//!
+//! Fusion is a *physical* concern and must stay invisible to the logical
+//! plane, so the combinator keeps enough accounting to attribute metrics
+//! back to the logical stages it swallowed:
+//!
+//! * per-instance stage counts ([`FusionStageStats`], surfaced through
+//!   [`StatefulOperator::fusion_stages`])
+//!   let health reports expand one fused instance into one row per logical
+//!   operator, and
+//! * cumulative per-stage emission counters shared across all partitions of
+//!   the fused unit ([`FusedFactory::cumulative_emitted`]) stand in for the
+//!   emit clocks the interior stages no longer have.
+//!
+//! Interior stages must be pure stateless transforms of `(key, payload)`:
+//! they never observe the interior tuples' logical timestamps (the fused
+//! unit's output clock stamps only the final stage's outputs, exactly as the
+//! unfused chain's last operator would).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::batch::BatchOutput;
+use crate::operator::{OperatorFactory, OutputTuple, StatefulOperator};
+use crate::state::ProcessingState;
+use crate::tuple::{StreamId, Tuple};
+
+/// Per-stage attribution counts of one fused operator *instance*.
+///
+/// `processed` counts the inputs the stage consumed in this instance;
+/// `emitted` the outputs it produced. For the head stage `processed` equals
+/// the instance's admitted input count; for every later stage it equals the
+/// previous stage's `emitted` (the chain runs in-stack, nothing is dropped
+/// between stages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionStageStats {
+    /// Name of the logical operator this stage executes.
+    pub name: String,
+    /// Inputs consumed by this stage in this instance.
+    pub processed: u64,
+    /// Outputs produced by this stage in this instance.
+    pub emitted: u64,
+}
+
+struct FusedStage {
+    name: String,
+    op: Box<dyn StatefulOperator>,
+    /// Inputs consumed by this stage in this instance.
+    processed: u64,
+    /// Outputs produced by this stage in this instance.
+    emitted: u64,
+    /// Outputs produced by this stage across *all* partitions of the fused
+    /// unit, cumulative over the deployment's lifetime (owned by the
+    /// [`FusedFactory`], shared into every instance it builds).
+    cumulative: Arc<AtomicU64>,
+}
+
+impl FusedStage {
+    fn note_emitted(&mut self, n: usize) {
+        self.emitted += n as u64;
+        self.cumulative.fetch_add(n as u64, Ordering::Relaxed);
+    }
+}
+
+/// A chain of stateless operators run in-stack as one physical operator.
+///
+/// Built by [`FusedFactory`]; the runtime treats it like any other stateless
+/// operator (empty processing state, checkpoints are trivial), so fused
+/// units scale out, migrate, consolidate and recover exactly like the
+/// operators they replace.
+pub struct FusedOperator {
+    label: String,
+    stages: Vec<FusedStage>,
+    /// Stream id of the last input seen; reused when periodic tick output of
+    /// an early stage is fed through the remaining stages.
+    last_stream: StreamId,
+}
+
+impl FusedOperator {
+    /// The number of fused stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Feed `cur` (outputs of stage `from - 1`) through stages `from..`,
+    /// appending the survivors of the final stage to `out`. Interior tuples
+    /// reuse `ts`; the timestamp is never observable (stateless transforms
+    /// ignore it and the runtime re-stamps the final outputs from the fused
+    /// unit's clock).
+    fn run_tail(
+        &mut self,
+        from: usize,
+        ts: u64,
+        mut cur: Vec<OutputTuple>,
+        out: &mut Vec<OutputTuple>,
+    ) {
+        for k in from..self.stages.len() {
+            if cur.is_empty() {
+                return;
+            }
+            let stage = &mut self.stages[k];
+            stage.processed += cur.len() as u64;
+            let mut next = Vec::with_capacity(cur.len());
+            for o in cur.drain(..) {
+                let t = o.with_ts(ts);
+                stage.op.process(self.last_stream, &t, &mut next);
+            }
+            stage.note_emitted(next.len());
+            cur = next;
+        }
+        out.append(&mut cur);
+    }
+}
+
+impl StatefulOperator for FusedOperator {
+    fn process(&mut self, stream: StreamId, tuple: &Tuple, out: &mut Vec<OutputTuple>) {
+        self.last_stream = stream;
+        let head = &mut self.stages[0];
+        head.processed += 1;
+        let mut cur = Vec::new();
+        head.op.process(stream, tuple, &mut cur);
+        head.note_emitted(cur.len());
+        self.run_tail(1, tuple.ts, cur, out);
+    }
+
+    fn process_batch(&mut self, stream: StreamId, tuples: &[Tuple], out: &mut BatchOutput) {
+        self.last_stream = stream;
+        let last = self.stages.len() - 1;
+
+        let head = &mut self.stages[0];
+        head.processed += tuples.len() as u64;
+        let mut head_out = BatchOutput::new();
+        head.op.process_batch(stream, tuples, &mut head_out);
+        head.note_emitted(head_out.len());
+
+        // The chain threads `(origin, tuple)` pairs so every final output is
+        // attributed to the index of the *original* input that produced it —
+        // that attribution is what keeps per-tuple latency accounting exact
+        // across the fused unit.
+        let mut cur: Vec<Tuple> = Vec::with_capacity(head_out.len());
+        let mut origin: Vec<usize> = Vec::with_capacity(head_out.len());
+        for (src, o) in head_out.into_items() {
+            let ts = tuples[src].ts;
+            origin.push(src);
+            cur.push(o.with_ts(ts));
+        }
+
+        for k in 1..=last {
+            if cur.is_empty() {
+                return;
+            }
+            let stage = &mut self.stages[k];
+            stage.processed += cur.len() as u64;
+            let mut stage_out = BatchOutput::new();
+            stage.op.process_batch(stream, &cur, &mut stage_out);
+            stage.note_emitted(stage_out.len());
+            if k == last {
+                for (i, o) in stage_out.into_items() {
+                    out.set_source(origin[i]);
+                    out.push(o);
+                }
+            } else {
+                let mut next = Vec::with_capacity(stage_out.len());
+                let mut next_origin = Vec::with_capacity(stage_out.len());
+                for (i, o) in stage_out.into_items() {
+                    let ts = cur[i].ts;
+                    next_origin.push(origin[i]);
+                    next.push(o.with_ts(ts));
+                }
+                cur = next;
+                origin = next_origin;
+            }
+        }
+    }
+
+    fn get_processing_state(&self) -> ProcessingState {
+        // Every stage is stateless, so the fused unit's processing state is
+        // the empty set — checkpoints and partitioned restores are trivial.
+        ProcessingState::empty()
+    }
+
+    fn set_processing_state(&mut self, _state: ProcessingState) {}
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn on_tick(&mut self, now_ms: u64, out: &mut Vec<OutputTuple>) {
+        for k in 0..self.stages.len() {
+            let mut local = Vec::new();
+            self.stages[k].op.on_tick(now_ms, &mut local);
+            if local.is_empty() {
+                continue;
+            }
+            self.stages[k].note_emitted(local.len());
+            // Periodic output of stage k flows through the rest of the chain
+            // like any other emission. Tick outputs carry no input timestamp;
+            // interior ts 0 is as unobservable as any other.
+            self.run_tail(k + 1, 0, local, out);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn fusion_stages(&self) -> Option<Vec<FusionStageStats>> {
+        Some(
+            self.stages
+                .iter()
+                .map(|s| FusionStageStats {
+                    name: s.name.clone(),
+                    processed: s.processed,
+                    emitted: s.emitted,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Factory building [`FusedOperator`] instances for one fused unit.
+///
+/// The factory owns the per-stage cumulative emission counters and shares
+/// them into every instance it builds, so partitions created later — by
+/// scale out, rebalancing, consolidation or recovery — keep adding to the
+/// same logical totals.
+pub struct FusedFactory {
+    label: String,
+    stages: Vec<(String, Arc<dyn OperatorFactory>, Arc<AtomicU64>)>,
+}
+
+impl FusedFactory {
+    /// A factory fusing `members` (name + factory per logical stage, in
+    /// chain order). At least two stages are required — fusing one operator
+    /// is the operator itself.
+    ///
+    /// `label` is the fused unit's physical operator name; by convention it
+    /// contains every member name (e.g. `"fused:a+b"`) so journal entries
+    /// addressing the unit stay greppable by logical operator.
+    pub fn new(label: impl Into<String>, members: Vec<(String, Arc<dyn OperatorFactory>)>) -> Self {
+        assert!(members.len() >= 2, "a fused unit needs at least two stages");
+        FusedFactory {
+            label: label.into(),
+            stages: members
+                .into_iter()
+                .map(|(name, factory)| (name, factory, Arc::new(AtomicU64::new(0))))
+                .collect(),
+        }
+    }
+
+    /// A conventional label for a fused chain: `fused:a+b+c`.
+    pub fn label_for(members: &[&str]) -> String {
+        format!("fused:{}", members.join("+"))
+    }
+
+    /// Names of the fused stages, in chain order.
+    pub fn member_names(&self) -> Vec<&str> {
+        self.stages.iter().map(|(n, _, _)| n.as_str()).collect()
+    }
+
+    /// The cumulative emission counter of stage `index`: outputs produced by
+    /// that stage across all partitions of the unit over the deployment's
+    /// lifetime. This is the attribution source for the emit clock of an
+    /// interior fused stage.
+    pub fn cumulative_emitted(&self, index: usize) -> Arc<AtomicU64> {
+        self.stages[index].2.clone()
+    }
+}
+
+impl OperatorFactory for FusedFactory {
+    fn build(&self) -> Box<dyn StatefulOperator> {
+        Box::new(FusedOperator {
+            label: self.label.clone(),
+            stages: self
+                .stages
+                .iter()
+                .map(|(name, factory, cumulative)| FusedStage {
+                    name: name.clone(),
+                    op: factory.build(),
+                    processed: 0,
+                    emitted: 0,
+                    cumulative: cumulative.clone(),
+                })
+                .collect(),
+            last_stream: StreamId(0),
+        })
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{IntoOperatorFactory, StatelessFn};
+    use crate::tuple::Key;
+
+    fn passthrough(name: &str) -> Arc<dyn OperatorFactory> {
+        let name = name.to_string();
+        (move || {
+            StatelessFn::new(name.clone(), |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
+                out.push(OutputTuple::new(t.key, t.payload.clone()));
+            })
+        })
+        .into_factory()
+    }
+
+    /// Emits one tuple per input byte, keyed by the byte value.
+    fn expander(name: &str) -> Arc<dyn OperatorFactory> {
+        let name = name.to_string();
+        (move || {
+            StatelessFn::new(name.clone(), |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
+                for &b in t.payload.iter() {
+                    out.push(OutputTuple::new(Key(u64::from(b)), vec![b]));
+                }
+            })
+        })
+        .into_factory()
+    }
+
+    #[test]
+    fn fused_chain_matches_sequential_stages() {
+        let factory = FusedFactory::new(
+            "fused:expand+keep",
+            vec![
+                ("expand".into(), expander("expand")),
+                ("keep".into(), passthrough("keep")),
+            ],
+        );
+        let mut fused = factory.build();
+        let tuple = Tuple::new(7, Key(1), vec![2, 3, 4]);
+        let mut out = Vec::new();
+        fused.process(StreamId(0), &tuple, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].key, Key(2));
+        assert_eq!(out[2].key, Key(4));
+        assert!(!fused.is_stateful());
+        assert!(fused.get_processing_state().is_empty());
+        assert_eq!(fused.name(), "fused:expand+keep");
+    }
+
+    #[test]
+    fn batch_attribution_maps_back_to_original_inputs() {
+        let factory = FusedFactory::new(
+            "fused:expand+keep",
+            vec![
+                ("expand".into(), expander("expand")),
+                ("keep".into(), passthrough("keep")),
+            ],
+        );
+        let mut fused = factory.build();
+        let tuples = vec![
+            Tuple::new(1, Key(1), vec![10, 11]),
+            Tuple::new(2, Key(2), vec![]),
+            Tuple::new(3, Key(3), vec![12]),
+        ];
+        let mut out = BatchOutput::new();
+        fused.process_batch(StreamId(0), &tuples, &mut out);
+        let items = out.into_items();
+        // Input 0 expands to two outputs, input 1 to none, input 2 to one —
+        // each output attributed to the input that produced it.
+        let sources: Vec<usize> = items.iter().map(|(s, _)| *s).collect();
+        assert_eq!(sources, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn stage_stats_and_cumulative_counters_attribute_per_member() {
+        let factory = FusedFactory::new(
+            "fused:expand+keep",
+            vec![
+                ("expand".into(), expander("expand")),
+                ("keep".into(), passthrough("keep")),
+            ],
+        );
+        let expand_emitted = factory.cumulative_emitted(0);
+        let keep_emitted = factory.cumulative_emitted(1);
+
+        // Two partitions of the same unit share the cumulative counters.
+        let mut a = factory.build();
+        let mut b = factory.build();
+        let mut out = BatchOutput::new();
+        a.process_batch(StreamId(0), &[Tuple::new(1, Key(1), vec![1, 2])], &mut out);
+        let mut scratch = Vec::new();
+        b.process(StreamId(0), &Tuple::new(2, Key(2), vec![3]), &mut scratch);
+
+        assert_eq!(expand_emitted.load(Ordering::Relaxed), 3);
+        assert_eq!(keep_emitted.load(Ordering::Relaxed), 3);
+
+        let stats = a.fusion_stages().expect("fused instances report stages");
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "expand");
+        assert_eq!(stats[0].processed, 1);
+        assert_eq!(stats[0].emitted, 2);
+        assert_eq!(stats[1].processed, 2);
+        assert_eq!(stats[1].emitted, 2);
+    }
+
+    #[test]
+    fn tick_output_flows_through_later_stages() {
+        struct Ticker;
+        impl StatefulOperator for Ticker {
+            fn process(&mut self, _: StreamId, _: &Tuple, _: &mut Vec<OutputTuple>) {}
+            fn get_processing_state(&self) -> ProcessingState {
+                ProcessingState::empty()
+            }
+            fn set_processing_state(&mut self, _: ProcessingState) {}
+            fn is_stateful(&self) -> bool {
+                false
+            }
+            fn on_tick(&mut self, now_ms: u64, out: &mut Vec<OutputTuple>) {
+                out.push(OutputTuple::new(Key(now_ms), vec![now_ms as u8]));
+            }
+        }
+        let factory = FusedFactory::new(
+            "fused:tick+expand",
+            vec![
+                ("tick".into(), (|| Ticker).into_factory()),
+                ("expand".into(), expander("expand")),
+            ],
+        );
+        let mut fused = factory.build();
+        let mut out = Vec::new();
+        fused.on_tick(9, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, Key(9));
+        let stats = fused.fusion_stages().unwrap();
+        assert_eq!(stats[0].emitted, 1);
+        assert_eq!(stats[1].processed, 1);
+    }
+
+    #[test]
+    fn label_convention_contains_member_names() {
+        assert_eq!(FusedFactory::label_for(&["a", "b", "c"]), "fused:a+b+c");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two stages")]
+    fn single_stage_fusion_is_rejected() {
+        let _ = FusedFactory::new("fused:x", vec![("x".into(), passthrough("x"))]);
+    }
+}

@@ -40,6 +40,7 @@ pub mod checkpoint;
 pub mod clock;
 pub mod dedup;
 pub mod error;
+pub mod fused;
 pub mod graph;
 pub mod key;
 pub mod merge;
@@ -57,6 +58,7 @@ pub use checkpoint::{Checkpoint, CheckpointMeta, IncrementalCheckpoint};
 pub use clock::LogicalClock;
 pub use dedup::{BatchAdmission, DuplicateFilter};
 pub use error::{Error, Result};
+pub use fused::{FusedFactory, FusedOperator, FusionStageStats};
 pub use graph::{ExecutionGraph, LogicalOpId, OperatorKind, QueryGraph, QueryGraphBuilder};
 pub use key::{sample_imbalance, KeyRange, KeySplit};
 pub use obs::{

@@ -135,6 +135,15 @@ pub trait StatefulOperator: Send {
     fn name(&self) -> &str {
         "operator"
     }
+
+    /// When this instance executes several fused logical stages in one
+    /// physical operator (see [`crate::fused::FusedOperator`]), the
+    /// per-stage attribution counts; `None` for ordinary operators. The
+    /// runtime uses this to keep health and metrics reported per *logical*
+    /// operator even after fusion.
+    fn fusion_stages(&self) -> Option<Vec<crate::fused::FusionStageStats>> {
+        None
+    }
 }
 
 /// Adapter turning a pure function into a stateless operator.
@@ -215,6 +224,10 @@ impl StatefulOperator for Box<dyn StatefulOperator> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn fusion_stages(&self) -> Option<Vec<crate::fused::FusionStageStats>> {
+        (**self).fusion_stages()
     }
 }
 

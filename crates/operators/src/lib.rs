@@ -3,7 +3,10 @@
 //! The operator library used by the paper's evaluation queries:
 //!
 //! * the **windowed word-frequency query** (§6.2/§6.3): [`splitter::WordSplitter`]
-//!   and [`word_count::WindowedWordCount`],
+//!   and [`word_count::WindowedWordCount`] — plus the splitter's decomposed
+//!   three-stage form ([`splitter::SentenceTokenizer`] →
+//!   [`splitter::EmptyTokenFilter`] → [`splitter::WordKeyer`]) that the
+//!   physical-plan compiler fuses back into one unit,
 //! * the **map/reduce-style top-k query** over page-view traces (§6.1, open
 //!   loop): [`basic::ProjectFields`] as the map and [`top_k::TopKReducer`] as
 //!   the stateful reduce,
@@ -30,7 +33,7 @@ pub mod word_count;
 
 pub use basic::{FilterFn, MapFn, ProjectFields};
 pub use keyed_join::KeyedJoin;
-pub use splitter::WordSplitter;
+pub use splitter::{EmptyTokenFilter, SentenceTokenizer, WordKeyer, WordSplitter};
 pub use top_k::TopKReducer;
 pub use window_agg::{AggKind, WindowedAggregate};
 pub use word_count::WindowedWordCount;

@@ -8,6 +8,7 @@ use seep_core::operator::{IntoOperatorFactory, OperatorFactory};
 use seep_core::{Error, LogicalOpId, OperatorKind, QueryGraph, Result};
 
 use crate::config::RuntimeConfig;
+use crate::plan::{FusionPolicy, PhysicalPlan};
 use crate::runtime::Runtime;
 
 use super::handle::{JobHandle, SinkCollector};
@@ -50,6 +51,7 @@ pub struct Job {
     query: QueryGraph,
     factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>>,
     names: HashMap<String, LogicalOpId>,
+    fusion: FusionPolicy,
 }
 
 impl std::fmt::Debug for Job {
@@ -71,6 +73,7 @@ impl Job {
             names: HashMap::new(),
             cursor: None,
             error: None,
+            fusion: FusionPolicy::default(),
         }
     }
 
@@ -84,14 +87,32 @@ impl Job {
         self.names.get(name).copied()
     }
 
-    /// Deploy the job on a fresh [`Runtime`]: one VM and one worker per
-    /// logical operator, exactly as the low-level
-    /// [`Runtime::deploy`] would — the builder guarantees the
-    /// graph/factory pairing that layer validates.
+    /// Deploy the job on a fresh [`Runtime`].
+    ///
+    /// The logical graph is first lowered by the physical-plan compiler
+    /// ([`PhysicalPlan::compile`], under the job's
+    /// [`FusionPolicy`]): chains of single-input/single-output stateless
+    /// operators fuse into single physical operators, dead branches are
+    /// eliminated and default batch sizes are selected for fused edges.
+    /// The compiled graph then deploys exactly as the low-level
+    /// [`Runtime::deploy`] would — one VM and one worker per *physical*
+    /// operator — and the returned [`JobHandle`] keeps resolving the
+    /// original logical names, attributing clocks and counts back through
+    /// the plan's manifest. [`FusionPolicy::Disabled`] reproduces the
+    /// unplanned deployment bit for bit.
     pub fn deploy(self) -> Result<JobHandle> {
-        let mut runtime = Runtime::new(self.config);
-        runtime.deploy(self.query, self.factories)?;
-        Ok(JobHandle::new(runtime, self.names))
+        let plan = PhysicalPlan::compile(
+            &self.query,
+            &self.factories,
+            &self.config.batch,
+            self.fusion,
+        )?;
+        let (query, factories, batch, manifest) = plan.into_parts();
+        let mut config = self.config;
+        config.batch = batch;
+        let mut runtime = Runtime::new(config);
+        runtime.deploy(query, factories)?;
+        Ok(JobHandle::new(runtime, manifest))
     }
 
     /// Decompose into the low-level deployment artifacts: the configuration,
@@ -155,6 +176,8 @@ pub struct JobBuilder {
     cursor: Option<LogicalOpId>,
     /// First construction error; reported by `build`.
     error: Option<Error>,
+    /// How the physical-plan compiler may rewrite the graph at deploy.
+    fusion: FusionPolicy,
 }
 
 impl JobBuilder {
@@ -270,6 +293,17 @@ impl JobBuilder {
         self
     }
 
+    /// Select how the physical-plan compiler may rewrite the job at deploy:
+    /// [`FusionPolicy::Fuse`] (the default) fuses stateless chains and
+    /// selects batch sizes for fused edges, [`FusionPolicy::FuseKeepBatches`]
+    /// fuses but never touches batch configuration, and
+    /// [`FusionPolicy::Disabled`] deploys the logical graph 1:1, exactly as
+    /// the seed runtime would.
+    pub fn fusion(mut self, policy: FusionPolicy) -> Self {
+        self.fusion = policy;
+        self
+    }
+
     /// Drain the data plane across `threads` OS threads: workers are sharded
     /// by their placement VM and stepped in parallel, while every
     /// reconfiguration, checkpoint and window tick keeps the single-threaded
@@ -342,6 +376,7 @@ impl JobBuilder {
             query,
             factories: self.factories,
             names: self.names,
+            fusion: self.fusion,
         })
     }
 

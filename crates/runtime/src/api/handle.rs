@@ -12,6 +12,7 @@ use seep_core::{
 
 use crate::metrics::{CheckpointRecord, Metrics, RecoveryRecord};
 use crate::obs::{Journal, ObsServer, ObsSnapshot, OperatorHealth};
+use crate::plan::{MemberRole, PlanManifest};
 use crate::runtime::{
     ConsolidateOutcome, RebalanceOutcome, Runtime, ScaleInOutcome, ScaleOutOutcome,
 };
@@ -27,6 +28,15 @@ pub trait OpSelector {
     /// operator name is a static property of the job, so a miss is a typo,
     /// not a runtime condition.
     fn resolve(&self, handle: &JobHandle) -> LogicalOpId;
+
+    /// The logical operator *name* this selector carries, when it carries
+    /// one. Name selection is what lets the handle attribute per-operator
+    /// quantities (emit clocks, processed counts) to a logical operator
+    /// that was fused into a larger physical unit; raw-id selectors address
+    /// the physical operator itself and return `None`.
+    fn member_name(&self) -> Option<&str> {
+        None
+    }
 }
 
 impl OpSelector for LogicalOpId {
@@ -40,6 +50,10 @@ impl OpSelector for &str {
         handle.try_op(self).unwrap_or_else(|| {
             panic!("job has no operator named {self:?}");
         })
+    }
+
+    fn member_name(&self) -> Option<&str> {
+        Some(self)
     }
 }
 
@@ -74,6 +88,7 @@ impl OpSelector for &str {
 pub struct JobHandle {
     runtime: Runtime,
     names: HashMap<String, LogicalOpId>,
+    manifest: PlanManifest,
     obs_server: Option<ObsServer>,
 }
 
@@ -89,10 +104,16 @@ impl std::fmt::Debug for JobHandle {
 }
 
 impl JobHandle {
-    pub(crate) fn new(runtime: Runtime, names: HashMap<String, LogicalOpId>) -> Self {
+    pub(crate) fn new(runtime: Runtime, manifest: PlanManifest) -> Self {
+        let names = manifest
+            .members
+            .iter()
+            .map(|(name, info)| (name.clone(), info.unit))
+            .collect();
         JobHandle {
             runtime,
             names,
+            manifest,
             obs_server: None,
         }
     }
@@ -275,9 +296,57 @@ impl JobHandle {
     /// The last timestamp issued by the operator's shared output clock.
     /// Identical clock values across batched and per-tuple runs are part of
     /// the batch-equivalence contract.
+    ///
+    /// Logical operators fused into a larger physical unit keep reporting
+    /// per-operator clocks when addressed **by name**: the chain's tail
+    /// stage reads the unit's real output clock (its outputs *are* the
+    /// unit's outputs), while head and interior stages read the cumulative
+    /// emission counters the fused operator maintains per stage. Interior
+    /// attribution is exact under every reconfiguration kind that drains
+    /// before checkpointing; only a failure of the fused unit itself (which
+    /// re-processes tuples replayed past the last periodic checkpoint) can
+    /// make an interior stage's count run ahead of what the unfused chain
+    /// would have reported.
     pub fn emit_clock(&self, op: impl OpSelector) -> u64 {
+        if let Some(info) = op.member_name().and_then(|n| self.manifest.members.get(n)) {
+            if matches!(info.role, MemberRole::Head | MemberRole::Interior) {
+                if let Some(emitted) = &info.emitted {
+                    return emitted.load(std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }
         let logical = op.resolve(self);
         self.runtime.emit_clock(logical)
+    }
+
+    /// Tuples processed by a logical operator, summed over its live
+    /// partitions — attributed through the plan manifest, so fused members
+    /// addressed by name keep their per-operator counts: the head stage
+    /// processes exactly the unit's inputs, and every later stage processes
+    /// exactly what the previous stage emitted (the chain runs in-stack,
+    /// nothing is dropped between stages).
+    pub fn processed_total(&self, op: impl OpSelector) -> u64 {
+        if let Some(info) = op.member_name().and_then(|n| self.manifest.members.get(n)) {
+            if matches!(info.role, MemberRole::Interior | MemberRole::Tail) {
+                if let Some(upstream) = &info.upstream_emitted {
+                    return upstream.load(std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }
+        let logical = op.resolve(self);
+        let metrics = self.runtime.metrics();
+        self.runtime
+            .partitions(logical)
+            .into_iter()
+            .map(|id| metrics.processed_by(id))
+            .sum()
+    }
+
+    /// The plan manifest of the deployment: which physical unit hosts each
+    /// logical operator, the fused chains, and the operators removed by
+    /// dead-branch elimination.
+    pub fn plan_manifest(&self) -> &PlanManifest {
+        &self.manifest
     }
 
     /// Aggregate I/O counters of every checkpoint store in the deployment.

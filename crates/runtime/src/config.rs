@@ -124,7 +124,10 @@ pub struct RuntimeConfig {
     pub worker_threads: usize,
     /// Record one end-to-end latency sample per this many eligible tuples.
     /// 0 and 1 both stamp every tuple (the seed behaviour); larger values
-    /// thin the histogram's input without shifting its quantiles.
+    /// thin the histogram's input without shifting its quantiles. Thinning
+    /// happens **at the stamp site**: tuples the sampler will discard skip
+    /// the timestamp acquisition entirely (emit time 0) and every latency
+    /// probe downstream records exactly the tuples that carry a stamp.
     #[serde(default)]
     pub latency_sample_every: u32,
     /// Where scale-out plans place new partitions: fresh VMs (the default,

@@ -38,6 +38,7 @@ pub mod metrics;
 pub mod obs;
 mod parallel;
 pub mod placement;
+pub mod plan;
 pub mod reconfig;
 pub mod recovery;
 pub mod runtime;
@@ -55,6 +56,7 @@ pub use obs::{
     PlanTrigger,
 };
 pub use placement::Placement;
+pub use plan::{FusionPolicy, PhysicalPlan, PlanManifest};
 pub use reconfig::{ReconfigKind, ReconfigPlan, SplitPolicy};
 pub use recovery::RecoveryStrategy;
 pub use runtime::{ConsolidateOutcome, RebalanceOutcome, Runtime, ScaleInOutcome, ScaleOutOutcome};

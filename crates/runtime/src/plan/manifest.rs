@@ -1,0 +1,115 @@
+//! The attribution manifest: how logical operator names map onto the
+//! compiled physical plan.
+//!
+//! Fusion rewrites the deployed graph, but the ops plane keeps speaking in
+//! logical operator names — metrics, health and emit clocks are *attributed*
+//! back from the fused units. The manifest is the lookup table that makes
+//! that attribution possible: one [`MemberInfo`] per surviving logical
+//! operator, recording which physical operator hosts it, its position in a
+//! fused chain (if any), and the shared cumulative counters standing in for
+//! the per-operator clocks the interior stages no longer have.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use seep_core::LogicalOpId;
+
+/// Where a logical operator ended up inside the physical plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberRole {
+    /// Deployed as its own physical operator (no fusion).
+    Direct,
+    /// First stage of a fused unit: its inputs are the unit's inputs.
+    Head,
+    /// A middle stage of a fused unit.
+    Interior,
+    /// Last stage of a fused unit: its outputs are the unit's outputs, so
+    /// its emit clock *is* the unit's shared output clock.
+    Tail,
+}
+
+/// One logical operator's place in the compiled plan.
+#[derive(Debug, Clone)]
+pub struct MemberInfo {
+    /// The physical operator hosting this logical operator in the compiled
+    /// graph — the unit all placement, checkpointing and reconfiguration
+    /// addresses.
+    pub unit: LogicalOpId,
+    /// The operator's role within that unit.
+    pub role: MemberRole,
+    /// Stage index within the fused chain (`None` for [`MemberRole::Direct`]).
+    pub stage: Option<usize>,
+    /// Cumulative outputs of this stage across all partitions of the unit
+    /// (fused members only). Stands in for the emit clock of a head or
+    /// interior stage; exact under every plan kind that drains before
+    /// checkpointing, and for the tail stage superseded by the unit's real
+    /// shared clock.
+    pub emitted: Option<Arc<AtomicU64>>,
+    /// Cumulative outputs of the *previous* stage (fused non-head members
+    /// only). In-stack execution means everything the previous stage emitted
+    /// is exactly what this stage processed, so this is the stage's
+    /// processed-count attribution.
+    pub upstream_emitted: Option<Arc<AtomicU64>>,
+}
+
+/// One fused unit in the compiled plan.
+#[derive(Debug, Clone)]
+pub struct FusedUnit {
+    /// The unit's physical operator id in the compiled graph.
+    pub id: LogicalOpId,
+    /// The unit's physical operator name (contains every member name, e.g.
+    /// `"fused:a+b"`).
+    pub label: String,
+    /// Member operator names, in chain order.
+    pub members: Vec<String>,
+}
+
+/// The full logical-to-physical attribution map of one compiled plan.
+#[derive(Debug, Clone, Default)]
+pub struct PlanManifest {
+    /// Surviving logical operators by name.
+    pub members: HashMap<String, MemberInfo>,
+    /// Fused units, in deployment order.
+    pub units: Vec<FusedUnit>,
+    /// Names of operators removed by dead-branch elimination (no path to
+    /// any sink).
+    pub eliminated: Vec<String>,
+}
+
+impl PlanManifest {
+    /// An identity manifest for a graph deployed 1:1 (no fusion, no
+    /// elimination): every operator maps to itself as [`MemberRole::Direct`].
+    pub fn identity(query: &seep_core::QueryGraph) -> Self {
+        PlanManifest {
+            members: query
+                .operators()
+                .map(|op| {
+                    (
+                        op.name.clone(),
+                        MemberInfo {
+                            unit: op.id,
+                            role: MemberRole::Direct,
+                            stage: None,
+                            emitted: None,
+                            upstream_emitted: None,
+                        },
+                    )
+                })
+                .collect(),
+            units: Vec::new(),
+            eliminated: Vec::new(),
+        }
+    }
+
+    /// The physical operator hosting the named logical operator, if it
+    /// survived compilation.
+    pub fn unit_of(&self, name: &str) -> Option<LogicalOpId> {
+        self.members.get(name).map(|m| m.unit)
+    }
+
+    /// Whether any chain was fused.
+    pub fn has_fusion(&self) -> bool {
+        !self.units.is_empty()
+    }
+}

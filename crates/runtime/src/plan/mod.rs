@@ -1,0 +1,633 @@
+//! The physical-plan compiler: lowering the logical [`QueryGraph`] into the
+//! graph the runtime actually deploys.
+//!
+//! [`Job::deploy`](crate::api::Job::deploy) runs every job through
+//! [`PhysicalPlan::compile`] before handing it to
+//! [`Runtime::deploy`](crate::runtime::Runtime::deploy). The compiler
+//! performs three rewrites:
+//!
+//! 1. **Dead-branch elimination** — operators from which no sink is
+//!    reachable are removed with their edges. (The typed job builder
+//!    already rejects such graphs; this matters for hand-built
+//!    [`QueryGraph`]s compiled directly.)
+//! 2. **Stateless operator fusion** — maximal chains of two or more
+//!    single-input/single-output [`OperatorKind::Stateless`] operators are
+//!    collapsed into one [`FusedFactory`] unit whose
+//!    [`seep_core::FusedOperator`] runs the whole chain in-stack: zero
+//!    channels, zero duplicate-filter probes and zero clock bumps between
+//!    the fused stages.
+//! 3. **Batch-size selection** — under the default [`FusionPolicy::Fuse`],
+//!    edges leaving a fused unit that the user left at the per-tuple
+//!    default get batch size [`FUSED_EDGE_BATCH`]: fusion concentrates the
+//!    chain's whole output volume on that one hop, which is exactly where
+//!    batching pays. Explicit batch configuration is never overridden.
+//!
+//! Fusion is invisible to the control plane: the fused unit is the unit of
+//! placement, checkpointing and reconfiguration (all five plan kinds
+//! address it like any other operator), while the [`PlanManifest`] lets
+//! metrics, health and emit clocks keep reporting per *logical* operator.
+//!
+//! ```
+//! use seep_core::{OutputTuple, StatelessFn, Tuple};
+//! use seep_runtime::api::Job;
+//! use seep_runtime::plan::FusionPolicy;
+//! use seep_runtime::RuntimeConfig;
+//!
+//! let fwd = |_: seep_core::StreamId, t: &Tuple, out: &mut Vec<OutputTuple>| {
+//!     out.push(OutputTuple::new(t.key, t.payload.clone()));
+//! };
+//! // src -> a -> b -> sink: the stateless chain a -> b fuses into one
+//! // physical operator, so the deployed graph has 3 nodes, not 4.
+//! let mut handle = Job::builder(RuntimeConfig::default())
+//!     .source("src", move || StatelessFn::new("src", fwd))
+//!     .then_stateless("a", move || StatelessFn::new("a", fwd))
+//!     .then_stateless("b", move || StatelessFn::new("b", fwd))
+//!     .sink("sink", || {
+//!         StatelessFn::new("sink", |_, _t: &Tuple, _out: &mut Vec<OutputTuple>| {})
+//!     })
+//!     .fusion(FusionPolicy::Fuse) // the default, shown for the example
+//!     .deploy()
+//!     .expect("valid job");
+//! assert_eq!(handle.execution_graph().query().len(), 3);
+//! // Both logical names still resolve — to the same fused unit.
+//! assert_eq!(handle.op("a"), handle.op("b"));
+//! ```
+
+mod manifest;
+
+pub use manifest::{FusedUnit, MemberInfo, MemberRole, PlanManifest};
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use seep_core::operator::OperatorFactory;
+use seep_core::{Error, FusedFactory, LogicalOpId, OperatorKind, QueryGraph, Result};
+
+use crate::config::BatchConfig;
+
+/// Batch size selected for edges leaving a fused unit when the user left
+/// the data plane at the per-tuple default (see [`FusionPolicy::Fuse`]).
+pub const FUSED_EDGE_BATCH: usize = 64;
+
+/// How [`PhysicalPlan::compile`] may rewrite the logical graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FusionPolicy {
+    /// Deploy the logical graph 1:1 — operator ids, factories and batch
+    /// configuration exactly as the seed runtime would, bit for bit.
+    Disabled,
+    /// Fuse stateless chains and eliminate dead branches, but never touch
+    /// the configured batch sizes. For measurements that pin the transport
+    /// batch size per arm (the throughput bench uses this).
+    FuseKeepBatches,
+    /// Fuse stateless chains, eliminate dead branches, and select
+    /// [`FUSED_EDGE_BATCH`] for fused-unit output edges left at the
+    /// per-tuple default. The default policy.
+    #[default]
+    Fuse,
+}
+
+impl FusionPolicy {
+    /// Whether this policy fuses stateless chains at all.
+    pub fn fuses(self) -> bool {
+        self != FusionPolicy::Disabled
+    }
+
+    /// Whether this policy may select batch sizes for default edges.
+    pub fn tunes_batches(self) -> bool {
+        self == FusionPolicy::Fuse
+    }
+}
+
+/// A compiled physical plan: the graph the runtime deploys, the factory
+/// map paired with it, the (possibly retuned) batch configuration, and the
+/// manifest attributing logical operators to physical units.
+///
+/// ```
+/// use std::collections::HashMap;
+/// use std::sync::Arc;
+/// use seep_core::operator::{IntoOperatorFactory, OperatorFactory};
+/// use seep_core::{LogicalOpId, OutputTuple, QueryGraph, StatelessFn, Tuple};
+/// use seep_runtime::plan::{FusionPolicy, PhysicalPlan};
+/// use seep_runtime::BatchConfig;
+///
+/// // Hand-built graph: src -> a -> b -> sink, plus a dead branch src -> x.
+/// let mut g = QueryGraph::builder();
+/// let src = g.source("src");
+/// let a = g.stateless("a");
+/// let b = g.stateless("b");
+/// let sink = g.sink("sink");
+/// let x = g.stateless("x");
+/// g.connect(src, a).connect(a, b).connect(b, sink).connect(src, x);
+/// let query = g.build().unwrap();
+///
+/// let fwd = || {
+///     StatelessFn::new("fwd", |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
+///         out.push(OutputTuple::new(t.key, t.payload.clone()));
+///     })
+/// };
+/// let factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> =
+///     [src, a, b, sink, x].iter().map(|id| (*id, fwd.into_factory())).collect();
+///
+/// let plan =
+///     PhysicalPlan::compile(&query, &factories, &BatchConfig::default(), FusionPolicy::Fuse)
+///         .unwrap();
+/// // `x` is eliminated (no path to a sink), `a + b` fuse: 4 nodes remain 3.
+/// assert_eq!(plan.query().len(), 3);
+/// assert_eq!(plan.manifest().eliminated, vec!["x".to_string()]);
+/// assert_eq!(plan.manifest().units.len(), 1);
+/// assert_eq!(plan.manifest().unit_of("a"), plan.manifest().unit_of("b"));
+/// ```
+pub struct PhysicalPlan {
+    query: QueryGraph,
+    factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>>,
+    batch: BatchConfig,
+    manifest: PlanManifest,
+}
+
+impl std::fmt::Debug for PhysicalPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysicalPlan")
+            .field("operators", &self.query.len())
+            .field("fused_units", &self.manifest.units.len())
+            .field("eliminated", &self.manifest.eliminated)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PhysicalPlan {
+    /// Lower a logical query into a physical plan under `policy`.
+    ///
+    /// `factories` must cover every operator of `query` (the same pairing
+    /// [`Runtime::deploy`](crate::runtime::Runtime::deploy) validates);
+    /// `batch` is the user's batch configuration, remapped onto the
+    /// physical ids and — under [`FusionPolicy::Fuse`] — extended with the
+    /// fused-edge selection heuristic.
+    pub fn compile(
+        query: &QueryGraph,
+        factories: &HashMap<LogicalOpId, Arc<dyn OperatorFactory>>,
+        batch: &BatchConfig,
+        policy: FusionPolicy,
+    ) -> Result<PhysicalPlan> {
+        for op in query.operators() {
+            if !factories.contains_key(&op.id) {
+                return Err(Error::InvalidGraph(format!(
+                    "no operator factory registered for {} ({})",
+                    op.id, op.name
+                )));
+            }
+        }
+        if !policy.fuses() {
+            return Ok(PhysicalPlan {
+                query: query.clone(),
+                factories: factories.clone(),
+                batch: batch.clone(),
+                manifest: PlanManifest::identity(query),
+            });
+        }
+
+        // -- Dead-branch elimination: keep only operators that reach a sink.
+        let live = reverse_reachable(query);
+        let eliminated: Vec<String> = query
+            .operators()
+            .filter(|op| !live.contains(&op.id))
+            .map(|op| op.name.clone())
+            .collect();
+
+        // -- Chain detection over the live subgraph.
+        let chains = find_chains(query, &live);
+
+        if chains.is_empty() && eliminated.is_empty() {
+            // Nothing to rewrite: deploy 1:1, preserving the original ids,
+            // so non-fusing jobs are untouched by the planner. (No fused
+            // edges exist, so the batch selection heuristic has no
+            // candidates either.)
+            return Ok(PhysicalPlan {
+                query: query.clone(),
+                factories: factories.clone(),
+                batch: batch.clone(),
+                manifest: PlanManifest::identity(query),
+            });
+        }
+
+        // -- Rebuild the graph: chains collapse to one node each; everything
+        // else carries over. Iterating original ids in ascending order keeps
+        // the renumbering deterministic and order-preserving.
+        let mut chain_of: HashMap<LogicalOpId, usize> = HashMap::new();
+        for (ci, chain) in chains.iter().enumerate() {
+            for id in chain {
+                chain_of.insert(*id, ci);
+            }
+        }
+
+        let mut builder = QueryGraph::builder();
+        let mut new_id: HashMap<LogicalOpId, LogicalOpId> = HashMap::new();
+        let mut new_factories: HashMap<LogicalOpId, Arc<dyn OperatorFactory>> = HashMap::new();
+        let mut manifest = PlanManifest {
+            eliminated,
+            ..PlanManifest::default()
+        };
+
+        for op in query.operators() {
+            if !live.contains(&op.id) {
+                continue;
+            }
+            if let Some(&ci) = chain_of.get(&op.id) {
+                let chain = &chains[ci];
+                if chain[0] != op.id {
+                    continue; // The unit is created at its head's position.
+                }
+                let member_names: Vec<String> = chain
+                    .iter()
+                    .map(|id| query.operator(*id).expect("live member").name.clone())
+                    .collect();
+                let label = FusedFactory::label_for(
+                    &member_names.iter().map(String::as_str).collect::<Vec<_>>(),
+                );
+                let unit = builder.add_operator(&label, OperatorKind::Stateless);
+                let fused = Arc::new(FusedFactory::new(
+                    &label,
+                    chain
+                        .iter()
+                        .zip(&member_names)
+                        .map(|(id, name)| (name.clone(), factories[id].clone()))
+                        .collect(),
+                ));
+                for (stage, (id, name)) in chain.iter().zip(&member_names).enumerate() {
+                    new_id.insert(*id, unit);
+                    let role = if stage == 0 {
+                        MemberRole::Head
+                    } else if stage == chain.len() - 1 {
+                        MemberRole::Tail
+                    } else {
+                        MemberRole::Interior
+                    };
+                    manifest.members.insert(
+                        name.clone(),
+                        MemberInfo {
+                            unit,
+                            role,
+                            stage: Some(stage),
+                            emitted: Some(fused.cumulative_emitted(stage)),
+                            upstream_emitted: (stage > 0)
+                                .then(|| fused.cumulative_emitted(stage - 1)),
+                        },
+                    );
+                }
+                manifest.units.push(FusedUnit {
+                    id: unit,
+                    label: label.clone(),
+                    members: member_names,
+                });
+                new_factories.insert(unit, fused);
+            } else {
+                let id = builder.add_operator(&op.name, op.kind);
+                new_id.insert(op.id, id);
+                new_factories.insert(id, factories[&op.id].clone());
+                manifest.members.insert(
+                    op.name.clone(),
+                    MemberInfo {
+                        unit: id,
+                        role: MemberRole::Direct,
+                        stage: None,
+                        emitted: None,
+                        upstream_emitted: None,
+                    },
+                );
+            }
+        }
+
+        for (from, to) in query.streams() {
+            let (Some(&f), Some(&t)) = (new_id.get(&from), new_id.get(&to)) else {
+                continue; // An endpoint was eliminated.
+            };
+            if f != t {
+                builder.connect(f, t);
+            }
+        }
+        let physical = builder.build()?;
+
+        // -- Batch configuration: remap explicit overrides onto the new ids.
+        // Overrides on interior edges of a fused chain are dropped — those
+        // edges no longer exist (the chain runs in-stack); an override on
+        // the chain's tail addresses the unit's output edge and carries
+        // over.
+        let mut per_producer = std::collections::BTreeMap::new();
+        for (raw, size) in &batch.per_producer {
+            let old = LogicalOpId(*raw);
+            let Some(&mapped) = new_id.get(&old) else {
+                continue; // Eliminated with its branch.
+            };
+            match chain_of.get(&old) {
+                Some(&ci) if *chains[ci].last().expect("non-empty chain") != old => {}
+                _ => {
+                    per_producer.insert(mapped.0, *size);
+                }
+            }
+        }
+        // -- Fused-edge selection: a fused unit's output edge carries the
+        // whole chain's output volume in one hop. When the user left that
+        // edge at the per-tuple default, batch it.
+        if policy.tunes_batches() && batch.default_size == 1 {
+            for unit in &manifest.units {
+                per_producer.entry(unit.id.0).or_insert(FUSED_EDGE_BATCH);
+            }
+        }
+        let batch = BatchConfig {
+            default_size: batch.default_size,
+            per_producer,
+        };
+
+        Ok(PhysicalPlan {
+            query: physical,
+            factories: new_factories,
+            batch,
+            manifest,
+        })
+    }
+
+    /// The physical query graph the runtime deploys.
+    pub fn query(&self) -> &QueryGraph {
+        &self.query
+    }
+
+    /// The factory map paired with [`query`](Self::query).
+    pub fn factories(&self) -> &HashMap<LogicalOpId, Arc<dyn OperatorFactory>> {
+        &self.factories
+    }
+
+    /// The batch configuration remapped onto the physical ids.
+    pub fn batch(&self) -> &BatchConfig {
+        &self.batch
+    }
+
+    /// The logical-to-physical attribution manifest.
+    pub fn manifest(&self) -> &PlanManifest {
+        &self.manifest
+    }
+
+    /// Decompose into deployment artifacts:
+    /// `(query, factories, batch, manifest)`.
+    pub fn into_parts(
+        self,
+    ) -> (
+        QueryGraph,
+        HashMap<LogicalOpId, Arc<dyn OperatorFactory>>,
+        BatchConfig,
+        PlanManifest,
+    ) {
+        (self.query, self.factories, self.batch, self.manifest)
+    }
+}
+
+/// Operators from which some sink is reachable (sinks included).
+fn reverse_reachable(query: &QueryGraph) -> HashSet<LogicalOpId> {
+    let mut live: HashSet<LogicalOpId> = HashSet::new();
+    let mut frontier: Vec<LogicalOpId> = query.sinks();
+    while let Some(id) = frontier.pop() {
+        if live.insert(id) {
+            frontier.extend(query.upstream(id));
+        }
+    }
+    live
+}
+
+/// Maximal runs of two or more consecutive single-input/single-output
+/// stateless operators in the live subgraph, each returned in chain order.
+fn find_chains(query: &QueryGraph, live: &HashSet<LogicalOpId>) -> Vec<Vec<LogicalOpId>> {
+    let live_neighbors = |id: LogicalOpId, down: bool| -> Vec<LogicalOpId> {
+        let n = if down {
+            query.downstream(id)
+        } else {
+            query.upstream(id)
+        };
+        n.into_iter().filter(|o| live.contains(o)).collect()
+    };
+    let chainable = |id: LogicalOpId| -> bool {
+        live.contains(&id)
+            && query.operator(id).map(|o| o.kind) == Ok(OperatorKind::Stateless)
+            && live_neighbors(id, false).len() == 1
+            && live_neighbors(id, true).len() == 1
+    };
+
+    let mut chains = Vec::new();
+    for op in query.operators() {
+        if !chainable(op.id) {
+            continue;
+        }
+        // A chain starts where the (single) producer is not itself
+        // chainable; later members are collected by the walk below.
+        let upstream = live_neighbors(op.id, false)[0];
+        if chainable(upstream) {
+            continue;
+        }
+        let mut chain = vec![op.id];
+        let mut cursor = op.id;
+        loop {
+            let next = live_neighbors(cursor, true)[0];
+            if !chainable(next) {
+                break;
+            }
+            chain.push(next);
+            cursor = next;
+        }
+        if chain.len() >= 2 {
+            chains.push(chain);
+        }
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seep_core::operator::IntoOperatorFactory;
+    use seep_core::{OutputTuple, StatelessFn, Tuple};
+
+    fn fwd_factory() -> Arc<dyn OperatorFactory> {
+        (|| {
+            StatelessFn::new("fwd", |_, t: &Tuple, out: &mut Vec<OutputTuple>| {
+                out.push(OutputTuple::new(t.key, t.payload.clone()));
+            })
+        })
+        .into_factory()
+    }
+
+    fn factories_for(ids: &[LogicalOpId]) -> HashMap<LogicalOpId, Arc<dyn OperatorFactory>> {
+        ids.iter().map(|id| (*id, fwd_factory())).collect()
+    }
+
+    /// src -> a -> b -> c -> counter(stateful) -> sink
+    fn chain_query() -> (QueryGraph, Vec<LogicalOpId>) {
+        let mut g = QueryGraph::builder();
+        let src = g.source("src");
+        let a = g.stateless("a");
+        let b = g.stateless("b");
+        let c = g.stateless("c");
+        let counter = g.stateful("counter");
+        let sink = g.sink("sink");
+        g.connect(src, a)
+            .connect(a, b)
+            .connect(b, c)
+            .connect(c, counter)
+            .connect(counter, sink);
+        (g.build().unwrap(), vec![src, a, b, c, counter, sink])
+    }
+
+    #[test]
+    fn disabled_policy_is_the_identity() {
+        let (q, ids) = chain_query();
+        let f = factories_for(&ids);
+        let batch = BatchConfig::default().with_producer(ids[1], 8);
+        let plan = PhysicalPlan::compile(&q, &f, &batch, FusionPolicy::Disabled).unwrap();
+        assert_eq!(plan.query(), &q);
+        assert_eq!(plan.batch(), &batch);
+        assert!(!plan.manifest().has_fusion());
+        assert_eq!(plan.manifest().members["a"].unit, ids[1]);
+        assert_eq!(plan.manifest().members["a"].role, MemberRole::Direct);
+    }
+
+    #[test]
+    fn stateless_chain_fuses_into_one_unit() {
+        let (q, ids) = chain_query();
+        let f = factories_for(&ids);
+        let plan =
+            PhysicalPlan::compile(&q, &f, &BatchConfig::default(), FusionPolicy::Fuse).unwrap();
+        // src, fused(a+b+c), counter, sink.
+        assert_eq!(plan.query().len(), 4);
+        let m = plan.manifest();
+        assert_eq!(m.units.len(), 1);
+        assert_eq!(m.units[0].members, vec!["a", "b", "c"]);
+        assert_eq!(m.units[0].label, "fused:a+b+c");
+        let unit = m.unit_of("a").unwrap();
+        assert_eq!(m.unit_of("b"), Some(unit));
+        assert_eq!(m.unit_of("c"), Some(unit));
+        assert_eq!(m.members["a"].role, MemberRole::Head);
+        assert_eq!(m.members["b"].role, MemberRole::Interior);
+        assert_eq!(m.members["c"].role, MemberRole::Tail);
+        assert!(m.members["b"].emitted.is_some());
+        assert!(m.members["b"].upstream_emitted.is_some());
+        // The fused node really is in the rebuilt graph, stateless, with
+        // the chain's external edges reattached.
+        let fused_op = plan.query().operator(unit).unwrap();
+        assert_eq!(fused_op.kind, OperatorKind::Stateless);
+        assert_eq!(plan.query().upstream(unit).len(), 1);
+        assert_eq!(plan.query().downstream(unit).len(), 1);
+        // The factory for the unit builds a fused operator with 3 stages.
+        let built = plan.factories()[&unit].build();
+        assert_eq!(built.fusion_stages().map(|s| s.len()), Some(3));
+    }
+
+    #[test]
+    fn fused_output_edge_gets_the_batch_heuristic() {
+        let (q, ids) = chain_query();
+        let f = factories_for(&ids);
+        let plan =
+            PhysicalPlan::compile(&q, &f, &BatchConfig::default(), FusionPolicy::Fuse).unwrap();
+        let unit = plan.manifest().unit_of("a").unwrap();
+        assert_eq!(plan.batch().size_for(unit), FUSED_EDGE_BATCH);
+        // Other edges stay at the user's default.
+        let src = plan.manifest().unit_of("src").unwrap();
+        assert_eq!(plan.batch().size_for(src), 1);
+
+        // FuseKeepBatches fuses identically but leaves batches alone.
+        let plan = PhysicalPlan::compile(
+            &q,
+            &f,
+            &BatchConfig::default(),
+            FusionPolicy::FuseKeepBatches,
+        )
+        .unwrap();
+        assert!(plan.manifest().has_fusion());
+        let unit = plan.manifest().unit_of("a").unwrap();
+        assert_eq!(plan.batch().size_for(unit), 1);
+
+        // An explicit non-default configuration is never second-guessed.
+        let plan =
+            PhysicalPlan::compile(&q, &f, &BatchConfig::uniform(8), FusionPolicy::Fuse).unwrap();
+        let unit = plan.manifest().unit_of("a").unwrap();
+        assert_eq!(plan.batch().size_for(unit), 8);
+    }
+
+    #[test]
+    fn batch_overrides_remap_tail_and_drop_interior() {
+        let (q, ids) = chain_query();
+        let f = factories_for(&ids);
+        // Overrides on the head (interior edge a->b: dropped), the tail
+        // (edge c->counter: remapped to the unit) and the counter
+        // (remapped to its new id).
+        let batch = BatchConfig::default()
+            .with_producer(ids[1], 7)
+            .with_producer(ids[3], 16)
+            .with_producer(ids[4], 32);
+        let plan = PhysicalPlan::compile(&q, &f, &batch, FusionPolicy::Fuse).unwrap();
+        let m = plan.manifest();
+        let unit = m.unit_of("c").unwrap();
+        let counter = m.unit_of("counter").unwrap();
+        assert_eq!(
+            plan.batch().size_for(unit),
+            16,
+            "tail override carries over"
+        );
+        assert_eq!(plan.batch().size_for(counter), 32);
+        // The head's override died with the interior edge; nothing else
+        // inherited the value 7.
+        assert!(!plan.batch().per_producer.values().any(|s| *s == 7));
+    }
+
+    #[test]
+    fn fan_out_and_stateful_operators_block_fusion() {
+        // src -> a -> (b | c) -> sink : `a` has fan-out, nothing fuses.
+        let mut g = QueryGraph::builder();
+        let src = g.source("src");
+        let a = g.stateless("a");
+        let b = g.stateless("b");
+        let c = g.stateless("c");
+        let sink = g.sink("sink");
+        g.connect(src, a)
+            .connect(a, b)
+            .connect(a, c)
+            .connect(b, sink)
+            .connect(c, sink);
+        let q = g.build().unwrap();
+        let f = factories_for(&[src, a, b, c, sink]);
+        let plan =
+            PhysicalPlan::compile(&q, &f, &BatchConfig::default(), FusionPolicy::Fuse).unwrap();
+        assert!(!plan.manifest().has_fusion());
+        // With no rewrite, the original ids are preserved exactly.
+        assert_eq!(plan.query(), &q);
+    }
+
+    #[test]
+    fn dead_branches_are_eliminated() {
+        // src -> a -> b -> sink, plus src -> x -> y (no sink reachable).
+        let mut g = QueryGraph::builder();
+        let src = g.source("src");
+        let a = g.stateless("a");
+        let b = g.stateless("b");
+        let sink = g.sink("sink");
+        let x = g.stateless("x");
+        let y = g.stateless("y");
+        g.connect(src, a)
+            .connect(a, b)
+            .connect(b, sink)
+            .connect(src, x)
+            .connect(x, y);
+        let q = g.build().unwrap();
+        let f = factories_for(&[src, a, b, sink, x, y]);
+        let plan =
+            PhysicalPlan::compile(&q, &f, &BatchConfig::default(), FusionPolicy::Fuse).unwrap();
+        assert_eq!(plan.manifest().eliminated, vec!["x", "y"]);
+        // src, fused(a+b), sink.
+        assert_eq!(plan.query().len(), 3);
+        assert!(plan.manifest().unit_of("x").is_none());
+    }
+
+    #[test]
+    fn missing_factory_is_rejected() {
+        let (q, ids) = chain_query();
+        let mut f = factories_for(&ids);
+        f.remove(&ids[2]);
+        let err = PhysicalPlan::compile(&q, &f, &BatchConfig::default(), FusionPolicy::Fuse);
+        assert!(err.is_err());
+    }
+}

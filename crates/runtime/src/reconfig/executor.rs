@@ -734,8 +734,18 @@ impl Runtime {
         }
         let mut replayed = 0;
         for (from, to) in planned {
+            // Replay-buffer-state (Algorithm 1, line 10): only tuples the
+            // downstream has not reflected are re-sent. Its duplicate filter
+            // would discard the rest anyway, but pushing a restored buffer's
+            // full history into a paused receiver's bounded channel can
+            // exceed its capacity and wedge the single-threaded executor.
+            let reflected = self
+                .workers
+                .get(&to)
+                .map(|w| w.reflected().clone())
+                .unwrap_or_default();
             if let Some(worker) = self.workers.get(&from) {
-                replayed += worker.replay_to(to, &TimestampVec::new(), &network, &metrics);
+                replayed += worker.replay_to(to, &reflected, &network, &metrics);
             }
         }
         replayed

@@ -515,14 +515,19 @@ impl Runtime {
             }
         }
 
-        // Periodic checkpoints (R+SM only).
+        // Periodic checkpoints (R+SM only). Stateless operators checkpoint
+        // too: their processing state is empty, but backing up the output
+        // buffer lets Algorithm 1 trim the *upstream* buffers feeding them.
+        // Without that, a stateless→stateless edge would retain the full
+        // stream history and a later reconfiguration would replay it
+        // wholesale into the paused receivers. Sources have no upstream
+        // buffer to trim, so they only stamp the schedule.
         if self.config.strategy.checkpoints() {
             let due: Vec<OperatorId> = self
                 .workers
                 .iter()
                 .filter(|(id, w)| {
-                    w.stateful
-                        && !w.is_failed()
+                    !w.is_failed()
                         && now_ms
                             .saturating_sub(self.last_checkpoint_ms.get(id).copied().unwrap_or(0))
                             >= self.config.checkpoint_interval_ms
@@ -530,7 +535,15 @@ impl Runtime {
                 .map(|(id, _)| *id)
                 .collect();
             for op in due {
-                let _ = self.checkpoint_operator(op);
+                let has_upstream = self
+                    .graph()
+                    .upstream_instances(op)
+                    .is_ok_and(|ups| !ups.is_empty());
+                if has_upstream {
+                    let _ = self.checkpoint_operator(op);
+                } else {
+                    self.last_checkpoint_ms.insert(op, now_ms);
+                }
             }
         }
 
@@ -1165,41 +1178,54 @@ impl Runtime {
     /// report and any plan committed at the current virtual instant.
     /// Precedence: `Failed` > `Recovering`/`Reconfiguring` > `Backpressured`
     /// > `Ok`.
+    ///
+    /// Fusion stays invisible here: an instance hosting a fused chain
+    /// reports one row **per member stage** (same instance id, queue,
+    /// utilisation, VM and state — those are physical properties of the
+    /// shared instance), with `name` and `processed` attributed to the
+    /// individual logical operators from the chain's per-stage counters.
     pub fn health(&self) -> Vec<OperatorHealth> {
         let watermark = self.config.scaling_policy.backpressure_queue;
-        self.workers
-            .iter()
-            .map(|(id, w)| {
-                let active = self
-                    .activity
-                    .get(&w.logical)
-                    .filter(|(_, at)| *at >= self.now_ms)
-                    .map(|(a, _)| a.state());
-                let state = if w.is_failed() {
-                    seep_core::HealthState::Failed
-                } else if let Some(busy) = active {
-                    busy
-                } else if w.queued() >= watermark {
-                    seep_core::HealthState::Backpressured
-                } else {
-                    seep_core::HealthState::Ok
-                };
-                OperatorHealth {
-                    operator: *id,
-                    logical: w.logical,
-                    name: w.name().to_string(),
-                    state,
-                    queued: w.queued(),
-                    utilization: self
-                        .monitor
-                        .latest(*id)
-                        .map(|r| r.utilization)
-                        .unwrap_or(0.0),
-                    processed: w.processed(),
-                    vm: self.placement.vm_of(*id).map(|vm| vm.0),
-                }
-            })
-            .collect()
+        let mut rows = Vec::with_capacity(self.workers.len());
+        for (id, w) in &self.workers {
+            let active = self
+                .activity
+                .get(&w.logical)
+                .filter(|(_, at)| *at >= self.now_ms)
+                .map(|(a, _)| a.state());
+            let state = if w.is_failed() {
+                seep_core::HealthState::Failed
+            } else if let Some(busy) = active {
+                busy
+            } else if w.queued() >= watermark {
+                seep_core::HealthState::Backpressured
+            } else {
+                seep_core::HealthState::Ok
+            };
+            let base = OperatorHealth {
+                operator: *id,
+                logical: w.logical,
+                name: w.name().to_string(),
+                state,
+                queued: w.queued(),
+                utilization: self
+                    .monitor
+                    .latest(*id)
+                    .map(|r| r.utilization)
+                    .unwrap_or(0.0),
+                processed: w.processed(),
+                vm: self.placement.vm_of(*id).map(|vm| vm.0),
+            };
+            match w.operator().fusion_stages() {
+                Some(stages) => rows.extend(stages.into_iter().map(|s| OperatorHealth {
+                    name: s.name,
+                    processed: s.processed,
+                    ..base.clone()
+                })),
+                None => rows.push(base),
+            }
+        }
+        rows
     }
 
     /// Build a fresh observability snapshot from the runtime's current

@@ -104,14 +104,18 @@ pub struct WorkerCore {
     /// full and flushed at every step/tick boundary (and before any
     /// reconfiguration pauses the worker).
     pub out_batch: usize,
-    /// Record one end-to-end latency sample per this many eligible tuples.
+    /// Stamp a source emit time onto one in this many emitted tuples.
     /// 1 — the default — stamps every tuple (the seed behaviour); larger
-    /// values trade histogram resolution for two fewer `Instant::now` reads
-    /// per unsampled tuple on the hot path.
+    /// values thin the sampling **at the stamp site**: unsampled tuples
+    /// never acquire a timestamp at all (emit time 0), so they skip both
+    /// `Instant::now` reads — the one here and the one the probe would have
+    /// paid — and every probe downstream records exactly the tuples that
+    /// carry a stamp.
     pub latency_sample_every: u64,
-    /// Position in the 1-in-N latency sampling sequence; advances only for
-    /// tuples that would have been sampled at N=1, so N=1 is bit-identical
-    /// to full stamping.
+    /// Position in the 1-in-N stamping sequence; advances only for tuples
+    /// that would have been stamped at N=1, so N=1 is bit-identical to full
+    /// stamping. Persistent across steps and ticks: hit counts stay exact
+    /// (⌈eligible/N⌉), not probabilistic.
     latency_seq: u64,
     /// Whether the worker is currently stepped by the parallel executor.
     /// Dispatch then serialises [stamp + push] per logical operator through
@@ -305,9 +309,10 @@ impl WorkerCore {
         self.parallel = parallel;
     }
 
-    /// Advance the 1-in-N latency sampling sequence and report whether this
-    /// tuple's latency should be recorded.
-    fn sample_latency(&mut self) -> bool {
+    /// Advance the 1-in-N stamping sequence and report whether this emitted
+    /// tuple should carry a source emit time (and hence be latency-probed
+    /// downstream).
+    fn stamp_gate(&mut self) -> bool {
         let hit = self
             .latency_seq
             .is_multiple_of(self.latency_sample_every.max(1));
@@ -365,7 +370,10 @@ impl WorkerCore {
                     self.processed += 1;
                     processed += 1;
                     self.dispatch(out, emitted_at_us, network, metrics);
-                    if self.latency_probe && emitted_at_us > 0 && self.sample_latency() {
+                    // Sampling is thinned at the stamp site: every tuple that
+                    // carries a stamp is recorded (`emitted_at_us > 0`), so a
+                    // second 1-in-N gate here would square the thinning.
+                    if self.latency_probe && emitted_at_us > 0 {
                         let now_us = epoch.elapsed().as_micros() as u64;
                         metrics.record_latency_us(now_us.saturating_sub(emitted_at_us));
                     }
@@ -436,10 +444,15 @@ impl WorkerCore {
         self.processed += count as u64;
         self.dispatch_batch(out, &emit_us, network, metrics);
         if self.latency_probe {
-            let now_us = epoch.elapsed().as_micros() as u64;
+            // The clock read is deferred until the batch proves to contain a
+            // stamped tuple; a batch of unstamped tuples costs no `Instant`
+            // read at all. All samples of one batch share one reading, as the
+            // seed's per-batch acquisition did.
+            let mut now_us = None;
             for &emit in &emit_us {
-                if emit > 0 && self.sample_latency() {
-                    metrics.record_latency_us(now_us.saturating_sub(emit));
+                if emit > 0 {
+                    let now = *now_us.get_or_insert_with(|| epoch.elapsed().as_micros() as u64);
+                    metrics.record_latency_us(now.saturating_sub(emit));
                 }
             }
         }
@@ -459,9 +472,17 @@ impl WorkerCore {
         if self.failed {
             return;
         }
-        let now_us = epoch.elapsed().as_micros() as u64;
+        // The stamp site of 1-in-N latency sampling: tuples the sampler will
+        // discard skip the `epoch.elapsed()` acquisition entirely and travel
+        // with emit time 0, which every probe downstream ignores. At N=1 the
+        // gate always hits, reproducing the seed's stamp-every-tuple path.
+        let emitted_at_us = if self.stamp_gate() {
+            epoch.elapsed().as_micros() as u64
+        } else {
+            0
+        };
         let outputs = vec![OutputTuple::new(key, payload)];
-        self.dispatch(outputs, now_us, network, metrics);
+        self.dispatch(outputs, emitted_at_us, network, metrics);
     }
 
     /// Trigger time-based operator behaviour (window closes). Emitted tuples
@@ -475,8 +496,18 @@ impl WorkerCore {
         self.operator.on_tick(now_ms, &mut out);
         self.busy += started.elapsed();
         if !out.is_empty() {
+            // Window emissions are stamp sites too: the clock is read once
+            // per tick (as the seed did) and the 1-in-N gate runs per output,
+            // so sampled tick emissions stay exactly ⌈emitted/N⌉.
             let now_us = epoch.elapsed().as_micros() as u64;
-            self.dispatch(out, now_us, network, metrics);
+            if self.latency_sample_every > 1 {
+                for output in out {
+                    let emitted_at_us = if self.stamp_gate() { now_us } else { 0 };
+                    self.dispatch(vec![output], emitted_at_us, network, metrics);
+                }
+            } else {
+                self.dispatch(out, now_us, network, metrics);
+            }
         }
         // Window emissions must not linger in partial batches until the next
         // data tuple happens to arrive.
@@ -1143,7 +1174,33 @@ mod tests {
     }
 
     #[test]
-    fn latency_sampling_records_one_in_n() {
+    fn latency_sampling_thins_at_the_stamp_site() {
+        let net = network();
+        let metrics = Metrics::new();
+        let (mut source, downstream_rx) = worker_with_downstream(&net, 1, 2);
+        source.latency_sample_every = 3;
+        // Backdated so even the first stamp lands on a non-zero microsecond.
+        let epoch = Instant::now() - Duration::from_millis(1);
+        for n in 1..=7u64 {
+            source.emit_source(Key(n), vec![n as u8], &net, &metrics, epoch);
+        }
+        // Stamps land on injection positions 0, 3 and 6: ceil(7 / 3). The
+        // other four tuples travel with emit time 0 — they never acquired a
+        // timestamp at all.
+        let emits: Vec<bool> = downstream_rx
+            .drain()
+            .into_iter()
+            .map(|env| env.emitted_at_us > 0)
+            .collect();
+        assert_eq!(
+            emits,
+            vec![true, false, false, true, false, false, true],
+            "exactly every third injected tuple carries a stamp"
+        );
+    }
+
+    #[test]
+    fn probe_records_every_stamped_tuple_without_a_second_gate() {
         let net = network();
         let metrics = Metrics::new();
         let rx = net.register(OperatorId::new(3));
@@ -1160,8 +1217,10 @@ mod tests {
         sink.latency_sample_every = 3;
         let epoch = Instant::now();
         let mut batch = TupleBatch::new();
+        // Pre-thinned upstream: positions 0, 3 and 6 stamped, the rest 0.
         for ts in 1..=7u64 {
-            batch.push(Tuple::new(ts, Key(ts), vec![]), 1);
+            let emit = if (ts - 1).is_multiple_of(3) { 1 } else { 0 };
+            batch.push(Tuple::new(ts, Key(ts), vec![]), emit);
         }
         net.send(Envelope::new(
             OperatorId::new(1),
@@ -1170,7 +1229,8 @@ mod tests {
         ))
         .unwrap();
         sink.step(&net, &metrics, epoch, 4);
-        // Samples land on sequence positions 0, 3 and 6: ceil(7 / 3).
+        // Thinning already happened at the stamp site: the probe records all
+        // three stamped arrivals (a second 1-in-N gate would record one).
         assert_eq!(metrics.latency_samples(), 3);
     }
 
